@@ -1,0 +1,388 @@
+// Package causaliot is an anomaly-detection library for smart homes and
+// other IoT deployments, reproducing the system described in "IoT Anomaly
+// Detection Via Device Interaction Graph" (DSN 2023).
+//
+// CausalIoT profiles normal device behaviour as a device interaction graph
+// (DIG): a temporally extended causal graph whose edges are device
+// interactions mined from logged device events with the TemporalPC
+// algorithm, and whose conditional probability tables quantify how likely a
+// device state is under its causes. At runtime, every incoming event is
+// scored against the graph: an event that violates its interaction context
+// is a contextual anomaly, and the chain of events that follows an
+// unsolicited interaction execution is a collective anomaly.
+//
+// Basic use:
+//
+//	sys, err := causaliot.Train(devices, log, causaliot.Config{})
+//	mon, err := sys.NewMonitor()
+//	for ev := range events {
+//	    alarm, score, err := mon.Observe(ev)
+//	    if alarm != nil { ... }
+//	}
+package causaliot
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/causaliot/causaliot/internal/dig"
+	"github.com/causaliot/causaliot/internal/event"
+	"github.com/causaliot/causaliot/internal/monitor"
+	"github.com/causaliot/causaliot/internal/pc"
+	"github.com/causaliot/causaliot/internal/preprocess"
+	"github.com/causaliot/causaliot/internal/timeseries"
+)
+
+// DeviceType classifies a device's value type, mirroring the platform
+// attribute classes of the paper's Table I.
+type DeviceType int
+
+// Device types.
+const (
+	// Switch is a binary actuator (ON/OFF).
+	Switch DeviceType = iota + 1
+	// Presence is a binary motion/occupancy sensor.
+	Presence
+	// Contact is a binary door/window sensor.
+	Contact
+	// Dimmer is a responsive numeric actuator (zero when off).
+	Dimmer
+	// WaterMeter is a responsive numeric flow sensor.
+	WaterMeter
+	// Power is a responsive numeric appliance-usage sensor.
+	Power
+	// Brightness is an ambient numeric luminosity sensor.
+	Brightness
+	// GenericBinary is any other ON/OFF state.
+	GenericBinary
+	// GenericResponsive is any other zero-when-idle numeric state.
+	GenericResponsive
+	// GenericAmbient is any other continuous environmental measurement.
+	GenericAmbient
+)
+
+func (t DeviceType) attribute() (event.Attribute, error) {
+	switch t {
+	case Switch:
+		return event.Switch, nil
+	case Presence:
+		return event.PresenceSensor, nil
+	case Contact:
+		return event.ContactSensor, nil
+	case Dimmer:
+		return event.Dimmer, nil
+	case WaterMeter:
+		return event.WaterMeter, nil
+	case Power:
+		return event.PowerSensor, nil
+	case Brightness:
+		return event.BrightnessSensor, nil
+	case GenericBinary:
+		return event.Attribute{Name: "generic-binary", Abbrev: "GB", Class: event.Binary, Description: "generic binary state"}, nil
+	case GenericResponsive:
+		return event.Attribute{Name: "generic-responsive", Abbrev: "GR", Class: event.ResponsiveNumeric, Description: "generic responsive numeric state"}, nil
+	case GenericAmbient:
+		return event.Attribute{Name: "generic-ambient", Abbrev: "GA", Class: event.AmbientNumeric, Description: "generic ambient numeric state"}, nil
+	default:
+		return event.Attribute{}, fmt.Errorf("causaliot: unknown device type %d", int(t))
+	}
+}
+
+// Device describes one IoT device bound to the platform.
+type Device struct {
+	// Name uniquely identifies the device.
+	Name string
+	// Type is the device's value class.
+	Type DeviceType
+	// Location is the installation location (used for reporting only).
+	Location string
+}
+
+// Event is a raw device state report.
+type Event struct {
+	Time   time.Time
+	Device string
+	Value  float64
+}
+
+// Config tunes training and detection. The zero value selects the defaults
+// the paper's evaluation uses.
+type Config struct {
+	// Tau is the maximum time lag in event steps; 0 selects it
+	// automatically as feedback-duration / average event interval
+	// (paper §V-A).
+	Tau int
+	// MaxDuration is the feedback duration d for automatic τ selection.
+	// Defaults to 60 s.
+	MaxDuration time.Duration
+	// Alpha is the significance threshold of the conditional-independence
+	// tests. Defaults to 0.001.
+	Alpha float64
+	// MaxCondSize caps the conditioning-set size. Defaults to 3; 0 keeps
+	// the default, negative values mean unbounded.
+	MaxCondSize int
+	// MinObsPerDOF is the G² small-sample heuristic. Defaults to 5.
+	MinObsPerDOF int
+	// MaxParents caps the causes kept per device. Defaults to 8.
+	MaxParents int
+	// EventAnchors switches the CI tests to event-anchored mode (an
+	// ablation; see the pc package).
+	EventAnchors bool
+	// Smoothing is the CPT Laplace pseudo-count. Defaults to 0.01.
+	Smoothing float64
+	// Quantile is the score-threshold percentile over the logged events'
+	// anomaly scores. Defaults to 99.
+	Quantile float64
+	// MinThreshold floors the calibrated threshold: on near-deterministic
+	// training data the 99th-percentile score can degenerate to zero, and
+	// an event should at least be less likely than its alternative before
+	// it is called anomalous. Defaults to 0.5; negative disables.
+	MinThreshold float64
+	// KMax is the maximum anomaly-chain length tracked at runtime
+	// (k-sequence detection, Algorithm 2). Defaults to 1 (contextual
+	// detection only).
+	KMax int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxDuration <= 0 {
+		c.MaxDuration = preprocess.DefaultMaxDuration
+	}
+	if c.Alpha <= 0 {
+		c.Alpha = pc.DefaultAlpha
+	}
+	if c.MaxCondSize == 0 {
+		c.MaxCondSize = 3
+	} else if c.MaxCondSize < 0 {
+		c.MaxCondSize = 0
+	}
+	if c.MinObsPerDOF == 0 {
+		c.MinObsPerDOF = 5
+	}
+	if c.MaxParents == 0 {
+		c.MaxParents = 8
+	}
+	if c.Smoothing == 0 {
+		c.Smoothing = 0.01
+	}
+	if c.Quantile <= 0 {
+		c.Quantile = monitor.DefaultQuantile
+	}
+	if c.MinThreshold == 0 {
+		c.MinThreshold = 0.5
+	} else if c.MinThreshold < 0 {
+		c.MinThreshold = 0
+	}
+	if c.KMax <= 0 {
+		c.KMax = 1
+	}
+	return c
+}
+
+// Interaction is a mined device interaction: operating Cause directly
+// affects Outcome after Lag events.
+type Interaction struct {
+	Cause   string
+	Outcome string
+	Lag     int
+}
+
+// System is a trained CausalIoT instance: the mined device interaction
+// graph plus the calibrated score threshold.
+type System struct {
+	cfg       Config
+	devices   []event.Device
+	pre       *preprocess.Preprocessor
+	graph     *dig.Graph
+	threshold float64
+	initial   timeseries.State
+}
+
+// Train mines the device interaction graph from a training log of raw
+// device events and calibrates the anomaly-score threshold. The log should
+// contain normal (anomaly-free or nearly so) behaviour, per the paper's
+// semi-supervised setting.
+func Train(devices []Device, log []Event, cfg Config) (*System, error) {
+	cfg = cfg.withDefaults()
+	if len(devices) == 0 {
+		return nil, errors.New("causaliot: no devices")
+	}
+	if len(log) == 0 {
+		return nil, errors.New("causaliot: empty training log")
+	}
+	internalDevices := make([]event.Device, len(devices))
+	for i, d := range devices {
+		attr, err := d.Type.attribute()
+		if err != nil {
+			return nil, err
+		}
+		internalDevices[i] = event.Device{Name: d.Name, Attribute: attr, Location: d.Location}
+	}
+	pre, err := preprocess.New(internalDevices, preprocess.Config{
+		MaxDuration: cfg.MaxDuration,
+		TauOverride: cfg.Tau,
+	})
+	if err != nil {
+		return nil, err
+	}
+	internalLog := make(event.Log, len(log))
+	for i, e := range log {
+		internalLog[i] = event.Event{Timestamp: e.Time, Device: e.Device, Value: e.Value}
+	}
+	res, err := pre.Process(internalLog)
+	if err != nil {
+		return nil, fmt.Errorf("causaliot: preprocess: %w", err)
+	}
+	miner := pc.NewMiner(pc.Config{
+		Alpha:        cfg.Alpha,
+		MaxCondSize:  cfg.MaxCondSize,
+		MinObsPerDOF: cfg.MinObsPerDOF,
+		MaxParents:   cfg.MaxParents,
+		EventAnchors: cfg.EventAnchors,
+	})
+	graph, _, _, err := miner.Mine(res.Series, res.Tau, cfg.Smoothing)
+	if err != nil {
+		return nil, fmt.Errorf("causaliot: mine: %w", err)
+	}
+	threshold, err := monitor.Threshold(graph, res.Series, cfg.Quantile)
+	if err != nil {
+		return nil, fmt.Errorf("causaliot: threshold: %w", err)
+	}
+	if threshold < cfg.MinThreshold {
+		threshold = cfg.MinThreshold
+	}
+	return &System{
+		cfg:       cfg,
+		devices:   internalDevices,
+		pre:       pre,
+		graph:     graph,
+		threshold: threshold,
+		initial:   res.Series.State(res.Series.Len()).Clone(),
+	}, nil
+}
+
+// Tau returns the maximum time lag the system was trained with.
+func (s *System) Tau() int { return s.graph.Tau }
+
+// Threshold returns the calibrated anomaly-score threshold c.
+func (s *System) Threshold() float64 { return s.threshold }
+
+// Interactions returns every mined device interaction, sorted.
+func (s *System) Interactions() []Interaction {
+	reg := s.graph.Registry
+	var out []Interaction
+	for _, in := range s.graph.Interactions() {
+		out = append(out, Interaction{
+			Cause:   reg.Name(in.Cause),
+			Outcome: reg.Name(in.Outcome),
+			Lag:     in.Lag,
+		})
+	}
+	return out
+}
+
+// GraphDOT renders the lag-collapsed device interaction graph in Graphviz
+// DOT syntax.
+func (s *System) GraphDOT() string { return s.graph.DOT() }
+
+// Likelihood returns P(device = state | context), where context maps cause
+// device names to their binary states; missing causes default to 0.
+func (s *System) Likelihood(device string, state int, context map[string]int) (float64, error) {
+	reg := s.graph.Registry
+	idx, ok := reg.Index(device)
+	if !ok {
+		return 0, fmt.Errorf("causaliot: unknown device %q", device)
+	}
+	causes := s.graph.Parents(idx)
+	values := make([]int, len(causes))
+	for i, c := range causes {
+		values[i] = context[reg.Name(c.Device)]
+	}
+	return s.graph.Likelihood(idx, state, values)
+}
+
+// AnomalousEvent is one member of a reported anomaly chain.
+type AnomalousEvent struct {
+	// Device and State describe the offending event.
+	Device string
+	State  int
+	// Score is the anomaly score f(e, G, 𝒢) ∈ [0,1].
+	Score float64
+	// Context maps each cause (rendered as "device@t-lag") to its state
+	// at the event, the information the paper reports for anomaly
+	// interpretation and root-cause localization.
+	Context map[string]int
+}
+
+// Alarm reports a detected anomaly: Events[0] is the contextual anomaly and
+// any following entries are the collective anomaly chain that executed
+// under the polluted context.
+type Alarm struct {
+	Events []AnomalousEvent
+	// Abrupt marks chains terminated early by another high-score event.
+	Abrupt bool
+}
+
+// Collective reports whether the alarm includes a collective anomaly chain.
+func (a *Alarm) Collective() bool { return len(a.Events) > 1 }
+
+// Monitor validates a runtime event stream against the trained system.
+type Monitor struct {
+	sys *System
+	det *monitor.Detector
+}
+
+// NewMonitor starts runtime monitoring from the state at the end of the
+// training log.
+func (s *System) NewMonitor() (*Monitor, error) {
+	det, err := monitor.NewDetector(s.graph, s.threshold, s.cfg.KMax, s.initial)
+	if err != nil {
+		return nil, err
+	}
+	return &Monitor{sys: s, det: det}, nil
+}
+
+// Observe ingests one raw device event, returning a non-nil Alarm when one
+// is raised and the event's anomaly score (duplicated state reports score
+// zero and never alarm).
+func (m *Monitor) Observe(e Event) (*Alarm, float64, error) {
+	reg := m.sys.graph.Registry
+	idx, ok := reg.Index(e.Device)
+	if !ok {
+		return nil, 0, fmt.Errorf("causaliot: event from unknown device %q", e.Device)
+	}
+	state, err := m.sys.pre.UnifyValue(e.Device, e.Value)
+	if err != nil {
+		return nil, 0, err
+	}
+	alarm, score, err := m.det.Process(timeseries.Step{Device: idx, Value: state, Time: e.Time})
+	if err != nil {
+		return nil, 0, err
+	}
+	return m.convertAlarm(alarm), score, nil
+}
+
+// Flush reports any partially tracked anomaly chain (e.g. at shutdown).
+func (m *Monitor) Flush() *Alarm { return m.convertAlarm(m.det.Flush()) }
+
+func (m *Monitor) convertAlarm(alarm *monitor.Alarm) *Alarm {
+	if alarm == nil {
+		return nil
+	}
+	reg := m.sys.graph.Registry
+	out := &Alarm{Abrupt: alarm.Abrupt}
+	for _, ev := range alarm.Events {
+		ctx := make(map[string]int, len(ev.Causes))
+		for i, c := range ev.Causes {
+			ctx[fmt.Sprintf("%s@t-%d", reg.Name(c.Device), c.Lag)] = ev.CauseValues[i]
+		}
+		out.Events = append(out.Events, AnomalousEvent{
+			Device:  reg.Name(ev.Step.Device),
+			State:   ev.Step.Value,
+			Score:   ev.Score,
+			Context: ctx,
+		})
+	}
+	return out
+}

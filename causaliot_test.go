@@ -1,0 +1,231 @@
+package causaliot
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2023, 6, 1, 8, 0, 0, 0, time.UTC)
+
+// trainingLog synthesizes a simple home: a presence sensor whose activation
+// is followed by a light switch, repeated many times with noise events from
+// an unrelated sensor.
+func trainingLog(n int, seed int64) []Event {
+	rng := rand.New(rand.NewSource(seed))
+	var log []Event
+	ts := t0
+	for i := 0; i < n; i++ {
+		ts = ts.Add(time.Duration(20+rng.Intn(20)) * time.Second)
+		log = append(log, Event{Time: ts, Device: "presence", Value: 1})
+		ts = ts.Add(3 * time.Second)
+		log = append(log, Event{Time: ts, Device: "light", Value: 1})
+		ts = ts.Add(time.Duration(60+rng.Intn(60)) * time.Second)
+		log = append(log, Event{Time: ts, Device: "presence", Value: 0})
+		ts = ts.Add(4 * time.Second)
+		log = append(log, Event{Time: ts, Device: "light", Value: 0})
+		if rng.Float64() < 0.3 {
+			ts = ts.Add(10 * time.Second)
+			log = append(log, Event{Time: ts, Device: "meter", Value: float64(rng.Intn(2)) * 30})
+		}
+	}
+	return log
+}
+
+func testDevices() []Device {
+	return []Device{
+		{Name: "presence", Type: Presence, Location: "hall"},
+		{Name: "light", Type: Switch, Location: "hall"},
+		{Name: "meter", Type: WaterMeter, Location: "kitchen"},
+	}
+}
+
+func mustTrain(t *testing.T, cfg Config) *System {
+	t.Helper()
+	sys, err := Train(testDevices(), trainingLog(400, 1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, trainingLog(10, 1), Config{}); err == nil {
+		t.Error("no devices accepted")
+	}
+	if _, err := Train(testDevices(), nil, Config{}); err == nil {
+		t.Error("empty log accepted")
+	}
+	bad := []Device{{Name: "x", Type: DeviceType(99)}}
+	if _, err := Train(bad, trainingLog(10, 1), Config{}); err == nil {
+		t.Error("unknown device type accepted")
+	}
+}
+
+func TestTrainMinesInteractions(t *testing.T) {
+	sys := mustTrain(t, Config{Tau: 2})
+	if sys.Tau() != 2 {
+		t.Errorf("Tau = %d", sys.Tau())
+	}
+	ints := sys.Interactions()
+	found := false
+	for _, in := range ints {
+		if in.Cause == "presence" && in.Outcome == "light" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("presence->light not mined: %v", ints)
+	}
+	dot := sys.GraphDOT()
+	if !strings.Contains(dot, `"presence" -> "light"`) {
+		t.Errorf("DOT missing edge:\n%s", dot)
+	}
+	if c := sys.Threshold(); c <= 0 || c > 1 {
+		t.Errorf("threshold = %v", c)
+	}
+}
+
+func TestLikelihoodQueries(t *testing.T) {
+	sys := mustTrain(t, Config{Tau: 2})
+	pOn, err := sys.Likelihood("light", 1, map[string]int{"presence": 1, "light": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pOff, err := sys.Likelihood("light", 1, map[string]int{"presence": 0, "light": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pOn <= pOff {
+		t.Errorf("P(light|presence)=%v should exceed P(light|no presence)=%v", pOn, pOff)
+	}
+	if _, err := sys.Likelihood("ghost", 1, nil); err == nil {
+		t.Error("unknown device accepted")
+	}
+}
+
+func TestMonitorDetectsGhostActivation(t *testing.T) {
+	sys := mustTrain(t, Config{Tau: 2})
+	mon, err := sys.NewMonitor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Normal pattern: presence then light — no alarm on the light event.
+	if _, _, err := mon.Observe(Event{Time: t0, Device: "presence", Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	alarm, _, err := mon.Observe(Event{Time: t0.Add(3 * time.Second), Device: "light", Value: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alarm != nil {
+		t.Errorf("normal light activation alarmed: %+v", alarm)
+	}
+	// Wind down.
+	if _, _, err := mon.Observe(Event{Time: t0.Add(time.Minute), Device: "presence", Value: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := mon.Observe(Event{Time: t0.Add(time.Minute + 4*time.Second), Device: "light", Value: 0}); err != nil {
+		t.Fatal(err)
+	}
+	// Ghost activation: the light turns on with no presence.
+	alarm, score, err := mon.Observe(Event{Time: t0.Add(2 * time.Hour), Device: "light", Value: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alarm == nil {
+		t.Fatalf("ghost activation not detected (score %v, threshold %v)", score, sys.Threshold())
+	}
+	if alarm.Collective() {
+		t.Error("single-event alarm reported collective")
+	}
+	ev := alarm.Events[0]
+	if ev.Device != "light" || ev.State != 1 {
+		t.Errorf("alarm event = %+v", ev)
+	}
+	if len(ev.Context) == 0 {
+		t.Error("alarm lacks interaction context")
+	}
+}
+
+func TestMonitorSkipsDuplicatesAndUnknown(t *testing.T) {
+	sys := mustTrain(t, Config{})
+	mon, err := sys.NewMonitor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	alarm, score, err := mon.Observe(Event{Time: t0, Device: "light", Value: 0}) // already off
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alarm != nil || score != 0 {
+		t.Errorf("duplicate report alarmed: %v %v", alarm, score)
+	}
+	if _, _, err := mon.Observe(Event{Time: t0, Device: "ghost", Value: 1}); err == nil {
+		t.Error("unknown device accepted")
+	}
+}
+
+func TestMonitorFlush(t *testing.T) {
+	sys := mustTrain(t, Config{KMax: 3})
+	mon, err := sys.NewMonitor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := mon.Flush(); a != nil {
+		t.Error("flush of idle monitor returned alarm")
+	}
+	// Seed a chain, then flush mid-tracking.
+	if _, _, err := mon.Observe(Event{Time: t0, Device: "light", Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	a := mon.Flush()
+	if a == nil || !a.Abrupt {
+		t.Errorf("flush = %+v", a)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Alpha != 0.001 || cfg.Quantile != 99 || cfg.KMax != 1 || cfg.MaxCondSize != 3 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+	unbounded := Config{MaxCondSize: -1}.withDefaults()
+	if unbounded.MaxCondSize != 0 {
+		t.Errorf("MaxCondSize -1 should map to unbounded, got %d", unbounded.MaxCondSize)
+	}
+}
+
+func TestGenericDeviceTypes(t *testing.T) {
+	devices := []Device{
+		{Name: "sensor", Type: GenericBinary},
+		{Name: "flow", Type: GenericResponsive},
+		{Name: "temp", Type: GenericAmbient},
+	}
+	rng := rand.New(rand.NewSource(9))
+	var log []Event
+	ts := t0
+	for i := 0; i < 300; i++ {
+		ts = ts.Add(30 * time.Second)
+		switch i % 3 {
+		case 0:
+			log = append(log, Event{Time: ts, Device: "sensor", Value: float64(i / 3 % 2)})
+		case 1:
+			log = append(log, Event{Time: ts, Device: "flow", Value: float64(i/3%2) * 20})
+		default:
+			v := 10 + rng.Float64()
+			if i/3%2 == 1 {
+				v = 90 + rng.Float64()
+			}
+			log = append(log, Event{Time: ts, Device: "temp", Value: v})
+		}
+	}
+	sys, err := Train(devices, log, Config{Tau: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys == nil {
+		t.Fatal("nil system")
+	}
+}

@@ -1,0 +1,252 @@
+// Command causaliot is the CausalIoT command-line interface.
+//
+//	causaliot simulate -testbed contextact -days 7 -out events.csv
+//	causaliot mine     -in events.csv -graph dig.dot
+//	causaliot detect   -train train.csv -stream runtime.csv -kmax 3
+//
+// simulate generates a synthetic smart-home event log; mine constructs the
+// device interaction graph from a log and prints the identified
+// interactions (optionally exporting Graphviz DOT); detect trains on one
+// log and validates a second event stream, reporting anomaly alarms.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/causaliot/causaliot"
+	"github.com/causaliot/causaliot/internal/event"
+	"github.com/causaliot/causaliot/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "causaliot:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing subcommand")
+	}
+	switch args[0] {
+	case "simulate":
+		return cmdSimulate(args[1:])
+	case "mine":
+		return cmdMine(args[1:])
+	case "detect":
+		return cmdDetect(args[1:])
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  causaliot simulate -testbed contextact|casas -days N -seed N -out FILE
+  causaliot mine     -in FILE [-testbed contextact|casas] [-tau N] [-graph FILE]
+  causaliot detect   -train FILE -stream FILE [-testbed contextact|casas] [-tau N] [-kmax N]`)
+}
+
+func pickTestbed(name string) (*sim.Testbed, error) {
+	switch name {
+	case "contextact":
+		return sim.ContextActLike(), nil
+	case "casas":
+		return sim.CASASLike(), nil
+	default:
+		return nil, fmt.Errorf("unknown testbed %q", name)
+	}
+}
+
+func cmdSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
+	testbed := fs.String("testbed", "contextact", "testbed to simulate")
+	days := fs.Int("days", 7, "simulated days")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("out", "events.csv", "output CSV file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tb, err := pickTestbed(*testbed)
+	if err != nil {
+		return err
+	}
+	simulator, err := sim.NewSimulator(tb, sim.Config{Seed: *seed, Days: *days})
+	if err != nil {
+		return err
+	}
+	log, err := simulator.Run()
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := log.WriteCSV(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d events from %s (%d days, seed %d) to %s\n", len(log), tb.Name, *days, *seed, *out)
+	return nil
+}
+
+// publicDevices converts a testbed inventory to the public API's device
+// descriptions.
+func publicDevices(tb *sim.Testbed) ([]causaliot.Device, error) {
+	var out []causaliot.Device
+	for _, d := range tb.Devices {
+		var typ causaliot.DeviceType
+		switch d.Attribute.Name {
+		case event.Switch.Name:
+			typ = causaliot.Switch
+		case event.PresenceSensor.Name:
+			typ = causaliot.Presence
+		case event.ContactSensor.Name:
+			typ = causaliot.Contact
+		case event.Dimmer.Name:
+			typ = causaliot.Dimmer
+		case event.WaterMeter.Name:
+			typ = causaliot.WaterMeter
+		case event.PowerSensor.Name:
+			typ = causaliot.Power
+		case event.BrightnessSensor.Name:
+			typ = causaliot.Brightness
+		default:
+			return nil, fmt.Errorf("device %q has unsupported attribute %q", d.Name, d.Attribute.Name)
+		}
+		out = append(out, causaliot.Device{Name: d.Name, Type: typ, Location: d.Location})
+	}
+	return out, nil
+}
+
+func loadEvents(path string) ([]causaliot.Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	log, err := event.ReadCSV(f)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]causaliot.Event, len(log))
+	for i, e := range log {
+		out[i] = causaliot.Event{Time: e.Timestamp, Device: e.Device, Value: e.Value}
+	}
+	return out, nil
+}
+
+func cmdMine(args []string) error {
+	fs := flag.NewFlagSet("mine", flag.ContinueOnError)
+	in := fs.String("in", "", "training event CSV")
+	testbed := fs.String("testbed", "contextact", "device inventory to assume")
+	tau := fs.Int("tau", 0, "maximum time lag (0 = automatic)")
+	graphOut := fs.String("graph", "", "write Graphviz DOT to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("mine: -in is required")
+	}
+	tb, err := pickTestbed(*testbed)
+	if err != nil {
+		return err
+	}
+	devices, err := publicDevices(tb)
+	if err != nil {
+		return err
+	}
+	log, err := loadEvents(*in)
+	if err != nil {
+		return err
+	}
+	sys, err := causaliot.Train(devices, log, causaliot.Config{Tau: *tau})
+	if err != nil {
+		return err
+	}
+	ints := sys.Interactions()
+	fmt.Printf("mined %d interactions (tau=%d, threshold=%.4f):\n", len(ints), sys.Tau(), sys.Threshold())
+	for _, in := range ints {
+		fmt.Printf("  %s -> %s (lag %d)\n", in.Cause, in.Outcome, in.Lag)
+	}
+	if *graphOut != "" {
+		if err := os.WriteFile(*graphOut, []byte(sys.GraphDOT()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote graph to %s\n", *graphOut)
+	}
+	return nil
+}
+
+func cmdDetect(args []string) error {
+	fs := flag.NewFlagSet("detect", flag.ContinueOnError)
+	train := fs.String("train", "", "training event CSV")
+	stream := fs.String("stream", "", "runtime event CSV to validate")
+	testbed := fs.String("testbed", "contextact", "device inventory to assume")
+	tau := fs.Int("tau", 0, "maximum time lag (0 = automatic)")
+	kmax := fs.Int("kmax", 1, "maximum anomaly chain length")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *train == "" || *stream == "" {
+		return fmt.Errorf("detect: -train and -stream are required")
+	}
+	tb, err := pickTestbed(*testbed)
+	if err != nil {
+		return err
+	}
+	devices, err := publicDevices(tb)
+	if err != nil {
+		return err
+	}
+	trainLog, err := loadEvents(*train)
+	if err != nil {
+		return err
+	}
+	sys, err := causaliot.Train(devices, trainLog, causaliot.Config{Tau: *tau, KMax: *kmax})
+	if err != nil {
+		return err
+	}
+	mon, err := sys.NewMonitor()
+	if err != nil {
+		return err
+	}
+	streamLog, err := loadEvents(*stream)
+	if err != nil {
+		return err
+	}
+	alarms := 0
+	report := func(alarm *causaliot.Alarm) {
+		if alarm == nil {
+			return
+		}
+		alarms++
+		kind := "contextual"
+		if alarm.Collective() {
+			kind = "collective"
+		}
+		fmt.Printf("ALARM %d (%s, %d events, abrupt=%v):\n", alarms, kind, len(alarm.Events), alarm.Abrupt)
+		for _, ev := range alarm.Events {
+			fmt.Printf("  %s=%d score=%.4f context=%v\n", ev.Device, ev.State, ev.Score, ev.Context)
+		}
+	}
+	for _, e := range streamLog {
+		alarm, _, err := mon.Observe(e)
+		if err != nil {
+			return err
+		}
+		report(alarm)
+	}
+	report(mon.Flush())
+	fmt.Printf("processed %d events, %d alarms (threshold %.4f, kmax %d)\n", len(streamLog), alarms, sys.Threshold(), *kmax)
+	return nil
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunUsageAndErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no subcommand accepted")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := run([]string{"help"}); err != nil {
+		t.Errorf("help failed: %v", err)
+	}
+	if err := run([]string{"mine"}); err == nil {
+		t.Error("mine without -in accepted")
+	}
+	if err := run([]string{"detect"}); err == nil {
+		t.Error("detect without files accepted")
+	}
+	if err := run([]string{"simulate", "-testbed", "bogus"}); err == nil {
+		t.Error("unknown testbed accepted")
+	}
+}
+
+func TestSimulateMineDetectRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	train := filepath.Join(dir, "train.csv")
+	stream := filepath.Join(dir, "stream.csv")
+	dot := filepath.Join(dir, "dig.dot")
+
+	if err := run([]string{"simulate", "-days", "2", "-seed", "3", "-out", train}); err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	if err := run([]string{"simulate", "-days", "1", "-seed", "4", "-out", stream}); err != nil {
+		t.Fatalf("simulate stream: %v", err)
+	}
+	if err := run([]string{"mine", "-in", train, "-tau", "2", "-graph", dot}); err != nil {
+		t.Fatalf("mine: %v", err)
+	}
+	data, err := os.ReadFile(dot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Error("empty DOT export")
+	}
+	if err := run([]string{"detect", "-train", train, "-stream", stream, "-tau", "2", "-kmax", "2"}); err != nil {
+		t.Fatalf("detect: %v", err)
+	}
+}
+
+func TestLoadEventsErrors(t *testing.T) {
+	if _, err := loadEvents("/does/not/exist.csv"); err == nil {
+		t.Error("missing file accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.csv")
+	if err := os.WriteFile(bad, []byte("nonsense"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadEvents(bad); err == nil {
+		t.Error("malformed CSV accepted")
+	}
+}
+
+func TestPublicDevicesCoversInventory(t *testing.T) {
+	for _, name := range []string{"contextact", "casas"} {
+		tb, err := pickTestbed(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		devices, err := publicDevices(tb)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(devices) != len(tb.Devices) {
+			t.Errorf("%s: %d public devices for %d internal", name, len(devices), len(tb.Devices))
+		}
+	}
+}

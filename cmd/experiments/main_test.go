@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestRunStaticTables(t *testing.T) {
+	// Tables I and II require no pipeline and must print instantly.
+	if err := run([]string{"-only", "table1,table2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-testbed", "casas", "-only", "table1,table2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run([]string{"-testbed", "bogus"}); err == nil {
+		t.Error("unknown testbed accepted")
+	}
+	if err := run([]string{"-badflag"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunFullPipelineSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline test")
+	}
+	// A 2-day pipeline exercises every runner end to end.
+	if err := run([]string{"-days", "2", "-seed", "5"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,80 @@
+// Quickstart: train CausalIoT on a small synthetic log of a two-device
+// home (a presence sensor gating a light), inspect the mined device
+// interaction graph, and catch a ghost light activation at runtime.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"github.com/causaliot/causaliot"
+)
+
+func main() {
+	devices := []causaliot.Device{
+		{Name: "presence", Type: causaliot.Presence, Location: "hall"},
+		{Name: "light", Type: causaliot.Switch, Location: "hall"},
+	}
+
+	// Synthesize a week of normal behaviour: whenever presence fires, the
+	// light follows; it is switched off when the hall empties.
+	rng := rand.New(rand.NewSource(42))
+	ts := time.Date(2023, 6, 1, 8, 0, 0, 0, time.UTC)
+	var events []causaliot.Event
+	for i := 0; i < 500; i++ {
+		ts = ts.Add(time.Duration(5+rng.Intn(15)) * time.Minute)
+		events = append(events,
+			causaliot.Event{Time: ts, Device: "presence", Value: 1},
+			causaliot.Event{Time: ts.Add(3 * time.Second), Device: "light", Value: 1},
+			causaliot.Event{Time: ts.Add(2 * time.Minute), Device: "presence", Value: 0},
+			causaliot.Event{Time: ts.Add(2*time.Minute + 5*time.Second), Device: "light", Value: 0},
+		)
+		ts = ts.Add(3 * time.Minute)
+	}
+
+	sys, err := causaliot.Train(devices, events, causaliot.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained: tau=%d threshold=%.4f\n", sys.Tau(), sys.Threshold())
+	fmt.Println("mined interactions:")
+	for _, in := range sys.Interactions() {
+		fmt.Printf("  %s -> %s (lag %d)\n", in.Cause, in.Outcome, in.Lag)
+	}
+
+	mon, err := sys.NewMonitor()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A normal morning: presence, then light.
+	now := ts.Add(time.Hour)
+	for _, e := range []causaliot.Event{
+		{Time: now, Device: "presence", Value: 1},
+		{Time: now.Add(3 * time.Second), Device: "light", Value: 1},
+		{Time: now.Add(2 * time.Minute), Device: "presence", Value: 0},
+		{Time: now.Add(2*time.Minute + 5*time.Second), Device: "light", Value: 0},
+	} {
+		alarm, score, err := mon.Observe(e)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s = %v  score=%.4f  alarm=%v\n", e.Device, e.Value, score, alarm != nil)
+	}
+
+	// The attack: the light turns on at 3 AM with nobody around.
+	ghost := causaliot.Event{Time: now.Add(6 * time.Hour), Device: "light", Value: 1}
+	alarm, score, err := mon.Observe(ghost)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if alarm == nil {
+		fmt.Printf("ghost activation NOT detected (score %.4f)\n", score)
+		return
+	}
+	ev := alarm.Events[0]
+	fmt.Printf("\nALARM: %s=%d score=%.4f\n", ev.Device, ev.State, ev.Score)
+	fmt.Printf("interaction context (for root-cause analysis): %v\n", ev.Context)
+}

@@ -1,0 +1,137 @@
+// Smarthome: the full CausalIoT pipeline on the ContextAct-like testbed —
+// simulate weeks of resident life on the platform hub (automation rules,
+// physical brightness channel, chatty presence sensors), mine the device
+// interaction graph, then replay an attack: a burglar wanders through the
+// house and a compromised trigger sets off a chained automation execution.
+//
+// This example uses the repository's internal testbed simulator to generate
+// data; everything else goes through the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/causaliot/causaliot"
+	"github.com/causaliot/causaliot/internal/event"
+	"github.com/causaliot/causaliot/internal/sim"
+)
+
+func publicType(attr event.Attribute) causaliot.DeviceType {
+	switch attr.Name {
+	case event.Switch.Name:
+		return causaliot.Switch
+	case event.PresenceSensor.Name:
+		return causaliot.Presence
+	case event.ContactSensor.Name:
+		return causaliot.Contact
+	case event.Dimmer.Name:
+		return causaliot.Dimmer
+	case event.WaterMeter.Name:
+		return causaliot.WaterMeter
+	case event.PowerSensor.Name:
+		return causaliot.Power
+	default:
+		return causaliot.Brightness
+	}
+}
+
+func main() {
+	tb := sim.ContextActLike()
+	simulator, err := sim.NewSimulator(tb, sim.Config{Seed: 7, Days: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw, err := simulator.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated %d events over 10 days on %q\n", len(raw), tb.Name)
+
+	var devices []causaliot.Device
+	for _, d := range tb.Devices {
+		devices = append(devices, causaliot.Device{Name: d.Name, Type: publicType(d.Attribute), Location: d.Location})
+	}
+	var events []causaliot.Event
+	for _, e := range raw {
+		events = append(events, causaliot.Event{Time: e.Timestamp, Device: e.Device, Value: e.Value})
+	}
+
+	sys, err := causaliot.Train(devices, events, causaliot.Config{Tau: 3, KMax: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ints := sys.Interactions()
+	fmt.Printf("mined %d interactions (threshold %.4f); a few:\n", len(ints), sys.Threshold())
+	for i, in := range ints {
+		if i >= 8 {
+			break
+		}
+		fmt.Printf("  %s -> %s (lag %d)\n", in.Cause, in.Outcome, in.Lag)
+	}
+
+	mon, err := sys.NewMonitor()
+	if err != nil {
+		log.Fatal(err)
+	}
+	last := raw[len(raw)-1].Timestamp
+
+	fmt.Println("\n-- burglar wandering at 3 AM --")
+	night := last.Add(5 * 60 * 1e9) // five minutes after the log ends
+	intrusion := []causaliot.Event{
+		{Time: night, Device: "C_entrance", Value: 1}, // the front door opens
+		{Time: night.Add(6e9), Device: "PE_living", Value: 1},
+		{Time: night.Add(14e9), Device: "PE_living", Value: 0},
+		{Time: night.Add(18e9), Device: "PE_kitchen", Value: 1}, // searches the kitchen
+		{Time: night.Add(26e9), Device: "PE_kitchen", Value: 0},
+	}
+	alarms := 0
+	for _, e := range intrusion {
+		alarm, score, err := mon.Observe(e)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-12s=%v score=%.4f\n", e.Device, e.Value, score)
+		if alarm != nil {
+			alarms++
+			fmt.Printf("  ALARM (%d events, collective=%v):\n", len(alarm.Events), alarm.Collective())
+			for _, ev := range alarm.Events {
+				fmt.Printf("    %s=%d score=%.4f\n", ev.Device, ev.State, ev.Score)
+			}
+		}
+	}
+	if a := mon.Flush(); a != nil {
+		alarms++
+		fmt.Printf("  ALARM at stream end (%d events tracked)\n", len(a.Events))
+	}
+	if alarms == 0 {
+		fmt.Println("  (no alarm raised — try a different seed)")
+	}
+
+	fmt.Println("\n-- compromised automation trigger --")
+	mon2, err := sys.NewMonitor()
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The attacker covertly flips the bedroom player off; rule R6 closes
+	// the curtain, and R7 starts the washer — a chained execution.
+	day := last.Add(60 * 60 * 1e9)
+	chain := []causaliot.Event{
+		{Time: day, Device: "S_player", Value: 0},
+		{Time: day.Add(1e9), Device: "S_curtain", Value: 1},
+		{Time: day.Add(2e9), Device: "P_washer", Value: 40},
+	}
+	for _, e := range chain {
+		alarm, score, err := mon2.Observe(e)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-12s=%v score=%.4f\n", e.Device, e.Value, score)
+		if alarm != nil {
+			fmt.Printf("  ALARM (%d events, collective=%v)\n", len(alarm.Events), alarm.Collective())
+		}
+	}
+	if a := mon2.Flush(); a != nil {
+		fmt.Printf("  ALARM at stream end: %d events tracked, seed score %.4f\n", len(a.Events), a.Events[0].Score)
+	}
+}

@@ -1,0 +1,106 @@
+// Watergrid: the paper's §IV water-quality application — sensors deployed
+// along a river interact through the flow: an upstream contamination
+// reading propagates downstream with a lag. CausalIoT mines the sensor
+// network from historical readings, detects a pollution event that starts
+// mid-river (violating the upstream context), and tracks the polluted flow
+// downstream as a collective anomaly.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"github.com/causaliot/causaliot"
+)
+
+func main() {
+	// Four turbidity sensors along the river, plus the mill's discharge
+	// valve that legitimately raises turbidity when open.
+	devices := []causaliot.Device{
+		{Name: "discharge_valve", Type: causaliot.GenericBinary, Location: "mill"},
+		{Name: "turbidity_1", Type: causaliot.GenericAmbient, Location: "km-01"},
+		{Name: "turbidity_2", Type: causaliot.GenericAmbient, Location: "km-05"},
+		{Name: "turbidity_3", Type: causaliot.GenericAmbient, Location: "km-09"},
+		{Name: "turbidity_4", Type: causaliot.GenericAmbient, Location: "km-14"},
+		{Name: "rain_gauge", Type: causaliot.GenericResponsive, Location: "km-01"},
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	ts := time.Date(2023, 4, 1, 0, 0, 0, 0, time.UTC)
+	var events []causaliot.Event
+	reading := func(base float64) float64 { return base + rng.Float64()*3 }
+	// Historical data: periodic mill discharges send a turbidity wave
+	// down the four stations.
+	for cycle := 0; cycle < 300; cycle++ {
+		// Independent rain-gauge pulses break the otherwise strictly
+		// periodic event order, so mining sees genuinely shifted lags.
+		for g := 0; g < rng.Intn(3); g++ {
+			ts = ts.Add(time.Duration(10+rng.Intn(25)) * time.Minute)
+			events = append(events, causaliot.Event{Time: ts, Device: "rain_gauge", Value: 5 + rng.Float64()*10})
+			ts = ts.Add(time.Duration(4+rng.Intn(10)) * time.Minute)
+			events = append(events, causaliot.Event{Time: ts, Device: "rain_gauge", Value: 0})
+		}
+		ts = ts.Add(time.Duration(60+rng.Intn(60)) * time.Minute)
+		events = append(events, causaliot.Event{Time: ts, Device: "discharge_valve", Value: 1})
+		for i, sensor := range []string{"turbidity_1", "turbidity_2", "turbidity_3", "turbidity_4"} {
+			events = append(events, causaliot.Event{
+				Time: ts.Add(time.Duration(i+1) * 10 * time.Minute), Device: sensor, Value: reading(80),
+			})
+		}
+		ts = ts.Add(50 * time.Minute)
+		events = append(events, causaliot.Event{Time: ts, Device: "discharge_valve", Value: 0})
+		for i, sensor := range []string{"turbidity_1", "turbidity_2", "turbidity_3", "turbidity_4"} {
+			events = append(events, causaliot.Event{
+				Time: ts.Add(time.Duration(i+1) * 10 * time.Minute), Device: sensor, Value: reading(12),
+			})
+		}
+	}
+
+	sys, err := causaliot.Train(devices, events, causaliot.Config{Tau: 3, KMax: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained on %d readings (tau=%d, threshold=%.4f)\n", len(events), sys.Tau(), sys.Threshold())
+	fmt.Println("mined sensor-network interactions:")
+	for _, in := range sys.Interactions() {
+		fmt.Printf("  %s -> %s (lag %d)\n", in.Cause, in.Outcome, in.Lag)
+	}
+
+	mon, err := sys.NewMonitor()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Illegal dumping at km-05: turbidity spikes mid-river with the valve
+	// closed and a clean upstream reading — then the pollution flows to
+	// the downstream stations.
+	fmt.Println("\n-- illegal dumping replay --")
+	t := ts.Add(3 * time.Hour)
+	spill := []causaliot.Event{
+		{Time: t, Device: "turbidity_2", Value: 85},
+		{Time: t.Add(10 * time.Minute), Device: "turbidity_3", Value: 83},
+		{Time: t.Add(20 * time.Minute), Device: "turbidity_4", Value: 86},
+	}
+	for _, e := range spill {
+		alarm, score, err := mon.Observe(e)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-12s=%5.1f score=%.4f\n", e.Device, e.Value, score)
+		if alarm != nil {
+			fmt.Printf("  ALARM: polluted flow tracked across %d stations (collective=%v)\n",
+				len(alarm.Events), alarm.Collective())
+			for _, ev := range alarm.Events {
+				fmt.Printf("    %s High (score %.4f)\n", ev.Device, ev.Score)
+			}
+		}
+	}
+	if a := mon.Flush(); a != nil {
+		fmt.Printf("  ALARM at stream end: polluted flow tracked across %d stations\n", len(a.Events))
+		for _, ev := range a.Events {
+			fmt.Printf("    %s High (score %.4f)\n", ev.Device, ev.Score)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package causaliot
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Explanation renders the anomalous event the way the paper's detection
+// examples read (§VI-C): what happened, how unlikely it was, and the
+// interaction context that justifies the verdict — the information a user
+// needs for anomaly interpretation and a security analyst needs for
+// root-cause localization (e.g. excluding physical compromise when the
+// causes point at remote control).
+func (e AnomalousEvent) Explanation() string {
+	verb := "deactivation"
+	if e.State == 1 {
+		verb = "activation"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s had likelihood %.4g%% under its interaction context", e.Device, verb, 100*(1-e.Score))
+	if len(e.Context) == 0 {
+		b.WriteString(" (no mined causes — the event is judged by its marginal behaviour)")
+		return b.String()
+	}
+	keys := make([]string, 0, len(e.Context))
+	for k := range e.Context {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		state := "off/low"
+		if e.Context[k] == 1 {
+			state = "on/high"
+		}
+		parts = append(parts, fmt.Sprintf("%s was %s", k, state))
+	}
+	fmt.Fprintf(&b, ": %s", strings.Join(parts, ", "))
+	return b.String()
+}
+
+// Explain renders the whole alarm: the contextual anomaly first, then any
+// collective chain that executed under the polluted context.
+func (a *Alarm) Explain() string {
+	if a == nil || len(a.Events) == 0 {
+		return "no anomaly"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "contextual anomaly: %s\n", a.Events[0].Explanation())
+	if len(a.Events) > 1 {
+		fmt.Fprintf(&b, "collective anomaly chain (%d events", len(a.Events)-1)
+		if a.Abrupt {
+			b.WriteString(", cut short by an abrupt event")
+		}
+		b.WriteString("):\n")
+		for _, ev := range a.Events[1:] {
+			verb := "deactivated"
+			if ev.State == 1 {
+				verb = "activated"
+			}
+			fmt.Fprintf(&b, "  %s %s following the seeded interaction execution (score %.4f)\n", ev.Device, verb, ev.Score)
+		}
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

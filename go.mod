@@ -1,0 +1,3 @@
+module github.com/causaliot/causaliot
+
+go 1.22

@@ -1,0 +1,130 @@
+package causaliot_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/causaliot/causaliot"
+	"github.com/causaliot/causaliot/internal/event"
+	"github.com/causaliot/causaliot/internal/sim"
+)
+
+// TestEndToEndSmartHome drives the whole system the way a deployment would:
+// simulate a home on the platform hub, train through the public API, and
+// replay attack traffic against the monitor.
+func TestEndToEndSmartHome(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	tb := sim.ContextActLike()
+	simulator, err := sim.NewSimulator(tb, sim.Config{Seed: 21, Days: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := simulator.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	toType := func(attr event.Attribute) causaliot.DeviceType {
+		switch attr.Name {
+		case event.Switch.Name:
+			return causaliot.Switch
+		case event.PresenceSensor.Name:
+			return causaliot.Presence
+		case event.ContactSensor.Name:
+			return causaliot.Contact
+		case event.Dimmer.Name:
+			return causaliot.Dimmer
+		case event.WaterMeter.Name:
+			return causaliot.WaterMeter
+		case event.PowerSensor.Name:
+			return causaliot.Power
+		default:
+			return causaliot.Brightness
+		}
+	}
+	var devices []causaliot.Device
+	for _, d := range tb.Devices {
+		devices = append(devices, causaliot.Device{Name: d.Name, Type: toType(d.Attribute), Location: d.Location})
+	}
+	var events []causaliot.Event
+	for _, e := range raw {
+		events = append(events, causaliot.Event{Time: e.Timestamp, Device: e.Device, Value: e.Value})
+	}
+
+	sys, err := causaliot.Train(devices, events, causaliot.Config{Tau: 3, KMax: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The DIG must contain interactions from multiple sources: at least
+	// one automation rule and at least one autocorrelation edge.
+	ints := sys.Interactions()
+	if len(ints) < 20 {
+		t.Fatalf("only %d interactions mined", len(ints))
+	}
+	hasPair := func(cause, outcome string) bool {
+		for _, in := range ints {
+			if in.Cause == cause && in.Outcome == outcome {
+				return true
+			}
+		}
+		return false
+	}
+	ruleFound := 0
+	for _, r := range tb.Rules {
+		if hasPair(r.TriggerDev, r.ActionDev) {
+			ruleFound++
+		}
+	}
+	if ruleFound < len(tb.Rules)/2 {
+		t.Errorf("only %d of %d automation rules mined", ruleFound, len(tb.Rules))
+	}
+	autoFound := false
+	for _, d := range tb.Devices {
+		if hasPair(d.Name, d.Name) {
+			autoFound = true
+			break
+		}
+	}
+	if !autoFound {
+		t.Error("no autocorrelation interaction mined")
+	}
+
+	// Replay an intrusion; it must alarm and the explanation must name the
+	// offending device.
+	mon, err := sys.NewMonitor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := raw[len(raw)-1].Timestamp
+	var alarmText string
+	for _, e := range []causaliot.Event{
+		{Time: last.Add(5 * 60 * 1e9), Device: "C_entrance", Value: 1},
+		{Time: last.Add(5*60*1e9 + 8e9), Device: "PE_living", Value: 1},
+		{Time: last.Add(5*60*1e9 + 16e9), Device: "PE_living", Value: 0},
+	} {
+		alarm, _, err := mon.Observe(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if alarm != nil {
+			alarmText = alarm.Explain()
+		}
+	}
+	if alarmText == "" {
+		if a := mon.Flush(); a != nil {
+			alarmText = a.Explain()
+		}
+	}
+	if alarmText == "" {
+		t.Fatal("intrusion raised no alarm")
+	}
+	if !strings.Contains(alarmText, "C_entrance") {
+		t.Errorf("explanation does not name the seed device:\n%s", alarmText)
+	}
+	if !strings.Contains(alarmText, "likelihood") {
+		t.Errorf("explanation lacks the likelihood clause:\n%s", alarmText)
+	}
+}

@@ -1,0 +1,177 @@
+// Package automation implements the trigger-action programming paradigm of
+// IoT platforms (paper §II-A): rules that operate an action device when a
+// triggering device reaches a condition, the execution engine with the
+// real-world semantics the paper observes (a rule does not fire when the
+// action device already follows it), and chain analysis used both by the
+// simulator (chained automation attacks, §VI-D) and by the k_max selection
+// guidance of §V-C.
+package automation
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Rule is a trigger-action automation rule over unified binary device
+// states: when TriggerDev reports TriggerVal, the platform sets ActionDev to
+// ActionVal.
+type Rule struct {
+	// ID labels the rule (e.g. "R4").
+	ID string
+	// Description is the human-readable rule text.
+	Description string
+	TriggerDev  string
+	TriggerVal  int
+	ActionDev   string
+	ActionVal   int
+}
+
+// Validate checks the rule definition.
+func (r Rule) Validate() error {
+	if r.ID == "" {
+		return errors.New("automation: rule with empty ID")
+	}
+	if r.TriggerDev == "" || r.ActionDev == "" {
+		return fmt.Errorf("automation: rule %s missing trigger or action device", r.ID)
+	}
+	if r.TriggerDev == r.ActionDev {
+		return fmt.Errorf("automation: rule %s triggers on its own action device", r.ID)
+	}
+	if r.TriggerVal != 0 && r.TriggerVal != 1 {
+		return fmt.Errorf("automation: rule %s has non-binary trigger value %d", r.ID, r.TriggerVal)
+	}
+	if r.ActionVal != 0 && r.ActionVal != 1 {
+		return fmt.Errorf("automation: rule %s has non-binary action value %d", r.ID, r.ActionVal)
+	}
+	return nil
+}
+
+// Engine executes a rule set.
+type Engine struct {
+	rules     []Rule
+	byTrigger map[string][]int // device name -> rule indices
+}
+
+// NewEngine validates the rules and builds the trigger index.
+func NewEngine(rules []Rule) (*Engine, error) {
+	seen := make(map[string]struct{}, len(rules))
+	e := &Engine{
+		rules:     make([]Rule, len(rules)),
+		byTrigger: make(map[string][]int),
+	}
+	copy(e.rules, rules)
+	for i, r := range e.rules {
+		if err := r.Validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := seen[r.ID]; dup {
+			return nil, fmt.Errorf("automation: duplicate rule ID %q", r.ID)
+		}
+		seen[r.ID] = struct{}{}
+		e.byTrigger[r.TriggerDev] = append(e.byTrigger[r.TriggerDev], i)
+	}
+	return e, nil
+}
+
+// Rules returns a copy of the rule set.
+func (e *Engine) Rules() []Rule {
+	out := make([]Rule, len(e.rules))
+	copy(out, e.rules)
+	return out
+}
+
+// Action is a device operation the platform must perform.
+type Action struct {
+	Rule   Rule
+	Device string
+	Value  int
+}
+
+// Actions returns the operations triggered by a device report, applying the
+// real-world execution semantics: a rule is skipped when the action device's
+// state already follows it (§VI-A). current reports the unified binary state
+// of a device.
+func (e *Engine) Actions(dev string, val int, current func(name string) int) []Action {
+	var out []Action
+	for _, i := range e.byTrigger[dev] {
+		r := e.rules[i]
+		if r.TriggerVal != val {
+			continue
+		}
+		if current(r.ActionDev) == r.ActionVal {
+			continue
+		}
+		out = append(out, Action{Rule: r, Device: r.ActionDev, Value: r.ActionVal})
+	}
+	return out
+}
+
+// Chained reports whether next is chained after prev: prev's action is
+// next's trigger.
+func Chained(prev, next Rule) bool {
+	return prev.ActionDev == next.TriggerDev && prev.ActionVal == next.TriggerVal
+}
+
+// Chains enumerates all maximal rule chains (length ≥ 2) in the rule set,
+// each a sequence of rules where every rule triggers the next. Cycles are
+// cut at the first repeated rule.
+func (e *Engine) Chains() [][]Rule {
+	var out [][]Rule
+	// succ[i] lists rules chained after rule i.
+	succ := make([][]int, len(e.rules))
+	indeg := make([]int, len(e.rules))
+	for i, a := range e.rules {
+		for j, b := range e.rules {
+			if i != j && Chained(a, b) {
+				succ[i] = append(succ[i], j)
+				indeg[j]++
+			}
+		}
+	}
+	var dfs func(path []int, onPath map[int]bool)
+	dfs = func(path []int, onPath map[int]bool) {
+		last := path[len(path)-1]
+		extended := false
+		for _, nxt := range succ[last] {
+			if onPath[nxt] {
+				continue
+			}
+			extended = true
+			onPath[nxt] = true
+			dfs(append(path, nxt), onPath)
+			delete(onPath, nxt)
+		}
+		if !extended && len(path) >= 2 {
+			chain := make([]Rule, len(path))
+			for k, idx := range path {
+				chain[k] = e.rules[idx]
+			}
+			out = append(out, chain)
+		}
+	}
+	for i := range e.rules {
+		if indeg[i] > 0 {
+			continue // only start chains at roots
+		}
+		dfs([]int{i}, map[int]bool{i: true})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0].ID < out[j][0].ID })
+	return out
+}
+
+// MaxChainLength returns the number of rules in the longest chain (1 when no
+// two rules chain). §V-C suggests setting k_max from this value so a fully
+// chained malicious execution can be reconstructed.
+func (e *Engine) MaxChainLength() int {
+	maxLen := 0
+	if len(e.rules) > 0 {
+		maxLen = 1
+	}
+	for _, chain := range e.Chains() {
+		if len(chain) > maxLen {
+			maxLen = len(chain)
+		}
+	}
+	return maxLen
+}

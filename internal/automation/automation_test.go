@@ -1,0 +1,170 @@
+package automation
+
+import (
+	"testing"
+)
+
+func testRules() []Rule {
+	return []Rule{
+		{ID: "R1", TriggerDev: "PE_living", TriggerVal: 1, ActionDev: "P_dishwasher", ActionVal: 1},
+		{ID: "R3", TriggerDev: "P_heater", TriggerVal: 1, ActionDev: "S_player", ActionVal: 1},
+		{ID: "R6", TriggerDev: "S_player", TriggerVal: 0, ActionDev: "S_curtain", ActionVal: 1},
+		{ID: "R7", TriggerDev: "S_curtain", TriggerVal: 1, ActionDev: "P_washer", ActionVal: 1},
+		{ID: "R8", TriggerDev: "PE_bedroom", TriggerVal: 1, ActionDev: "P_heater", ActionVal: 1},
+	}
+}
+
+func TestRuleValidate(t *testing.T) {
+	bad := []Rule{
+		{},
+		{ID: "x", TriggerDev: "a"},
+		{ID: "x", TriggerDev: "a", ActionDev: "a"},
+		{ID: "x", TriggerDev: "a", ActionDev: "b", TriggerVal: 2},
+		{ID: "x", TriggerDev: "a", ActionDev: "b", ActionVal: -1},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("bad rule %d accepted", i)
+		}
+	}
+	good := Rule{ID: "R1", TriggerDev: "a", TriggerVal: 1, ActionDev: "b", ActionVal: 0}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good rule rejected: %v", err)
+	}
+}
+
+func TestNewEngineRejectsDuplicateIDs(t *testing.T) {
+	rules := []Rule{
+		{ID: "R1", TriggerDev: "a", TriggerVal: 1, ActionDev: "b", ActionVal: 1},
+		{ID: "R1", TriggerDev: "c", TriggerVal: 1, ActionDev: "d", ActionVal: 1},
+	}
+	if _, err := NewEngine(rules); err == nil {
+		t.Error("duplicate rule ID accepted")
+	}
+}
+
+func TestEngineActions(t *testing.T) {
+	e, err := NewEngine(testRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := map[string]int{"P_dishwasher": 0, "S_player": 0, "S_curtain": 0, "P_washer": 0, "P_heater": 0}
+	current := func(name string) int { return states[name] }
+
+	// Trigger matches and action device not yet in target state.
+	acts := e.Actions("PE_living", 1, current)
+	if len(acts) != 1 || acts[0].Device != "P_dishwasher" || acts[0].Value != 1 {
+		t.Errorf("Actions = %+v", acts)
+	}
+	if acts[0].Rule.ID != "R1" {
+		t.Errorf("rule = %s", acts[0].Rule.ID)
+	}
+
+	// Trigger value mismatch: no action.
+	if acts := e.Actions("PE_living", 0, current); len(acts) != 0 {
+		t.Errorf("mismatched trigger fired: %+v", acts)
+	}
+
+	// Already-satisfied action device: rule skipped (§VI-A semantics).
+	states["P_dishwasher"] = 1
+	if acts := e.Actions("PE_living", 1, current); len(acts) != 0 {
+		t.Errorf("already-satisfied rule fired: %+v", acts)
+	}
+
+	// Unknown trigger device: nothing.
+	if acts := e.Actions("nope", 1, current); len(acts) != 0 {
+		t.Errorf("unknown trigger fired: %+v", acts)
+	}
+}
+
+func TestChained(t *testing.T) {
+	rules := testRules()
+	if !Chained(rules[1], rules[2]) == false {
+		// R3 sets S_player=1 but R6 triggers on S_player=0: NOT chained.
+		t.Error("R3 -> R6 should not chain (value mismatch)")
+	}
+	if !Chained(rules[2], rules[3]) {
+		t.Error("R6 -> R7 should chain")
+	}
+	if !Chained(rules[4], rules[1]) {
+		t.Error("R8 -> R3 should chain")
+	}
+}
+
+func TestChainsAndMaxLength(t *testing.T) {
+	e, err := NewEngine(testRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	chains := e.Chains()
+	// Expected chains: R6->R7 and R8->R3.
+	if len(chains) != 2 {
+		t.Fatalf("chains = %v", chains)
+	}
+	ids := func(chain []Rule) string {
+		s := ""
+		for _, r := range chain {
+			s += r.ID + " "
+		}
+		return s
+	}
+	if ids(chains[0]) != "R6 R7 " || ids(chains[1]) != "R8 R3 " {
+		t.Errorf("chains = %q, %q", ids(chains[0]), ids(chains[1]))
+	}
+	if got := e.MaxChainLength(); got != 2 {
+		t.Errorf("MaxChainLength = %d, want 2", got)
+	}
+}
+
+func TestMaxChainLengthNoChains(t *testing.T) {
+	e, err := NewEngine([]Rule{{ID: "R1", TriggerDev: "a", TriggerVal: 1, ActionDev: "b", ActionVal: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.MaxChainLength(); got != 1 {
+		t.Errorf("MaxChainLength = %d, want 1", got)
+	}
+	empty, err := NewEngine(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := empty.MaxChainLength(); got != 0 {
+		t.Errorf("empty MaxChainLength = %d, want 0", got)
+	}
+}
+
+func TestChainsHandleCycles(t *testing.T) {
+	// a->b, b->a: a cycle; Chains must terminate and cut at repetition.
+	rules := []Rule{
+		{ID: "A", TriggerDev: "x", TriggerVal: 1, ActionDev: "y", ActionVal: 1},
+		{ID: "B", TriggerDev: "y", TriggerVal: 1, ActionDev: "x", ActionVal: 1},
+	}
+	e, err := NewEngine(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both rules have indegree > 0, so no root exists; Chains returns
+	// nothing but must not hang, and MaxChainLength falls back to 1.
+	if got := e.MaxChainLength(); got != 1 {
+		t.Errorf("cycle MaxChainLength = %d, want 1", got)
+	}
+}
+
+func TestThreeRuleChain(t *testing.T) {
+	rules := []Rule{
+		{ID: "A", TriggerDev: "t", TriggerVal: 1, ActionDev: "u", ActionVal: 1},
+		{ID: "B", TriggerDev: "u", TriggerVal: 1, ActionDev: "v", ActionVal: 1},
+		{ID: "C", TriggerDev: "v", TriggerVal: 1, ActionDev: "w", ActionVal: 1},
+	}
+	e, err := NewEngine(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chains := e.Chains()
+	if len(chains) != 1 || len(chains[0]) != 3 {
+		t.Fatalf("chains = %v", chains)
+	}
+	if e.MaxChainLength() != 3 {
+		t.Errorf("MaxChainLength = %d", e.MaxChainLength())
+	}
+}

@@ -1,0 +1,27 @@
+// Package baselines implements the three anomaly detectors the paper
+// compares CausalIoT against in §VI-C / Figure 5:
+//
+//   - a kth-order Markov chain over system states (stochastic learning),
+//   - a one-class support vector machine with an RBF kernel trained by a
+//     simplified SMO (classic machine learning), and
+//   - a HAWatcher-style correlation-rule detector gated by semantic
+//     (spatial and physical-channel) constraints (data mining).
+//
+// All three satisfy the Detector interface so the evaluation harness can
+// replay the same event streams through every method.
+package baselines
+
+import "github.com/causaliot/causaliot/internal/timeseries"
+
+// Detector is a streaming anomaly detector over preprocessed device events.
+type Detector interface {
+	// Name identifies the method in reports.
+	Name() string
+	// Fit trains the detector on a normal (anomaly-free) series.
+	Fit(train *timeseries.Series) error
+	// Reset re-initializes the runtime stream state.
+	Reset(initial timeseries.State) error
+	// Process ingests a runtime event and reports whether it is
+	// anomalous. Implementations track their own snapshot state.
+	Process(step timeseries.Step) (anomalous bool, err error)
+}

@@ -1,0 +1,413 @@
+package baselines
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/causaliot/causaliot/internal/event"
+	"github.com/causaliot/causaliot/internal/timeseries"
+)
+
+func mustRegistry(t *testing.T, names ...string) *timeseries.Registry {
+	t.Helper()
+	r, err := timeseries.NewRegistry(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// alternatingSeries builds a series where two devices strictly alternate:
+// a on, b on, a off, b off, ...
+func alternatingSeries(t *testing.T, m int) *timeseries.Series {
+	t.Helper()
+	reg := mustRegistry(t, "a", "b")
+	steps := make([]timeseries.Step, m)
+	for j := 0; j < m; j++ {
+		steps[j] = timeseries.Step{Device: j % 2, Value: (j/2)%2 ^ 1}
+	}
+	s, err := timeseries.FromSteps(reg, timeseries.State{0, 0}, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestMarkovAcceptsSeenTransitions(t *testing.T) {
+	train := alternatingSeries(t, 400)
+	m, err := NewMarkov(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Reset(train.State(0)); err != nil {
+		t.Fatal(err)
+	}
+	// Replaying the training stream must produce (almost) no alarms
+	// after the warm-up window.
+	alarms := 0
+	for j := 1; j <= train.Len(); j++ {
+		step, _ := train.StepAt(j)
+		anomalous, err := m.Process(step)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if anomalous && j > m.Order {
+			alarms++
+		}
+	}
+	if alarms != 0 {
+		t.Errorf("markov raised %d alarms replaying its own training data", alarms)
+	}
+}
+
+func TestMarkovFlagsUnseenTransition(t *testing.T) {
+	train := alternatingSeries(t, 400)
+	m, _ := NewMarkov(2)
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Reset(train.State(0)); err != nil {
+		t.Fatal(err)
+	}
+	// In training, device 0 always moves first from the initial state;
+	// an immediate device-1 activation is an unseen transition.
+	anomalous, err := m.Process(timeseries.Step{Device: 1, Value: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replay a few training steps, then inject a state that never occurs.
+	if !anomalous {
+		// The very first training transition is (b=1 after init)?
+		// Verify via an impossible repeated flip instead.
+		_, _ = m.Process(timeseries.Step{Device: 0, Value: 1})
+		anomalous, err = m.Process(timeseries.Step{Device: 0, Value: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !anomalous {
+			t.Error("unseen transition not flagged")
+		}
+	}
+}
+
+func TestMarkovValidation(t *testing.T) {
+	if _, err := NewMarkov(0); err == nil {
+		t.Error("order 0 accepted")
+	}
+	m, _ := NewMarkov(3)
+	short := alternatingSeries(t, 2)
+	if err := m.Fit(short); err == nil {
+		t.Error("too-short series accepted")
+	}
+	if err := m.Reset(timeseries.State{0, 0}); err == nil {
+		t.Error("reset before fit accepted")
+	}
+	if _, err := m.Process(timeseries.Step{}); err == nil {
+		t.Error("process before fit accepted")
+	}
+	train := alternatingSeries(t, 50)
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Reset(timeseries.State{0}); err == nil {
+		t.Error("mis-shaped reset accepted")
+	}
+	if _, err := m.Process(timeseries.Step{Device: 9}); err == nil {
+		t.Error("out-of-range device accepted")
+	}
+	if m.Name() != "markov-3" {
+		t.Errorf("Name = %q", m.Name())
+	}
+}
+
+// clusteredSeries builds training data that lives in two system-state
+// clusters: {0,0,0} <-> {1,1,1} via brief transitions.
+func clusteredSeries(t *testing.T, m int) *timeseries.Series {
+	t.Helper()
+	reg := mustRegistry(t, "a", "b", "c")
+	var steps []timeseries.Step
+	for len(steps) < m {
+		for d := 0; d < 3; d++ {
+			steps = append(steps, timeseries.Step{Device: d, Value: 1})
+		}
+		for d := 0; d < 3; d++ {
+			steps = append(steps, timeseries.Step{Device: d, Value: 0})
+		}
+	}
+	s, err := timeseries.FromSteps(reg, timeseries.State{0, 0, 0}, steps[:m])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestOCSVMSeparatesSeenFromUnseenStates(t *testing.T) {
+	train := clusteredSeries(t, 300)
+	o := NewOCSVM()
+	if err := o.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	// States visited during training should score inside the boundary.
+	fIn, err := o.Decision(timeseries.State{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fOut, err := o.Decision(timeseries.State{1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fIn <= fOut {
+		t.Errorf("training-cluster state (%v) should score higher than rarely-seen state (%v)", fIn, fOut)
+	}
+}
+
+func TestOCSVMProcessTracksState(t *testing.T) {
+	train := clusteredSeries(t, 300)
+	o := NewOCSVM()
+	if err := o.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Reset(timeseries.State{0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	anomalous, err := o.Process(timeseries.Step{Device: 0, Value: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = anomalous // boundary position depends on nu; just must not error
+	if _, err := o.Process(timeseries.Step{Device: 9, Value: 1}); err == nil {
+		t.Error("out-of-range device accepted")
+	}
+}
+
+func TestOCSVMValidation(t *testing.T) {
+	o := NewOCSVM()
+	if _, err := o.Decision(timeseries.State{0}); err == nil {
+		t.Error("decision before fit accepted")
+	}
+	if err := o.Reset(timeseries.State{0}); err == nil {
+		t.Error("reset before fit accepted")
+	}
+	reg := mustRegistry(t, "a")
+	short, _ := timeseries.FromSteps(reg, timeseries.State{0}, []timeseries.Step{{Device: 0, Value: 1}})
+	if err := o.Fit(short); err == nil {
+		t.Error("too-short series accepted")
+	}
+	bad := NewOCSVM()
+	bad.Nu = 2
+	train := clusteredSeries(t, 60)
+	if err := bad.Fit(train); err == nil {
+		t.Error("nu > 1 accepted")
+	}
+	if o.Name() != "ocsvm" {
+		t.Errorf("Name = %q", o.Name())
+	}
+}
+
+func hawDevices() []event.Device {
+	return []event.Device{
+		{Name: "S_kitchen", Attribute: event.Switch, Location: "kitchen"},
+		{Name: "B_kitchen", Attribute: event.BrightnessSensor, Location: "kitchen"},
+		{Name: "PE_living", Attribute: event.PresenceSensor, Location: "living"},
+	}
+}
+
+// hawSeries: the kitchen switch and brightness move in lockstep; the living
+// presence follows the switch too (cross-room, so HAWatcher must ignore it).
+func hawSeries(t *testing.T, m int) *timeseries.Series {
+	t.Helper()
+	reg := mustRegistry(t, "S_kitchen", "B_kitchen", "PE_living")
+	var steps []timeseries.Step
+	v := 0
+	for len(steps) < m {
+		v = 1 - v
+		steps = append(steps,
+			timeseries.Step{Device: 1, Value: v}, // brightness follows previous switch... order: switch first
+		)
+	}
+	// Rebuild properly: switch, then brightness, then presence each cycle.
+	steps = steps[:0]
+	v = 0
+	for len(steps) < m {
+		v = 1 - v
+		steps = append(steps,
+			timeseries.Step{Device: 0, Value: v},
+			timeseries.Step{Device: 1, Value: v},
+			timeseries.Step{Device: 2, Value: v},
+		)
+	}
+	s, err := timeseries.FromSteps(reg, timeseries.State{0, 0, 0}, steps[:m])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestHAWatcherMinesSameRoomRulesOnly(t *testing.T) {
+	train := hawSeries(t, 300)
+	h, err := NewHAWatcher(hawDevices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	rules := h.Rules()
+	if len(rules) == 0 {
+		t.Fatal("no rules mined")
+	}
+	for _, r := range rules {
+		trig, targ := hawDevices()[r.TriggerDev], hawDevices()[r.TargetDev]
+		if trig.Location != targ.Location {
+			t.Errorf("cross-room rule mined: %+v", r)
+		}
+	}
+	// The switch->brightness correlation must be captured: when the
+	// switch reports v, brightness still holds the previous value 1-v
+	// (the brightness event follows the switch event).
+	found := false
+	for _, r := range rules {
+		if r.TriggerDev == 0 && r.TargetDev == 1 {
+			found = true
+			if r.Confidence < 0.9 {
+				t.Errorf("rule confidence %v", r.Confidence)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("switch->brightness rule missing: %+v", rules)
+	}
+}
+
+func TestHAWatcherDetectsRuleViolation(t *testing.T) {
+	train := hawSeries(t, 300)
+	h, _ := NewHAWatcher(hawDevices())
+	if err := h.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	// Replay of training data: no alarms.
+	if err := h.Reset(train.State(0)); err != nil {
+		t.Fatal(err)
+	}
+	alarms := 0
+	for j := 1; j <= train.Len(); j++ {
+		step, _ := train.StepAt(j)
+		anomalous, err := h.Process(step)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if anomalous {
+			alarms++
+		}
+	}
+	if alarms != 0 {
+		t.Errorf("hawatcher raised %d alarms on its own training data", alarms)
+	}
+	// Violation: the switch reports 1 while brightness is already 1
+	// (training always has brightness trailing at 1-v).
+	if err := h.Reset(timeseries.State{0, 1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	anomalous, err := h.Process(timeseries.Step{Device: 0, Value: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !anomalous {
+		t.Error("rule violation not flagged")
+	}
+}
+
+func TestHAWatcherValidation(t *testing.T) {
+	if _, err := NewHAWatcher(nil); err == nil {
+		t.Error("empty devices accepted")
+	}
+	h, _ := NewHAWatcher(hawDevices())
+	reg := mustRegistry(t, "only")
+	s, _ := timeseries.FromSteps(reg, timeseries.State{0}, []timeseries.Step{{Device: 0, Value: 1}})
+	if err := h.Fit(s); err == nil {
+		t.Error("registry/devices mismatch accepted")
+	}
+	if err := h.Reset(timeseries.State{0, 0, 0}); err == nil {
+		t.Error("reset before fit accepted")
+	}
+	if _, err := h.Process(timeseries.Step{}); err == nil {
+		t.Error("process before fit accepted")
+	}
+	if h.Name() != "hawatcher" {
+		t.Errorf("Name = %q", h.Name())
+	}
+}
+
+func TestDefaultSemanticFilter(t *testing.T) {
+	sw := event.Device{Name: "s", Attribute: event.Switch, Location: "kitchen"}
+	br := event.Device{Name: "b", Attribute: event.BrightnessSensor, Location: "kitchen"}
+	peK := event.Device{Name: "p1", Attribute: event.PresenceSensor, Location: "kitchen"}
+	peL := event.Device{Name: "p2", Attribute: event.PresenceSensor, Location: "living"}
+	pw := event.Device{Name: "pw", Attribute: event.PowerSensor, Location: "kitchen"}
+	if !DefaultSemanticFilter(sw, br) {
+		t.Error("actuator->sensor same room rejected")
+	}
+	if DefaultSemanticFilter(peK, peL) {
+		t.Error("cross-room correlation accepted (spatial constraint)")
+	}
+	if DefaultSemanticFilter(pw, br) {
+		t.Error("power->brightness accepted (no functionality dependency)")
+	}
+	if !DefaultSemanticFilter(peK, peK) {
+		t.Error("same-attribute same-room rejected")
+	}
+}
+
+// Property: the Markov baseline never alarms while replaying any training
+// stream generated from a deterministic cycle.
+func TestMarkovReplayProperty(t *testing.T) {
+	f := func(seed int64, rawLen uint8) bool {
+		m := int(rawLen%100) + 20
+		rng := rand.New(rand.NewSource(seed))
+		reg, err := timeseries.NewRegistry([]string{"a", "b"})
+		if err != nil {
+			return false
+		}
+		// Random but fixed cycle of length 4 repeated.
+		cycle := make([]timeseries.Step, 4)
+		for i := range cycle {
+			cycle[i] = timeseries.Step{Device: rng.Intn(2), Value: rng.Intn(2)}
+		}
+		steps := make([]timeseries.Step, m)
+		for i := range steps {
+			steps[i] = cycle[i%4]
+		}
+		series, err := timeseries.FromSteps(reg, timeseries.State{0, 0}, steps)
+		if err != nil {
+			return false
+		}
+		det, err := NewMarkov(2)
+		if err != nil {
+			return false
+		}
+		if err := det.Fit(series); err != nil {
+			return false
+		}
+		if err := det.Reset(series.State(0)); err != nil {
+			return false
+		}
+		for j := 1; j <= series.Len(); j++ {
+			step, _ := series.StepAt(j)
+			anomalous, err := det.Process(step)
+			if err != nil {
+				return false
+			}
+			if anomalous && j > det.Order {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

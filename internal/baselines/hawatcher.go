@@ -1,0 +1,213 @@
+package baselines
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/causaliot/causaliot/internal/event"
+	"github.com/causaliot/causaliot/internal/timeseries"
+)
+
+// SemanticFilter decides whether a candidate correlation between a
+// triggering device and a target device is semantically plausible. HAWatcher
+// derives such constraints from background knowledge (installation location,
+// device functionality); correlations failing the filter are never turned
+// into rules — the behaviour the paper identifies as HAWatcher's weakness,
+// since many useful interactions (e.g. cross-room user movement) are
+// rejected.
+type SemanticFilter func(trigger, target event.Device) bool
+
+// DefaultSemanticFilter applies HAWatcher's two published gates: the spatial
+// constraint (devices must share an installation location) and a
+// functionality dependency (the trigger must be an actuator-like attribute,
+// or both devices must share the same attribute).
+func DefaultSemanticFilter(trigger, target event.Device) bool {
+	if trigger.Location != target.Location {
+		return false // spatial constraint
+	}
+	switch trigger.Attribute.Name {
+	case event.Switch.Name, event.Dimmer.Name:
+		return true // actuators may influence co-located devices
+	default:
+		return trigger.Attribute.Name == target.Attribute.Name
+	}
+}
+
+// HAWRule is a mined event-to-state correlation: whenever TriggerDev reports
+// TriggerVal, TargetDev's state is expected to be TargetVal.
+type HAWRule struct {
+	TriggerDev int
+	TriggerVal int
+	TargetDev  int
+	TargetVal  int
+	Confidence float64
+	Support    int
+}
+
+// HAWatcher is the correlation-rule baseline (§VI-C): it mines event-to-
+// state rules from the training series, keeps only those passing the
+// semantic filter, and flags runtime events that violate any matching rule.
+type HAWatcher struct {
+	// MinConfidence is the correlation confidence needed to accept a
+	// rule. Defaults to 0.9.
+	MinConfidence float64
+	// MinSupport is the minimum number of observations. Defaults to 5.
+	MinSupport int
+	// Filter gates candidate rules; defaults to DefaultSemanticFilter.
+	Filter SemanticFilter
+
+	devices []event.Device
+	reg     *timeseries.Registry
+	rules   []HAWRule
+	// rulesByTrigger indexes rules by (device, value) for O(1) runtime
+	// validation.
+	rulesByTrigger map[[2]int][]int
+	current        timeseries.State
+	fitted         bool
+}
+
+var _ Detector = (*HAWatcher)(nil)
+
+// NewHAWatcher builds the detector. The devices slice must align with the
+// training series' registry indices.
+func NewHAWatcher(devices []event.Device) (*HAWatcher, error) {
+	if len(devices) == 0 {
+		return nil, errors.New("baselines: hawatcher needs device metadata")
+	}
+	return &HAWatcher{
+		MinConfidence: 0.9,
+		MinSupport:    5,
+		Filter:        DefaultSemanticFilter,
+		devices:       devices,
+	}, nil
+}
+
+// Name implements Detector.
+func (h *HAWatcher) Name() string { return "hawatcher" }
+
+// Rules returns the mined rules, sorted for deterministic inspection.
+func (h *HAWatcher) Rules() []HAWRule {
+	out := make([]HAWRule, len(h.rules))
+	copy(out, h.rules)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.TriggerDev != b.TriggerDev {
+			return a.TriggerDev < b.TriggerDev
+		}
+		if a.TriggerVal != b.TriggerVal {
+			return a.TriggerVal < b.TriggerVal
+		}
+		return a.TargetDev < b.TargetDev
+	})
+	return out
+}
+
+// Fit implements Detector: for every training event (A reports a) it
+// records the simultaneous state of each semantically related device B, and
+// keeps the (A,a) ⇝ (B,b) correlations whose confidence and support clear
+// the thresholds.
+func (h *HAWatcher) Fit(train *timeseries.Series) error {
+	if train.Registry.Len() != len(h.devices) {
+		return fmt.Errorf("baselines: %d devices for registry of %d", len(h.devices), train.Registry.Len())
+	}
+	if train.Len() < 1 {
+		return errors.New("baselines: empty training series")
+	}
+	h.reg = train.Registry
+
+	type key struct{ trigDev, trigVal, targetDev int }
+	counts := make(map[key][2]int)
+	for j := 1; j <= train.Len(); j++ {
+		step, err := train.StepAt(j)
+		if err != nil {
+			return err
+		}
+		for b := 0; b < h.reg.Len(); b++ {
+			if b == step.Device {
+				continue
+			}
+			if !h.Filter(h.devices[step.Device], h.devices[b]) {
+				continue
+			}
+			k := key{trigDev: step.Device, trigVal: step.Value, targetDev: b}
+			c := counts[k]
+			c[train.State(j)[b]]++
+			counts[k] = c
+		}
+	}
+
+	h.rules = nil
+	h.rulesByTrigger = make(map[[2]int][]int)
+	for k, c := range counts {
+		total := c[0] + c[1]
+		if total < h.MinSupport {
+			continue
+		}
+		val, n := 0, c[0]
+		if c[1] > c[0] {
+			val, n = 1, c[1]
+		}
+		conf := float64(n) / float64(total)
+		if conf < h.MinConfidence {
+			continue
+		}
+		h.rules = append(h.rules, HAWRule{
+			TriggerDev: k.trigDev,
+			TriggerVal: k.trigVal,
+			TargetDev:  k.targetDev,
+			TargetVal:  val,
+			Confidence: conf,
+			Support:    total,
+		})
+	}
+	sort.Slice(h.rules, func(i, j int) bool {
+		a, b := h.rules[i], h.rules[j]
+		if a.TriggerDev != b.TriggerDev {
+			return a.TriggerDev < b.TriggerDev
+		}
+		if a.TriggerVal != b.TriggerVal {
+			return a.TriggerVal < b.TriggerVal
+		}
+		return a.TargetDev < b.TargetDev
+	})
+	for i, r := range h.rules {
+		tk := [2]int{r.TriggerDev, r.TriggerVal}
+		h.rulesByTrigger[tk] = append(h.rulesByTrigger[tk], i)
+	}
+	h.fitted = true
+	return h.Reset(train.State(0))
+}
+
+// Reset implements Detector.
+func (h *HAWatcher) Reset(initial timeseries.State) error {
+	if !h.fitted {
+		return errors.New("baselines: hawatcher reset before fit")
+	}
+	if len(initial) != h.reg.Len() {
+		return fmt.Errorf("baselines: initial state has %d devices, want %d", len(initial), h.reg.Len())
+	}
+	h.current = initial.Clone()
+	return nil
+}
+
+// Process implements Detector: the runtime event is validated against every
+// rule it triggers; a violated expected state marks the event anomalous.
+func (h *HAWatcher) Process(step timeseries.Step) (bool, error) {
+	if !h.fitted {
+		return false, errors.New("baselines: hawatcher process before fit")
+	}
+	if step.Device < 0 || step.Device >= h.reg.Len() {
+		return false, fmt.Errorf("baselines: device index %d out of range", step.Device)
+	}
+	h.current[step.Device] = step.Value
+	anomalous := false
+	for _, i := range h.rulesByTrigger[[2]int{step.Device, step.Value}] {
+		r := h.rules[i]
+		if h.current[r.TargetDev] != r.TargetVal {
+			anomalous = true
+			break
+		}
+	}
+	return anomalous, nil
+}

@@ -1,0 +1,135 @@
+package baselines
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"github.com/causaliot/causaliot/internal/timeseries"
+)
+
+// Markov is the kth-order Markov chain baseline (§VI-C): it estimates the
+// likelihood of the current system state given the preceding k system
+// states, and reports an event as anomalous when it implies a transition
+// that (almost) never happened in training. As the paper observes, the
+// method is brittle to disordered IoT events: any unseen context counts as
+// an anomaly, which inflates false alarms.
+type Markov struct {
+	// Order is k; the paper sets k = τ.
+	Order int
+	// MinProbability is the transition-likelihood floor below which an
+	// event is anomalous. Zero means "only never-seen transitions".
+	MinProbability float64
+
+	reg *timeseries.Registry
+	// transitions[context][next] counts observed transitions; contexts
+	// and states are encoded as compact bit strings.
+	transitions  map[string]map[string]int
+	contextTotal map[string]int
+	window       []timeseries.State
+	fitted       bool
+}
+
+var _ Detector = (*Markov)(nil)
+
+// NewMarkov returns a kth-order Markov detector.
+func NewMarkov(order int) (*Markov, error) {
+	if order < 1 {
+		return nil, fmt.Errorf("baselines: markov order %d < 1", order)
+	}
+	return &Markov{Order: order}, nil
+}
+
+// Name implements Detector.
+func (m *Markov) Name() string { return fmt.Sprintf("markov-%d", m.Order) }
+
+func encodeState(s timeseries.State) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for _, v := range s {
+		if v == 0 {
+			b.WriteByte('0')
+		} else {
+			b.WriteByte('1')
+		}
+	}
+	return b.String()
+}
+
+func encodeContext(window []timeseries.State) string {
+	var b strings.Builder
+	for i, s := range window {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(encodeState(s))
+	}
+	return b.String()
+}
+
+// Fit implements Detector: it counts every (k preceding states → current
+// state) transition in the training series.
+func (m *Markov) Fit(train *timeseries.Series) error {
+	if train.Len() <= m.Order {
+		return fmt.Errorf("baselines: series with %d events too short for order %d", train.Len(), m.Order)
+	}
+	m.reg = train.Registry
+	m.transitions = make(map[string]map[string]int)
+	m.contextTotal = make(map[string]int)
+	for j := m.Order; j <= train.Len(); j++ {
+		window := make([]timeseries.State, m.Order)
+		for i := 0; i < m.Order; i++ {
+			window[i] = train.State(j - m.Order + i)
+		}
+		ctx := encodeContext(window)
+		next := encodeState(train.State(j))
+		inner, ok := m.transitions[ctx]
+		if !ok {
+			inner = make(map[string]int)
+			m.transitions[ctx] = inner
+		}
+		inner[next]++
+		m.contextTotal[ctx]++
+	}
+	m.fitted = true
+	return m.Reset(train.State(0))
+}
+
+// Reset implements Detector.
+func (m *Markov) Reset(initial timeseries.State) error {
+	if !m.fitted {
+		return errors.New("baselines: markov reset before fit")
+	}
+	if len(initial) != m.reg.Len() {
+		return fmt.Errorf("baselines: initial state has %d devices, want %d", len(initial), m.reg.Len())
+	}
+	m.window = make([]timeseries.State, m.Order)
+	for i := range m.window {
+		m.window[i] = initial.Clone()
+	}
+	return nil
+}
+
+// Process implements Detector.
+func (m *Markov) Process(step timeseries.Step) (bool, error) {
+	if !m.fitted {
+		return false, errors.New("baselines: markov process before fit")
+	}
+	if step.Device < 0 || step.Device >= m.reg.Len() {
+		return false, fmt.Errorf("baselines: device index %d out of range", step.Device)
+	}
+	next := m.window[m.Order-1].Clone()
+	next[step.Device] = step.Value
+
+	ctx := encodeContext(m.window)
+	prob := 0.0
+	if total := m.contextTotal[ctx]; total > 0 {
+		prob = float64(m.transitions[ctx][encodeState(next)]) / float64(total)
+	}
+
+	// Slide the window.
+	copy(m.window, m.window[1:])
+	m.window[m.Order-1] = next
+
+	return prob <= m.MinProbability, nil
+}

@@ -1,0 +1,240 @@
+package baselines
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/causaliot/causaliot/internal/timeseries"
+)
+
+// OCSVM is the one-class support vector machine baseline (§VI-C): it learns
+// a boundary around the training system states (Schölkopf ν-OCSVM with an
+// RBF kernel, dual solved by a simplified pairwise SMO) and classifies each
+// runtime system state as inside (normal) or outside (anomalous).
+type OCSVM struct {
+	// Nu bounds the fraction of training outliers / support vectors.
+	// Defaults to 0.05.
+	Nu float64
+	// Gamma is the RBF kernel width exp(-Gamma * ||x-y||²). Defaults to
+	// 1/n for n devices.
+	Gamma float64
+	// MaxTrainingPoints subsamples the training states to keep the SMO
+	// tractable. Defaults to 600.
+	MaxTrainingPoints int
+	// Iterations bounds the SMO sweeps. Defaults to 40.
+	Iterations int
+	// Seed makes the subsampling reproducible.
+	Seed int64
+
+	reg     *timeseries.Registry
+	support [][]float64
+	alpha   []float64
+	rho     float64
+	current timeseries.State
+	fitted  bool
+}
+
+var _ Detector = (*OCSVM)(nil)
+
+// NewOCSVM returns a one-class SVM detector with default hyperparameters.
+func NewOCSVM() *OCSVM {
+	return &OCSVM{Nu: 0.05, MaxTrainingPoints: 600, Iterations: 40, Seed: 1}
+}
+
+// Name implements Detector.
+func (o *OCSVM) Name() string { return "ocsvm" }
+
+func stateVector(s timeseries.State) []float64 {
+	v := make([]float64, len(s))
+	for i, x := range s {
+		v[i] = float64(x)
+	}
+	return v
+}
+
+func (o *OCSVM) kernel(a, b []float64) float64 {
+	var d2 float64
+	for i := range a {
+		d := a[i] - b[i]
+		d2 += d * d
+	}
+	return math.Exp(-o.Gamma * d2)
+}
+
+// Fit implements Detector: it subsamples the training system states and
+// solves the ν-OCSVM dual
+//
+//	min ½ αᵀKα   s.t.  0 ≤ αᵢ ≤ 1/(νl),  Σαᵢ = 1
+//
+// with pairwise coordinate updates that preserve the equality constraint.
+func (o *OCSVM) Fit(train *timeseries.Series) error {
+	if train.Len() < 2 {
+		return errors.New("baselines: ocsvm needs at least 2 states")
+	}
+	o.reg = train.Registry
+	if o.Gamma <= 0 {
+		o.Gamma = 1 / float64(o.reg.Len())
+	}
+	if o.Nu <= 0 || o.Nu > 1 {
+		return fmt.Errorf("baselines: ocsvm nu %v outside (0,1]", o.Nu)
+	}
+
+	rng := rand.New(rand.NewSource(o.Seed))
+	points := make([][]float64, 0, train.Len())
+	for j := 1; j <= train.Len(); j++ {
+		points = append(points, stateVector(train.State(j)))
+	}
+	if o.MaxTrainingPoints > 0 && len(points) > o.MaxTrainingPoints {
+		rng.Shuffle(len(points), func(i, j int) { points[i], points[j] = points[j], points[i] })
+		points = points[:o.MaxTrainingPoints]
+	}
+	l := len(points)
+	c := 1 / (o.Nu * float64(l))
+
+	// Precompute the kernel matrix.
+	k := make([][]float64, l)
+	for i := range k {
+		k[i] = make([]float64, l)
+		for j := range k[i] {
+			k[i][j] = o.kernel(points[i], points[j])
+		}
+	}
+
+	// Feasible start: uniform alphas (respects both constraints since
+	// 1/l <= 1/(ν l) for ν <= 1).
+	alpha := make([]float64, l)
+	for i := range alpha {
+		alpha[i] = 1 / float64(l)
+	}
+	// g[i] = (K α)_i, maintained incrementally.
+	g := make([]float64, l)
+	for i := 0; i < l; i++ {
+		var s float64
+		for j := 0; j < l; j++ {
+			s += alpha[j] * k[i][j]
+		}
+		g[i] = s
+	}
+
+	for sweep := 0; sweep < o.Iterations; sweep++ {
+		changed := false
+		for i := 0; i < l; i++ {
+			j := rng.Intn(l)
+			if j == i {
+				continue
+			}
+			s := alpha[i] + alpha[j]
+			eta := k[i][i] + k[j][j] - 2*k[i][j]
+			if eta < 1e-12 {
+				continue
+			}
+			// Minimize over alpha_i = a with alpha_j = s - a:
+			// d/da [½ a²K_ii + ½(s-a)²K_jj + a(s-a)K_ij + a·r_i + (s-a)·r_j]
+			// where r_x = g[x] - alpha_i K_xi - alpha_j K_xj.
+			ri := g[i] - alpha[i]*k[i][i] - alpha[j]*k[i][j]
+			rj := g[j] - alpha[i]*k[j][i] - alpha[j]*k[j][j]
+			a := (s*(k[j][j]-k[i][j]) - (ri - rj)) / eta
+			lo := math.Max(0, s-c)
+			hi := math.Min(c, s)
+			if a < lo {
+				a = lo
+			}
+			if a > hi {
+				a = hi
+			}
+			dI := a - alpha[i]
+			if math.Abs(dI) < 1e-12 {
+				continue
+			}
+			dJ := -dI
+			alpha[i] = a
+			alpha[j] = s - a
+			for x := 0; x < l; x++ {
+				g[x] += dI*k[x][i] + dJ*k[x][j]
+			}
+			changed = true
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Keep the support vectors and compute rho as the mean decision value
+	// over on-margin vectors (0 < alpha < C).
+	var support [][]float64
+	var alphas []float64
+	var rhoSum float64
+	var rhoCount int
+	for i := 0; i < l; i++ {
+		if alpha[i] > 1e-10 {
+			support = append(support, points[i])
+			alphas = append(alphas, alpha[i])
+		}
+		if alpha[i] > 1e-8 && alpha[i] < c-1e-8 {
+			rhoSum += g[i]
+			rhoCount++
+		}
+	}
+	if rhoCount == 0 {
+		// Fall back to the mean over all support vectors.
+		for i := 0; i < l; i++ {
+			if alpha[i] > 1e-10 {
+				rhoSum += g[i]
+				rhoCount++
+			}
+		}
+	}
+	if rhoCount == 0 {
+		return errors.New("baselines: ocsvm training degenerated (no support vectors)")
+	}
+	o.support = support
+	o.alpha = alphas
+	o.rho = rhoSum / float64(rhoCount)
+	o.fitted = true
+	return o.Reset(train.State(0))
+}
+
+// Decision returns f(x) = Σ αᵢ K(xᵢ, x) − ρ; negative values are outside
+// the learned boundary.
+func (o *OCSVM) Decision(s timeseries.State) (float64, error) {
+	if !o.fitted {
+		return 0, errors.New("baselines: ocsvm decision before fit")
+	}
+	x := stateVector(s)
+	var f float64
+	for i, sv := range o.support {
+		f += o.alpha[i] * o.kernel(sv, x)
+	}
+	return f - o.rho, nil
+}
+
+// Reset implements Detector.
+func (o *OCSVM) Reset(initial timeseries.State) error {
+	if !o.fitted {
+		return errors.New("baselines: ocsvm reset before fit")
+	}
+	if len(initial) != o.reg.Len() {
+		return fmt.Errorf("baselines: initial state has %d devices, want %d", len(initial), o.reg.Len())
+	}
+	o.current = initial.Clone()
+	return nil
+}
+
+// Process implements Detector: the event updates the tracked system state,
+// and the resulting state is classified against the learned boundary.
+func (o *OCSVM) Process(step timeseries.Step) (bool, error) {
+	if !o.fitted {
+		return false, errors.New("baselines: ocsvm process before fit")
+	}
+	if step.Device < 0 || step.Device >= o.reg.Len() {
+		return false, fmt.Errorf("baselines: device index %d out of range", step.Device)
+	}
+	o.current[step.Device] = step.Value
+	f, err := o.Decision(o.current)
+	if err != nil {
+		return false, err
+	}
+	return f < 0, nil
+}

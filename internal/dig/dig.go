@@ -1,0 +1,342 @@
+// Package dig implements the device interaction graph of paper §III: an
+// extended causal graph whose nodes are time-lagged device states S_i^{t-l},
+// whose directed edges are device interactions oriented by time, and whose
+// conditional probability tables quantify the state distribution of each
+// device under the interaction execution.
+//
+// Under the τth-order Markov and Stationarity assumptions, only the nodes in
+// the window {t-τ, ..., t} need to be materialized: a Graph stores, for each
+// device i, the set of causes Ca(S_i^t) (each a Node with lag ≥ 1 or an
+// autocorrelation lag of the device itself) and a CPT estimated from the
+// graph snapshots by maximum likelihood.
+package dig
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/causaliot/causaliot/internal/graph"
+	"github.com/causaliot/causaliot/internal/timeseries"
+)
+
+// Node identifies the time-lagged device state S_Device^{t-Lag}. Lag 0 is
+// the present state.
+type Node struct {
+	Device int
+	Lag    int
+}
+
+// Less orders nodes by (Lag, Device); used for deterministic output.
+func (n Node) Less(other Node) bool {
+	if n.Lag != other.Lag {
+		return n.Lag < other.Lag
+	}
+	return n.Device < other.Device
+}
+
+// Interaction is a device-level edge of the DIG: operating the cause device
+// directly affects the outcome device after Lag steps.
+type Interaction struct {
+	Cause   int
+	Outcome int
+	Lag     int
+}
+
+// CPT is the conditional probability table
+// P(S_outcome^t | Ca(S_outcome^t)) for one device, estimated by maximum
+// likelihood over the graph snapshots (paper §V-B). Parent configurations
+// are indexed in binary with Causes[0] as the most significant bit.
+type CPT struct {
+	// Causes lists the parents, sorted by (Lag, Device).
+	Causes []Node
+	// on[i] counts snapshots with parent configuration i and outcome
+	// state 1; total[i] counts all snapshots with configuration i.
+	on    []float64
+	total []float64
+	// smoothing is the Laplace pseudo-count applied when a configuration
+	// was never (or rarely) observed.
+	smoothing float64
+}
+
+// NewCPT allocates an empty table for the given parents.
+func NewCPT(causes []Node, smoothing float64) *CPT {
+	sorted := make([]Node, len(causes))
+	copy(sorted, causes)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Less(sorted[j]) })
+	size := 1 << len(sorted)
+	return &CPT{
+		Causes:    sorted,
+		on:        make([]float64, size),
+		total:     make([]float64, size),
+		smoothing: smoothing,
+	}
+}
+
+// ConfigIndex converts a vector of parent values (aligned with Causes) to
+// the table index.
+func (c *CPT) ConfigIndex(values []int) (int, error) {
+	if len(values) != len(c.Causes) {
+		return 0, fmt.Errorf("dig: config has %d values, want %d", len(values), len(c.Causes))
+	}
+	idx := 0
+	for _, v := range values {
+		if v != 0 && v != 1 {
+			return 0, fmt.Errorf("dig: non-binary parent value %d", v)
+		}
+		idx = idx<<1 | v
+	}
+	return idx, nil
+}
+
+// Observe records one snapshot: the parents took the given configuration
+// and the outcome took state value.
+func (c *CPT) Observe(values []int, outcome int) error {
+	idx, err := c.ConfigIndex(values)
+	if err != nil {
+		return err
+	}
+	if outcome != 0 && outcome != 1 {
+		return fmt.Errorf("dig: non-binary outcome %d", outcome)
+	}
+	c.total[idx]++
+	if outcome == 1 {
+		c.on[idx]++
+	}
+	return nil
+}
+
+// Prob returns P(outcome = value | parents = values). Unseen configurations
+// fall back to the Laplace-smoothed estimate (uniform 0.5 when smoothing is
+// positive); with zero smoothing they return 0.5 so the anomaly score stays
+// defined.
+func (c *CPT) Prob(value int, values []int) (float64, error) {
+	idx, err := c.ConfigIndex(values)
+	if err != nil {
+		return 0, err
+	}
+	if value != 0 && value != 1 {
+		return 0, fmt.Errorf("dig: non-binary outcome %d", value)
+	}
+	n := c.total[idx]
+	k := c.on[idx]
+	var p1 float64
+	switch {
+	case n+2*c.smoothing > 0:
+		p1 = (k + c.smoothing) / (n + 2*c.smoothing)
+	default:
+		p1 = 0.5
+	}
+	if value == 1 {
+		return p1, nil
+	}
+	return 1 - p1, nil
+}
+
+// Support returns the number of observed snapshots for the configuration.
+func (c *CPT) Support(values []int) (float64, error) {
+	idx, err := c.ConfigIndex(values)
+	if err != nil {
+		return 0, err
+	}
+	return c.total[idx], nil
+}
+
+// Graph is the device interaction graph restricted to the window
+// {t-τ, ..., t}.
+type Graph struct {
+	Registry *timeseries.Registry
+	Tau      int
+	// parents[i] are the causes Ca(S_i^t), sorted.
+	parents [][]Node
+	cpts    []*CPT
+}
+
+// New builds a DIG with the given per-device parent sets. CPTs are empty
+// until Fit is called.
+func New(reg *timeseries.Registry, tau int, parents [][]Node, smoothing float64) (*Graph, error) {
+	if reg == nil {
+		return nil, errors.New("dig: nil registry")
+	}
+	if tau < 1 {
+		return nil, fmt.Errorf("dig: tau %d < 1", tau)
+	}
+	if len(parents) != reg.Len() {
+		return nil, fmt.Errorf("dig: %d parent sets for %d devices", len(parents), reg.Len())
+	}
+	g := &Graph{
+		Registry: reg,
+		Tau:      tau,
+		parents:  make([][]Node, reg.Len()),
+		cpts:     make([]*CPT, reg.Len()),
+	}
+	for i, ps := range parents {
+		for _, p := range ps {
+			if p.Device < 0 || p.Device >= reg.Len() {
+				return nil, fmt.Errorf("dig: parent device %d out of range", p.Device)
+			}
+			if p.Lag < 1 || p.Lag > tau {
+				return nil, fmt.Errorf("dig: parent lag %d outside [1,%d]", p.Lag, tau)
+			}
+		}
+		g.cpts[i] = NewCPT(ps, smoothing)
+		g.parents[i] = g.cpts[i].Causes
+	}
+	return g, nil
+}
+
+// Parents returns the causes Ca(S_i^t) of device i (sorted, shared slice —
+// callers must not modify).
+func (g *Graph) Parents(i int) []Node { return g.parents[i] }
+
+// CPTOf returns device i's conditional probability table.
+func (g *Graph) CPTOf(i int) *CPT { return g.cpts[i] }
+
+// Fit estimates every CPT from the series' graph snapshots by maximum
+// likelihood: P(s | ca) = #(s, ca) / #(ca) over all anchors j ∈ {τ, ..., m}
+// (paper §V-B). Because most anchors carry the previous state forward, the
+// resulting table mixes persistence with transitions: given a context in
+// which the device habitually reacts at the very next event, P(reacted
+// state | context) is high (the paper's worked example
+// P(S_3^t=1 | S_2^{t-2}=1, S_3^{t-1}=0) = 0.8), while a state transition in
+// a context that never produces one scores a likelihood near zero — which
+// is exactly what the anomaly score of Eq. (1) thresholds.
+func (g *Graph) Fit(series *timeseries.Series) error {
+	if !series.Registry.Same(g.Registry) {
+		return errors.New("dig: series registry differs from graph registry")
+	}
+	m := series.Len()
+	if m < g.Tau {
+		return fmt.Errorf("dig: series with %d events is shorter than tau %d", m, g.Tau)
+	}
+	for dev := 0; dev < g.Registry.Len(); dev++ {
+		cpt := g.cpts[dev]
+		values := make([]int, len(cpt.Causes))
+		for j := g.Tau; j <= m; j++ {
+			for k, p := range cpt.Causes {
+				values[k] = series.State(j - p.Lag)[p.Device]
+			}
+			if err := cpt.Observe(values, series.State(j)[dev]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Likelihood returns P(S_dev^t = value | Ca = caValues), with caValues
+// aligned with Parents(dev).
+func (g *Graph) Likelihood(dev, value int, caValues []int) (float64, error) {
+	if dev < 0 || dev >= g.Registry.Len() {
+		return 0, fmt.Errorf("dig: device %d out of range", dev)
+	}
+	return g.cpts[dev].Prob(value, caValues)
+}
+
+// AnomalyScore returns f(e, G, 𝒢) = 1 − P(S_dev^t = value | ca) — Eq. (1).
+func (g *Graph) AnomalyScore(dev, value int, caValues []int) (float64, error) {
+	p, err := g.Likelihood(dev, value, caValues)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - p, nil
+}
+
+// Interactions returns all device-level edges of the DIG, sorted by
+// (Outcome, Lag, Cause).
+func (g *Graph) Interactions() []Interaction {
+	var out []Interaction
+	for dev, ps := range g.parents {
+		for _, p := range ps {
+			out = append(out, Interaction{Cause: p.Device, Outcome: dev, Lag: p.Lag})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Outcome != b.Outcome {
+			return a.Outcome < b.Outcome
+		}
+		if a.Lag != b.Lag {
+			return a.Lag < b.Lag
+		}
+		return a.Cause < b.Cause
+	})
+	return out
+}
+
+// DevicePair is a lag-collapsed interaction used for ground-truth matching
+// (the paper counts a true positive when the mined graph contains an
+// interaction matching the cause and outcome devices).
+type DevicePair struct {
+	Cause   int
+	Outcome int
+}
+
+// DevicePairs returns the deduplicated set of (cause, outcome) device pairs
+// encoded in the graph, sorted.
+func (g *Graph) DevicePairs() []DevicePair {
+	seen := make(map[DevicePair]struct{})
+	for dev, ps := range g.parents {
+		for _, p := range ps {
+			seen[DevicePair{Cause: p.Device, Outcome: dev}] = struct{}{}
+		}
+	}
+	out := make([]DevicePair, 0, len(seen))
+	for pair := range seen {
+		out = append(out, pair)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cause != out[j].Cause {
+			return out[i].Cause < out[j].Cause
+		}
+		return out[i].Outcome < out[j].Outcome
+	})
+	return out
+}
+
+// Children returns the devices that have dev as a cause (at any lag),
+// sorted. The Event Monitor uses this to track anomaly propagation.
+func (g *Graph) Children(dev int) []int {
+	seen := make(map[int]struct{})
+	for outcome, ps := range g.parents {
+		for _, p := range ps {
+			if p.Device == dev {
+				seen[outcome] = struct{}{}
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for d := range seen {
+		out = append(out, d)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// NodeName renders S_device^{t-lag} using the registry's device names.
+func (g *Graph) NodeName(n Node) string {
+	if n.Lag == 0 {
+		return fmt.Sprintf("%s@t", g.Registry.Name(n.Device))
+	}
+	return fmt.Sprintf("%s@t-%d", g.Registry.Name(n.Device), n.Lag)
+}
+
+// DOT renders the lag-collapsed device graph in Graphviz syntax.
+func (g *Graph) DOT() string {
+	dg := graph.New()
+	for i := 0; i < g.Registry.Len(); i++ {
+		dg.AddNode(g.Registry.Name(i))
+	}
+	for _, pair := range g.DevicePairs() {
+		dg.AddEdge(g.Registry.Name(pair.Cause), g.Registry.Name(pair.Outcome))
+	}
+	return dg.DOT("device-interaction-graph")
+}
+
+// String summarizes the graph.
+func (g *Graph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "DIG(tau=%d, devices=%d, interactions=%d)", g.Tau, g.Registry.Len(), len(g.Interactions()))
+	return b.String()
+}

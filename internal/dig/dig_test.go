@@ -1,0 +1,370 @@
+package dig
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/causaliot/causaliot/internal/timeseries"
+)
+
+func mustRegistry(t *testing.T, names ...string) *timeseries.Registry {
+	t.Helper()
+	r, err := timeseries.NewRegistry(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestCPTConfigIndex(t *testing.T) {
+	c := NewCPT([]Node{{Device: 0, Lag: 1}, {Device: 1, Lag: 1}}, 0)
+	tests := []struct {
+		values []int
+		want   int
+	}{
+		{[]int{0, 0}, 0},
+		{[]int{0, 1}, 1},
+		{[]int{1, 0}, 2},
+		{[]int{1, 1}, 3},
+	}
+	for _, tt := range tests {
+		got, err := c.ConfigIndex(tt.values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tt.want {
+			t.Errorf("ConfigIndex(%v) = %d, want %d", tt.values, got, tt.want)
+		}
+	}
+	if _, err := c.ConfigIndex([]int{1}); err == nil {
+		t.Error("short config accepted")
+	}
+	if _, err := c.ConfigIndex([]int{1, 2}); err == nil {
+		t.Error("non-binary config accepted")
+	}
+}
+
+func TestCPTCausesSortedOnConstruction(t *testing.T) {
+	c := NewCPT([]Node{{Device: 2, Lag: 2}, {Device: 0, Lag: 1}, {Device: 1, Lag: 1}}, 0)
+	want := []Node{{Device: 0, Lag: 1}, {Device: 1, Lag: 1}, {Device: 2, Lag: 2}}
+	for i, n := range want {
+		if c.Causes[i] != n {
+			t.Errorf("Causes[%d] = %v, want %v", i, c.Causes[i], n)
+		}
+	}
+}
+
+func TestCPTMaximumLikelihood(t *testing.T) {
+	// Paper's worked example: 100 snapshots with config (1,0), 80 of them
+	// with outcome 1 → P(1|1,0) = 0.8.
+	c := NewCPT([]Node{{Device: 0, Lag: 2}, {Device: 1, Lag: 1}}, 0)
+	for i := 0; i < 100; i++ {
+		outcome := 0
+		if i < 80 {
+			outcome = 1
+		}
+		if err := c.Observe([]int{1, 0}, outcome); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p1, err := c.Prob(1, []int{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p1-0.8) > 1e-12 {
+		t.Errorf("P(1|1,0) = %v, want 0.8", p1)
+	}
+	p0, _ := c.Prob(0, []int{1, 0})
+	if math.Abs(p0-0.2) > 1e-12 {
+		t.Errorf("P(0|1,0) = %v, want 0.2", p0)
+	}
+}
+
+func TestCPTUnseenConfigSmoothing(t *testing.T) {
+	smoothed := NewCPT([]Node{{Device: 0, Lag: 1}}, 1)
+	p, err := smoothed.Prob(1, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0.5 {
+		t.Errorf("smoothed unseen P = %v, want 0.5", p)
+	}
+	unsmoothed := NewCPT([]Node{{Device: 0, Lag: 1}}, 0)
+	p, err = unsmoothed.Prob(1, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0.5 {
+		t.Errorf("unsmoothed unseen P = %v, want fallback 0.5", p)
+	}
+}
+
+func TestCPTSmoothingShrinksTowardHalf(t *testing.T) {
+	c := NewCPT([]Node{{Device: 0, Lag: 1}}, 1)
+	for i := 0; i < 8; i++ {
+		if err := c.Observe([]int{1}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, _ := c.Prob(1, []int{1})
+	want := 9.0 / 10.0 // (8+1)/(8+2)
+	if math.Abs(p-want) > 1e-12 {
+		t.Errorf("smoothed P = %v, want %v", p, want)
+	}
+}
+
+func TestCPTValidation(t *testing.T) {
+	c := NewCPT(nil, 0)
+	if err := c.Observe(nil, 2); err == nil {
+		t.Error("non-binary outcome accepted")
+	}
+	if _, err := c.Prob(3, nil); err == nil {
+		t.Error("non-binary query accepted")
+	}
+	if err := c.Observe(nil, 1); err != nil {
+		t.Errorf("empty parent set should be valid: %v", err)
+	}
+	p, err := c.Prob(1, nil)
+	if err != nil || p != 1 {
+		t.Errorf("P(1|) = %v,%v, want 1", p, err)
+	}
+}
+
+func buildChainSeries(t *testing.T, m int) (*timeseries.Registry, *timeseries.Series) {
+	t.Helper()
+	// light -> heater (lag 1) -> temp (lag 1), deterministic-ish chain.
+	reg := mustRegistry(t, "light", "heater", "temp")
+	rng := rand.New(rand.NewSource(7))
+	steps := make([]timeseries.Step, 0, m)
+	light, heater := 0, 0
+	for j := 0; j < m; j++ {
+		switch j % 3 {
+		case 0:
+			light = rng.Intn(2)
+			steps = append(steps, timeseries.Step{Device: 0, Value: light})
+		case 1:
+			heater = light
+			steps = append(steps, timeseries.Step{Device: 1, Value: heater})
+		default:
+			steps = append(steps, timeseries.Step{Device: 2, Value: heater})
+		}
+	}
+	s, err := timeseries.FromSteps(reg, timeseries.State{0, 0, 0}, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg, s
+}
+
+func TestGraphFitAndScore(t *testing.T) {
+	reg, series := buildChainSeries(t, 900)
+	parents := [][]Node{
+		{},                    // light has no parents
+		{{Device: 0, Lag: 1}}, // heater <- light(t-1)
+		{{Device: 1, Lag: 1}}, // temp <- heater(t-1)
+	}
+	g, err := New(reg, 2, parents, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Fit(series); err != nil {
+		t.Fatal(err)
+	}
+	// When the light was just set, the heater copies it at the next step;
+	// over all anchors (including ones where the heater merely persists)
+	// the conditional P(heater=1 | light(t-1)=1) must clearly exceed
+	// P(heater=1 | light(t-1)=0).
+	pOn, err := g.Likelihood(1, 1, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pOff, err := g.Likelihood(1, 1, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pOn <= pOff {
+		t.Errorf("P(heater=1|light=1)=%v should exceed P(heater=1|light=0)=%v", pOn, pOff)
+	}
+	scoreViolate, err := g.AnomalyScore(1, 1, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scoreNormal, err := g.AnomalyScore(1, 1, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scoreViolate <= scoreNormal {
+		t.Errorf("violating score %v should exceed normal score %v", scoreViolate, scoreNormal)
+	}
+}
+
+func TestGraphValidation(t *testing.T) {
+	reg := mustRegistry(t, "a", "b")
+	if _, err := New(nil, 1, [][]Node{{}, {}}, 0); err == nil {
+		t.Error("nil registry accepted")
+	}
+	if _, err := New(reg, 0, [][]Node{{}, {}}, 0); err == nil {
+		t.Error("tau 0 accepted")
+	}
+	if _, err := New(reg, 1, [][]Node{{}}, 0); err == nil {
+		t.Error("wrong parent set count accepted")
+	}
+	if _, err := New(reg, 1, [][]Node{{{Device: 5, Lag: 1}}, {}}, 0); err == nil {
+		t.Error("out-of-range parent device accepted")
+	}
+	if _, err := New(reg, 1, [][]Node{{{Device: 0, Lag: 0}}, {}}, 0); err == nil {
+		t.Error("lag-0 parent accepted")
+	}
+	if _, err := New(reg, 1, [][]Node{{{Device: 0, Lag: 2}}, {}}, 0); err == nil {
+		t.Error("lag > tau parent accepted")
+	}
+}
+
+func TestGraphFitRegistryMismatch(t *testing.T) {
+	regA := mustRegistry(t, "a")
+	regB := mustRegistry(t, "b")
+	s, _ := timeseries.FromSteps(regB, timeseries.State{0}, []timeseries.Step{{Device: 0, Value: 1}})
+	g, err := New(regA, 1, [][]Node{{}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Fit(s); err == nil {
+		t.Error("registry mismatch accepted")
+	}
+	// A structurally identical registry (same names, same order) is
+	// accepted even when it is a different instance — model persistence
+	// and incremental extension rely on this.
+	regC := mustRegistry(t, "a")
+	s2, _ := timeseries.FromSteps(regC, timeseries.State{0}, []timeseries.Step{{Device: 0, Value: 1}})
+	if err := g.Fit(s2); err != nil {
+		t.Errorf("structurally equal registry rejected: %v", err)
+	}
+}
+
+func TestInteractionsAndDevicePairs(t *testing.T) {
+	reg := mustRegistry(t, "a", "b", "c")
+	parents := [][]Node{
+		{},
+		{{Device: 0, Lag: 1}, {Device: 0, Lag: 2}},
+		{{Device: 1, Lag: 1}},
+	}
+	g, err := New(reg, 2, parents, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ints := g.Interactions()
+	if len(ints) != 3 {
+		t.Fatalf("Interactions = %v", ints)
+	}
+	pairs := g.DevicePairs()
+	if len(pairs) != 2 {
+		t.Fatalf("DevicePairs = %v (lags should collapse)", pairs)
+	}
+	if pairs[0] != (DevicePair{Cause: 0, Outcome: 1}) || pairs[1] != (DevicePair{Cause: 1, Outcome: 2}) {
+		t.Errorf("DevicePairs = %v", pairs)
+	}
+	if ch := g.Children(0); len(ch) != 1 || ch[0] != 1 {
+		t.Errorf("Children(0) = %v", ch)
+	}
+	if ch := g.Children(2); len(ch) != 0 {
+		t.Errorf("Children(2) = %v", ch)
+	}
+}
+
+func TestNodeNameAndDOT(t *testing.T) {
+	reg := mustRegistry(t, "light", "heater")
+	g, err := New(reg, 2, [][]Node{{}, {{Device: 0, Lag: 2}}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.NodeName(Node{Device: 0, Lag: 2}); got != "light@t-2" {
+		t.Errorf("NodeName = %q", got)
+	}
+	if got := g.NodeName(Node{Device: 1, Lag: 0}); got != "heater@t" {
+		t.Errorf("NodeName = %q", got)
+	}
+	dot := g.DOT()
+	if !strings.Contains(dot, `"light" -> "heater";`) {
+		t.Errorf("DOT missing edge:\n%s", dot)
+	}
+	if !strings.Contains(g.String(), "interactions=1") {
+		t.Errorf("String = %q", g.String())
+	}
+}
+
+// Property: for any fitted CPT, P(0|ca) + P(1|ca) = 1 and both lie in [0,1].
+func TestCPTProbabilityAxiomsProperty(t *testing.T) {
+	f := func(seed int64, smoothingRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		smoothing := float64(smoothingRaw % 3)
+		c := NewCPT([]Node{{Device: 0, Lag: 1}, {Device: 1, Lag: 2}}, smoothing)
+		for i := 0; i < 50; i++ {
+			cfg := []int{rng.Intn(2), rng.Intn(2)}
+			if err := c.Observe(cfg, rng.Intn(2)); err != nil {
+				return false
+			}
+		}
+		for idx := 0; idx < 4; idx++ {
+			cfg := []int{idx >> 1, idx & 1}
+			p0, err0 := c.Prob(0, cfg)
+			p1, err1 := c.Prob(1, cfg)
+			if err0 != nil || err1 != nil {
+				return false
+			}
+			if p0 < 0 || p0 > 1 || p1 < 0 || p1 > 1 {
+				return false
+			}
+			if math.Abs(p0+p1-1) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Fit over a random series never errors and every anomaly score
+// lies in [0,1].
+func TestGraphScoreRangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		reg, err := timeseries.NewRegistry([]string{"a", "b"})
+		if err != nil {
+			return false
+		}
+		steps := make([]timeseries.Step, 30)
+		for i := range steps {
+			steps[i] = timeseries.Step{Device: rng.Intn(2), Value: rng.Intn(2)}
+		}
+		s, err := timeseries.FromSteps(reg, timeseries.State{0, 0}, steps)
+		if err != nil {
+			return false
+		}
+		g, err := New(reg, 2, [][]Node{{{Device: 1, Lag: 1}}, {{Device: 0, Lag: 2}}}, 1)
+		if err != nil {
+			return false
+		}
+		if err := g.Fit(s); err != nil {
+			return false
+		}
+		for dev := 0; dev < 2; dev++ {
+			for v := 0; v <= 1; v++ {
+				for ca := 0; ca <= 1; ca++ {
+					score, err := g.AnomalyScore(dev, v, []int{ca})
+					if err != nil || score < 0 || score > 1 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,93 @@
+package dig
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/causaliot/causaliot/internal/timeseries"
+)
+
+// CPTSnapshot is the serializable form of a conditional probability table.
+type CPTSnapshot struct {
+	Causes    []Node    `json:"causes"`
+	On        []float64 `json:"on"`
+	Total     []float64 `json:"total"`
+	Smoothing float64   `json:"smoothing"`
+}
+
+// Snapshot exports the table's counts.
+func (c *CPT) Snapshot() CPTSnapshot {
+	on := make([]float64, len(c.on))
+	copy(on, c.on)
+	total := make([]float64, len(c.total))
+	copy(total, c.total)
+	causes := make([]Node, len(c.Causes))
+	copy(causes, c.Causes)
+	return CPTSnapshot{Causes: causes, On: on, Total: total, Smoothing: c.smoothing}
+}
+
+// RestoreCPT rebuilds a table from a snapshot.
+func RestoreCPT(s CPTSnapshot) (*CPT, error) {
+	c := NewCPT(s.Causes, s.Smoothing)
+	if len(s.On) != len(c.on) || len(s.Total) != len(c.total) {
+		return nil, fmt.Errorf("dig: snapshot has %d/%d rows for %d causes", len(s.On), len(s.Total), len(s.Causes))
+	}
+	for i := range s.On {
+		if s.On[i] < 0 || s.Total[i] < 0 || s.On[i] > s.Total[i] {
+			return nil, fmt.Errorf("dig: snapshot row %d has on=%v total=%v", i, s.On[i], s.Total[i])
+		}
+	}
+	copy(c.on, s.On)
+	copy(c.total, s.Total)
+	return c, nil
+}
+
+// GraphSnapshot is the serializable form of a device interaction graph.
+type GraphSnapshot struct {
+	Devices []string      `json:"devices"`
+	Tau     int           `json:"tau"`
+	CPTs    []CPTSnapshot `json:"cpts"`
+}
+
+// Snapshot exports the graph: device names, τ, and every CPT.
+func (g *Graph) Snapshot() GraphSnapshot {
+	cpts := make([]CPTSnapshot, len(g.cpts))
+	for i, c := range g.cpts {
+		cpts[i] = c.Snapshot()
+	}
+	return GraphSnapshot{Devices: g.Registry.Names(), Tau: g.Tau, CPTs: cpts}
+}
+
+// RestoreGraph rebuilds a fitted graph from a snapshot.
+func RestoreGraph(s GraphSnapshot) (*Graph, error) {
+	if len(s.CPTs) != len(s.Devices) {
+		return nil, errors.New("dig: snapshot CPT count does not match device count")
+	}
+	reg, err := timeseries.NewRegistry(s.Devices)
+	if err != nil {
+		return nil, err
+	}
+	parents := make([][]Node, len(s.Devices))
+	for i, cs := range s.CPTs {
+		parents[i] = cs.Causes
+	}
+	// Use the first CPT's smoothing for construction; each table is then
+	// replaced wholesale by its restored counterpart.
+	smoothing := 0.0
+	if len(s.CPTs) > 0 {
+		smoothing = s.CPTs[0].Smoothing
+	}
+	g, err := New(reg, s.Tau, parents, smoothing)
+	if err != nil {
+		return nil, err
+	}
+	for i, cs := range s.CPTs {
+		cpt, err := RestoreCPT(cs)
+		if err != nil {
+			return nil, err
+		}
+		g.cpts[i] = cpt
+		g.parents[i] = cpt.Causes
+	}
+	return g, nil
+}

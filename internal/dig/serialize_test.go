@@ -1,0 +1,124 @@
+package dig
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/causaliot/causaliot/internal/timeseries"
+)
+
+func fittedGraph(t *testing.T) *Graph {
+	t.Helper()
+	reg := mustRegistry(t, "a", "b", "c")
+	rng := rand.New(rand.NewSource(5))
+	steps := make([]timeseries.Step, 500)
+	for i := range steps {
+		steps[i] = timeseries.Step{Device: rng.Intn(3), Value: rng.Intn(2)}
+	}
+	s, err := timeseries.FromSteps(reg, timeseries.State{0, 0, 0}, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(reg, 2, [][]Node{
+		{{Device: 1, Lag: 1}},
+		{{Device: 0, Lag: 1}, {Device: 2, Lag: 2}},
+		{{Device: 2, Lag: 1}},
+	}, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Fit(s); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGraphSnapshotRoundTrip(t *testing.T) {
+	g := fittedGraph(t)
+	snap := g.Snapshot()
+
+	// JSON round trip, as the persistence layer uses it.
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded GraphSnapshot
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreGraph(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Tau != g.Tau {
+		t.Errorf("tau %d != %d", restored.Tau, g.Tau)
+	}
+	if !restored.Registry.Same(g.Registry) {
+		t.Error("registry mismatch after round trip")
+	}
+	// Every probability agrees exactly.
+	for dev := 0; dev < 3; dev++ {
+		causes := g.Parents(dev)
+		restoredCauses := restored.Parents(dev)
+		if len(causes) != len(restoredCauses) {
+			t.Fatalf("device %d parents %v != %v", dev, causes, restoredCauses)
+		}
+		for cfg := 0; cfg < 1<<len(causes); cfg++ {
+			values := make([]int, len(causes))
+			for b := range values {
+				values[b] = (cfg >> (len(causes) - 1 - b)) & 1
+			}
+			for v := 0; v <= 1; v++ {
+				pa, err1 := g.Likelihood(dev, v, values)
+				pb, err2 := restored.Likelihood(dev, v, values)
+				if err1 != nil || err2 != nil {
+					t.Fatal(err1, err2)
+				}
+				if math.Abs(pa-pb) > 1e-15 {
+					t.Errorf("dev %d cfg %v value %d: %v != %v", dev, values, v, pa, pb)
+				}
+			}
+		}
+	}
+}
+
+func TestSnapshotIsACopy(t *testing.T) {
+	g := fittedGraph(t)
+	snap := g.CPTOf(0).Snapshot()
+	before, _ := g.Likelihood(0, 1, []int{1})
+	snap.On[0] += 100
+	snap.Total[0] += 100
+	after, _ := g.Likelihood(0, 1, []int{1})
+	if before != after {
+		t.Error("snapshot aliases the live table")
+	}
+}
+
+func TestRestoreCPTValidation(t *testing.T) {
+	bad := []CPTSnapshot{
+		{Causes: []Node{{Device: 0, Lag: 1}}, On: []float64{1}, Total: []float64{1, 1}},
+		{Causes: []Node{{Device: 0, Lag: 1}}, On: []float64{-1, 0}, Total: []float64{1, 1}},
+		{Causes: []Node{{Device: 0, Lag: 1}}, On: []float64{5, 0}, Total: []float64{1, 1}},
+	}
+	for i, s := range bad {
+		if _, err := RestoreCPT(s); err == nil {
+			t.Errorf("bad snapshot %d accepted", i)
+		}
+	}
+}
+
+func TestRestoreGraphValidation(t *testing.T) {
+	g := fittedGraph(t)
+	snap := g.Snapshot()
+	snap.CPTs = snap.CPTs[:1]
+	if _, err := RestoreGraph(snap); err == nil {
+		t.Error("mismatched CPT count accepted")
+	}
+	snap2 := g.Snapshot()
+	snap2.Devices = []string{"a", "a", "a"}
+	if _, err := RestoreGraph(snap2); err == nil {
+		t.Error("duplicate device names accepted")
+	}
+}

@@ -1,0 +1,70 @@
+package event
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// csvHeader is the column layout used by WriteCSV/ReadCSV.
+var csvHeader = []string{"timestamp", "device", "location", "value"}
+
+// WriteCSV writes the log in a four-column CSV format
+// (timestamp RFC3339Nano, device, location, value) so datasets produced by
+// the simulator can be stored and replayed by the CLI tools.
+func (l Log) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("event: write csv header: %w", err)
+	}
+	for i, e := range l {
+		rec := []string{
+			e.Timestamp.Format(time.RFC3339Nano),
+			e.Device,
+			e.Location,
+			strconv.FormatFloat(e.Value, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("event: write csv row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a log previously written by WriteCSV.
+func ReadCSV(r io.Reader) (Log, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("event: read csv header: %w", err)
+	}
+	for i, col := range csvHeader {
+		if header[i] != col {
+			return nil, fmt.Errorf("event: csv header column %d is %q, want %q", i, header[i], col)
+		}
+	}
+	var log Log
+	for row := 1; ; row++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("event: read csv row %d: %w", row, err)
+		}
+		ts, err := time.Parse(time.RFC3339Nano, rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("event: csv row %d timestamp: %w", row, err)
+		}
+		val, err := strconv.ParseFloat(rec[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("event: csv row %d value: %w", row, err)
+		}
+		log = append(log, Event{Timestamp: ts, Device: rec[1], Location: rec[2], Value: val})
+	}
+	return log, nil
+}

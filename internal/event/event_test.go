@@ -1,0 +1,205 @@
+package event
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2023, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestClassString(t *testing.T) {
+	tests := []struct {
+		c    Class
+		want string
+	}{
+		{Binary, "binary"},
+		{ResponsiveNumeric, "responsive-numeric"},
+		{AmbientNumeric, "ambient-numeric"},
+		{Class(99), "class(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.c.String(); got != tt.want {
+			t.Errorf("Class(%d).String() = %q, want %q", tt.c, got, tt.want)
+		}
+	}
+}
+
+func TestAttributeCatalogClasses(t *testing.T) {
+	// Table I value types.
+	tests := []struct {
+		attr Attribute
+		want Class
+	}{
+		{Switch, Binary},
+		{PresenceSensor, Binary},
+		{ContactSensor, Binary},
+		{Dimmer, ResponsiveNumeric},
+		{WaterMeter, ResponsiveNumeric},
+		{PowerSensor, ResponsiveNumeric},
+		{BrightnessSensor, AmbientNumeric},
+	}
+	for _, tt := range tests {
+		if tt.attr.Class != tt.want {
+			t.Errorf("%s class = %v, want %v", tt.attr.Name, tt.attr.Class, tt.want)
+		}
+	}
+}
+
+func TestDeviceValidate(t *testing.T) {
+	good := Device{Name: "PE_kitchen", Attribute: PresenceSensor, Location: "kitchen"}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid device rejected: %v", err)
+	}
+	bad := []Device{
+		{Attribute: Switch},
+		{Name: "x"},
+		{Name: "x", Attribute: Attribute{Name: "a", Class: Class(9)}},
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("bad device %d accepted", i)
+		}
+	}
+}
+
+func TestLogSortByTime(t *testing.T) {
+	l := Log{
+		{Timestamp: t0.Add(2 * time.Second), Device: "b"},
+		{Timestamp: t0, Device: "a"},
+		{Timestamp: t0.Add(time.Second), Device: "c"},
+		{Timestamp: t0.Add(time.Second), Device: "d"}, // same time as c, must stay after
+	}
+	if l.Sorted() {
+		t.Fatal("log should start unsorted")
+	}
+	l.SortByTime()
+	if !l.Sorted() {
+		t.Fatal("log should be sorted after SortByTime")
+	}
+	order := []string{"a", "c", "d", "b"}
+	for i, want := range order {
+		if l[i].Device != want {
+			t.Errorf("position %d = %q, want %q", i, l[i].Device, want)
+		}
+	}
+}
+
+func TestAverageInterval(t *testing.T) {
+	l := Log{
+		{Timestamp: t0},
+		{Timestamp: t0.Add(10 * time.Second)},
+		{Timestamp: t0.Add(30 * time.Second)},
+	}
+	if got := l.AverageInterval(); got != 15*time.Second {
+		t.Errorf("AverageInterval = %v, want 15s", got)
+	}
+	if got := (Log{{Timestamp: t0}}).AverageInterval(); got != 0 {
+		t.Errorf("single-event log interval = %v, want 0", got)
+	}
+}
+
+func TestDevicesAndFilter(t *testing.T) {
+	l := Log{
+		{Timestamp: t0, Device: "b", Value: 1},
+		{Timestamp: t0, Device: "a", Value: 0},
+		{Timestamp: t0, Device: "b", Value: 0},
+	}
+	if got := l.Devices(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("Devices = %v", got)
+	}
+	ones := l.Filter(func(e Event) bool { return e.Value == 1 })
+	if len(ones) != 1 || ones[0].Device != "b" {
+		t.Errorf("Filter = %v", ones)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	l := Log{
+		{Timestamp: t0, Device: "PE_kitchen", Location: "kitchen", Value: 1},
+		{Timestamp: t0.Add(1500 * time.Millisecond), Device: "B_living", Location: "living", Value: 203.5},
+	}
+	var buf bytes.Buffer
+	if err := l.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(l) {
+		t.Fatalf("round trip length %d, want %d", len(got), len(l))
+	}
+	for i := range l {
+		if !got[i].Timestamp.Equal(l[i].Timestamp) || got[i].Device != l[i].Device ||
+			got[i].Location != l[i].Location || got[i].Value != l[i].Value {
+			t.Errorf("row %d: got %+v, want %+v", i, got[i], l[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"bad header", "a,b,c,d\n"},
+		{"bad timestamp", "timestamp,device,location,value\nnot-a-time,d,l,1\n"},
+		{"bad value", "timestamp,device,location,value\n2023-01-01T00:00:00Z,d,l,xyz\n"},
+		{"wrong columns", "timestamp,device,location,value\n2023-01-01T00:00:00Z,d,l\n"},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(tt.in)); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+// Property: CSV round trip preserves every event for arbitrary logs.
+func TestCSVRoundTripProperty(t *testing.T) {
+	f := func(devs []uint8, vals []float64) bool {
+		n := len(devs)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		l := make(Log, 0, n)
+		for i := 0; i < n; i++ {
+			v := vals[i]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			l = append(l, Event{
+				Timestamp: t0.Add(time.Duration(i) * time.Second),
+				Device:    string(rune('a' + devs[i]%26)),
+				Location:  "room",
+				Value:     v,
+			})
+		}
+		var buf bytes.Buffer
+		if err := l.WriteCSV(&buf); err != nil {
+			return false
+		}
+		got, err := ReadCSV(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(l) {
+			return false
+		}
+		for i := range l {
+			if !got[i].Timestamp.Equal(l[i].Timestamp) || got[i].Value != l[i].Value || got[i].Device != l[i].Device {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

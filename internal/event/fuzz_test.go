@@ -1,0 +1,44 @@
+package event
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzReadCSV ensures arbitrary input never panics the CSV reader and that
+// accepted logs round-trip.
+func FuzzReadCSV(f *testing.F) {
+	var seedLog Log
+	seedLog = append(seedLog,
+		Event{Timestamp: time.Date(2023, 1, 1, 0, 0, 0, 0, time.UTC), Device: "a", Location: "x", Value: 1},
+		Event{Timestamp: time.Date(2023, 1, 1, 0, 0, 1, 0, time.UTC), Device: "b", Location: "y", Value: -2.5},
+	)
+	var buf bytes.Buffer
+	if err := seedLog.WriteCSV(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("timestamp,device,location,value\n")
+	f.Add("garbage")
+	f.Add("timestamp,device,location,value\n2023-01-01T00:00:00Z,d,l,notanumber\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		log, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return // malformed input is rejected, not panicked on
+		}
+		var out bytes.Buffer
+		if err := log.WriteCSV(&out); err != nil {
+			t.Fatalf("accepted log failed to serialize: %v", err)
+		}
+		again, err := ReadCSV(&out)
+		if err != nil {
+			t.Fatalf("serialized log failed to parse: %v", err)
+		}
+		if len(again) != len(log) {
+			t.Fatalf("round trip changed length: %d -> %d", len(log), len(again))
+		}
+	})
+}

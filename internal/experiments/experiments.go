@@ -1,0 +1,439 @@
+// Package experiments reproduces the paper's evaluation (§VI): one runner
+// per table and figure, all sharing a single simulated-testbed pipeline
+// (simulate → preprocess → split → mine → calibrate threshold). The cmd/
+// experiments binary prints the same rows the paper reports; bench_test.go
+// wraps each runner in a benchmark.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/causaliot/causaliot/internal/automation"
+	"github.com/causaliot/causaliot/internal/baselines"
+	"github.com/causaliot/causaliot/internal/dig"
+	"github.com/causaliot/causaliot/internal/event"
+	"github.com/causaliot/causaliot/internal/inject"
+	"github.com/causaliot/causaliot/internal/metrics"
+	"github.com/causaliot/causaliot/internal/monitor"
+	"github.com/causaliot/causaliot/internal/pc"
+	"github.com/causaliot/causaliot/internal/preprocess"
+	"github.com/causaliot/causaliot/internal/sim"
+	"github.com/causaliot/causaliot/internal/timeseries"
+)
+
+// Config parameterizes the shared pipeline. Zero values select the defaults
+// used throughout EXPERIMENTS.md.
+type Config struct {
+	// Seed drives the simulator and the anomaly injectors.
+	Seed int64
+	// Days of simulated resident life (default 14; the chatty presence
+	// model yields event volumes per day comparable to the paper's
+	// testbeds, so two weeks roughly matches their data sizes).
+	Days int
+	// MeanGap between activities (default 3 minutes).
+	MeanGap time.Duration
+	// Tau is the maximum time lag (default 3; the paper uses 2 on data
+	// whose room transits emit one event — ours emit two).
+	Tau int
+	// Alpha is the CI significance threshold (default 0.001, §VI-B).
+	Alpha float64
+	// MaxCondSize caps conditioning sets (default 3).
+	MaxCondSize int
+	// MinObsPerDOF is the G² small-sample heuristic (default 5).
+	MinObsPerDOF int
+	// MaxParents caps the causes kept per device (default 8).
+	MaxParents int
+	// EventAnchors selects event-anchored CI tests (see pc.Config).
+	EventAnchors bool
+	// Smoothing is the CPT Laplace pseudo-count (default 0.01: strong enough to keep unseen contexts defined, weak enough that a context seen hundreds of times without a given transition drives the anomaly score toward 1).
+	Smoothing float64
+	// Quantile is the threshold calculator's percentile (default 99).
+	Quantile float64
+	// TrainFrac is the train/test split (default 0.8, §VI-A).
+	TrainFrac float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Days <= 0 {
+		c.Days = 14
+	}
+	if c.MeanGap <= 0 {
+		c.MeanGap = 3 * time.Minute
+	}
+	if c.Tau <= 0 {
+		c.Tau = 3
+	}
+	if c.Alpha <= 0 {
+		c.Alpha = 0.001
+	}
+	if c.MaxCondSize == 0 {
+		c.MaxCondSize = 3
+	}
+	if c.MinObsPerDOF == 0 {
+		c.MinObsPerDOF = 5
+	}
+	if c.MaxParents == 0 {
+		c.MaxParents = 8
+	}
+	if c.Smoothing == 0 {
+		c.Smoothing = 0.01
+	}
+	if c.Quantile <= 0 {
+		c.Quantile = 99
+	}
+	if c.TrainFrac <= 0 || c.TrainFrac >= 1 {
+		c.TrainFrac = 0.8
+	}
+	return c
+}
+
+// Pipeline is the shared experimental setup.
+type Pipeline struct {
+	Config    Config
+	Testbed   *sim.Testbed
+	Pre       *preprocess.Preprocessor
+	Train     *timeseries.Series
+	Test      *timeseries.Series
+	Tau       int
+	Graph     *dig.Graph
+	Removals  map[int][]pc.Removal
+	MineStats pc.Stats
+	Threshold float64
+	Engine    *automation.Engine
+	GT        []sim.Interaction
+}
+
+// Setup runs the full pipeline on the given testbed (nil selects the
+// ContextAct-like testbed).
+func Setup(tb *sim.Testbed, cfg Config) (*Pipeline, error) {
+	cfg = cfg.withDefaults()
+	if tb == nil {
+		tb = sim.ContextActLike()
+	}
+	simr, err := sim.NewSimulator(tb, sim.Config{Seed: cfg.Seed, Days: cfg.Days, MeanGap: cfg.MeanGap})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: simulator: %w", err)
+	}
+	log, err := simr.Run()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: simulate: %w", err)
+	}
+	pre, err := preprocess.New(tb.Devices, preprocess.Config{TauOverride: cfg.Tau})
+	if err != nil {
+		return nil, err
+	}
+	res, err := pre.Process(log)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: preprocess: %w", err)
+	}
+	train, test, err := res.Series.Split(cfg.TrainFrac)
+	if err != nil {
+		return nil, err
+	}
+	miner := pc.NewMiner(pc.Config{
+		Alpha:        cfg.Alpha,
+		MaxCondSize:  cfg.MaxCondSize,
+		MinObsPerDOF: cfg.MinObsPerDOF,
+		MaxParents:   cfg.MaxParents,
+		EventAnchors: cfg.EventAnchors,
+	})
+	graph, removals, mineStats, err := miner.Mine(train, res.Tau, cfg.Smoothing)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: mine: %w", err)
+	}
+	threshold, err := monitor.Threshold(graph, train, cfg.Quantile)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: threshold: %w", err)
+	}
+	if threshold < 0.5 {
+		threshold = 0.5 // same floor the public API applies
+	}
+	engine, err := automation.NewEngine(tb.Rules)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{
+		Config:    cfg,
+		Testbed:   tb,
+		Pre:       pre,
+		Train:     train,
+		Test:      test,
+		Tau:       res.Tau,
+		Graph:     graph,
+		Removals:  removals,
+		MineStats: mineStats,
+		Threshold: threshold,
+		Engine:    engine,
+		GT:        tb.MechanisticGroundTruth(),
+	}, nil
+}
+
+// MiningResult is the §VI-B / Table III evaluation.
+type MiningResult struct {
+	Confusion  metrics.Confusion
+	ByCategory map[sim.Category]int // true positives per source category
+	RulesFound int                  // of the installed automation rules
+	FalsePairs [][2]string
+	Missed     [][2]string
+}
+
+// EvaluateMining compares the mined device pairs against the testbed's
+// mechanistic ground truth.
+func (p *Pipeline) EvaluateMining() MiningResult {
+	gtSet := make(map[[2]string]sim.Category, len(p.GT))
+	var truthPairs [][2]string
+	for _, in := range p.GT {
+		pair := [2]string{in.Cause, in.Outcome}
+		gtSet[pair] = in.Category
+		truthPairs = append(truthPairs, pair)
+	}
+	var minedPairs [][2]string
+	for _, dp := range p.Graph.DevicePairs() {
+		minedPairs = append(minedPairs, [2]string{
+			p.Train.Registry.Name(dp.Cause),
+			p.Train.Registry.Name(dp.Outcome),
+		})
+	}
+	result := MiningResult{
+		Confusion:  metrics.PairConfusion(minedPairs, truthPairs),
+		ByCategory: make(map[sim.Category]int),
+	}
+	minedSet := make(map[[2]string]bool, len(minedPairs))
+	for _, pair := range minedPairs {
+		minedSet[pair] = true
+		if cat, ok := gtSet[pair]; ok {
+			result.ByCategory[cat]++
+		} else {
+			result.FalsePairs = append(result.FalsePairs, pair)
+		}
+	}
+	for _, pair := range truthPairs {
+		if !minedSet[pair] {
+			result.Missed = append(result.Missed, pair)
+		}
+	}
+	for _, r := range p.Testbed.Rules {
+		if minedSet[[2]string{r.TriggerDev, r.ActionDev}] {
+			result.RulesFound++
+		}
+	}
+	sort.Slice(result.FalsePairs, func(i, j int) bool { return lessPair(result.FalsePairs[i], result.FalsePairs[j]) })
+	sort.Slice(result.Missed, func(i, j int) bool { return lessPair(result.Missed[i], result.Missed[j]) })
+	return result
+}
+
+func lessPair(a, b [2]string) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	return a[1] < b[1]
+}
+
+// detectStream runs the CausalIoT detector over a stream and returns the
+// alarmed positions (per-event Seq values reported in alarms).
+func (p *Pipeline) detectStream(res *inject.Result, kmax int) (map[int]bool, error) {
+	det, err := monitor.NewDetector(p.Graph, p.Threshold, kmax, res.Initial)
+	if err != nil {
+		return nil, err
+	}
+	alarmed := make(map[int]bool)
+	record := func(alarm *monitor.Alarm) {
+		if alarm == nil {
+			return
+		}
+		for _, ev := range alarm.Events {
+			alarmed[ev.Seq] = true
+		}
+	}
+	for _, st := range res.Steps {
+		alarm, _, err := det.Process(st)
+		if err != nil {
+			return nil, err
+		}
+		record(alarm)
+	}
+	record(det.Flush())
+	return alarmed, nil
+}
+
+// ContextualResult is one row of Table IV.
+type ContextualResult struct {
+	Case      inject.ContextualCase
+	Injected  int
+	Confusion metrics.Confusion
+}
+
+// DefaultContextualN scales the paper's injection density to the testing
+// stream: 5,000 anomalies among 16,950 testing states is roughly one
+// anomaly per 2.4 normal events, and precision is only comparable across
+// systems at comparable anomaly density.
+func (p *Pipeline) DefaultContextualN() int {
+	n := p.Test.Len() * 2 / 5
+	if n < 20 {
+		n = 20
+	}
+	return n
+}
+
+// ContextualDetection runs Table IV's experiment for one anomaly case:
+// inject n anomalies into the testing series and run 1-sequence detection.
+func (p *Pipeline) ContextualDetection(c inject.ContextualCase, n int) (ContextualResult, error) {
+	if n <= 0 {
+		n = p.DefaultContextualN()
+	}
+	injector, err := inject.New(p.Testbed, p.Test, p.Config.Seed+int64(c)*1000)
+	if err != nil {
+		return ContextualResult{}, err
+	}
+	res, err := injector.Contextual(c, n)
+	if err != nil {
+		return ContextualResult{}, err
+	}
+	alarmed, err := p.detectStream(res, 1)
+	if err != nil {
+		return ContextualResult{}, err
+	}
+	conf := metrics.ClassifyTolerant(len(res.Steps), 1, alarmed, res.Injected)
+	return ContextualResult{Case: c, Injected: len(res.Injected), Confusion: conf}, nil
+}
+
+// AllContextualCases lists Table IV's rows in order.
+func AllContextualCases() []inject.ContextualCase {
+	return []inject.ContextualCase{
+		inject.SensorFault,
+		inject.BurglarIntrusion,
+		inject.RemoteControl,
+		inject.MaliciousRule,
+	}
+}
+
+// BaselineResult is one bar group of Figure 5.
+type BaselineResult struct {
+	Detector  string
+	Case      inject.ContextualCase
+	Confusion metrics.Confusion
+}
+
+// BaselineComparison reproduces Figure 5 for one anomaly case: the same
+// injected stream is replayed through CausalIoT and the three baselines.
+func (p *Pipeline) BaselineComparison(c inject.ContextualCase, n int) ([]BaselineResult, error) {
+	if n <= 0 {
+		n = p.DefaultContextualN()
+	}
+	injector, err := inject.New(p.Testbed, p.Test, p.Config.Seed+int64(c)*1000)
+	if err != nil {
+		return nil, err
+	}
+	res, err := injector.Contextual(c, n)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []BaselineResult
+
+	alarmed, err := p.detectStream(res, 1)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, BaselineResult{
+		Detector:  "causaliot",
+		Case:      c,
+		Confusion: metrics.ClassifyTolerant(len(res.Steps), 1, alarmed, res.Injected),
+	})
+
+	markov, err := baselines.NewMarkov(p.Tau)
+	if err != nil {
+		return nil, err
+	}
+	ocsvm := baselines.NewOCSVM()
+	haw, err := baselines.NewHAWatcher(p.alignedDevices())
+	if err != nil {
+		return nil, err
+	}
+	for _, det := range []baselines.Detector{markov, ocsvm, haw} {
+		if err := det.Fit(p.Train); err != nil {
+			return nil, err
+		}
+		if err := det.Reset(res.Initial); err != nil {
+			return nil, err
+		}
+		flagged := make(map[int]bool)
+		for i, st := range res.Steps {
+			anomalous, err := det.Process(st)
+			if err != nil {
+				return nil, err
+			}
+			if anomalous {
+				flagged[i+1] = true
+			}
+		}
+		out = append(out, BaselineResult{
+			Detector:  det.Name(),
+			Case:      c,
+			Confusion: metrics.ClassifyTolerant(len(res.Steps), 1, flagged, res.Injected),
+		})
+	}
+	return out, nil
+}
+
+// alignedDevices returns the testbed inventory in registry-index order (the
+// layout HAWatcher expects).
+func (p *Pipeline) alignedDevices() []event.Device {
+	out := make([]event.Device, p.Train.Registry.Len())
+	for i := range out {
+		d, _ := p.Testbed.Device(p.Train.Registry.Name(i))
+		out[i] = d
+	}
+	return out
+}
+
+// CollectiveResult is one row of Table V.
+type CollectiveResult struct {
+	Case   inject.CollectiveCase
+	KMax   int
+	Report metrics.ChainReport
+}
+
+// DefaultCollectiveN scales the paper's 1,000 chains to the testing stream.
+func (p *Pipeline) DefaultCollectiveN(kmax int) int {
+	n := p.Test.Len() / (3 * (kmax + 3))
+	if n < 10 {
+		n = 10
+	}
+	return n
+}
+
+// CollectiveDetection runs Table V's experiment for one case and k_max.
+func (p *Pipeline) CollectiveDetection(c inject.CollectiveCase, nChains, kmax int) (CollectiveResult, error) {
+	if nChains <= 0 {
+		nChains = p.DefaultCollectiveN(kmax)
+	}
+	injector, err := inject.New(p.Testbed, p.Test, p.Config.Seed+int64(c)*100+int64(kmax))
+	if err != nil {
+		return CollectiveResult{}, err
+	}
+	res, err := injector.Collective(c, nChains, kmax, p.Engine)
+	if err != nil {
+		return CollectiveResult{}, err
+	}
+	alarmed, err := p.detectStream(res, kmax)
+	if err != nil {
+		return CollectiveResult{}, err
+	}
+	return CollectiveResult{
+		Case:   c,
+		KMax:   kmax,
+		Report: metrics.EvaluateChains(res.Chains, alarmed),
+	}, nil
+}
+
+// AllCollectiveCases lists Table V's cases in order.
+func AllCollectiveCases() []inject.CollectiveCase {
+	return []inject.CollectiveCase{
+		inject.BurglarWandering,
+		inject.ActuatorManipulation,
+		inject.ChainedAutomation,
+	}
+}

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/causaliot/causaliot/internal/inject"
+	"github.com/causaliot/causaliot/internal/sim"
+)
+
+// The pipeline is expensive; share one across the package's tests.
+var (
+	once    sync.Once
+	shared  *Pipeline
+	loadErr error
+)
+
+func sharedPipeline(t *testing.T) *Pipeline {
+	t.Helper()
+	once.Do(func() {
+		shared, loadErr = Setup(nil, Config{Seed: 1, Days: 3})
+	})
+	if loadErr != nil {
+		t.Fatal(loadErr)
+	}
+	return shared
+}
+
+func TestSetupDefaults(t *testing.T) {
+	p := sharedPipeline(t)
+	if p.Testbed.Name != "contextact-like" {
+		t.Errorf("testbed = %q", p.Testbed.Name)
+	}
+	if p.Tau != 3 {
+		t.Errorf("tau = %d", p.Tau)
+	}
+	if p.Train.Len() == 0 || p.Test.Len() == 0 {
+		t.Error("empty split")
+	}
+	if p.Threshold < 0.5 || p.Threshold > 1 {
+		t.Errorf("threshold = %v (floor is 0.5)", p.Threshold)
+	}
+	if p.MineStats.Tests == 0 {
+		t.Error("no CI tests recorded")
+	}
+	if len(p.GT) == 0 {
+		t.Error("no ground truth")
+	}
+}
+
+func TestSetupOnCASAS(t *testing.T) {
+	p, err := Setup(sim.CASASLike(), Config{Seed: 2, Days: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Testbed.Name != "casas-like" {
+		t.Errorf("testbed = %q", p.Testbed.Name)
+	}
+	res := p.EvaluateMining()
+	if res.Confusion.TP == 0 {
+		t.Error("no interactions recovered on CASAS-like testbed")
+	}
+}
+
+func TestEvaluateMining(t *testing.T) {
+	p := sharedPipeline(t)
+	res := p.EvaluateMining()
+	if res.Confusion.TP == 0 {
+		t.Fatal("no true positives")
+	}
+	if got := res.Confusion.Precision(); got < 0.4 {
+		t.Errorf("mining precision %v suspiciously low", got)
+	}
+	// The autocorrelation edges alone guarantee double-digit TPs.
+	if res.ByCategory[sim.CatAutocorrelation] < 5 {
+		t.Errorf("autocorrelation TPs = %d", res.ByCategory[sim.CatAutocorrelation])
+	}
+	// TP + FP must equal the mined pair count.
+	if res.Confusion.TP+res.Confusion.FP != len(p.Graph.DevicePairs()) {
+		t.Error("confusion does not partition the mined pairs")
+	}
+	if len(res.Missed) != res.Confusion.FN {
+		t.Errorf("missed list %d != FN %d", len(res.Missed), res.Confusion.FN)
+	}
+	if len(res.FalsePairs) != res.Confusion.FP {
+		t.Errorf("false list %d != FP %d", len(res.FalsePairs), res.Confusion.FP)
+	}
+}
+
+func TestContextualDetectionAllCases(t *testing.T) {
+	p := sharedPipeline(t)
+	for _, c := range AllContextualCases() {
+		res, err := p.ContextualDetection(c, 40)
+		if err != nil {
+			t.Fatalf("%v: %v", c, err)
+		}
+		if res.Injected == 0 {
+			t.Errorf("%v: nothing injected", c)
+		}
+		if res.Confusion.Recall() == 0 {
+			t.Errorf("%v: zero recall", c)
+		}
+		total := res.Confusion.TP + res.Confusion.FP + res.Confusion.FN + res.Confusion.TN
+		if total == 0 {
+			t.Errorf("%v: empty confusion", c)
+		}
+	}
+}
+
+func TestContextualDetectionDeterministic(t *testing.T) {
+	p := sharedPipeline(t)
+	a, err := p.ContextualDetection(inject.RemoteControl, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.ContextualDetection(inject.RemoteControl, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Confusion != b.Confusion {
+		t.Errorf("nondeterministic: %+v vs %+v", a.Confusion, b.Confusion)
+	}
+}
+
+func TestBaselineComparisonRunsAllDetectors(t *testing.T) {
+	p := sharedPipeline(t)
+	results, err := p.BaselineComparison(inject.SensorFault, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("detectors = %d, want 4", len(results))
+	}
+	names := map[string]bool{}
+	for _, r := range results {
+		names[r.Detector] = true
+	}
+	for _, want := range []string{"causaliot", "ocsvm", "hawatcher"} {
+		if !names[want] {
+			t.Errorf("missing detector %q in %v", want, names)
+		}
+	}
+}
+
+func TestCollectiveDetectionAllCases(t *testing.T) {
+	p := sharedPipeline(t)
+	for _, c := range AllCollectiveCases() {
+		res, err := p.CollectiveDetection(c, 10, 3)
+		if err != nil {
+			t.Fatalf("%v: %v", c, err)
+		}
+		if res.Report.Chains == 0 {
+			t.Errorf("%v: no chains", c)
+		}
+		if res.Report.AvgChainLength < 2 || res.Report.AvgChainLength > 3 {
+			t.Errorf("%v: avg chain length %v outside [2,3]", c, res.Report.AvgChainLength)
+		}
+		if res.Report.Detected < res.Report.Tracked {
+			t.Errorf("%v: tracked %d exceeds detected %d", c, res.Report.Tracked, res.Report.Detected)
+		}
+	}
+}
+
+func TestDefaultSampleSizes(t *testing.T) {
+	p := sharedPipeline(t)
+	if n := p.DefaultContextualN(); n < 20 {
+		t.Errorf("DefaultContextualN = %d", n)
+	}
+	if n := p.DefaultCollectiveN(3); n < 10 {
+		t.Errorf("DefaultCollectiveN = %d", n)
+	}
+}
+
+func TestConfigWithDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Days != 14 || cfg.Tau != 3 || cfg.Alpha != 0.001 || cfg.Quantile != 99 ||
+		cfg.MaxParents != 8 || cfg.Smoothing != 0.01 || cfg.TrainFrac != 0.8 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+}

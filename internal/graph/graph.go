@@ -1,0 +1,219 @@
+// Package graph provides small, generic directed-graph utilities used by the
+// device interaction graph: adjacency storage, reachability, cycle
+// detection, topological ordering, and Graphviz DOT export.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Digraph is a directed graph over string-labelled nodes. The zero value is
+// not usable; construct with New.
+type Digraph struct {
+	nodes map[string]struct{}
+	succ  map[string]map[string]struct{}
+	pred  map[string]map[string]struct{}
+}
+
+// New returns an empty directed graph.
+func New() *Digraph {
+	return &Digraph{
+		nodes: make(map[string]struct{}),
+		succ:  make(map[string]map[string]struct{}),
+		pred:  make(map[string]map[string]struct{}),
+	}
+}
+
+// AddNode inserts a node; it is a no-op when the node exists.
+func (g *Digraph) AddNode(n string) {
+	if _, ok := g.nodes[n]; ok {
+		return
+	}
+	g.nodes[n] = struct{}{}
+	g.succ[n] = make(map[string]struct{})
+	g.pred[n] = make(map[string]struct{})
+}
+
+// AddEdge inserts the directed edge from -> to, adding missing endpoints.
+func (g *Digraph) AddEdge(from, to string) {
+	g.AddNode(from)
+	g.AddNode(to)
+	g.succ[from][to] = struct{}{}
+	g.pred[to][from] = struct{}{}
+}
+
+// RemoveEdge deletes the edge from -> to if present.
+func (g *Digraph) RemoveEdge(from, to string) {
+	if s, ok := g.succ[from]; ok {
+		delete(s, to)
+	}
+	if p, ok := g.pred[to]; ok {
+		delete(p, from)
+	}
+}
+
+// HasEdge reports whether the edge from -> to exists.
+func (g *Digraph) HasEdge(from, to string) bool {
+	s, ok := g.succ[from]
+	if !ok {
+		return false
+	}
+	_, ok = s[to]
+	return ok
+}
+
+// HasNode reports whether the node exists.
+func (g *Digraph) HasNode(n string) bool {
+	_, ok := g.nodes[n]
+	return ok
+}
+
+// Nodes returns all nodes in sorted order.
+func (g *Digraph) Nodes() []string {
+	out := make([]string, 0, len(g.nodes))
+	for n := range g.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NumNodes returns the node count.
+func (g *Digraph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns the edge count.
+func (g *Digraph) NumEdges() int {
+	n := 0
+	for _, s := range g.succ {
+		n += len(s)
+	}
+	return n
+}
+
+// Successors returns the out-neighbours of n in sorted order.
+func (g *Digraph) Successors(n string) []string { return sortedKeys(g.succ[n]) }
+
+// Predecessors returns the in-neighbours of n in sorted order.
+func (g *Digraph) Predecessors(n string) []string { return sortedKeys(g.pred[n]) }
+
+func sortedKeys(m map[string]struct{}) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Edge is a directed edge.
+type Edge struct{ From, To string }
+
+// Edges returns all edges sorted by (From, To).
+func (g *Digraph) Edges() []Edge {
+	out := make([]Edge, 0, g.NumEdges())
+	for from, succs := range g.succ {
+		for to := range succs {
+			out = append(out, Edge{From: from, To: to})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// Reachable returns the set of nodes reachable from start (excluding start
+// itself unless it lies on a cycle), in sorted order.
+func (g *Digraph) Reachable(start string) []string {
+	seen := make(map[string]struct{})
+	stack := []string{start}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for next := range g.succ[n] {
+			if _, ok := seen[next]; !ok {
+				seen[next] = struct{}{}
+				stack = append(stack, next)
+			}
+		}
+	}
+	return sortedKeys(seen)
+}
+
+// HasCycle reports whether the graph contains a directed cycle.
+func (g *Digraph) HasCycle() bool {
+	_, err := g.TopoSort()
+	return err != nil
+}
+
+// TopoSort returns a topological ordering of the nodes (ties broken
+// lexicographically) or an error when the graph contains a cycle.
+func (g *Digraph) TopoSort() ([]string, error) {
+	inDeg := make(map[string]int, len(g.nodes))
+	for n := range g.nodes {
+		inDeg[n] = len(g.pred[n])
+	}
+	var ready []string
+	for n, d := range inDeg {
+		if d == 0 {
+			ready = append(ready, n)
+		}
+	}
+	sort.Strings(ready)
+	order := make([]string, 0, len(g.nodes))
+	for len(ready) > 0 {
+		n := ready[0]
+		ready = ready[1:]
+		order = append(order, n)
+		newly := make([]string, 0)
+		for next := range g.succ[n] {
+			inDeg[next]--
+			if inDeg[next] == 0 {
+				newly = append(newly, next)
+			}
+		}
+		sort.Strings(newly)
+		ready = mergeSorted(ready, newly)
+	}
+	if len(order) != len(g.nodes) {
+		return nil, fmt.Errorf("graph: cycle detected (%d of %d nodes ordered)", len(order), len(g.nodes))
+	}
+	return order, nil
+}
+
+func mergeSorted(a, b []string) []string {
+	out := make([]string, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// DOT renders the graph in Graphviz DOT syntax with the given graph name.
+// Node and edge order is deterministic.
+func (g *Digraph) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	for _, n := range g.Nodes() {
+		fmt.Fprintf(&b, "  %q;\n", n)
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&b, "  %q -> %q;\n", e.From, e.To)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,187 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddAndQuery(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b")
+	g.AddEdge("a", "c")
+	g.AddEdge("b", "c")
+	if !g.HasEdge("a", "b") || g.HasEdge("b", "a") {
+		t.Error("edge direction wrong")
+	}
+	if !g.HasNode("c") || g.HasNode("z") {
+		t.Error("node membership wrong")
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 3 {
+		t.Errorf("counts: %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	if got := g.Successors("a"); !reflect.DeepEqual(got, []string{"b", "c"}) {
+		t.Errorf("Successors(a) = %v", got)
+	}
+	if got := g.Predecessors("c"); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("Predecessors(c) = %v", got)
+	}
+}
+
+func TestAddEdgeIdempotent(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b")
+	g.AddEdge("a", "b")
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b")
+	g.RemoveEdge("a", "b")
+	if g.HasEdge("a", "b") {
+		t.Error("edge not removed")
+	}
+	if !g.HasNode("a") || !g.HasNode("b") {
+		t.Error("nodes should survive edge removal")
+	}
+	g.RemoveEdge("x", "y") // removing a missing edge must not panic
+}
+
+func TestEdgesSorted(t *testing.T) {
+	g := New()
+	g.AddEdge("b", "a")
+	g.AddEdge("a", "c")
+	g.AddEdge("a", "b")
+	want := []Edge{{"a", "b"}, {"a", "c"}, {"b", "a"}}
+	if got := g.Edges(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Edges = %v, want %v", got, want)
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "c")
+	g.AddEdge("c", "d")
+	g.AddEdge("x", "y")
+	if got := g.Reachable("a"); !reflect.DeepEqual(got, []string{"b", "c", "d"}) {
+		t.Errorf("Reachable(a) = %v", got)
+	}
+	if got := g.Reachable("d"); len(got) != 0 {
+		t.Errorf("Reachable(d) = %v, want empty", got)
+	}
+}
+
+func TestReachableOnCycle(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "a")
+	if got := g.Reachable("a"); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("Reachable on cycle = %v", got)
+	}
+}
+
+func TestTopoSort(t *testing.T) {
+	g := New()
+	g.AddEdge("b", "d")
+	g.AddEdge("a", "b")
+	g.AddEdge("a", "c")
+	g.AddEdge("c", "d")
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[string]int)
+	for i, n := range order {
+		pos[n] = i
+	}
+	for _, e := range g.Edges() {
+		if pos[e.From] >= pos[e.To] {
+			t.Errorf("edge %v violated by order %v", e, order)
+		}
+	}
+	if g.HasCycle() {
+		t.Error("acyclic graph reported cyclic")
+	}
+}
+
+func TestTopoSortDeterministicTieBreak(t *testing.T) {
+	g := New()
+	g.AddNode("c")
+	g.AddNode("a")
+	g.AddNode("b")
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(order, []string{"a", "b", "c"}) {
+		t.Errorf("order = %v, want lexicographic", order)
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "c")
+	g.AddEdge("c", "a")
+	if !g.HasCycle() {
+		t.Error("cycle not detected")
+	}
+	if _, err := g.TopoSort(); err == nil {
+		t.Error("TopoSort on cyclic graph should error")
+	}
+}
+
+func TestDOT(t *testing.T) {
+	g := New()
+	g.AddEdge("light", "heater")
+	dot := g.DOT("dig")
+	for _, want := range []string{`digraph "dig"`, `"light" -> "heater";`, `"light";`, `"heater";`} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+// Property: a graph built with only forward edges (i < j by node label) is
+// always acyclic and TopoSort respects every edge.
+func TestTopoSortProperty(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN%12) + 2
+		rng := rand.New(rand.NewSource(seed))
+		g := New()
+		label := func(i int) string { return string(rune('a' + i)) }
+		for i := 0; i < n; i++ {
+			g.AddNode(label(i))
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.3 {
+					g.AddEdge(label(i), label(j))
+				}
+			}
+		}
+		order, err := g.TopoSort()
+		if err != nil {
+			return false
+		}
+		pos := make(map[string]int)
+		for i, node := range order {
+			pos[node] = i
+		}
+		for _, e := range g.Edges() {
+			if pos[e.From] >= pos[e.To] {
+				return false
+			}
+		}
+		return len(order) == g.NumNodes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,644 @@
+// Package inject implements the anomaly-generation schemes of the paper's
+// evaluation: the four contextual attack cases of Table IV (sensor fault,
+// burglar intrusion, remote control, malicious automation rule) and the
+// three collective attack cases of Table V (burglar wandering, illegal
+// actuator operations, chained automation rules). Anomalous device events
+// are spliced into a clean testing series; the injector reports the exact
+// positions (and, for collective cases, the chain grouping) so detectors
+// can be scored against ground truth.
+package inject
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/causaliot/causaliot/internal/automation"
+	"github.com/causaliot/causaliot/internal/event"
+	"github.com/causaliot/causaliot/internal/sim"
+	"github.com/causaliot/causaliot/internal/timeseries"
+)
+
+// ContextualCase enumerates Table IV's anomaly cases.
+type ContextualCase int
+
+// Contextual anomaly cases (Table IV).
+const (
+	// SensorFault inserts anomalous ambient sensor readings (fluctuating
+	// brightness levels).
+	SensorFault ContextualCase = iota + 1
+	// BurglarIntrusion inserts unexpected presence and contact events.
+	BurglarIntrusion
+	// RemoteControl inserts flipped actuator state events (ghost
+	// operations).
+	RemoteControl
+	// MaliciousRule simulates hidden automation rules that force
+	// conditional state transitions.
+	MaliciousRule
+)
+
+// String implements fmt.Stringer.
+func (c ContextualCase) String() string {
+	switch c {
+	case SensorFault:
+		return "sensor-fault"
+	case BurglarIntrusion:
+		return "burglar-intrusion"
+	case RemoteControl:
+		return "remote-control"
+	case MaliciousRule:
+		return "malicious-rule"
+	default:
+		return fmt.Sprintf("contextual(%d)", int(c))
+	}
+}
+
+// CollectiveCase enumerates Table V's anomaly cases.
+type CollectiveCase int
+
+// Collective anomaly cases (Table V).
+const (
+	// BurglarWandering seeds an unexpected presence event and propagates
+	// it along the resident-movement interactions.
+	BurglarWandering CollectiveCase = iota + 1
+	// ActuatorManipulation replays an activity's device operations
+	// without the resident's presence context.
+	ActuatorManipulation
+	// ChainedAutomation compromises a rule chain's triggering device and
+	// lets the chained executions follow.
+	ChainedAutomation
+)
+
+// String implements fmt.Stringer.
+func (c CollectiveCase) String() string {
+	switch c {
+	case BurglarWandering:
+		return "burglar-wandering"
+	case ActuatorManipulation:
+		return "actuator-manipulation"
+	case ChainedAutomation:
+		return "chained-automation"
+	default:
+		return fmt.Sprintf("collective(%d)", int(c))
+	}
+}
+
+// Result is an injected testing stream.
+type Result struct {
+	// Registry and Initial describe the stream; Steps are the events.
+	Registry *timeseries.Registry
+	Initial  timeseries.State
+	Steps    []timeseries.Step
+	// Injected marks the 1-based positions of injected anomalous events.
+	Injected map[int]bool
+	// Chains groups injected positions per anomaly chain (collective
+	// cases; each chain's first element is the contextual seed).
+	Chains [][]int
+}
+
+// Series materializes the stream as a time series.
+func (r *Result) Series() (*timeseries.Series, error) {
+	return timeseries.FromSteps(r.Registry, r.Initial, r.Steps)
+}
+
+// Injector splices anomalies into a testbed's preprocessed testing series.
+type Injector struct {
+	tb   *sim.Testbed
+	base *timeseries.Series
+	rng  *rand.Rand
+
+	devices []event.Device // indexed by registry position
+}
+
+// New builds an injector; the series' registry must cover the testbed's
+// inventory.
+func New(tb *sim.Testbed, base *timeseries.Series, seed int64) (*Injector, error) {
+	if tb == nil || base == nil {
+		return nil, errors.New("inject: nil testbed or series")
+	}
+	devices := make([]event.Device, base.Registry.Len())
+	for i := 0; i < base.Registry.Len(); i++ {
+		d, ok := tb.Device(base.Registry.Name(i))
+		if !ok {
+			return nil, fmt.Errorf("inject: series device %q not in testbed", base.Registry.Name(i))
+		}
+		devices[i] = d
+	}
+	return &Injector{tb: tb, base: base, rng: rand.New(rand.NewSource(seed)), devices: devices}, nil
+}
+
+// devicesOfClass returns registry indices of devices matching the filter.
+func (in *Injector) devicesOfClass(keep func(event.Device) bool) []int {
+	var out []int
+	for i, d := range in.devices {
+		if keep(d) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func isActuator(d event.Device) bool {
+	switch d.Attribute.Name {
+	case event.Switch.Name, event.Dimmer.Name, event.PowerSensor.Name:
+		return true
+	default:
+		return false
+	}
+}
+
+// pickPositions samples n distinct insertion points in 1..m, sorted, at
+// least gap apart. Positions are weighted by the wall-clock interval
+// preceding each event, so injections are uniform in *time* rather than in
+// event index — an attacker strikes at arbitrary instants, most of which
+// fall into the home's quiet stretches, exactly as when anomalous states
+// are spliced uniformly into the paper's testing time series.
+func (in *Injector) pickPositions(n, gap int) ([]int, error) {
+	m := in.base.Len()
+	if gap < 1 {
+		gap = 1
+	}
+	if n*gap > m {
+		return nil, fmt.Errorf("inject: cannot place %d injections with gap %d in %d events", n, gap, m)
+	}
+	weights := make([]float64, m+1) // weights[j] for inserting before event j
+	var total float64
+	var prev time.Time
+	for j := 1; j <= m; j++ {
+		st, err := in.base.StepAt(j)
+		if err != nil {
+			return nil, err
+		}
+		w := 1.0
+		if j > 1 && st.Time.After(prev) {
+			w = math.Min(st.Time.Sub(prev).Seconds(), 3600)
+			if w < 1 {
+				w = 1
+			}
+		}
+		prev = st.Time
+		weights[j] = w
+		total += w
+	}
+	positions := make([]int, 0, n)
+	used := make(map[int]bool)
+	for attempts := 0; len(positions) < n && attempts < 200*n; attempts++ {
+		r := in.rng.Float64() * total
+		p := 1
+		for ; p < m; p++ {
+			r -= weights[p]
+			if r <= 0 {
+				break
+			}
+		}
+		ok := true
+		for d := -gap; d <= gap; d++ {
+			if used[p+d] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			used[p] = true
+			positions = append(positions, p)
+		}
+	}
+	if len(positions) < n {
+		return nil, fmt.Errorf("inject: only placed %d of %d injections", len(positions), n)
+	}
+	sort.Ints(positions)
+	return positions, nil
+}
+
+// Contextual builds a testing stream with n injected anomalies of the given
+// case (Table IV).
+func (in *Injector) Contextual(c ContextualCase, n int) (*Result, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("inject: n %d < 1", n)
+	}
+	if c == MaliciousRule {
+		return in.maliciousRule(n)
+	}
+	var pool []int
+	switch c {
+	case SensorFault:
+		pool = in.devicesOfClass(func(d event.Device) bool {
+			return d.Attribute.Name == event.BrightnessSensor.Name
+		})
+	case BurglarIntrusion:
+		pool = in.devicesOfClass(func(d event.Device) bool {
+			return d.Attribute.Name == event.PresenceSensor.Name ||
+				d.Attribute.Name == event.ContactSensor.Name
+		})
+	case RemoteControl:
+		pool = in.devicesOfClass(isActuator)
+	default:
+		return nil, fmt.Errorf("inject: unknown contextual case %d", int(c))
+	}
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("inject: no devices available for case %v", c)
+	}
+	positions, err := in.pickPositions(n, 1)
+	if err != nil {
+		return nil, err
+	}
+	posSet := make(map[int]bool, len(positions))
+	for _, p := range positions {
+		posSet[p] = true
+	}
+	res := &Result{
+		Registry: in.base.Registry,
+		Initial:  in.base.State(0).Clone(),
+		Injected: make(map[int]bool),
+	}
+	cur := in.base.State(0).Clone()
+	appendStep := func(st timeseries.Step, injected bool) {
+		cur[st.Device] = st.Value
+		res.Steps = append(res.Steps, st)
+		if injected {
+			res.Injected[len(res.Steps)] = true
+		}
+	}
+	for j := 1; j <= in.base.Len(); j++ {
+		if posSet[j] {
+			dev := -1
+			switch c {
+			case BurglarIntrusion:
+				// The paper's burglar case injects presence-ON and
+				// contact-OPEN events: an intruder appears; a vacancy
+				// report carries no threat. Pick among currently-off
+				// devices.
+				var off []int
+				for _, d := range pool {
+					if cur[d] == 0 {
+						off = append(off, d)
+					}
+				}
+				if len(off) > 0 {
+					dev = off[in.rng.Intn(len(off))]
+				}
+			default:
+				dev = pool[in.rng.Intn(len(pool))]
+			}
+			if dev >= 0 {
+				appendStep(timeseries.Step{Device: dev, Value: 1 - cur[dev]}, true)
+				// Sensor anomalies leave a natural footprint: the PIR
+				// times out seconds later, the fluctuating brightness
+				// reading returns, the opened contact falls shut. The
+				// complementary report is part of the attack's fallout
+				// but not itself a labelled anomaly (the paper labels
+				// the injected event; positional tolerance absorbs the
+				// follow-up). Ghost actuator states persist — the
+				// attacker leaves the switch flipped.
+				if c == SensorFault || c == BurglarIntrusion {
+					appendStep(timeseries.Step{Device: dev, Value: 1 - cur[dev]}, false)
+				}
+			}
+		}
+		orig, err := in.base.StepAt(j)
+		if err != nil {
+			return nil, err
+		}
+		if orig.Value == cur[orig.Device] {
+			continue // became a duplicate after an injected flip
+		}
+		appendStep(orig, false)
+	}
+	return res, nil
+}
+
+// hiddenRule is a malicious automation rule the attacker has planted.
+type hiddenRule struct {
+	trigger    int
+	triggerVal int
+	action     int
+	actionVal  int
+}
+
+// maliciousRule simulates hidden-rule execution: whenever a (randomly
+// generated) hidden rule's trigger fires in the stream, the rule's action
+// transition is injected, up to n injections.
+func (in *Injector) maliciousRule(n int) (*Result, error) {
+	triggers := in.devicesOfClass(func(d event.Device) bool {
+		return d.Attribute.Name == event.PresenceSensor.Name ||
+			d.Attribute.Name == event.ContactSensor.Name ||
+			isActuator(d)
+	})
+	actions := in.devicesOfClass(isActuator)
+	if len(triggers) == 0 || len(actions) == 0 {
+		return nil, errors.New("inject: no devices for malicious rules")
+	}
+	installed := make(map[[2]int]bool)
+	for _, r := range in.tb.Rules {
+		ti, ok1 := in.base.Registry.Index(r.TriggerDev)
+		ai, ok2 := in.base.Registry.Index(r.ActionDev)
+		if ok1 && ok2 {
+			installed[[2]int{ti, ai}] = true
+		}
+	}
+	// Weight trigger choice by event frequency so the hidden rules fire
+	// often enough to reach the requested anomaly count (the paper
+	// generates 2,000 malicious-rule events, ~14% of its test stream).
+	freq := make(map[int]int)
+	for j := 1; j <= in.base.Len(); j++ {
+		st, err := in.base.StepAt(j)
+		if err != nil {
+			return nil, err
+		}
+		freq[st.Device]++
+	}
+	var weighted []int
+	for _, t := range triggers {
+		reps := 1 + freq[t]/50
+		for r := 0; r < reps; r++ {
+			weighted = append(weighted, t)
+		}
+	}
+	var rules []hiddenRule
+	for attempts := 0; len(rules) < 10 && attempts < 400; attempts++ {
+		t := weighted[in.rng.Intn(len(weighted))]
+		a := actions[in.rng.Intn(len(actions))]
+		if t == a || installed[[2]int{t, a}] {
+			continue
+		}
+		rules = append(rules, hiddenRule{
+			trigger:    t,
+			triggerVal: in.rng.Intn(2),
+			action:     a,
+			actionVal:  in.rng.Intn(2),
+		})
+		installed[[2]int{t, a}] = true
+	}
+	if len(rules) == 0 {
+		return nil, errors.New("inject: could not generate hidden rules")
+	}
+
+	res := &Result{
+		Registry: in.base.Registry,
+		Initial:  in.base.State(0).Clone(),
+		Injected: make(map[int]bool),
+	}
+	cur := in.base.State(0).Clone()
+	injected := 0
+	for j := 1; j <= in.base.Len(); j++ {
+		orig, err := in.base.StepAt(j)
+		if err != nil {
+			return nil, err
+		}
+		if orig.Value == cur[orig.Device] {
+			continue
+		}
+		cur[orig.Device] = orig.Value
+		res.Steps = append(res.Steps, orig)
+		if injected >= n {
+			continue
+		}
+		for _, r := range rules {
+			if r.trigger == orig.Device && r.triggerVal == orig.Value && cur[r.action] != r.actionVal {
+				cur[r.action] = r.actionVal
+				res.Steps = append(res.Steps, timeseries.Step{Device: r.action, Value: r.actionVal})
+				res.Injected[len(res.Steps)] = true
+				injected++
+				break
+			}
+		}
+	}
+	if injected == 0 {
+		return nil, errors.New("inject: hidden rules never fired")
+	}
+	return res, nil
+}
+
+// Collective builds a testing stream with nChains injected anomaly chains
+// of the given case, each at most kmax events long (Table V).
+func (in *Injector) Collective(c CollectiveCase, nChains, kmax int, engine *automation.Engine) (*Result, error) {
+	if nChains < 1 {
+		return nil, fmt.Errorf("inject: nChains %d < 1", nChains)
+	}
+	if kmax < 2 {
+		return nil, fmt.Errorf("inject: kmax %d < 2", kmax)
+	}
+	positions, err := in.pickPositions(nChains, kmax+3)
+	if err != nil {
+		return nil, err
+	}
+	posSet := make(map[int]bool, len(positions))
+	for _, p := range positions {
+		posSet[p] = true
+	}
+
+	res := &Result{
+		Registry: in.base.Registry,
+		Initial:  in.base.State(0).Clone(),
+		Injected: make(map[int]bool),
+	}
+	cur := in.base.State(0).Clone()
+	for j := 1; j <= in.base.Len(); j++ {
+		if posSet[j] {
+			chain := in.buildChain(c, cur, kmax, engine)
+			if len(chain) >= 2 {
+				var idxs []int
+				for _, st := range chain {
+					cur[st.Device] = st.Value
+					res.Steps = append(res.Steps, st)
+					res.Injected[len(res.Steps)] = true
+					idxs = append(idxs, len(res.Steps))
+				}
+				res.Chains = append(res.Chains, idxs)
+			}
+		}
+		orig, err := in.base.StepAt(j)
+		if err != nil {
+			return nil, err
+		}
+		if orig.Value == cur[orig.Device] {
+			continue
+		}
+		cur[orig.Device] = orig.Value
+		res.Steps = append(res.Steps, orig)
+	}
+	if len(res.Chains) == 0 {
+		return nil, errors.New("inject: no chains were generated")
+	}
+	return res, nil
+}
+
+// buildChain constructs one anomaly chain given the current system state.
+func (in *Injector) buildChain(c CollectiveCase, cur timeseries.State, kmax int, engine *automation.Engine) []timeseries.Step {
+	switch c {
+	case BurglarWandering:
+		return in.wanderingChain(cur, kmax)
+	case ActuatorManipulation:
+		return in.actuatorChain(cur, kmax)
+	case ChainedAutomation:
+		return in.automationChain(cur, kmax, engine)
+	default:
+		return nil
+	}
+}
+
+// wanderingChain: the burglar appears in a room with no prior presence and
+// walks through connected rooms, alternating arrival and vacancy reports.
+func (in *Injector) wanderingChain(cur timeseries.State, kmax int) []timeseries.Step {
+	rooms := make([]string, 0, len(in.tb.PresenceFor))
+	for room := range in.tb.PresenceFor {
+		rooms = append(rooms, room)
+	}
+	sort.Strings(rooms)
+	if len(rooms) == 0 {
+		return nil
+	}
+	connected := connectedOf(in.tb)
+	start := rooms[in.rng.Intn(len(rooms))]
+	sensorIdx := func(room string) int {
+		idx, _ := in.base.Registry.Index(in.tb.PresenceFor[room])
+		return idx
+	}
+	state := cur.Clone()
+	var chain []timeseries.Step
+	push := func(dev, val int) bool {
+		if state[dev] == val {
+			return false
+		}
+		state[dev] = val
+		chain = append(chain, timeseries.Step{Device: dev, Value: val})
+		return true
+	}
+	if !push(sensorIdx(start), 1) {
+		return nil // room already occupied: no contextual seed
+	}
+	room := start
+	for len(chain) < kmax {
+		nexts := connected[room]
+		if len(nexts) == 0 {
+			break
+		}
+		next := nexts[in.rng.Intn(len(nexts))]
+		// Vacate the current room, then appear in the next.
+		if len(chain) < kmax {
+			push(sensorIdx(room), 0)
+		}
+		if len(chain) < kmax {
+			if _, ok := in.tb.PresenceFor[next]; ok {
+				push(sensorIdx(next), 1)
+			}
+		}
+		room = next
+	}
+	return chain
+}
+
+// connectedOf maps each room to the rooms the resident transits to in the
+// testbed's scripts (both directions), presence-sensed rooms only.
+func connectedOf(tb *sim.Testbed) map[string][]string {
+	set := make(map[string]map[string]bool)
+	addEdge := func(a, b string) {
+		if _, ok := tb.PresenceFor[a]; !ok {
+			return
+		}
+		if _, ok := tb.PresenceFor[b]; !ok {
+			return
+		}
+		if set[a] == nil {
+			set[a] = make(map[string]bool)
+		}
+		if set[b] == nil {
+			set[b] = make(map[string]bool)
+		}
+		set[a][b] = true
+		set[b][a] = true
+	}
+	for _, act := range tb.Activities {
+		room := tb.HubRoom
+		for _, step := range act.Steps {
+			if step.Kind != sim.KindMove || step.Room == room {
+				continue
+			}
+			addEdge(room, step.Room)
+			room = step.Room
+		}
+		if room != tb.HubRoom {
+			addEdge(room, tb.HubRoom)
+		}
+	}
+	out := make(map[string][]string, len(set))
+	for room, nbrs := range set {
+		for n := range nbrs {
+			out[room] = append(out[room], n)
+		}
+		sort.Strings(out[room])
+	}
+	return out
+}
+
+// actuatorChain replays an activity's device operations (without the
+// presence context that normally accompanies them).
+func (in *Injector) actuatorChain(cur timeseries.State, kmax int) []timeseries.Step {
+	if len(in.tb.Activities) == 0 {
+		return nil
+	}
+	for attempts := 0; attempts < 2*len(in.tb.Activities); attempts++ {
+		act := in.tb.Activities[in.rng.Intn(len(in.tb.Activities))]
+		state := cur.Clone()
+		var chain []timeseries.Step
+		for _, step := range act.Steps {
+			if len(chain) >= kmax {
+				break
+			}
+			if step.Kind != sim.KindOperate {
+				continue
+			}
+			idx, ok := in.base.Registry.Index(step.Device)
+			if !ok || state[idx] == step.Value {
+				continue
+			}
+			state[idx] = step.Value
+			chain = append(chain, timeseries.Step{Device: idx, Value: step.Value})
+		}
+		if len(chain) >= 2 {
+			return chain
+		}
+	}
+	return nil
+}
+
+// automationChain compromises the triggering device of a rule chain; the
+// chained rule executions follow as the collective anomaly.
+func (in *Injector) automationChain(cur timeseries.State, kmax int, engine *automation.Engine) []timeseries.Step {
+	if engine == nil {
+		return nil
+	}
+	chains := engine.Chains()
+	if len(chains) == 0 {
+		return nil
+	}
+	for attempts := 0; attempts < 2*len(chains); attempts++ {
+		rules := chains[in.rng.Intn(len(chains))]
+		trigger, ok := in.base.Registry.Index(rules[0].TriggerDev)
+		state := cur.Clone()
+		if !ok || state[trigger] == rules[0].TriggerVal {
+			continue
+		}
+		var chain []timeseries.Step
+		state[trigger] = rules[0].TriggerVal
+		chain = append(chain, timeseries.Step{Device: trigger, Value: rules[0].TriggerVal})
+		for _, r := range rules {
+			if len(chain) >= kmax {
+				break
+			}
+			action, ok := in.base.Registry.Index(r.ActionDev)
+			if !ok || state[action] == r.ActionVal {
+				break // the rule would not execute
+			}
+			state[action] = r.ActionVal
+			chain = append(chain, timeseries.Step{Device: action, Value: r.ActionVal})
+		}
+		if len(chain) >= 2 {
+			return chain
+		}
+	}
+	return nil
+}

@@ -1,0 +1,239 @@
+package inject
+
+import (
+	"testing"
+
+	"github.com/causaliot/causaliot/internal/automation"
+	"github.com/causaliot/causaliot/internal/event"
+	"github.com/causaliot/causaliot/internal/preprocess"
+	"github.com/causaliot/causaliot/internal/sim"
+	"github.com/causaliot/causaliot/internal/timeseries"
+)
+
+// testStream builds a small clean testing series from the simulator.
+func testStream(t *testing.T) (*sim.Testbed, *timeseries.Series) {
+	t.Helper()
+	tb := sim.ContextActLike()
+	simr, err := sim.NewSimulator(tb, sim.Config{Seed: 5, Days: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := simr.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := preprocess.New(tb.Devices, preprocess.Config{TauOverride: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pre.Process(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb, res.Series
+}
+
+func checkStreamConsistent(t *testing.T, r *Result) {
+	t.Helper()
+	cur := r.Initial.Clone()
+	for i, st := range r.Steps {
+		if st.Value == cur[st.Device] {
+			t.Fatalf("step %d is a duplicate report (device %d stays %d)", i+1, st.Device, st.Value)
+		}
+		cur[st.Device] = st.Value
+	}
+}
+
+func TestContextualInjection(t *testing.T) {
+	tb, base := testStream(t)
+	for _, c := range []ContextualCase{SensorFault, BurglarIntrusion, RemoteControl} {
+		t.Run(c.String(), func(t *testing.T) {
+			in, err := New(tb, base, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := in.Contextual(c, 30)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Injected) != 30 {
+				t.Errorf("injected %d, want 30", len(res.Injected))
+			}
+			if len(res.Steps) < base.Len() {
+				t.Errorf("stream shrank: %d < %d", len(res.Steps), base.Len())
+			}
+			checkStreamConsistent(t, res)
+			// Injected devices must match the case's class.
+			for idx := range res.Injected {
+				st := res.Steps[idx-1]
+				name := base.Registry.Name(st.Device)
+				d, _ := tb.Device(name)
+				switch c {
+				case SensorFault:
+					if d.Attribute.Name != event.BrightnessSensor.Name {
+						t.Errorf("sensor-fault injected on %s", name)
+					}
+				case BurglarIntrusion:
+					if d.Attribute.Name != event.PresenceSensor.Name && d.Attribute.Name != event.ContactSensor.Name {
+						t.Errorf("burglar injected on %s", name)
+					}
+				case RemoteControl:
+					if !isActuator(d) {
+						t.Errorf("remote-control injected on %s", name)
+					}
+				}
+			}
+			if _, err := res.Series(); err != nil {
+				t.Errorf("materialize: %v", err)
+			}
+		})
+	}
+}
+
+func TestMaliciousRuleInjection(t *testing.T) {
+	tb, base := testStream(t)
+	in, err := New(tb, base, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := in.Contextual(MaliciousRule, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Injected) == 0 || len(res.Injected) > 25 {
+		t.Errorf("injected %d, want in (0,25]", len(res.Injected))
+	}
+	checkStreamConsistent(t, res)
+	// Each injected event must immediately follow its trigger event.
+	for idx := range res.Injected {
+		if idx < 2 {
+			t.Errorf("injection at stream head: %d", idx)
+		}
+	}
+}
+
+func TestContextualValidation(t *testing.T) {
+	tb, base := testStream(t)
+	in, err := New(tb, base, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Contextual(SensorFault, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := in.Contextual(ContextualCase(99), 5); err == nil {
+		t.Error("unknown case accepted")
+	}
+	if _, err := in.Contextual(SensorFault, base.Len()+10); err == nil {
+		t.Error("impossible injection count accepted")
+	}
+	if _, err := New(nil, base, 1); err == nil {
+		t.Error("nil testbed accepted")
+	}
+}
+
+func TestCollectiveInjection(t *testing.T) {
+	tb, base := testStream(t)
+	engine, err := automation.NewEngine(tb.Rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []CollectiveCase{BurglarWandering, ActuatorManipulation, ChainedAutomation} {
+		for _, kmax := range []int{2, 3, 4} {
+			in, err := New(tb, base, int64(kmax)*100+int64(c))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := in.Collective(c, 15, kmax, engine)
+			if err != nil {
+				t.Fatalf("%v kmax=%d: %v", c, kmax, err)
+			}
+			if len(res.Chains) == 0 {
+				t.Fatalf("%v kmax=%d: no chains", c, kmax)
+			}
+			checkStreamConsistent(t, res)
+			for _, chain := range res.Chains {
+				if len(chain) < 2 || len(chain) > kmax {
+					t.Errorf("%v kmax=%d: chain length %d", c, kmax, len(chain))
+				}
+				// Chain positions must be consecutive stream indices.
+				for i := 1; i < len(chain); i++ {
+					if chain[i] != chain[i-1]+1 {
+						t.Errorf("%v: chain not contiguous: %v", c, chain)
+					}
+				}
+				// All chain positions marked injected.
+				for _, idx := range chain {
+					if !res.Injected[idx] {
+						t.Errorf("%v: chain index %d not marked injected", c, idx)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCollectiveValidation(t *testing.T) {
+	tb, base := testStream(t)
+	engine, _ := automation.NewEngine(tb.Rules)
+	in, err := New(tb, base, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Collective(BurglarWandering, 0, 3, engine); err == nil {
+		t.Error("nChains=0 accepted")
+	}
+	if _, err := in.Collective(BurglarWandering, 5, 1, engine); err == nil {
+		t.Error("kmax=1 accepted")
+	}
+	if _, err := in.Collective(ChainedAutomation, 5, 3, nil); err == nil {
+		t.Error("nil engine accepted for chained automation")
+	}
+}
+
+func TestWanderingChainFollowsConnectedRooms(t *testing.T) {
+	tb, base := testStream(t)
+	in, err := New(tb, base, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := in.Collective(BurglarWandering, 10, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every injected event in a wandering chain is a presence event.
+	for _, chain := range res.Chains {
+		for _, idx := range chain {
+			st := res.Steps[idx-1]
+			name := base.Registry.Name(st.Device)
+			d, _ := tb.Device(name)
+			if d.Attribute.Name != event.PresenceSensor.Name {
+				t.Errorf("wandering touched %s", name)
+			}
+		}
+	}
+}
+
+func TestInjectionDeterministicPerSeed(t *testing.T) {
+	tb, base := testStream(t)
+	run := func() *Result {
+		in, err := New(tb, base, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := in.Contextual(RemoteControl, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if len(a.Steps) != len(b.Steps) {
+		t.Fatal("nondeterministic stream length")
+	}
+	for i := range a.Steps {
+		if a.Steps[i] != b.Steps[i] {
+			t.Fatalf("step %d differs", i)
+		}
+	}
+}

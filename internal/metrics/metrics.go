@@ -1,0 +1,198 @@
+// Package metrics implements the evaluation measures of paper §VI:
+// precision/recall/F1/accuracy over event classifications (Tables IV and
+// Figure 5), interaction-set comparison for mining evaluation (§VI-B), and
+// the chain-level measures of collective anomaly detection (Table V).
+package metrics
+
+// Confusion is a binary-classification count.
+type Confusion struct {
+	TP, FP, FN, TN int
+}
+
+// Add accumulates another confusion table.
+func (c *Confusion) Add(other Confusion) {
+	c.TP += other.TP
+	c.FP += other.FP
+	c.FN += other.FN
+	c.TN += other.TN
+}
+
+// Precision returns TP/(TP+FP), or 0 when undefined.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN), or 0 when undefined.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Accuracy returns (TP+TN)/total, or 0 when empty.
+func (c Confusion) Accuracy() float64 {
+	total := c.TP + c.FP + c.FN + c.TN
+	if total == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(total)
+}
+
+// Classify builds a confusion table from the predicted positive set and the
+// truth set over a universe of n items indexed 1..n.
+func Classify(n int, predicted, truth map[int]bool) Confusion {
+	var c Confusion
+	for i := 1; i <= n; i++ {
+		switch {
+		case predicted[i] && truth[i]:
+			c.TP++
+		case predicted[i] && !truth[i]:
+			c.FP++
+		case !predicted[i] && truth[i]:
+			c.FN++
+		default:
+			c.TN++
+		}
+	}
+	return c
+}
+
+// ClassifyTolerant is Classify with a position tolerance: a prediction
+// within tol positions of a truth item counts as hitting it (the paper
+// compares injected positions with alarming positions; alarms may surface
+// one event later when an injected anomaly cascades). Each truth item can
+// be claimed once.
+func ClassifyTolerant(n, tol int, predicted, truth map[int]bool) Confusion {
+	var c Confusion
+	claimed := make(map[int]bool)
+	matchedPred := make(map[int]bool)
+	for i := 1; i <= n; i++ {
+		if !predicted[i] {
+			continue
+		}
+		for d := 0; d <= tol; d++ {
+			for _, j := range []int{i - d, i + d} {
+				if j >= 1 && j <= n && truth[j] && !claimed[j] {
+					claimed[j] = true
+					matchedPred[i] = true
+					break
+				}
+			}
+			if matchedPred[i] {
+				break
+			}
+		}
+	}
+	for i := 1; i <= n; i++ {
+		switch {
+		case predicted[i] && matchedPred[i]:
+			c.TP++
+		case predicted[i]:
+			c.FP++
+		case truth[i] && !claimed[i]:
+			c.FN++
+		case !truth[i]:
+			c.TN++
+		}
+	}
+	return c
+}
+
+// PairConfusion compares a mined interaction set against ground truth
+// (§VI-B): TP = mined ∩ truth, FP = mined \ truth, FN = truth \ mined.
+func PairConfusion(mined, truth [][2]string) Confusion {
+	truthSet := make(map[[2]string]bool, len(truth))
+	for _, p := range truth {
+		truthSet[p] = true
+	}
+	var c Confusion
+	seen := make(map[[2]string]bool, len(mined))
+	for _, p := range mined {
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		if truthSet[p] {
+			c.TP++
+		} else {
+			c.FP++
+		}
+	}
+	c.FN = len(truthSet) - c.TP
+	return c
+}
+
+// ChainReport aggregates collective-anomaly detection quality (Table V).
+type ChainReport struct {
+	// Chains is the number of injected anomaly chains.
+	Chains int
+	// Detected counts chains with at least one alarmed event.
+	Detected int
+	// Tracked counts chains whose events were all alarmed.
+	Tracked int
+	// AvgChainLength is the mean injected chain length.
+	AvgChainLength float64
+	// AvgDetectionLength is the mean number of chain events alarmed,
+	// over detected chains.
+	AvgDetectionLength float64
+}
+
+// DetectedRate returns the fraction of chains detected.
+func (r ChainReport) DetectedRate() float64 {
+	if r.Chains == 0 {
+		return 0
+	}
+	return float64(r.Detected) / float64(r.Chains)
+}
+
+// TrackedRate returns the fraction of detected chains fully tracked.
+func (r ChainReport) TrackedRate() float64 {
+	if r.Chains == 0 {
+		return 0
+	}
+	return float64(r.Tracked) / float64(r.Chains)
+}
+
+// EvaluateChains scores alarmed positions against injected chains: chains
+// is a list of event-index lists; alarmed is the set of positions covered
+// by raised alarms.
+func EvaluateChains(chains [][]int, alarmed map[int]bool) ChainReport {
+	r := ChainReport{Chains: len(chains)}
+	var totalLen, detectedLen int
+	for _, chain := range chains {
+		totalLen += len(chain)
+		covered := 0
+		for _, idx := range chain {
+			if alarmed[idx] {
+				covered++
+			}
+		}
+		if covered > 0 {
+			r.Detected++
+			detectedLen += covered
+		}
+		if covered == len(chain) {
+			r.Tracked++
+		}
+	}
+	if r.Chains > 0 {
+		r.AvgChainLength = float64(totalLen) / float64(r.Chains)
+	}
+	if r.Detected > 0 {
+		r.AvgDetectionLength = float64(detectedLen) / float64(r.Detected)
+	}
+	return r
+}

@@ -1,0 +1,144 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestConfusionMeasures(t *testing.T) {
+	c := Confusion{TP: 8, FP: 2, FN: 4, TN: 86}
+	if !approx(c.Precision(), 0.8) {
+		t.Errorf("precision = %v", c.Precision())
+	}
+	if !approx(c.Recall(), 8.0/12.0) {
+		t.Errorf("recall = %v", c.Recall())
+	}
+	wantF1 := 2 * 0.8 * (8.0 / 12.0) / (0.8 + 8.0/12.0)
+	if !approx(c.F1(), wantF1) {
+		t.Errorf("f1 = %v, want %v", c.F1(), wantF1)
+	}
+	if !approx(c.Accuracy(), 0.94) {
+		t.Errorf("accuracy = %v", c.Accuracy())
+	}
+}
+
+func TestConfusionDegenerate(t *testing.T) {
+	var c Confusion
+	if c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 || c.Accuracy() != 0 {
+		t.Error("empty confusion should yield zeros")
+	}
+}
+
+func TestConfusionAdd(t *testing.T) {
+	a := Confusion{TP: 1, FP: 2, FN: 3, TN: 4}
+	a.Add(Confusion{TP: 10, FP: 20, FN: 30, TN: 40})
+	if a != (Confusion{TP: 11, FP: 22, FN: 33, TN: 44}) {
+		t.Errorf("Add = %+v", a)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	pred := map[int]bool{1: true, 3: true}
+	truth := map[int]bool{1: true, 2: true}
+	c := Classify(4, pred, truth)
+	if c != (Confusion{TP: 1, FP: 1, FN: 1, TN: 1}) {
+		t.Errorf("Classify = %+v", c)
+	}
+}
+
+func TestClassifyTolerant(t *testing.T) {
+	// Prediction at 4 matches truth at 3 with tolerance 1.
+	pred := map[int]bool{4: true}
+	truth := map[int]bool{3: true}
+	c := ClassifyTolerant(5, 1, pred, truth)
+	if c.TP != 1 || c.FP != 0 || c.FN != 0 {
+		t.Errorf("tolerant = %+v", c)
+	}
+	// With tolerance 0 it is a miss and a false alarm.
+	c = ClassifyTolerant(5, 0, pred, truth)
+	if c.TP != 0 || c.FP != 1 || c.FN != 1 {
+		t.Errorf("strict = %+v", c)
+	}
+	// A truth item can only be claimed once.
+	pred = map[int]bool{2: true, 4: true}
+	truth = map[int]bool{3: true}
+	c = ClassifyTolerant(5, 1, pred, truth)
+	if c.TP != 1 || c.FP != 1 {
+		t.Errorf("double claim = %+v", c)
+	}
+}
+
+func TestPairConfusion(t *testing.T) {
+	mined := [][2]string{{"a", "b"}, {"b", "c"}, {"x", "y"}, {"a", "b"}} // dup ignored
+	truth := [][2]string{{"a", "b"}, {"b", "c"}, {"c", "d"}}
+	c := PairConfusion(mined, truth)
+	if c.TP != 2 || c.FP != 1 || c.FN != 1 {
+		t.Errorf("PairConfusion = %+v", c)
+	}
+	if !approx(c.Precision(), 2.0/3.0) || !approx(c.Recall(), 2.0/3.0) {
+		t.Errorf("P=%v R=%v", c.Precision(), c.Recall())
+	}
+}
+
+func TestEvaluateChains(t *testing.T) {
+	chains := [][]int{
+		{10, 11, 12}, // fully tracked
+		{20, 21},     // partially detected
+		{30, 31, 32}, // undetected
+	}
+	alarmed := map[int]bool{10: true, 11: true, 12: true, 21: true}
+	r := EvaluateChains(chains, alarmed)
+	if r.Chains != 3 || r.Detected != 2 || r.Tracked != 1 {
+		t.Errorf("report = %+v", r)
+	}
+	if !approx(r.DetectedRate(), 2.0/3.0) || !approx(r.TrackedRate(), 1.0/3.0) {
+		t.Errorf("rates = %v %v", r.DetectedRate(), r.TrackedRate())
+	}
+	if !approx(r.AvgChainLength, 8.0/3.0) {
+		t.Errorf("avg chain length = %v", r.AvgChainLength)
+	}
+	if !approx(r.AvgDetectionLength, 2.0) { // (3+1)/2
+		t.Errorf("avg detection length = %v", r.AvgDetectionLength)
+	}
+}
+
+func TestEvaluateChainsEmpty(t *testing.T) {
+	r := EvaluateChains(nil, nil)
+	if r.DetectedRate() != 0 || r.TrackedRate() != 0 || r.AvgChainLength != 0 || r.AvgDetectionLength != 0 {
+		t.Errorf("empty report = %+v", r)
+	}
+}
+
+// Property: Classify counts always sum to n, and accuracy/precision/recall
+// stay in [0,1].
+func TestClassifyProperty(t *testing.T) {
+	f := func(rawN uint8, predBits, truthBits uint32) bool {
+		n := int(rawN%30) + 1
+		pred := make(map[int]bool)
+		truth := make(map[int]bool)
+		for i := 1; i <= n; i++ {
+			if predBits>>(i%32)&1 == 1 {
+				pred[i] = true
+			}
+			if truthBits>>(i%32)&1 == 1 {
+				truth[i] = true
+			}
+		}
+		c := Classify(n, pred, truth)
+		if c.TP+c.FP+c.FN+c.TN != n {
+			return false
+		}
+		for _, v := range []float64{c.Precision(), c.Recall(), c.F1(), c.Accuracy()} {
+			if v < 0 || v > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

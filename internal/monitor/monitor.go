@@ -1,0 +1,314 @@
+// Package monitor implements the Event Monitor of paper §V-C: the phantom
+// state machine that tracks the latest graph snapshot, the score-threshold
+// calculator that turns the logged events' score distribution into a
+// detection threshold, and the k-sequence anomaly-detection procedure
+// (Algorithm 2) that raises contextual and collective anomaly alarms.
+package monitor
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/causaliot/causaliot/internal/dig"
+	"github.com/causaliot/causaliot/internal/stats"
+	"github.com/causaliot/causaliot/internal/timeseries"
+)
+
+// DefaultQuantile is the percentile of the logged events' anomaly-score
+// distribution used as the detection threshold; 99 reflects high confidence
+// in the normality of the logged events (§V-C).
+const DefaultQuantile = 99.0
+
+// PhantomStateMachine maintains the recent τ+1 system states, continuously
+// tracking the latest graph snapshot G^t = (S^{t-τ}, ..., S^t).
+type PhantomStateMachine struct {
+	reg    *timeseries.Registry
+	tau    int
+	window []timeseries.State // window[tau] is the present state
+}
+
+// NewPhantom builds a phantom state machine whose window is seeded with the
+// initial system state.
+func NewPhantom(reg *timeseries.Registry, tau int, initial timeseries.State) (*PhantomStateMachine, error) {
+	if reg == nil {
+		return nil, errors.New("monitor: nil registry")
+	}
+	if tau < 1 {
+		return nil, fmt.Errorf("monitor: tau %d < 1", tau)
+	}
+	if len(initial) != reg.Len() {
+		return nil, fmt.Errorf("monitor: initial state has %d devices, registry has %d", len(initial), reg.Len())
+	}
+	window := make([]timeseries.State, tau+1)
+	for i := range window {
+		window[i] = initial.Clone()
+	}
+	return &PhantomStateMachine{reg: reg, tau: tau, window: window}, nil
+}
+
+// Tau returns the machine's maximum time lag.
+func (m *PhantomStateMachine) Tau() int { return m.tau }
+
+// Update ingests the event e^t: it derives the new present state, records
+// it, and slides out the oldest state.
+func (m *PhantomStateMachine) Update(step timeseries.Step) error {
+	if step.Device < 0 || step.Device >= m.reg.Len() {
+		return fmt.Errorf("monitor: device index %d out of range", step.Device)
+	}
+	if step.Value != 0 && step.Value != 1 {
+		return fmt.Errorf("monitor: non-binary value %d", step.Value)
+	}
+	next := m.window[m.tau].Clone()
+	next[step.Device] = step.Value
+	copy(m.window, m.window[1:])
+	m.window[m.tau] = next
+	return nil
+}
+
+// Value returns the device state at the node's lag: lag 0 is the present.
+func (m *PhantomStateMachine) Value(n dig.Node) (int, error) {
+	if n.Lag < 0 || n.Lag > m.tau {
+		return 0, fmt.Errorf("monitor: lag %d outside [0,%d]", n.Lag, m.tau)
+	}
+	if n.Device < 0 || n.Device >= m.reg.Len() {
+		return 0, fmt.Errorf("monitor: device index %d out of range", n.Device)
+	}
+	return m.window[m.tau-n.Lag][n.Device], nil
+}
+
+// CauseValues fetches the values ca(S_i^t) for a cause set.
+func (m *PhantomStateMachine) CauseValues(causes []dig.Node) ([]int, error) {
+	out := make([]int, len(causes))
+	for i, c := range causes {
+		v, err := m.Value(c)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Current returns a copy of the present system state.
+func (m *PhantomStateMachine) Current() timeseries.State {
+	return m.window[m.tau].Clone()
+}
+
+// TrainingScores computes the anomaly score of every logged event in the
+// training series (anchors j ∈ {τ, ..., m}), the input to the threshold
+// calculator.
+func TrainingScores(g *dig.Graph, train *timeseries.Series) ([]float64, error) {
+	if !train.Registry.Same(g.Registry) {
+		return nil, errors.New("monitor: series registry differs from graph registry")
+	}
+	m := train.Len()
+	if m < g.Tau {
+		return nil, fmt.Errorf("monitor: series with %d events shorter than tau %d", m, g.Tau)
+	}
+	scores := make([]float64, 0, m-g.Tau+1)
+	for j := g.Tau; j <= m; j++ {
+		step, err := train.StepAt(j)
+		if err != nil {
+			return nil, err
+		}
+		causes := g.Parents(step.Device)
+		values := make([]int, len(causes))
+		for k, c := range causes {
+			values[k] = train.State(j - c.Lag)[c.Device]
+		}
+		score, err := g.AnomalyScore(step.Device, step.Value, values)
+		if err != nil {
+			return nil, err
+		}
+		scores = append(scores, score)
+	}
+	return scores, nil
+}
+
+// Threshold selects the qth percentile of the logged events' anomaly scores
+// as the detection threshold c (§V-C).
+func Threshold(g *dig.Graph, train *timeseries.Series, q float64) (float64, error) {
+	scores, err := TrainingScores(g, train)
+	if err != nil {
+		return 0, err
+	}
+	return stats.Percentile(scores, q)
+}
+
+// AnomalousEvent is one reported member of an anomaly chain, with the
+// context (cause values) the paper records for interpretation.
+type AnomalousEvent struct {
+	// Step is the offending event.
+	Step timeseries.Step
+	// Seq is the 1-based position of the event in the detector's stream
+	// (counting every Process call, including skipped duplicates), so
+	// alarms can be aligned with injected-anomaly labels.
+	Seq int
+	// Score is the anomaly score f(e, G, 𝒢).
+	Score float64
+	// Causes and CauseValues record the interaction context ca(S_i^t).
+	Causes      []dig.Node
+	CauseValues []int
+}
+
+// Alarm is raised when an anomaly chain completes (|W| = k_max) or an
+// abrupt high-score event interrupts collective tracking.
+type Alarm struct {
+	// Events holds the chain: Events[0] is the contextual anomaly, any
+	// subsequent events are the collective anomaly that followed it.
+	Events []AnomalousEvent
+	// Abrupt is true when the chain was terminated early by an abrupt
+	// high-score event rather than by reaching k_max.
+	Abrupt bool
+}
+
+// IsCollective reports whether the alarm contains a collective anomaly
+// (more than the seeding contextual anomaly).
+func (a *Alarm) IsCollective() bool { return len(a.Events) > 1 }
+
+// Detector runs the k-sequence anomaly detection of Algorithm 2 over a
+// runtime event stream.
+type Detector struct {
+	g         *dig.Graph
+	threshold float64
+	kmax      int
+	pm        *PhantomStateMachine
+	w         []AnomalousEvent
+	seq       int
+	// SkipDuplicates drops events that do not change the tracked device
+	// state, mirroring the preprocessor's sanitation. Enabled by default.
+	SkipDuplicates bool
+}
+
+// NewDetector builds a detector with the score threshold c and maximum
+// chain length kmax (kmax = 1 detects contextual anomalies only).
+func NewDetector(g *dig.Graph, threshold float64, kmax int, initial timeseries.State) (*Detector, error) {
+	if g == nil {
+		return nil, errors.New("monitor: nil graph")
+	}
+	if threshold < 0 || threshold > 1 {
+		return nil, fmt.Errorf("monitor: threshold %v outside [0,1]", threshold)
+	}
+	if kmax < 1 {
+		return nil, fmt.Errorf("monitor: kmax %d < 1", kmax)
+	}
+	pm, err := NewPhantom(g.Registry, g.Tau, initial)
+	if err != nil {
+		return nil, err
+	}
+	return &Detector{g: g, threshold: threshold, kmax: kmax, pm: pm, SkipDuplicates: true}, nil
+}
+
+// Threshold returns the detector's score threshold.
+func (d *Detector) Threshold() float64 { return d.threshold }
+
+// Pending returns the number of events currently tracked in the anomaly
+// list W.
+func (d *Detector) Pending() int { return len(d.w) }
+
+// Process ingests one runtime event and returns a non-nil Alarm when one is
+// raised, together with the event's anomaly score (NaN-free; duplicates
+// return score 0 and no alarm).
+//
+// The procedure follows Algorithm 2 literally: with an empty list W the
+// event joins W only when its score reaches the threshold (a contextual
+// anomaly); with a non-empty W the event joins only when its score is below
+// the threshold (it follows an interaction execution under the polluted
+// context). The chain is reported when |W| = k_max or when an abrupt
+// high-score event interrupts the tracking.
+func (d *Detector) Process(step timeseries.Step) (*Alarm, float64, error) {
+	d.seq++
+	if d.SkipDuplicates {
+		cur, err := d.pm.Value(dig.Node{Device: step.Device, Lag: 0})
+		if err != nil {
+			return nil, 0, err
+		}
+		if cur == step.Value {
+			return nil, 0, nil
+		}
+	}
+	if err := d.pm.Update(step); err != nil {
+		return nil, 0, err
+	}
+	causes := d.g.Parents(step.Device)
+	values, err := d.pm.CauseValues(causes)
+	if err != nil {
+		return nil, 0, err
+	}
+	score, err := d.g.AnomalyScore(step.Device, step.Value, values)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	anomalous := score >= d.threshold
+	tracking := len(d.w) > 0
+	if (tracking && !anomalous) || (!tracking && anomalous) {
+		d.w = append(d.w, AnomalousEvent{
+			Step:        step,
+			Seq:         d.seq,
+			Score:       score,
+			Causes:      causes,
+			CauseValues: values,
+		})
+	}
+	// Report when the chain is complete, or when an abrupt high-score
+	// event interrupts an ongoing tracking (Algorithm 2 line 9 — the
+	// abrupt case only applies to a chain that was already being tracked
+	// before this event, otherwise the seeding contextual anomaly would
+	// terminate its own chain immediately).
+	if len(d.w) == d.kmax || (tracking && anomalous) {
+		abrupt := len(d.w) < d.kmax
+		alarm := &Alarm{Events: d.w, Abrupt: abrupt}
+		d.w = nil
+		return alarm, score, nil
+	}
+	return nil, score, nil
+}
+
+// Flush reports any partially tracked chain at stream end and resets the
+// detector's anomaly list.
+func (d *Detector) Flush() *Alarm {
+	if len(d.w) == 0 {
+		return nil
+	}
+	alarm := &Alarm{Events: d.w, Abrupt: true}
+	d.w = nil
+	return alarm
+}
+
+// AffectedDevices returns the devices reachable from the alarm's events
+// through the interaction graph — the set a user should inspect during
+// device recovery and risk evaluation (§III: when an interaction chain is
+// abnormally executed, the graph helps track the affected devices). The
+// alarmed devices themselves are included; the result is sorted by registry
+// index.
+func AffectedDevices(g *dig.Graph, alarm *Alarm) []int {
+	if g == nil || alarm == nil {
+		return nil
+	}
+	seen := make(map[int]bool)
+	var frontier []int
+	for _, ev := range alarm.Events {
+		if !seen[ev.Step.Device] {
+			seen[ev.Step.Device] = true
+			frontier = append(frontier, ev.Step.Device)
+		}
+	}
+	for len(frontier) > 0 {
+		dev := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		for _, child := range g.Children(dev) {
+			if !seen[child] {
+				seen[child] = true
+				frontier = append(frontier, child)
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for dev := range seen {
+		out = append(out, dev)
+	}
+	sort.Ints(out)
+	return out
+}

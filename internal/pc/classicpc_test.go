@@ -1,0 +1,162 @@
+package pc
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/causaliot/causaliot/internal/stats"
+)
+
+func binCols(n int, gen func(rng *rand.Rand, row int, cols [][]int)) [][]int {
+	rng := rand.New(rand.NewSource(99))
+	// Probe the number of columns by a trial call.
+	probe := make([][]int, 8)
+	for i := range probe {
+		probe[i] = make([]int, n)
+	}
+	for row := 0; row < n; row++ {
+		gen(rng, row, probe)
+	}
+	return probe
+}
+
+func toSamples(cols [][]int, k int) []stats.Sample {
+	out := make([]stats.Sample, k)
+	for i := 0; i < k; i++ {
+		out[i] = stats.Sample{Values: cols[i], Arity: 2}
+	}
+	return out
+}
+
+func TestClassicPCOrientsCollider(t *testing.T) {
+	// X -> Z <- Y: the only structure PC can fully orient from data.
+	n := 6000
+	cols := binCols(n, func(rng *rand.Rand, row int, c [][]int) {
+		x := rng.Intn(2)
+		y := rng.Intn(2)
+		z := x | y // OR keeps Z marginally dependent on each parent
+		if rng.Float64() < 0.1 {
+			z = 1 - z
+		}
+		c[0][row], c[1][row], c[2][row] = x, y, z
+	})
+	p, st, err := ClassicPC([]string{"X", "Y", "Z"}, toSamples(cols, 3), Config{Alpha: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tests == 0 {
+		t.Error("no tests counted")
+	}
+	if p.Adjacent(0, 1) {
+		t.Error("X and Y should be separated")
+	}
+	if !p.HasDirected(0, 2) || !p.HasDirected(1, 2) {
+		t.Errorf("v-structure not oriented: directed X->Z=%v Y->Z=%v undirected XZ=%v",
+			p.HasDirected(0, 2), p.HasDirected(1, 2), p.HasUndirected(0, 2))
+	}
+	if p.CountDirected() != 2 || p.CountUndirected() != 0 {
+		t.Errorf("counts: directed=%d undirected=%d", p.CountDirected(), p.CountUndirected())
+	}
+}
+
+func TestClassicPCLeavesChainUndirected(t *testing.T) {
+	// X -> Z -> Y is Markov-equivalent to X <- Z <- Y and X <- Z -> Y:
+	// classic PC must keep the skeleton but cannot orient it. This is the
+	// §V-B motivation for TemporalPC.
+	n := 6000
+	cols := binCols(n, func(rng *rand.Rand, row int, c [][]int) {
+		x := rng.Intn(2)
+		z := x
+		if rng.Float64() < 0.15 {
+			z = 1 - z
+		}
+		y := z
+		if rng.Float64() < 0.15 {
+			y = 1 - y
+		}
+		c[0][row], c[1][row], c[2][row] = x, y, z
+	})
+	p, _, err := ClassicPC([]string{"X", "Y", "Z"}, toSamples(cols, 3), Config{Alpha: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Adjacent(0, 1) {
+		t.Error("X and Y should be separated given Z")
+	}
+	if !p.HasUndirected(0, 2) || !p.HasUndirected(1, 2) {
+		t.Errorf("chain edges should stay undirected: XZ=%v YZ=%v", p.HasUndirected(0, 2), p.HasUndirected(1, 2))
+	}
+	if p.CountUndirected() != 2 {
+		t.Errorf("CountUndirected = %d, want 2", p.CountUndirected())
+	}
+}
+
+func TestClassicPCSeparatesIndependent(t *testing.T) {
+	n := 3000
+	cols := binCols(n, func(rng *rand.Rand, row int, c [][]int) {
+		c[0][row] = rng.Intn(2)
+		c[1][row] = rng.Intn(2)
+	})
+	p, _, err := ClassicPC([]string{"A", "B"}, toSamples(cols, 2), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Adjacent(0, 1) {
+		t.Error("independent variables left adjacent")
+	}
+}
+
+func TestClassicPCMeekR1PropagatesOrientation(t *testing.T) {
+	// Structure: X -> Z <- Y (collider) plus Z - W. After the collider is
+	// oriented, Meek R1 forces Z -> W (otherwise a new collider at Z
+	// would have been detected).
+	n := 8000
+	cols := binCols(n, func(rng *rand.Rand, row int, c [][]int) {
+		x := rng.Intn(2)
+		y := rng.Intn(2)
+		z := x | y
+		if rng.Float64() < 0.05 {
+			z = 1 - z
+		}
+		w := z
+		if rng.Float64() < 0.15 {
+			w = 1 - w
+		}
+		c[0][row], c[1][row], c[2][row], c[3][row] = x, y, z, w
+	})
+	p, _, err := ClassicPC([]string{"X", "Y", "Z", "W"}, toSamples(cols, 4), Config{Alpha: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.HasDirected(0, 2) || !p.HasDirected(1, 2) {
+		t.Fatalf("collider not oriented first (X->Z=%v, Y->Z=%v)", p.HasDirected(0, 2), p.HasDirected(1, 2))
+	}
+	if !p.HasDirected(2, 3) {
+		t.Errorf("Meek R1 should orient Z->W; undirected=%v", p.HasUndirected(2, 3))
+	}
+}
+
+func TestClassicPCValidation(t *testing.T) {
+	s := stats.Sample{Values: []int{0, 1}, Arity: 2}
+	if _, _, err := ClassicPC([]string{"a"}, []stats.Sample{s}, Config{}); err == nil {
+		t.Error("single variable accepted")
+	}
+	if _, _, err := ClassicPC([]string{"a", "b"}, []stats.Sample{s}, Config{}); err == nil {
+		t.Error("name/sample mismatch accepted")
+	}
+}
+
+func TestPDAGAccessors(t *testing.T) {
+	p := newPDAG([]string{"a", "b"})
+	if p.Len() != 2 || p.Name(1) != "b" {
+		t.Error("accessors wrong")
+	}
+	p.setUndirected(0, 1)
+	if !p.HasUndirected(0, 1) || !p.Adjacent(1, 0) {
+		t.Error("undirected edge not set")
+	}
+	p.orient(0, 1)
+	if !p.HasDirected(0, 1) || p.HasDirected(1, 0) || p.HasUndirected(0, 1) {
+		t.Error("orientation wrong")
+	}
+}

@@ -1,0 +1,349 @@
+package pc
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/causaliot/causaliot/internal/dig"
+	"github.com/causaliot/causaliot/internal/stats"
+	"github.com/causaliot/causaliot/internal/timeseries"
+)
+
+// chainSeries simulates the paper's running example (Figure 2): a
+// light -> heater -> temperature interaction chain where each stage copies
+// its cause with a little noise. Device order: light=0, heater=1, temp=2.
+func chainSeries(t *testing.T, m int, noise float64, seed int64) *timeseries.Series {
+	t.Helper()
+	reg, err := timeseries.NewRegistry([]string{"light", "heater", "temp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	flip := func(v int, p float64) int {
+		if rng.Float64() < p {
+			return 1 - v
+		}
+		return v
+	}
+	steps := make([]timeseries.Step, 0, m)
+	light, heater := 0, 0
+	for j := 0; j < m; j++ {
+		switch j % 3 {
+		case 0:
+			light = rng.Intn(2)
+			steps = append(steps, timeseries.Step{Device: 0, Value: light})
+		case 1:
+			heater = flip(light, noise)
+			steps = append(steps, timeseries.Step{Device: 1, Value: heater})
+		default:
+			steps = append(steps, timeseries.Step{Device: 2, Value: flip(heater, noise)})
+		}
+	}
+	s, err := timeseries.FromSteps(reg, timeseries.State{0, 0, 0}, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func parentDevices(ps []dig.Node) map[int]bool {
+	out := make(map[int]bool)
+	for _, p := range ps {
+		out[p.Device] = true
+	}
+	return out
+}
+
+func TestTemporalPCRecoversChainAndPrunesSpuriousEdge(t *testing.T) {
+	s := chainSeries(t, 6000, 0.05, 11)
+	miner := NewMiner(Config{Alpha: 0.001})
+
+	heaterParents, _, _, err := miner.DiscoverParents(s, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !parentDevices(heaterParents)[0] {
+		t.Errorf("heater parents %v should include the light", heaterParents)
+	}
+
+	tempParents, removals, _, err := miner.DiscoverParents(s, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devs := parentDevices(tempParents)
+	if !devs[1] {
+		t.Errorf("temp parents %v should include the heater", tempParents)
+	}
+	if devs[0] {
+		t.Errorf("temp parents %v should NOT include the light (spurious chain edge)", tempParents)
+	}
+	// The light edges must have been pruned, most by a conditioning set
+	// (they are marginally dependent through the chain).
+	prunedLight := 0
+	for _, r := range removals {
+		if r.Parent.Device == 0 {
+			prunedLight++
+		}
+	}
+	if prunedLight == 0 {
+		t.Error("no removal recorded for the light's spurious edges")
+	}
+}
+
+func TestTemporalPCStatsAccounting(t *testing.T) {
+	s := chainSeries(t, 1500, 0.05, 3)
+	miner := NewMiner(Config{})
+	_, removals, st, err := miner.DiscoverParents(s, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tests == 0 {
+		t.Error("no CI tests counted")
+	}
+	if st.RemovedEdges != len(removals) {
+		t.Errorf("RemovedEdges=%d but %d removals recorded", st.RemovedEdges, len(removals))
+	}
+}
+
+func TestTemporalPCMineBuildsFittedDIG(t *testing.T) {
+	s := chainSeries(t, 6000, 0.05, 17)
+	miner := NewMiner(Config{Workers: 4})
+	g, removals, st, err := miner.Mine(s, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Tau != 2 {
+		t.Errorf("tau = %d", g.Tau)
+	}
+	if len(removals) != 3 {
+		t.Errorf("removals recorded for %d devices, want 3", len(removals))
+	}
+	if st.Tests == 0 {
+		t.Error("no tests counted in Mine")
+	}
+	pairs := g.DevicePairs()
+	has := func(c, o int) bool {
+		for _, p := range pairs {
+			if p.Cause == c && p.Outcome == o {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(0, 1) || !has(1, 2) {
+		t.Errorf("mined pairs %v missing chain edges", pairs)
+	}
+	if has(0, 2) {
+		t.Errorf("mined pairs %v contain the spurious light->temp edge", pairs)
+	}
+	// The CPT must encode the copy semantics: heater likely on when the
+	// light was on.
+	hp := g.Parents(1)
+	caOn := make([]int, len(hp))
+	caOff := make([]int, len(hp))
+	for i, p := range hp {
+		if p.Device == 0 {
+			caOn[i] = 1
+		} else {
+			// Keep autocorrelation parents (if any) fixed to the
+			// same value in both queries.
+			caOn[i] = 0
+		}
+	}
+	pOn, err := g.Likelihood(1, 1, caOn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pOff, err := g.Likelihood(1, 1, caOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pOn <= pOff {
+		t.Errorf("P(heater=1|light on)=%v should exceed P(heater=1|light off)=%v", pOn, pOff)
+	}
+}
+
+func TestTemporalPCMineDeterministicAcrossWorkerCounts(t *testing.T) {
+	s := chainSeries(t, 3000, 0.05, 23)
+	g1, _, _, err := NewMiner(Config{Workers: 1}).Mine(s, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g8, _, _, err := NewMiner(Config{Workers: 8}).Mine(s, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g1.Interactions(), g8.Interactions()) {
+		t.Errorf("worker count changed the result:\n1: %v\n8: %v", g1.Interactions(), g8.Interactions())
+	}
+}
+
+func TestTemporalPCMaxCondSizeCap(t *testing.T) {
+	s := chainSeries(t, 1200, 0.05, 5)
+	_, _, st, err := NewMiner(Config{MaxCondSize: 1}).DiscoverParents(s, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MaxCondSizeReached > 1 {
+		t.Errorf("MaxCondSizeReached = %d, want <= 1", st.MaxCondSizeReached)
+	}
+}
+
+func TestTemporalPCValidation(t *testing.T) {
+	s := chainSeries(t, 30, 0, 1)
+	miner := NewMiner(Config{})
+	if _, _, _, err := miner.DiscoverParents(s, 0, 0); err == nil {
+		t.Error("tau 0 accepted")
+	}
+	if _, _, _, err := miner.DiscoverParents(s, 2, 9); err == nil {
+		t.Error("out-of-range outcome accepted")
+	}
+	if _, _, _, err := miner.DiscoverParents(s, 40, 0); err == nil {
+		t.Error("tau longer than series accepted")
+	}
+	if _, _, _, err := miner.Mine(s, 0, 0); err == nil {
+		t.Error("Mine tau 0 accepted")
+	}
+	if _, _, _, err := miner.Mine(s, 40, 0); err == nil {
+		t.Error("Mine with overlong tau accepted")
+	}
+}
+
+func TestForEachSubset(t *testing.T) {
+	pool := []dig.Node{{Device: 0, Lag: 1}, {Device: 1, Lag: 1}, {Device: 2, Lag: 1}}
+	var got [][]int
+	forEachSubset(pool, 2, func(cs []dig.Node) bool {
+		row := []int{cs[0].Device, cs[1].Device}
+		got = append(got, row)
+		return true
+	})
+	want := [][]int{{0, 1}, {0, 2}, {1, 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("subsets = %v, want %v", got, want)
+	}
+
+	// k=0 yields exactly the empty subset.
+	count := 0
+	forEachSubset(pool, 0, func(cs []dig.Node) bool {
+		if len(cs) != 0 {
+			t.Errorf("k=0 subset not empty: %v", cs)
+		}
+		count++
+		return true
+	})
+	if count != 1 {
+		t.Errorf("k=0 enumerated %d subsets, want 1", count)
+	}
+
+	// k > len(pool) yields nothing.
+	forEachSubset(pool, 4, func(cs []dig.Node) bool {
+		t.Errorf("k>len yielded %v", cs)
+		return true
+	})
+
+	// Early stop.
+	count = 0
+	forEachSubset(pool, 1, func(cs []dig.Node) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Errorf("early stop enumerated %d subsets, want 1", count)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Alpha != DefaultAlpha {
+		t.Errorf("Alpha default = %v", cfg.Alpha)
+	}
+	if cfg.Workers < 1 {
+		t.Errorf("Workers default = %d", cfg.Workers)
+	}
+}
+
+func TestTemporalPCStableVariant(t *testing.T) {
+	s := chainSeries(t, 4000, 0.05, 31)
+	stable, _, _, err := NewMiner(Config{Stable: true}).Mine(s, 2, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PC-stable must still recover the chain and prune the spurious
+	// light->temp edge.
+	pairs := stable.DevicePairs()
+	has := func(c, o int) bool {
+		for _, p := range pairs {
+			if p.Cause == c && p.Outcome == o {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(0, 1) || !has(1, 2) {
+		t.Errorf("stable variant missed chain edges: %v", pairs)
+	}
+	if has(0, 2) {
+		t.Errorf("stable variant kept the spurious edge: %v", pairs)
+	}
+}
+
+func TestTemporalPCEventAnchorsAblation(t *testing.T) {
+	s := chainSeries(t, 4000, 0.05, 37)
+	g, _, st, err := NewMiner(Config{EventAnchors: true}).Mine(s, 2, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tests == 0 {
+		t.Error("no tests in event-anchored mode")
+	}
+	// Event anchoring forces the autocorrelation self edge per device.
+	for dev := 0; dev < 3; dev++ {
+		found := false
+		for _, p := range g.Parents(dev) {
+			if p.Device == dev && p.Lag == 1 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("device %d lacks the forced self edge", dev)
+		}
+	}
+}
+
+func TestTemporalPCMaxParentsCap(t *testing.T) {
+	s := chainSeries(t, 2000, 0.05, 41)
+	g, _, _, err := NewMiner(Config{MaxParents: 1}).Mine(s, 2, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for dev := 0; dev < 3; dev++ {
+		if n := len(g.Parents(dev)); n > 1 {
+			t.Errorf("device %d kept %d parents, cap is 1", dev, n)
+		}
+	}
+}
+
+func TestTemporalPCWithPearsonTester(t *testing.T) {
+	s := chainSeries(t, 4000, 0.05, 43)
+	miner := NewMiner(Config{Tester: stats.PearsonChiSquareTester{MinObsPerDOF: 5}})
+	g, _, _, err := miner.Mine(s, 2, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := g.DevicePairs()
+	has := func(c, o int) bool {
+		for _, p := range pairs {
+			if p.Cause == c && p.Outcome == o {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(0, 1) || !has(1, 2) {
+		t.Errorf("Pearson tester missed chain edges: %v", pairs)
+	}
+	if has(0, 2) {
+		t.Errorf("Pearson tester kept the spurious edge: %v", pairs)
+	}
+}

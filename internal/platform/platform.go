@@ -1,0 +1,256 @@
+// Package platform implements the centralized IoT platform the paper
+// assumes (§II-A): a hub that binds devices, tracks their latest raw and
+// unified states from incoming device events, keeps the event log the
+// Interaction Miner consumes, executes user-installed automation rules with
+// chained execution, and fans events out to subscribers (e.g. a runtime
+// anomaly detector).
+package platform
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/causaliot/causaliot/internal/automation"
+	"github.com/causaliot/causaliot/internal/event"
+)
+
+// DefaultActionDelay is the simulated latency between a triggering event and
+// the platform-issued action event.
+const DefaultActionDelay = 500 * time.Millisecond
+
+// DefaultMaxChainDepth caps recursive automation execution so a mis-
+// configured rule cycle cannot wedge the hub.
+const DefaultMaxChainDepth = 8
+
+// UnifyFunc converts a raw device value into the unified binary state used
+// for rule triggering.
+type UnifyFunc func(dev event.Device, value float64) int
+
+// DefaultUnify treats binary and responsive-numeric values as
+// zero/non-zero; ambient values cannot be unified without a learned
+// threshold and default to Low.
+func DefaultUnify(dev event.Device, value float64) int {
+	switch dev.Attribute.Class {
+	case event.AmbientNumeric:
+		return 0
+	default:
+		if value != 0 {
+			return 1
+		}
+		return 0
+	}
+}
+
+// Config tunes the hub.
+type Config struct {
+	// ActionDelay is the latency of platform-issued action events.
+	// Defaults to DefaultActionDelay.
+	ActionDelay time.Duration
+	// MaxChainDepth caps chained automation execution. Defaults to
+	// DefaultMaxChainDepth.
+	MaxChainDepth int
+	// Unify converts raw values to binary rule-trigger states. Defaults
+	// to DefaultUnify.
+	Unify UnifyFunc
+}
+
+func (c Config) withDefaults() Config {
+	if c.ActionDelay <= 0 {
+		c.ActionDelay = DefaultActionDelay
+	}
+	if c.MaxChainDepth <= 0 {
+		c.MaxChainDepth = DefaultMaxChainDepth
+	}
+	if c.Unify == nil {
+		c.Unify = DefaultUnify
+	}
+	return c
+}
+
+// Hub is the IoT platform. It is safe for concurrent use.
+type Hub struct {
+	cfg    Config
+	engine *automation.Engine
+
+	mu      sync.Mutex
+	devices map[string]event.Device
+	state   map[string]float64
+	log     event.Log
+	subs    []func(event.Event)
+}
+
+// NewHub binds the devices and installs the automation engine (which may be
+// empty but not nil-checked away: pass an engine built from zero rules for a
+// rule-free home).
+func NewHub(devices []event.Device, engine *automation.Engine, cfg Config) (*Hub, error) {
+	if len(devices) == 0 {
+		return nil, errors.New("platform: no devices")
+	}
+	if engine == nil {
+		return nil, errors.New("platform: nil automation engine")
+	}
+	h := &Hub{
+		cfg:     cfg.withDefaults(),
+		engine:  engine,
+		devices: make(map[string]event.Device, len(devices)),
+		state:   make(map[string]float64, len(devices)),
+	}
+	for _, d := range devices {
+		if err := d.Validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := h.devices[d.Name]; dup {
+			return nil, fmt.Errorf("platform: duplicate device %q", d.Name)
+		}
+		h.devices[d.Name] = d
+	}
+	// Every rule must reference bound devices and actuate an actuatable
+	// attribute class.
+	for _, r := range engine.Rules() {
+		if _, ok := h.devices[r.TriggerDev]; !ok {
+			return nil, fmt.Errorf("platform: rule %s triggers on unbound device %q", r.ID, r.TriggerDev)
+		}
+		action, ok := h.devices[r.ActionDev]
+		if !ok {
+			return nil, fmt.Errorf("platform: rule %s actuates unbound device %q", r.ID, r.ActionDev)
+		}
+		if action.Attribute.Class == event.AmbientNumeric {
+			return nil, fmt.Errorf("platform: rule %s actuates ambient sensor %q", r.ID, r.ActionDev)
+		}
+	}
+	return h, nil
+}
+
+// Subscribe registers a callback invoked (outside the hub lock, in order)
+// for every accepted event, including automation-issued ones.
+func (h *Hub) Subscribe(fn func(event.Event)) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.subs = append(h.subs, fn)
+}
+
+// Devices returns the bound devices keyed by name (a copy).
+func (h *Hub) Devices() map[string]event.Device {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[string]event.Device, len(h.devices))
+	for k, v := range h.devices {
+		out[k] = v
+	}
+	return out
+}
+
+// RawState returns the latest raw value reported by the device.
+func (h *Hub) RawState(name string) (float64, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	v, ok := h.state[name]
+	return v, ok
+}
+
+// BinaryState returns the unified binary state of the device.
+func (h *Hub) BinaryState(name string) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	dev, ok := h.devices[name]
+	if !ok {
+		return 0, fmt.Errorf("platform: unknown device %q", name)
+	}
+	return h.cfg.Unify(dev, h.state[name]), nil
+}
+
+// Log returns a copy of the collected event log.
+func (h *Hub) Log() event.Log {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(event.Log, len(h.log))
+	copy(out, h.log)
+	return out
+}
+
+// EventCount returns the number of logged events.
+func (h *Hub) EventCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.log)
+}
+
+// actionRawValue picks the raw value an automation action writes for the
+// desired binary state.
+func actionRawValue(dev event.Device, binary int) float64 {
+	if binary == 0 {
+		return 0
+	}
+	switch dev.Attribute.Class {
+	case event.ResponsiveNumeric:
+		return 50 // nominal in-use reading (e.g. watts)
+	default:
+		return 1
+	}
+}
+
+// Ingest accepts a device event, updates the tracked state, logs it, and
+// executes any triggered automation rules. It returns the full cascade in
+// execution order: the ingested event first, then every automation-issued
+// event (chained rules recurse up to MaxChainDepth).
+func (h *Hub) Ingest(e event.Event) ([]event.Event, error) {
+	h.mu.Lock()
+	cascade, err := h.ingestLocked(e, 0)
+	var subs []func(event.Event)
+	if err == nil && len(h.subs) > 0 {
+		subs = make([]func(event.Event), len(h.subs))
+		copy(subs, h.subs)
+	}
+	h.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	for _, ev := range cascade {
+		for _, fn := range subs {
+			fn(ev)
+		}
+	}
+	return cascade, nil
+}
+
+func (h *Hub) ingestLocked(e event.Event, depth int) ([]event.Event, error) {
+	dev, ok := h.devices[e.Device]
+	if !ok {
+		return nil, fmt.Errorf("platform: event from unbound device %q", e.Device)
+	}
+	if e.Location == "" {
+		e.Location = dev.Location
+	}
+	h.state[e.Device] = e.Value
+	h.log = append(h.log, e)
+	cascade := []event.Event{e}
+
+	if depth >= h.cfg.MaxChainDepth {
+		return cascade, nil
+	}
+	binary := h.cfg.Unify(dev, e.Value)
+	current := func(name string) int {
+		d, ok := h.devices[name]
+		if !ok {
+			return 0
+		}
+		return h.cfg.Unify(d, h.state[name])
+	}
+	for _, act := range h.engine.Actions(e.Device, binary, current) {
+		target := h.devices[act.Device]
+		actionEvent := event.Event{
+			Timestamp: e.Timestamp.Add(h.cfg.ActionDelay),
+			Device:    act.Device,
+			Location:  target.Location,
+			Value:     actionRawValue(target, act.Value),
+		}
+		sub, err := h.ingestLocked(actionEvent, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		cascade = append(cascade, sub...)
+	}
+	return cascade, nil
+}

@@ -1,0 +1,265 @@
+package platform
+
+import (
+	"testing"
+	"time"
+
+	"github.com/causaliot/causaliot/internal/automation"
+	"github.com/causaliot/causaliot/internal/event"
+)
+
+var t0 = time.Date(2023, 1, 1, 8, 0, 0, 0, time.UTC)
+
+func testDevices() []event.Device {
+	return []event.Device{
+		{Name: "PE_bedroom", Attribute: event.PresenceSensor, Location: "bedroom"},
+		{Name: "P_heater", Attribute: event.PowerSensor, Location: "bathroom"},
+		{Name: "S_player", Attribute: event.Switch, Location: "bedroom"},
+		{Name: "B_kitchen", Attribute: event.BrightnessSensor, Location: "kitchen"},
+	}
+}
+
+func chainedRules() []automation.Rule {
+	return []automation.Rule{
+		{ID: "R8", TriggerDev: "PE_bedroom", TriggerVal: 1, ActionDev: "P_heater", ActionVal: 1},
+		{ID: "R3", TriggerDev: "P_heater", TriggerVal: 1, ActionDev: "S_player", ActionVal: 1},
+	}
+}
+
+func mustHub(t *testing.T, rules []automation.Rule, cfg Config) *Hub {
+	t.Helper()
+	engine, err := automation.NewEngine(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHub(testDevices(), engine, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestNewHubValidation(t *testing.T) {
+	engine, _ := automation.NewEngine(nil)
+	if _, err := NewHub(nil, engine, Config{}); err == nil {
+		t.Error("no devices accepted")
+	}
+	if _, err := NewHub(testDevices(), nil, Config{}); err == nil {
+		t.Error("nil engine accepted")
+	}
+	dup := []event.Device{
+		{Name: "a", Attribute: event.Switch},
+		{Name: "a", Attribute: event.Switch},
+	}
+	if _, err := NewHub(dup, engine, Config{}); err == nil {
+		t.Error("duplicate devices accepted")
+	}
+	badTrigger, _ := automation.NewEngine([]automation.Rule{
+		{ID: "X", TriggerDev: "ghost", TriggerVal: 1, ActionDev: "S_player", ActionVal: 1},
+	})
+	if _, err := NewHub(testDevices(), badTrigger, Config{}); err == nil {
+		t.Error("rule on unbound trigger accepted")
+	}
+	badAction, _ := automation.NewEngine([]automation.Rule{
+		{ID: "X", TriggerDev: "S_player", TriggerVal: 1, ActionDev: "B_kitchen", ActionVal: 1},
+	})
+	if _, err := NewHub(testDevices(), badAction, Config{}); err == nil {
+		t.Error("rule actuating ambient sensor accepted")
+	}
+}
+
+func TestIngestTracksStateAndLog(t *testing.T) {
+	h := mustHub(t, nil, Config{})
+	cascade, err := h.Ingest(event.Event{Timestamp: t0, Device: "S_player", Value: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cascade) != 1 {
+		t.Fatalf("cascade = %v", cascade)
+	}
+	if v, ok := h.RawState("S_player"); !ok || v != 1 {
+		t.Errorf("RawState = %v,%v", v, ok)
+	}
+	if b, err := h.BinaryState("S_player"); err != nil || b != 1 {
+		t.Errorf("BinaryState = %v,%v", b, err)
+	}
+	if h.EventCount() != 1 {
+		t.Errorf("EventCount = %d", h.EventCount())
+	}
+	if got := h.Log(); len(got) != 1 || got[0].Location != "bedroom" {
+		t.Errorf("Log = %v (location should default from the device)", got)
+	}
+}
+
+func TestIngestRejectsUnboundDevice(t *testing.T) {
+	h := mustHub(t, nil, Config{})
+	if _, err := h.Ingest(event.Event{Timestamp: t0, Device: "ghost", Value: 1}); err != nil {
+		if h.EventCount() != 0 {
+			t.Error("rejected event was logged")
+		}
+	} else {
+		t.Error("unbound device accepted")
+	}
+}
+
+func TestChainedAutomationExecution(t *testing.T) {
+	h := mustHub(t, chainedRules(), Config{ActionDelay: time.Second})
+	cascade, err := h.Ingest(event.Event{Timestamp: t0, Device: "PE_bedroom", Value: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PE_bedroom=1 -> R8 -> P_heater=50 -> R3 -> S_player=1.
+	if len(cascade) != 3 {
+		t.Fatalf("cascade length = %d, want 3: %v", len(cascade), cascade)
+	}
+	if cascade[1].Device != "P_heater" || cascade[1].Value != 50 {
+		t.Errorf("cascade[1] = %v (responsive action should use nominal raw value)", cascade[1])
+	}
+	if cascade[2].Device != "S_player" || cascade[2].Value != 1 {
+		t.Errorf("cascade[2] = %v", cascade[2])
+	}
+	if !cascade[1].Timestamp.Equal(t0.Add(time.Second)) || !cascade[2].Timestamp.Equal(t0.Add(2*time.Second)) {
+		t.Errorf("action delays wrong: %v %v", cascade[1].Timestamp, cascade[2].Timestamp)
+	}
+	if h.EventCount() != 3 {
+		t.Errorf("EventCount = %d", h.EventCount())
+	}
+}
+
+func TestRuleSkippedWhenActionAlreadySatisfied(t *testing.T) {
+	h := mustHub(t, chainedRules(), Config{})
+	if _, err := h.Ingest(event.Event{Timestamp: t0, Device: "P_heater", Value: 50}); err != nil {
+		t.Fatal(err)
+	}
+	// S_player is now 1 (via R3). A later heater report must not re-fire;
+	// neither should R8 when the heater is already on.
+	n := h.EventCount()
+	cascade, err := h.Ingest(event.Event{Timestamp: t0.Add(time.Minute), Device: "PE_bedroom", Value: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cascade) != 1 {
+		t.Errorf("cascade = %v, want only the presence event", cascade)
+	}
+	if h.EventCount() != n+1 {
+		t.Errorf("EventCount grew by %d", h.EventCount()-n)
+	}
+}
+
+func TestChainDepthCap(t *testing.T) {
+	// Self-sustaining pair: a on -> b on -> a off -> b off -> a on ...
+	devices := []event.Device{
+		{Name: "a", Attribute: event.Switch, Location: "x"},
+		{Name: "b", Attribute: event.Switch, Location: "x"},
+	}
+	rules := []automation.Rule{
+		{ID: "1", TriggerDev: "a", TriggerVal: 1, ActionDev: "b", ActionVal: 1},
+		{ID: "2", TriggerDev: "b", TriggerVal: 1, ActionDev: "a", ActionVal: 0},
+		{ID: "3", TriggerDev: "a", TriggerVal: 0, ActionDev: "b", ActionVal: 0},
+		{ID: "4", TriggerDev: "b", TriggerVal: 0, ActionDev: "a", ActionVal: 1},
+	}
+	engine, err := automation.NewEngine(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHub(devices, engine, Config{MaxChainDepth: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cascade, err := h.Ingest(event.Event{Timestamp: t0, Device: "a", Value: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cascade) > 6 {
+		t.Errorf("cascade length %d exceeds depth cap", len(cascade))
+	}
+}
+
+func TestSubscribersReceiveCascade(t *testing.T) {
+	h := mustHub(t, chainedRules(), Config{})
+	var seen []string
+	h.Subscribe(func(e event.Event) { seen = append(seen, e.Device) })
+	if _, err := h.Ingest(event.Event{Timestamp: t0, Device: "PE_bedroom", Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 3 || seen[0] != "PE_bedroom" || seen[1] != "P_heater" || seen[2] != "S_player" {
+		t.Errorf("subscriber saw %v", seen)
+	}
+}
+
+func TestSubscriberMayReingest(t *testing.T) {
+	// A subscriber that reacts to the player by reporting brightness must
+	// not deadlock (callbacks run outside the hub lock).
+	h := mustHub(t, chainedRules(), Config{})
+	h.Subscribe(func(e event.Event) {
+		if e.Device == "S_player" && e.Value == 1 {
+			if _, err := h.Ingest(event.Event{Timestamp: e.Timestamp.Add(time.Second), Device: "B_kitchen", Value: 300}); err != nil {
+				t.Errorf("re-ingest failed: %v", err)
+			}
+		}
+	})
+	if _, err := h.Ingest(event.Event{Timestamp: t0, Device: "PE_bedroom", Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if h.EventCount() != 4 {
+		t.Errorf("EventCount = %d, want 4", h.EventCount())
+	}
+}
+
+func TestBinaryStateUnknownDevice(t *testing.T) {
+	h := mustHub(t, nil, Config{})
+	if _, err := h.BinaryState("ghost"); err == nil {
+		t.Error("unknown device accepted")
+	}
+}
+
+func TestDefaultUnify(t *testing.T) {
+	sw := event.Device{Name: "s", Attribute: event.Switch}
+	br := event.Device{Name: "b", Attribute: event.BrightnessSensor}
+	pw := event.Device{Name: "p", Attribute: event.PowerSensor}
+	if DefaultUnify(sw, 1) != 1 || DefaultUnify(sw, 0) != 0 {
+		t.Error("binary unify wrong")
+	}
+	if DefaultUnify(pw, 37.5) != 1 || DefaultUnify(pw, 0) != 0 {
+		t.Error("responsive unify wrong")
+	}
+	if DefaultUnify(br, 1e9) != 0 {
+		t.Error("ambient should default to Low without a threshold")
+	}
+}
+
+func TestHubConcurrentIngest(t *testing.T) {
+	h := mustHub(t, chainedRules(), Config{})
+	const workers = 8
+	const perWorker = 50
+	done := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			for i := 0; i < perWorker; i++ {
+				e := event.Event{
+					Timestamp: t0.Add(time.Duration(w*perWorker+i) * time.Second),
+					Device:    "S_player",
+					Value:     float64(i % 2),
+				}
+				if _, err := h.Ingest(e); err != nil {
+					done <- err
+					return
+				}
+				if _, err := h.BinaryState("S_player"); err != nil {
+					done <- err
+					return
+				}
+				_ = h.EventCount()
+			}
+			done <- nil
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.EventCount() < workers*perWorker {
+		t.Errorf("EventCount = %d, want >= %d", h.EventCount(), workers*perWorker)
+	}
+}

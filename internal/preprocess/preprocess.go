@@ -1,0 +1,337 @@
+// Package preprocess implements the Event Preprocessor of paper §V-A. It
+// sanitizes logged device events (dropping duplicated state reports and
+// three-sigma outliers), unifies the diverse value types into binary device
+// states (responsive numeric states threshold at zero; ambient numeric
+// states are discretized with Jenks natural breaks into Low/High), derives
+// the IoT time series, and selects the maximum time lag τ = d/v from the
+// average event interval v and the feedback duration d (60 s by default).
+package preprocess
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/causaliot/causaliot/internal/event"
+	"github.com/causaliot/causaliot/internal/stats"
+	"github.com/causaliot/causaliot/internal/timeseries"
+)
+
+// DefaultMaxDuration is the paper's feedback window d: long enough to wait
+// for any interaction feedback (e.g. automation execution) after a device
+// operation.
+const DefaultMaxDuration = 60 * time.Second
+
+// DefaultTauMax bounds the selected lag; a large τ inflates the DIG node
+// count and the cost of skeleton construction (paper §V-D).
+const DefaultTauMax = 6
+
+// Config controls preprocessing.
+type Config struct {
+	// MaxDuration is the feedback duration d used to pick τ = d/v.
+	// Defaults to DefaultMaxDuration.
+	MaxDuration time.Duration
+	// TauMax clamps the selected τ. Defaults to DefaultTauMax.
+	TauMax int
+	// TauOverride, when positive, bypasses τ selection entirely.
+	TauOverride int
+	// InitialState optionally fixes the binary state each device starts
+	// in; missing devices start at 0.
+	InitialState map[string]int
+	// KeepOutliers disables the three-sigma filter (useful when feeding
+	// the detector raw test traces in which injected anomalies must
+	// survive preprocessing).
+	KeepOutliers bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxDuration <= 0 {
+		c.MaxDuration = DefaultMaxDuration
+	}
+	if c.TauMax <= 0 {
+		c.TauMax = DefaultTauMax
+	}
+	return c
+}
+
+// Report summarizes what preprocessing did.
+type Report struct {
+	RawEvents         int
+	OutliersDropped   int
+	DuplicatesDropped int
+	KeptEvents        int
+	AverageInterval   time.Duration
+	Tau               int
+}
+
+// Result is the preprocessed dataset.
+type Result struct {
+	Series *timeseries.Series
+	Tau    int
+	Report Report
+}
+
+// Preprocessor unifies raw device events into binary states. It learns the
+// per-device discretization thresholds from a training log and can then
+// unify runtime events consistently (used by the Event Monitor).
+type Preprocessor struct {
+	cfg      Config
+	devices  map[string]event.Device
+	registry *timeseries.Registry
+	// thresholds maps ambient-numeric device names to their Jenks
+	// Low/High break; values above the threshold unify to 1.
+	thresholds map[string]float64
+	// sigma maps numeric device names to the (mean, std) used by the
+	// three-sigma filter.
+	sigma  map[string][2]float64
+	fitted bool
+}
+
+// New creates a preprocessor for the given device inventory.
+func New(devices []event.Device, cfg Config) (*Preprocessor, error) {
+	if len(devices) == 0 {
+		return nil, errors.New("preprocess: no devices")
+	}
+	names := make([]string, 0, len(devices))
+	byName := make(map[string]event.Device, len(devices))
+	for _, d := range devices {
+		if err := d.Validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := byName[d.Name]; dup {
+			return nil, fmt.Errorf("preprocess: duplicate device %q", d.Name)
+		}
+		byName[d.Name] = d
+		names = append(names, d.Name)
+	}
+	reg, err := timeseries.NewRegistry(names)
+	if err != nil {
+		return nil, err
+	}
+	return &Preprocessor{
+		cfg:        cfg.withDefaults(),
+		devices:    byName,
+		registry:   reg,
+		thresholds: make(map[string]float64),
+		sigma:      make(map[string][2]float64),
+	}, nil
+}
+
+// Registry returns the device registry shared with the produced series.
+func (p *Preprocessor) Registry() *timeseries.Registry { return p.registry }
+
+// Device returns the device definition for name.
+func (p *Preprocessor) Device(name string) (event.Device, bool) {
+	d, ok := p.devices[name]
+	return d, ok
+}
+
+// Threshold returns the learned Low/High break for an ambient-numeric
+// device. The second return is false until Process has run or when the
+// device is not ambient numeric.
+func (p *Preprocessor) Threshold(name string) (float64, bool) {
+	v, ok := p.thresholds[name]
+	return v, ok
+}
+
+// Thresholds exports every learned ambient discretization break (a copy),
+// for model persistence.
+func (p *Preprocessor) Thresholds() map[string]float64 {
+	out := make(map[string]float64, len(p.thresholds))
+	for k, v := range p.thresholds {
+		out[k] = v
+	}
+	return out
+}
+
+// RestoreThresholds installs previously learned ambient breaks, marking the
+// preprocessor fitted so UnifyValue works without re-running Process.
+func (p *Preprocessor) RestoreThresholds(thresholds map[string]float64) error {
+	for name := range thresholds {
+		dev, ok := p.devices[name]
+		if !ok {
+			return fmt.Errorf("preprocess: threshold for unknown device %q", name)
+		}
+		if dev.Attribute.Class != event.AmbientNumeric {
+			return fmt.Errorf("preprocess: threshold for non-ambient device %q", name)
+		}
+	}
+	for name, v := range thresholds {
+		p.thresholds[name] = v
+	}
+	p.fitted = true
+	return nil
+}
+
+// Process sanitizes and unifies a training log and derives the time series
+// and τ. It must be called before UnifyValue.
+func (p *Preprocessor) Process(log event.Log) (*Result, error) {
+	if len(log) == 0 {
+		return nil, errors.New("preprocess: empty log")
+	}
+	sorted := make(event.Log, len(log))
+	copy(sorted, log)
+	sorted.SortByTime()
+
+	report := Report{RawEvents: len(sorted)}
+
+	// Pass 1: learn three-sigma bounds and Jenks thresholds from the raw
+	// numeric readings.
+	numeric := make(map[string][]float64)
+	for _, e := range sorted {
+		dev, ok := p.devices[e.Device]
+		if !ok {
+			return nil, fmt.Errorf("preprocess: event from unknown device %q", e.Device)
+		}
+		if dev.Attribute.Class != event.Binary {
+			numeric[e.Device] = append(numeric[e.Device], e.Value)
+		}
+	}
+	for name, vals := range numeric {
+		mean, std := stats.MeanStd(vals)
+		p.sigma[name] = [2]float64{mean, std}
+	}
+	for name, vals := range numeric {
+		if p.devices[name].Attribute.Class != event.AmbientNumeric {
+			continue
+		}
+		inliers := p.filterOutliers(name, vals)
+		if len(inliers) < 2 {
+			inliers = vals
+		}
+		thr, err := stats.JenksThreshold(inliers)
+		if err != nil {
+			return nil, fmt.Errorf("preprocess: jenks for %q: %w", name, err)
+		}
+		p.thresholds[name] = thr
+	}
+	p.fitted = true
+
+	// Pass 2: sanitize (outliers, duplicates) and unify.
+	last := make(map[string]int, len(p.devices))
+	for name := range p.devices {
+		last[name] = p.initialOf(name)
+	}
+	var steps []timeseries.Step
+	var kept event.Log
+	for _, e := range sorted {
+		dev := p.devices[e.Device]
+		if dev.Attribute.Class != event.Binary && !p.cfg.KeepOutliers {
+			ms := p.sigma[e.Device]
+			if ms[1] > 0 && !stats.WithinThreeSigma(e.Value, ms[0], ms[1]) {
+				report.OutliersDropped++
+				continue
+			}
+		}
+		state, err := p.UnifyValue(e.Device, e.Value)
+		if err != nil {
+			return nil, err
+		}
+		if state == last[e.Device] {
+			report.DuplicatesDropped++
+			continue
+		}
+		last[e.Device] = state
+		idx, _ := p.registry.Index(e.Device)
+		steps = append(steps, timeseries.Step{Device: idx, Value: state, Time: e.Timestamp})
+		kept = append(kept, e)
+	}
+	if len(steps) == 0 {
+		return nil, errors.New("preprocess: sanitation removed every event")
+	}
+	report.KeptEvents = len(steps)
+
+	initial := make(timeseries.State, p.registry.Len())
+	for i := 0; i < p.registry.Len(); i++ {
+		initial[i] = p.initialOf(p.registry.Name(i))
+	}
+	series, err := timeseries.FromSteps(p.registry, initial, steps)
+	if err != nil {
+		return nil, err
+	}
+
+	tau := p.cfg.TauOverride
+	report.AverageInterval = kept.AverageInterval()
+	if tau <= 0 {
+		tau = p.selectTau(report.AverageInterval)
+	}
+	report.Tau = tau
+	return &Result{Series: series, Tau: tau, Report: report}, nil
+}
+
+// UnifyValue converts a raw device reading into the unified binary state
+// using the thresholds learned during Process. Binary attributes map any
+// non-zero value to 1; responsive numeric attributes threshold at zero
+// (Idle/Working); ambient numeric attributes threshold at the Jenks break
+// (Low/High).
+func (p *Preprocessor) UnifyValue(device string, value float64) (int, error) {
+	dev, ok := p.devices[device]
+	if !ok {
+		return 0, fmt.Errorf("preprocess: unknown device %q", device)
+	}
+	switch dev.Attribute.Class {
+	case event.Binary:
+		if value != 0 {
+			return 1, nil
+		}
+		return 0, nil
+	case event.ResponsiveNumeric:
+		if value > 0 {
+			return 1, nil
+		}
+		return 0, nil
+	case event.AmbientNumeric:
+		if !p.fitted {
+			return 0, fmt.Errorf("preprocess: ambient device %q unified before Process", device)
+		}
+		thr, ok := p.thresholds[device]
+		if !ok {
+			return 0, fmt.Errorf("preprocess: no threshold learned for ambient device %q", device)
+		}
+		if value > thr {
+			return 1, nil
+		}
+		return 0, nil
+	default:
+		return 0, fmt.Errorf("preprocess: device %q has invalid class %v", device, dev.Attribute.Class)
+	}
+}
+
+func (p *Preprocessor) filterOutliers(name string, vals []float64) []float64 {
+	ms := p.sigma[name]
+	if ms[1] == 0 {
+		return vals
+	}
+	out := make([]float64, 0, len(vals))
+	for _, v := range vals {
+		if stats.WithinThreeSigma(v, ms[0], ms[1]) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func (p *Preprocessor) initialOf(name string) int {
+	if p.cfg.InitialState == nil {
+		return 0
+	}
+	if v := p.cfg.InitialState[name]; v == 1 {
+		return 1
+	}
+	return 0
+}
+
+func (p *Preprocessor) selectTau(avg time.Duration) int {
+	if avg <= 0 {
+		return 1
+	}
+	tau := int(math.Round(float64(p.cfg.MaxDuration) / float64(avg)))
+	if tau < 1 {
+		tau = 1
+	}
+	if tau > p.cfg.TauMax {
+		tau = p.cfg.TauMax
+	}
+	return tau
+}

@@ -1,0 +1,289 @@
+package preprocess
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/causaliot/causaliot/internal/event"
+)
+
+var t0 = time.Date(2023, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func testDevices() []event.Device {
+	return []event.Device{
+		{Name: "S_kitchen", Attribute: event.Switch, Location: "kitchen"},
+		{Name: "W_sink", Attribute: event.WaterMeter, Location: "kitchen"},
+		{Name: "B_living", Attribute: event.BrightnessSensor, Location: "living"},
+	}
+}
+
+func mustNew(t *testing.T, cfg Config) *Preprocessor {
+	t.Helper()
+	p, err := New(testDevices(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, Config{}); err == nil {
+		t.Error("empty inventory accepted")
+	}
+	dup := []event.Device{
+		{Name: "a", Attribute: event.Switch},
+		{Name: "a", Attribute: event.Switch},
+	}
+	if _, err := New(dup, Config{}); err == nil {
+		t.Error("duplicate device accepted")
+	}
+	bad := []event.Device{{Name: "", Attribute: event.Switch}}
+	if _, err := New(bad, Config{}); err == nil {
+		t.Error("invalid device accepted")
+	}
+}
+
+func TestDeduplicationOfRepeatedReports(t *testing.T) {
+	p := mustNew(t, Config{TauOverride: 1})
+	log := event.Log{
+		{Timestamp: t0, Device: "S_kitchen", Value: 1},
+		{Timestamp: t0.Add(time.Second), Device: "S_kitchen", Value: 1}, // duplicate
+		{Timestamp: t0.Add(2 * time.Second), Device: "S_kitchen", Value: 0},
+		{Timestamp: t0.Add(3 * time.Second), Device: "S_kitchen", Value: 0}, // duplicate
+		{Timestamp: t0.Add(4 * time.Second), Device: "S_kitchen", Value: 1},
+	}
+	res, err := p.Process(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.DuplicatesDropped != 2 {
+		t.Errorf("DuplicatesDropped = %d, want 2", res.Report.DuplicatesDropped)
+	}
+	if res.Series.Len() != 3 {
+		t.Errorf("series length = %d, want 3", res.Series.Len())
+	}
+}
+
+func TestResponsiveNumericThresholdsAtZero(t *testing.T) {
+	p := mustNew(t, Config{TauOverride: 1})
+	log := event.Log{
+		{Timestamp: t0, Device: "W_sink", Value: 3.2},                      // Working
+		{Timestamp: t0.Add(time.Second), Device: "W_sink", Value: 1.1},     // still Working -> dup
+		{Timestamp: t0.Add(2 * time.Second), Device: "W_sink", Value: 0},   // Idle
+		{Timestamp: t0.Add(3 * time.Second), Device: "W_sink", Value: 5.0}, // Working
+	}
+	res, err := p.Process(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Series.Len() != 3 {
+		t.Fatalf("series length = %d, want 3 (one duplicate)", res.Series.Len())
+	}
+	idx, _ := p.Registry().Index("W_sink")
+	wantStates := []int{1, 0, 1}
+	for j, want := range wantStates {
+		if got := res.Series.State(j + 1)[idx]; got != want {
+			t.Errorf("state %d = %d, want %d", j+1, got, want)
+		}
+	}
+}
+
+func TestAmbientNumericJenksUnification(t *testing.T) {
+	p := mustNew(t, Config{TauOverride: 1})
+	log := event.Log{}
+	// Alternate between a Low cluster (~50 lux) and a High cluster
+	// (~500 lux) so dedup keeps the transitions.
+	vals := []float64{48, 510, 52, 495, 50, 505, 47, 500}
+	for i, v := range vals {
+		log = append(log, event.Event{Timestamp: t0.Add(time.Duration(i) * time.Minute), Device: "B_living", Value: v})
+	}
+	res, err := p.Process(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thr, ok := p.Threshold("B_living")
+	if !ok {
+		t.Fatal("no threshold learned")
+	}
+	if thr < 52 || thr >= 495 {
+		t.Errorf("threshold = %v, want in [52,495)", thr)
+	}
+	// The first Low reading matches the all-zeros initial state and is
+	// deduplicated; the remaining 7 readings all flip the unified state.
+	if res.Series.Len() != len(vals)-1 {
+		t.Errorf("series length = %d, want %d", res.Series.Len(), len(vals)-1)
+	}
+	if got, err := p.UnifyValue("B_living", 999); err != nil || got != 1 {
+		t.Errorf("UnifyValue(high) = %d,%v", got, err)
+	}
+	if got, err := p.UnifyValue("B_living", 1); err != nil || got != 0 {
+		t.Errorf("UnifyValue(low) = %d,%v", got, err)
+	}
+}
+
+func TestThreeSigmaOutlierFilter(t *testing.T) {
+	p := mustNew(t, Config{TauOverride: 1})
+	log := event.Log{}
+	for i := 0; i < 40; i++ {
+		v := 50.0
+		if i%2 == 1 {
+			v = 500
+		}
+		log = append(log, event.Event{Timestamp: t0.Add(time.Duration(i) * time.Minute), Device: "B_living", Value: v})
+	}
+	// One absurd reading far outside three sigma of the bimodal sample.
+	log = append(log, event.Event{Timestamp: t0.Add(41 * time.Minute), Device: "B_living", Value: 1e6})
+	res, err := p.Process(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.OutliersDropped != 1 {
+		t.Errorf("OutliersDropped = %d, want 1", res.Report.OutliersDropped)
+	}
+}
+
+func TestKeepOutliersConfig(t *testing.T) {
+	p := mustNew(t, Config{TauOverride: 1, KeepOutliers: true})
+	log := event.Log{}
+	for i := 0; i < 40; i++ {
+		v := 50.0
+		if i%2 == 1 {
+			v = 500
+		}
+		log = append(log, event.Event{Timestamp: t0.Add(time.Duration(i) * time.Minute), Device: "B_living", Value: v})
+	}
+	log = append(log, event.Event{Timestamp: t0.Add(41 * time.Minute), Device: "B_living", Value: 1e6})
+	res, err := p.Process(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.OutliersDropped != 0 {
+		t.Errorf("OutliersDropped = %d, want 0 with KeepOutliers", res.Report.OutliersDropped)
+	}
+}
+
+func TestTauSelection(t *testing.T) {
+	// 20-second average interval with d=60s gives τ=3.
+	p := mustNew(t, Config{})
+	log := event.Log{}
+	state := 0.0
+	for i := 0; i < 30; i++ {
+		state = 1 - state
+		log = append(log, event.Event{Timestamp: t0.Add(time.Duration(i) * 20 * time.Second), Device: "S_kitchen", Value: state})
+	}
+	res, err := p.Process(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tau != 3 {
+		t.Errorf("Tau = %d, want 3", res.Tau)
+	}
+}
+
+func TestTauClampedToTauMax(t *testing.T) {
+	p := mustNew(t, Config{TauMax: 2})
+	log := event.Log{}
+	state := 0.0
+	for i := 0; i < 30; i++ {
+		state = 1 - state
+		log = append(log, event.Event{Timestamp: t0.Add(time.Duration(i) * time.Second), Device: "S_kitchen", Value: state})
+	}
+	res, err := p.Process(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tau != 2 {
+		t.Errorf("Tau = %d, want clamp at 2", res.Tau)
+	}
+}
+
+func TestUnknownDeviceRejected(t *testing.T) {
+	p := mustNew(t, Config{})
+	log := event.Log{{Timestamp: t0, Device: "ghost", Value: 1}}
+	if _, err := p.Process(log); err == nil {
+		t.Error("event from unknown device accepted")
+	}
+	if _, err := p.UnifyValue("ghost", 1); err == nil {
+		t.Error("UnifyValue for unknown device accepted")
+	}
+}
+
+func TestAmbientUnifyBeforeProcessFails(t *testing.T) {
+	p := mustNew(t, Config{})
+	if _, err := p.UnifyValue("B_living", 10); err == nil {
+		t.Error("ambient unify before Process accepted")
+	}
+}
+
+func TestInitialStateRespected(t *testing.T) {
+	p, err := New(testDevices(), Config{TauOverride: 1, InitialState: map[string]int{"S_kitchen": 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := event.Log{
+		{Timestamp: t0, Device: "S_kitchen", Value: 1}, // duplicate of initial
+		{Timestamp: t0.Add(time.Second), Device: "S_kitchen", Value: 0},
+	}
+	res, err := p.Process(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.DuplicatesDropped != 1 {
+		t.Errorf("DuplicatesDropped = %d, want 1 (matches initial)", res.Report.DuplicatesDropped)
+	}
+	idx, _ := p.Registry().Index("S_kitchen")
+	if res.Series.State(0)[idx] != 1 {
+		t.Error("initial state not respected")
+	}
+}
+
+func TestEmptyLogRejected(t *testing.T) {
+	p := mustNew(t, Config{})
+	if _, err := p.Process(nil); err == nil {
+		t.Error("empty log accepted")
+	}
+}
+
+// Property: after preprocessing, consecutive states of any single device in
+// the step sequence always alternate (dedup removes every same-state
+// report), and every kept step is binary.
+func TestDedupAlternationProperty(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN%80) + 2
+		rng := rand.New(rand.NewSource(seed))
+		p, err := New(testDevices(), Config{TauOverride: 1})
+		if err != nil {
+			return false
+		}
+		log := make(event.Log, 0, n)
+		for i := 0; i < n; i++ {
+			log = append(log, event.Event{
+				Timestamp: t0.Add(time.Duration(i) * time.Second),
+				Device:    "S_kitchen",
+				Value:     float64(rng.Intn(2)),
+			})
+		}
+		res, err := p.Process(log)
+		if err != nil {
+			// All-duplicate logs are legitimately rejected.
+			return res == nil
+		}
+		prev := res.Series.State(0)[0]
+		for j := 1; j <= res.Series.Len(); j++ {
+			cur := res.Series.State(j)[0]
+			if cur != 0 && cur != 1 {
+				return false
+			}
+			if cur == prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

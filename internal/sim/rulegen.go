@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/causaliot/causaliot/internal/automation"
+	"github.com/causaliot/causaliot/internal/event"
+)
+
+// GenerateRules reproduces the paper's automation-rule generation scheme
+// (§VI-A): identify the devices suitable as triggering and action devices —
+// brightness and presence sensors are not suitable action devices, as they
+// are not bound to any actuator — then randomly pair them into n
+// trigger-action rules. Generated rules are deduplicated per (trigger,
+// action) device pair and never self-trigger.
+func (tb *Testbed) GenerateRules(n int, seed int64) ([]automation.Rule, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("sim: rule count %d < 1", n)
+	}
+	var triggers, actions []event.Device
+	for _, d := range tb.Devices {
+		triggers = append(triggers, d) // any reported state can trigger
+		switch d.Attribute.Name {
+		case event.BrightnessSensor.Name, event.PresenceSensor.Name,
+			event.ContactSensor.Name, event.WaterMeter.Name:
+			// Not bound to an actuator: unsuitable action devices.
+		default:
+			if d.Attribute.Class != event.AmbientNumeric {
+				actions = append(actions, d)
+			}
+		}
+	}
+	if len(actions) == 0 {
+		return nil, fmt.Errorf("sim: testbed %q has no actuatable devices", tb.Name)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	used := make(map[[2]string]bool)
+	var rules []automation.Rule
+	for attempts := 0; len(rules) < n && attempts < 200*n; attempts++ {
+		trig := triggers[rng.Intn(len(triggers))]
+		act := actions[rng.Intn(len(actions))]
+		if trig.Name == act.Name || used[[2]string{trig.Name, act.Name}] {
+			continue
+		}
+		used[[2]string{trig.Name, act.Name}] = true
+		rules = append(rules, automation.Rule{
+			ID:          fmt.Sprintf("G%d", len(rules)+1),
+			Description: fmt.Sprintf("generated: if %s=%d then %s=%d", trig.Name, len(rules)%2, act.Name, (len(rules)+1)%2),
+			TriggerDev:  trig.Name,
+			TriggerVal:  rng.Intn(2),
+			ActionDev:   act.Name,
+			ActionVal:   rng.Intn(2),
+		})
+	}
+	if len(rules) < n {
+		return nil, fmt.Errorf("sim: only generated %d of %d rules", len(rules), n)
+	}
+	// Fix descriptions to match the drawn values.
+	for i := range rules {
+		rules[i].Description = fmt.Sprintf("generated: if %s=%d then %s=%d",
+			rules[i].TriggerDev, rules[i].TriggerVal, rules[i].ActionDev, rules[i].ActionVal)
+	}
+	return rules, nil
+}

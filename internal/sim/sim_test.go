@@ -1,0 +1,384 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"github.com/causaliot/causaliot/internal/event"
+	"github.com/causaliot/causaliot/internal/timeseries"
+)
+
+func TestBuiltinTestbedsValidate(t *testing.T) {
+	for _, tb := range []*Testbed{ContextActLike(), CASASLike()} {
+		if err := tb.Validate(); err != nil {
+			t.Errorf("%s: %v", tb.Name, err)
+		}
+	}
+}
+
+func TestContextActInventoryMatchesTableI(t *testing.T) {
+	tb := ContextActLike()
+	want := map[string]int{
+		event.Switch.Name:           2,
+		event.PresenceSensor.Name:   5,
+		event.ContactSensor.Name:    2,
+		event.Dimmer.Name:           2,
+		event.WaterMeter.Name:       1,
+		event.PowerSensor.Name:      6,
+		event.BrightnessSensor.Name: 4,
+	}
+	for _, row := range tb.Inventory() {
+		if row.Count != want[row.Attribute.Name] {
+			t.Errorf("%s count = %d, want %d", row.Attribute.Name, row.Count, want[row.Attribute.Name])
+		}
+	}
+	if len(tb.Rules) != 12 {
+		t.Errorf("rules = %d, want 12 (Table II)", len(tb.Rules))
+	}
+}
+
+func TestCASASInventoryMatchesTableI(t *testing.T) {
+	tb := CASASLike()
+	counts := map[string]int{}
+	for _, d := range tb.Devices {
+		counts[d.Attribute.Name]++
+	}
+	if counts[event.PresenceSensor.Name] != 7 || counts[event.ContactSensor.Name] != 1 {
+		t.Errorf("CASAS inventory = %v", counts)
+	}
+}
+
+func TestValidateCatchesBrokenTestbeds(t *testing.T) {
+	broken := func(mutate func(tb *Testbed)) *Testbed {
+		tb := ContextActLike()
+		mutate(tb)
+		return tb
+	}
+	cases := []struct {
+		name string
+		tb   *Testbed
+	}{
+		{"empty name", broken(func(tb *Testbed) { tb.Name = "" })},
+		{"no hub room", broken(func(tb *Testbed) { tb.HubRoom = "" })},
+		{"hub not in rooms", broken(func(tb *Testbed) { tb.HubRoom = "attic" })},
+		{"presence unknown room", broken(func(tb *Testbed) { tb.PresenceFor["attic"] = "PE_kitchen" })},
+		{"presence wrong attr", broken(func(tb *Testbed) { tb.PresenceFor["kitchen"] = "S_player" })},
+		{"activity unknown room", broken(func(tb *Testbed) {
+			tb.Activities[0].Steps = []ScriptStep{Move("attic")}
+		})},
+		{"activity unknown device", broken(func(tb *Testbed) {
+			tb.Activities[0].Steps = []ScriptStep{Operate("ghost", 1)}
+		})},
+		{"activity operates ambient", broken(func(tb *Testbed) {
+			tb.Activities[0].Steps = []ScriptStep{Operate("B_kitchen", 1)}
+		})},
+		{"non-binary op", broken(func(tb *Testbed) {
+			tb.Activities[0].Steps = []ScriptStep{Operate("S_player", 3)}
+		})},
+		{"channel unknown sensor", broken(func(tb *Testbed) { tb.Channels[0].Sensor = "ghost" })},
+		{"channel sensor not ambient", broken(func(tb *Testbed) { tb.Channels[0].Sensor = "S_player" })},
+		{"channel unknown source", broken(func(tb *Testbed) {
+			tb.Channels[0].Sources = []LightSource{{Device: "ghost", Contribution: 1}}
+		})},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.tb.Validate(); err == nil {
+				t.Error("broken testbed validated")
+			}
+		})
+	}
+}
+
+func TestSimulatorProducesPlausibleLog(t *testing.T) {
+	simr, err := NewSimulator(ContextActLike(), Config{Seed: 1, Days: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := simr.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log) < 300 {
+		t.Fatalf("only %d events in 2 simulated days", len(log))
+	}
+	if !log.Sorted() {
+		t.Error("log not time-sorted")
+	}
+	// Every event must come from the inventory.
+	tb := ContextActLike()
+	for _, e := range log {
+		if _, ok := tb.Device(e.Device); !ok {
+			t.Fatalf("event from unknown device %q", e.Device)
+		}
+	}
+	// All attribute families must be represented.
+	seen := map[string]bool{}
+	for _, e := range log {
+		d, _ := tb.Device(e.Device)
+		seen[d.Attribute.Name] = true
+	}
+	for _, attr := range []event.Attribute{event.Switch, event.PresenceSensor, event.ContactSensor, event.Dimmer, event.WaterMeter, event.PowerSensor, event.BrightnessSensor} {
+		if !seen[attr.Name] {
+			t.Errorf("no events from %s devices", attr.Name)
+		}
+	}
+}
+
+func TestSimulatorDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) event.Log {
+		s, err := NewSimulator(ContextActLike(), Config{Seed: seed, Days: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		log, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return log
+	}
+	a, b := run(7), run(7)
+	if len(a) != len(b) {
+		t.Fatalf("same seed produced %d vs %d events", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := run(8)
+	if len(a) == len(c) {
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical logs")
+		}
+	}
+}
+
+func TestSimulatorAutomationManifests(t *testing.T) {
+	simr, err := NewSimulator(ContextActLike(), Config{Seed: 3, Days: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := simr.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// R8: PE_bedroom=1 must be followed (closely) by a P_heater
+	// activation at least once.
+	found := false
+	for i, e := range log {
+		if e.Device == "PE_bedroom" && e.Value == 1 {
+			for j := i + 1; j < len(log) && j < i+4; j++ {
+				if log[j].Device == "P_heater" && log[j].Value > 0 {
+					found = true
+					break
+				}
+			}
+		}
+		if found {
+			break
+		}
+	}
+	if !found {
+		t.Error("automation R8 never manifested in the log")
+	}
+}
+
+func TestExpandEmissionOrder(t *testing.T) {
+	tb := ContextActLike()
+	var cooking Activity
+	for _, a := range tb.Activities {
+		if a.Name == "cooking" {
+			cooking = a
+		}
+	}
+	ems := tb.expand(cooking)
+	if len(ems) < 4 {
+		t.Fatalf("expansion too short: %+v", ems)
+	}
+	// First move: living -> kitchen emits the living vacancy pulse, then
+	// the kitchen arrival pulse (short PIR holds fire during the walk).
+	if ems[0].device != "PE_living" || !ems[0].isMove {
+		t.Errorf("expansion should start with the hub vacancy, got %+v", ems[0])
+	}
+	if ems[1].device != "PE_kitchen" || !ems[1].isMove {
+		t.Errorf("arrival emission wrong: %+v", ems[1])
+	}
+	last := ems[len(ems)-1]
+	if last.device != "PE_living" {
+		t.Errorf("expansion should end at hub, got %+v", last)
+	}
+}
+
+func TestScriptAdjacencyCategories(t *testing.T) {
+	tb := ContextActLike()
+	adj := tb.scriptAdjacency()
+	checks := []struct {
+		cause, outcome string
+		want           Category
+	}{
+		{"PE_living", "PE_kitchen", CatMoveAfterMove},
+		{"PE_kitchen", "C_fridge", CatUseAfterMove}, // cooking: move to kitchen then (maybe-skipped dimmer) fridge
+		{"C_fridge", "C_fridge", ""},                // self pairs excluded here
+		{"P_stove", "P_oven", CatUseAfterUse},
+		{"W_sink", "PE_kitchen", CatMoveAfterUse}, // dishwashing: sink op then (skippables) leave kitchen
+	}
+	for _, c := range checks {
+		got, ok := adj[[2]string{c.cause, c.outcome}]
+		if c.want == "" {
+			if ok {
+				t.Errorf("%s->%s should not be in script adjacency", c.cause, c.outcome)
+			}
+			continue
+		}
+		if !ok {
+			t.Errorf("%s->%s missing from script adjacency", c.cause, c.outcome)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s->%s category = %s, want %s", c.cause, c.outcome, got, c.want)
+		}
+	}
+}
+
+func TestExplain(t *testing.T) {
+	tb := ContextActLike()
+	cases := []struct {
+		cause, outcome string
+		want           Category
+		ok             bool
+	}{
+		{"W_sink", "W_sink", CatAutocorrelation, true},
+		{"PE_bedroom", "P_heater", CatAutomation, true}, // R8
+		{"D_kitchen", "B_kitchen", CatPhysical, true},
+		{"P_stove", "B_kitchen", CatPhysical, true},
+		{"PE_living", "PE_kitchen", CatMoveAfterMove, true},
+		{"B_living", "W_sink", "", false},
+		{"P_washer", "C_fridge", "", false},
+	}
+	for _, c := range cases {
+		got, ok := tb.Explain(c.cause, c.outcome)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("Explain(%s,%s) = %q,%v want %q,%v", c.cause, c.outcome, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestCandidatePairsAndGroundTruth(t *testing.T) {
+	reg, err := timeseries.NewRegistry([]string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := timeseries.FromSteps(reg, timeseries.State{0, 0}, []timeseries.Step{
+		{Device: 0, Value: 1},
+		{Device: 1, Value: 1},
+		{Device: 0, Value: 0},
+		{Device: 1, Value: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := CandidatePairs(series, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pairs[[2]string{"a", "b"}] != 2 || pairs[[2]string{"b", "a"}] != 1 {
+		t.Errorf("pairs = %v", pairs)
+	}
+	if _, err := CandidatePairs(series, 0); err == nil {
+		t.Error("window 0 accepted")
+	}
+}
+
+func TestInventoryOrder(t *testing.T) {
+	tb := ContextActLike()
+	inv := tb.Inventory()
+	if len(inv) != 7 {
+		t.Fatalf("inventory rows = %d", len(inv))
+	}
+	if inv[0].Attribute.Name != event.Switch.Name || inv[6].Attribute.Name != event.BrightnessSensor.Name {
+		t.Error("inventory order does not match Table I")
+	}
+}
+
+func TestSimulatorRejectsNilAndBroken(t *testing.T) {
+	if _, err := NewSimulator(nil, Config{}); err == nil {
+		t.Error("nil testbed accepted")
+	}
+	tb := ContextActLike()
+	tb.Name = ""
+	if _, err := NewSimulator(tb, Config{}); err == nil {
+		t.Error("broken testbed accepted")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Days != 7 || cfg.MeanGap != 18*time.Minute || cfg.ReportEvery != 10*time.Minute {
+		t.Errorf("defaults = %+v", cfg)
+	}
+}
+
+func TestGenerateRules(t *testing.T) {
+	tb := ContextActLike()
+	rules, err := tb.GenerateRules(12, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 12 {
+		t.Fatalf("generated %d rules", len(rules))
+	}
+	seen := map[[2]string]bool{}
+	for _, r := range rules {
+		if err := r.Validate(); err != nil {
+			t.Errorf("invalid generated rule %+v: %v", r, err)
+		}
+		// Action devices must be actuatable (paper: brightness and
+		// presence sensors are not suitable action devices).
+		d, ok := tb.Device(r.ActionDev)
+		if !ok {
+			t.Fatalf("unknown action device %q", r.ActionDev)
+		}
+		switch d.Attribute.Name {
+		case event.BrightnessSensor.Name, event.PresenceSensor.Name,
+			event.ContactSensor.Name, event.WaterMeter.Name:
+			t.Errorf("rule actuates non-actuatable %s", r.ActionDev)
+		}
+		key := [2]string{r.TriggerDev, r.ActionDev}
+		if seen[key] {
+			t.Errorf("duplicate rule pair %v", key)
+		}
+		seen[key] = true
+	}
+	// A testbed whose generated rules replace the built-in ones must
+	// still validate and simulate.
+	tb.Rules = rules
+	if err := tb.Validate(); err != nil {
+		t.Fatalf("testbed with generated rules invalid: %v", err)
+	}
+	simr, err := NewSimulator(tb, Config{Seed: 1, Days: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := simr.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateRulesValidation(t *testing.T) {
+	tb := ContextActLike()
+	if _, err := tb.GenerateRules(0, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	casas := CASASLike()
+	if _, err := casas.GenerateRules(3, 1); err == nil {
+		t.Error("rule generation on an actuator-free testbed should fail")
+	}
+}

@@ -1,0 +1,541 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/causaliot/causaliot/internal/automation"
+	"github.com/causaliot/causaliot/internal/event"
+	"github.com/causaliot/causaliot/internal/platform"
+)
+
+// Config tunes a simulation run.
+type Config struct {
+	// Seed drives all randomness; runs are reproducible.
+	Seed int64
+	// Days is the simulated duration (the paper's testbeds recorded 30
+	// and 7 days). Defaults to 7.
+	Days int
+	// Start is the simulation start instant. Defaults to a fixed Monday
+	// 07:00 so runs stay reproducible.
+	Start time.Time
+	// MeanGap is the mean idle time between activities. Defaults to 18
+	// minutes.
+	MeanGap time.Duration
+	// NoiseRate is the probability that an idle gap contains one random
+	// spurious device operation. Defaults to 0.02.
+	NoiseRate float64
+	// ReportEvery is the period of duplicated ambient sensor reports
+	// (exercising event sanitation). Zero disables; defaults to 10
+	// minutes.
+	ReportEvery time.Duration
+	// OutlierRate is the probability that a periodic ambient report is an
+	// extreme (three-sigma) faulty reading. Defaults to 0.002.
+	OutlierRate float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Days <= 0 {
+		c.Days = 7
+	}
+	if c.Start.IsZero() {
+		c.Start = time.Date(2023, 1, 2, 7, 0, 0, 0, time.UTC)
+	}
+	if c.MeanGap <= 0 {
+		c.MeanGap = 18 * time.Minute
+	}
+	if c.NoiseRate == 0 {
+		c.NoiseRate = 0.02
+	}
+	if c.ReportEvery == 0 {
+		c.ReportEvery = 10 * time.Minute
+	}
+	if c.OutlierRate == 0 {
+		c.OutlierRate = 0.002
+	}
+	return c
+}
+
+// Simulator drives a testbed through simulated days of resident life and
+// collects the platform event log.
+type Simulator struct {
+	tb  *Testbed
+	cfg Config
+	rng *rand.Rand
+
+	hub        *platform.Hub
+	clock      time.Time
+	room       string
+	binary     map[string]int     // unified state per device, as the sim believes it
+	lastReport map[string]float64 // last raw ambient reading emitted
+	daylight   bool
+	// pendingOff holds presence-sensor timeout events (PIR sensors report
+	// vacancy only after their hold time elapses); keyed by sensor name.
+	pendingOff map[string]time.Time
+}
+
+// NewSimulator validates the testbed and binds a fresh platform hub.
+func NewSimulator(tb *Testbed, cfg Config) (*Simulator, error) {
+	if tb == nil {
+		return nil, errors.New("sim: nil testbed")
+	}
+	if err := tb.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	engine, err := automation.NewEngine(tb.Rules)
+	if err != nil {
+		return nil, err
+	}
+	unify := func(dev event.Device, value float64) int {
+		if dev.Attribute.Class == event.AmbientNumeric {
+			if value > tb.AmbientHigh {
+				return 1
+			}
+			return 0
+		}
+		return platform.DefaultUnify(dev, value)
+	}
+	hub, err := platform.NewHub(tb.Devices, engine, platform.Config{Unify: unify})
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		tb:         tb,
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		hub:        hub,
+		clock:      cfg.Start,
+		room:       tb.HubRoom,
+		binary:     make(map[string]int),
+		lastReport: make(map[string]float64),
+		pendingOff: make(map[string]time.Time),
+	}
+	return s, nil
+}
+
+// Hub exposes the underlying platform (e.g. for runtime monitoring
+// examples).
+func (s *Simulator) Hub() *platform.Hub { return s.hub }
+
+// Run simulates cfg.Days of resident life and returns the chronologically
+// sorted event log.
+func (s *Simulator) Run() (event.Log, error) {
+	end := s.cfg.Start.Add(time.Duration(s.cfg.Days) * 24 * time.Hour)
+	s.daylight = isDay(s.clock)
+	// Seed initial ambient readings.
+	for _, ch := range s.tb.Channels {
+		if err := s.emitReading(ch, 0); err != nil {
+			return nil, err
+		}
+	}
+	nextReport := s.clock.Add(s.cfg.ReportEvery)
+	for s.clock.Before(end) {
+		// Idle gap before the next activity: the resident dwells in the
+		// hub room (or wherever the last activity left them) while
+		// periodic ambient reports and occasional noise fire.
+		gap := s.expDuration(s.cfg.MeanGap)
+		gapEnd := s.clock.Add(gap)
+		for s.cfg.ReportEvery > 0 && nextReport.Before(gapEnd) {
+			if err := s.dwell(nextReport.Sub(s.clock)); err != nil {
+				return nil, err
+			}
+			if err := s.periodicReports(); err != nil {
+				return nil, err
+			}
+			nextReport = nextReport.Add(s.cfg.ReportEvery)
+		}
+		if err := s.dwell(gapEnd.Sub(s.clock)); err != nil {
+			return nil, err
+		}
+		if s.rng.Float64() < s.cfg.NoiseRate {
+			if err := s.randomNoiseOp(); err != nil {
+				return nil, err
+			}
+		}
+		act := s.pickActivity()
+		if err := s.runActivity(act); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.flushTimeouts(); err != nil {
+		return nil, err
+	}
+	log := s.hub.Log()
+	log.SortByTime()
+	return log, nil
+}
+
+func isDay(t time.Time) bool {
+	h := t.Hour()
+	return h >= 7 && h < 19
+}
+
+func (s *Simulator) expDuration(mean time.Duration) time.Duration {
+	d := time.Duration(s.rng.ExpFloat64() * float64(mean))
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > 4*mean {
+		d = 4 * mean
+	}
+	return d
+}
+
+func (s *Simulator) pickActivity() Activity {
+	var total float64
+	for _, a := range s.tb.Activities {
+		total += a.Weight
+	}
+	r := s.rng.Float64() * total
+	for _, a := range s.tb.Activities {
+		r -= a.Weight
+		if r <= 0 {
+			return a
+		}
+	}
+	return s.tb.Activities[len(s.tb.Activities)-1]
+}
+
+func (s *Simulator) runActivity(act Activity) error {
+	for _, step := range act.Steps {
+		if s.rng.Float64() >= step.prob() {
+			continue
+		}
+		delay := step.Delay
+		if delay <= 0 {
+			delay = 15 * time.Second
+		}
+		jittered := s.jitter(delay)
+		if jittered > idleMotionEvery {
+			// Long dwells (cooking waits, sleep) keep re-triggering
+			// the occupied room's PIR.
+			if err := s.dwell(jittered); err != nil {
+				return err
+			}
+		} else {
+			s.clock = s.clock.Add(jittered)
+			if err := s.flushTimeouts(); err != nil {
+				return err
+			}
+			if err := s.maybeDaylightShift(); err != nil {
+				return err
+			}
+		}
+		switch step.Kind {
+		case KindWait:
+			// Time already advanced.
+		case KindMove:
+			if err := s.moveTo(step.Room); err != nil {
+				return err
+			}
+		case KindOperate:
+			if err := s.operate(step.Device, step.Value); err != nil {
+				return err
+			}
+		}
+	}
+	// The resident returns to the hub room if the script left them
+	// elsewhere (keeps the ground-truth adjacency static).
+	if s.room != s.tb.HubRoom {
+		s.clock = s.clock.Add(s.jitter(20 * time.Second))
+		if err := s.moveTo(s.tb.HubRoom); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Simulator) jitter(mean time.Duration) time.Duration {
+	f := 0.5 + s.rng.Float64()
+	return time.Duration(float64(mean) * f)
+}
+
+// presenceHold is the PIR sensor hold time. Real deployments (CASAS,
+// ContextAct) use short holds: every motion burst produces an ON report
+// followed seconds later by an OFF report, so presence sensors emit pulse
+// pairs around each user action. This chattiness is what makes the lagged
+// event context mean "seconds ago" — the paper's testbeds log thousands of
+// events per day for the same reason.
+const presenceHold = 6 * time.Second
+
+// idleMotionEvery is how often an occupant's incidental movement re-triggers
+// the room's PIR while they dwell (waiting, sleeping, watching TV).
+const idleMotionEvery = 2 * time.Minute
+
+// dwell advances simulated time in idle-motion slices: the resident's
+// incidental movement keeps the occupied room's PIR alive while timeouts
+// and daylight shifts fire on schedule.
+func (s *Simulator) dwell(d time.Duration) error {
+	end := s.clock.Add(d)
+	for s.clock.Before(end) {
+		slice := s.jitter(idleMotionEvery)
+		if remaining := end.Sub(s.clock); slice > remaining {
+			slice = remaining
+		}
+		s.clock = s.clock.Add(slice)
+		if err := s.flushTimeouts(); err != nil {
+			return err
+		}
+		if err := s.maybeDaylightShift(); err != nil {
+			return err
+		}
+		if err := s.motion(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// motion registers resident motion in the current room: the PIR fires (or
+// re-triggers if still held) and its short hold timer restarts, producing
+// the ON/OFF pulse pairs real motion sensors emit.
+func (s *Simulator) motion() error {
+	sensor, ok := s.tb.PresenceFor[s.room]
+	if !ok {
+		return nil
+	}
+	delete(s.pendingOff, sensor)
+	if s.binary[sensor] != 1 {
+		if err := s.ingest(sensor, 1); err != nil {
+			return err
+		}
+		s.clock = s.clock.Add(s.jitter(2 * time.Second))
+	}
+	s.pendingOff[sensor] = s.clock.Add(s.jitter(presenceHold))
+	return nil
+}
+
+func (s *Simulator) moveTo(room string) error {
+	if room == s.room {
+		return nil
+	}
+	// The room being left keeps the hold timer from its last motion; the
+	// vacancy report fires on its own.
+	s.room = room
+	s.clock = s.clock.Add(s.jitter(12 * time.Second)) // walk time
+	return s.motion()
+}
+
+// flushTimeouts ingests every presence vacancy report due at or before the
+// current clock.
+func (s *Simulator) flushTimeouts() error {
+	for {
+		var dueSensor string
+		var dueAt time.Time
+		for sensor, at := range s.pendingOff {
+			if !at.After(s.clock) && (dueSensor == "" || at.Before(dueAt)) {
+				dueSensor, dueAt = sensor, at
+			}
+		}
+		if dueSensor == "" {
+			return nil
+		}
+		delete(s.pendingOff, dueSensor)
+		saved := s.clock
+		s.clock = dueAt
+		err := s.ingest(dueSensor, 0)
+		s.clock = saved
+		if err != nil {
+			return err
+		}
+	}
+}
+
+func (s *Simulator) operate(device string, value int) error {
+	// Operating a device is motion: the room's PIR re-triggers if its
+	// hold time elapsed mid-activity (e.g. during a long cooking wait).
+	if err := s.motion(); err != nil {
+		return err
+	}
+	return s.ingest(device, value)
+}
+
+// rawFor picks the raw value reported for a binary intent.
+func (s *Simulator) rawFor(dev event.Device, value int) float64 {
+	if value == 0 {
+		return 0
+	}
+	switch dev.Attribute.Class {
+	case event.ResponsiveNumeric:
+		return 30 + s.rng.Float64()*40 // e.g. watts / flow
+	default:
+		return 1
+	}
+}
+
+// ingest pushes a device report into the hub and lets the physical channel
+// and automation cascades settle.
+func (s *Simulator) ingest(device string, value int) error {
+	dev, ok := s.tb.Device(device)
+	if !ok {
+		return fmt.Errorf("sim: unknown device %q", device)
+	}
+	e := event.Event{
+		Timestamp: s.clock,
+		Device:    device,
+		Location:  dev.Location,
+		Value:     s.rawFor(dev, value),
+	}
+	cascade, err := s.hub.Ingest(e)
+	if err != nil {
+		return err
+	}
+	return s.settle(cascade)
+}
+
+// settle applies physics to a cascade: every source state change updates its
+// channels' readings, and each emitted reading may itself trigger rules,
+// producing further cascades.
+func (s *Simulator) settle(cascade []event.Event) error {
+	queue := cascade
+	for guard := 0; len(queue) > 0 && guard < 64; guard++ {
+		var next []event.Event
+		for _, ev := range queue {
+			d, ok := s.tb.Device(ev.Device)
+			if !ok {
+				continue
+			}
+			b := 0
+			if d.Attribute.Class == event.AmbientNumeric {
+				if ev.Value > s.tb.AmbientHigh {
+					b = 1
+				}
+			} else if ev.Value != 0 {
+				b = 1
+			}
+			changed := s.binary[ev.Device] != b
+			s.binary[ev.Device] = b
+			if ev.Timestamp.After(s.clock) {
+				s.clock = ev.Timestamp
+			}
+			if !changed {
+				continue
+			}
+			// Cycle appliances stop on their own after their cycle.
+			if cycle, ok := s.tb.AutoOff[ev.Device]; ok {
+				if b == 1 {
+					s.pendingOff[ev.Device] = s.clock.Add(s.jitter(cycle))
+				} else {
+					delete(s.pendingOff, ev.Device)
+				}
+			}
+			for _, ch := range s.tb.Channels {
+				if !channelHasSource(ch, ev.Device) {
+					continue
+				}
+				sub, err := s.reading(ch, 2*time.Second)
+				if err != nil {
+					return err
+				}
+				next = append(next, sub...)
+			}
+		}
+		queue = next
+	}
+	return nil
+}
+
+func channelHasSource(ch BrightnessChannel, device string) bool {
+	for _, src := range ch.Sources {
+		if src.Device == device {
+			return true
+		}
+	}
+	return false
+}
+
+// channelValue computes a channel's current physical reading.
+func (s *Simulator) channelValue(ch BrightnessChannel) float64 {
+	v := ch.Base
+	if s.daylight {
+		v += ch.DaylightBoost
+	}
+	for _, src := range ch.Sources {
+		if s.binary[src.Device] == 1 {
+			v += src.Contribution
+		}
+	}
+	return v + s.rng.NormFloat64()*ch.Noise
+}
+
+// reading ingests a fresh channel reading after the given sensor delay and
+// returns the resulting hub cascade (rules may fire on the new value).
+func (s *Simulator) reading(ch BrightnessChannel, delay time.Duration) ([]event.Event, error) {
+	v := s.channelValue(ch)
+	s.clock = s.clock.Add(delay)
+	s.lastReport[ch.Sensor] = v
+	e := event.Event{Timestamp: s.clock, Device: ch.Sensor, Location: ch.Room, Value: v}
+	return s.hub.Ingest(e)
+}
+
+// emitReading is reading + settle, used at startup and for daylight shifts.
+func (s *Simulator) emitReading(ch BrightnessChannel, delay time.Duration) error {
+	cascade, err := s.reading(ch, delay)
+	if err != nil {
+		return err
+	}
+	return s.settle(cascade)
+}
+
+// periodicReports re-reports each ambient sensor (mostly duplicates, the
+// noise the preprocessor must sanitize), occasionally with an extreme
+// faulty value.
+func (s *Simulator) periodicReports() error {
+	for _, ch := range s.tb.Channels {
+		v := s.channelValue(ch)
+		if s.rng.Float64() < s.cfg.OutlierRate {
+			v = 5000 + s.rng.Float64()*1000 // sensor glitch
+		}
+		s.lastReport[ch.Sensor] = v
+		e := event.Event{Timestamp: s.clock, Device: ch.Sensor, Location: ch.Room, Value: v}
+		cascade, err := s.hub.Ingest(e)
+		if err != nil {
+			return err
+		}
+		if err := s.settle(cascade); err != nil {
+			return err
+		}
+		s.clock = s.clock.Add(time.Second)
+	}
+	return nil
+}
+
+// maybeDaylightShift emits fresh readings for every channel when the
+// simulation clock crosses sunrise or sunset — the unmeasured common cause
+// behind the paper's brightness false positives.
+func (s *Simulator) maybeDaylightShift() error {
+	day := isDay(s.clock)
+	if day == s.daylight {
+		return nil
+	}
+	s.daylight = day
+	for _, ch := range s.tb.Channels {
+		if err := s.emitReading(ch, time.Second); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// randomNoiseOp injects one spurious operation on a random actuator-like
+// device (unscripted behaviour).
+func (s *Simulator) randomNoiseOp() error {
+	candidates := make([]event.Device, 0, len(s.tb.Devices))
+	for _, d := range s.tb.Devices {
+		switch d.Attribute.Class {
+		case event.Binary, event.ResponsiveNumeric:
+			if d.Attribute.Name == event.PresenceSensor.Name {
+				continue // presence follows the resident, not noise
+			}
+			candidates = append(candidates, d)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	d := candidates[s.rng.Intn(len(candidates))]
+	return s.ingest(d.Name, 1-s.binary[d.Name])
+}

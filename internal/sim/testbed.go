@@ -1,0 +1,495 @@
+// Package sim implements the smart-home testbed simulator that substitutes
+// for the paper's CASAS and ContextAct datasets (§VI-A). It reproduces the
+// generating process those testbeds recorded: a resident moving between
+// rooms and operating devices (user-activity interactions), devices that
+// emit into and sensors that read from a shared brightness channel (physical
+// interactions), platform-executed trigger-action rules (automation
+// interactions, Table II), and timed device usage (autocorrelation).
+// Because every interaction in the generator is explicit, the ground-truth
+// interaction set — which the paper had to label manually — is known
+// exactly.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/causaliot/causaliot/internal/automation"
+	"github.com/causaliot/causaliot/internal/event"
+)
+
+// StepKind discriminates activity-script steps.
+type StepKind int
+
+// Script step kinds.
+const (
+	// KindMove relocates the resident, emitting presence-off then
+	// presence-on events.
+	KindMove StepKind = iota + 1
+	// KindOperate changes a device's state.
+	KindOperate
+	// KindWait advances simulated time without events.
+	KindWait
+)
+
+// ScriptStep is one step of an activity of daily living.
+type ScriptStep struct {
+	Kind StepKind
+	// Room is the movement target (KindMove).
+	Room string
+	// Device and Value describe the operation (KindOperate); Value is the
+	// unified binary intent.
+	Device string
+	Value  int
+	// Prob is the execution probability; 0 means 1.0 (always).
+	Prob float64
+	// Delay is the mean think-time before the step; 0 means a small
+	// default.
+	Delay time.Duration
+}
+
+func (s ScriptStep) prob() float64 {
+	if s.Prob <= 0 || s.Prob > 1 {
+		return 1
+	}
+	return s.Prob
+}
+
+// Move returns a movement step.
+func Move(room string) ScriptStep { return ScriptStep{Kind: KindMove, Room: room} }
+
+// Operate returns a device-operation step.
+func Operate(device string, value int) ScriptStep {
+	return ScriptStep{Kind: KindOperate, Device: device, Value: value}
+}
+
+// Wait returns a pure time-advance step.
+func Wait(d time.Duration) ScriptStep { return ScriptStep{Kind: KindWait, Delay: d} }
+
+// WithProb returns a copy of the step executed with probability p.
+func (s ScriptStep) WithProb(p float64) ScriptStep { s.Prob = p; return s }
+
+// WithDelay returns a copy of the step with mean think-time d.
+func (s ScriptStep) WithDelay(d time.Duration) ScriptStep { s.Delay = d; return s }
+
+// Activity is a scripted daily-living routine. Every activity must start
+// and end with the resident in the testbed's hub room so the ground-truth
+// adjacency derivation stays static.
+type Activity struct {
+	Name   string
+	Weight float64
+	Steps  []ScriptStep
+}
+
+// LightSource is a device that contributes to a room's brightness when on.
+type LightSource struct {
+	Device       string
+	Contribution float64
+}
+
+// BrightnessChannel models the shared physical brightness channel of one
+// room (paper Figure 1a): sources emit into it, the room's ambient sensor
+// reads from it.
+type BrightnessChannel struct {
+	// Sensor is the brightness sensor's device name.
+	Sensor string
+	Room   string
+	// Base is the dark-room reading.
+	Base float64
+	// DaylightBoost is added during the day; rooms with large windows use
+	// values above the High threshold, reproducing the paper's
+	// sun-as-unmeasured-common-cause false positives.
+	DaylightBoost float64
+	// Sources are the light emitters in the room.
+	Sources []LightSource
+	// Noise is the reading jitter standard deviation.
+	Noise float64
+}
+
+// Testbed is a complete simulated smart home.
+type Testbed struct {
+	// Name labels the testbed ("contextact-like", "casas-like").
+	Name string
+	// Devices is the full inventory (Table I).
+	Devices []event.Device
+	// Rooms lists the rooms in wandering-path order (used by the burglar
+	// scenarios); HubRoom is where the resident idles.
+	Rooms   []string
+	HubRoom string
+	// PresenceFor maps a room to its presence sensor (rooms without a
+	// sensor are absent).
+	PresenceFor map[string]string
+	// Activities are the resident's routines.
+	Activities []Activity
+	// Channels are the physical brightness channels.
+	Channels []BrightnessChannel
+	// Rules are the installed automation rules (Table II analogues).
+	Rules []automation.Rule
+	// AmbientHigh is the raw threshold above which a brightness reading
+	// counts as High for rule triggering.
+	AmbientHigh float64
+	// AutoOff gives cycle durations for appliances that stop on their
+	// own (dishwasher, washer, heater thermostat, ...): after turning on,
+	// the device reports Idle once the cycle completes.
+	AutoOff map[string]time.Duration
+}
+
+// Validate checks the testbed's internal consistency.
+func (tb *Testbed) Validate() error {
+	if tb.Name == "" {
+		return errors.New("sim: testbed without name")
+	}
+	byName := make(map[string]event.Device, len(tb.Devices))
+	for _, d := range tb.Devices {
+		if err := d.Validate(); err != nil {
+			return err
+		}
+		if _, dup := byName[d.Name]; dup {
+			return fmt.Errorf("sim: duplicate device %q", d.Name)
+		}
+		byName[d.Name] = d
+	}
+	if tb.HubRoom == "" {
+		return errors.New("sim: testbed without hub room")
+	}
+	roomSet := make(map[string]bool, len(tb.Rooms))
+	for _, r := range tb.Rooms {
+		roomSet[r] = true
+	}
+	if !roomSet[tb.HubRoom] {
+		return fmt.Errorf("sim: hub room %q not in room list", tb.HubRoom)
+	}
+	for room, sensor := range tb.PresenceFor {
+		if !roomSet[room] {
+			return fmt.Errorf("sim: presence sensor for unknown room %q", room)
+		}
+		d, ok := byName[sensor]
+		if !ok {
+			return fmt.Errorf("sim: presence sensor %q not in inventory", sensor)
+		}
+		if d.Attribute.Name != event.PresenceSensor.Name {
+			return fmt.Errorf("sim: device %q mapped as presence sensor but has attribute %q", sensor, d.Attribute.Name)
+		}
+	}
+	for _, a := range tb.Activities {
+		if a.Name == "" || len(a.Steps) == 0 {
+			return fmt.Errorf("sim: malformed activity %q", a.Name)
+		}
+		for _, s := range a.Steps {
+			switch s.Kind {
+			case KindMove:
+				if !roomSet[s.Room] {
+					return fmt.Errorf("sim: activity %q moves to unknown room %q", a.Name, s.Room)
+				}
+			case KindOperate:
+				d, ok := byName[s.Device]
+				if !ok {
+					return fmt.Errorf("sim: activity %q operates unknown device %q", a.Name, s.Device)
+				}
+				if d.Attribute.Class == event.AmbientNumeric {
+					return fmt.Errorf("sim: activity %q operates ambient sensor %q", a.Name, s.Device)
+				}
+				if s.Value != 0 && s.Value != 1 {
+					return fmt.Errorf("sim: activity %q has non-binary operation on %q", a.Name, s.Device)
+				}
+			case KindWait:
+			default:
+				return fmt.Errorf("sim: activity %q has invalid step kind %d", a.Name, s.Kind)
+			}
+		}
+	}
+	for _, ch := range tb.Channels {
+		d, ok := byName[ch.Sensor]
+		if !ok {
+			return fmt.Errorf("sim: channel sensor %q not in inventory", ch.Sensor)
+		}
+		if d.Attribute.Class != event.AmbientNumeric {
+			return fmt.Errorf("sim: channel sensor %q is not ambient numeric", ch.Sensor)
+		}
+		for _, src := range ch.Sources {
+			if _, ok := byName[src.Device]; !ok {
+				return fmt.Errorf("sim: channel source %q not in inventory", src.Device)
+			}
+		}
+	}
+	for name := range tb.AutoOff {
+		if _, ok := byName[name]; !ok {
+			return fmt.Errorf("sim: auto-off for unknown device %q", name)
+		}
+	}
+	if _, err := automation.NewEngine(tb.Rules); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Device returns the inventory entry for name.
+func (tb *Testbed) Device(name string) (event.Device, bool) {
+	for _, d := range tb.Devices {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return event.Device{}, false
+}
+
+// DeviceNames returns the inventory names in order.
+func (tb *Testbed) DeviceNames() []string {
+	out := make([]string, len(tb.Devices))
+	for i, d := range tb.Devices {
+		out[i] = d.Name
+	}
+	return out
+}
+
+// ContextActLike builds the richer of the two testbeds, mirroring the
+// ContextAct column of Table I: 2 switches, 5 presence sensors, 2 contact
+// sensors, 2 dimmers, 1 water meter, 6 power sensors, and 4 brightness
+// sensors, with 12 installed automation rules including chained pairs.
+func ContextActLike() *Testbed {
+	dev := func(name string, attr event.Attribute, loc string) event.Device {
+		return event.Device{Name: name, Attribute: attr, Location: loc}
+	}
+	devices := []event.Device{
+		dev("S_player", event.Switch, "bedroom"),
+		dev("S_curtain", event.Switch, "bedroom"),
+		dev("PE_kitchen", event.PresenceSensor, "kitchen"),
+		dev("PE_bathroom", event.PresenceSensor, "bathroom"),
+		dev("PE_bedroom", event.PresenceSensor, "bedroom"),
+		dev("PE_living", event.PresenceSensor, "living"),
+		dev("PE_dining", event.PresenceSensor, "dining"),
+		dev("C_fridge", event.ContactSensor, "kitchen"),
+		dev("C_entrance", event.ContactSensor, "living"),
+		dev("D_kitchen", event.Dimmer, "kitchen"),
+		dev("D_bathroom", event.Dimmer, "bathroom"),
+		dev("W_sink", event.WaterMeter, "kitchen"),
+		dev("P_stove", event.PowerSensor, "kitchen"),
+		dev("P_oven", event.PowerSensor, "kitchen"),
+		dev("P_dishwasher", event.PowerSensor, "kitchen"),
+		dev("P_fridge", event.PowerSensor, "kitchen"),
+		dev("P_heater", event.PowerSensor, "bathroom"),
+		dev("P_washer", event.PowerSensor, "bathroom"),
+		dev("B_kitchen", event.BrightnessSensor, "kitchen"),
+		dev("B_living", event.BrightnessSensor, "living"),
+		dev("B_bedroom", event.BrightnessSensor, "bedroom"),
+		dev("B_bathroom", event.BrightnessSensor, "bathroom"),
+	}
+
+	activities := []Activity{
+		{
+			Name: "cooking", Weight: 3,
+			Steps: []ScriptStep{
+				Move("kitchen"),
+				Operate("D_kitchen", 1).WithProb(0.85),
+				Operate("C_fridge", 1),
+				Operate("C_fridge", 0).WithDelay(40 * time.Second),
+				Operate("P_stove", 1),
+				Wait(8 * time.Minute),
+				Operate("P_stove", 0),
+				Operate("P_oven", 1).WithProb(0.4),
+				Operate("P_oven", 0).WithProb(0.4).WithDelay(6 * time.Minute),
+				Operate("D_kitchen", 0).WithProb(0.85),
+				Move("dining"),
+				Wait(10 * time.Minute),
+				Move("living"),
+			},
+		},
+		{
+			Name: "dishwashing", Weight: 2,
+			Steps: []ScriptStep{
+				Move("kitchen"),
+				Operate("W_sink", 1),
+				Operate("W_sink", 0).WithDelay(90 * time.Second),
+				Operate("P_dishwasher", 1).WithProb(0.6),
+				Operate("P_dishwasher", 0).WithProb(0.6).WithDelay(12 * time.Minute),
+				Operate("D_kitchen", 0).WithProb(0.85),
+				Move("living"),
+			},
+		},
+		{
+			Name: "bathroom-routine", Weight: 3,
+			Steps: []ScriptStep{
+				Move("bathroom"),
+				Operate("D_bathroom", 1).WithProb(0.9),
+				Wait(4 * time.Minute),
+				// The heater is switched on by rule R2 when the
+				// resident arrives; they switch it off on the way out.
+				Operate("P_heater", 0),
+				Operate("D_bathroom", 0).WithProb(0.9),
+				Move("living"),
+			},
+		},
+		{
+			Name: "laundry", Weight: 1,
+			Steps: []ScriptStep{
+				Move("bathroom"),
+				Operate("P_washer", 1),
+				Operate("P_washer", 0).WithDelay(25 * time.Minute),
+				Move("living"),
+			},
+		},
+		{
+			Name: "snack", Weight: 2,
+			Steps: []ScriptStep{
+				Move("kitchen"),
+				Operate("C_fridge", 1),
+				Operate("P_fridge", 1),
+				Operate("C_fridge", 0).WithDelay(25 * time.Second),
+				Operate("P_fridge", 0).WithDelay(30 * time.Second),
+				Operate("W_sink", 1).WithProb(0.3),
+				Operate("W_sink", 0).WithProb(0.3).WithDelay(20 * time.Second),
+				Move("living"),
+			},
+		},
+		{
+			Name: "evening-rest", Weight: 2,
+			Steps: []ScriptStep{
+				Move("bedroom"),
+				Operate("S_player", 1),
+				Wait(20 * time.Minute),
+				Operate("S_player", 0),
+				Operate("S_curtain", 1).WithProb(0.8),
+				Wait(6 * time.Hour), // sleep
+				Operate("S_curtain", 0).WithProb(0.8),
+				Move("living"),
+			},
+		},
+		{
+			Name: "go-out", Weight: 1,
+			Steps: []ScriptStep{
+				Operate("C_entrance", 1),
+				Move("away"),
+				Operate("C_entrance", 0).WithDelay(20 * time.Second),
+				Wait(45 * time.Minute),
+				Operate("C_entrance", 1),
+				Move("living"),
+				Operate("C_entrance", 0).WithDelay(20 * time.Second),
+			},
+		},
+		{
+			Name: "dining-visit", Weight: 2,
+			Steps: []ScriptStep{
+				Move("dining"),
+				Wait(5 * time.Minute),
+				Move("kitchen"),
+				Operate("W_sink", 1).WithProb(0.5),
+				Operate("W_sink", 0).WithProb(0.5).WithDelay(30 * time.Second),
+				Move("living"),
+			},
+		},
+	}
+
+	rules := []automation.Rule{
+		{ID: "R1", Description: "if the entrance opens, turn on the kitchen light", TriggerDev: "C_entrance", TriggerVal: 1, ActionDev: "D_kitchen", ActionVal: 1},
+		{ID: "R2", Description: "if anyone reaches the bathroom, activate the heater", TriggerDev: "PE_bathroom", TriggerVal: 1, ActionDev: "P_heater", ActionVal: 1},
+		{ID: "R3", Description: "if the heater is on, activate bedroom player", TriggerDev: "P_heater", TriggerVal: 1, ActionDev: "S_player", ActionVal: 1},
+		{ID: "R4", Description: "if anyone opens the fridge door, turn on the kitchen light", TriggerDev: "C_fridge", TriggerVal: 1, ActionDev: "D_kitchen", ActionVal: 1},
+		{ID: "R5", Description: "if the kitchen is bright, turn on the bathroom light", TriggerDev: "B_kitchen", TriggerVal: 1, ActionDev: "D_bathroom", ActionVal: 1},
+		{ID: "R6", Description: "if bedroom player is deactivated, activate electric curtain", TriggerDev: "S_player", TriggerVal: 0, ActionDev: "S_curtain", ActionVal: 1},
+		{ID: "R7", Description: "if the electric curtain is activated, start the washer", TriggerDev: "S_curtain", TriggerVal: 1, ActionDev: "P_washer", ActionVal: 1},
+		{ID: "R8", Description: "if anyone reaches the bedroom, activate the heater", TriggerDev: "PE_bedroom", TriggerVal: 1, ActionDev: "P_heater", ActionVal: 1},
+		{ID: "R9", Description: "if the sink runs, start the dishwasher", TriggerDev: "W_sink", TriggerVal: 1, ActionDev: "P_dishwasher", ActionVal: 1},
+		{ID: "R10", Description: "if the entrance opens, activate the heater", TriggerDev: "C_entrance", TriggerVal: 1, ActionDev: "P_heater", ActionVal: 1},
+		{ID: "R11", Description: "if anyone reaches the dining room, activate the oven", TriggerDev: "PE_dining", TriggerVal: 1, ActionDev: "P_oven", ActionVal: 1},
+		{ID: "R12", Description: "if the bedroom gets bright, stop the player", TriggerDev: "B_bedroom", TriggerVal: 1, ActionDev: "S_player", ActionVal: 0},
+	}
+
+	channels := []BrightnessChannel{
+		{Sensor: "B_kitchen", Room: "kitchen", Base: 40, DaylightBoost: 50, Noise: 4,
+			Sources: []LightSource{{Device: "D_kitchen", Contribution: 260}, {Device: "P_stove", Contribution: 180}}},
+		{Sensor: "B_bathroom", Room: "bathroom", Base: 35, DaylightBoost: 40, Noise: 4,
+			Sources: []LightSource{{Device: "D_bathroom", Contribution: 250}}},
+		// Living room and bedroom have large windows: daylight alone
+		// pushes them High, making the sun an unmeasured common cause of
+		// both sensors (the paper's false-positive source).
+		{Sensor: "B_living", Room: "living", Base: 40, DaylightBoost: 280, Noise: 5, Sources: nil},
+		{Sensor: "B_bedroom", Room: "bedroom", Base: 35, DaylightBoost: 260, Noise: 5,
+			Sources: []LightSource{{Device: "S_player", Contribution: 90}}},
+	}
+
+	return &Testbed{
+		Name:    "contextact-like",
+		Devices: devices,
+		Rooms:   []string{"living", "dining", "kitchen", "bathroom", "bedroom", "away"},
+		HubRoom: "living",
+		PresenceFor: map[string]string{
+			"kitchen":  "PE_kitchen",
+			"bathroom": "PE_bathroom",
+			"bedroom":  "PE_bedroom",
+			"living":   "PE_living",
+			"dining":   "PE_dining",
+		},
+		Activities:  activities,
+		Channels:    channels,
+		Rules:       rules,
+		AmbientHigh: 150,
+		AutoOff: map[string]time.Duration{
+			"P_stove":      12 * time.Minute,
+			"P_oven":       14 * time.Minute,
+			"P_dishwasher": 22 * time.Minute,
+			"P_washer":     28 * time.Minute,
+			"P_heater":     16 * time.Minute,
+			"P_fridge":     3 * time.Minute,
+		},
+	}
+}
+
+// CASASLike builds the smaller testbed mirroring the CASAS column of
+// Table I: 7 presence sensors and 1 contact sensor, movement-dominated
+// activities, and no automation rules.
+func CASASLike() *Testbed {
+	dev := func(name string, attr event.Attribute, loc string) event.Device {
+		return event.Device{Name: name, Attribute: attr, Location: loc}
+	}
+	rooms := []string{"living", "dining", "kitchen", "bathroom", "bedroom", "office", "hall"}
+	devices := []event.Device{
+		dev("PE_living", event.PresenceSensor, "living"),
+		dev("PE_dining", event.PresenceSensor, "dining"),
+		dev("PE_kitchen", event.PresenceSensor, "kitchen"),
+		dev("PE_bathroom", event.PresenceSensor, "bathroom"),
+		dev("PE_bedroom", event.PresenceSensor, "bedroom"),
+		dev("PE_office", event.PresenceSensor, "office"),
+		dev("PE_hall", event.PresenceSensor, "hall"),
+		dev("C_door", event.ContactSensor, "hall"),
+	}
+	presence := map[string]string{
+		"living": "PE_living", "dining": "PE_dining", "kitchen": "PE_kitchen",
+		"bathroom": "PE_bathroom", "bedroom": "PE_bedroom", "office": "PE_office",
+		"hall": "PE_hall",
+	}
+	activities := []Activity{
+		{Name: "meal-route", Weight: 3, Steps: []ScriptStep{
+			Move("kitchen"), Wait(6 * time.Minute), Move("dining"),
+			Wait(12 * time.Minute), Move("living"),
+		}},
+		{Name: "work", Weight: 2, Steps: []ScriptStep{
+			Move("office"), Wait(40 * time.Minute), Move("living"),
+		}},
+		{Name: "bathroom-trip", Weight: 3, Steps: []ScriptStep{
+			Move("hall"), Move("bathroom"), Wait(5 * time.Minute),
+			Move("hall"), Move("living"),
+		}},
+		{Name: "sleep", Weight: 2, Steps: []ScriptStep{
+			Move("bedroom"), Wait(6 * time.Hour), Move("living"),
+		}},
+		{Name: "leave-home", Weight: 1, Steps: []ScriptStep{
+			Move("hall"),
+			Operate("C_door", 1),
+			Operate("C_door", 0).WithDelay(15 * time.Second),
+			Wait(60 * time.Minute),
+			Operate("C_door", 1),
+			Operate("C_door", 0).WithDelay(15 * time.Second),
+			Move("living"),
+		}},
+	}
+	return &Testbed{
+		Name:        "casas-like",
+		Devices:     devices,
+		Rooms:       rooms,
+		HubRoom:     "living",
+		PresenceFor: presence,
+		Activities:  activities,
+		AmbientHigh: 150,
+	}
+}

@@ -1,0 +1,117 @@
+package stats
+
+import "errors"
+
+// CITester is a conditional-independence test. Constraint-based causal
+// discovery "can encode various independence test methods to handle
+// different types of data" (paper §VII-A); TemporalPC accepts any
+// implementation. GSquareTester is the default (the paper's choice for
+// binary states); PearsonChiSquareTester is the classic alternative.
+type CITester interface {
+	// Test evaluates the null hypothesis X ⊥ Y | Z.
+	Test(x, y Sample, zs []Sample) (CIResult, error)
+}
+
+var (
+	_ CITester = GSquareTester{}
+	_ CITester = PearsonChiSquareTester{}
+)
+
+// PearsonChiSquareTester runs Pearson's X² conditional-independence test:
+// X² = Σ (observed − expected)² / expected over the stratified contingency
+// tables, with the same degrees of freedom as the G² test. It is
+// asymptotically equivalent to G² but weighs sparse cells differently
+// (X² is more conservative on small expected counts).
+type PearsonChiSquareTester struct {
+	// MinObsPerDOF mirrors GSquareTester's small-sample heuristic.
+	MinObsPerDOF int
+}
+
+// Test implements CITester.
+func (t PearsonChiSquareTester) Test(x, y Sample, zs []Sample) (CIResult, error) {
+	if err := x.Validate(); err != nil {
+		return CIResult{}, err
+	}
+	if err := y.Validate(); err != nil {
+		return CIResult{}, err
+	}
+	n := len(x.Values)
+	if len(y.Values) != n {
+		return CIResult{}, ErrSampleMismatch
+	}
+	zCard := 1
+	for _, z := range zs {
+		if err := z.Validate(); err != nil {
+			return CIResult{}, err
+		}
+		if len(z.Values) != n {
+			return CIResult{}, ErrSampleMismatch
+		}
+		if zCard > 1<<22 {
+			return CIResult{}, errors.New("stats: conditioning set cardinality overflow")
+		}
+		zCard *= z.Arity
+	}
+	if n == 0 {
+		return CIResult{}, ErrEmpty
+	}
+
+	dof := (x.Arity - 1) * (y.Arity - 1) * zCard
+	if dof < 1 {
+		dof = 1
+	}
+	res := CIResult{DOF: dof, Reliable: true}
+	if t.MinObsPerDOF > 0 && n < t.MinObsPerDOF*dof {
+		res.Reliable = false
+		res.PValue = 1
+		return res, nil
+	}
+
+	xy := x.Arity * y.Arity
+	joint := make([]float64, zCard*xy)
+	for i := 0; i < n; i++ {
+		zIdx := 0
+		for _, z := range zs {
+			zIdx = zIdx*z.Arity + z.Values[i]
+		}
+		joint[zIdx*xy+x.Values[i]*y.Arity+y.Values[i]]++
+	}
+
+	var x2 float64
+	nx := make([]float64, x.Arity)
+	ny := make([]float64, y.Arity)
+	for zIdx := 0; zIdx < zCard; zIdx++ {
+		cells := joint[zIdx*xy : (zIdx+1)*xy]
+		var nz float64
+		for i := range nx {
+			nx[i] = 0
+		}
+		for j := range ny {
+			ny[j] = 0
+		}
+		for i := 0; i < x.Arity; i++ {
+			for j := 0; j < y.Arity; j++ {
+				c := cells[i*y.Arity+j]
+				nx[i] += c
+				ny[j] += c
+				nz += c
+			}
+		}
+		if nz == 0 {
+			continue
+		}
+		for i := 0; i < x.Arity; i++ {
+			for j := 0; j < y.Arity; j++ {
+				expected := nx[i] * ny[j] / nz
+				if expected == 0 {
+					continue
+				}
+				d := cells[i*y.Arity+j] - expected
+				x2 += d * d / expected
+			}
+		}
+	}
+	res.Statistic = x2
+	res.PValue = ChiSquareSurvival(x2, dof)
+	return res, nil
+}

@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPearsonChiSquareAgreesWithGSquareAsymptotically(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n := 6000
+	x := make([]int, n)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		x[i] = rng.Intn(2)
+		y[i] = x[i]
+		if rng.Float64() < 0.3 {
+			y[i] = rng.Intn(2)
+		}
+	}
+	g, err := GSquareTester{}.Test(binarySample(x), binarySample(y), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := PearsonChiSquareTester{}.Test(binarySample(x), binarySample(y), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both must strongly reject independence with statistics within ~10%.
+	if g.PValue > 1e-6 || p.PValue > 1e-6 {
+		t.Errorf("dependence not detected: G² p=%v X² p=%v", g.PValue, p.PValue)
+	}
+	ratio := g.Statistic / p.Statistic
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("G²=%v and X²=%v diverge (ratio %v)", g.Statistic, p.Statistic, ratio)
+	}
+	if g.DOF != p.DOF {
+		t.Errorf("dof mismatch: %d vs %d", g.DOF, p.DOF)
+	}
+}
+
+func TestPearsonChiSquareIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 4000
+	x := make([]int, n)
+	y := make([]int, n)
+	z := make([]int, n)
+	for i := 0; i < n; i++ {
+		x[i] = rng.Intn(2)
+		y[i] = rng.Intn(2)
+		z[i] = rng.Intn(2)
+	}
+	res, err := PearsonChiSquareTester{}.Test(binarySample(x), binarySample(y), []Sample{binarySample(z)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue < 0.001 {
+		t.Errorf("independent variables rejected: p=%v", res.PValue)
+	}
+	if res.DOF != 2 {
+		t.Errorf("dof = %d, want 2", res.DOF)
+	}
+}
+
+func TestPearsonChiSquareValidationAndHeuristic(t *testing.T) {
+	if _, err := (PearsonChiSquareTester{}).Test(binarySample([]int{0}), binarySample([]int{0, 1}), nil); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := (PearsonChiSquareTester{}).Test(binarySample(nil), binarySample(nil), nil); err == nil {
+		t.Error("empty sample accepted")
+	}
+	x := binarySample([]int{0, 1, 0, 1})
+	res, err := PearsonChiSquareTester{MinObsPerDOF: 100}.Test(x, x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reliable || res.PValue != 1 {
+		t.Errorf("small-sample heuristic not applied: %+v", res)
+	}
+}
+
+// Property: X² is non-negative, its p-value lies in [0,1], and it is
+// symmetric in X and Y.
+func TestPearsonChiSquareProperty(t *testing.T) {
+	f := func(seed int64, rawN uint16) bool {
+		n := int(rawN%400) + 8
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]int, n)
+		y := make([]int, n)
+		for i := 0; i < n; i++ {
+			x[i] = rng.Intn(2)
+			y[i] = rng.Intn(2)
+		}
+		a, err1 := PearsonChiSquareTester{}.Test(binarySample(x), binarySample(y), nil)
+		b, err2 := PearsonChiSquareTester{}.Test(binarySample(y), binarySample(x), nil)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return a.Statistic >= 0 && a.PValue >= 0 && a.PValue <= 1 &&
+			almostEqual(a.Statistic, b.Statistic, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,194 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{4}, 4},
+		{"simple", []float64{1, 2, 3, 4}, 2.5},
+		{"negative", []float64{-2, 2}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Mean(tt.in); !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("Mean(%v) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMeanStdMatchesSeparate(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5}
+	m, s := MeanStd(xs)
+	if !almostEqual(m, Mean(xs), 1e-12) {
+		t.Errorf("MeanStd mean = %v, Mean = %v", m, Mean(xs))
+	}
+	if !almostEqual(s, StdDev(xs), 1e-12) {
+		t.Errorf("MeanStd std = %v, StdDev = %v", s, StdDev(xs))
+	}
+}
+
+func TestVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEqual(got, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestWithinThreeSigma(t *testing.T) {
+	if !WithinThreeSigma(5, 5, 0) {
+		t.Error("mean itself should be within three sigma even with zero std")
+	}
+	if WithinThreeSigma(5.01, 5, 0) {
+		t.Error("any deviation with zero std should be outside")
+	}
+	if !WithinThreeSigma(8, 5, 1) {
+		t.Error("mean+3σ boundary should be inside")
+	}
+	if WithinThreeSigma(8.001, 5, 1) {
+		t.Error("just above mean+3σ should be outside")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 15},
+		{100, 50},
+		{50, 35},
+		{25, 20},
+		{75, 40},
+	}
+	for _, tt := range tests {
+		got, err := Percentile(xs, tt.q)
+		if err != nil {
+			t.Fatalf("Percentile(%v): %v", tt.q, err)
+		}
+		if !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	xs := []float64{0, 10}
+	got, err := Percentile(xs, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 9.9, 1e-12) {
+		t.Errorf("Percentile(99) = %v, want 9.9", got)
+	}
+}
+
+func TestPercentileErrors(t *testing.T) {
+	if _, err := Percentile(nil, 50); err == nil {
+		t.Error("expected error for empty sample")
+	}
+	if _, err := Percentile([]float64{1}, -1); err == nil {
+		t.Error("expected error for q<0")
+	}
+	if _, err := Percentile([]float64{1}, 101); err == nil {
+		t.Error("expected error for q>100")
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Percentile(xs, 50); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	minV, maxV, err := MinMax([]float64{3, -1, 7, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if minV != -1 || maxV != 7 {
+		t.Errorf("MinMax = (%v,%v), want (-1,7)", minV, maxV)
+	}
+	if _, _, err := MinMax(nil); err == nil {
+		t.Error("expected error for empty sample")
+	}
+}
+
+// Property: percentile is monotone in q and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, q1, q2 uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		a, b := float64(q1%101), float64(q2%101)
+		if a > b {
+			a, b = b, a
+		}
+		pa, err1 := Percentile(xs, a)
+		pb, err2 := Percentile(xs, b)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		minV, maxV, _ := MinMax(xs)
+		return pa <= pb+1e-9 && pa >= minV-1e-9 && pb <= maxV+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: variance is non-negative and shift-invariant.
+func TestVarianceShiftInvariantProperty(t *testing.T) {
+	f := func(raw []float64, shift float64) bool {
+		if math.IsNaN(shift) || math.IsInf(shift, 0) || math.Abs(shift) > 1e6 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e6 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		v1 := Variance(xs)
+		shifted := make([]float64, len(xs))
+		for i, x := range xs {
+			shifted[i] = x + shift
+		}
+		v2 := Variance(shifted)
+		scale := math.Max(1, math.Abs(v1))
+		return v1 >= 0 && math.Abs(v1-v2)/scale < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,11 @@
+// Package stats provides the statistical primitives CausalIoT is built on:
+// descriptive statistics (mean, standard deviation, percentiles, the
+// three-sigma rule), the chi-square distribution (via the regularized
+// incomplete gamma function), the G-square conditional-independence test used
+// by TemporalPC, and the Jenks natural-breaks discretization used by the
+// event preprocessor to unify ambient numeric device states into binary
+// Low/High states.
+//
+// Everything is implemented from scratch on the Go standard library; no
+// external numeric packages are used.
+package stats

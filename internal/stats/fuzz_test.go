@@ -1,0 +1,55 @@
+package stats
+
+import "testing"
+
+// FuzzJenksThreshold ensures the natural-breaks dynamic program never
+// panics or loops and always returns a break inside the sample range.
+func FuzzJenksThreshold(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 200})
+	f.Add([]byte{7, 7, 7, 7})
+	f.Add([]byte{0, 255})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) < 2 || len(raw) > 200 {
+			return
+		}
+		xs := make([]float64, len(raw))
+		for i, b := range raw {
+			xs[i] = float64(b)
+		}
+		threshold, err := JenksThreshold(xs)
+		if err != nil {
+			t.Fatalf("jenks failed on valid input: %v", err)
+		}
+		minV, maxV, _ := MinMax(xs)
+		if threshold < minV || threshold > maxV {
+			t.Fatalf("threshold %v outside [%v,%v]", threshold, minV, maxV)
+		}
+	})
+}
+
+// FuzzGSquare ensures arbitrary binary columns never break the CI test.
+func FuzzGSquare(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 1}, []byte{1, 1, 0, 0})
+	f.Fuzz(func(t *testing.T, rawX, rawY []byte) {
+		n := len(rawX)
+		if len(rawY) < n {
+			n = len(rawY)
+		}
+		if n < 1 || n > 500 {
+			return
+		}
+		x := make([]int, n)
+		y := make([]int, n)
+		for i := 0; i < n; i++ {
+			x[i] = int(rawX[i]) % 2
+			y[i] = int(rawY[i]) % 2
+		}
+		res, err := GSquareTester{}.Test(Sample{Values: x, Arity: 2}, Sample{Values: y, Arity: 2}, nil)
+		if err != nil {
+			t.Fatalf("test failed on valid input: %v", err)
+		}
+		if res.Statistic < 0 || res.PValue < 0 || res.PValue > 1 {
+			t.Fatalf("invalid result: %+v", res)
+		}
+	})
+}

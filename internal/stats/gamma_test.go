@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegularizedGammaPExponentialSpecialCase(t *testing.T) {
+	// P(1, x) = 1 - e^{-x}.
+	for _, x := range []float64{0, 0.1, 0.5, 1, 2, 5, 10} {
+		want := 1 - math.Exp(-x)
+		if got := RegularizedGammaP(1, x); !almostEqual(got, want, 1e-10) {
+			t.Errorf("P(1,%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestRegularizedGammaComplement(t *testing.T) {
+	for _, a := range []float64{0.5, 1, 2.5, 7, 20} {
+		for _, x := range []float64{0.1, 1, 5, 25, 100} {
+			p := RegularizedGammaP(a, x)
+			q := RegularizedGammaQ(a, x)
+			if !almostEqual(p+q, 1, 1e-9) {
+				t.Errorf("P(%v,%v)+Q(%v,%v) = %v, want 1", a, x, a, x, p+q)
+			}
+		}
+	}
+}
+
+func TestRegularizedGammaDomain(t *testing.T) {
+	if !math.IsNaN(RegularizedGammaP(-1, 1)) {
+		t.Error("expected NaN for a<=0")
+	}
+	if !math.IsNaN(RegularizedGammaQ(1, -1)) {
+		t.Error("expected NaN for x<0")
+	}
+	if got := RegularizedGammaP(3, 0); got != 0 {
+		t.Errorf("P(3,0) = %v, want 0", got)
+	}
+	if got := RegularizedGammaQ(3, 0); got != 1 {
+		t.Errorf("Q(3,0) = %v, want 1", got)
+	}
+}
+
+func TestChiSquareSurvivalCriticalValues(t *testing.T) {
+	// Textbook critical values of the chi-square distribution.
+	tests := []struct {
+		x    float64
+		dof  int
+		want float64
+	}{
+		{3.841, 1, 0.05},
+		{6.635, 1, 0.01},
+		{10.828, 1, 0.001},
+		{5.991, 2, 0.05},
+		{9.210, 2, 0.01},
+		{7.815, 3, 0.05},
+		{18.307, 10, 0.05},
+		{23.209, 10, 0.01},
+	}
+	for _, tt := range tests {
+		if got := ChiSquareSurvival(tt.x, tt.dof); !almostEqual(got, tt.want, 5e-4) {
+			t.Errorf("ChiSquareSurvival(%v, %d) = %v, want ~%v", tt.x, tt.dof, got, tt.want)
+		}
+	}
+}
+
+func TestChiSquareSurvivalEdges(t *testing.T) {
+	if got := ChiSquareSurvival(0, 5); got != 1 {
+		t.Errorf("survival at 0 = %v, want 1", got)
+	}
+	if !math.IsNaN(ChiSquareSurvival(-1, 1)) {
+		t.Error("expected NaN for negative statistic")
+	}
+	if !math.IsNaN(ChiSquareSurvival(1, 0)) {
+		t.Error("expected NaN for dof < 1")
+	}
+	if got := ChiSquareSurvival(1e6, 1); got > 1e-12 {
+		t.Errorf("huge statistic should have ~0 p-value, got %v", got)
+	}
+}
+
+// Property: the survival function is monotone decreasing in x and lies in
+// [0, 1].
+func TestChiSquareSurvivalMonotoneProperty(t *testing.T) {
+	f := func(rawX1, rawX2 float64, rawDOF uint8) bool {
+		dof := int(rawDOF%30) + 1
+		x1 := math.Abs(math.Mod(rawX1, 200))
+		x2 := math.Abs(math.Mod(rawX2, 200))
+		if math.IsNaN(x1) || math.IsNaN(x2) {
+			return true
+		}
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		s1 := ChiSquareSurvival(x1, dof)
+		s2 := ChiSquareSurvival(x2, dof)
+		return s1 >= s2-1e-9 && s1 >= 0 && s1 <= 1 && s2 >= 0 && s2 <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

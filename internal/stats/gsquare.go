@@ -1,0 +1,161 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sample is a column of discrete observations. Values must lie in
+// [0, Arity); Arity is the number of categories (2 for the binary device
+// states produced by the event preprocessor).
+type Sample struct {
+	Values []int
+	Arity  int
+}
+
+// Validate checks that the sample is well formed.
+func (s Sample) Validate() error {
+	if s.Arity < 2 {
+		return fmt.Errorf("stats: sample arity %d < 2", s.Arity)
+	}
+	for i, v := range s.Values {
+		if v < 0 || v >= s.Arity {
+			return fmt.Errorf("stats: value %d at row %d outside [0,%d)", v, i, s.Arity)
+		}
+	}
+	return nil
+}
+
+// CIResult is the outcome of a conditional-independence test.
+type CIResult struct {
+	// Statistic is the observed G² value.
+	Statistic float64
+	// DOF is the degrees of freedom of the reference chi-square
+	// distribution.
+	DOF int
+	// PValue is Pr[chi²(DOF) >= Statistic]. Large p-values support the
+	// null hypothesis X ⊥ Y | Z.
+	PValue float64
+	// Reliable is false when the sample was too small relative to DOF for
+	// the asymptotic chi-square approximation to be trusted (see
+	// GSquareTester.MinObsPerDOF).
+	Reliable bool
+}
+
+// GSquareTester runs G² (log-likelihood ratio) conditional-independence
+// tests over discrete samples. The zero value is ready to use.
+type GSquareTester struct {
+	// MinObsPerDOF, when positive, marks a test unreliable (and returns
+	// p-value 1, i.e. "assume independence") unless the number of
+	// observations is at least MinObsPerDOF × DOF. This is the standard
+	// small-sample heuristic used by constraint-based causal discovery
+	// implementations; it keeps high-dimensional conditioning sets from
+	// manufacturing spurious dependence out of sparse tables.
+	MinObsPerDOF int
+}
+
+// ErrSampleMismatch is returned when the samples passed to a CI test do not
+// share a common length.
+var ErrSampleMismatch = errors.New("stats: samples have mismatched lengths")
+
+// Test computes the G² statistic for the null hypothesis X ⊥ Y | Z.
+//
+// The statistic is G² = 2 Σ_{x,y,z} N(x,y,z) · ln( N(x,y,z)·N(z) /
+// (N(x,z)·N(y,z)) ), summed over cells with positive counts, with
+// dof = (|X|−1)(|Y|−1)·∏|Z_i|. The p-value is the chi-square survival
+// function at the statistic.
+func (t GSquareTester) Test(x, y Sample, zs []Sample) (CIResult, error) {
+	if err := x.Validate(); err != nil {
+		return CIResult{}, err
+	}
+	if err := y.Validate(); err != nil {
+		return CIResult{}, err
+	}
+	n := len(x.Values)
+	if len(y.Values) != n {
+		return CIResult{}, ErrSampleMismatch
+	}
+	zCard := 1
+	for _, z := range zs {
+		if err := z.Validate(); err != nil {
+			return CIResult{}, err
+		}
+		if len(z.Values) != n {
+			return CIResult{}, ErrSampleMismatch
+		}
+		if zCard > 1<<22 {
+			return CIResult{}, errors.New("stats: conditioning set cardinality overflow")
+		}
+		zCard *= z.Arity
+	}
+	if n == 0 {
+		return CIResult{}, ErrEmpty
+	}
+
+	dof := (x.Arity - 1) * (y.Arity - 1) * zCard
+	if dof < 1 {
+		dof = 1
+	}
+
+	res := CIResult{DOF: dof, Reliable: true}
+	if t.MinObsPerDOF > 0 && n < t.MinObsPerDOF*dof {
+		// Too few observations for the asymptotic approximation:
+		// treat the variables as independent rather than risk a
+		// spurious edge.
+		res.Reliable = false
+		res.PValue = 1
+		return res, nil
+	}
+
+	// Joint counts N(x,y,z) laid out as [z][x*|Y|+y].
+	xy := x.Arity * y.Arity
+	joint := make([]float64, zCard*xy)
+	for i := 0; i < n; i++ {
+		zIdx := 0
+		for _, z := range zs {
+			zIdx = zIdx*z.Arity + z.Values[i]
+		}
+		joint[zIdx*xy+x.Values[i]*y.Arity+y.Values[i]]++
+	}
+
+	var g2 float64
+	nx := make([]float64, x.Arity)
+	ny := make([]float64, y.Arity)
+	for zIdx := 0; zIdx < zCard; zIdx++ {
+		cells := joint[zIdx*xy : (zIdx+1)*xy]
+		var nz float64
+		for i := range nx {
+			nx[i] = 0
+		}
+		for j := range ny {
+			ny[j] = 0
+		}
+		for i := 0; i < x.Arity; i++ {
+			for j := 0; j < y.Arity; j++ {
+				c := cells[i*y.Arity+j]
+				nx[i] += c
+				ny[j] += c
+				nz += c
+			}
+		}
+		if nz == 0 {
+			continue
+		}
+		for i := 0; i < x.Arity; i++ {
+			for j := 0; j < y.Arity; j++ {
+				c := cells[i*y.Arity+j]
+				if c == 0 {
+					continue
+				}
+				g2 += 2 * c * math.Log(c*nz/(nx[i]*ny[j]))
+			}
+		}
+	}
+	if g2 < 0 {
+		g2 = 0 // guard against negative rounding residue
+	}
+	res.Statistic = g2
+	res.PValue = ChiSquareSurvival(g2, dof)
+	return res, nil
+}

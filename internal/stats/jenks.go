@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// JenksBreaks computes the Jenks natural-breaks classification of xs into
+// nClasses classes and returns the nClasses-1 interior break values (the
+// upper bound of every class except the last). The event preprocessor uses
+// nClasses = 2 to discretize ambient numeric device states (brightness,
+// temperature) into Low/High binary states (paper §V-A).
+//
+// The implementation is the classic Fisher/Jenks dynamic program over the
+// sorted sample, O(nClasses·n²) time and O(nClasses·n) space.
+func JenksBreaks(xs []float64, nClasses int) ([]float64, error) {
+	if nClasses < 2 {
+		return nil, fmt.Errorf("stats: jenks needs at least 2 classes, got %d", nClasses)
+	}
+	if len(xs) < nClasses {
+		return nil, fmt.Errorf("stats: jenks needs at least %d values, got %d", nClasses, len(xs))
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	n := len(sorted)
+
+	// lowerClassLimits[i][j]: index of the first element of class j in the
+	// optimal classification of sorted[:i]; varianceCombinations[i][j]: the
+	// corresponding sum of within-class squared deviations.
+	lower := make([][]int, n+1)
+	gvf := make([][]float64, n+1)
+	const inf = 1e308
+	for i := 0; i <= n; i++ {
+		lower[i] = make([]int, nClasses+1)
+		gvf[i] = make([]float64, nClasses+1)
+		for j := 0; j <= nClasses; j++ {
+			gvf[i][j] = inf
+		}
+	}
+	for j := 1; j <= nClasses; j++ {
+		lower[1][j] = 1
+		gvf[1][j] = 0
+	}
+
+	for i := 2; i <= n; i++ {
+		var sum, sumSq float64
+		var count float64
+		for m := i; m >= 1; m-- {
+			v := sorted[m-1]
+			count++
+			sum += v
+			sumSq += v * v
+			variance := sumSq - sum*sum/count
+			if m > 1 {
+				for j := 2; j <= nClasses; j++ {
+					if cand := variance + gvf[m-1][j-1]; cand <= gvf[i][j] {
+						lower[i][j] = m
+						gvf[i][j] = cand
+					}
+				}
+			}
+		}
+		lower[i][1] = 1
+		gvf[i][1] = sumSq - sum*sum/count
+	}
+
+	breaks := make([]float64, nClasses-1)
+	k := n
+	for j := nClasses; j >= 2; j-- {
+		idx := lower[k][j] - 1 // first element of class j (0-based)
+		if idx < 1 {
+			idx = 1
+		}
+		breaks[j-2] = sorted[idx-1] // upper bound of class j-1
+		k = idx
+	}
+	return breaks, nil
+}
+
+// JenksThreshold returns the single Low/High break for xs: values strictly
+// greater than the returned threshold belong to the High class. It is
+// JenksBreaks with two classes.
+func JenksThreshold(xs []float64) (float64, error) {
+	breaks, err := JenksBreaks(xs, 2)
+	if err != nil {
+		return 0, err
+	}
+	return breaks[0], nil
+}
+
+// ErrConstantSample is returned by helpers that cannot discretize a sample
+// with no variation.
+var ErrConstantSample = errors.New("stats: constant sample")

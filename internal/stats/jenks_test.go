@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestJenksTwoObviousClusters(t *testing.T) {
+	xs := []float64{1, 1.2, 0.8, 1.1, 9.5, 10, 10.2, 9.8}
+	threshold, err := JenksThreshold(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The break must separate the low cluster from the high cluster.
+	if threshold < 1.2 || threshold >= 9.5 {
+		t.Errorf("threshold = %v, want in [1.2, 9.5)", threshold)
+	}
+	for _, x := range []float64{1, 1.2, 0.8, 1.1} {
+		if x > threshold {
+			t.Errorf("low value %v classified high (threshold %v)", x, threshold)
+		}
+	}
+	for _, x := range []float64{9.5, 10, 10.2, 9.8} {
+		if x <= threshold {
+			t.Errorf("high value %v classified low (threshold %v)", x, threshold)
+		}
+	}
+}
+
+func TestJenksThreeClasses(t *testing.T) {
+	xs := []float64{1, 2, 1.5, 10, 11, 10.5, 100, 101, 99}
+	breaks, err := JenksBreaks(xs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(breaks) != 2 {
+		t.Fatalf("got %d breaks, want 2", len(breaks))
+	}
+	if !(breaks[0] >= 2 && breaks[0] < 10) {
+		t.Errorf("first break = %v, want in [2,10)", breaks[0])
+	}
+	if !(breaks[1] >= 11 && breaks[1] < 99) {
+		t.Errorf("second break = %v, want in [11,99)", breaks[1])
+	}
+}
+
+func TestJenksErrors(t *testing.T) {
+	if _, err := JenksBreaks([]float64{1, 2, 3}, 1); err == nil {
+		t.Error("expected error for nClasses < 2")
+	}
+	if _, err := JenksBreaks([]float64{1}, 2); err == nil {
+		t.Error("expected error for too few values")
+	}
+}
+
+func TestJenksDoesNotMutateInput(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	if _, err := JenksBreaks(xs, 2); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestJenksConstantInput(t *testing.T) {
+	// Degenerate but must not panic or loop: all identical values.
+	xs := []float64{7, 7, 7, 7}
+	threshold, err := JenksThreshold(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if threshold != 7 {
+		t.Errorf("threshold = %v, want 7", threshold)
+	}
+}
+
+// Property: the threshold always lies within [min, max] of the sample and
+// classifying by it yields two groups whose pooled within-class variance is
+// no worse than a mid-range split.
+func TestJenksThresholdBoundsProperty(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN%60) + 2
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		threshold, err := JenksThreshold(xs)
+		if err != nil {
+			return false
+		}
+		minV, maxV, _ := MinMax(xs)
+		return threshold >= minV && threshold <= maxV
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Jenks with 2 classes minimizes within-class sum of squares over
+// all possible split points of the sorted sample (verified by brute force).
+func TestJenksOptimalityProperty(t *testing.T) {
+	wcss := func(sorted []float64, splitIdx int) float64 {
+		lo, hi := sorted[:splitIdx], sorted[splitIdx:]
+		var s float64
+		for _, part := range [][]float64{lo, hi} {
+			if len(part) == 0 {
+				continue
+			}
+			m := Mean(part)
+			for _, x := range part {
+				s += (x - m) * (x - m)
+			}
+		}
+		return s
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(20) + 4
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+		}
+		threshold, err := JenksThreshold(xs)
+		if err != nil {
+			return false
+		}
+		sorted := make([]float64, n)
+		copy(sorted, xs)
+		sortFloat64s(sorted)
+		// Split implied by the threshold.
+		splitIdx := 0
+		for splitIdx < n && sorted[splitIdx] <= threshold {
+			splitIdx++
+		}
+		got := wcss(sorted, splitIdx)
+		best := got
+		for s := 1; s < n; s++ {
+			if v := wcss(sorted, s); v < best {
+				best = v
+			}
+		}
+		return got <= best+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sortFloat64s(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

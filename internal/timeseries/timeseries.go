@@ -1,0 +1,223 @@
+// Package timeseries implements the temporal machinery of paper §III: the
+// device registry, system states S^j derived from a sequence of device
+// events, the resulting IoT time series (S^0, ..., S^m), graph snapshots
+// G^j = (S^{j-τ}, ..., S^j), and the lagged-column views the TemporalPC
+// conditional-independence tests operate on.
+package timeseries
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Registry assigns a stable contiguous index to every device name.
+type Registry struct {
+	names []string
+	index map[string]int
+}
+
+// NewRegistry builds a registry over the given device names, in order.
+// Duplicate names are rejected.
+func NewRegistry(names []string) (*Registry, error) {
+	r := &Registry{
+		names: make([]string, len(names)),
+		index: make(map[string]int, len(names)),
+	}
+	copy(r.names, names)
+	for i, name := range names {
+		if name == "" {
+			return nil, fmt.Errorf("timeseries: empty device name at index %d", i)
+		}
+		if _, dup := r.index[name]; dup {
+			return nil, fmt.Errorf("timeseries: duplicate device name %q", name)
+		}
+		r.index[name] = i
+	}
+	return r, nil
+}
+
+// Len returns the number of registered devices.
+func (r *Registry) Len() int { return len(r.names) }
+
+// Index returns the index of the named device.
+func (r *Registry) Index(name string) (int, bool) {
+	i, ok := r.index[name]
+	return i, ok
+}
+
+// Name returns the device name at index i.
+func (r *Registry) Name(i int) string { return r.names[i] }
+
+// Names returns a copy of all device names in index order.
+func (r *Registry) Names() []string {
+	out := make([]string, len(r.names))
+	copy(out, r.names)
+	return out
+}
+
+// Same reports whether two registries assign identical indices to identical
+// device names (structural equality, not pointer identity).
+func (r *Registry) Same(other *Registry) bool {
+	if r == other {
+		return true
+	}
+	if other == nil || len(r.names) != len(other.names) {
+		return false
+	}
+	for i, name := range r.names {
+		if other.names[i] != name {
+			return false
+		}
+	}
+	return true
+}
+
+// State is a full system state: State[i] is the binary state of device i.
+type State []int
+
+// Clone returns a deep copy of the state.
+func (s State) Clone() State {
+	out := make(State, len(s))
+	copy(out, s)
+	return out
+}
+
+// Equal reports whether two states are identical.
+func (s State) Equal(other State) bool {
+	if len(s) != len(other) {
+		return false
+	}
+	for i := range s {
+		if s[i] != other[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Step is a preprocessed device event e^j: device Device reported binary
+// state Value at the step's position in the series.
+type Step struct {
+	// Device is the registry index of the reporting device.
+	Device int
+	// Value is the reported binary state (0 or 1).
+	Value int
+	// Time is the wall-clock timestamp of the underlying event; it is
+	// carried for reporting and is not used by the mining algorithm.
+	Time time.Time
+}
+
+// Series is the IoT time series (S^0, ..., S^m) together with the events
+// that produced each transition: Steps[j-1] produced States[j].
+type Series struct {
+	Registry *Registry
+	States   []State
+	Steps    []Step
+}
+
+// Errors returned by series construction.
+var (
+	ErrNoRegistry   = errors.New("timeseries: nil registry")
+	ErrInitialShape = errors.New("timeseries: initial state length does not match registry")
+)
+
+// FromSteps derives the system state at each timestamp from an initial state
+// and a sequence of steps (paper §III): S^j equals S^{j-1} except at the
+// reporting device's position.
+func FromSteps(reg *Registry, initial State, steps []Step) (*Series, error) {
+	if reg == nil {
+		return nil, ErrNoRegistry
+	}
+	if len(initial) != reg.Len() {
+		return nil, ErrInitialShape
+	}
+	states := make([]State, 0, len(steps)+1)
+	states = append(states, initial.Clone())
+	cur := initial.Clone()
+	for j, st := range steps {
+		if st.Device < 0 || st.Device >= reg.Len() {
+			return nil, fmt.Errorf("timeseries: step %d device index %d out of range", j, st.Device)
+		}
+		if st.Value != 0 && st.Value != 1 {
+			return nil, fmt.Errorf("timeseries: step %d value %d is not binary", j, st.Value)
+		}
+		cur = cur.Clone()
+		cur[st.Device] = st.Value
+		states = append(states, cur)
+	}
+	stepsCopy := make([]Step, len(steps))
+	copy(stepsCopy, steps)
+	return &Series{Registry: reg, States: states, Steps: stepsCopy}, nil
+}
+
+// Len returns the number of events m in the series (one fewer than the
+// number of states).
+func (s *Series) Len() int { return len(s.Steps) }
+
+// NumDevices returns the number of devices n.
+func (s *Series) NumDevices() int { return s.Registry.Len() }
+
+// State returns the system state S^j. Index 0 is the initial state.
+func (s *Series) State(j int) State { return s.States[j] }
+
+// SnapshotCount returns how many snapshots exist for maximum lag tau:
+// anchors j range over {tau, ..., m}.
+func (s *Series) SnapshotCount(tau int) int {
+	if n := s.Len() - tau + 1; n > 0 {
+		return n
+	}
+	return 0
+}
+
+// LaggedColumn returns the values of device dev at the given lag across all
+// snapshot anchors j ∈ {tau, ..., m}; element i corresponds to anchor
+// j = tau+i and holds S_dev^{j-lag}. lag must lie in [0, tau].
+func (s *Series) LaggedColumn(dev, lag, tau int) ([]int, error) {
+	if dev < 0 || dev >= s.NumDevices() {
+		return nil, fmt.Errorf("timeseries: device index %d out of range", dev)
+	}
+	if lag < 0 || lag > tau {
+		return nil, fmt.Errorf("timeseries: lag %d outside [0,%d]", lag, tau)
+	}
+	count := s.SnapshotCount(tau)
+	out := make([]int, count)
+	for i := 0; i < count; i++ {
+		out[i] = s.States[tau+i-lag][dev]
+	}
+	return out, nil
+}
+
+// StepColumn returns, for each snapshot anchor j ∈ {tau, ..., m} with j >= 1,
+// whether the event e^j was reported by device dev (1) or not (0), and the
+// reported value. It is used by CPT estimation to condition on the device
+// that actually reported at the anchor.
+func (s *Series) StepAt(j int) (Step, error) {
+	if j < 1 || j > s.Len() {
+		return Step{}, fmt.Errorf("timeseries: step index %d outside [1,%d]", j, s.Len())
+	}
+	return s.Steps[j-1], nil
+}
+
+// Split divides the series into a training prefix containing frac of the
+// events and a testing suffix containing the remainder. The testing series
+// starts from the system state at the split point, so no information is
+// lost at the boundary.
+func (s *Series) Split(frac float64) (train, test *Series, err error) {
+	if frac <= 0 || frac >= 1 {
+		return nil, nil, fmt.Errorf("timeseries: split fraction %v outside (0,1)", frac)
+	}
+	cut := int(float64(s.Len()) * frac)
+	if cut < 1 || cut >= s.Len() {
+		return nil, nil, fmt.Errorf("timeseries: split of %d events at fraction %v is degenerate", s.Len(), frac)
+	}
+	train, err = FromSteps(s.Registry, s.States[0], s.Steps[:cut])
+	if err != nil {
+		return nil, nil, err
+	}
+	test, err = FromSteps(s.Registry, s.States[cut], s.Steps[cut:])
+	if err != nil {
+		return nil, nil, err
+	}
+	return train, test, nil
+}

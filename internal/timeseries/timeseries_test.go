@@ -1,0 +1,308 @@
+package timeseries
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func mustRegistry(t *testing.T, names ...string) *Registry {
+	t.Helper()
+	r, err := NewRegistry(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewRegistry(t *testing.T) {
+	r := mustRegistry(t, "a", "b", "c")
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	if i, ok := r.Index("b"); !ok || i != 1 {
+		t.Errorf("Index(b) = %d,%v", i, ok)
+	}
+	if _, ok := r.Index("zzz"); ok {
+		t.Error("unknown device found")
+	}
+	if r.Name(2) != "c" {
+		t.Errorf("Name(2) = %q", r.Name(2))
+	}
+	if got := r.Names(); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Errorf("Names = %v", got)
+	}
+}
+
+func TestNewRegistryRejectsDuplicatesAndEmpty(t *testing.T) {
+	if _, err := NewRegistry([]string{"a", "a"}); err == nil {
+		t.Error("duplicate accepted")
+	}
+	if _, err := NewRegistry([]string{""}); err == nil {
+		t.Error("empty name accepted")
+	}
+}
+
+func TestRegistryNamesIsACopy(t *testing.T) {
+	r := mustRegistry(t, "a", "b")
+	names := r.Names()
+	names[0] = "mutated"
+	if r.Name(0) != "a" {
+		t.Error("registry internal state mutated through Names()")
+	}
+}
+
+func TestFromStepsDerivesStates(t *testing.T) {
+	r := mustRegistry(t, "light", "heater", "temp")
+	s, err := FromSteps(r, State{0, 0, 0}, []Step{
+		{Device: 0, Value: 1},
+		{Device: 1, Value: 1},
+		{Device: 0, Value: 0},
+		{Device: 2, Value: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []State{
+		{0, 0, 0},
+		{1, 0, 0},
+		{1, 1, 0},
+		{0, 1, 0},
+		{0, 1, 1},
+	}
+	if len(s.States) != len(want) {
+		t.Fatalf("got %d states, want %d", len(s.States), len(want))
+	}
+	for j := range want {
+		if !s.State(j).Equal(want[j]) {
+			t.Errorf("S^%d = %v, want %v", j, s.State(j), want[j])
+		}
+	}
+	if s.Len() != 4 || s.NumDevices() != 3 {
+		t.Errorf("Len=%d NumDevices=%d", s.Len(), s.NumDevices())
+	}
+}
+
+func TestFromStepsValidation(t *testing.T) {
+	r := mustRegistry(t, "a")
+	if _, err := FromSteps(nil, State{0}, nil); err != ErrNoRegistry {
+		t.Errorf("nil registry: %v", err)
+	}
+	if _, err := FromSteps(r, State{0, 0}, nil); err != ErrInitialShape {
+		t.Errorf("bad initial shape: %v", err)
+	}
+	if _, err := FromSteps(r, State{0}, []Step{{Device: 5, Value: 0}}); err == nil {
+		t.Error("out-of-range device accepted")
+	}
+	if _, err := FromSteps(r, State{0}, []Step{{Device: 0, Value: 2}}); err == nil {
+		t.Error("non-binary value accepted")
+	}
+}
+
+func TestStatesAreImmutableSnapshots(t *testing.T) {
+	r := mustRegistry(t, "a", "b")
+	s, err := FromSteps(r, State{0, 0}, []Step{{Device: 0, Value: 1}, {Device: 1, Value: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutating a later state must not affect earlier ones (no aliasing).
+	s.States[2][0] = 9
+	if s.States[1][0] != 1 {
+		t.Error("states alias each other")
+	}
+}
+
+func TestLaggedColumn(t *testing.T) {
+	r := mustRegistry(t, "x", "y")
+	s, err := FromSteps(r, State{0, 0}, []Step{
+		{Device: 0, Value: 1}, // S^1 = 1,0
+		{Device: 1, Value: 1}, // S^2 = 1,1
+		{Device: 0, Value: 0}, // S^3 = 0,1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tau := 2
+	if n := s.SnapshotCount(tau); n != 2 {
+		t.Fatalf("SnapshotCount = %d, want 2 (anchors j=2,3)", n)
+	}
+	// Device x at lag 0 over anchors j=2,3: S^2[x]=1, S^3[x]=0.
+	col, err := s.LaggedColumn(0, 0, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(col, []int{1, 0}) {
+		t.Errorf("x lag0 = %v", col)
+	}
+	// Device x at lag 2: S^0[x]=0, S^1[x]=1.
+	col, err = s.LaggedColumn(0, 2, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(col, []int{0, 1}) {
+		t.Errorf("x lag2 = %v", col)
+	}
+	// Device y at lag 1: S^1[y]=0, S^2[y]=1.
+	col, err = s.LaggedColumn(1, 1, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(col, []int{0, 1}) {
+		t.Errorf("y lag1 = %v", col)
+	}
+}
+
+func TestLaggedColumnValidation(t *testing.T) {
+	r := mustRegistry(t, "x")
+	s, _ := FromSteps(r, State{0}, []Step{{Device: 0, Value: 1}})
+	if _, err := s.LaggedColumn(3, 0, 1); err == nil {
+		t.Error("bad device accepted")
+	}
+	if _, err := s.LaggedColumn(0, 2, 1); err == nil {
+		t.Error("lag > tau accepted")
+	}
+	if _, err := s.LaggedColumn(0, -1, 1); err == nil {
+		t.Error("negative lag accepted")
+	}
+}
+
+func TestSnapshotCountWhenSeriesTooShort(t *testing.T) {
+	r := mustRegistry(t, "x")
+	s, _ := FromSteps(r, State{0}, []Step{{Device: 0, Value: 1}})
+	if n := s.SnapshotCount(5); n != 0 {
+		t.Errorf("SnapshotCount with tau>m = %d, want 0", n)
+	}
+}
+
+func TestStepAt(t *testing.T) {
+	r := mustRegistry(t, "x", "y")
+	s, _ := FromSteps(r, State{0, 0}, []Step{{Device: 1, Value: 1}})
+	st, err := s.StepAt(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Device != 1 || st.Value != 1 {
+		t.Errorf("StepAt(1) = %+v", st)
+	}
+	if _, err := s.StepAt(0); err == nil {
+		t.Error("StepAt(0) accepted")
+	}
+	if _, err := s.StepAt(2); err == nil {
+		t.Error("StepAt past end accepted")
+	}
+}
+
+func TestSplit(t *testing.T) {
+	r := mustRegistry(t, "x", "y")
+	steps := []Step{
+		{Device: 0, Value: 1},
+		{Device: 1, Value: 1},
+		{Device: 0, Value: 0},
+		{Device: 1, Value: 0},
+		{Device: 0, Value: 1},
+	}
+	s, _ := FromSteps(r, State{0, 0}, steps)
+	train, test, err := s.Split(0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Len() != 3 || test.Len() != 2 {
+		t.Fatalf("split sizes %d/%d, want 3/2", train.Len(), test.Len())
+	}
+	// The test series must start from the state at the cut.
+	if !test.State(0).Equal(s.State(3)) {
+		t.Errorf("test initial = %v, want %v", test.State(0), s.State(3))
+	}
+	// Concatenated states must reproduce the full series.
+	if !test.State(test.Len()).Equal(s.State(s.Len())) {
+		t.Error("final state mismatch after split")
+	}
+}
+
+func TestSplitValidation(t *testing.T) {
+	r := mustRegistry(t, "x")
+	s, _ := FromSteps(r, State{0}, []Step{{Device: 0, Value: 1}})
+	for _, frac := range []float64{0, 1, -0.5, 0.5} { // 0.5 of 1 event is degenerate
+		if _, _, err := s.Split(frac); err == nil {
+			t.Errorf("Split(%v) accepted", frac)
+		}
+	}
+}
+
+// Property: for any random series, S^j and S^{j-1} differ in at most the
+// reporting device's coordinate, and LaggedColumn agrees with direct state
+// indexing.
+func TestSeriesConsistencyProperty(t *testing.T) {
+	f := func(seed int64, rawN, rawDev uint8) bool {
+		nDev := int(rawDev%5) + 1
+		m := int(rawN%40) + 1
+		rng := rand.New(rand.NewSource(seed))
+		names := make([]string, nDev)
+		for i := range names {
+			names[i] = string(rune('a' + i))
+		}
+		reg, err := NewRegistry(names)
+		if err != nil {
+			return false
+		}
+		initial := make(State, nDev)
+		steps := make([]Step, m)
+		for j := range steps {
+			steps[j] = Step{Device: rng.Intn(nDev), Value: rng.Intn(2)}
+		}
+		s, err := FromSteps(reg, initial, steps)
+		if err != nil {
+			return false
+		}
+		for j := 1; j <= m; j++ {
+			diff := 0
+			for d := 0; d < nDev; d++ {
+				if s.State(j)[d] != s.State(j - 1)[d] {
+					diff++
+					if d != steps[j-1].Device {
+						return false
+					}
+				}
+			}
+			if diff > 1 {
+				return false
+			}
+		}
+		tau := 1 + rng.Intn(3)
+		if s.SnapshotCount(tau) == 0 {
+			return true
+		}
+		dev := rng.Intn(nDev)
+		lag := rng.Intn(tau + 1)
+		col, err := s.LaggedColumn(dev, lag, tau)
+		if err != nil {
+			return false
+		}
+		for i, v := range col {
+			if v != s.State(tau + i - lag)[dev] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegistrySame(t *testing.T) {
+	a := mustRegistry(t, "x", "y")
+	b := mustRegistry(t, "x", "y")
+	c := mustRegistry(t, "y", "x")
+	d := mustRegistry(t, "x")
+	if !a.Same(a) || !a.Same(b) {
+		t.Error("structurally equal registries reported different")
+	}
+	if a.Same(c) {
+		t.Error("order-swapped registry reported same")
+	}
+	if a.Same(d) || a.Same(nil) {
+		t.Error("shorter/nil registry reported same")
+	}
+}

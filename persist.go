@@ -1,0 +1,200 @@
+package causaliot
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/causaliot/causaliot/internal/dig"
+	"github.com/causaliot/causaliot/internal/event"
+	"github.com/causaliot/causaliot/internal/monitor"
+	"github.com/causaliot/causaliot/internal/preprocess"
+	"github.com/causaliot/causaliot/internal/timeseries"
+)
+
+// modelVersion guards the on-disk format.
+const modelVersion = 1
+
+// savedDevice is the serializable device description.
+type savedDevice struct {
+	Name     string     `json:"name"`
+	Type     DeviceType `json:"type"`
+	Location string     `json:"location"`
+}
+
+// savedModel is the on-disk form of a trained System.
+type savedModel struct {
+	Version    int                `json:"version"`
+	Config     Config             `json:"config"`
+	Devices    []savedDevice      `json:"devices"`
+	Thresholds map[string]float64 `json:"ambientThresholds"`
+	Graph      dig.GraphSnapshot  `json:"graph"`
+	Threshold  float64            `json:"scoreThreshold"`
+	Initial    []int              `json:"initialState"`
+}
+
+// Save serializes the trained system (mined graph, CPT counts, learned
+// discretization breaks, calibrated threshold, and the latest system state)
+// as JSON, so monitoring can resume without retraining.
+func (s *System) Save(w io.Writer) error {
+	devices := make([]savedDevice, len(s.devices))
+	for i, d := range s.devices {
+		typ, err := typeOfAttribute(d.Attribute)
+		if err != nil {
+			return err
+		}
+		devices[i] = savedDevice{Name: d.Name, Type: typ, Location: d.Location}
+	}
+	model := savedModel{
+		Version:    modelVersion,
+		Config:     s.cfg,
+		Devices:    devices,
+		Thresholds: s.pre.Thresholds(),
+		Graph:      s.graph.Snapshot(),
+		Threshold:  s.threshold,
+		Initial:    s.initial,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(model); err != nil {
+		return fmt.Errorf("causaliot: save: %w", err)
+	}
+	return nil
+}
+
+func typeOfAttribute(attr event.Attribute) (DeviceType, error) {
+	for _, t := range []DeviceType{
+		Switch, Presence, Contact, Dimmer, WaterMeter, Power, Brightness,
+		GenericBinary, GenericResponsive, GenericAmbient,
+	} {
+		a, err := t.attribute()
+		if err != nil {
+			return 0, err
+		}
+		if a.Name == attr.Name {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("causaliot: attribute %q has no public device type", attr.Name)
+}
+
+// Load restores a System previously written by Save.
+func Load(r io.Reader) (*System, error) {
+	var model savedModel
+	if err := json.NewDecoder(r).Decode(&model); err != nil {
+		return nil, fmt.Errorf("causaliot: load: %w", err)
+	}
+	if model.Version != modelVersion {
+		return nil, fmt.Errorf("causaliot: unsupported model version %d", model.Version)
+	}
+	if len(model.Devices) == 0 {
+		return nil, errors.New("causaliot: model has no devices")
+	}
+	internalDevices := make([]event.Device, len(model.Devices))
+	for i, d := range model.Devices {
+		attr, err := d.Type.attribute()
+		if err != nil {
+			return nil, err
+		}
+		internalDevices[i] = event.Device{Name: d.Name, Attribute: attr, Location: d.Location}
+	}
+	cfg := model.Config.withDefaults()
+	pre, err := preprocess.New(internalDevices, preprocess.Config{
+		MaxDuration: cfg.MaxDuration,
+		TauOverride: cfg.Tau,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := pre.RestoreThresholds(model.Thresholds); err != nil {
+		return nil, err
+	}
+	graph, err := dig.RestoreGraph(model.Graph)
+	if err != nil {
+		return nil, err
+	}
+	if graph.Registry.Len() != len(internalDevices) {
+		return nil, errors.New("causaliot: graph device count does not match inventory")
+	}
+	for i := 0; i < graph.Registry.Len(); i++ {
+		if graph.Registry.Name(i) != internalDevices[i].Name {
+			return nil, fmt.Errorf("causaliot: graph device %q does not match inventory %q",
+				graph.Registry.Name(i), internalDevices[i].Name)
+		}
+	}
+	if model.Threshold < 0 || model.Threshold > 1 {
+		return nil, fmt.Errorf("causaliot: threshold %v outside [0,1]", model.Threshold)
+	}
+	if len(model.Initial) != len(internalDevices) {
+		return nil, errors.New("causaliot: initial state does not match inventory")
+	}
+	initial := make(timeseries.State, len(model.Initial))
+	for i, v := range model.Initial {
+		if v != 0 && v != 1 {
+			return nil, fmt.Errorf("causaliot: non-binary initial state %d", v)
+		}
+		initial[i] = v
+	}
+	return &System{
+		cfg:       cfg,
+		devices:   internalDevices,
+		pre:       pre,
+		graph:     graph,
+		threshold: model.Threshold,
+		initial:   initial,
+	}, nil
+}
+
+// Extend adapts the trained system to recent normal behaviour: the new
+// events' observations are added to the conditional probability tables and
+// the score threshold is recalibrated over the extended evidence. This is
+// the drift remedy for the behavioral-deviation false alarms the paper's
+// §VI-C analysis discusses — retraining from scratch is unnecessary
+// because the maximum-likelihood counts are additive.
+func (s *System) Extend(log []Event) error {
+	if len(log) == 0 {
+		return errors.New("causaliot: empty extension log")
+	}
+	internalLog := make(event.Log, len(log))
+	for i, e := range log {
+		internalLog[i] = event.Event{Timestamp: e.Time, Device: e.Device, Value: e.Value}
+	}
+	// Reuse the learned unification (the preprocessor is already fitted);
+	// build the extension series starting from the tracked system state.
+	initial := make(map[string]int, len(s.initial))
+	for i, v := range s.initial {
+		initial[s.graph.Registry.Name(i)] = v
+	}
+	extPre, err := preprocess.New(s.devices, preprocess.Config{
+		MaxDuration:  s.cfg.MaxDuration,
+		TauOverride:  s.graph.Tau,
+		InitialState: initial,
+	})
+	if err != nil {
+		return err
+	}
+	if err := extPre.RestoreThresholds(s.pre.Thresholds()); err != nil {
+		return err
+	}
+	res, err := extPre.Process(internalLog)
+	if err != nil {
+		return fmt.Errorf("causaliot: extend: %w", err)
+	}
+	if res.Series.Len() < s.graph.Tau {
+		return fmt.Errorf("causaliot: extension log too short (%d events, tau %d)", res.Series.Len(), s.graph.Tau)
+	}
+	if err := s.graph.Fit(res.Series); err != nil {
+		return err
+	}
+	threshold, err := monitor.Threshold(s.graph, res.Series, s.cfg.Quantile)
+	if err != nil {
+		return err
+	}
+	if threshold < s.cfg.MinThreshold {
+		threshold = s.cfg.MinThreshold
+	}
+	s.threshold = threshold
+	s.initial = res.Series.State(res.Series.Len()).Clone()
+	return nil
+}

@@ -1,0 +1,143 @@
+package causaliot
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	sys := mustTrain(t, Config{Tau: 2})
+	var buf bytes.Buffer
+	if err := sys.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Tau() != sys.Tau() {
+		t.Errorf("tau %d != %d", loaded.Tau(), sys.Tau())
+	}
+	if loaded.Threshold() != sys.Threshold() {
+		t.Errorf("threshold %v != %v", loaded.Threshold(), sys.Threshold())
+	}
+	// Interactions identical.
+	a, b := sys.Interactions(), loaded.Interactions()
+	if len(a) != len(b) {
+		t.Fatalf("interaction count %d != %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("interaction %d: %v != %v", i, a[i], b[i])
+		}
+	}
+	// Likelihood queries agree exactly (counts survive the round trip).
+	for _, ctx := range []map[string]int{
+		{"presence": 1, "light": 0},
+		{"presence": 0, "light": 0},
+		{"presence": 1, "light": 1},
+	} {
+		pa, err := sys.Likelihood("light", 1, ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, err := loaded.Likelihood("light", 1, ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(pa-pb) > 1e-12 {
+			t.Errorf("likelihood %v != %v for %v", pa, pb, ctx)
+		}
+	}
+	// A loaded system detects the same ghost event.
+	mon, err := loaded.NewMonitor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	alarm, _, err := mon.Observe(Event{Time: t0, Device: "light", Value: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alarm == nil {
+		t.Error("loaded system misses the ghost activation")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"not json":      "not json at all",
+		"wrong version": `{"version": 99}`,
+		"no devices":    `{"version": 1, "devices": []}`,
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Load(strings.NewReader(in)); err == nil {
+				t.Error("accepted")
+			}
+		})
+	}
+}
+
+func TestLoadRejectsTamperedModel(t *testing.T) {
+	sys := mustTrain(t, Config{Tau: 2})
+	var buf bytes.Buffer
+	if err := sys.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the threshold out of range.
+	tampered := strings.Replace(buf.String(), `"scoreThreshold"`, `"scoreThreshold": 7, "x"`, 1)
+	if _, err := Load(strings.NewReader(tampered)); err == nil {
+		t.Error("tampered threshold accepted")
+	}
+}
+
+func TestExtendRecalibrates(t *testing.T) {
+	sys := mustTrain(t, Config{Tau: 2})
+	before := sys.Threshold()
+	// Extension: the same behaviour pattern continues.
+	ext := trainingLog(120, 9)
+	// Shift timestamps after the original log.
+	for i := range ext {
+		ext[i].Time = ext[i].Time.Add(90 * 24 * time.Hour)
+	}
+	if err := sys.Extend(ext); err != nil {
+		t.Fatal(err)
+	}
+	after := sys.Threshold()
+	if after <= 0 || after > 1 {
+		t.Errorf("threshold after extend = %v", after)
+	}
+	_ = before
+	// The extended system still detects ghosts.
+	mon, err := sys.NewMonitor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ensure light is off in the tracked state before the ghost.
+	if _, _, err := mon.Observe(Event{Time: t0, Device: "presence", Value: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := mon.Observe(Event{Time: t0.Add(time.Second), Device: "light", Value: 0}); err != nil {
+		t.Fatal(err)
+	}
+	alarm, score, err := mon.Observe(Event{Time: t0.Add(time.Hour), Device: "light", Value: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alarm == nil {
+		t.Errorf("extended system misses the ghost (score %v)", score)
+	}
+}
+
+func TestExtendValidation(t *testing.T) {
+	sys := mustTrain(t, Config{Tau: 2})
+	if err := sys.Extend(nil); err == nil {
+		t.Error("empty extension accepted")
+	}
+	if err := sys.Extend([]Event{{Time: t0, Device: "ghost", Value: 1}}); err == nil {
+		t.Error("unknown device accepted")
+	}
+}
