@@ -1,0 +1,25 @@
+# Tier-1 is the seed verification contract; the race tier adds go vet and
+# the race detector so every PR exercises the concurrent serving hub under
+# -race. `make check` runs both.
+
+GO ?= go
+
+.PHONY: tier1 race check bench serve-demo
+
+tier1:
+	$(GO) build ./... && $(GO) test ./...
+
+race:
+	$(GO) vet ./... && $(GO) test -race ./...
+
+check: tier1 race
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' ./
+
+# End-to-end demo of the serve mode on simulated traffic.
+serve-demo:
+	$(GO) run ./cmd/causaliot simulate -days 3 -seed 1 -out /tmp/causaliot-train.csv
+	$(GO) run ./cmd/causaliot simulate -days 1 -seed 2 -out /tmp/causaliot-stream.csv
+	$(GO) run ./cmd/causaliot serve -train /tmp/causaliot-train.csv -stream /tmp/causaliot-stream.csv \
+		-tenants 8 -workers 4 -kmax 2

@@ -10,10 +10,13 @@
 package causaliot_test
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
+	"github.com/causaliot/causaliot"
 	"github.com/causaliot/causaliot/internal/automation"
 	"github.com/causaliot/causaliot/internal/dig"
 	"github.com/causaliot/causaliot/internal/experiments"
@@ -412,6 +415,151 @@ func BenchmarkCPTFit(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Serving hub benchmarks ---
+
+var (
+	hubSysOnce sync.Once
+	hubSys     *causaliot.System
+	hubSys2    *causaliot.System
+	hubStream  []causaliot.Event
+	hubSysErr  error
+)
+
+// hubBenchSystem trains two systems on the same two-device inventory
+// (for hot-swap benches) and synthesizes a runtime stream to replay.
+func hubBenchSystem(b *testing.B) (*causaliot.System, *causaliot.System, []causaliot.Event) {
+	b.Helper()
+	hubSysOnce.Do(func() {
+		devices := []causaliot.Device{
+			{Name: "presence", Type: causaliot.Presence, Location: "hall"},
+			{Name: "light", Type: causaliot.Switch, Location: "hall"},
+		}
+		gen := func(n int, seed int64) []causaliot.Event {
+			rng := rand.New(rand.NewSource(seed))
+			ts := time.Date(2023, 6, 1, 8, 0, 0, 0, time.UTC)
+			var log []causaliot.Event
+			for i := 0; i < n; i++ {
+				ts = ts.Add(time.Duration(20+rng.Intn(20)) * time.Second)
+				log = append(log,
+					causaliot.Event{Time: ts, Device: "presence", Value: 1},
+					causaliot.Event{Time: ts.Add(3 * time.Second), Device: "light", Value: 1},
+					causaliot.Event{Time: ts.Add(time.Minute), Device: "presence", Value: 0},
+					causaliot.Event{Time: ts.Add(time.Minute + 4*time.Second), Device: "light", Value: 0},
+				)
+			}
+			return log
+		}
+		hubSys, hubSysErr = causaliot.Train(devices, gen(400, 1), causaliot.Config{Tau: 2})
+		if hubSysErr != nil {
+			return
+		}
+		hubSys2, hubSysErr = causaliot.Train(devices, gen(400, 2), causaliot.Config{Tau: 2})
+		hubStream = gen(2000, 3)
+	})
+	if hubSysErr != nil {
+		b.Fatal(hubSysErr)
+	}
+	return hubSys, hubSys2, hubStream
+}
+
+// pick returns a when cond holds, else b.
+func pick(cond bool, a, b int) int {
+	if cond {
+		return a
+	}
+	return b
+}
+
+// BenchmarkHubThroughput measures hub ingest→detect throughput as the
+// tenant count and worker pool grow: events/sec scaling with workers at
+// tenants > 1 demonstrates cross-home parallelism on top of the per-home
+// ordered streams.
+func BenchmarkHubThroughput(b *testing.B) {
+	sys, _, stream := hubBenchSystem(b)
+	for _, tenants := range []int{1, 4, 16} {
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("tenants%d/workers%d", tenants, workers), func(b *testing.B) {
+				h := causaliot.NewHub(causaliot.HubConfig{
+					Workers:     workers,
+					QueueSize:   4096,
+					AlarmBuffer: 16, // overflow drops, keeping the bench unattended
+				})
+				for i := 0; i < tenants; i++ {
+					if err := h.Register(fmt.Sprintf("home-%d", i), sys, causaliot.TenantOptions{}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				each := b.N / tenants
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for i := 0; i < tenants; i++ {
+					wg.Add(1)
+					go func(name string, extra int) {
+						defer wg.Done()
+						for j := 0; j < each+extra; j++ {
+							if err := h.Submit(name, stream[j%len(stream)]); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(fmt.Sprintf("home-%d", i), pick(i == 0, b.N-each*tenants, 0))
+				}
+				wg.Wait()
+				if err := h.Close(); err != nil {
+					b.Fatal(err)
+				}
+				elapsed := b.Elapsed()
+				if s := h.Stats().Total; s.Processed != uint64(b.N) {
+					b.Fatalf("processed %d of %d events", s.Processed, b.N)
+				}
+				if elapsed > 0 {
+					b.ReportMetric(float64(b.N)/elapsed.Seconds(), "events/sec")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkHubHotSwap measures model hot-swap under load: a retrained
+// system is swapped in every 512 events while producers keep streaming.
+// The bench fails if a single in-flight event is dropped.
+func BenchmarkHubHotSwap(b *testing.B) {
+	sysA, sysB, stream := hubBenchSystem(b)
+	h := causaliot.NewHub(causaliot.HubConfig{Workers: 4, QueueSize: 4096, AlarmBuffer: 16})
+	const tenants = 4
+	for i := 0; i < tenants; i++ {
+		if err := h.Register(fmt.Sprintf("home-%d", i), sysA, causaliot.TenantOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	swaps := 0
+	for i := 0; i < b.N; i++ {
+		name := fmt.Sprintf("home-%d", i%tenants)
+		if err := h.Submit(name, stream[i%len(stream)]); err != nil {
+			b.Fatal(err)
+		}
+		if i%512 == 511 {
+			sys := sysA
+			if swaps%2 == 0 {
+				sys = sysB
+			}
+			if err := h.Swap(name, sys); err != nil {
+				b.Fatal(err)
+			}
+			swaps++
+		}
+	}
+	if err := h.Close(); err != nil {
+		b.Fatal(err)
+	}
+	s := h.Stats().Total
+	if s.Processed != uint64(b.N) || s.Dropped != 0 {
+		b.Fatalf("hot swap dropped events: processed %d of %d, dropped %d", s.Processed, b.N, s.Dropped)
+	}
+	b.ReportMetric(float64(swaps), "swaps")
 }
 
 // BenchmarkSimulator measures raw event generation throughput.

@@ -16,9 +16,14 @@
 //	sys, err := causaliot.Train(devices, log, causaliot.Config{})
 //	mon, err := sys.NewMonitor()
 //	for ev := range events {
-//	    alarm, score, err := mon.Observe(ev)
-//	    if alarm != nil { ... }
+//	    det, err := mon.ObserveEvent(ev)
+//	    if det.Alarm != nil { ... }
 //	}
+//
+// To serve many independent homes concurrently, host their trained systems
+// on a Hub (see NewHub): each home keeps a strictly ordered event stream
+// behind a bounded queue while different homes are validated in parallel by
+// a shared worker pool.
 package causaliot
 
 import (
@@ -327,7 +332,37 @@ type Alarm struct {
 // Collective reports whether the alarm includes a collective anomaly chain.
 func (a *Alarm) Collective() bool { return len(a.Events) > 1 }
 
+// Sentinel errors returned while observing a runtime stream. Match them
+// with errors.Is to tell skippable events from fatal ones: an event from a
+// device outside the inventory or a non-finite sensor glitch can be dropped
+// and the stream resumed, while any other error signals misconfiguration.
+var (
+	// ErrUnknownDevice marks an event from a device the system was not
+	// trained on.
+	ErrUnknownDevice = errors.New("causaliot: unknown device")
+	// ErrValueOutOfRange marks a reading (NaN, ±Inf) no unification rule
+	// can classify.
+	ErrValueOutOfRange = errors.New("causaliot: value out of range")
+)
+
+// Detection is the outcome of observing one runtime event.
+type Detection struct {
+	// Alarm is non-nil when the event completed (or abruptly terminated)
+	// an anomaly chain.
+	Alarm *Alarm
+	// Score is the event's anomaly score f(e, G, 𝒢) ∈ [0,1]; duplicated
+	// state reports score 0.
+	Score float64
+	// State is the unified binary device state the event mapped to.
+	State int
+	// Duplicate reports that the event repeated the tracked device state
+	// and was skipped, mirroring the preprocessor's sanitation.
+	Duplicate bool
+}
+
 // Monitor validates a runtime event stream against the trained system.
+// A Monitor is not safe for concurrent use; to serve many streams in
+// parallel, host one monitor per home on a Hub.
 type Monitor struct {
 	sys *System
 	det *monitor.Detector
@@ -343,25 +378,86 @@ func (s *System) NewMonitor() (*Monitor, error) {
 	return &Monitor{sys: s, det: det}, nil
 }
 
-// Observe ingests one raw device event, returning a non-nil Alarm when one
-// is raised and the event's anomaly score (duplicated state reports score
-// zero and never alarm).
-func (m *Monitor) Observe(e Event) (*Alarm, float64, error) {
+// ObserveEvent ingests one raw device event and reports what the detector
+// did with it. Errors matching ErrUnknownDevice or ErrValueOutOfRange are
+// skippable: the detector state is untouched and the stream can resume with
+// the next event.
+func (m *Monitor) ObserveEvent(e Event) (Detection, error) {
 	reg := m.sys.graph.Registry
 	idx, ok := reg.Index(e.Device)
 	if !ok {
-		return nil, 0, fmt.Errorf("causaliot: event from unknown device %q", e.Device)
+		return Detection{}, fmt.Errorf("%w %q", ErrUnknownDevice, e.Device)
 	}
 	state, err := m.sys.pre.UnifyValue(e.Device, e.Value)
 	if err != nil {
-		return nil, 0, err
+		switch {
+		case errors.Is(err, preprocess.ErrValueOutOfRange):
+			return Detection{}, fmt.Errorf("%w: device %q reported %v", ErrValueOutOfRange, e.Device, e.Value)
+		case errors.Is(err, preprocess.ErrUnknownDevice):
+			return Detection{}, fmt.Errorf("%w %q", ErrUnknownDevice, e.Device)
+		}
+		return Detection{}, err
 	}
-	alarm, score, err := m.det.Process(timeseries.Step{Device: idx, Value: state, Time: e.Time})
+	res, err := m.det.ProcessStep(timeseries.Step{Device: idx, Value: state, Time: e.Time})
 	if err != nil {
-		return nil, 0, err
+		return Detection{}, err
 	}
-	return m.convertAlarm(alarm), score, nil
+	return Detection{
+		Alarm:     m.convertAlarm(res.Alarm),
+		Score:     res.Score,
+		State:     state,
+		Duplicate: res.Duplicate,
+	}, nil
 }
+
+// ObserveBatch ingests a slice of events in order, amortizing per-call
+// overhead. It stops at the first error, returning the detections made so
+// far together with the error; callers distinguishing skippable errors
+// (ErrUnknownDevice, ErrValueOutOfRange) can resume with the remaining
+// events.
+func (m *Monitor) ObserveBatch(events []Event) ([]Detection, error) {
+	out := make([]Detection, 0, len(events))
+	for i, e := range events {
+		det, err := m.ObserveEvent(e)
+		if err != nil {
+			return out, fmt.Errorf("event %d: %w", i, err)
+		}
+		out = append(out, det)
+	}
+	return out, nil
+}
+
+// Observe ingests one raw device event, returning a non-nil Alarm when one
+// is raised and the event's anomaly score (duplicated state reports score
+// zero and never alarm).
+//
+// Deprecated: use ObserveEvent, whose Detection result also carries the
+// unified state and the duplicate verdict.
+func (m *Monitor) Observe(e Event) (*Alarm, float64, error) {
+	det, err := m.ObserveEvent(e)
+	return det.Alarm, det.Score, err
+}
+
+// Swap atomically adopts a retrained (or Extend-ed and re-saved) system
+// between events: the monitor keeps its phantom state window and any
+// partially tracked k-sequence chain while scoring subsequent events
+// against the new graph, threshold, and KMax. The new system must cover
+// the same device inventory. Swap is not safe for concurrent use with
+// ObserveEvent; a Hub serializes the two (see Hub.Swap).
+func (m *Monitor) Swap(sys *System) error {
+	if sys == nil {
+		return errors.New("causaliot: swap to nil system")
+	}
+	if err := m.det.Swap(sys.graph, sys.threshold, sys.cfg.KMax); err != nil {
+		return err
+	}
+	m.sys = sys
+	return nil
+}
+
+// Pending returns the number of events in the partially tracked anomaly
+// chain (0 when the monitor is not mid-chain).
+func (m *Monitor) Pending() int { return m.det.Pending() }
 
 // Flush reports any partially tracked anomaly chain (e.g. at shutdown).
 func (m *Monitor) Flush() *Alarm { return m.convertAlarm(m.det.Flush()) }

@@ -3,17 +3,23 @@
 //	causaliot simulate -testbed contextact -days 7 -out events.csv
 //	causaliot mine     -in events.csv -graph dig.dot
 //	causaliot detect   -train train.csv -stream runtime.csv -kmax 3
+//	causaliot serve    -train train.csv -stream runtime.csv -tenants 8 -workers 4
 //
 // simulate generates a synthetic smart-home event log; mine constructs the
 // device interaction graph from a log and prints the identified
 // interactions (optionally exporting Graphviz DOT); detect trains on one
-// log and validates a second event stream, reporting anomaly alarms.
+// log and validates a second event stream, reporting anomaly alarms; serve
+// hosts many concurrent homes on a serving hub and replays the stream to
+// all of them in parallel, reporting throughput and per-home counters.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"sync"
+	"time"
 
 	"github.com/causaliot/causaliot"
 	"github.com/causaliot/causaliot/internal/event"
@@ -39,6 +45,8 @@ func run(args []string) error {
 		return cmdMine(args[1:])
 	case "detect":
 		return cmdDetect(args[1:])
+	case "serve":
+		return cmdServe(args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -52,7 +60,9 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   causaliot simulate -testbed contextact|casas -days N -seed N -out FILE
   causaliot mine     -in FILE [-testbed contextact|casas] [-tau N] [-graph FILE]
-  causaliot detect   -train FILE -stream FILE [-testbed contextact|casas] [-tau N] [-kmax N]`)
+  causaliot detect   -train FILE -stream FILE [-testbed contextact|casas] [-tau N] [-kmax N]
+  causaliot serve    -train FILE -stream FILE [-testbed contextact|casas] [-tau N] [-kmax N]
+                     [-tenants N] [-workers N] [-queue N] [-policy block|drop-oldest|reject] [-v]`)
 }
 
 func pickTestbed(name string) (*sim.Testbed, error) {
@@ -184,6 +194,145 @@ func cmdMine(args []string) error {
 		}
 		fmt.Printf("wrote graph to %s\n", *graphOut)
 	}
+	return nil
+}
+
+func pickPolicy(name string) (causaliot.BackpressurePolicy, error) {
+	switch name {
+	case "block":
+		return causaliot.BackpressureBlock, nil
+	case "drop-oldest":
+		return causaliot.BackpressureDropOldest, nil
+	case "reject":
+		return causaliot.BackpressureReject, nil
+	default:
+		return 0, fmt.Errorf("unknown backpressure policy %q", name)
+	}
+}
+
+// cmdServe trains once and hosts N copies of the home on a serving hub,
+// replaying the runtime stream to every tenant concurrently — the
+// multi-home deployment shape, driven from static files.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	train := fs.String("train", "", "training event CSV")
+	stream := fs.String("stream", "", "runtime event CSV to validate")
+	testbed := fs.String("testbed", "contextact", "device inventory to assume")
+	tau := fs.Int("tau", 0, "maximum time lag (0 = automatic)")
+	kmax := fs.Int("kmax", 1, "maximum anomaly chain length")
+	tenants := fs.Int("tenants", 4, "number of homes to host")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 1024, "per-home ingestion queue capacity")
+	policyName := fs.String("policy", "block", "backpressure policy: block|drop-oldest|reject")
+	verbose := fs.Bool("v", false, "print each alarm as it is raised")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *train == "" || *stream == "" {
+		return fmt.Errorf("serve: -train and -stream are required")
+	}
+	if *tenants < 1 {
+		return fmt.Errorf("serve: -tenants %d < 1", *tenants)
+	}
+	policy, err := pickPolicy(*policyName)
+	if err != nil {
+		return err
+	}
+	tb, err := pickTestbed(*testbed)
+	if err != nil {
+		return err
+	}
+	devices, err := publicDevices(tb)
+	if err != nil {
+		return err
+	}
+	trainLog, err := loadEvents(*train)
+	if err != nil {
+		return err
+	}
+	sys, err := causaliot.Train(devices, trainLog, causaliot.Config{Tau: *tau, KMax: *kmax})
+	if err != nil {
+		return err
+	}
+	streamLog, err := loadEvents(*stream)
+	if err != nil {
+		return err
+	}
+
+	h := causaliot.NewHub(causaliot.HubConfig{
+		Workers:      *workers,
+		QueueSize:    *queue,
+		Backpressure: policy,
+	})
+	for i := 0; i < *tenants; i++ {
+		if err := h.Register(fmt.Sprintf("home-%d", i), sys, causaliot.TenantOptions{}); err != nil {
+			return err
+		}
+	}
+	var consumed sync.WaitGroup
+	consumed.Add(1)
+	go func() {
+		defer consumed.Done()
+		for ta := range h.Alarms() {
+			if *verbose {
+				kind := "contextual"
+				if ta.Alarm.Collective() {
+					kind = "collective"
+				}
+				fmt.Printf("[%s] ALARM (%s, %d events, score %.4f)\n", ta.Tenant, kind, len(ta.Alarm.Events), ta.Score)
+			}
+		}
+	}()
+
+	start := time.Now()
+	var producers sync.WaitGroup
+	errs := make(chan error, *tenants)
+	for i := 0; i < *tenants; i++ {
+		producers.Add(1)
+		go func(name string) {
+			defer producers.Done()
+			for _, e := range streamLog {
+				err := h.Submit(name, e)
+				if errors.Is(err, causaliot.ErrBackpressure) {
+					continue // reject policy: shed and move on
+				}
+				if err != nil {
+					errs <- fmt.Errorf("%s: %w", name, err)
+					return
+				}
+			}
+		}(fmt.Sprintf("home-%d", i))
+	}
+	producers.Wait()
+	for i := 0; i < *tenants; i++ {
+		if err := h.Flush(fmt.Sprintf("home-%d", i)); err != nil {
+			return err
+		}
+	}
+	if err := h.Close(); err != nil {
+		return err
+	}
+	consumed.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errs:
+		return err
+	default:
+	}
+
+	s := h.Stats()
+	fmt.Printf("served %d homes × %d events on %d workers (%s policy) in %v\n",
+		*tenants, len(streamLog), s.Workers, *policyName, elapsed.Round(time.Millisecond))
+	fmt.Printf("throughput: %.0f events/sec\n", float64(s.Total.Processed)/elapsed.Seconds())
+	fmt.Printf("%-10s %10s %10s %8s %8s %8s %8s %12s %12s\n",
+		"home", "ingested", "processed", "alarms", "dropped", "rejected", "errors", "p50", "p99")
+	for _, ts := range s.Tenants {
+		fmt.Printf("%-10s %10d %10d %8d %8d %8d %8d %12v %12v\n",
+			ts.Tenant, ts.Ingested, ts.Processed, ts.Alarms, ts.Dropped, ts.Rejected, ts.Errors, ts.P50, ts.P99)
+	}
+	t := s.Total
+	fmt.Printf("%-10s %10d %10d %8d %8d %8d %8d %12v %12v\n",
+		"total", t.Ingested, t.Processed, t.Alarms, t.Dropped, t.Rejected, t.Errors, t.P50, t.P99)
 	return nil
 }
 

@@ -22,6 +22,15 @@ func TestRunUsageAndErrors(t *testing.T) {
 	if err := run([]string{"detect"}); err == nil {
 		t.Error("detect without files accepted")
 	}
+	if err := run([]string{"serve"}); err == nil {
+		t.Error("serve without files accepted")
+	}
+	if err := run([]string{"serve", "-train", "x", "-stream", "y", "-policy", "bogus"}); err == nil {
+		t.Error("unknown backpressure policy accepted")
+	}
+	if err := run([]string{"serve", "-train", "x", "-stream", "y", "-tenants", "0"}); err == nil {
+		t.Error("zero tenants accepted")
+	}
 	if err := run([]string{"simulate", "-testbed", "bogus"}); err == nil {
 		t.Error("unknown testbed accepted")
 	}
@@ -51,6 +60,10 @@ func TestSimulateMineDetectRoundTrip(t *testing.T) {
 	}
 	if err := run([]string{"detect", "-train", train, "-stream", stream, "-tau", "2", "-kmax", "2"}); err != nil {
 		t.Fatalf("detect: %v", err)
+	}
+	if err := run([]string{"serve", "-train", train, "-stream", stream, "-tau", "2", "-kmax", "2",
+		"-tenants", "3", "-workers", "2", "-queue", "64", "-policy", "block"}); err != nil {
+		t.Fatalf("serve: %v", err)
 	}
 }
 

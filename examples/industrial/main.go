@@ -87,12 +87,12 @@ func main() {
 		{Time: ts.Add(15 * time.Minute), Device: "truck_moving", Value: 1},
 	}
 	for _, e := range attack {
-		alarm, score, err := mon.Observe(e)
+		det, err := mon.ObserveEvent(e)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  %-13s=%v score=%.4f\n", e.Device, e.Value, score)
-		if alarm != nil {
+		fmt.Printf("  %-13s=%v score=%.4f\n", e.Device, e.Value, det.Score)
+		if alarm := det.Alarm; alarm != nil {
 			fmt.Printf("  ALARM: %d events (collective=%v)\n", len(alarm.Events), alarm.Collective())
 			for _, ev := range alarm.Events {
 				fmt.Printf("    %s=%d score=%.4f context=%v\n", ev.Device, ev.State, ev.Score, ev.Context)

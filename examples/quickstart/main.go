@@ -57,24 +57,24 @@ func main() {
 		{Time: now.Add(2 * time.Minute), Device: "presence", Value: 0},
 		{Time: now.Add(2*time.Minute + 5*time.Second), Device: "light", Value: 0},
 	} {
-		alarm, score, err := mon.Observe(e)
+		det, err := mon.ObserveEvent(e)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-8s = %v  score=%.4f  alarm=%v\n", e.Device, e.Value, score, alarm != nil)
+		fmt.Printf("%-8s = %v  score=%.4f  alarm=%v\n", e.Device, e.Value, det.Score, det.Alarm != nil)
 	}
 
 	// The attack: the light turns on at 3 AM with nobody around.
 	ghost := causaliot.Event{Time: now.Add(6 * time.Hour), Device: "light", Value: 1}
-	alarm, score, err := mon.Observe(ghost)
+	det, err := mon.ObserveEvent(ghost)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if alarm == nil {
-		fmt.Printf("ghost activation NOT detected (score %.4f)\n", score)
+	if det.Alarm == nil {
+		fmt.Printf("ghost activation NOT detected (score %.4f)\n", det.Score)
 		return
 	}
-	ev := alarm.Events[0]
+	ev := det.Alarm.Events[0]
 	fmt.Printf("\nALARM: %s=%d score=%.4f\n", ev.Device, ev.State, ev.Score)
 	fmt.Printf("interaction context (for root-cause analysis): %v\n", ev.Context)
 }

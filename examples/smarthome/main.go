@@ -87,12 +87,12 @@ func main() {
 	}
 	alarms := 0
 	for _, e := range intrusion {
-		alarm, score, err := mon.Observe(e)
+		det, err := mon.ObserveEvent(e)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  %-12s=%v score=%.4f\n", e.Device, e.Value, score)
-		if alarm != nil {
+		fmt.Printf("  %-12s=%v score=%.4f\n", e.Device, e.Value, det.Score)
+		if alarm := det.Alarm; alarm != nil {
 			alarms++
 			fmt.Printf("  ALARM (%d events, collective=%v):\n", len(alarm.Events), alarm.Collective())
 			for _, ev := range alarm.Events {
@@ -122,12 +122,12 @@ func main() {
 		{Time: day.Add(2e9), Device: "P_washer", Value: 40},
 	}
 	for _, e := range chain {
-		alarm, score, err := mon2.Observe(e)
+		det, err := mon2.ObserveEvent(e)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  %-12s=%v score=%.4f\n", e.Device, e.Value, score)
-		if alarm != nil {
+		fmt.Printf("  %-12s=%v score=%.4f\n", e.Device, e.Value, det.Score)
+		if alarm := det.Alarm; alarm != nil {
 			fmt.Printf("  ALARM (%d events, collective=%v)\n", len(alarm.Events), alarm.Collective())
 		}
 	}

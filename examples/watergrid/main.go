@@ -84,12 +84,12 @@ func main() {
 		{Time: t.Add(20 * time.Minute), Device: "turbidity_4", Value: 86},
 	}
 	for _, e := range spill {
-		alarm, score, err := mon.Observe(e)
+		det, err := mon.ObserveEvent(e)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  %-12s=%5.1f score=%.4f\n", e.Device, e.Value, score)
-		if alarm != nil {
+		fmt.Printf("  %-12s=%5.1f score=%.4f\n", e.Device, e.Value, det.Score)
+		if alarm := det.Alarm; alarm != nil {
 			fmt.Printf("  ALARM: polluted flow tracked across %d stations (collective=%v)\n",
 				len(alarm.Events), alarm.Collective())
 			for _, ev := range alarm.Events {

@@ -1,0 +1,301 @@
+package causaliot
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"github.com/causaliot/causaliot/internal/hub"
+)
+
+// BackpressurePolicy selects what Hub.Submit does when a home's ingestion
+// queue is full.
+type BackpressurePolicy int
+
+const (
+	// BackpressureDefault inherits the hub's configured policy
+	// (BackpressureBlock unless the hub was configured otherwise).
+	BackpressureDefault BackpressurePolicy = iota
+	// BackpressureBlock makes Submit wait for queue space — lossless, but
+	// a slow home stalls its producers.
+	BackpressureBlock
+	// BackpressureDropOldest evicts the oldest queued event to admit the
+	// new one — bounded staleness, lossy under sustained overload.
+	BackpressureDropOldest
+	// BackpressureReject fails Submit with ErrBackpressure — the producer
+	// decides, nothing silently lost or stalled.
+	BackpressureReject
+)
+
+func (p BackpressurePolicy) internal() hub.Policy {
+	switch p {
+	case BackpressureBlock:
+		return hub.Block
+	case BackpressureDropOldest:
+		return hub.DropOldest
+	case BackpressureReject:
+		return hub.Reject
+	default:
+		return hub.DefaultPolicy
+	}
+}
+
+// Hub serving errors. ErrBackpressure marks a Submit refused by a
+// BackpressureReject queue; ErrUnknownTenant an operation on an
+// unregistered home; ErrHubClosed an operation on a closed hub.
+var (
+	ErrBackpressure  = hub.ErrBackpressure
+	ErrUnknownTenant = hub.ErrUnknownTenant
+	ErrHubClosed     = hub.ErrClosed
+)
+
+// HubConfig tunes a serving hub. The zero value selects the defaults.
+type HubConfig struct {
+	// Workers sizes the shared worker pool. Defaults to GOMAXPROCS.
+	Workers int
+	// QueueSize is the default per-home ingestion queue capacity.
+	// Defaults to 1024 events.
+	QueueSize int
+	// Backpressure is the default policy for full queues. Defaults to
+	// BackpressureBlock.
+	Backpressure BackpressurePolicy
+	// AlarmBuffer sizes the Alarms channel. When the channel is full,
+	// further alarms are dropped and counted in HubStats.AlarmsDropped
+	// rather than stalling detection. Defaults to 256.
+	AlarmBuffer int
+}
+
+// TenantOptions tunes one registered home; zero values inherit the hub
+// defaults.
+type TenantOptions struct {
+	// QueueSize overrides the hub's ingestion queue capacity.
+	QueueSize int
+	// Backpressure overrides the hub's backpressure policy.
+	Backpressure BackpressurePolicy
+	// OnAlarm, when set, receives the home's alarms instead of the hub's
+	// Alarms channel. It is called from a worker goroutine, serialized
+	// with the home's stream — return quickly or hand off.
+	OnAlarm func(tenant string, alarm *Alarm, score float64)
+	// OnError receives per-event errors (e.g. ErrUnknownDevice for a
+	// report from an unregistered device). Erroring events are counted,
+	// skipped, and the stream continues.
+	OnError func(tenant string, ev Event, err error)
+}
+
+// TenantAlarm is one alarm raised by a hosted home, as delivered on the
+// hub's Alarms channel.
+type TenantAlarm struct {
+	Tenant string
+	Alarm  *Alarm
+	// Score is the anomaly score of the event that completed the chain.
+	Score float64
+}
+
+// TenantStats is one home's runtime counters. Latencies cover the most
+// recent processed events (p50/p99 of the per-event observe time).
+type TenantStats struct {
+	Tenant     string
+	Ingested   uint64
+	Processed  uint64
+	Alarms     uint64
+	Dropped    uint64
+	Rejected   uint64
+	Errors     uint64
+	QueueDepth int
+	P50        time.Duration
+	P99        time.Duration
+}
+
+// HubStats is a point-in-time snapshot of the hub's counters.
+type HubStats struct {
+	// Tenants holds one entry per hosted home, sorted by name.
+	Tenants []TenantStats
+	// Total aggregates every home.
+	Total TenantStats
+	// AlarmsDropped counts alarms discarded because the Alarms channel
+	// was full.
+	AlarmsDropped uint64
+	Workers       int
+}
+
+// Hub serves many independent homes concurrently: each registered home gets
+// its own Monitor behind a bounded ingestion queue, and a shared worker
+// pool validates the queued events — one home's events stay strictly
+// ordered, different homes run in parallel. All methods are safe for
+// concurrent use.
+type Hub struct {
+	inner         *hub.Hub
+	alarms        chan TenantAlarm
+	alarmsDropped atomic.Uint64
+	closed        atomic.Bool
+}
+
+// NewHub starts a serving hub and its worker pool. Close it to drain and
+// stop.
+func NewHub(cfg HubConfig) *Hub {
+	buffer := cfg.AlarmBuffer
+	if buffer <= 0 {
+		buffer = 256
+	}
+	return &Hub{
+		inner: hub.New(hub.Config{
+			Workers:   cfg.Workers,
+			QueueSize: cfg.QueueSize,
+			Policy:    cfg.Backpressure.internal(),
+		}),
+		alarms: make(chan TenantAlarm, buffer),
+	}
+}
+
+// Alarms returns the channel on which homes without an OnAlarm callback
+// deliver their alarms. Consume it promptly: when the buffer is full,
+// alarms are dropped (and counted) rather than stalling detection. The
+// channel is closed by Hub.Close after the final drain.
+func (h *Hub) Alarms() <-chan TenantAlarm { return h.alarms }
+
+// tenantProc adapts one home's Monitor to the hub's Processor contract and
+// routes its alarms. The hub serializes Handle per tenant, so the monitor
+// needs no locking.
+type tenantProc struct {
+	hub     *Hub
+	name    string
+	mon     *Monitor
+	onAlarm func(string, *Alarm, float64)
+}
+
+func (p *tenantProc) Handle(ev hub.Event) (bool, error) {
+	det, err := p.mon.ObserveEvent(Event{Time: ev.Time, Device: ev.Device, Value: ev.Value})
+	if err != nil {
+		return false, err
+	}
+	if det.Alarm != nil {
+		p.deliver(det.Alarm, det.Score)
+	}
+	return det.Alarm != nil, nil
+}
+
+func (p *tenantProc) deliver(alarm *Alarm, score float64) {
+	if p.onAlarm != nil {
+		p.onAlarm(p.name, alarm, score)
+		return
+	}
+	select {
+	case p.hub.alarms <- TenantAlarm{Tenant: p.name, Alarm: alarm, Score: score}:
+	default:
+		p.hub.alarmsDropped.Add(1)
+	}
+}
+
+// Register hosts a home on the hub: a fresh Monitor is started from the
+// trained system and fed the home's submitted events in order.
+func (h *Hub) Register(tenant string, sys *System, opts TenantOptions) error {
+	if sys == nil {
+		return errors.New("causaliot: register with nil system")
+	}
+	mon, err := sys.NewMonitor()
+	if err != nil {
+		return err
+	}
+	proc := &tenantProc{hub: h, name: tenant, mon: mon, onAlarm: opts.OnAlarm}
+	var onError func(hub.Event, error)
+	if opts.OnError != nil {
+		cb := opts.OnError
+		onError = func(ev hub.Event, err error) {
+			cb(tenant, Event{Time: ev.Time, Device: ev.Device, Value: ev.Value}, err)
+		}
+	}
+	return h.inner.Register(tenant, proc, hub.TenantConfig{
+		QueueSize: opts.QueueSize,
+		Policy:    opts.Backpressure.internal(),
+		OnError:   onError,
+	})
+}
+
+// Deregister removes a home, discarding its queued events and releasing any
+// producers blocked on its queue.
+func (h *Hub) Deregister(tenant string) error { return h.inner.Deregister(tenant) }
+
+// Submit enqueues one event for a home. Under a full queue the home's
+// backpressure policy decides: block, drop the oldest queued event, or fail
+// with ErrBackpressure.
+func (h *Hub) Submit(tenant string, ev Event) error {
+	return h.inner.Submit(tenant, hub.Event{Device: ev.Device, Value: ev.Value, Time: ev.Time})
+}
+
+// Swap hot-swaps a home's model: the retrained (or Extend-ed and reloaded)
+// system is adopted atomically between events, so the home's monitor keeps
+// its phantom state window and any partially tracked k-sequence chain, and
+// neither queued nor in-flight events are lost. The new system must cover
+// the same device inventory.
+func (h *Hub) Swap(tenant string, sys *System) error {
+	if sys == nil {
+		return errors.New("causaliot: swap to nil system")
+	}
+	return h.inner.Update(tenant, func(p hub.Processor) (hub.Processor, error) {
+		tp, ok := p.(*tenantProc)
+		if !ok {
+			return nil, fmt.Errorf("causaliot: tenant %q hosts a foreign processor", tenant)
+		}
+		if err := tp.mon.Swap(sys); err != nil {
+			return nil, err
+		}
+		return tp, nil
+	})
+}
+
+// Flush reports a home's partially tracked anomaly chain (if any) through
+// its alarm route, serialized with the home's stream.
+func (h *Hub) Flush(tenant string) error {
+	return h.inner.Update(tenant, func(p hub.Processor) (hub.Processor, error) {
+		tp, ok := p.(*tenantProc)
+		if !ok {
+			return nil, fmt.Errorf("causaliot: tenant %q hosts a foreign processor", tenant)
+		}
+		if alarm := tp.mon.Flush(); alarm != nil {
+			tp.deliver(alarm, 0)
+		}
+		return tp, nil
+	})
+}
+
+// Stats snapshots the hub's runtime counters.
+func (h *Hub) Stats() HubStats {
+	s := h.inner.Stats()
+	out := HubStats{
+		Tenants:       make([]TenantStats, len(s.Tenants)),
+		Total:         convertTenantStats(s.Total),
+		AlarmsDropped: h.alarmsDropped.Load(),
+		Workers:       s.Workers,
+	}
+	for i, ts := range s.Tenants {
+		out.Tenants[i] = convertTenantStats(ts)
+	}
+	return out
+}
+
+func convertTenantStats(ts hub.TenantStats) TenantStats {
+	return TenantStats{
+		Tenant:     ts.Tenant,
+		Ingested:   ts.Ingested,
+		Processed:  ts.Processed,
+		Alarms:     ts.Alarms,
+		Dropped:    ts.Dropped,
+		Rejected:   ts.Rejected,
+		Errors:     ts.Errors,
+		QueueDepth: ts.QueueDepth,
+		P50:        ts.P50,
+		P99:        ts.P99,
+	}
+}
+
+// Close stops intake, drains every queued event through its home's monitor,
+// stops the workers, and closes the Alarms channel. Close is idempotent.
+func (h *Hub) Close() error {
+	if h.closed.Swap(true) {
+		return nil
+	}
+	err := h.inner.Close()
+	close(h.alarms)
+	return err
+}

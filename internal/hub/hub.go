@@ -1,0 +1,526 @@
+// Package hub implements the concurrent multi-home serving layer: many
+// independent tenants (homes), each owning a stream processor fed through a
+// bounded ingestion queue, drained by a shared worker pool that keeps one
+// tenant's events strictly ordered while different tenants run in parallel.
+//
+// Each tenant queue has an explicit backpressure policy — Block, DropOldest,
+// or Reject — and the hub keeps per-tenant and global runtime counters
+// (ingested, processed, alarms, drops, rejects, errors, queue depth,
+// p50/p99 processing latency) exposed through Stats. Update pauses a
+// tenant's stream between events to hot-swap its processor (or mutate it in
+// place, e.g. swapping a retrained model into a monitor) without losing
+// queued or in-flight events.
+package hub
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event is one raw device state report addressed to a tenant's stream.
+type Event struct {
+	Device string
+	Value  float64
+	Time   time.Time
+}
+
+// Processor handles one tenant's ordered event stream. The hub never calls
+// Handle concurrently for the same tenant, so implementations need no
+// internal locking against the hub.
+type Processor interface {
+	// Handle processes one event; alarmed reports whether it raised an
+	// alarm (counted in the tenant's stats). A returned error is counted
+	// and reported to the tenant's error callback but does not stop the
+	// stream — per-event errors (unknown device, glitched reading) are
+	// stream noise at fleet scale, not a reason to stall a home.
+	Handle(ev Event) (alarmed bool, err error)
+}
+
+// Policy selects what Submit does when a tenant's queue is full.
+type Policy int
+
+const (
+	// DefaultPolicy inherits the hub-level policy (Block unless the hub
+	// was configured otherwise).
+	DefaultPolicy Policy = iota
+	// Block makes Submit wait until queue space frees — lossless, but a
+	// slow home stalls its producers.
+	Block
+	// DropOldest evicts the oldest queued event to admit the new one —
+	// bounded staleness, lossy under sustained overload.
+	DropOldest
+	// Reject fails Submit with ErrBackpressure — the producer decides,
+	// nothing silently lost or stalled.
+	Reject
+)
+
+func (p Policy) String() string {
+	switch p {
+	case DefaultPolicy:
+		return "default"
+	case Block:
+		return "block"
+	case DropOldest:
+		return "drop-oldest"
+	case Reject:
+		return "reject"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Hub errors.
+var (
+	// ErrBackpressure reports a Reject-policy queue at capacity.
+	ErrBackpressure = errors.New("hub: tenant queue full")
+	// ErrUnknownTenant reports an operation on an unregistered tenant.
+	ErrUnknownTenant = errors.New("hub: unknown tenant")
+	// ErrDuplicateTenant reports a Register for a name already hosted.
+	ErrDuplicateTenant = errors.New("hub: tenant already registered")
+	// ErrClosed reports an operation on a closed hub (or a tenant being
+	// deregistered).
+	ErrClosed = errors.New("hub: closed")
+)
+
+// Config tunes the hub. The zero value selects the defaults.
+type Config struct {
+	// Workers sizes the worker pool. Defaults to GOMAXPROCS.
+	Workers int
+	// QueueSize is the default per-tenant queue capacity. Defaults to
+	// 1024.
+	QueueSize int
+	// Policy is the default backpressure policy. Defaults to Block.
+	Policy Policy
+	// BatchSize caps how many events one scheduling turn drains from a
+	// tenant before yielding the worker, bounding the latency a busy
+	// tenant can inflict on its neighbours. Defaults to 64.
+	BatchSize int
+	// LatencySamples sizes the per-tenant ring of recent processing
+	// latencies backing the p50/p99 stats. Defaults to 512.
+	LatencySamples int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 1024
+	}
+	if c.Policy == DefaultPolicy {
+		c.Policy = Block
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 64
+	}
+	if c.LatencySamples <= 0 {
+		c.LatencySamples = 512
+	}
+	return c
+}
+
+// TenantConfig tunes one tenant; zero values inherit the hub defaults.
+type TenantConfig struct {
+	// QueueSize overrides the hub's per-tenant queue capacity.
+	QueueSize int
+	// Policy overrides the hub's backpressure policy.
+	Policy Policy
+	// OnError receives per-event processing errors. It is called from a
+	// worker goroutine, serialized with the tenant's stream.
+	OnError func(ev Event, err error)
+}
+
+// tenant is one hosted home: its queue, its processor, and its counters.
+type tenant struct {
+	name string
+	hub  *Hub
+
+	// mu guards the queue ring and the scheduling flag.
+	mu        sync.Mutex
+	notFull   *sync.Cond
+	buf       []Event
+	head, n   int
+	policy    Policy
+	scheduled bool
+	closed    bool
+
+	// procMu serializes event processing and control operations (Update);
+	// lock order is procMu before mu.
+	procMu  sync.Mutex
+	proc    Processor
+	onError func(Event, error)
+
+	ingested  atomic.Uint64
+	processed atomic.Uint64
+	alarms    atomic.Uint64
+	dropped   atomic.Uint64
+	rejected  atomic.Uint64
+	errs      atomic.Uint64
+	lat       *latencyRing
+}
+
+// Hub hosts many tenants over a shared worker pool.
+type Hub struct {
+	cfg Config
+
+	mu      sync.RWMutex
+	tenants map[string]*tenant
+
+	// Unbounded FIFO run queue of tenants with pending work. A tenant
+	// appears at most once (the scheduled flag), so the queue length is
+	// bounded by the tenant count.
+	qmu      sync.Mutex
+	qcond    *sync.Cond
+	runq     []*tenant
+	stopping bool
+
+	wg     sync.WaitGroup
+	closed atomic.Bool
+}
+
+// New starts a hub and its worker pool.
+func New(cfg Config) *Hub {
+	h := &Hub{cfg: cfg.withDefaults(), tenants: make(map[string]*tenant)}
+	h.qcond = sync.NewCond(&h.qmu)
+	h.wg.Add(h.cfg.Workers)
+	for i := 0; i < h.cfg.Workers; i++ {
+		go h.worker()
+	}
+	return h
+}
+
+// Workers returns the worker pool size.
+func (h *Hub) Workers() int { return h.cfg.Workers }
+
+// Register hosts a new tenant. The processor's Handle is only ever called
+// from one worker at a time; events submitted for the tenant are processed
+// in submission order.
+func (h *Hub) Register(name string, p Processor, cfg TenantConfig) error {
+	if h.closed.Load() {
+		return ErrClosed
+	}
+	if name == "" {
+		return errors.New("hub: empty tenant name")
+	}
+	if p == nil {
+		return errors.New("hub: nil processor")
+	}
+	size := cfg.QueueSize
+	if size <= 0 {
+		size = h.cfg.QueueSize
+	}
+	policy := cfg.Policy
+	if policy == DefaultPolicy {
+		policy = h.cfg.Policy
+	}
+	t := &tenant{
+		name:    name,
+		hub:     h,
+		buf:     make([]Event, size),
+		policy:  policy,
+		proc:    p,
+		onError: cfg.OnError,
+		lat:     newLatencyRing(h.cfg.LatencySamples),
+	}
+	t.notFull = sync.NewCond(&t.mu)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, dup := h.tenants[name]; dup {
+		return fmt.Errorf("%w: %q", ErrDuplicateTenant, name)
+	}
+	h.tenants[name] = t
+	return nil
+}
+
+// Deregister removes a tenant, discarding its queued events and releasing
+// any producers blocked on its queue.
+func (h *Hub) Deregister(name string) error {
+	h.mu.Lock()
+	t := h.tenants[name]
+	delete(h.tenants, name)
+	h.mu.Unlock()
+	if t == nil {
+		return fmt.Errorf("%w %q", ErrUnknownTenant, name)
+	}
+	t.mu.Lock()
+	t.closed = true
+	t.head, t.n = 0, 0
+	t.notFull.Broadcast()
+	t.mu.Unlock()
+	return nil
+}
+
+// lookup fetches a live tenant by name.
+func (h *Hub) lookup(name string) (*tenant, error) {
+	h.mu.RLock()
+	t := h.tenants[name]
+	h.mu.RUnlock()
+	if t == nil {
+		return nil, fmt.Errorf("%w %q", ErrUnknownTenant, name)
+	}
+	return t, nil
+}
+
+// Submit enqueues one event for a tenant. Under a full queue the tenant's
+// backpressure policy decides: Block waits, DropOldest evicts, Reject fails
+// with ErrBackpressure.
+func (h *Hub) Submit(name string, ev Event) error {
+	if h.closed.Load() {
+		return ErrClosed
+	}
+	t, err := h.lookup(name)
+	if err != nil {
+		return err
+	}
+	return t.enqueue(ev)
+}
+
+func (t *tenant) enqueue(ev Event) error {
+	t.mu.Lock()
+	for t.n == len(t.buf) && !t.closed {
+		switch t.policy {
+		case DropOldest:
+			t.head = (t.head + 1) % len(t.buf)
+			t.n--
+			t.dropped.Add(1)
+		case Reject:
+			t.rejected.Add(1)
+			t.mu.Unlock()
+			return fmt.Errorf("%w: %q", ErrBackpressure, t.name)
+		default: // Block
+			t.notFull.Wait()
+			if t.hub.closed.Load() {
+				t.mu.Unlock()
+				return ErrClosed
+			}
+		}
+	}
+	if t.closed {
+		t.mu.Unlock()
+		return fmt.Errorf("%w (tenant %q)", ErrClosed, t.name)
+	}
+	t.buf[(t.head+t.n)%len(t.buf)] = ev
+	t.n++
+	t.ingested.Add(1)
+	wake := !t.scheduled
+	if wake {
+		t.scheduled = true
+	}
+	t.mu.Unlock()
+	if wake {
+		t.hub.schedule(t)
+	}
+	return nil
+}
+
+func (h *Hub) schedule(t *tenant) {
+	h.qmu.Lock()
+	h.runq = append(h.runq, t)
+	h.qmu.Unlock()
+	h.qcond.Signal()
+}
+
+func (h *Hub) worker() {
+	defer h.wg.Done()
+	for {
+		h.qmu.Lock()
+		for len(h.runq) == 0 && !h.stopping {
+			h.qcond.Wait()
+		}
+		if len(h.runq) == 0 {
+			h.qmu.Unlock()
+			return
+		}
+		t := h.runq[0]
+		h.runq = h.runq[1:]
+		h.qmu.Unlock()
+		t.runBatch(h.cfg.BatchSize)
+	}
+}
+
+// runBatch drains up to max events from the tenant's queue through its
+// processor, then either reschedules the tenant (more pending) or marks it
+// idle. procMu keeps the tenant's stream serialized against other workers
+// and against Update.
+func (t *tenant) runBatch(max int) {
+	t.procMu.Lock()
+	defer t.procMu.Unlock()
+	for i := 0; i < max; i++ {
+		t.mu.Lock()
+		if t.n == 0 || t.closed {
+			t.scheduled = false
+			t.mu.Unlock()
+			return
+		}
+		ev := t.buf[t.head]
+		t.buf[t.head] = Event{}
+		t.head = (t.head + 1) % len(t.buf)
+		t.n--
+		t.notFull.Signal()
+		t.mu.Unlock()
+
+		start := time.Now()
+		alarmed, err := t.proc.Handle(ev)
+		t.lat.record(time.Since(start))
+		t.processed.Add(1)
+		if alarmed {
+			t.alarms.Add(1)
+		}
+		if err != nil {
+			t.errs.Add(1)
+			if t.onError != nil {
+				t.onError(ev, err)
+			}
+		}
+	}
+	// Batch budget exhausted: yield the worker, keep the tenant scheduled
+	// if it still has pending events.
+	t.mu.Lock()
+	if t.n > 0 && !t.closed {
+		t.mu.Unlock()
+		t.hub.schedule(t)
+		return
+	}
+	t.scheduled = false
+	t.mu.Unlock()
+}
+
+// Update pauses the tenant's stream between events and runs fn on its
+// processor; the returned processor replaces the current one (return the
+// argument, mutated, for an in-place model hot-swap). Queued events are
+// retained and continue through the updated processor, so a swap loses
+// neither queued nor in-flight events.
+func (h *Hub) Update(name string, fn func(Processor) (Processor, error)) error {
+	if fn == nil {
+		return errors.New("hub: nil update")
+	}
+	t, err := h.lookup(name)
+	if err != nil {
+		return err
+	}
+	t.procMu.Lock()
+	defer t.procMu.Unlock()
+	p, err := fn(t.proc)
+	if err != nil {
+		return err
+	}
+	if p == nil {
+		return errors.New("hub: update returned nil processor")
+	}
+	t.proc = p
+	return nil
+}
+
+// Close stops intake, drains every queued event through its tenant's
+// processor, and stops the workers. Submit calls concurrent with Close
+// either complete before the drain or fail with ErrClosed. Close is
+// idempotent.
+func (h *Hub) Close() error {
+	if h.closed.Swap(true) {
+		return nil
+	}
+	// Release producers blocked on full queues; they observe the closed
+	// hub and fail their Submit.
+	h.mu.RLock()
+	for _, t := range h.tenants {
+		t.mu.Lock()
+		t.notFull.Broadcast()
+		t.mu.Unlock()
+	}
+	h.mu.RUnlock()
+	h.qmu.Lock()
+	h.stopping = true
+	h.qmu.Unlock()
+	h.qcond.Broadcast()
+	h.wg.Wait()
+	// Sweep events that slipped in between the closed check of a racing
+	// Submit and worker shutdown.
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	for _, t := range h.tenants {
+		for {
+			t.mu.Lock()
+			pending := t.n
+			t.mu.Unlock()
+			if pending == 0 {
+				break
+			}
+			t.runBatch(h.cfg.BatchSize)
+		}
+	}
+	return nil
+}
+
+// TenantStats is one tenant's runtime counters. Latency percentiles cover
+// the most recent LatencySamples processed events.
+type TenantStats struct {
+	Tenant     string
+	Ingested   uint64
+	Processed  uint64
+	Alarms     uint64
+	Dropped    uint64
+	Rejected   uint64
+	Errors     uint64
+	QueueDepth int
+	P50        time.Duration
+	P99        time.Duration
+}
+
+// Stats is a point-in-time snapshot of the hub's counters.
+type Stats struct {
+	// Tenants holds one entry per hosted tenant, sorted by name.
+	Tenants []TenantStats
+	// Total aggregates every tenant (its Tenant field is empty; its
+	// latency percentiles are computed over all tenants' samples).
+	Total   TenantStats
+	Workers int
+}
+
+// Stats snapshots the hub's runtime counters.
+func (h *Hub) Stats() Stats {
+	h.mu.RLock()
+	tenants := make([]*tenant, 0, len(h.tenants))
+	for _, t := range h.tenants {
+		tenants = append(tenants, t)
+	}
+	h.mu.RUnlock()
+	sort.Slice(tenants, func(i, j int) bool { return tenants[i].name < tenants[j].name })
+
+	s := Stats{Tenants: make([]TenantStats, 0, len(tenants)), Workers: h.cfg.Workers}
+	var all []float64
+	for _, t := range tenants {
+		t.mu.Lock()
+		depth := t.n
+		t.mu.Unlock()
+		samples := t.lat.snapshot()
+		ts := TenantStats{
+			Tenant:     t.name,
+			Ingested:   t.ingested.Load(),
+			Processed:  t.processed.Load(),
+			Alarms:     t.alarms.Load(),
+			Dropped:    t.dropped.Load(),
+			Rejected:   t.rejected.Load(),
+			Errors:     t.errs.Load(),
+			QueueDepth: depth,
+			P50:        percentile(samples, 50),
+			P99:        percentile(samples, 99),
+		}
+		all = append(all, samples...)
+		s.Tenants = append(s.Tenants, ts)
+		s.Total.Ingested += ts.Ingested
+		s.Total.Processed += ts.Processed
+		s.Total.Alarms += ts.Alarms
+		s.Total.Dropped += ts.Dropped
+		s.Total.Rejected += ts.Rejected
+		s.Total.Errors += ts.Errors
+		s.Total.QueueDepth += ts.QueueDepth
+	}
+	s.Total.P50 = percentile(all, 50)
+	s.Total.P99 = percentile(all, 99)
+	return s
+}

@@ -1,0 +1,53 @@
+package hub
+
+import (
+	"sync/atomic"
+	"time"
+
+	"github.com/causaliot/causaliot/internal/stats"
+)
+
+// latencyRing records the most recent processing latencies of one tenant.
+// Writes are serialized by the tenant's procMu (single writer); snapshot
+// reads run concurrently from Stats, hence the atomic slots.
+type latencyRing struct {
+	slots []atomic.Int64 // nanoseconds
+	count atomic.Uint64  // total records ever; slots filled = min(count, len)
+}
+
+func newLatencyRing(size int) *latencyRing {
+	return &latencyRing{slots: make([]atomic.Int64, size)}
+}
+
+func (r *latencyRing) record(d time.Duration) {
+	// Store the sample before publishing the count so a concurrent
+	// snapshot never reads an unwritten slot.
+	c := r.count.Load()
+	r.slots[c%uint64(len(r.slots))].Store(int64(d))
+	r.count.Store(c + 1)
+}
+
+func (r *latencyRing) snapshot() []float64 {
+	n := r.count.Load()
+	if n > uint64(len(r.slots)) {
+		n = uint64(len(r.slots))
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(r.slots[i].Load())
+	}
+	return out
+}
+
+// percentile returns the qth percentile of the sampled latencies, zero when
+// no samples were recorded yet.
+func percentile(samples []float64, q float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	v, err := stats.Percentile(samples, q)
+	if err != nil {
+		return 0
+	}
+	return time.Duration(v)
+}

@@ -95,6 +95,24 @@ func (m *PhantomStateMachine) Current() timeseries.State {
 	return m.window[m.tau].Clone()
 }
 
+// resize adapts the window to a new maximum lag, keeping the most recent
+// states aligned on the present; when the window grows, the oldest known
+// state is replicated into the new, older slots.
+func (m *PhantomStateMachine) resize(tau int) {
+	if tau == m.tau {
+		return
+	}
+	window := make([]timeseries.State, tau+1)
+	for i := range window {
+		j := m.tau - (tau - i)
+		if j < 0 {
+			j = 0
+		}
+		window[i] = m.window[j].Clone()
+	}
+	m.tau, m.window = tau, window
+}
+
 // TrainingScores computes the anomaly score of every logged event in the
 // training series (anchors j ∈ {τ, ..., m}), the input to the threshold
 // calculator.
@@ -163,9 +181,10 @@ type Alarm struct {
 	Abrupt bool
 }
 
-// IsCollective reports whether the alarm contains a collective anomaly
-// (more than the seeding contextual anomaly).
-func (a *Alarm) IsCollective() bool { return len(a.Events) > 1 }
+// Collective reports whether the alarm contains a collective anomaly
+// (more than the seeding contextual anomaly). The name matches the facade's
+// Alarm.Collective so the predicate reads the same at every layer.
+func (a *Alarm) Collective() bool { return len(a.Events) > 1 }
 
 // Detector runs the k-sequence anomaly detection of Algorithm 2 over a
 // runtime event stream.
@@ -207,9 +226,52 @@ func (d *Detector) Threshold() float64 { return d.threshold }
 // list W.
 func (d *Detector) Pending() int { return len(d.w) }
 
+// Swap atomically adopts a retrained graph, threshold, and chain length
+// between events: the phantom window and any partially tracked anomaly
+// chain survive, so a model refresh loses no detection state. The new graph
+// must cover the same device registry; a different Tau resizes the window,
+// replicating the oldest known state when it grows.
+func (d *Detector) Swap(g *dig.Graph, threshold float64, kmax int) error {
+	if g == nil {
+		return errors.New("monitor: nil graph")
+	}
+	if threshold < 0 || threshold > 1 {
+		return fmt.Errorf("monitor: threshold %v outside [0,1]", threshold)
+	}
+	if kmax < 1 {
+		return fmt.Errorf("monitor: kmax %d < 1", kmax)
+	}
+	if !g.Registry.Same(d.g.Registry) {
+		return errors.New("monitor: swapped graph covers a different device registry")
+	}
+	d.pm.resize(g.Tau)
+	d.g, d.threshold, d.kmax = g, threshold, kmax
+	return nil
+}
+
+// Result is the outcome of processing one runtime event.
+type Result struct {
+	// Alarm is non-nil when the event completed (or abruptly terminated)
+	// an anomaly chain.
+	Alarm *Alarm
+	// Score is the event's anomaly score f(e, G, 𝒢); duplicates score 0.
+	Score float64
+	// Duplicate reports that the event repeated the tracked device state
+	// and was skipped, mirroring the preprocessor's sanitation.
+	Duplicate bool
+}
+
 // Process ingests one runtime event and returns a non-nil Alarm when one is
 // raised, together with the event's anomaly score (NaN-free; duplicates
-// return score 0 and no alarm).
+// return score 0 and no alarm). It is a compatibility wrapper around
+// ProcessStep.
+func (d *Detector) Process(step timeseries.Step) (*Alarm, float64, error) {
+	res, err := d.ProcessStep(step)
+	return res.Alarm, res.Score, err
+}
+
+// ProcessStep ingests one runtime event and reports what the detector did
+// with it.
 //
 // The procedure follows Algorithm 2 literally: with an empty list W the
 // event joins W only when its score reaches the threshold (a contextual
@@ -217,28 +279,28 @@ func (d *Detector) Pending() int { return len(d.w) }
 // the threshold (it follows an interaction execution under the polluted
 // context). The chain is reported when |W| = k_max or when an abrupt
 // high-score event interrupts the tracking.
-func (d *Detector) Process(step timeseries.Step) (*Alarm, float64, error) {
+func (d *Detector) ProcessStep(step timeseries.Step) (Result, error) {
 	d.seq++
 	if d.SkipDuplicates {
 		cur, err := d.pm.Value(dig.Node{Device: step.Device, Lag: 0})
 		if err != nil {
-			return nil, 0, err
+			return Result{}, err
 		}
 		if cur == step.Value {
-			return nil, 0, nil
+			return Result{Duplicate: true}, nil
 		}
 	}
 	if err := d.pm.Update(step); err != nil {
-		return nil, 0, err
+		return Result{}, err
 	}
 	causes := d.g.Parents(step.Device)
 	values, err := d.pm.CauseValues(causes)
 	if err != nil {
-		return nil, 0, err
+		return Result{}, err
 	}
 	score, err := d.g.AnomalyScore(step.Device, step.Value, values)
 	if err != nil {
-		return nil, 0, err
+		return Result{}, err
 	}
 
 	anomalous := score >= d.threshold
@@ -256,14 +318,15 @@ func (d *Detector) Process(step timeseries.Step) (*Alarm, float64, error) {
 	// event interrupts an ongoing tracking (Algorithm 2 line 9 — the
 	// abrupt case only applies to a chain that was already being tracked
 	// before this event, otherwise the seeding contextual anomaly would
-	// terminate its own chain immediately).
-	if len(d.w) == d.kmax || (tracking && anomalous) {
+	// terminate its own chain immediately). The >= guards against a
+	// hot-swap shrinking kmax below an already tracked chain.
+	if len(d.w) >= d.kmax || (tracking && anomalous) {
 		abrupt := len(d.w) < d.kmax
 		alarm := &Alarm{Events: d.w, Abrupt: abrupt}
 		d.w = nil
-		return alarm, score, nil
+		return Result{Alarm: alarm, Score: score}, nil
 	}
-	return nil, score, nil
+	return Result{Score: score}, nil
 }
 
 // Flush reports any partially tracked chain at stream end and resets the

@@ -215,7 +215,7 @@ func TestDetectorContextualAnomaly(t *testing.T) {
 	if len(alarm.Events) != 1 || alarm.Abrupt {
 		t.Errorf("alarm = %+v, want single contextual event", alarm)
 	}
-	if alarm.IsCollective() {
+	if alarm.Collective() {
 		t.Error("single-event alarm reported collective")
 	}
 	ev := alarm.Events[0]
@@ -258,7 +258,7 @@ func TestDetectorCollectiveChain(t *testing.T) {
 	if alarm == nil {
 		t.Fatal("chain of length kmax=2 should raise an alarm")
 	}
-	if !alarm.IsCollective() || len(alarm.Events) != 2 || alarm.Abrupt {
+	if !alarm.Collective() || len(alarm.Events) != 2 || alarm.Abrupt {
 		t.Errorf("alarm = %+v", alarm)
 	}
 	if d.Pending() != 0 {
@@ -442,5 +442,114 @@ func TestAffectedDevices(t *testing.T) {
 	isolated := &Alarm{Events: []AnomalousEvent{{Step: timeseries.Step{Device: 3, Value: 1}}}}
 	if got := AffectedDevices(g, isolated); len(got) != 1 || got[0] != 3 {
 		t.Errorf("isolated AffectedDevices = %v", got)
+	}
+}
+
+func TestProcessStepReportsDuplicates(t *testing.T) {
+	g, _ := fittedChainGraph(t)
+	d, err := NewDetector(g, 0.5, 1, timeseries.State{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.ProcessStep(timeseries.Step{Device: 0, Value: 0}) // already 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Duplicate || res.Score != 0 || res.Alarm != nil {
+		t.Errorf("duplicate result = %+v", res)
+	}
+	res, err = d.ProcessStep(timeseries.Step{Device: 0, Value: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Duplicate {
+		t.Errorf("state change flagged duplicate: %+v", res)
+	}
+}
+
+func TestDetectorSwapPreservesChainAndWindow(t *testing.T) {
+	g, series := fittedChainGraph(t)
+	d, err := NewDetector(g, 0.5, 3, timeseries.State{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed a chain: effect on with cause off is a contextual anomaly.
+	if _, _, err := d.Process(timeseries.Step{Device: 1, Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if d.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", d.Pending())
+	}
+	// Retrained graph on the same registry with a larger tau and a new
+	// threshold: the tracked chain and the phantom window must survive.
+	g2, err := dig.New(g.Registry, 4, [][]dig.Node{
+		{},
+		{{Device: 0, Lag: 1}},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.Fit(series); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Swap(g2, 0.6, 3); err != nil {
+		t.Fatal(err)
+	}
+	if d.Threshold() != 0.6 {
+		t.Errorf("Threshold after swap = %v", d.Threshold())
+	}
+	if d.Pending() != 1 {
+		t.Fatalf("Pending after swap = %d (chain lost)", d.Pending())
+	}
+	// The window kept the present state: the effect is on, so repeating
+	// it is a duplicate.
+	res, err := d.ProcessStep(timeseries.Step{Device: 1, Value: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Duplicate {
+		t.Error("swap lost the phantom window state")
+	}
+	// Shrinking tau also works: the newest states are kept.
+	g3, err := dig.New(g.Registry, 1, [][]dig.Node{
+		{},
+		{{Device: 0, Lag: 1}},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g3.Fit(series); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Swap(g3, 0.5, 2); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := d.ProcessStep(timeseries.Step{Device: 1, Value: 1}); err != nil || !res.Duplicate {
+		t.Errorf("window state lost shrinking tau: %+v, %v", res, err)
+	}
+}
+
+func TestDetectorSwapValidation(t *testing.T) {
+	g, _ := fittedChainGraph(t)
+	d, err := NewDetector(g, 0.5, 1, timeseries.State{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Swap(nil, 0.5, 1); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if err := d.Swap(g, 1.5, 1); err == nil {
+		t.Error("out-of-range threshold accepted")
+	}
+	if err := d.Swap(g, 0.5, 0); err == nil {
+		t.Error("kmax 0 accepted")
+	}
+	other := mustRegistry(t, "x", "y", "z")
+	gOther, err := dig.New(other, 2, [][]dig.Node{{}, {}, {}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Swap(gOther, 0.5, 1); err == nil {
+		t.Error("foreign registry accepted")
 	}
 }

@@ -23,6 +23,17 @@ import (
 // operation.
 const DefaultMaxDuration = 60 * time.Second
 
+// Sentinel errors for runtime value unification. Stream callers match them
+// with errors.Is to tell skippable events (a report from a device outside
+// the inventory, a non-finite sensor glitch) from fatal misconfiguration.
+var (
+	// ErrUnknownDevice marks an event from a device not in the inventory.
+	ErrUnknownDevice = errors.New("preprocess: unknown device")
+	// ErrValueOutOfRange marks a reading outside the representable range
+	// (NaN or ±Inf) that no unification rule can classify.
+	ErrValueOutOfRange = errors.New("preprocess: value out of range")
+)
+
 // DefaultTauMax bounds the selected lag; a large τ inflates the DIG node
 // count and the cost of skeleton construction (paper §V-D).
 const DefaultTauMax = 6
@@ -182,7 +193,7 @@ func (p *Preprocessor) Process(log event.Log) (*Result, error) {
 	for _, e := range sorted {
 		dev, ok := p.devices[e.Device]
 		if !ok {
-			return nil, fmt.Errorf("preprocess: event from unknown device %q", e.Device)
+			return nil, fmt.Errorf("%w %q", ErrUnknownDevice, e.Device)
 		}
 		if dev.Attribute.Class != event.Binary {
 			numeric[e.Device] = append(numeric[e.Device], e.Value)
@@ -268,7 +279,10 @@ func (p *Preprocessor) Process(log event.Log) (*Result, error) {
 func (p *Preprocessor) UnifyValue(device string, value float64) (int, error) {
 	dev, ok := p.devices[device]
 	if !ok {
-		return 0, fmt.Errorf("preprocess: unknown device %q", device)
+		return 0, fmt.Errorf("%w %q", ErrUnknownDevice, device)
+	}
+	if math.IsNaN(value) || math.IsInf(value, 0) {
+		return 0, fmt.Errorf("%w: %q reported %v", ErrValueOutOfRange, device, value)
 	}
 	switch dev.Attribute.Class {
 	case event.Binary:
