@@ -1,20 +1,30 @@
-# Tier-1 is the seed verification contract; the race tier adds go vet and
-# the race detector so every PR exercises the concurrent serving hub under
-# -race. `make check` runs both.
+# Tier-1 is the seed verification contract; vet and the race tier add
+# static analysis and the race detector so every PR exercises the
+# concurrent serving hub under -race. `make check` runs all three.
 
 GO ?= go
 
-.PHONY: tier1 race check bench serve-demo
+.PHONY: tier1 vet race check bench bench-paper serve-demo
 
 tier1:
 	$(GO) build ./... && $(GO) test ./...
 
+vet:
+	$(GO) vet ./...
+
 race:
-	$(GO) vet ./... && $(GO) test -race ./...
+	$(GO) test -race ./...
 
-check: tier1 race
+check: tier1 vet race
 
+# Mining/G² counting-kernel benchmarks; records the bit-vs-scalar baseline
+# (ns/op, allocations, speedups) to BENCH_pc.json for the perf trajectory.
 bench:
+	$(GO) test -bench='^Benchmark(GSquare|Mine)$$' -benchmem -run='^$$' ./internal/stats ./internal/pc
+	$(GO) run ./cmd/benchpc -out BENCH_pc.json
+
+# Full paper-reproduction benchmark suite (tables, figures, ablations).
+bench-paper:
 	$(GO) test -bench=. -benchmem -run='^$$' ./
 
 # End-to-end demo of the serve mode on simulated traffic.

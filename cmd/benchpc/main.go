@@ -1,0 +1,187 @@
+// Command benchpc records the mining/G² kernel baseline to a JSON file
+// (BENCH_pc.json at the repo root), seeding the perf trajectory with a
+// measured starting point. It benchmarks full TemporalPC mining on the
+// simulated testbed and single G² tests under both the popcount and the
+// scalar counting kernel, then writes ns/op, allocations, and the
+// bit-vs-scalar speedups.
+//
+//	go run ./cmd/benchpc -out BENCH_pc.json [-days 4]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/causaliot/causaliot/internal/pc"
+	"github.com/causaliot/causaliot/internal/preprocess"
+	"github.com/causaliot/causaliot/internal/sim"
+	"github.com/causaliot/causaliot/internal/stats"
+	"github.com/causaliot/causaliot/internal/timeseries"
+)
+
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type report struct {
+	Generated  string             `json:"generated"`
+	GoVersion  string             `json:"go_version"`
+	GOOS       string             `json:"goos"`
+	GOARCH     string             `json:"goarch"`
+	CPUs       int                `json:"cpus"`
+	SimDays    int                `json:"sim_days"`
+	Benchmarks []benchResult      `json:"benchmarks"`
+	Speedup    map[string]float64 `json:"speedup_bit_vs_scalar"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_pc.json", "output JSON file")
+	days := flag.Int("days", 4, "simulated days of training data for the mining bench")
+	flag.Parse()
+	if err := run(*out, *days); err != nil {
+		fmt.Fprintln(os.Stderr, "benchpc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, days int) error {
+	series, tau, err := simulatedSeries(days)
+	if err != nil {
+		return err
+	}
+
+	rep := report{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		SimDays:   days,
+		Speedup:   make(map[string]float64),
+	}
+
+	measure := func(name string, fn func(b *testing.B)) benchResult {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			fn(b)
+		})
+		res := benchResult{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		rep.Benchmarks = append(rep.Benchmarks, res)
+		fmt.Printf("%-22s %12.0f ns/op %10d B/op %8d allocs/op (n=%d)\n",
+			name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp, res.Iterations)
+		return res
+	}
+
+	mine := func(kernel stats.Kernel) func(b *testing.B) {
+		return func(b *testing.B) {
+			miner := pc.NewMiner(pc.Config{
+				MaxCondSize:  3,
+				MinObsPerDOF: 5,
+				MaxParents:   8,
+				Kernel:       kernel,
+			})
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := miner.Mine(series, tau, 0.01); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	mineBit := measure("Mine/bit", mine(stats.KernelBit))
+	mineScalar := measure("Mine/scalar", mine(stats.KernelScalar))
+	rep.Speedup["mine"] = mineScalar.NsPerOp / mineBit.NsPerOp
+
+	for _, l := range []int{0, 2, 3} {
+		x, y, zs, xb, yb, zb := gsquareInput(10000, l)
+		tester := stats.GSquareTester{}
+		sc := measure(fmt.Sprintf("GSquare/scalar/l%d", l), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := tester.Test(x, y, zs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		bit := measure(fmt.Sprintf("GSquare/bit/l%d", l), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := tester.TestBits(xb, yb, zb); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rep.Speedup[fmt.Sprintf("gsquare_l%d", l)] = sc.NsPerOp / bit.NsPerOp
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("speedups: mine %.2fx, gsquare l0 %.2fx / l2 %.2fx / l3 %.2fx — wrote %s\n",
+		rep.Speedup["mine"], rep.Speedup["gsquare_l0"], rep.Speedup["gsquare_l2"], rep.Speedup["gsquare_l3"], out)
+	return nil
+}
+
+func simulatedSeries(days int) (*timeseries.Series, int, error) {
+	tb := sim.ContextActLike()
+	simulator, err := sim.NewSimulator(tb, sim.Config{Seed: 7, Days: days})
+	if err != nil {
+		return nil, 0, err
+	}
+	log, err := simulator.Run()
+	if err != nil {
+		return nil, 0, err
+	}
+	pre, err := preprocess.New(tb.Devices, preprocess.Config{})
+	if err != nil {
+		return nil, 0, err
+	}
+	res, err := pre.Process(log)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Series, res.Tau, nil
+}
+
+func gsquareInput(n, l int) (x, y stats.Sample, zs []stats.Sample, xb, yb stats.BitSample, zb []stats.BitSample) {
+	rng := rand.New(rand.NewSource(9))
+	mk := func(bias float64) (stats.Sample, stats.BitSample) {
+		vals := make([]int, n)
+		for i := range vals {
+			if rng.Float64() < bias {
+				vals[i] = 1
+			}
+		}
+		s := stats.Sample{Values: vals, Arity: 2}
+		b, err := stats.PackSample(s)
+		if err != nil {
+			panic(err)
+		}
+		return s, b
+	}
+	x, xb = mk(0.4)
+	y, yb = mk(0.6)
+	zs = make([]stats.Sample, l)
+	zb = make([]stats.BitSample, l)
+	for k := range zs {
+		zs[k], zb[k] = mk(0.5)
+	}
+	return x, y, zs, xb, yb, zb
+}

@@ -123,7 +123,56 @@ func ClassicPC(names []string, samples []stats.Sample, cfg Config) (*PDAG, Stats
 	if n < 2 {
 		return nil, Stats{}, fmt.Errorf("pc: need at least two variables, got %d", n)
 	}
-	tester := stats.GSquareTester{MinObsPerDOF: cfg.MinObsPerDOF}
+	tester := cfg.Tester
+	if tester == nil {
+		tester = stats.GSquareTester{MinObsPerDOF: cfg.MinObsPerDOF}
+	}
+	// Pack the binary variables once so eligible tests run on the
+	// popcount kernel; variables with higher arity (or a disabled
+	// kernel) keep the scalar path.
+	bitTester, bitOK := tester.(stats.BitCITester)
+	useBits := bitOK && cfg.Kernel != stats.KernelScalar
+	var packed []stats.BitSample
+	binary := make([]bool, n)
+	if useBits {
+		packed = make([]stats.BitSample, n)
+		for i, s := range samples {
+			if s.Arity != 2 {
+				continue
+			}
+			b, err := stats.PackSample(s)
+			if err != nil {
+				// Invalid values surface through the scalar
+				// path's validation below.
+				continue
+			}
+			packed[i] = b
+			binary[i] = true
+		}
+	}
+	runTest := func(i, j int, cs []int) (stats.CIResult, error) {
+		if useBits && len(cs) <= bitKernelMaxCond && binary[i] && binary[j] {
+			allBinary := true
+			for _, z := range cs {
+				if !binary[z] {
+					allBinary = false
+					break
+				}
+			}
+			if allBinary {
+				zs := make([]stats.BitSample, len(cs))
+				for k, z := range cs {
+					zs[k] = packed[z]
+				}
+				return bitTester.TestBits(packed[i], packed[j], zs)
+			}
+		}
+		zs := make([]stats.Sample, len(cs))
+		for k, z := range cs {
+			zs[k] = samples[z]
+		}
+		return tester.Test(samples[i], samples[j], zs)
+	}
 	p := newPDAG(names)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
@@ -153,13 +202,13 @@ func ClassicPC(names []string, samples []stats.Sample, cfg Config) (*PDAG, Stats
 					continue
 				}
 				removed := false
+				var testErr error
 				forEachIntSubset(pool, l, func(cs []int) bool {
-					zs := make([]stats.Sample, len(cs))
-					for k, z := range cs {
-						zs[k] = samples[z]
-					}
-					res, err := tester.Test(samples[i], samples[j], zs)
+					res, err := runTest(i, j, cs)
 					if err != nil {
+						// Surface the tester failure instead
+						// of treating it as "not separated".
+						testErr = err
 						return false
 					}
 					st.Tests++
@@ -172,6 +221,9 @@ func ClassicPC(names []string, samples []stats.Sample, cfg Config) (*PDAG, Stats
 					}
 					return true
 				})
+				if testErr != nil {
+					return nil, st, fmt.Errorf("pc: CI test (%s ⊥ %s, l=%d): %w", names[i], names[j], l, testErr)
+				}
 				if removed {
 					p.remove(i, j)
 					st.RemovedEdges++

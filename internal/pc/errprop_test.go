@@ -1,0 +1,110 @@
+package pc
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/causaliot/causaliot/internal/stats"
+)
+
+var errTesterBoom = errors.New("tester boom")
+
+// failingTester delegates to G² until the Nth call (1-based), then fails
+// every call — the stub the error-propagation regression tests use to
+// prove a CI-tester failure surfaces instead of silently mis-pruning.
+type failingTester struct {
+	mu     sync.Mutex
+	calls  int
+	failAt int
+}
+
+func (f *failingTester) Test(x, y stats.Sample, zs []stats.Sample) (stats.CIResult, error) {
+	f.mu.Lock()
+	f.calls++
+	n := f.calls
+	f.mu.Unlock()
+	if n >= f.failAt {
+		return stats.CIResult{}, errTesterBoom
+	}
+	return stats.GSquareTester{}.Test(x, y, zs)
+}
+
+func (f *failingTester) callCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}
+
+func TestDiscoverParentsPropagatesTesterError(t *testing.T) {
+	s := chainSeries(t, 1500, 0.05, 7)
+	for _, failAt := range []int{1, 3, 10} {
+		miner := NewMiner(Config{Tester: &failingTester{failAt: failAt}})
+		ps, removals, _, err := miner.DiscoverParents(s, 2, 2)
+		if !errors.Is(err, errTesterBoom) {
+			t.Fatalf("failAt=%d: err = %v, want errTesterBoom", failAt, err)
+		}
+		if ps != nil || removals != nil {
+			t.Errorf("failAt=%d: errored discovery returned results: parents=%v removals=%v", failAt, ps, removals)
+		}
+	}
+}
+
+func TestMinePropagatesTesterError(t *testing.T) {
+	s := chainSeries(t, 1500, 0.05, 13)
+	for _, workers := range []int{1, 8} {
+		// failAt=1 makes every device's discovery fail, exercising the
+		// result writes of goroutines that lose the firstErr race.
+		for _, failAt := range []int{1, 5} {
+			miner := NewMiner(Config{Workers: workers, Tester: &failingTester{failAt: failAt}})
+			g, removals, _, err := miner.Mine(s, 2, 0.01)
+			if !errors.Is(err, errTesterBoom) {
+				t.Fatalf("workers=%d failAt=%d: err = %v, want errTesterBoom", workers, failAt, err)
+			}
+			if g != nil || removals != nil {
+				t.Errorf("workers=%d failAt=%d: errored Mine returned a graph", workers, failAt)
+			}
+		}
+	}
+}
+
+func TestClassicPCPropagatesTesterError(t *testing.T) {
+	n := 500
+	mk := func(period int) stats.Sample {
+		vals := make([]int, n)
+		for i := range vals {
+			vals[i] = (i / period) % 2
+		}
+		return stats.Sample{Values: vals, Arity: 2}
+	}
+	samples := []stats.Sample{mk(2), mk(3), mk(5)}
+	_, _, err := ClassicPC([]string{"a", "b", "c"}, samples, Config{Tester: &failingTester{failAt: 2}})
+	if !errors.Is(err, errTesterBoom) {
+		t.Fatalf("err = %v, want errTesterBoom", err)
+	}
+}
+
+// TestMarginalMemoSkipsRankingTests proves the MaxParents ranking pass
+// reuses the marginal (l=0) results memoized during pruning: capping the
+// parent count must not cost a single extra tester call.
+func TestMarginalMemoSkipsRankingTests(t *testing.T) {
+	s := chainSeries(t, 3000, 0.05, 19)
+	uncapped := &failingTester{failAt: 1 << 30}
+	if _, _, _, err := NewMiner(Config{Tester: uncapped}).DiscoverParents(s, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	capped := &failingTester{failAt: 1 << 30}
+	ps, _, st, err := NewMiner(Config{MaxParents: 1, Tester: capped}).DiscoverParents(s, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) > 1 {
+		t.Fatalf("cap not applied: %d parents", len(ps))
+	}
+	if capped.callCount() != uncapped.callCount() {
+		t.Errorf("ranking re-ran marginal tests: %d calls with cap, %d without", capped.callCount(), uncapped.callCount())
+	}
+	if st.Tests != capped.callCount() {
+		t.Errorf("Stats.Tests = %d, tester saw %d calls", st.Tests, capped.callCount())
+	}
+}

@@ -21,6 +21,13 @@ import (
 // (§VI-B).
 const DefaultAlpha = 0.001
 
+// bitKernelMaxCond caps the conditioning-set size routed through the
+// popcount kernel. The kernel enumerates all 2^l conditioning strata over
+// n/64 packed words, so its advantage over the O(n·l) scalar walk fades
+// once 2^l outgrows the 64× packing factor; past l=8 the scalar path is
+// used even when the kernel is enabled.
+const bitKernelMaxCond = 8
+
 // Config controls TemporalPC.
 type Config struct {
 	// Alpha is the p-value significance threshold: the null hypothesis
@@ -56,6 +63,13 @@ type Config struct {
 	// discovery accepts any stats.CITester, e.g.
 	// stats.PearsonChiSquareTester.
 	Tester stats.CITester
+	// Kernel selects the counting substrate of the CI tests. The default
+	// (stats.KernelBit) packs the binary state columns into machine words
+	// once per outcome and counts contingency cells with popcount
+	// instructions; stats.KernelScalar forces the generic path. Testers
+	// that do not implement stats.BitCITester always run the scalar path;
+	// either way the mined graph is identical.
+	Kernel stats.Kernel
 	// Workers bounds the number of concurrent per-outcome discoveries in
 	// Mine. Defaults to GOMAXPROCS.
 	Workers int
@@ -127,6 +141,9 @@ type columns struct {
 	anchors []int
 	series  *timeseries.Series
 	cache   map[dig.Node][]int
+	// packed caches the bit-packed form of each column for the popcount
+	// kernel, built lazily from the scalar column.
+	packed map[dig.Node]stats.BitSample
 }
 
 // newOutcomeColumns builds the column view for one outcome device: with
@@ -147,7 +164,12 @@ func newOutcomeColumns(series *timeseries.Series, tau, outcome int, eventAnchors
 		}
 		anchors = append(anchors, j)
 	}
-	return &columns{anchors: anchors, series: series, cache: make(map[dig.Node][]int)}, nil
+	return &columns{
+		anchors: anchors,
+		series:  series,
+		cache:   make(map[dig.Node][]int),
+		packed:  make(map[dig.Node]stats.BitSample),
+	}, nil
 }
 
 func (c *columns) column(n dig.Node) []int {
@@ -164,6 +186,19 @@ func (c *columns) column(n dig.Node) []int {
 
 func (c *columns) sample(n dig.Node) stats.Sample {
 	return stats.Sample{Values: c.column(n), Arity: 2}
+}
+
+func (c *columns) bits(n dig.Node) (stats.BitSample, error) {
+	if b, ok := c.packed[n]; ok {
+		return b, nil
+	}
+	b, err := stats.PackSample(c.sample(n))
+	if err != nil {
+		// Unreachable in practice: series states are validated binary.
+		return stats.BitSample{}, err
+	}
+	c.packed[n] = b
+	return b, nil
 }
 
 // DiscoverParents runs Algorithm 1 for a single outcome device: it starts
@@ -219,7 +254,47 @@ func (m *Miner) discoverParents(cols *columns, n, tau, outcome int) ([]dig.Node,
 			ca = append(ca, dig.Node{Device: dev, Lag: lag})
 		}
 	}
-	outcomeSample := cols.sample(dig.Node{Device: outcome, Lag: 0})
+	outcomeNode := dig.Node{Device: outcome, Lag: 0}
+	outcomeSample := cols.sample(outcomeNode)
+
+	// Route eligible tests through the popcount kernel: the state columns
+	// are binary, so when the tester supports bit-packed samples and the
+	// conditioning set is small, contingency cells come from popcounts
+	// over AND-ed word lanes instead of a per-observation table walk.
+	bitTester, bitOK := m.tester.(stats.BitCITester)
+	useBits := bitOK && m.cfg.Kernel != stats.KernelScalar
+	var outcomeBits stats.BitSample
+	if useBits {
+		var err error
+		if outcomeBits, err = cols.bits(outcomeNode); err != nil {
+			return nil, nil, st, err
+		}
+	}
+	runTest := func(parent dig.Node, cs []dig.Node) (stats.CIResult, error) {
+		if useBits && len(cs) <= bitKernelMaxCond {
+			pb, err := cols.bits(parent)
+			if err != nil {
+				return stats.CIResult{}, err
+			}
+			zs := make([]stats.BitSample, len(cs))
+			for i, z := range cs {
+				if zs[i], err = cols.bits(z); err != nil {
+					return stats.CIResult{}, err
+				}
+			}
+			return bitTester.TestBits(pb, outcomeBits, zs)
+		}
+		zs := make([]stats.Sample, len(cs))
+		for i, z := range cs {
+			zs[i] = cols.sample(z)
+		}
+		return m.tester.Test(cols.sample(parent), outcomeSample, zs)
+	}
+
+	// marginal memoizes the l=0 test per candidate so the MaxParents
+	// ranking pass reuses the results already computed during pruning
+	// instead of re-running every marginal test.
+	marginal := make(map[dig.Node]stats.CIResult, len(ca))
 
 	maxL := n * tau
 	if m.cfg.MaxCondSize > 0 && m.cfg.MaxCondSize < maxL {
@@ -259,16 +334,19 @@ func (m *Miner) discoverParents(cols *columns, n, tau, outcome int) ([]dig.Node,
 				}
 			}
 			removed := false
+			var testErr error
 			forEachSubset(pool, l, func(cs []dig.Node) bool {
-				zs := make([]stats.Sample, len(cs))
-				for i, z := range cs {
-					zs[i] = cols.sample(z)
-				}
-				res, err := m.tester.Test(cols.sample(parent), outcomeSample, zs)
+				res, err := runTest(parent, cs)
 				if err != nil {
+					// Surface the tester failure instead of
+					// treating it as "not separated".
+					testErr = err
 					return false
 				}
 				st.Tests++
+				if l == 0 {
+					marginal[parent] = res
+				}
 				if res.PValue > m.cfg.Alpha {
 					sep := make([]dig.Node, len(cs))
 					copy(sep, cs)
@@ -278,6 +356,10 @@ func (m *Miner) discoverParents(cols *columns, n, tau, outcome int) ([]dig.Node,
 				}
 				return true
 			})
+			if testErr != nil {
+				return nil, nil, st, fmt.Errorf("pc: CI test (outcome %d, candidate device %d lag %d, l=%d): %w",
+					outcome, parent.Device, parent.Lag, l, testErr)
+			}
 			if removed {
 				if m.cfg.Stable {
 					deferred = append(deferred, parent)
@@ -299,11 +381,15 @@ func (m *Miner) discoverParents(cols *columns, n, tau, outcome int) ([]dig.Node,
 		}
 		ranked := make([]scored, 0, len(ca))
 		for _, node := range ca {
-			res, err := m.tester.Test(cols.sample(node), outcomeSample, nil)
-			if err != nil {
-				return nil, nil, st, err
+			res, ok := marginal[node]
+			if !ok {
+				var err error
+				if res, err = runTest(node, nil); err != nil {
+					return nil, nil, st, fmt.Errorf("pc: marginal ranking test (outcome %d, candidate device %d lag %d): %w",
+						outcome, node.Device, node.Lag, err)
+				}
+				st.Tests++
 			}
-			st.Tests++
 			ranked = append(ranked, scored{node: node, g2: res.Statistic})
 		}
 		sort.Slice(ranked, func(i, j int) bool { return ranked[i].g2 > ranked[j].g2 })
@@ -359,8 +445,12 @@ func (m *Miner) Mine(series *timeseries.Series, tau int, smoothing float64) (*di
 			ps, rem, st, err := m.discoverParents(cols, n, tau, dev)
 			mu.Lock()
 			defer mu.Unlock()
-			if err != nil && firstErr == nil {
-				firstErr = err
+			if err != nil {
+				// Never record results from an errored discovery,
+				// even when another device already set firstErr.
+				if firstErr == nil {
+					firstErr = err
+				}
 				return
 			}
 			parents[dev] = ps

@@ -1,0 +1,209 @@
+package stats
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Kernel selects the counting substrate of the conditional-independence
+// tests. The device states TemporalPC mines over are binary, so the
+// contingency cells N(x,y,z) a test needs can be counted with popcount
+// instructions over bit-packed columns instead of one observation at a
+// time — the skeleton-construction hot path per the paper's §V-D
+// complexity analysis.
+type Kernel int
+
+const (
+	// KernelBit, the default, counts contingency cells with the
+	// bit-packed popcount kernel whenever every sample is binary, the
+	// conditioning set is small, and the tester implements BitCITester;
+	// other tests fall back to the scalar path. Both kernels produce
+	// bit-identical statistics.
+	KernelBit Kernel = iota
+	// KernelScalar forces the generic per-observation counting path,
+	// for cross-checking the kernels or benchmarking the baseline.
+	KernelScalar
+)
+
+// String names the kernel for logs and flags.
+func (k Kernel) String() string {
+	switch k {
+	case KernelBit:
+		return "bit"
+	case KernelScalar:
+		return "scalar"
+	default:
+		return fmt.Sprintf("kernel(%d)", int(k))
+	}
+}
+
+// BitSample is a binary sample packed 64 observations per machine word:
+// observation i lives at bit i%64 of word i/64. Padding bits beyond the
+// observation count are always zero. It is the input of the popcount
+// counting kernel; build one with PackSample.
+type BitSample struct {
+	words []uint64
+	n     int
+}
+
+// PackSample packs a binary sample (arity 2, every value 0 or 1) into a
+// BitSample. Non-binary samples are rejected.
+func PackSample(s Sample) (BitSample, error) {
+	if s.Arity != 2 {
+		return BitSample{}, fmt.Errorf("stats: cannot bit-pack sample with arity %d", s.Arity)
+	}
+	words := make([]uint64, (len(s.Values)+63)/64)
+	for i, v := range s.Values {
+		switch v {
+		case 0:
+		case 1:
+			words[i/64] |= 1 << (uint(i) % 64)
+		default:
+			return BitSample{}, fmt.Errorf("stats: cannot bit-pack value %d at row %d", v, i)
+		}
+	}
+	return BitSample{words: words, n: len(s.Values)}, nil
+}
+
+// Len returns the number of observations.
+func (b BitSample) Len() int { return b.n }
+
+// Bit returns observation i (0 or 1).
+func (b BitSample) Bit(i int) int {
+	return int(b.words[i/64] >> (uint(i) % 64) & 1)
+}
+
+// Ones returns the number of observations equal to 1.
+func (b BitSample) Ones() int {
+	total := 0
+	for _, w := range b.words {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// BitCITester is a CITester with a fast path over bit-packed binary
+// samples. TestBits must return exactly what Test would return on the
+// corresponding unpacked samples — same statistic, DOF, p-value, and
+// reliability verdict — so callers may route any eligible test through
+// either entry point.
+type BitCITester interface {
+	CITester
+	TestBits(x, y BitSample, zs []BitSample) (CIResult, error)
+}
+
+var (
+	_ BitCITester = GSquareTester{}
+	_ BitCITester = PearsonChiSquareTester{}
+)
+
+// bitPrologue mirrors ciPrologue for bit-packed samples: every variable is
+// binary, so ∏|Z_i| = 2^len(zs) and dof = (2−1)(2−1)·2^len(zs).
+func bitPrologue(x, y BitSample, zs []BitSample) (n, zCard, dof int, err error) {
+	n = x.n
+	if y.n != n {
+		return 0, 0, 0, ErrSampleMismatch
+	}
+	zCard = 1
+	for _, z := range zs {
+		if z.n != n {
+			return 0, 0, 0, ErrSampleMismatch
+		}
+		if 2 > maxZCard/zCard {
+			return 0, 0, 0, ErrCardinalityOverflow
+		}
+		zCard *= 2
+	}
+	if n == 0 {
+		return 0, 0, 0, ErrEmpty
+	}
+	return n, zCard, zCard, nil
+}
+
+// bitJointCounts computes the stratified contingency table N(x,y,z) over
+// bit-packed columns in the same [z][x*2+y] layout countJoint produces.
+// For each of the 2^l conditioning strata it builds the stratum mask by
+// AND-ing the (possibly complemented) conditioning words and derives all
+// four cells from popcounts of mask∧x∧y, mask∧x, mask∧y, and mask — four
+// OnesCount64 per word and stratum, versus one table update per
+// observation on the scalar path.
+func bitJointCounts(x, y BitSample, zs []BitSample, zCard int) []float64 {
+	words := len(x.words)
+	l := len(zs)
+	joint := make([]float64, zCard*4)
+	// Padding bits beyond n are zero in every packed word, but the
+	// complement of a conditioning word sets them; the final word's mask
+	// keeps them out of the counts.
+	last := ^uint64(0)
+	if r := x.n % 64; r != 0 {
+		last = 1<<uint(r) - 1
+	}
+	for s := 0; s < zCard; s++ {
+		var n11, nx1, ny1, nz int
+		for w := 0; w < words; w++ {
+			mask := ^uint64(0)
+			if w == words-1 {
+				mask = last
+			}
+			for k := 0; k < l; k++ {
+				zw := zs[k].words[w]
+				// Stratum index s encodes z_0 as its most
+				// significant bit, matching the scalar layout
+				// zIdx = Σ zIdx·2 + z_k.
+				if s>>(uint(l-1-k))&1 == 0 {
+					zw = ^zw
+				}
+				mask &= zw
+			}
+			xw := x.words[w] & mask
+			yw := y.words[w] & mask
+			n11 += bits.OnesCount64(xw & yw)
+			nx1 += bits.OnesCount64(xw)
+			ny1 += bits.OnesCount64(yw)
+			nz += bits.OnesCount64(mask)
+		}
+		joint[s*4+0] = float64(nz - nx1 - ny1 + n11) // x=0, y=0
+		joint[s*4+1] = float64(ny1 - n11)            // x=0, y=1
+		joint[s*4+2] = float64(nx1 - n11)            // x=1, y=0
+		joint[s*4+3] = float64(n11)                  // x=1, y=1
+	}
+	return joint
+}
+
+// TestBits is the popcount fast path of Test: identical statistic, DOF,
+// p-value, and reliability over bit-packed binary samples.
+func (t GSquareTester) TestBits(x, y BitSample, zs []BitSample) (CIResult, error) {
+	n, zCard, dof, err := bitPrologue(x, y, zs)
+	if err != nil {
+		return CIResult{}, err
+	}
+	res := CIResult{DOF: dof, Reliable: true}
+	if t.MinObsPerDOF > 0 && n < t.MinObsPerDOF*dof {
+		res.Reliable = false
+		res.PValue = 1
+		return res, nil
+	}
+	joint := bitJointCounts(x, y, zs, zCard)
+	res.Statistic = gsquareStatistic(joint, 2, 2, zCard)
+	res.PValue = ChiSquareSurvival(res.Statistic, dof)
+	return res, nil
+}
+
+// TestBits is the popcount fast path of Test: identical statistic, DOF,
+// p-value, and reliability over bit-packed binary samples.
+func (t PearsonChiSquareTester) TestBits(x, y BitSample, zs []BitSample) (CIResult, error) {
+	n, zCard, dof, err := bitPrologue(x, y, zs)
+	if err != nil {
+		return CIResult{}, err
+	}
+	res := CIResult{DOF: dof, Reliable: true}
+	if t.MinObsPerDOF > 0 && n < t.MinObsPerDOF*dof {
+		res.Reliable = false
+		res.PValue = 1
+		return res, nil
+	}
+	joint := bitJointCounts(x, y, zs, zCard)
+	res.Statistic = pearsonStatistic(joint, 2, 2, zCard)
+	res.PValue = ChiSquareSurvival(res.Statistic, dof)
+	return res, nil
+}

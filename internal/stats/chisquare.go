@@ -1,7 +1,5 @@
 package stats
 
-import "errors"
-
 // CITester is a conditional-independence test. Constraint-based causal
 // discovery "can encode various independence test methods to handle
 // different types of data" (paper §VII-A); TemporalPC accepts any
@@ -27,59 +25,14 @@ type PearsonChiSquareTester struct {
 	MinObsPerDOF int
 }
 
-// Test implements CITester.
-func (t PearsonChiSquareTester) Test(x, y Sample, zs []Sample) (CIResult, error) {
-	if err := x.Validate(); err != nil {
-		return CIResult{}, err
-	}
-	if err := y.Validate(); err != nil {
-		return CIResult{}, err
-	}
-	n := len(x.Values)
-	if len(y.Values) != n {
-		return CIResult{}, ErrSampleMismatch
-	}
-	zCard := 1
-	for _, z := range zs {
-		if err := z.Validate(); err != nil {
-			return CIResult{}, err
-		}
-		if len(z.Values) != n {
-			return CIResult{}, ErrSampleMismatch
-		}
-		if zCard > 1<<22 {
-			return CIResult{}, errors.New("stats: conditioning set cardinality overflow")
-		}
-		zCard *= z.Arity
-	}
-	if n == 0 {
-		return CIResult{}, ErrEmpty
-	}
-
-	dof := (x.Arity - 1) * (y.Arity - 1) * zCard
-	if dof < 1 {
-		dof = 1
-	}
-	res := CIResult{DOF: dof, Reliable: true}
-	if t.MinObsPerDOF > 0 && n < t.MinObsPerDOF*dof {
-		res.Reliable = false
-		res.PValue = 1
-		return res, nil
-	}
-
-	xy := x.Arity * y.Arity
-	joint := make([]float64, zCard*xy)
-	for i := 0; i < n; i++ {
-		zIdx := 0
-		for _, z := range zs {
-			zIdx = zIdx*z.Arity + z.Values[i]
-		}
-		joint[zIdx*xy+x.Values[i]*y.Arity+y.Values[i]]++
-	}
-
+// pearsonStatistic folds a stratified contingency table into Pearson's X²
+// statistic. Like gsquareStatistic it is shared by the scalar and the
+// bit-packed counting paths, so the two kernels agree bit for bit.
+func pearsonStatistic(joint []float64, xArity, yArity, zCard int) float64 {
+	xy := xArity * yArity
 	var x2 float64
-	nx := make([]float64, x.Arity)
-	ny := make([]float64, y.Arity)
+	nx := make([]float64, xArity)
+	ny := make([]float64, yArity)
 	for zIdx := 0; zIdx < zCard; zIdx++ {
 		cells := joint[zIdx*xy : (zIdx+1)*xy]
 		var nz float64
@@ -89,9 +42,9 @@ func (t PearsonChiSquareTester) Test(x, y Sample, zs []Sample) (CIResult, error)
 		for j := range ny {
 			ny[j] = 0
 		}
-		for i := 0; i < x.Arity; i++ {
-			for j := 0; j < y.Arity; j++ {
-				c := cells[i*y.Arity+j]
+		for i := 0; i < xArity; i++ {
+			for j := 0; j < yArity; j++ {
+				c := cells[i*yArity+j]
 				nx[i] += c
 				ny[j] += c
 				nz += c
@@ -100,18 +53,34 @@ func (t PearsonChiSquareTester) Test(x, y Sample, zs []Sample) (CIResult, error)
 		if nz == 0 {
 			continue
 		}
-		for i := 0; i < x.Arity; i++ {
-			for j := 0; j < y.Arity; j++ {
+		for i := 0; i < xArity; i++ {
+			for j := 0; j < yArity; j++ {
 				expected := nx[i] * ny[j] / nz
 				if expected == 0 {
 					continue
 				}
-				d := cells[i*y.Arity+j] - expected
+				d := cells[i*yArity+j] - expected
 				x2 += d * d / expected
 			}
 		}
 	}
-	res.Statistic = x2
-	res.PValue = ChiSquareSurvival(x2, dof)
+	return x2
+}
+
+// Test implements CITester.
+func (t PearsonChiSquareTester) Test(x, y Sample, zs []Sample) (CIResult, error) {
+	n, zCard, dof, err := ciPrologue(x, y, zs)
+	if err != nil {
+		return CIResult{}, err
+	}
+	res := CIResult{DOF: dof, Reliable: true}
+	if t.MinObsPerDOF > 0 && n < t.MinObsPerDOF*dof {
+		res.Reliable = false
+		res.PValue = 1
+		return res, nil
+	}
+	joint := countJoint(x, y, zs, zCard)
+	res.Statistic = pearsonStatistic(joint, x.Arity, y.Arity, zCard)
+	res.PValue = ChiSquareSurvival(res.Statistic, dof)
 	return res, nil
 }

@@ -59,69 +59,80 @@ type GSquareTester struct {
 // share a common length.
 var ErrSampleMismatch = errors.New("stats: samples have mismatched lengths")
 
-// Test computes the G² statistic for the null hypothesis X ⊥ Y | Z.
-//
-// The statistic is G² = 2 Σ_{x,y,z} N(x,y,z) · ln( N(x,y,z)·N(z) /
-// (N(x,z)·N(y,z)) ), summed over cells with positive counts, with
-// dof = (|X|−1)(|Y|−1)·∏|Z_i|. The p-value is the chi-square survival
-// function at the statistic.
-func (t GSquareTester) Test(x, y Sample, zs []Sample) (CIResult, error) {
+// ErrCardinalityOverflow is returned when the joint cardinality of the
+// conditioning set exceeds maxZCard: the stratified contingency table would
+// be too large to allocate, and no test over so many strata could be
+// informative anyway.
+var ErrCardinalityOverflow = errors.New("stats: conditioning set cardinality overflow")
+
+// maxZCard bounds ∏|Z_i|, the number of conditioning strata.
+const maxZCard = 1 << 22
+
+// ciPrologue validates the samples of a CI test and returns its shared
+// geometry: the observation count, the conditioning-set cardinality
+// ∏|Z_i| (bounded by maxZCard), and the degrees of freedom.
+func ciPrologue(x, y Sample, zs []Sample) (n, zCard, dof int, err error) {
 	if err := x.Validate(); err != nil {
-		return CIResult{}, err
+		return 0, 0, 0, err
 	}
 	if err := y.Validate(); err != nil {
-		return CIResult{}, err
+		return 0, 0, 0, err
 	}
-	n := len(x.Values)
+	n = len(x.Values)
 	if len(y.Values) != n {
-		return CIResult{}, ErrSampleMismatch
+		return 0, 0, 0, ErrSampleMismatch
 	}
-	zCard := 1
+	zCard = 1
 	for _, z := range zs {
 		if err := z.Validate(); err != nil {
-			return CIResult{}, err
+			return 0, 0, 0, err
 		}
 		if len(z.Values) != n {
-			return CIResult{}, ErrSampleMismatch
+			return 0, 0, 0, ErrSampleMismatch
 		}
-		if zCard > 1<<22 {
-			return CIResult{}, errors.New("stats: conditioning set cardinality overflow")
+		// Check the bound before multiplying so the final cardinality
+		// (and the joint-table allocation it sizes) can never exceed
+		// maxZCard, and the product cannot overflow.
+		if z.Arity > maxZCard/zCard {
+			return 0, 0, 0, ErrCardinalityOverflow
 		}
 		zCard *= z.Arity
 	}
 	if n == 0 {
-		return CIResult{}, ErrEmpty
+		return 0, 0, 0, ErrEmpty
 	}
-
-	dof := (x.Arity - 1) * (y.Arity - 1) * zCard
+	dof = (x.Arity - 1) * (y.Arity - 1) * zCard
 	if dof < 1 {
 		dof = 1
 	}
+	return n, zCard, dof, nil
+}
 
-	res := CIResult{DOF: dof, Reliable: true}
-	if t.MinObsPerDOF > 0 && n < t.MinObsPerDOF*dof {
-		// Too few observations for the asymptotic approximation:
-		// treat the variables as independent rather than risk a
-		// spurious edge.
-		res.Reliable = false
-		res.PValue = 1
-		return res, nil
-	}
-
-	// Joint counts N(x,y,z) laid out as [z][x*|Y|+y].
+// countJoint accumulates the stratified contingency table N(x,y,z), laid
+// out as [z][x*|Y|+y], one observation at a time — the generic scalar
+// counting path. bitJointCounts is the popcount equivalent for bit-packed
+// binary samples.
+func countJoint(x, y Sample, zs []Sample, zCard int) []float64 {
 	xy := x.Arity * y.Arity
 	joint := make([]float64, zCard*xy)
-	for i := 0; i < n; i++ {
+	for i := range x.Values {
 		zIdx := 0
 		for _, z := range zs {
 			zIdx = zIdx*z.Arity + z.Values[i]
 		}
 		joint[zIdx*xy+x.Values[i]*y.Arity+y.Values[i]]++
 	}
+	return joint
+}
 
+// gsquareStatistic folds a stratified contingency table into the G²
+// statistic. Both the scalar and the bit-packed counting paths feed this
+// same accumulation, so the two kernels produce bit-identical statistics.
+func gsquareStatistic(joint []float64, xArity, yArity, zCard int) float64 {
+	xy := xArity * yArity
 	var g2 float64
-	nx := make([]float64, x.Arity)
-	ny := make([]float64, y.Arity)
+	nx := make([]float64, xArity)
+	ny := make([]float64, yArity)
 	for zIdx := 0; zIdx < zCard; zIdx++ {
 		cells := joint[zIdx*xy : (zIdx+1)*xy]
 		var nz float64
@@ -131,9 +142,9 @@ func (t GSquareTester) Test(x, y Sample, zs []Sample) (CIResult, error) {
 		for j := range ny {
 			ny[j] = 0
 		}
-		for i := 0; i < x.Arity; i++ {
-			for j := 0; j < y.Arity; j++ {
-				c := cells[i*y.Arity+j]
+		for i := 0; i < xArity; i++ {
+			for j := 0; j < yArity; j++ {
+				c := cells[i*yArity+j]
 				nx[i] += c
 				ny[j] += c
 				nz += c
@@ -142,9 +153,9 @@ func (t GSquareTester) Test(x, y Sample, zs []Sample) (CIResult, error) {
 		if nz == 0 {
 			continue
 		}
-		for i := 0; i < x.Arity; i++ {
-			for j := 0; j < y.Arity; j++ {
-				c := cells[i*y.Arity+j]
+		for i := 0; i < xArity; i++ {
+			for j := 0; j < yArity; j++ {
+				c := cells[i*yArity+j]
 				if c == 0 {
 					continue
 				}
@@ -155,7 +166,31 @@ func (t GSquareTester) Test(x, y Sample, zs []Sample) (CIResult, error) {
 	if g2 < 0 {
 		g2 = 0 // guard against negative rounding residue
 	}
-	res.Statistic = g2
-	res.PValue = ChiSquareSurvival(g2, dof)
+	return g2
+}
+
+// Test computes the G² statistic for the null hypothesis X ⊥ Y | Z.
+//
+// The statistic is G² = 2 Σ_{x,y,z} N(x,y,z) · ln( N(x,y,z)·N(z) /
+// (N(x,z)·N(y,z)) ), summed over cells with positive counts, with
+// dof = (|X|−1)(|Y|−1)·∏|Z_i|. The p-value is the chi-square survival
+// function at the statistic.
+func (t GSquareTester) Test(x, y Sample, zs []Sample) (CIResult, error) {
+	n, zCard, dof, err := ciPrologue(x, y, zs)
+	if err != nil {
+		return CIResult{}, err
+	}
+	res := CIResult{DOF: dof, Reliable: true}
+	if t.MinObsPerDOF > 0 && n < t.MinObsPerDOF*dof {
+		// Too few observations for the asymptotic approximation:
+		// treat the variables as independent rather than risk a
+		// spurious edge.
+		res.Reliable = false
+		res.PValue = 1
+		return res, nil
+	}
+	joint := countJoint(x, y, zs, zCard)
+	res.Statistic = gsquareStatistic(joint, x.Arity, y.Arity, zCard)
+	res.PValue = ChiSquareSurvival(res.Statistic, dof)
 	return res, nil
 }
