@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: tier1 vet race check bench bench-paper serve-demo
+.PHONY: tier1 vet race check bench bench-detect bench-paper serve-demo
 
 tier1:
 	$(GO) build ./... && $(GO) test ./...
@@ -22,6 +22,12 @@ check: tier1 vet race
 bench:
 	$(GO) test -bench='^Benchmark(GSquare|Mine)$$' -benchmem -run='^$$' ./internal/stats ./internal/pc
 	$(GO) run ./cmd/benchpc -out BENCH_pc.json
+
+# Serving hot-path benchmarks; records the compiled-vs-reference detection
+# throughput (events/sec, allocs/op, threshold parallel scaling) to
+# BENCH_detect.json.
+bench-detect:
+	$(GO) run ./cmd/benchdetect -out BENCH_detect.json
 
 # Full paper-reproduction benchmark suite (tables, figures, ablations).
 bench-paper:

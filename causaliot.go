@@ -229,6 +229,56 @@ type System struct {
 	graph     *dig.Graph
 	threshold float64
 	initial   timeseries.State
+	// compiled is the frozen serving form of graph (flattened parents +
+	// dense score tables), built once and shared read-only by every
+	// Monitor of this system.
+	compiled *dig.Compiled
+	// causeLabels[dev][lag-1] is the pre-rendered "name@t-lag" context key
+	// for lag ∈ [1, Tau], so alarm conversion never formats strings on the
+	// delivery path.
+	causeLabels [][]string
+	// unify is the index-keyed compiled form of the preprocessor's
+	// unification rules, sparing ObserveEvent a name-keyed map lookup per
+	// event.
+	unify *preprocess.Unifier
+	// nameIdx is the compiled device-name resolver, replacing the
+	// registry's string-hashing map lookup on the per-event path.
+	nameIdx *timeseries.NameIndex
+}
+
+// compile freezes the current graph into its serving form and pre-renders
+// the per-node cause label strings. It must be re-run whenever the graph's
+// CPTs change in place (Extend).
+func (s *System) compile() error {
+	comp, err := dig.Compile(s.graph)
+	if err != nil {
+		return fmt.Errorf("causaliot: compile graph: %w", err)
+	}
+	reg := s.graph.Registry
+	labels := make([][]string, reg.Len())
+	for dev := range labels {
+		perLag := make([]string, s.graph.Tau)
+		for lag := 1; lag <= s.graph.Tau; lag++ {
+			perLag[lag-1] = fmt.Sprintf("%s@t-%d", reg.Name(dev), lag)
+		}
+		labels[dev] = perLag
+	}
+	s.compiled = comp
+	s.causeLabels = labels
+	s.unify = s.pre.CompileUnifier()
+	s.nameIdx = reg.CompileIndex()
+	return nil
+}
+
+// causeLabel returns the "name@t-lag" context key for a cause node, served
+// from the pre-rendered table; lags outside the current graph's window
+// (possible for chain events recorded before a hot-swap to a smaller Tau)
+// fall back to formatting.
+func (s *System) causeLabel(dev, lag int) string {
+	if dev >= 0 && dev < len(s.causeLabels) && lag >= 1 && lag <= len(s.causeLabels[dev]) {
+		return s.causeLabels[dev][lag-1]
+	}
+	return fmt.Sprintf("%s@t-%d", s.graph.Registry.Name(dev), lag)
 }
 
 // Train mines the device interaction graph from a training log of raw
@@ -285,14 +335,18 @@ func Train(devices []Device, log []Event, cfg Config) (*System, error) {
 	if threshold < cfg.MinThreshold {
 		threshold = cfg.MinThreshold
 	}
-	return &System{
+	sys := &System{
 		cfg:       cfg,
 		devices:   internalDevices,
 		pre:       pre,
 		graph:     graph,
 		threshold: threshold,
 		initial:   res.Series.State(res.Series.Len()).Clone(),
-	}, nil
+	}
+	if err := sys.compile(); err != nil {
+		return nil, err
+	}
+	return sys, nil
 }
 
 // Tau returns the maximum time lag the system was trained with.
@@ -394,16 +448,33 @@ type Detection struct {
 type Monitor struct {
 	sys *System
 	det *monitor.Detector
+	// ref marks a reference-path monitor: value unification goes through
+	// the original name-keyed UnifyValue so the baseline stays byte-for-
+	// byte pre-change.
+	ref bool
 }
 
 // NewMonitor starts runtime monitoring from the state at the end of the
-// training log.
+// training log. Monitors score events on the zero-allocation compiled path,
+// sharing the system's compiled graph read-only.
 func (s *System) NewMonitor() (*Monitor, error) {
-	det, err := monitor.NewDetector(s.graph, s.threshold, s.cfg.KMax, s.initial)
+	det, err := monitor.NewDetectorFromCompiled(s.compiled, s.threshold, s.cfg.KMax, s.initial)
 	if err != nil {
 		return nil, err
 	}
 	return &Monitor{sys: s, det: det}, nil
+}
+
+// NewReferenceMonitor starts runtime monitoring on the original
+// clone-window, error-checked scoring path. It exists as the differential
+// and benchmarking baseline the compiled path is held bit-identical to;
+// production serving should use NewMonitor.
+func (s *System) NewReferenceMonitor() (*Monitor, error) {
+	det, err := monitor.NewReferenceDetector(s.graph, s.threshold, s.cfg.KMax, s.initial)
+	if err != nil {
+		return nil, err
+	}
+	return &Monitor{sys: s, det: det, ref: true}, nil
 }
 
 // ObserveEvent ingests one raw device event and reports what the detector
@@ -411,12 +482,25 @@ func (s *System) NewMonitor() (*Monitor, error) {
 // skippable: the detector state is untouched and the stream can resume with
 // the next event.
 func (m *Monitor) ObserveEvent(e Event) (Detection, error) {
-	reg := m.sys.graph.Registry
-	idx, ok := reg.Index(e.Device)
-	if !ok {
-		return Detection{}, fmt.Errorf("%w %q", ErrUnknownDevice, e.Device)
+	var idx int
+	var ok bool
+	var state int
+	var err error
+	if m.ref {
+		// Reference path: the pre-change map lookup and name-keyed
+		// unification, kept byte-for-byte as the benchmark baseline.
+		idx, ok = m.sys.graph.Registry.Index(e.Device)
+		if !ok {
+			return Detection{}, fmt.Errorf("%w %q", ErrUnknownDevice, e.Device)
+		}
+		state, err = m.sys.pre.UnifyValue(e.Device, e.Value)
+	} else {
+		idx, ok = m.sys.nameIdx.Index(e.Device)
+		if !ok {
+			return Detection{}, fmt.Errorf("%w %q", ErrUnknownDevice, e.Device)
+		}
+		state, err = m.sys.unify.Unify(idx, e.Value)
 	}
-	state, err := m.sys.pre.UnifyValue(e.Device, e.Value)
 	if err != nil {
 		switch {
 		case errors.Is(err, preprocess.ErrValueOutOfRange):
@@ -476,7 +560,7 @@ func (m *Monitor) Swap(sys *System) error {
 	if sys == nil {
 		return errors.New("causaliot: swap to nil system")
 	}
-	if err := m.det.Swap(sys.graph, sys.threshold, sys.cfg.KMax); err != nil {
+	if err := m.det.SwapCompiled(sys.compiled, sys.threshold, sys.cfg.KMax); err != nil {
 		return err
 	}
 	m.sys = sys
@@ -499,7 +583,7 @@ func (m *Monitor) convertAlarm(alarm *monitor.Alarm) *Alarm {
 	for _, ev := range alarm.Events {
 		ctx := make(map[string]int, len(ev.Causes))
 		for i, c := range ev.Causes {
-			ctx[fmt.Sprintf("%s@t-%d", reg.Name(c.Device), c.Lag)] = ev.CauseValues[i]
+			ctx[m.sys.causeLabel(c.Device, c.Lag)] = ev.CauseValues[i]
 		}
 		out.Events = append(out.Events, AnomalousEvent{
 			Device:  reg.Name(ev.Step.Device),

@@ -1,0 +1,297 @@
+// Command benchdetect records the serving hot-path baseline to a JSON file
+// (BENCH_detect.json at the repo root), the detection-side companion of
+// benchpc. It benchmarks per-event scoring through the internal Detector
+// (compiled ring-buffer path vs. the clone-window reference path), the
+// facade Monitor.ObserveEvent on both paths, hub ingestion end to end
+// (Hub.Submit through a worker pool), and the threshold calculator's
+// parallel scaling, then writes ns/op, events/sec, allocations, and the
+// compiled-vs-reference / parallel-vs-serial speedups.
+//
+//	go run ./cmd/benchdetect -out BENCH_detect.json [-days 4]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	causaliot "github.com/causaliot/causaliot"
+	"github.com/causaliot/causaliot/internal/event"
+	"github.com/causaliot/causaliot/internal/monitor"
+	"github.com/causaliot/causaliot/internal/pc"
+	"github.com/causaliot/causaliot/internal/preprocess"
+	"github.com/causaliot/causaliot/internal/sim"
+	"github.com/causaliot/causaliot/internal/timeseries"
+)
+
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type report struct {
+	Generated    string             `json:"generated"`
+	GoVersion    string             `json:"go_version"`
+	GOOS         string             `json:"goos"`
+	GOARCH       string             `json:"goarch"`
+	CPUs         int                `json:"cpus"`
+	SimDays      int                `json:"sim_days"`
+	Benchmarks   []benchResult      `json:"benchmarks"`
+	EventsPerSec map[string]float64 `json:"events_per_sec"`
+	Speedup      map[string]float64 `json:"speedup"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_detect.json", "output JSON file")
+	days := flag.Int("days", 4, "simulated days of training data")
+	flag.Parse()
+	if err := run(*out, *days); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdetect:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, days int) error {
+	tb := sim.ContextActLike()
+	simulator, err := sim.NewSimulator(tb, sim.Config{Seed: 7, Days: days})
+	if err != nil {
+		return err
+	}
+	log, err := simulator.Run()
+	if err != nil {
+		return err
+	}
+
+	// Internal pipeline: preprocessed series and a mined graph for the
+	// Detector-level and Threshold benches.
+	pre, err := preprocess.New(tb.Devices, preprocess.Config{})
+	if err != nil {
+		return err
+	}
+	res, err := pre.Process(log)
+	if err != nil {
+		return err
+	}
+	series, tau := res.Series, res.Tau
+	miner := pc.NewMiner(pc.Config{MaxCondSize: 3, MinObsPerDOF: 5, MaxParents: 8})
+	graph, _, _, err := miner.Mine(series, tau, 0.01)
+	if err != nil {
+		return err
+	}
+	threshold, err := monitor.Threshold(graph, series, monitor.DefaultQuantile)
+	if err != nil {
+		return err
+	}
+	if threshold < 0.5 {
+		threshold = 0.5
+	}
+	initial := series.State(series.Len()).Clone()
+	steps := make([]timeseries.Step, 0, series.Len()-tau+1)
+	for j := tau; j <= series.Len(); j++ {
+		st, err := series.StepAt(j)
+		if err != nil {
+			return err
+		}
+		steps = append(steps, st)
+	}
+
+	// Facade pipeline: the same simulated home trained through the public
+	// API, for Monitor.ObserveEvent and Hub.Submit.
+	sys, events, err := trainFacade(tb, log)
+	if err != nil {
+		return err
+	}
+
+	rep := report{
+		Generated:    time.Now().UTC().Format(time.RFC3339),
+		GoVersion:    runtime.Version(),
+		GOOS:         runtime.GOOS,
+		GOARCH:       runtime.GOARCH,
+		CPUs:         runtime.NumCPU(),
+		SimDays:      days,
+		EventsPerSec: make(map[string]float64),
+		Speedup:      make(map[string]float64),
+	}
+
+	measure := func(name string, fn func(b *testing.B)) benchResult {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			fn(b)
+		})
+		res := benchResult{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		rep.Benchmarks = append(rep.Benchmarks, res)
+		rep.EventsPerSec[name] = 1e9 / res.NsPerOp
+		fmt.Printf("%-28s %12.0f ns/op %10d B/op %8d allocs/op %14.0f events/sec (n=%d)\n",
+			name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp, rep.EventsPerSec[name], res.Iterations)
+		return res
+	}
+
+	// Detector-level scoring: the compiled ring-buffer hot path vs. the
+	// pre-change clone-window reference, replaying the training stream.
+	processStep := func(reference bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			var det *monitor.Detector
+			var err error
+			if reference {
+				det, err = monitor.NewReferenceDetector(graph, threshold, 3, initial)
+			} else {
+				det, err = monitor.NewDetector(graph, threshold, 3, initial)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := det.ProcessStep(steps[i%len(steps)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	psCompiled := measure("ProcessStep/compiled", processStep(false))
+	psReference := measure("ProcessStep/reference", processStep(true))
+	rep.Speedup["process_step"] = psReference.NsPerOp / psCompiled.NsPerOp
+
+	// Facade Monitor.ObserveEvent: raw events through unification and the
+	// detector, on both paths.
+	observe := func(reference bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			var mon *causaliot.Monitor
+			var err error
+			if reference {
+				mon, err = sys.NewReferenceMonitor()
+			} else {
+				mon, err = sys.NewMonitor()
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := mon.ObserveEvent(events[i%len(events)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	obCompiled := measure("ObserveEvent/compiled", observe(false))
+	obReference := measure("ObserveEvent/reference", observe(true))
+	rep.Speedup["observe_event"] = obReference.NsPerOp / obCompiled.NsPerOp
+
+	// Hub ingestion end to end: Submit through the worker pool across 8
+	// homes of the same trained system (Block backpressure couples the
+	// submit rate to processing throughput).
+	measure("Hub/Submit", func(b *testing.B) {
+		h := causaliot.NewHub(causaliot.HubConfig{})
+		const homes = 8
+		names := make([]string, homes)
+		for i := range names {
+			names[i] = fmt.Sprintf("home-%d", i)
+			err := h.Register(names[i], sys, causaliot.TenantOptions{
+				OnAlarm: func(string, *causaliot.Alarm, float64) {},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := h.Submit(names[i%homes], events[i%len(events)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if err := h.Close(); err != nil {
+			b.Fatal(err)
+		}
+	})
+
+	// Threshold calculator: serial reference vs. the parallel anchor split.
+	thr := func(workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := monitor.TrainingScoresWorkers(graph, series, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	thSerial := measure("Threshold/serial", thr(1))
+	thParallel := measure(fmt.Sprintf("Threshold/parallel(workers=%d)", runtime.NumCPU()), thr(runtime.NumCPU()))
+	rep.Speedup["threshold_parallel"] = thSerial.NsPerOp / thParallel.NsPerOp
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("speedups: process_step %.2fx, observe_event %.2fx, threshold %.2fx (%d CPUs) — wrote %s\n",
+		rep.Speedup["process_step"], rep.Speedup["observe_event"], rep.Speedup["threshold_parallel"],
+		runtime.NumCPU(), out)
+	return nil
+}
+
+// trainFacade trains a public-API System on the simulated home and converts
+// its log into facade events for replay.
+func trainFacade(tb *sim.Testbed, log event.Log) (*causaliot.System, []causaliot.Event, error) {
+	devices := make([]causaliot.Device, len(tb.Devices))
+	for i, d := range tb.Devices {
+		typ, err := deviceTypeFor(d.Attribute)
+		if err != nil {
+			return nil, nil, err
+		}
+		devices[i] = causaliot.Device{Name: d.Name, Type: typ, Location: d.Location}
+	}
+	events := make([]causaliot.Event, len(log))
+	for i, ev := range log {
+		events[i] = causaliot.Event{Time: ev.Timestamp, Device: ev.Device, Value: ev.Value}
+	}
+	sys, err := causaliot.Train(devices, events, causaliot.Config{KMax: 3})
+	if err != nil {
+		return nil, nil, err
+	}
+	return sys, events, nil
+}
+
+func deviceTypeFor(attr event.Attribute) (causaliot.DeviceType, error) {
+	switch attr.Name {
+	case event.Switch.Name:
+		return causaliot.Switch, nil
+	case event.PresenceSensor.Name:
+		return causaliot.Presence, nil
+	case event.ContactSensor.Name:
+		return causaliot.Contact, nil
+	case event.Dimmer.Name:
+		return causaliot.Dimmer, nil
+	case event.WaterMeter.Name:
+		return causaliot.WaterMeter, nil
+	case event.PowerSensor.Name:
+		return causaliot.Power, nil
+	case event.BrightnessSensor.Name:
+		return causaliot.Brightness, nil
+	}
+	switch attr.Class {
+	case event.Binary:
+		return causaliot.GenericBinary, nil
+	case event.ResponsiveNumeric:
+		return causaliot.GenericResponsive, nil
+	case event.AmbientNumeric:
+		return causaliot.GenericAmbient, nil
+	}
+	return 0, fmt.Errorf("benchdetect: unmapped attribute %q", attr.Name)
+}

@@ -1,0 +1,108 @@
+package causaliot
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestReferenceMonitorMatchesMonitor holds the compiled serving path
+// bit-identical to the reference clone-window path through the public API:
+// the same raw event stream must produce identical detections, alarms
+// (including rendered context labels), and flushes.
+func TestReferenceMonitorMatchesMonitor(t *testing.T) {
+	sys := mustTrain(t, Config{Tau: 2, KMax: 3})
+	fast, err := sys.NewMonitor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := sys.NewReferenceMonitor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := trainingLog(30, 7)
+	// Splice in anomalies: ghost light activations without presence, an
+	// unknown device, and a glitched reading.
+	stream = append(stream,
+		Event{Time: t0.Add(5 * time.Hour), Device: "light", Value: 1},
+		Event{Time: t0.Add(5*time.Hour + time.Second), Device: "ghost", Value: 1},
+		Event{Time: t0.Add(5*time.Hour + 2*time.Second), Device: "light", Value: 0},
+		Event{Time: t0.Add(5*time.Hour + 3*time.Second), Device: "light", Value: 1},
+	)
+	for i, e := range stream {
+		fd, fErr := fast.ObserveEvent(e)
+		rd, rErr := ref.ObserveEvent(e)
+		if (fErr == nil) != (rErr == nil) {
+			t.Fatalf("event %d: fast err %v, reference err %v", i, fErr, rErr)
+		}
+		if fErr != nil {
+			continue
+		}
+		if !reflect.DeepEqual(fd, rd) {
+			t.Fatalf("event %d: fast detection %+v, reference %+v", i, fd, rd)
+		}
+	}
+	if fast.Pending() != ref.Pending() {
+		t.Fatalf("pending diverged: fast %d, reference %d", fast.Pending(), ref.Pending())
+	}
+	if !reflect.DeepEqual(fast.Flush(), ref.Flush()) {
+		t.Error("Flush diverged between compiled and reference monitors")
+	}
+}
+
+// TestCauseLabelsPrerendered pins the precomputed context-label table to the
+// fmt.Sprintf rendering it replaces, including the fallback for lags beyond
+// the current graph's window.
+func TestCauseLabelsPrerendered(t *testing.T) {
+	sys := mustTrain(t, Config{Tau: 2})
+	reg := sys.graph.Registry
+	for dev := 0; dev < reg.Len(); dev++ {
+		for lag := 1; lag <= sys.graph.Tau; lag++ {
+			want := fmt.Sprintf("%s@t-%d", reg.Name(dev), lag)
+			if got := sys.causeLabel(dev, lag); got != want {
+				t.Errorf("causeLabel(%d,%d) = %q, want %q", dev, lag, got, want)
+			}
+		}
+		// Lag beyond the table (chain event recorded before a shrinking
+		// hot-swap) must still render.
+		beyond := sys.graph.Tau + 3
+		want := fmt.Sprintf("%s@t-%d", reg.Name(dev), beyond)
+		if got := sys.causeLabel(dev, beyond); got != want {
+			t.Errorf("causeLabel(%d,%d) fallback = %q, want %q", dev, beyond, got, want)
+		}
+	}
+}
+
+// TestExtendRecompiles guards the in-place CPT refit against stale compiled
+// score tables: Extend must rebuild the compiled graph it hands to new
+// monitors.
+func TestExtendRecompiles(t *testing.T) {
+	sys := mustTrain(t, Config{Tau: 2})
+	before := sys.compiled
+	if before == nil {
+		t.Fatal("trained system lacks a compiled graph")
+	}
+	if err := sys.Extend(trainingLog(80, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if sys.compiled == before {
+		t.Error("Extend left the stale compiled graph in place")
+	}
+	// New monitors on both paths must still agree after the refit.
+	fast, err := sys.NewMonitor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := sys.NewReferenceMonitor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range trainingLog(10, 11) {
+		fd, fErr := fast.ObserveEvent(e)
+		rd, rErr := ref.ObserveEvent(e)
+		if (fErr == nil) != (rErr == nil) || !reflect.DeepEqual(fd, rd) {
+			t.Fatalf("event %d diverged after Extend: %+v/%v vs %+v/%v", i, fd, fErr, rd, rErr)
+		}
+	}
+}

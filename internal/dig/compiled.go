@@ -1,0 +1,195 @@
+package dig
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/causaliot/causaliot/internal/timeseries"
+)
+
+// Compiled is the frozen serving form of a Graph: per-device parent sets
+// flattened into contiguous (device, lag) int arrays in CSR layout, and the
+// conditional probability tables pre-materialized as dense anomaly-score
+// tables, so the per-event score f(e, G, 𝒢) = 1 − P(S_dev^t = value | ca)
+// of Eq. (1) becomes a parent-configuration gather plus two array indexes —
+// no mixed-radix error checking, no map lookups, no allocation.
+//
+// Every bound (parent device index, lag range, table size) is validated
+// once at Compile time instead of per call, which is what lets the hot-path
+// accessors skip per-event validation. The score cells are computed with
+// the exact floating-point expressions of CPT.Prob and Graph.AnomalyScore,
+// so compiled scores are bit-identical to the reference path — enforced by
+// differential tests.
+//
+// A Compiled is immutable after Compile and safe for concurrent readers, so
+// one compiled graph can be shared by every Monitor of a multi-tenant hub.
+// It snapshots the CPT counts at compile time: folding new evidence into
+// the Graph (Fit/Extend) requires re-compiling to be observed.
+type Compiled struct {
+	g *Graph
+
+	// CSR parent layout: device i's parents occupy
+	// parentDev/parentLag[parentOff[i]:parentOff[i+1]], in the same sorted
+	// order as Graph.Parents(i) (most significant configuration bit first).
+	parentOff []int32
+	parentDev []int32
+	parentLag []int32
+
+	// Dense score tables: device i's cells occupy scores[scoreOff[i]:],
+	// with scores[scoreOff[i] + cfg*2 + value] = 1 − P(value | config cfg).
+	scoreOff []int32
+	scores   []float64
+
+	maxParents int
+}
+
+// maxCompiledParents bounds the per-device parent count so the dense score
+// table (2^(parents+1) cells per device) cannot overflow; mining's
+// MaxParents default is 8, far below.
+const maxCompiledParents = 30
+
+// Compile freezes the graph into its serving form, validating every parent
+// bound once.
+func Compile(g *Graph) (*Compiled, error) {
+	if g == nil {
+		return nil, errors.New("dig: compile nil graph")
+	}
+	n := g.Registry.Len()
+	c := &Compiled{
+		g:         g,
+		parentOff: make([]int32, n+1),
+		scoreOff:  make([]int32, n+1),
+	}
+	totalParents, totalCells := 0, 0
+	for i := 0; i < n; i++ {
+		ps := g.parents[i]
+		if len(ps) > maxCompiledParents {
+			return nil, fmt.Errorf("dig: device %d has %d parents, compiled limit is %d", i, len(ps), maxCompiledParents)
+		}
+		totalParents += len(ps)
+		totalCells += 2 << len(ps)
+		if len(ps) > c.maxParents {
+			c.maxParents = len(ps)
+		}
+	}
+	c.parentDev = make([]int32, 0, totalParents)
+	c.parentLag = make([]int32, 0, totalParents)
+	c.scores = make([]float64, 0, totalCells)
+	for i := 0; i < n; i++ {
+		cpt := g.cpts[i]
+		if len(cpt.Causes) != len(g.parents[i]) {
+			return nil, fmt.Errorf("dig: device %d CPT covers %d causes, parent set has %d", i, len(cpt.Causes), len(g.parents[i]))
+		}
+		for _, p := range cpt.Causes {
+			if p.Device < 0 || p.Device >= n {
+				return nil, fmt.Errorf("dig: device %d parent device %d out of range", i, p.Device)
+			}
+			if p.Lag < 1 || p.Lag > g.Tau {
+				return nil, fmt.Errorf("dig: device %d parent lag %d outside [1,%d]", i, p.Lag, g.Tau)
+			}
+			c.parentDev = append(c.parentDev, int32(p.Device))
+			c.parentLag = append(c.parentLag, int32(p.Lag))
+		}
+		c.parentOff[i+1] = int32(len(c.parentDev))
+		size := 1 << len(cpt.Causes)
+		if len(cpt.on) != size || len(cpt.total) != size {
+			return nil, fmt.Errorf("dig: device %d CPT table sized %d, want %d", i, len(cpt.total), size)
+		}
+		for cfg := 0; cfg < size; cfg++ {
+			// The exact expressions of CPT.Prob followed by AnomalyScore's
+			// 1 − p, per outcome value, so every compiled cell is
+			// bit-identical to the reference path.
+			nObs, k := cpt.total[cfg], cpt.on[cfg]
+			var p1 float64
+			switch {
+			case nObs+2*cpt.smoothing > 0:
+				p1 = (k + cpt.smoothing) / (nObs + 2*cpt.smoothing)
+			default:
+				p1 = 0.5
+			}
+			c.scores = append(c.scores, 1-(1-p1), 1-p1)
+		}
+		c.scoreOff[i+1] = int32(len(c.scores))
+	}
+	return c, nil
+}
+
+// Graph returns the source graph.
+func (c *Compiled) Graph() *Graph { return c.g }
+
+// Tau returns the graph's maximum time lag.
+func (c *Compiled) Tau() int { return c.g.Tau }
+
+// NumDevices returns the number of devices covered.
+func (c *Compiled) NumDevices() int { return len(c.parentOff) - 1 }
+
+// MaxParents returns the largest per-device parent count, the size a
+// reusable cause-value scratch buffer needs.
+func (c *Compiled) MaxParents() int { return c.maxParents }
+
+// Parents returns the flattened (device, lag) parent arrays of dev as
+// subslices of the compiled backing arrays — no allocation; callers must
+// not modify them. Order matches Graph.Parents(dev).
+func (c *Compiled) Parents(dev int) (devs, lags []int32) {
+	lo, hi := c.parentOff[dev], c.parentOff[dev+1]
+	return c.parentDev[lo:hi], c.parentLag[lo:hi]
+}
+
+// Score returns the pre-materialized anomaly score
+// 1 − P(S_dev^t = value | config cfg). cfg must come from ConfigAt (or an
+// equivalent gather over Parents order) and value must be binary — both are
+// the caller's contract, validated once per event by the Detector.
+func (c *Compiled) Score(dev, cfg, value int) float64 {
+	return c.scores[int(c.scoreOff[dev])+cfg*2+value]
+}
+
+// ConfigAt gathers dev's parent configuration index from the window:
+// Parents order, most significant bit first — the same mixed-radix layout
+// as CPT.ConfigIndex, without its per-call validation.
+func (c *Compiled) ConfigAt(w *timeseries.Window, dev int) int {
+	devs, lags := c.Parents(dev)
+	cfg := 0
+	for k := 0; k < len(devs); k++ {
+		cfg = cfg<<1 | w.At(int(devs[k]), int(lags[k]))
+	}
+	return cfg
+}
+
+// ScoreEvent scores the event (dev, value) against the window's current
+// parent configuration: the zero-allocation hot path of Algorithm 2.
+func (c *Compiled) ScoreEvent(w *timeseries.Window, dev, value int) float64 {
+	return c.Score(dev, c.ConfigAt(w, dev), value)
+}
+
+// CauseValuesInto gathers ca(S_dev^t) from the window into out, which must
+// hold at least as many cells as dev has parents; the filled prefix is
+// returned. No allocation.
+func (c *Compiled) CauseValuesInto(w *timeseries.Window, dev int, out []int) []int {
+	devs, lags := c.Parents(dev)
+	out = out[:len(devs)]
+	for k := range devs {
+		out[k] = w.At(int(devs[k]), int(lags[k]))
+	}
+	return out
+}
+
+// ScoreAnchor scores the anchored event (dev, value) at series anchor j
+// (j ∈ [tau, series.Len()]), gathering the parent configuration from the
+// series states — the training-path equivalent of ScoreEvent, used by the
+// parallel threshold calculator. Parent values are validated binary because
+// a Series may hold caller-constructed states.
+func (c *Compiled) ScoreAnchor(s *timeseries.Series, j, dev, value int) (float64, error) {
+	devs, lags := c.Parents(dev)
+	cfg := 0
+	for k := range devs {
+		v := s.State(j - int(lags[k]))[devs[k]]
+		if v != 0 && v != 1 {
+			return 0, fmt.Errorf("dig: non-binary parent value %d", v)
+		}
+		cfg = cfg<<1 | v
+	}
+	if value != 0 && value != 1 {
+		return 0, fmt.Errorf("dig: non-binary outcome %d", value)
+	}
+	return c.Score(dev, cfg, value), nil
+}

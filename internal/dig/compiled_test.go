@@ -1,0 +1,191 @@
+package dig
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/causaliot/causaliot/internal/timeseries"
+)
+
+// fittedFanGraph builds a 4-device graph with mixed parent counts (0, 1, 2)
+// fitted on a random binary series, exercising every compiled-table shape.
+func fittedFanGraph(t *testing.T) (*Graph, *timeseries.Series) {
+	t.Helper()
+	reg := mustRegistry(t, "a", "b", "c", "d")
+	rng := rand.New(rand.NewSource(7))
+	steps := make([]timeseries.Step, 3000)
+	for i := range steps {
+		steps[i] = timeseries.Step{Device: rng.Intn(4), Value: rng.Intn(2)}
+	}
+	series, err := timeseries.FromSteps(reg, timeseries.State{0, 0, 0, 0}, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(reg, 2, [][]Node{
+		{},
+		{{Device: 0, Lag: 1}},
+		{{Device: 0, Lag: 2}, {Device: 1, Lag: 1}},
+		{{Device: 2, Lag: 1}, {Device: 0, Lag: 1}},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Fit(series); err != nil {
+		t.Fatal(err)
+	}
+	return g, series
+}
+
+func TestCompileValidation(t *testing.T) {
+	if _, err := Compile(nil); err == nil {
+		t.Error("nil graph accepted")
+	}
+}
+
+func TestCompiledParentsMatchGraph(t *testing.T) {
+	g, _ := fittedFanGraph(t)
+	c, err := Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Graph() != g || c.Tau() != g.Tau || c.NumDevices() != 4 {
+		t.Fatalf("compiled metadata: tau %d devices %d", c.Tau(), c.NumDevices())
+	}
+	if c.MaxParents() != 2 {
+		t.Errorf("MaxParents = %d, want 2", c.MaxParents())
+	}
+	for dev := 0; dev < 4; dev++ {
+		want := g.Parents(dev)
+		devs, lags := c.Parents(dev)
+		if len(devs) != len(want) || len(lags) != len(want) {
+			t.Fatalf("device %d: %d flattened parents, want %d", dev, len(devs), len(want))
+		}
+		for k, p := range want {
+			if int(devs[k]) != p.Device || int(lags[k]) != p.Lag {
+				t.Errorf("device %d parent %d = (%d,%d), want (%d,%d)",
+					dev, k, devs[k], lags[k], p.Device, p.Lag)
+			}
+		}
+	}
+}
+
+// TestCompiledScoreBitIdentical is the core differential guarantee: every
+// dense score cell must be bit-identical (Go ==) to the reference
+// Graph.AnomalyScore for the same device, parent configuration, and value.
+func TestCompiledScoreBitIdentical(t *testing.T) {
+	g, _ := fittedFanGraph(t)
+	c, err := Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for dev := 0; dev < 4; dev++ {
+		causes := g.Parents(dev)
+		size := 1 << len(causes)
+		values := make([]int, len(causes))
+		for cfg := 0; cfg < size; cfg++ {
+			for k := range causes {
+				values[k] = (cfg >> (len(causes) - 1 - k)) & 1
+			}
+			for value := 0; value <= 1; value++ {
+				want, err := g.AnomalyScore(dev, value, values)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := c.Score(dev, cfg, value); got != want {
+					t.Errorf("Score(%d, %b, %d) = %v, reference %v (not bit-identical)",
+						dev, cfg, value, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestCompiledConfigAtMatchesConfigIndex pins the gather order of ConfigAt
+// to CPT.ConfigIndex over a randomly advanced window.
+func TestCompiledConfigAtMatchesConfigIndex(t *testing.T) {
+	g, _ := fittedFanGraph(t)
+	c, err := Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := timeseries.NewWindow(g.Tau, timeseries.State{0, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	scratch := make([]int, c.MaxParents())
+	for i := 0; i < 200; i++ {
+		w.Advance(rng.Intn(4), rng.Intn(2))
+		for dev := 0; dev < 4; dev++ {
+			values := c.CauseValuesInto(w, dev, scratch)
+			want, err := g.cpts[dev].ConfigIndex(values)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := c.ConfigAt(w, dev); got != want {
+				t.Fatalf("step %d device %d: ConfigAt = %d, ConfigIndex = %d", i, dev, got, want)
+			}
+			wantScore, err := g.AnomalyScore(dev, 1, values)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := c.ScoreEvent(w, dev, 1); got != wantScore {
+				t.Fatalf("step %d device %d: ScoreEvent = %v, reference %v", i, dev, got, wantScore)
+			}
+		}
+	}
+}
+
+func TestCompiledScoreAnchorMatchesReference(t *testing.T) {
+	g, series := fittedFanGraph(t)
+	c, err := Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := g.Tau; j <= series.Len(); j++ {
+		step, err := series.StepAt(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		causes := g.Parents(step.Device)
+		values := make([]int, len(causes))
+		for k, p := range causes {
+			values[k] = series.State(j - p.Lag)[p.Device]
+		}
+		want, err := g.AnomalyScore(step.Device, step.Value, values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.ScoreAnchor(series, j, step.Device, step.Value)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("anchor %d: ScoreAnchor = %v, reference %v", j, got, want)
+		}
+	}
+	if _, err := c.ScoreAnchor(series, g.Tau, 0, 2); err == nil {
+		t.Error("non-binary outcome accepted")
+	}
+}
+
+func TestCompiledHotPathDoesNotAllocate(t *testing.T) {
+	g, _ := fittedFanGraph(t)
+	c, err := Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := timeseries.NewWindow(g.Tau, timeseries.State{0, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		w.Advance(3, v)
+		_ = c.ScoreEvent(w, 3, v)
+		v = 1 - v
+	})
+	if allocs != 0 {
+		t.Errorf("ScoreEvent path allocates %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -149,6 +149,10 @@ type tenant struct {
 	scheduled bool
 	closed    bool
 
+	// drain is the reusable batch-drain scratch (BatchSize cap), written
+	// and read only under procMu, so workers never allocate per batch.
+	drain []Event
+
 	// procMu serializes event processing and control operations (Update);
 	// lock order is procMu before mu.
 	procMu  sync.Mutex
@@ -222,6 +226,7 @@ func (h *Hub) Register(name string, p Processor, cfg TenantConfig) error {
 		name:    name,
 		hub:     h,
 		buf:     make([]Event, size),
+		drain:   make([]Event, h.cfg.BatchSize),
 		policy:  policy,
 		proc:    p,
 		onError: cfg.OnError,
@@ -347,25 +352,40 @@ func (h *Hub) worker() {
 // processor, then either reschedules the tenant (more pending) or marks it
 // idle. procMu keeps the tenant's stream serialized against other workers
 // and against Update.
+//
+// The whole chunk is drained under one queue-lock acquisition (into the
+// tenant's reusable drain scratch) instead of one lock round-trip per
+// event, freeing every slot at once before processing outside the lock —
+// blocked producers are woken once per chunk, not once per event.
 func (t *tenant) runBatch(max int) {
 	t.procMu.Lock()
 	defer t.procMu.Unlock()
-	for i := 0; i < max; i++ {
-		t.mu.Lock()
-		if t.n == 0 || t.closed {
-			t.scheduled = false
-			t.mu.Unlock()
-			return
-		}
-		ev := t.buf[t.head]
+	t.mu.Lock()
+	if t.n == 0 || t.closed {
+		t.scheduled = false
+		t.mu.Unlock()
+		return
+	}
+	k := t.n
+	if k > max {
+		k = max
+	}
+	if cap(t.drain) < k {
+		t.drain = make([]Event, k)
+	}
+	batch := t.drain[:k]
+	for i := 0; i < k; i++ {
+		batch[i] = t.buf[t.head]
 		t.buf[t.head] = Event{}
 		t.head = (t.head + 1) % len(t.buf)
-		t.n--
-		t.notFull.Signal()
-		t.mu.Unlock()
+	}
+	t.n -= k
+	t.notFull.Broadcast()
+	t.mu.Unlock()
 
+	for i := range batch {
 		start := time.Now()
-		alarmed, err := t.proc.Handle(ev)
+		alarmed, err := t.proc.Handle(batch[i])
 		t.lat.record(time.Since(start))
 		t.processed.Add(1)
 		if alarmed {
@@ -374,12 +394,14 @@ func (t *tenant) runBatch(max int) {
 		if err != nil {
 			t.errs.Add(1)
 			if t.onError != nil {
-				t.onError(ev, err)
+				t.onError(batch[i], err)
 			}
 		}
+		batch[i] = Event{}
 	}
-	// Batch budget exhausted: yield the worker, keep the tenant scheduled
-	// if it still has pending events.
+
+	// Chunk done: yield the worker, keeping the tenant scheduled if more
+	// events arrived while processing.
 	t.mu.Lock()
 	if t.n > 0 && !t.closed {
 		t.mu.Unlock()

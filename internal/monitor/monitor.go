@@ -3,12 +3,22 @@
 // calculator that turns the logged events' score distribution into a
 // detection threshold, and the k-sequence anomaly-detection procedure
 // (Algorithm 2) that raises contextual and collective anomaly alarms.
+//
+// The serving hot path is allocation-free: the phantom window is a flat
+// ring buffer (timeseries.Window) slid in place per event, and scoring runs
+// against a compiled DIG (dig.Compiled) whose dense score tables replace
+// the error-checked mixed-radix CPT lookup. The original clone-per-event
+// window and error-checked scoring survive as the reference path
+// (NewReferenceDetector), which differential tests and benchmarks hold the
+// compiled path bit-identical to.
 package monitor
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"github.com/causaliot/causaliot/internal/dig"
 	"github.com/causaliot/causaliot/internal/stats"
@@ -21,11 +31,12 @@ import (
 const DefaultQuantile = 99.0
 
 // PhantomStateMachine maintains the recent τ+1 system states, continuously
-// tracking the latest graph snapshot G^t = (S^{t-τ}, ..., S^t).
+// tracking the latest graph snapshot G^t = (S^{t-τ}, ..., S^t). It is a
+// validated facade over the flat ring-buffer window: Update advances the
+// ring in place instead of cloning a fresh state per event.
 type PhantomStateMachine struct {
-	reg    *timeseries.Registry
-	tau    int
-	window []timeseries.State // window[tau] is the present state
+	reg *timeseries.Registry
+	win *timeseries.Window
 }
 
 // NewPhantom builds a phantom state machine whose window is seeded with the
@@ -40,18 +51,22 @@ func NewPhantom(reg *timeseries.Registry, tau int, initial timeseries.State) (*P
 	if len(initial) != reg.Len() {
 		return nil, fmt.Errorf("monitor: initial state has %d devices, registry has %d", len(initial), reg.Len())
 	}
-	window := make([]timeseries.State, tau+1)
-	for i := range window {
-		window[i] = initial.Clone()
+	win, err := timeseries.NewWindow(tau, initial)
+	if err != nil {
+		return nil, err
 	}
-	return &PhantomStateMachine{reg: reg, tau: tau, window: window}, nil
+	return &PhantomStateMachine{reg: reg, win: win}, nil
 }
 
 // Tau returns the machine's maximum time lag.
-func (m *PhantomStateMachine) Tau() int { return m.tau }
+func (m *PhantomStateMachine) Tau() int { return m.win.Tau() }
 
-// Update ingests the event e^t: it derives the new present state, records
-// it, and slides out the oldest state.
+// Window exposes the underlying ring-buffer window for unchecked hot-path
+// reads; callers must respect its bounds contract.
+func (m *PhantomStateMachine) Window() *timeseries.Window { return m.win }
+
+// Update ingests the event e^t: it derives the new present state in place,
+// sliding out the oldest state. No allocation.
 func (m *PhantomStateMachine) Update(step timeseries.Step) error {
 	if step.Device < 0 || step.Device >= m.reg.Len() {
 		return fmt.Errorf("monitor: device index %d out of range", step.Device)
@@ -59,22 +74,19 @@ func (m *PhantomStateMachine) Update(step timeseries.Step) error {
 	if step.Value != 0 && step.Value != 1 {
 		return fmt.Errorf("monitor: non-binary value %d", step.Value)
 	}
-	next := m.window[m.tau].Clone()
-	next[step.Device] = step.Value
-	copy(m.window, m.window[1:])
-	m.window[m.tau] = next
+	m.win.Advance(step.Device, step.Value)
 	return nil
 }
 
 // Value returns the device state at the node's lag: lag 0 is the present.
 func (m *PhantomStateMachine) Value(n dig.Node) (int, error) {
-	if n.Lag < 0 || n.Lag > m.tau {
-		return 0, fmt.Errorf("monitor: lag %d outside [0,%d]", n.Lag, m.tau)
+	if n.Lag < 0 || n.Lag > m.win.Tau() {
+		return 0, fmt.Errorf("monitor: lag %d outside [0,%d]", n.Lag, m.win.Tau())
 	}
 	if n.Device < 0 || n.Device >= m.reg.Len() {
 		return 0, fmt.Errorf("monitor: device index %d out of range", n.Device)
 	}
-	return m.window[m.tau-n.Lag][n.Device], nil
+	return m.win.At(n.Device, n.Lag), nil
 }
 
 // CauseValues fetches the values ca(S_i^t) for a cause set.
@@ -92,13 +104,75 @@ func (m *PhantomStateMachine) CauseValues(causes []dig.Node) ([]int, error) {
 
 // Current returns a copy of the present system state.
 func (m *PhantomStateMachine) Current() timeseries.State {
-	return m.window[m.tau].Clone()
+	return m.win.State()
+}
+
+// cloneWindow is the original clone-per-event phantom window, kept verbatim
+// as the reference implementation the ring buffer is held bit-identical to
+// (differential tests) and benchmarked against (cmd/benchdetect).
+type cloneWindow struct {
+	reg    *timeseries.Registry
+	tau    int
+	window []timeseries.State // window[tau] is the present state
+}
+
+func newCloneWindow(reg *timeseries.Registry, tau int, initial timeseries.State) (*cloneWindow, error) {
+	if reg == nil {
+		return nil, errors.New("monitor: nil registry")
+	}
+	if tau < 1 {
+		return nil, fmt.Errorf("monitor: tau %d < 1", tau)
+	}
+	if len(initial) != reg.Len() {
+		return nil, fmt.Errorf("monitor: initial state has %d devices, registry has %d", len(initial), reg.Len())
+	}
+	window := make([]timeseries.State, tau+1)
+	for i := range window {
+		window[i] = initial.Clone()
+	}
+	return &cloneWindow{reg: reg, tau: tau, window: window}, nil
+}
+
+func (m *cloneWindow) update(step timeseries.Step) error {
+	if step.Device < 0 || step.Device >= m.reg.Len() {
+		return fmt.Errorf("monitor: device index %d out of range", step.Device)
+	}
+	if step.Value != 0 && step.Value != 1 {
+		return fmt.Errorf("monitor: non-binary value %d", step.Value)
+	}
+	next := m.window[m.tau].Clone()
+	next[step.Device] = step.Value
+	copy(m.window, m.window[1:])
+	m.window[m.tau] = next
+	return nil
+}
+
+func (m *cloneWindow) value(n dig.Node) (int, error) {
+	if n.Lag < 0 || n.Lag > m.tau {
+		return 0, fmt.Errorf("monitor: lag %d outside [0,%d]", n.Lag, m.tau)
+	}
+	if n.Device < 0 || n.Device >= m.reg.Len() {
+		return 0, fmt.Errorf("monitor: device index %d out of range", n.Device)
+	}
+	return m.window[m.tau-n.Lag][n.Device], nil
+}
+
+func (m *cloneWindow) causeValues(causes []dig.Node) ([]int, error) {
+	out := make([]int, len(causes))
+	for i, c := range causes {
+		v, err := m.value(c)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
 }
 
 // resize adapts the window to a new maximum lag, keeping the most recent
 // states aligned on the present; when the window grows, the oldest known
 // state is replicated into the new, older slots.
-func (m *PhantomStateMachine) resize(tau int) {
+func (m *cloneWindow) resize(tau int) {
 	if tau == m.tau {
 		return
 	}
@@ -113,10 +187,28 @@ func (m *PhantomStateMachine) resize(tau int) {
 	m.tau, m.window = tau, window
 }
 
+// parallelAnchorMin is the snapshot-anchor count below which TrainingScores
+// stays on the serial path: under it, fan-out overhead and the one-time
+// graph compilation outweigh the parallel win.
+const parallelAnchorMin = 2048
+
 // TrainingScores computes the anomaly score of every logged event in the
 // training series (anchors j ∈ {τ, ..., m}), the input to the threshold
-// calculator.
+// calculator. Large series are scored in parallel across snapshot anchors
+// (see TrainingScoresWorkers); the result is deterministic and bit-identical
+// to the serial reference loop either way.
 func TrainingScores(g *dig.Graph, train *timeseries.Series) ([]float64, error) {
+	return TrainingScoresWorkers(g, train, 0)
+}
+
+// TrainingScoresWorkers is TrainingScores with an explicit worker count:
+// workers <= 0 selects GOMAXPROCS. The anchor range is split into
+// contiguous chunks scored concurrently against the compiled graph, each
+// worker writing its disjoint slice of the exactly-sized result — no
+// locking, deterministic output. Small series (or workers == 1) take the
+// serial fallback, which reuses one cause-value scratch buffer across all
+// anchors instead of allocating per anchor.
+func TrainingScoresWorkers(g *dig.Graph, train *timeseries.Series, workers int) ([]float64, error) {
 	if !train.Registry.Same(g.Registry) {
 		return nil, errors.New("monitor: series registry differs from graph registry")
 	}
@@ -124,24 +216,92 @@ func TrainingScores(g *dig.Graph, train *timeseries.Series) ([]float64, error) {
 	if m < g.Tau {
 		return nil, fmt.Errorf("monitor: series with %d events shorter than tau %d", m, g.Tau)
 	}
-	scores := make([]float64, 0, m-g.Tau+1)
-	for j := g.Tau; j <= m; j++ {
-		step, err := train.StepAt(j)
+	anchors := m - g.Tau + 1
+	scores := make([]float64, anchors)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > anchors {
+		workers = anchors
+	}
+	if workers <= 1 || anchors < parallelAnchorMin {
+		if err := trainingScoresSerial(g, train, scores); err != nil {
+			return nil, err
+		}
+		return scores, nil
+	}
+	comp, err := dig.Compile(g)
+	if err != nil {
+		return nil, err
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	chunk := (anchors + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := g.Tau + w*chunk
+		hi := lo + chunk
+		if hi > m+1 {
+			hi = m + 1
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for j := lo; j < hi; j++ {
+				step, err := train.StepAt(j)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				score, err := comp.ScoreAnchor(train, j, step.Device, step.Value)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				scores[j-g.Tau] = score
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
+	}
+	return scores, nil
+}
+
+// trainingScoresSerial is the reference per-anchor scoring loop, with one
+// reusable cause-value scratch buffer across all anchors instead of a fresh
+// slice per anchor.
+func trainingScoresSerial(g *dig.Graph, train *timeseries.Series, scores []float64) error {
+	maxParents := 0
+	for dev := 0; dev < g.Registry.Len(); dev++ {
+		if n := len(g.Parents(dev)); n > maxParents {
+			maxParents = n
+		}
+	}
+	scratch := make([]int, maxParents)
+	m := train.Len()
+	for j := g.Tau; j <= m; j++ {
+		step, err := train.StepAt(j)
+		if err != nil {
+			return err
+		}
 		causes := g.Parents(step.Device)
-		values := make([]int, len(causes))
+		values := scratch[:len(causes)]
 		for k, c := range causes {
 			values[k] = train.State(j - c.Lag)[c.Device]
 		}
 		score, err := g.AnomalyScore(step.Device, step.Value, values)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		scores = append(scores, score)
+		scores[j-g.Tau] = score
 	}
-	return scores, nil
+	return nil
 }
 
 // Threshold selects the qth percentile of the logged events' anomaly scores
@@ -188,35 +348,114 @@ func (a *Alarm) Collective() bool { return len(a.Events) > 1 }
 
 // Detector runs the k-sequence anomaly detection of Algorithm 2 over a
 // runtime event stream.
+//
+// The default detector scores events against a compiled DIG over the flat
+// ring-buffer window: steady-state ProcessStep (no alarm, no chain
+// membership, no duplicate) performs zero heap allocations. A detector
+// built with NewReferenceDetector instead runs the original clone-window,
+// error-checked scoring path; both produce bit-identical scores, alarms,
+// and window states.
 type Detector struct {
-	g         *dig.Graph
-	threshold float64
-	kmax      int
-	pm        *PhantomStateMachine
-	w         []AnomalousEvent
-	seq       int
+	g          *dig.Graph
+	comp       *dig.Compiled // nil in reference mode
+	threshold  float64
+	kmax       int
+	numDevices int
+	win        *timeseries.Window // hot-path ring window (nil in reference mode)
+	ref        *cloneWindow       // reference clone window (nil on the hot path)
+	w          []AnomalousEvent
+	seq        int
+	// scratch is the reusable cause-value gather buffer, sized to the
+	// compiled graph's maximum parent count at NewDetector/Swap time.
+	scratch []int
 	// SkipDuplicates drops events that do not change the tracked device
 	// state, mirroring the preprocessor's sanitation. Enabled by default.
 	SkipDuplicates bool
 }
 
+func validateDetectorParams(g *dig.Graph, threshold float64, kmax int, initial timeseries.State) error {
+	if threshold < 0 || threshold > 1 {
+		return fmt.Errorf("monitor: threshold %v outside [0,1]", threshold)
+	}
+	if kmax < 1 {
+		return fmt.Errorf("monitor: kmax %d < 1", kmax)
+	}
+	if len(initial) != g.Registry.Len() {
+		return fmt.Errorf("monitor: initial state has %d devices, registry has %d", len(initial), g.Registry.Len())
+	}
+	return nil
+}
+
 // NewDetector builds a detector with the score threshold c and maximum
-// chain length kmax (kmax = 1 detects contextual anomalies only).
+// chain length kmax (kmax = 1 detects contextual anomalies only). The graph
+// is compiled for the zero-allocation scoring path; to share one compiled
+// graph across many detectors (e.g. hub tenants serving the same trained
+// system), compile once and use NewDetectorFromCompiled.
 func NewDetector(g *dig.Graph, threshold float64, kmax int, initial timeseries.State) (*Detector, error) {
 	if g == nil {
 		return nil, errors.New("monitor: nil graph")
 	}
-	if threshold < 0 || threshold > 1 {
-		return nil, fmt.Errorf("monitor: threshold %v outside [0,1]", threshold)
-	}
-	if kmax < 1 {
-		return nil, fmt.Errorf("monitor: kmax %d < 1", kmax)
-	}
-	pm, err := NewPhantom(g.Registry, g.Tau, initial)
+	comp, err := dig.Compile(g)
 	if err != nil {
 		return nil, err
 	}
-	return &Detector{g: g, threshold: threshold, kmax: kmax, pm: pm, SkipDuplicates: true}, nil
+	return NewDetectorFromCompiled(comp, threshold, kmax, initial)
+}
+
+// NewDetectorFromCompiled builds a detector over an already-compiled graph,
+// sharing its read-only parent arrays and score tables.
+func NewDetectorFromCompiled(comp *dig.Compiled, threshold float64, kmax int, initial timeseries.State) (*Detector, error) {
+	if comp == nil {
+		return nil, errors.New("monitor: nil compiled graph")
+	}
+	g := comp.Graph()
+	if err := validateDetectorParams(g, threshold, kmax, initial); err != nil {
+		return nil, err
+	}
+	for i, v := range initial {
+		if v != 0 && v != 1 {
+			return nil, fmt.Errorf("monitor: non-binary initial state %d at device %d", v, i)
+		}
+	}
+	win, err := timeseries.NewWindow(g.Tau, initial)
+	if err != nil {
+		return nil, err
+	}
+	return &Detector{
+		g:              g,
+		comp:           comp,
+		threshold:      threshold,
+		kmax:           kmax,
+		numDevices:     g.Registry.Len(),
+		win:            win,
+		scratch:        make([]int, comp.MaxParents()),
+		SkipDuplicates: true,
+	}, nil
+}
+
+// NewReferenceDetector builds a detector on the original clone-window,
+// error-checked scoring path. It is the differential-testing and
+// benchmarking baseline the compiled path is held bit-identical to; serving
+// should use NewDetector.
+func NewReferenceDetector(g *dig.Graph, threshold float64, kmax int, initial timeseries.State) (*Detector, error) {
+	if g == nil {
+		return nil, errors.New("monitor: nil graph")
+	}
+	if err := validateDetectorParams(g, threshold, kmax, initial); err != nil {
+		return nil, err
+	}
+	ref, err := newCloneWindow(g.Registry, g.Tau, initial)
+	if err != nil {
+		return nil, err
+	}
+	return &Detector{
+		g:              g,
+		threshold:      threshold,
+		kmax:           kmax,
+		numDevices:     g.Registry.Len(),
+		ref:            ref,
+		SkipDuplicates: true,
+	}, nil
 }
 
 // Threshold returns the detector's score threshold.
@@ -226,15 +465,76 @@ func (d *Detector) Threshold() float64 { return d.threshold }
 // list W.
 func (d *Detector) Pending() int { return len(d.w) }
 
+// WindowValue returns the tracked window state of dev at the given lag,
+// for window-state inspection regardless of the detector's scoring mode.
+func (d *Detector) WindowValue(dev, lag int) (int, error) {
+	if d.ref != nil {
+		return d.ref.value(dig.Node{Device: dev, Lag: lag})
+	}
+	if lag < 0 || lag > d.win.Tau() {
+		return 0, fmt.Errorf("monitor: lag %d outside [0,%d]", lag, d.win.Tau())
+	}
+	if dev < 0 || dev >= d.numDevices {
+		return 0, fmt.Errorf("monitor: device index %d out of range", dev)
+	}
+	return d.win.At(dev, lag), nil
+}
+
+// Tau returns the detector's current window lag.
+func (d *Detector) Tau() int {
+	if d.ref != nil {
+		return d.ref.tau
+	}
+	return d.win.Tau()
+}
+
 // Swap atomically adopts a retrained graph, threshold, and chain length
 // between events: the phantom window and any partially tracked anomaly
 // chain survive, so a model refresh loses no detection state. The new graph
 // must cover the same device registry; a different Tau resizes the window,
-// replicating the oldest known state when it grows.
+// replicating the oldest known state when it grows. On the compiled path
+// the graph is re-compiled here; use SwapCompiled to share an existing
+// compilation.
 func (d *Detector) Swap(g *dig.Graph, threshold float64, kmax int) error {
 	if g == nil {
 		return errors.New("monitor: nil graph")
 	}
+	if err := d.validateSwap(g, threshold, kmax); err != nil {
+		return err
+	}
+	if d.ref != nil {
+		d.ref.resize(g.Tau)
+		d.g, d.threshold, d.kmax = g, threshold, kmax
+		return nil
+	}
+	comp, err := dig.Compile(g)
+	if err != nil {
+		return err
+	}
+	d.adoptCompiled(comp, threshold, kmax)
+	return nil
+}
+
+// SwapCompiled is Swap over an already-compiled graph (e.g. a hub hot-swap
+// distributing one compilation to every tenant of a home's system).
+func (d *Detector) SwapCompiled(comp *dig.Compiled, threshold float64, kmax int) error {
+	if comp == nil {
+		return errors.New("monitor: nil compiled graph")
+	}
+	g := comp.Graph()
+	if err := d.validateSwap(g, threshold, kmax); err != nil {
+		return err
+	}
+	if d.ref != nil {
+		d.ref.resize(g.Tau)
+		d.g, d.threshold, d.kmax = g, threshold, kmax
+		return nil
+	}
+	d.adoptCompiled(comp, threshold, kmax)
+	return nil
+}
+
+func (d *Detector) validateSwap(g *dig.Graph, threshold float64, kmax int) error {
 	if threshold < 0 || threshold > 1 {
 		return fmt.Errorf("monitor: threshold %v outside [0,1]", threshold)
 	}
@@ -244,9 +544,16 @@ func (d *Detector) Swap(g *dig.Graph, threshold float64, kmax int) error {
 	if !g.Registry.Same(d.g.Registry) {
 		return errors.New("monitor: swapped graph covers a different device registry")
 	}
-	d.pm.resize(g.Tau)
-	d.g, d.threshold, d.kmax = g, threshold, kmax
 	return nil
+}
+
+func (d *Detector) adoptCompiled(comp *dig.Compiled, threshold float64, kmax int) {
+	g := comp.Graph()
+	d.win.Resize(g.Tau)
+	d.g, d.comp, d.threshold, d.kmax = g, comp, threshold, kmax
+	if comp.MaxParents() > len(d.scratch) {
+		d.scratch = make([]int, comp.MaxParents())
+	}
 }
 
 // Result is the outcome of processing one runtime event.
@@ -279,10 +586,52 @@ func (d *Detector) Process(step timeseries.Step) (*Alarm, float64, error) {
 // the threshold (it follows an interaction execution under the polluted
 // context). The chain is reported when |W| = k_max or when an abrupt
 // high-score event interrupts the tracking.
+//
+// On the compiled path, a steady-state call (no duplicate, no chain
+// membership) performs zero heap allocations: the device and value are
+// validated once up front, the duplicate check is a direct ring-buffer
+// read, the window slides in place, and the score is a compiled-table
+// gather. Cause values are only materialized when the event joins an
+// anomaly chain.
 func (d *Detector) ProcessStep(step timeseries.Step) (Result, error) {
 	d.seq++
+	if d.ref != nil {
+		return d.processReference(step)
+	}
+	if step.Device < 0 || step.Device >= d.numDevices {
+		return Result{}, fmt.Errorf("monitor: device index %d out of range", step.Device)
+	}
+	if step.Value != 0 && step.Value != 1 {
+		return Result{}, fmt.Errorf("monitor: non-binary value %d", step.Value)
+	}
+	if d.SkipDuplicates && d.win.At(step.Device, 0) == step.Value {
+		return Result{Duplicate: true}, nil
+	}
+	d.win.Advance(step.Device, step.Value)
+	score := d.comp.ScoreEvent(d.win, step.Device, step.Value)
+
+	// Materialize the interaction context only when the event joins the
+	// anomaly list (the same join predicate advanceChain applies): gather
+	// into the reusable scratch buffer, then persist an exactly-sized copy
+	// in the chain entry.
+	anomalous := score >= d.threshold
+	tracking := len(d.w) > 0
+	var causes []dig.Node
+	var values []int
+	if (tracking && !anomalous) || (!tracking && anomalous) {
+		causes = d.g.Parents(step.Device)
+		gathered := d.comp.CauseValuesInto(d.win, step.Device, d.scratch)
+		values = make([]int, len(gathered))
+		copy(values, gathered)
+	}
+	return d.advanceChain(step, score, causes, values), nil
+}
+
+// processReference is the original ProcessStep: clone-window duplicate
+// check, per-event cause-value allocation, and error-checked CPT scoring.
+func (d *Detector) processReference(step timeseries.Step) (Result, error) {
 	if d.SkipDuplicates {
-		cur, err := d.pm.Value(dig.Node{Device: step.Device, Lag: 0})
+		cur, err := d.ref.value(dig.Node{Device: step.Device, Lag: 0})
 		if err != nil {
 			return Result{}, err
 		}
@@ -290,11 +639,11 @@ func (d *Detector) ProcessStep(step timeseries.Step) (Result, error) {
 			return Result{Duplicate: true}, nil
 		}
 	}
-	if err := d.pm.Update(step); err != nil {
+	if err := d.ref.update(step); err != nil {
 		return Result{}, err
 	}
 	causes := d.g.Parents(step.Device)
-	values, err := d.pm.CauseValues(causes)
+	values, err := d.ref.causeValues(causes)
 	if err != nil {
 		return Result{}, err
 	}
@@ -302,7 +651,13 @@ func (d *Detector) ProcessStep(step timeseries.Step) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	return d.advanceChain(step, score, causes, values), nil
+}
 
+// advanceChain runs the Algorithm 2 chain logic for a scored event; causes
+// and values are only consulted when the event joins the anomaly list, and
+// must then be safe for the chain entry to retain.
+func (d *Detector) advanceChain(step timeseries.Step, score float64, causes []dig.Node, values []int) Result {
 	anomalous := score >= d.threshold
 	tracking := len(d.w) > 0
 	if (tracking && !anomalous) || (!tracking && anomalous) {
@@ -324,9 +679,9 @@ func (d *Detector) ProcessStep(step timeseries.Step) (Result, error) {
 		abrupt := len(d.w) < d.kmax
 		alarm := &Alarm{Events: d.w, Abrupt: abrupt}
 		d.w = nil
-		return Result{Alarm: alarm, Score: score}, nil
+		return Result{Alarm: alarm, Score: score}
 	}
-	return Result{Score: score}, nil
+	return Result{Score: score}
 }
 
 // Flush reports any partially tracked chain at stream end and resets the

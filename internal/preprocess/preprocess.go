@@ -312,6 +312,79 @@ func (p *Preprocessor) UnifyValue(device string, value float64) (int, error) {
 	}
 }
 
+// Unifier is the frozen per-index form of the unification rules: one
+// registry-ordered slice of (class, threshold) pairs, so runtime value
+// unification is an array index and a compare instead of name-keyed map
+// lookups per event. Build it with CompileUnifier after fitting; it is
+// immutable and safe for concurrent readers.
+type Unifier struct {
+	reg        *timeseries.Registry
+	classes    []event.Class
+	thresholds []float64
+	haveThr    []bool
+	fitted     bool
+}
+
+// CompileUnifier freezes the current unification rules (device classes and
+// learned ambient thresholds) into their index-keyed serving form. It must
+// be rebuilt if Process or RestoreThresholds learns new thresholds.
+func (p *Preprocessor) CompileUnifier() *Unifier {
+	n := p.registry.Len()
+	u := &Unifier{
+		reg:        p.registry,
+		classes:    make([]event.Class, n),
+		thresholds: make([]float64, n),
+		haveThr:    make([]bool, n),
+		fitted:     p.fitted,
+	}
+	for i := 0; i < n; i++ {
+		name := p.registry.Name(i)
+		u.classes[i] = p.devices[name].Attribute.Class
+		if thr, ok := p.thresholds[name]; ok {
+			u.thresholds[i] = thr
+			u.haveThr[i] = true
+		}
+	}
+	return u
+}
+
+// Unify converts a raw reading of the device at registry index idx into the
+// unified binary state, with the same rules and sentinel errors as
+// UnifyValue but no per-event map lookups.
+func (u *Unifier) Unify(idx int, value float64) (int, error) {
+	if idx < 0 || idx >= len(u.classes) {
+		return 0, fmt.Errorf("%w (index %d)", ErrUnknownDevice, idx)
+	}
+	if math.IsNaN(value) || math.IsInf(value, 0) {
+		return 0, fmt.Errorf("%w: %q reported %v", ErrValueOutOfRange, u.reg.Name(idx), value)
+	}
+	switch u.classes[idx] {
+	case event.Binary:
+		if value != 0 {
+			return 1, nil
+		}
+		return 0, nil
+	case event.ResponsiveNumeric:
+		if value > 0 {
+			return 1, nil
+		}
+		return 0, nil
+	case event.AmbientNumeric:
+		if !u.fitted {
+			return 0, fmt.Errorf("preprocess: ambient device %q unified before Process", u.reg.Name(idx))
+		}
+		if !u.haveThr[idx] {
+			return 0, fmt.Errorf("preprocess: no threshold learned for ambient device %q", u.reg.Name(idx))
+		}
+		if value > u.thresholds[idx] {
+			return 1, nil
+		}
+		return 0, nil
+	default:
+		return 0, fmt.Errorf("preprocess: device %q has invalid class %v", u.reg.Name(idx), u.classes[idx])
+	}
+}
+
 func (p *Preprocessor) filterOutliers(name string, vals []float64) []float64 {
 	ms := p.sigma[name]
 	if ms[1] == 0 {

@@ -1,0 +1,67 @@
+package timeseries
+
+// NameIndex is the compiled serving form of Registry.Index: an
+// open-addressed table keyed by a cheap byte signature of the name, probed
+// linearly and confirmed with one string compare. It avoids the full string
+// hash of the map-backed Index on the per-event serving path, where the
+// device-name lookup is otherwise the single most expensive step of a
+// scored event. A NameIndex is immutable and safe for concurrent readers.
+type NameIndex struct {
+	reg  *Registry
+	mask uint32
+	sigs []uint32 // 0 marks an empty slot (real signatures are >= 1<<16)
+	idxs []int32
+}
+
+// nameSig compresses a non-empty name into a cheap integer signature:
+// length plus first and last byte. Distinct names may share a signature;
+// the probe's string compare disambiguates.
+func nameSig(name string) uint32 {
+	return uint32(len(name))<<16 | uint32(name[0])<<8 | uint32(name[len(name)-1])
+}
+
+// CompileIndex builds the registry's compiled name index.
+func (r *Registry) CompileIndex() *NameIndex {
+	size := uint32(8)
+	for int(size) < 4*len(r.names) {
+		size <<= 1
+	}
+	t := &NameIndex{
+		reg:  r,
+		mask: size - 1,
+		sigs: make([]uint32, size),
+		idxs: make([]int32, size),
+	}
+	for i, name := range r.names {
+		sig := nameSig(name)
+		j := (sig * 2654435761) & t.mask
+		for t.sigs[j] != 0 {
+			j = (j + 1) & t.mask
+		}
+		t.sigs[j] = sig
+		t.idxs[j] = int32(i)
+	}
+	return t
+}
+
+// Index returns the index of the named device, like Registry.Index.
+func (t *NameIndex) Index(name string) (int, bool) {
+	if len(name) == 0 {
+		return 0, false
+	}
+	sig := nameSig(name)
+	j := (sig * 2654435761) & t.mask
+	for {
+		s := t.sigs[j]
+		if s == 0 {
+			return 0, false
+		}
+		if s == sig {
+			idx := int(t.idxs[j])
+			if t.reg.names[idx] == name {
+				return idx, true
+			}
+		}
+		j = (j + 1) & t.mask
+	}
+}

@@ -1,0 +1,60 @@
+package timeseries
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestNameIndexMatchesRegistry pins the compiled resolver to the map-backed
+// Registry.Index, including signature collisions (same length, first, and
+// last byte), unknown names, and the empty string.
+func TestNameIndexMatchesRegistry(t *testing.T) {
+	names := []string{
+		"light", "lamp-a", "lamp-b", // lamp-a/lamp-b: distinct sigs
+		"motion", "meter",
+		"xax", "xbx", "xcx", // colliding signatures: len 3, 'x'...'x'
+		"a", "b",
+	}
+	for i := 0; i < 20; i++ {
+		names = append(names, fmt.Sprintf("device-%02d", i))
+	}
+	reg, err := NewRegistry(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := reg.CompileIndex()
+	for _, name := range names {
+		want, wantOK := reg.Index(name)
+		got, gotOK := idx.Index(name)
+		if got != want || gotOK != wantOK {
+			t.Errorf("Index(%q) = (%d,%v), registry (%d,%v)", name, got, gotOK, want, wantOK)
+		}
+	}
+	for _, name := range []string{"", "ghost", "xdx", "ligh", "lightt", "device-99", "lamp-c"} {
+		if got, ok := idx.Index(name); ok {
+			t.Errorf("Index(%q) = (%d,true), want miss", name, got)
+		}
+		if _, ok := reg.Index(name); ok {
+			t.Fatalf("test name %q unexpectedly registered", name)
+		}
+	}
+}
+
+func TestNameIndexDoesNotAllocate(t *testing.T) {
+	reg, err := NewRegistry([]string{"presence", "light", "meter"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := reg.CompileIndex()
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, ok := idx.Index("light"); !ok {
+			t.Fatal("miss")
+		}
+		if _, ok := idx.Index("ghost"); ok {
+			t.Fatal("phantom hit")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Index allocates %.1f allocs/op, want 0", allocs)
+	}
+}

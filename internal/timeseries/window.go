@@ -1,0 +1,108 @@
+package timeseries
+
+import "fmt"
+
+// Window is the flat ring-buffer form of the recent τ+1 system states
+// (S^{t-τ}, ..., S^t): one backing []int of (τ+1)×n cells, row-major, with a
+// head index marking the physical row of the present state. Sliding the
+// window on an event is a head advance, one row copy inside the backing
+// array (the present state carried into the slot of the expiring oldest
+// state), and a single cell write — no per-event allocation, unlike the
+// clone-per-event []State window it replaces on the serving hot path.
+//
+// Window performs no per-read validation: At is the hot read of the Event
+// Monitor's scoring loop, so bounds are the caller's contract (the Detector
+// validates the device index and value once per event). The reference
+// clone-window implementation in internal/monitor keeps the checked API.
+type Window struct {
+	n    int // devices per row
+	tau  int
+	head int   // physical row of the present state, in [0, tau]
+	buf  []int // (tau+1)*n cells, row-major
+}
+
+// NewWindow builds a window seeded with the initial state replicated into
+// every row, exactly like the phantom state machine's seed (§V-C).
+func NewWindow(tau int, initial State) (*Window, error) {
+	if tau < 1 {
+		return nil, fmt.Errorf("timeseries: window tau %d < 1", tau)
+	}
+	n := len(initial)
+	w := &Window{n: n, tau: tau, buf: make([]int, (tau+1)*n)}
+	for r := 0; r <= tau; r++ {
+		copy(w.buf[r*n:(r+1)*n], initial)
+	}
+	return w, nil
+}
+
+// Tau returns the window's maximum time lag.
+func (w *Window) Tau() int { return w.tau }
+
+// NumDevices returns the number of devices per state row.
+func (w *Window) NumDevices() int { return w.n }
+
+// At returns the state of device dev at lag steps before the present
+// (lag 0 is the present). Bounds are the caller's contract: dev must lie in
+// [0, NumDevices()) and lag in [0, Tau()].
+func (w *Window) At(dev, lag int) int {
+	r := w.head - lag
+	if r < 0 {
+		r += w.tau + 1
+	}
+	return w.buf[r*w.n+dev]
+}
+
+// Advance slides the window one step for the event (dev, value): the present
+// row is carried into the slot of the expiring oldest state and the
+// reporting device's cell is overwritten. Zero allocations. The caller must
+// have validated dev and value (binary) — the Detector does this once per
+// event.
+func (w *Window) Advance(dev, value int) {
+	next := w.head + 1
+	if next > w.tau {
+		next = 0
+	}
+	cur, nxt := w.head*w.n, next*w.n
+	copy(w.buf[nxt:nxt+w.n], w.buf[cur:cur+w.n])
+	w.buf[nxt+dev] = value
+	w.head = next
+}
+
+// State returns a copy of the present system state.
+func (w *Window) State() State {
+	out := make(State, w.n)
+	w.CopyState(out)
+	return out
+}
+
+// CopyState copies the present system state into dst (which must have
+// NumDevices() cells) without allocating.
+func (w *Window) CopyState(dst State) {
+	off := w.head * w.n
+	copy(dst, w.buf[off:off+w.n])
+}
+
+// Resize adapts the window to a new maximum lag, keeping the most recent
+// states aligned on the present; when the window grows, the oldest known
+// state is replicated into the new, older slots — the same semantics as the
+// reference clone-window resize. Resize allocates (it runs on the rare
+// model hot-swap path, not per event).
+func (w *Window) Resize(tau int) {
+	if tau == w.tau {
+		return
+	}
+	buf := make([]int, (tau+1)*w.n)
+	for lag := 0; lag <= tau; lag++ {
+		src := lag
+		if src > w.tau {
+			src = w.tau
+		}
+		r := w.head - src
+		if r < 0 {
+			r += w.tau + 1
+		}
+		dst := tau - lag
+		copy(buf[dst*w.n:(dst+1)*w.n], w.buf[r*w.n:(r+1)*w.n])
+	}
+	w.tau, w.head, w.buf = tau, tau, buf
+}

@@ -1,0 +1,162 @@
+package timeseries
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWindowValidation(t *testing.T) {
+	if _, err := NewWindow(0, State{0}); err == nil {
+		t.Error("tau 0 accepted")
+	}
+	if _, err := NewWindow(-1, State{0}); err == nil {
+		t.Error("negative tau accepted")
+	}
+}
+
+func TestWindowSeedsInitialState(t *testing.T) {
+	w, err := NewWindow(3, State{1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Tau() != 3 || w.NumDevices() != 3 {
+		t.Fatalf("Tau = %d, NumDevices = %d", w.Tau(), w.NumDevices())
+	}
+	for lag := 0; lag <= 3; lag++ {
+		for dev, want := range []int{1, 0, 1} {
+			if got := w.At(dev, lag); got != want {
+				t.Errorf("At(%d, %d) = %d, want %d", dev, lag, got, want)
+			}
+		}
+	}
+}
+
+// TestWindowMatchesSeriesProperty holds the ring buffer to the ground truth
+// of the materialized series: after k Advance calls, At(dev, lag) must equal
+// series state k-lag (clamped to the initial state), for every lag in the
+// window.
+func TestWindowMatchesSeriesProperty(t *testing.T) {
+	f := func(seed int64, rawTau uint8) bool {
+		tau := int(rawTau%4) + 1
+		rng := rand.New(rand.NewSource(seed))
+		reg, err := NewRegistry([]string{"a", "b", "c"})
+		if err != nil {
+			return false
+		}
+		steps := make([]Step, 30)
+		for i := range steps {
+			steps[i] = Step{Device: rng.Intn(3), Value: rng.Intn(2)}
+		}
+		initial := State{rng.Intn(2), rng.Intn(2), rng.Intn(2)}
+		series, err := FromSteps(reg, initial, steps)
+		if err != nil {
+			return false
+		}
+		w, err := NewWindow(tau, initial)
+		if err != nil {
+			return false
+		}
+		for j, st := range steps {
+			w.Advance(st.Device, st.Value)
+			for lag := 0; lag <= tau; lag++ {
+				idx := j + 1 - lag
+				if idx < 0 {
+					idx = 0 // the window seeds older slots with the initial state
+				}
+				for dev := 0; dev < 3; dev++ {
+					if w.At(dev, lag) != series.State(idx)[dev] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWindowStateCopies(t *testing.T) {
+	w, err := NewWindow(2, State{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Advance(0, 1)
+	got := w.State()
+	if got[0] != 1 || got[1] != 1 {
+		t.Fatalf("State = %v, want [1 1]", got)
+	}
+	got[0] = 7 // mutating the copy must not reach the window
+	if w.At(0, 0) != 1 {
+		t.Error("State returned a view into the ring buffer")
+	}
+	dst := make(State, 2)
+	w.CopyState(dst)
+	if dst[0] != 1 || dst[1] != 1 {
+		t.Errorf("CopyState = %v, want [1 1]", dst)
+	}
+}
+
+// TestWindowResizeProperty checks Resize against a brute-force reference:
+// for any prefix of a random stream and any new tau, the resized window must
+// serve At(dev, lag) as the state at lag steps back, clamping lags beyond
+// the old window to the oldest state the old window knew.
+func TestWindowResizeProperty(t *testing.T) {
+	f := func(seed int64, rawOld, rawNew uint8) bool {
+		oldTau := int(rawOld%4) + 1
+		newTau := int(rawNew%5) + 1
+		rng := rand.New(rand.NewSource(seed))
+		w, err := NewWindow(oldTau, State{0, 0})
+		if err != nil {
+			return false
+		}
+		// Record what the old window serves before resizing.
+		before := make([]int, (oldTau+1)*2)
+		for i := 0; i < 12; i++ {
+			w.Advance(rng.Intn(2), rng.Intn(2))
+		}
+		for lag := 0; lag <= oldTau; lag++ {
+			for dev := 0; dev < 2; dev++ {
+				before[lag*2+dev] = w.At(dev, lag)
+			}
+		}
+		w.Resize(newTau)
+		if w.Tau() != newTau {
+			return false
+		}
+		for lag := 0; lag <= newTau; lag++ {
+			src := lag
+			if src > oldTau {
+				src = oldTau // grown slots replicate the oldest known state
+			}
+			for dev := 0; dev < 2; dev++ {
+				if w.At(dev, lag) != before[src*2+dev] {
+					return false
+				}
+			}
+		}
+		// The resized window must keep sliding correctly.
+		w.Advance(1, 1)
+		return w.At(1, 0) == 1 && w.At(0, 0) == before[0*2+0]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWindowAdvanceDoesNotAllocate(t *testing.T) {
+	w, err := NewWindow(3, State{0, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		w.Advance(1, v)
+		v = 1 - v
+	})
+	if allocs != 0 {
+		t.Errorf("Advance allocates %.1f allocs/op, want 0", allocs)
+	}
+}

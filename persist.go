@@ -136,14 +136,18 @@ func Load(r io.Reader) (*System, error) {
 		}
 		initial[i] = v
 	}
-	return &System{
+	sys := &System{
 		cfg:       cfg,
 		devices:   internalDevices,
 		pre:       pre,
 		graph:     graph,
 		threshold: model.Threshold,
 		initial:   initial,
-	}, nil
+	}
+	if err := sys.compile(); err != nil {
+		return nil, err
+	}
+	return sys, nil
 }
 
 // Extend adapts the trained system to recent normal behaviour: the new
@@ -185,6 +189,11 @@ func (s *System) Extend(log []Event) error {
 		return fmt.Errorf("causaliot: extension log too short (%d events, tau %d)", res.Series.Len(), s.graph.Tau)
 	}
 	if err := s.graph.Fit(res.Series); err != nil {
+		return err
+	}
+	// Fit mutates the CPT counts in place; the compiled score tables
+	// snapshot those counts, so re-compile before any new monitor is built.
+	if err := s.compile(); err != nil {
 		return err
 	}
 	threshold, err := monitor.Threshold(s.graph, res.Series, s.cfg.Quantile)
