@@ -1,21 +1,44 @@
 # Tier-1 is the seed verification contract; vet and the race tier add
 # static analysis and the race detector so every PR exercises the
-# concurrent serving hub under -race. `make check` runs all three.
+# concurrent serving hub under -race; the chaos tier replays the seeded
+# fault schedules (panics, injected errors, wedged processors, kill/resume)
+# against the supervised hub. `make check` runs all of them.
 
 GO ?= go
 
-.PHONY: tier1 vet race check bench bench-detect bench-paper serve-demo
+.PHONY: tier1 vet race chaos fuzz check bench bench-detect bench-paper serve-demo
 
 tier1:
 	$(GO) build ./... && $(GO) test ./...
 
+# staticcheck is optional tooling: run it when installed, otherwise fall
+# back to go vet's analyzers only (never fail the build over a missing
+# binary).
 vet:
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./... ; \
+	else \
+		echo "staticcheck not installed; skipped" ; \
+	fi
 
 race:
 	$(GO) test -race ./...
 
-check: tier1 vet race
+# Chaos tier: deterministic fault-schedule tests (internal/faults driving
+# the supervised hub) plus the checkpoint kill/resume equivalence tests,
+# all under the race detector.
+chaos:
+	$(GO) test -race -run 'Chaos|Checkpoint|Quarantine|Wedged|Panic|CloseRace|Stress|SIGTERM' \
+		./internal/hub ./internal/faults ./cmd/causaliot .
+
+# Short fuzz pass over the model and checkpoint deserializers (the
+# error-never-panic contract); extend -fuzztime for a deeper run.
+fuzz:
+	$(GO) test -fuzz FuzzLoad -fuzztime 10s .
+	$(GO) test -fuzz FuzzRestoreMonitor -fuzztime 10s .
+
+check: tier1 vet race chaos
 
 # Mining/G² counting-kernel benchmarks; records the bit-vs-scalar baseline
 # (ns/op, allocations, speedups) to BENCH_pc.json for the perf trajectory.

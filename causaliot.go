@@ -452,6 +452,11 @@ type Monitor struct {
 	// the original name-keyed UnifyValue so the baseline stays byte-for-
 	// byte pre-change.
 	ref bool
+	// observed counts every ObserveEvent call, including ones that failed
+	// with a skippable error and never reached the detector. It is the
+	// stream-position a resumed process skips to when replaying a source
+	// log after restoring a checkpoint.
+	observed int
 }
 
 // NewMonitor starts runtime monitoring from the state at the end of the
@@ -482,6 +487,7 @@ func (s *System) NewReferenceMonitor() (*Monitor, error) {
 // skippable: the detector state is untouched and the stream can resume with
 // the next event.
 func (m *Monitor) ObserveEvent(e Event) (Detection, error) {
+	m.observed++
 	var idx int
 	var ok bool
 	var state int
@@ -566,6 +572,12 @@ func (m *Monitor) Swap(sys *System) error {
 	m.sys = sys
 	return nil
 }
+
+// Observed returns the number of events this monitor has been handed via
+// ObserveEvent (counting events skipped with ErrUnknownDevice or
+// ErrValueOutOfRange). After restoring a checkpoint, replay the source log
+// from this position to resume the stream exactly where it was cut.
+func (m *Monitor) Observed() int { return m.observed }
 
 // Pending returns the number of events in the partially tracked anomaly
 // chain (0 when the monitor is not mid-chain).

@@ -1,0 +1,322 @@
+package causaliot
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// servingStream synthesizes a runtime stream with everything a checkpoint
+// must carry across: normal interactions, duplicates, ghost activations that
+// open anomaly chains, and unknown-device events that error and are skipped.
+func servingStream(n int, seed int64) []Event {
+	rng := rand.New(rand.NewSource(seed))
+	var log []Event
+	ts := t0.Add(100 * time.Hour)
+	for i := 0; i < n; i++ {
+		ts = ts.Add(time.Duration(5+rng.Intn(30)) * time.Second)
+		switch r := rng.Float64(); {
+		case r < 0.15: // ghost activation: light without presence
+			log = append(log, Event{Time: ts, Device: "light", Value: 1})
+		case r < 0.25: // unknown device: skippable error
+			log = append(log, Event{Time: ts, Device: "intruder", Value: 1})
+		case r < 0.45:
+			log = append(log, Event{Time: ts, Device: "presence", Value: float64(rng.Intn(2))})
+		case r < 0.65:
+			log = append(log, Event{Time: ts, Device: "light", Value: float64(rng.Intn(2))})
+		default:
+			log = append(log, Event{Time: ts, Device: "meter", Value: float64(rng.Intn(2)) * 30})
+		}
+	}
+	return log
+}
+
+// observation is a comparable record of one ObserveEvent outcome.
+type observation struct {
+	det     Detection
+	skipped bool
+}
+
+func observeStream(t *testing.T, mon *Monitor, stream []Event) []observation {
+	t.Helper()
+	out := make([]observation, len(stream))
+	for i, e := range stream {
+		det, err := mon.ObserveEvent(e)
+		if err != nil {
+			if !errors.Is(err, ErrUnknownDevice) && !errors.Is(err, ErrValueOutOfRange) {
+				t.Fatalf("event %d: %v", i, err)
+			}
+			out[i] = observation{skipped: true}
+			continue
+		}
+		out[i] = observation{det: det}
+	}
+	return out
+}
+
+// TestMonitorCheckpointRoundTrip is the envelope-level crash-safety
+// property: a monitor restored from a written checkpoint produces
+// detections bit-for-bit identical to the uninterrupted run, for every kill
+// point — including mid-chain and right after a skipped event.
+func TestMonitorCheckpointRoundTrip(t *testing.T) {
+	sys := mustTrain(t, Config{Tau: 2, KMax: 3})
+	stream := servingStream(300, 9)
+	ref, err := sys.NewMonitor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := observeStream(t, ref, stream)
+	for _, kill := range []int{0, 1, 37, 150, len(stream) - 1, len(stream)} {
+		m1, err := sys.NewMonitor()
+		if err != nil {
+			t.Fatal(err)
+		}
+		observeStream(t, m1, stream[:kill])
+		var buf bytes.Buffer
+		if err := m1.WriteCheckpoint(&buf); err != nil {
+			t.Fatalf("kill %d: write: %v", kill, err)
+		}
+		m2, err := sys.RestoreMonitor(&buf)
+		if err != nil {
+			t.Fatalf("kill %d: restore: %v", kill, err)
+		}
+		if m2.Observed() != kill {
+			t.Fatalf("kill %d: restored position %d", kill, m2.Observed())
+		}
+		got := observeStream(t, m2, stream[kill:])
+		for i, obs := range got {
+			if !reflect.DeepEqual(obs, want[kill+i]) {
+				t.Fatalf("kill %d: detection %d diverged:\ngot  %+v\nwant %+v",
+					kill, kill+i, obs, want[kill+i])
+			}
+		}
+	}
+}
+
+// TestCheckpointSurvivesModelReload pins the full restart flow: the model
+// reloaded through Save/Load (a genuinely new process would do exactly
+// that) accepts the checkpoint and resumes bit-for-bit.
+func TestCheckpointSurvivesModelReload(t *testing.T) {
+	sys := mustTrain(t, Config{Tau: 2, KMax: 2})
+	stream := servingStream(200, 4)
+	ref, err := sys.NewMonitor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := observeStream(t, ref, stream)
+
+	const kill = 83
+	m1, err := sys.NewMonitor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	observeStream(t, m1, stream[:kill])
+	var model, cp bytes.Buffer
+	if err := sys.Save(&model); err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.WriteCheckpoint(&cp); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := Load(&model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := reloaded.RestoreMonitor(&cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := observeStream(t, m2, stream[kill:])
+	for i, obs := range got {
+		if !reflect.DeepEqual(obs, want[kill+i]) {
+			t.Fatalf("detection %d diverged after model reload:\ngot  %+v\nwant %+v",
+				kill+i, obs, want[kill+i])
+		}
+	}
+}
+
+// TestRestoreMonitorRejectsMismatches pins the envelope compatibility
+// rules: a checkpoint only restores onto the exact model it was taken
+// under — any identity mismatch is a loud error, never a silently
+// different detector.
+func TestRestoreMonitorRejectsMismatches(t *testing.T) {
+	sys := mustTrain(t, Config{Tau: 2, KMax: 3})
+	mon, err := sys.NewMonitor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	observeStream(t, mon, servingStream(50, 2))
+	var buf bytes.Buffer
+	if err := mon.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	tamper := func(t *testing.T, f func(m map[string]any)) []byte {
+		t.Helper()
+		var m map[string]any
+		if err := json.Unmarshal(valid, &m); err != nil {
+			t.Fatal(err)
+		}
+		f(m)
+		out, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	cases := map[string]func(t *testing.T) []byte{
+		"garbage":     func(t *testing.T) []byte { return []byte("not json") },
+		"truncated":   func(t *testing.T) []byte { return valid[:len(valid)/2] },
+		"bad version": func(t *testing.T) []byte { return tamper(t, func(m map[string]any) { m["version"] = 99.0 }) },
+		"device renamed": func(t *testing.T) []byte {
+			return tamper(t, func(m map[string]any) { m["devices"].([]any)[0] = "imposter" })
+		},
+		"device missing": func(t *testing.T) []byte {
+			return tamper(t, func(m map[string]any) { m["devices"] = m["devices"].([]any)[:2] })
+		},
+		"threshold drift": func(t *testing.T) []byte {
+			return tamper(t, func(m map[string]any) { m["scoreThreshold"] = 0.123 })
+		},
+		"kmax drift": func(t *testing.T) []byte { return tamper(t, func(m map[string]any) { m["kmax"] = 7.0 }) },
+		"observed behind detector": func(t *testing.T) []byte {
+			return tamper(t, func(m map[string]any) { m["observed"] = 0.0 })
+		},
+		"corrupt window cell": func(t *testing.T) []byte {
+			return tamper(t, func(m map[string]any) {
+				m["state"].(map[string]any)["Window"].([]any)[0] = 5.0
+			})
+		},
+	}
+	for name, mk := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := sys.RestoreMonitor(bytes.NewReader(mk(t))); err == nil {
+				t.Error("corrupted checkpoint accepted")
+			}
+		})
+	}
+	// Different trained model (different config → different threshold/kmax)
+	// also refuses the checkpoint.
+	other := mustTrain(t, Config{Tau: 2, KMax: 1})
+	if _, err := other.RestoreMonitor(bytes.NewReader(valid)); err == nil {
+		t.Error("checkpoint accepted by a different model")
+	}
+	// And the untampered envelope still restores.
+	if _, err := sys.RestoreMonitor(bytes.NewReader(valid)); err != nil {
+		t.Fatalf("valid checkpoint rejected: %v", err)
+	}
+}
+
+// TestHubCheckpointKillResume is the serving-level acceptance test: a hosted
+// home is killed at an arbitrary batch boundary, a new hub restores its
+// monitor from the checkpoint, the source stream is replayed from the
+// checkpoint's position — and the combined alarm sequence is bit-for-bit the
+// uninterrupted run's.
+func TestHubCheckpointKillResume(t *testing.T) {
+	sys := mustTrain(t, Config{Tau: 2, KMax: 3})
+	stream := servingStream(400, 17)
+
+	// Uninterrupted reference run.
+	ref, err := sys.NewMonitor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	type scored struct {
+		Alarm *Alarm
+		Score float64
+	}
+	var want []scored
+	for _, obs := range observeStream(t, ref, stream) {
+		if obs.det.Alarm != nil {
+			want = append(want, scored{obs.det.Alarm, obs.det.Score})
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("reference run raised no alarms; stream too tame for the test")
+	}
+
+	for _, kill := range []int{1, 157, 399} {
+		var got []scored
+		onAlarm := func(_ string, a *Alarm, score float64) { got = append(got, scored{a, score}) }
+		ignoreErr := func(string, Event, error) {}
+
+		// First life: serve until the kill point, checkpoint, die.
+		h1 := NewHub(HubConfig{Workers: 2})
+		if err := h1.Register("home", sys, TenantOptions{OnAlarm: onAlarm, OnError: ignoreErr}); err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range stream[:kill] {
+			if err := h1.Submit("home", e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// The checkpoint must land after the submitted events: wait for the
+		// queue to drain so the batch boundary is exactly the kill point.
+		deadline := time.Now().Add(5 * time.Second)
+		for h1.Stats().Total.Processed < uint64(kill) {
+			if time.Now().After(deadline) {
+				t.Fatal("hub never drained to the kill point")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		var cp bytes.Buffer
+		if err := h1.Checkpoint("home", &cp); err != nil {
+			t.Fatal(err)
+		}
+		if err := h1.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		// Second life: restore the monitor, replay from the recorded
+		// position, and finish the stream.
+		h2 := NewHub(HubConfig{Workers: 2})
+		mon, err := sys.RestoreMonitor(bytes.NewReader(cp.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mon.Observed() != kill {
+			t.Fatalf("kill %d: restored stream position %d", kill, mon.Observed())
+		}
+		if err := h2.RegisterMonitor("home", mon, TenantOptions{OnAlarm: onAlarm, OnError: ignoreErr}); err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range stream[mon.Observed():] {
+			if err := h2.Submit("home", e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := h2.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("kill %d: resumed alarm sequence diverged: got %d alarms, want %d\ngot  %+v\nwant %+v",
+				kill, len(got), len(want), got, want)
+		}
+	}
+}
+
+// TestLoadRejectsNaNThreshold pins the Load robustness fix: a model whose
+// threshold decodes to NaN must be rejected, not served (NaN compares false
+// against every score, silencing detection entirely).
+func TestLoadRejectsNaNThreshold(t *testing.T) {
+	sys := mustTrain(t, Config{Tau: 2})
+	var buf bytes.Buffer
+	if err := sys.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// JSON cannot carry NaN literally, but Go decodes "1e999"-style
+	// overflows and other trickery into errors — force the field through a
+	// raw edit to a huge exponent instead, and verify the decode path
+	// rejects it one way or another.
+	doc := strings.Replace(buf.String(),
+		`"scoreThreshold": `, `"scoreThreshold": 2e308, "x": `, 1)
+	if _, err := Load(strings.NewReader(doc)); err == nil {
+		t.Error("model with overflowing threshold accepted")
+	}
+}

@@ -14,11 +14,15 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	"github.com/causaliot/causaliot"
@@ -62,7 +66,8 @@ func usage() {
   causaliot mine     -in FILE [-testbed contextact|casas] [-tau N] [-graph FILE] [-kernel bit|scalar]
   causaliot detect   -train FILE -stream FILE [-testbed contextact|casas] [-tau N] [-kmax N]
   causaliot serve    -train FILE -stream FILE [-testbed contextact|casas] [-tau N] [-kmax N]
-                     [-tenants N] [-workers N] [-queue N] [-policy block|drop-oldest|reject] [-v]`)
+                     [-tenants N] [-workers N] [-queue N] [-policy block|drop-oldest|reject]
+                     [-checkpoint FILE] [-resume] [-v]`)
 }
 
 func pickTestbed(name string) (*sim.Testbed, error) {
@@ -213,6 +218,56 @@ func cmdMine(args []string) error {
 	return nil
 }
 
+// serveCheckpointVersion guards the multi-home checkpoint file format.
+const serveCheckpointVersion = 1
+
+// serveCheckpoint is the serve command's crash-recovery file: one
+// per-monitor checkpoint envelope (see Monitor.WriteCheckpoint) per hosted
+// home, so a restarted serve process resumes every home's stream where the
+// checkpoint cut it.
+type serveCheckpoint struct {
+	Version int                        `json:"version"`
+	Homes   map[string]json.RawMessage `json:"homes"`
+}
+
+// writeServeCheckpoint snapshots every named home and atomically replaces
+// the checkpoint file (write-then-rename, so a crash mid-write never leaves
+// a truncated file behind).
+func writeServeCheckpoint(h *causaliot.Hub, names []string, path string) error {
+	cp := serveCheckpoint{Version: serveCheckpointVersion, Homes: make(map[string]json.RawMessage, len(names))}
+	for _, name := range names {
+		var buf bytes.Buffer
+		if err := h.Checkpoint(name, &buf); err != nil {
+			return fmt.Errorf("checkpoint %s: %w", name, err)
+		}
+		cp.Homes[name] = json.RawMessage(buf.Bytes())
+	}
+	data, err := json.MarshalIndent(cp, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func readServeCheckpoint(path string) (*serveCheckpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var cp serveCheckpoint
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return nil, fmt.Errorf("checkpoint file %s: %w", path, err)
+	}
+	if cp.Version != serveCheckpointVersion {
+		return nil, fmt.Errorf("checkpoint file %s: unsupported version %d", path, cp.Version)
+	}
+	return &cp, nil
+}
+
 func pickPolicy(name string) (causaliot.BackpressurePolicy, error) {
 	switch name {
 	case "block":
@@ -240,6 +295,8 @@ func cmdServe(args []string) error {
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	queue := fs.Int("queue", 1024, "per-home ingestion queue capacity")
 	policyName := fs.String("policy", "block", "backpressure policy: block|drop-oldest|reject")
+	checkpointPath := fs.String("checkpoint", "", "write a checkpoint of every home to this file on completion or SIGTERM")
+	resume := fs.Bool("resume", false, "restore homes from the -checkpoint file and replay each stream from its recorded position")
 	verbose := fs.Bool("v", false, "print each alarm as it is raised")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -250,6 +307,28 @@ func cmdServe(args []string) error {
 	if *tenants < 1 {
 		return fmt.Errorf("serve: -tenants %d < 1", *tenants)
 	}
+	if *resume && *checkpointPath == "" {
+		return fmt.Errorf("serve: -resume requires -checkpoint")
+	}
+
+	// Catch SIGTERM/Ctrl-C from the start: a signal during training or
+	// serving stops intake at the next event boundary, and the final
+	// checkpoint records each home's exact position so a -resume run
+	// replays the unserved tail.
+	stop := make(chan struct{})
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+	sigDone := make(chan struct{})
+	defer close(sigDone)
+	defer signal.Stop(sigc)
+	go func() {
+		select {
+		case <-sigc:
+			fmt.Fprintln(os.Stderr, "causaliot: signal received, stopping intake")
+			close(stop)
+		case <-sigDone:
+		}
+	}()
 	policy, err := pickPolicy(*policyName)
 	if err != nil {
 		return err
@@ -275,16 +354,50 @@ func cmdServe(args []string) error {
 		return err
 	}
 
+	// With -resume, each home's monitor is restored from the checkpoint
+	// file and its producer skips the part of the stream the first life
+	// already observed.
+	var restored *serveCheckpoint
+	if *resume {
+		restored, err = readServeCheckpoint(*checkpointPath)
+		if err != nil {
+			return fmt.Errorf("serve: -resume: %w", err)
+		}
+	}
+
 	h := causaliot.NewHub(causaliot.HubConfig{
 		Workers:      *workers,
 		QueueSize:    *queue,
 		Backpressure: policy,
 	})
+	names := make([]string, *tenants)
+	offset := make(map[string]int, *tenants)
 	for i := 0; i < *tenants; i++ {
-		if err := h.Register(fmt.Sprintf("home-%d", i), sys, causaliot.TenantOptions{}); err != nil {
+		name := fmt.Sprintf("home-%d", i)
+		names[i] = name
+		if restored != nil {
+			raw, ok := restored.Homes[name]
+			if !ok {
+				return fmt.Errorf("serve: checkpoint file has no entry for %s", name)
+			}
+			mon, err := sys.RestoreMonitor(bytes.NewReader(raw))
+			if err != nil {
+				return fmt.Errorf("serve: restore %s: %w", name, err)
+			}
+			if mon.Observed() > len(streamLog) {
+				return fmt.Errorf("serve: %s checkpoint is %d events ahead of the stream file", name, mon.Observed()-len(streamLog))
+			}
+			offset[name] = mon.Observed()
+			if err := h.RegisterMonitor(name, mon, causaliot.TenantOptions{}); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := h.Register(name, sys, causaliot.TenantOptions{}); err != nil {
 			return err
 		}
 	}
+
 	var consumed sync.WaitGroup
 	consumed.Add(1)
 	go func() {
@@ -303,11 +416,16 @@ func cmdServe(args []string) error {
 	start := time.Now()
 	var producers sync.WaitGroup
 	errs := make(chan error, *tenants)
-	for i := 0; i < *tenants; i++ {
+	for _, name := range names {
 		producers.Add(1)
 		go func(name string) {
 			defer producers.Done()
-			for _, e := range streamLog {
+			for _, e := range streamLog[offset[name]:] {
+				select {
+				case <-stop:
+					return
+				default:
+				}
 				err := h.Submit(name, e)
 				if errors.Is(err, causaliot.ErrBackpressure) {
 					continue // reject policy: shed and move on
@@ -317,13 +435,38 @@ func cmdServe(args []string) error {
 					return
 				}
 			}
-		}(fmt.Sprintf("home-%d", i))
+		}(name)
 	}
 	producers.Wait()
-	for i := 0; i < *tenants; i++ {
-		if err := h.Flush(fmt.Sprintf("home-%d", i)); err != nil {
+	interrupted := false
+	select {
+	case <-stop:
+		interrupted = true
+	default:
+	}
+	// Flushing reports (and consumes) each home's partially tracked anomaly
+	// chain — right at the end of a completed run, but not on an interrupt,
+	// where the chain must survive into the checkpoint for the resumed
+	// process to finish tracking it.
+	if !interrupted {
+		for _, name := range names {
+			if err := h.Flush(name); err != nil {
+				return err
+			}
+		}
+	}
+	if *checkpointPath != "" {
+		// Let the queues drain so the checkpoint covers every accepted
+		// event; anything still queued after the grace period is simply
+		// replayed by the next -resume run.
+		drainDeadline := time.Now().Add(30 * time.Second)
+		for h.Stats().Total.QueueDepth > 0 && time.Now().Before(drainDeadline) {
+			time.Sleep(5 * time.Millisecond)
+		}
+		if err := writeServeCheckpoint(h, names, *checkpointPath); err != nil {
 			return err
 		}
+		fmt.Printf("checkpointed %d homes to %s\n", len(names), *checkpointPath)
 	}
 	if err := h.Close(); err != nil {
 		return err

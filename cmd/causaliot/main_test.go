@@ -1,9 +1,14 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 func TestRunUsageAndErrors(t *testing.T) {
@@ -93,6 +98,179 @@ func TestPublicDevicesCoversInventory(t *testing.T) {
 		}
 		if len(devices) != len(tb.Devices) {
 			t.Errorf("%s: %d public devices for %d internal", name, len(devices), len(tb.Devices))
+		}
+	}
+}
+
+// prefixCSV writes the first n event rows (plus header) of src to a new
+// file, simulating the part of the stream a killed process got through.
+func prefixCSV(t *testing.T, src string, n int) string {
+	t.Helper()
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	if len(lines) < n+1 {
+		t.Fatalf("stream has %d lines, need %d", len(lines), n+1)
+	}
+	out := filepath.Join(t.TempDir(), "prefix.csv")
+	if err := os.WriteFile(out, []byte(strings.Join(lines[:n+1], "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// readObserved parses a serve checkpoint file and returns each home's
+// recorded stream position.
+func readObserved(t *testing.T, path string) map[string]int {
+	t.Helper()
+	cp, err := readServeCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]int, len(cp.Homes))
+	for name, raw := range cp.Homes {
+		var env struct {
+			Observed int `json:"observed"`
+		}
+		if err := json.Unmarshal(raw, &env); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out[name] = env.Observed
+	}
+	return out
+}
+
+// TestServeCheckpointResume drives the crash-recovery flow end to end from
+// the CLI: a first serve life processes a prefix of the stream and
+// checkpoints, a second life resumes from the file and finishes — and the
+// final checkpoint shows every home at the end of the full stream.
+func TestServeCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	train := filepath.Join(dir, "train.csv")
+	stream := filepath.Join(dir, "stream.csv")
+	cp := filepath.Join(dir, "serve.ckpt")
+	if err := run([]string{"simulate", "-days", "2", "-seed", "3", "-out", train}); err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	if err := run([]string{"simulate", "-days", "1", "-seed", "4", "-out", stream}); err != nil {
+		t.Fatalf("simulate stream: %v", err)
+	}
+	full, err := loadEvents(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kill := len(full) / 3
+	prefix := prefixCSV(t, stream, kill)
+
+	// First life: serve the prefix, checkpoint at the end.
+	if err := run([]string{"serve", "-train", train, "-stream", prefix, "-tau", "2", "-kmax", "2",
+		"-tenants", "2", "-workers", "2", "-checkpoint", cp}); err != nil {
+		t.Fatalf("first life: %v", err)
+	}
+	for name, obs := range readObserved(t, cp) {
+		if obs != kill {
+			t.Fatalf("%s checkpointed at %d, want %d", name, obs, kill)
+		}
+	}
+
+	// Second life: resume against the full stream; only the tail replays.
+	if err := run([]string{"serve", "-train", train, "-stream", stream, "-tau", "2", "-kmax", "2",
+		"-tenants", "2", "-workers", "2", "-checkpoint", cp, "-resume"}); err != nil {
+		t.Fatalf("second life: %v", err)
+	}
+	for name, obs := range readObserved(t, cp) {
+		if obs != len(full) {
+			t.Fatalf("%s finished at %d, want %d", name, obs, len(full))
+		}
+	}
+}
+
+func TestServeCheckpointFlagValidation(t *testing.T) {
+	if err := run([]string{"serve", "-train", "x", "-stream", "y", "-resume"}); err == nil {
+		t.Error("-resume without -checkpoint accepted")
+	}
+	dir := t.TempDir()
+	train := filepath.Join(dir, "train.csv")
+	stream := filepath.Join(dir, "stream.csv")
+	if err := run([]string{"simulate", "-days", "1", "-seed", "3", "-out", train}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"simulate", "-days", "1", "-seed", "4", "-out", stream}); err != nil {
+		t.Fatal(err)
+	}
+	// Resume from a missing checkpoint file is a loud error, not a silent
+	// fresh start.
+	if err := run([]string{"serve", "-train", train, "-stream", stream,
+		"-checkpoint", filepath.Join(dir, "nope.ckpt"), "-resume"}); err == nil {
+		t.Error("missing checkpoint file accepted")
+	}
+	// And a corrupt one is rejected too.
+	bad := filepath.Join(dir, "bad.ckpt")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"serve", "-train", train, "-stream", stream,
+		"-checkpoint", bad, "-resume"}); err == nil {
+		t.Error("corrupt checkpoint file accepted")
+	}
+}
+
+// TestServeSIGTERMCheckpoint exercises the signal path: a SIGTERM mid-serve
+// stops intake, the final checkpoint is written, and a resumed run picks up
+// from wherever the first life stopped.
+func TestServeSIGTERMCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	train := filepath.Join(dir, "train.csv")
+	stream := filepath.Join(dir, "stream.csv")
+	cp := filepath.Join(dir, "serve.ckpt")
+	if err := run([]string{"simulate", "-days", "2", "-seed", "3", "-out", train}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"simulate", "-days", "7", "-seed", "4", "-out", stream}); err != nil {
+		t.Fatal(err)
+	}
+	full, err := loadEvents(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// signal.Notify is additive, so this guard channel keeps a SIGTERM that
+	// lands after serve already finished (and uninstalled its own handler)
+	// from killing the whole test binary with the default action.
+	guard := make(chan os.Signal, 1)
+	signal.Notify(guard, syscall.SIGTERM)
+	defer signal.Stop(guard)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"serve", "-train", train, "-stream", stream, "-tau", "2",
+			"-tenants", "2", "-workers", "1", "-queue", "16", "-checkpoint", cp})
+	}()
+	time.Sleep(150 * time.Millisecond) // let serve install its handler and start streaming
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("interrupted serve: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("serve did not exit after SIGTERM")
+	}
+	// Whether the signal landed mid-stream or after completion, the
+	// checkpoint file must exist and resume must finish the stream.
+	observed := readObserved(t, cp)
+	if len(observed) != 2 {
+		t.Fatalf("checkpoint covers %d homes, want 2", len(observed))
+	}
+	if err := run([]string{"serve", "-train", train, "-stream", stream, "-tau", "2",
+		"-tenants", "2", "-workers", "2", "-checkpoint", cp, "-resume"}); err != nil {
+		t.Fatalf("resume after SIGTERM: %v", err)
+	}
+	for name, obs := range readObserved(t, cp) {
+		if obs != len(full) {
+			t.Fatalf("%s finished at %d, want %d", name, obs, len(full))
 		}
 	}
 }

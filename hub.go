@@ -3,6 +3,7 @@ package causaliot
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sync/atomic"
 	"time"
 
@@ -43,12 +44,36 @@ func (p BackpressurePolicy) internal() hub.Policy {
 
 // Hub serving errors. ErrBackpressure marks a Submit refused by a
 // BackpressureReject queue; ErrUnknownTenant an operation on an
-// unregistered home; ErrHubClosed an operation on a closed hub.
+// unregistered home; ErrHubClosed an operation on a closed hub;
+// ErrQuarantined a Submit refused by a home's tripped circuit breaker;
+// ErrProcessorPanic wraps a panic recovered from a home's event processing
+// (counted as a failure, the stream continues); ErrDrainTimeout a
+// CloseWithin drain that exceeded its deadline.
 var (
-	ErrBackpressure  = hub.ErrBackpressure
-	ErrUnknownTenant = hub.ErrUnknownTenant
-	ErrHubClosed     = hub.ErrClosed
+	ErrBackpressure   = hub.ErrBackpressure
+	ErrUnknownTenant  = hub.ErrUnknownTenant
+	ErrHubClosed      = hub.ErrClosed
+	ErrQuarantined    = hub.ErrQuarantined
+	ErrProcessorPanic = hub.ErrPanic
+	ErrDrainTimeout   = hub.ErrDrainTimeout
 )
+
+// HealthState is a home's circuit-breaker state, reported in TenantStats.
+type HealthState int
+
+const (
+	// HealthHealthy is the normal serving state.
+	HealthHealthy HealthState = iota
+	// HealthQuarantined marks a tripped circuit breaker: the home's
+	// submissions are refused with ErrQuarantined until the readmission
+	// backoff elapses.
+	HealthQuarantined
+	// HealthProbing marks a quarantined home whose backoff elapsed and
+	// whose next event was admitted as a readmission probe.
+	HealthProbing
+)
+
+func (h HealthState) String() string { return hub.Health(h).String() }
 
 // HubConfig tunes a serving hub. The zero value selects the defaults.
 type HubConfig struct {
@@ -64,6 +89,17 @@ type HubConfig struct {
 	// further alarms are dropped and counted in HubStats.AlarmsDropped
 	// rather than stalling detection. Defaults to 256.
 	AlarmBuffer int
+	// QuarantineAfter is the consecutive-failure count (per-event errors
+	// and recovered panics) that trips a home's circuit breaker: its queue
+	// is flushed and submissions fail with ErrQuarantined until the
+	// readmission backoff elapses. Defaults to 8; negative disables
+	// quarantine.
+	QuarantineAfter int
+	// QuarantineBackoff is the initial readmission backoff; each failed
+	// readmission probe doubles it. Defaults to 1s.
+	QuarantineBackoff time.Duration
+	// QuarantineMaxBackoff caps the exponential backoff. Defaults to 60s.
+	QuarantineMaxBackoff time.Duration
 }
 
 // TenantOptions tunes one registered home; zero values inherit the hub
@@ -105,6 +141,14 @@ type TenantStats struct {
 	QueueDepth int
 	P50        time.Duration
 	P99        time.Duration
+	// Health is the home's circuit-breaker state; Panics counts recovered
+	// processing panics; Shed counts events refused or discarded while
+	// quarantined; LastError is the most recent processing failure (empty
+	// when the home never failed).
+	Health    HealthState
+	Panics    uint64
+	Shed      uint64
+	LastError string
 }
 
 // HubStats is a point-in-time snapshot of the hub's counters.
@@ -140,9 +184,12 @@ func NewHub(cfg HubConfig) *Hub {
 	}
 	return &Hub{
 		inner: hub.New(hub.Config{
-			Workers:   cfg.Workers,
-			QueueSize: cfg.QueueSize,
-			Policy:    cfg.Backpressure.internal(),
+			Workers:              cfg.Workers,
+			QueueSize:            cfg.QueueSize,
+			Policy:               cfg.Backpressure.internal(),
+			QuarantineAfter:      cfg.QuarantineAfter,
+			QuarantineBackoff:    cfg.QuarantineBackoff,
+			QuarantineMaxBackoff: cfg.QuarantineMaxBackoff,
 		}),
 		alarms: make(chan TenantAlarm, buffer),
 	}
@@ -197,6 +244,18 @@ func (h *Hub) Register(tenant string, sys *System, opts TenantOptions) error {
 	if err != nil {
 		return err
 	}
+	return h.RegisterMonitor(tenant, mon, opts)
+}
+
+// RegisterMonitor hosts a home on an existing monitor — typically one
+// restored from a checkpoint (System.RestoreMonitor), so a restarted serving
+// process resumes every home's stream exactly where its checkpoint cut it.
+// The hub takes ownership of the monitor: do not call its methods directly
+// afterwards.
+func (h *Hub) RegisterMonitor(tenant string, mon *Monitor, opts TenantOptions) error {
+	if mon == nil {
+		return errors.New("causaliot: register with nil monitor")
+	}
 	proc := &tenantProc{hub: h, name: tenant, mon: mon, onAlarm: opts.OnAlarm}
 	var onError func(hub.Event, error)
 	if opts.OnError != nil {
@@ -238,6 +297,25 @@ func (h *Hub) Swap(tenant string, sys *System) error {
 			return nil, fmt.Errorf("causaliot: tenant %q hosts a foreign processor", tenant)
 		}
 		if err := tp.mon.Swap(sys); err != nil {
+			return nil, err
+		}
+		return tp, nil
+	})
+}
+
+// Checkpoint writes a home's full runtime state (see
+// Monitor.WriteCheckpoint) to w, serialized with the home's stream: the
+// checkpoint lands on an exact event boundary, with no event half-processed.
+// Queued and in-flight events submitted after the boundary are NOT part of
+// the checkpoint — a resumed process must replay its source log from the
+// checkpoint's Observed position.
+func (h *Hub) Checkpoint(tenant string, w io.Writer) error {
+	return h.inner.Update(tenant, func(p hub.Processor) (hub.Processor, error) {
+		tp, ok := p.(*tenantProc)
+		if !ok {
+			return nil, fmt.Errorf("causaliot: tenant %q hosts a foreign processor", tenant)
+		}
+		if err := tp.mon.WriteCheckpoint(w); err != nil {
 			return nil, err
 		}
 		return tp, nil
@@ -286,16 +364,34 @@ func convertTenantStats(ts hub.TenantStats) TenantStats {
 		QueueDepth: ts.QueueDepth,
 		P50:        ts.P50,
 		P99:        ts.P99,
+		Health:     HealthState(ts.Health),
+		Panics:     ts.Panics,
+		Shed:       ts.Shed,
+		LastError:  ts.LastError,
 	}
 }
 
 // Close stops intake, drains every queued event through its home's monitor,
-// stops the workers, and closes the Alarms channel. Close is idempotent.
-func (h *Hub) Close() error {
+// stops the workers, and closes the Alarms channel. Close is idempotent. A
+// wedged monitor (e.g. a stuck OnAlarm callback) blocks Close forever; use
+// CloseWithin to bound the drain.
+func (h *Hub) Close() error { return h.CloseWithin(0) }
+
+// CloseWithin is Close with a drain deadline: when the drain does not finish
+// within d, it is abandoned and ErrDrainTimeout returned. Intake is stopped
+// either way, but events queued behind a wedged home may be lost, and the
+// Alarms channel is left open (a late worker may still deliver into it);
+// d <= 0 waits forever.
+func (h *Hub) CloseWithin(d time.Duration) error {
 	if h.closed.Swap(true) {
 		return nil
 	}
-	err := h.inner.Close()
+	err := h.inner.CloseWithin(d)
+	if errors.Is(err, ErrDrainTimeout) {
+		// The abandoned drain may still be running: closing the Alarms
+		// channel now could panic a late delivery, so leave it open.
+		return err
+	}
 	close(h.alarms)
 	return err
 }

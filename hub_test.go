@@ -383,3 +383,86 @@ func TestHubRegisterValidation(t *testing.T) {
 		t.Errorf("submit after close = %v", err)
 	}
 }
+
+// TestHubQuarantineObservable drives the facade circuit breaker: a home
+// whose events keep failing (reports from a device the model was never
+// trained on) trips quarantine after the configured failure count, the state
+// is visible in Stats, and further submissions fail with ErrQuarantined.
+func TestHubQuarantineObservable(t *testing.T) {
+	sys := mustTrain(t, Config{Tau: 2})
+	h := NewHub(HubConfig{Workers: 1, QuarantineAfter: 4, QuarantineBackoff: time.Hour})
+	defer h.Close()
+	if err := h.Register("sick", sys, TenantOptions{OnError: func(string, Event, error) {}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Register("healthy", sys, TenantOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := h.Submit("sick", Event{Device: "intruder", Value: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	var ts TenantStats
+	for {
+		for _, s := range h.Stats().Tenants {
+			if s.Tenant == "sick" {
+				ts = s
+			}
+		}
+		if ts.Health == HealthQuarantined {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never tripped; stats %+v", ts)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if ts.Errors != 4 || ts.LastError == "" {
+		t.Errorf("stats at trip = %+v", ts)
+	}
+	if got := ts.Health.String(); got != "quarantined" {
+		t.Errorf("health string = %q", got)
+	}
+	if err := h.Submit("sick", Event{Device: "light", Value: 1}); !errors.Is(err, ErrQuarantined) {
+		t.Errorf("quarantined submit = %v, want ErrQuarantined", err)
+	}
+	// The healthy neighbour is untouched.
+	if err := h.Submit("healthy", Event{Device: "light", Value: 1}); err != nil {
+		t.Errorf("healthy submit = %v", err)
+	}
+	if s := h.Stats(); s.Total.Health != HealthQuarantined {
+		t.Errorf("total health = %v, want quarantined roll-up", s.Total.Health)
+	}
+}
+
+// TestHubCloseWithinDeadline pins the facade drain deadline: a home wedged
+// inside its alarm callback cannot hang shutdown — CloseWithin returns
+// ErrDrainTimeout and leaves the Alarms channel open for the late delivery.
+func TestHubCloseWithinDeadline(t *testing.T) {
+	sys := mustTrain(t, Config{Tau: 2})
+	release := make(chan struct{})
+	defer close(release)
+	h := NewHub(HubConfig{Workers: 1})
+	wedged := func(string, *Alarm, float64) { <-release }
+	if err := h.Register("home", sys, TenantOptions{OnAlarm: wedged}); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ghostSequence() {
+		if err := h.Submit("home", e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(20 * time.Millisecond) // let the worker wedge in the callback
+	if err := h.CloseWithin(100 * time.Millisecond); !errors.Is(err, ErrDrainTimeout) {
+		t.Fatalf("CloseWithin = %v, want ErrDrainTimeout", err)
+	}
+	if err := h.Submit("home", Event{}); !errors.Is(err, ErrHubClosed) {
+		t.Errorf("submit after abandoned close = %v", err)
+	}
+	// A second close is a no-op, not a panic on the still-open channel.
+	if err := h.Close(); err != nil {
+		t.Errorf("close after timeout = %v", err)
+	}
+}

@@ -1,0 +1,165 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/causaliot/causaliot/internal/hub"
+)
+
+func TestScheduleIsDeterministic(t *testing.T) {
+	w := Weights{Error: 0.2, Panic: 0.1, Slow: 0.1, Wedge: 0.05}
+	a, err := NewSchedule(42, 500, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSchedule(42, 500, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if a.At(i) != b.At(i) {
+			t.Fatalf("same seed diverged at %d: %v != %v", i, a.At(i), b.At(i))
+		}
+	}
+	c, _ := NewSchedule(43, 500, w)
+	same := 0
+	for i := 0; i < 500; i++ {
+		if a.At(i) == c.At(i) {
+			same++
+		}
+	}
+	if same == 500 {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+func TestScheduleCoversEveryKind(t *testing.T) {
+	s, err := NewSchedule(1, 2000, Weights{Error: 0.2, Panic: 0.2, Slow: 0.2, Wedge: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []Kind{OK, Error, Panic, Slow, Wedge} {
+		if s.Count(k) == 0 {
+			t.Errorf("2000-event schedule at 20%% weights never drew %v", k)
+		}
+	}
+	// Out-of-range indices are OK, so a schedule fronts a longer stream.
+	if s.At(-1) != OK || s.At(s.Len()) != OK {
+		t.Error("out-of-range At() not OK")
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	if _, err := NewSchedule(1, -1, Weights{}); err == nil {
+		t.Error("negative length accepted")
+	}
+	if _, err := NewSchedule(1, 10, Weights{Error: -0.1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := NewSchedule(1, 10, Weights{Error: 0.9, Panic: 0.9}); err == nil {
+		t.Error("weights summing past 1 accepted")
+	}
+}
+
+func TestProcExecutesSchedule(t *testing.T) {
+	s, err := NewSchedule(7, 4, Weights{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-build the plan instead: error, ok, slow, ok.
+	s.kinds = []Kind{Error, OK, Slow, OK}
+	p := &Proc{Schedule: s, SlowDelay: time.Millisecond}
+	if _, err := p.Handle(hub.Event{}); !errors.Is(err, ErrInjected) {
+		t.Errorf("event 0 = %v, want injected error", err)
+	}
+	if _, err := p.Handle(hub.Event{}); err != nil {
+		t.Errorf("event 1 = %v, want success", err)
+	}
+	start := time.Now()
+	if _, err := p.Handle(hub.Event{}); err != nil {
+		t.Errorf("event 2 = %v, want slow success", err)
+	}
+	if time.Since(start) < time.Millisecond {
+		t.Error("slow fault did not stall")
+	}
+	func() {
+		defer func() {
+			if recover() != nil {
+				t.Error("OK event panicked")
+			}
+		}()
+		p.Handle(hub.Event{})
+	}()
+	if p.Calls() != 4 {
+		t.Errorf("Calls = %d, want 4", p.Calls())
+	}
+}
+
+func TestProcPanics(t *testing.T) {
+	s, _ := NewSchedule(1, 1, Weights{Panic: 1})
+	p := &Proc{Schedule: s}
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduled panic did not fire")
+		}
+	}()
+	p.Handle(hub.Event{})
+}
+
+func TestProcWedgeReleases(t *testing.T) {
+	s, _ := NewSchedule(1, 1, Weights{Wedge: 1})
+	release := make(chan struct{})
+	p := &Proc{Schedule: s, Release: release}
+	done := make(chan struct{})
+	go func() {
+		p.Handle(hub.Event{})
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("wedged Handle returned before release")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("released Handle never returned")
+	}
+}
+
+func TestFailFirst(t *testing.T) {
+	p := &FailFirst{N: 2}
+	for i := 0; i < 2; i++ {
+		if _, err := p.Handle(hub.Event{}); !errors.Is(err, ErrInjected) {
+			t.Fatalf("event %d = %v, want injected error", i, err)
+		}
+	}
+	if _, err := p.Handle(hub.Event{}); err != nil {
+		t.Fatalf("event 2 = %v, want success", err)
+	}
+}
+
+func TestClock(t *testing.T) {
+	start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	c := NewClock(start)
+	if !c.Now().Equal(start) {
+		t.Fatal("clock does not start at the given instant")
+	}
+	c.Advance(time.Minute)
+	if got := c.Now(); !got.Equal(start.Add(time.Minute)) {
+		t.Fatalf("advanced clock = %v", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		OK: "ok", Error: "error", Panic: "panic", Slow: "slow", Wedge: "wedge", Kind(9): "kind(9)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}

@@ -1,0 +1,355 @@
+// Chaos tests: deterministic seeded fault schedules from internal/faults
+// drive the supervised hub and assert the crash-safety contract — a faulty
+// tenant has no cross-tenant blast radius, no event is lost or duplicated
+// outside the documented drop policies, quarantine and readmission are
+// observable, and a wedged processor cannot hang shutdown past its drain
+// deadline.
+package hub_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/causaliot/causaliot/internal/faults"
+	"github.com/causaliot/causaliot/internal/hub"
+)
+
+// seqRecorder records the event values it handled, for order and loss
+// assertions.
+type seqRecorder struct {
+	mu     sync.Mutex
+	values []float64
+}
+
+func (r *seqRecorder) Handle(ev hub.Event) (bool, error) {
+	r.mu.Lock()
+	r.values = append(r.values, ev.Value)
+	r.mu.Unlock()
+	return false, nil
+}
+
+func (r *seqRecorder) seen() []float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]float64, len(r.values))
+	copy(out, r.values)
+	return out
+}
+
+// waitFor polls cond until it holds or the deadline expires.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func tenantStats(t *testing.T, h *hub.Hub, name string) hub.TenantStats {
+	t.Helper()
+	for _, ts := range h.Stats().Tenants {
+		if ts.Tenant == name {
+			return ts
+		}
+	}
+	t.Fatalf("tenant %q not in stats", name)
+	return hub.TenantStats{}
+}
+
+// TestChaosPanicIsolation runs a panic-heavy seeded schedule against one
+// tenant while a healthy neighbour streams normally: every panic is
+// recovered and counted, the panicking tenant's stream continues, and the
+// neighbour sees its full ordered stream — no cross-tenant blast radius.
+func TestChaosPanicIsolation(t *testing.T) {
+	const n = 400
+	sched, err := faults.NewSchedule(3, n, faults.Weights{Panic: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Count(faults.Panic) == 0 {
+		t.Fatal("schedule drew no panics; pick another seed")
+	}
+	h := hub.New(hub.Config{Workers: 4, QueueSize: 64, QuarantineAfter: -1})
+	faulty := &faults.Proc{Schedule: sched}
+	healthy := &seqRecorder{}
+	if err := h.Register("faulty", faulty, hub.TenantConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Register("healthy", healthy, hub.TenantConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for _, name := range []string{"faulty", "healthy"} {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if err := h.Submit(name, hub.Event{Value: float64(i)}); err != nil {
+					t.Errorf("submit %s/%d: %v", name, i, err)
+					return
+				}
+			}
+		}(name)
+	}
+	wg.Wait()
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := healthy.seen()
+	if len(got) != n {
+		t.Fatalf("healthy tenant processed %d/%d events", len(got), n)
+	}
+	for i, v := range got {
+		if v != float64(i) {
+			t.Fatalf("healthy tenant order broken at %d: %v", i, v)
+		}
+	}
+	fs := tenantStats(t, h, "faulty")
+	wantPanics := uint64(sched.Count(faults.Panic))
+	if fs.Panics != wantPanics {
+		t.Errorf("Panics = %d, want %d", fs.Panics, wantPanics)
+	}
+	if fs.Processed != n {
+		t.Errorf("panicking tenant processed %d/%d — panics must not stop the stream", fs.Processed, n)
+	}
+	if fs.Errors != wantPanics {
+		t.Errorf("Errors = %d, want %d (each panic counts as a failure)", fs.Errors, wantPanics)
+	}
+	if !errors.Is(fmt.Errorf("%w: x", hub.ErrPanic), hub.ErrPanic) {
+		t.Error("ErrPanic not matchable")
+	}
+}
+
+// TestChaosNoLossNoDuplication streams a mixed error/slow schedule through
+// several Block-policy tenants: every submitted event must reach the
+// processor exactly once, in submission order — the i-th Handle call is the
+// i-th submitted event, and the inner processor sees exactly the non-error
+// subsequence.
+func TestChaosNoLossNoDuplication(t *testing.T) {
+	const tenants, n = 4, 300
+	h := hub.New(hub.Config{Workers: 4, QueueSize: 16, Policy: hub.Block, QuarantineAfter: -1})
+	scheds := make([]*faults.Schedule, tenants)
+	procs := make([]*faults.Proc, tenants)
+	inners := make([]*seqRecorder, tenants)
+	for i := range procs {
+		s, err := faults.NewSchedule(int64(100+i), n, faults.Weights{Error: 0.25, Slow: 0.05})
+		if err != nil {
+			t.Fatal(err)
+		}
+		scheds[i] = s
+		inners[i] = &seqRecorder{}
+		procs[i] = &faults.Proc{Schedule: s, Inner: inners[i], SlowDelay: 100 * time.Microsecond}
+		if err := h.Register(fmt.Sprintf("home-%d", i), procs[i], hub.TenantConfig{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < tenants; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("home-%d", i)
+			for j := 0; j < n; j++ {
+				if err := h.Submit(name, hub.Event{Value: float64(j)}); err != nil {
+					t.Errorf("submit %s/%d: %v", name, j, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tenants; i++ {
+		if got := procs[i].Calls(); got != n {
+			t.Fatalf("tenant %d: %d Handle calls for %d submissions (lost or duplicated)", i, got, n)
+		}
+		// The inner processor must have seen exactly the events whose
+		// scheduled fault lets them through, in order.
+		var want []float64
+		for j := 0; j < n; j++ {
+			if k := scheds[i].At(j); k == faults.OK || k == faults.Slow {
+				want = append(want, float64(j))
+			}
+		}
+		got := inners[i].seen()
+		if len(got) != len(want) {
+			t.Fatalf("tenant %d: inner saw %d events, want %d", i, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("tenant %d: inner event %d = %v, want %v", i, j, got[j], want[j])
+			}
+		}
+		ts := tenantStats(t, h, fmt.Sprintf("home-%d", i))
+		if ts.Ingested != n || ts.Processed != n || ts.Dropped != 0 || ts.Shed != 0 {
+			t.Errorf("tenant %d stats = %+v", i, ts)
+		}
+	}
+}
+
+// TestChaosQuarantineAndReadmission drives the circuit breaker end to end
+// on a fake clock: consecutive failures trip quarantine (observable via
+// Stats), submissions are refused, a failed readmission probe doubles the
+// backoff, and a successful probe restores service.
+func TestChaosQuarantineAndReadmission(t *testing.T) {
+	clk := faults.NewClock(time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC))
+	h := hub.New(hub.Config{
+		Workers:           2,
+		QuarantineAfter:   4,
+		QuarantineBackoff: time.Second,
+		Clock:             clk.Now,
+	})
+	defer h.Close()
+	// Fails the first 5 handled events: 4 to trip the breaker, a 5th to
+	// fail the first readmission probe.
+	p := &faults.FailFirst{N: 5}
+	if err := h.Register("sick", p, hub.TenantConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := h.Submit("sick", hub.Event{Value: float64(i)}); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	waitFor(t, "quarantine trip", func() bool {
+		return tenantStats(t, h, "sick").Health == hub.Quarantined
+	})
+	ts := tenantStats(t, h, "sick")
+	if ts.Processed != 4 || ts.Errors != 4 {
+		t.Fatalf("stats at trip = %+v", ts)
+	}
+	if ts.LastError == "" {
+		t.Error("LastError empty after failures")
+	}
+	// Quarantined: submissions are refused and counted.
+	if err := h.Submit("sick", hub.Event{}); !errors.Is(err, hub.ErrQuarantined) {
+		t.Fatalf("quarantined submit = %v, want ErrQuarantined", err)
+	}
+	if got := tenantStats(t, h, "sick").Shed; got == 0 {
+		t.Error("refused submission not counted as shed")
+	}
+	// Backoff not yet elapsed: still refused.
+	clk.Advance(900 * time.Millisecond)
+	if err := h.Submit("sick", hub.Event{}); !errors.Is(err, hub.ErrQuarantined) {
+		t.Fatalf("pre-backoff submit = %v, want ErrQuarantined", err)
+	}
+	// Backoff elapsed: one probe admitted — it fails (5th failure), so the
+	// tenant re-quarantines with a doubled (2s) backoff.
+	clk.Advance(200 * time.Millisecond)
+	if err := h.Submit("sick", hub.Event{}); err != nil {
+		t.Fatalf("probe submit = %v, want admitted", err)
+	}
+	waitFor(t, "failed probe re-quarantine", func() bool {
+		ts := tenantStats(t, h, "sick")
+		return ts.Processed == 5 && ts.Health == hub.Quarantined
+	})
+	// One second is no longer enough: the backoff doubled.
+	clk.Advance(1100 * time.Millisecond)
+	if err := h.Submit("sick", hub.Event{}); !errors.Is(err, hub.ErrQuarantined) {
+		t.Fatalf("submit before doubled backoff = %v, want ErrQuarantined", err)
+	}
+	// After the full doubled backoff the next probe succeeds and service
+	// resumes.
+	clk.Advance(time.Second)
+	if err := h.Submit("sick", hub.Event{}); err != nil {
+		t.Fatalf("second probe submit = %v, want admitted", err)
+	}
+	waitFor(t, "readmission", func() bool {
+		ts := tenantStats(t, h, "sick")
+		return ts.Processed == 6 && ts.Health == hub.Healthy
+	})
+	// Healthy again: normal submissions flow.
+	if err := h.Submit("sick", hub.Event{}); err != nil {
+		t.Fatalf("post-readmission submit = %v", err)
+	}
+	waitFor(t, "post-readmission processing", func() bool {
+		return tenantStats(t, h, "sick").Processed == 7
+	})
+}
+
+// TestChaosQuarantineBlastRadius pins fault isolation under quarantine: a
+// permanently failing tenant trips its breaker while a healthy neighbour's
+// stream is untouched, and the hub survives both.
+func TestChaosQuarantineBlastRadius(t *testing.T) {
+	const n = 200
+	h := hub.New(hub.Config{Workers: 2, QuarantineAfter: 4, QuarantineBackoff: time.Hour})
+	sick := &faults.FailFirst{N: 1 << 30}
+	healthy := &seqRecorder{}
+	if err := h.Register("sick", sick, hub.TenantConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Register("healthy", healthy, hub.TenantConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := h.Submit("healthy", hub.Event{Value: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+		// The sick tenant's submissions start failing once quarantined;
+		// shedding is the documented policy, not an error.
+		if err := h.Submit("sick", hub.Event{Value: float64(i)}); err != nil && !errors.Is(err, hub.ErrQuarantined) {
+			t.Fatalf("sick submit %d: %v", i, err)
+		}
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := healthy.seen()
+	if len(got) != n {
+		t.Fatalf("healthy tenant processed %d/%d events", len(got), n)
+	}
+	for i, v := range got {
+		if v != float64(i) {
+			t.Fatalf("healthy order broken at %d", i)
+		}
+	}
+	ss := tenantStats(t, h, "sick")
+	if ss.Health != hub.Quarantined {
+		t.Errorf("sick health = %v, want quarantined", ss.Health)
+	}
+	if ss.Shed == 0 {
+		t.Error("no shed events recorded for the quarantined tenant")
+	}
+	if s := h.Stats(); s.Total.Health != hub.Quarantined {
+		t.Errorf("total health = %v, want quarantined roll-up", s.Total.Health)
+	}
+}
+
+// TestChaosWedgedDrainDeadline proves a wedged processor cannot hang
+// shutdown forever: CloseWithin gives up after its deadline with
+// ErrDrainTimeout instead of blocking eternally.
+func TestChaosWedgedDrainDeadline(t *testing.T) {
+	sched, _ := faults.NewSchedule(1, 1, faults.Weights{Wedge: 1})
+	release := make(chan struct{})
+	defer close(release) // let the wedged goroutine exit after the test
+	h := hub.New(hub.Config{Workers: 2, QuarantineAfter: -1})
+	if err := h.Register("wedged", &faults.Proc{Schedule: sched, Release: release}, hub.TenantConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := h.Submit("wedged", hub.Event{Value: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start := time.Now()
+	err := h.CloseWithin(100 * time.Millisecond)
+	if !errors.Is(err, hub.ErrDrainTimeout) {
+		t.Fatalf("CloseWithin = %v, want ErrDrainTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("CloseWithin took %v despite 100ms deadline", elapsed)
+	}
+	// Intake is stopped even though the drain was abandoned.
+	if err := h.Submit("wedged", hub.Event{}); !errors.Is(err, hub.ErrClosed) {
+		t.Errorf("submit after abandoned close = %v, want ErrClosed", err)
+	}
+}

@@ -85,7 +85,45 @@ var (
 	// ErrClosed reports an operation on a closed hub (or a tenant being
 	// deregistered).
 	ErrClosed = errors.New("hub: closed")
+	// ErrPanic wraps a panic recovered from a tenant's processor; the
+	// panicking event is counted as a failure and the stream continues.
+	ErrPanic = errors.New("hub: processor panicked")
+	// ErrQuarantined reports a Submit refused by a tenant's tripped
+	// circuit breaker.
+	ErrQuarantined = errors.New("hub: tenant quarantined")
+	// ErrDrainTimeout reports a CloseWithin drain that exceeded its
+	// deadline (typically a wedged processor); the hub stops intake but
+	// queued events of the wedged tenant may be lost.
+	ErrDrainTimeout = errors.New("hub: drain deadline exceeded")
 )
+
+// Health is a tenant's circuit-breaker state.
+type Health int
+
+const (
+	// Healthy is the normal serving state.
+	Healthy Health = iota
+	// Quarantined marks a tripped circuit breaker: submissions are
+	// refused until the readmission backoff elapses.
+	Quarantined
+	// Probing marks a quarantined tenant whose backoff elapsed and whose
+	// next event has been admitted as a readmission probe; further
+	// submissions stay refused until the probe's outcome is known.
+	Probing
+)
+
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Quarantined:
+		return "quarantined"
+	case Probing:
+		return "probing"
+	default:
+		return fmt.Sprintf("health(%d)", int(h))
+	}
+}
 
 // Config tunes the hub. The zero value selects the defaults.
 type Config struct {
@@ -103,6 +141,21 @@ type Config struct {
 	// LatencySamples sizes the per-tenant ring of recent processing
 	// latencies backing the p50/p99 stats. Defaults to 512.
 	LatencySamples int
+	// QuarantineAfter is the consecutive-failure count (per-event errors
+	// and recovered panics) that trips a tenant's circuit breaker: the
+	// tenant's queue is flushed and submissions are refused with
+	// ErrQuarantined until the readmission backoff elapses. Defaults to
+	// 8; negative disables quarantine entirely.
+	QuarantineAfter int
+	// QuarantineBackoff is the initial readmission backoff; each failed
+	// readmission probe doubles it. Defaults to 1s.
+	QuarantineBackoff time.Duration
+	// QuarantineMaxBackoff caps the exponential backoff. Defaults to 60s.
+	QuarantineMaxBackoff time.Duration
+	// Clock overrides the hub's time source for quarantine backoff
+	// scheduling; nil selects time.Now. Deterministic chaos tests inject
+	// a fake clock.
+	Clock func() time.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -120,6 +173,20 @@ func (c Config) withDefaults() Config {
 	}
 	if c.LatencySamples <= 0 {
 		c.LatencySamples = 512
+	}
+	if c.QuarantineAfter == 0 {
+		c.QuarantineAfter = 8
+	} else if c.QuarantineAfter < 0 {
+		c.QuarantineAfter = 0 // disabled
+	}
+	if c.QuarantineBackoff <= 0 {
+		c.QuarantineBackoff = time.Second
+	}
+	if c.QuarantineMaxBackoff <= 0 {
+		c.QuarantineMaxBackoff = 60 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
 	}
 	return c
 }
@@ -153,6 +220,15 @@ type tenant struct {
 	// and read only under procMu, so workers never allocate per batch.
 	drain []Event
 
+	// Circuit-breaker state, guarded by mu: health transitions, the
+	// consecutive-failure counter, the readmission schedule, and the last
+	// failure observed.
+	health          Health
+	consecFails     int
+	backoff         time.Duration
+	quarantineUntil time.Time
+	lastErr         string
+
 	// procMu serializes event processing and control operations (Update);
 	// lock order is procMu before mu.
 	procMu  sync.Mutex
@@ -165,6 +241,8 @@ type tenant struct {
 	dropped   atomic.Uint64
 	rejected  atomic.Uint64
 	errs      atomic.Uint64
+	panics    atomic.Uint64
+	shed      atomic.Uint64 // events refused or discarded by quarantine
 	lat       *latencyRing
 }
 
@@ -205,9 +283,6 @@ func (h *Hub) Workers() int { return h.cfg.Workers }
 // from one worker at a time; events submitted for the tenant are processed
 // in submission order.
 func (h *Hub) Register(name string, p Processor, cfg TenantConfig) error {
-	if h.closed.Load() {
-		return ErrClosed
-	}
 	if name == "" {
 		return errors.New("hub: empty tenant name")
 	}
@@ -235,6 +310,13 @@ func (h *Hub) Register(name string, p Processor, cfg TenantConfig) error {
 	t.notFull = sync.NewCond(&t.mu)
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	// The closed check must run under h.mu: Close's drain sweep takes
+	// h.mu after flipping the flag, so a tenant registered here either
+	// observes the closed hub or lands before the sweep — never after it,
+	// silently stranded.
+	if h.closed.Load() {
+		return ErrClosed
+	}
 	if _, dup := h.tenants[name]; dup {
 		return fmt.Errorf("%w: %q", ErrDuplicateTenant, name)
 	}
@@ -285,8 +367,31 @@ func (h *Hub) Submit(name string, ev Event) error {
 	return t.enqueue(ev)
 }
 
+// admitLocked applies the tenant's circuit breaker to one submission; the
+// caller holds t.mu. A quarantined tenant whose readmission backoff has
+// elapsed admits exactly one event as the probe (transitioning to Probing);
+// everything else is refused with ErrQuarantined until the probe's outcome
+// is known.
+func (t *tenant) admitLocked() error {
+	switch t.health {
+	case Healthy:
+		return nil
+	case Quarantined:
+		if !t.hub.cfg.Clock().Before(t.quarantineUntil) {
+			t.health = Probing
+			return nil
+		}
+	}
+	t.shed.Add(1)
+	return fmt.Errorf("%w: %q", ErrQuarantined, t.name)
+}
+
 func (t *tenant) enqueue(ev Event) error {
 	t.mu.Lock()
+	if err := t.admitLocked(); err != nil {
+		t.mu.Unlock()
+		return err
+	}
 	for t.n == len(t.buf) && !t.closed {
 		switch t.policy {
 		case DropOldest:
@@ -302,6 +407,12 @@ func (t *tenant) enqueue(ev Event) error {
 			if t.hub.closed.Load() {
 				t.mu.Unlock()
 				return ErrClosed
+			}
+			// A quarantine trip while this producer was parked flushed
+			// the queue and woke it; the breaker decides again.
+			if err := t.admitLocked(); err != nil {
+				t.mu.Unlock()
+				return err
 			}
 		}
 	}
@@ -385,7 +496,7 @@ func (t *tenant) runBatch(max int) {
 
 	for i := range batch {
 		start := time.Now()
-		alarmed, err := t.proc.Handle(batch[i])
+		alarmed, err := t.handleOne(batch[i])
 		t.lat.record(time.Since(start))
 		t.processed.Add(1)
 		if alarmed {
@@ -398,6 +509,16 @@ func (t *tenant) runBatch(max int) {
 			}
 		}
 		batch[i] = Event{}
+		if t.noteOutcome(err) {
+			// The circuit breaker tripped: the queue was flushed under
+			// noteOutcome; discard the rest of this drained batch too so
+			// the failing processor sees no further events.
+			for j := i + 1; j < len(batch); j++ {
+				batch[j] = Event{}
+				t.shed.Add(1)
+			}
+			break
+		}
 	}
 
 	// Chunk done: yield the worker, keeping the tenant scheduled if more
@@ -410,6 +531,66 @@ func (t *tenant) runBatch(max int) {
 	}
 	t.scheduled = false
 	t.mu.Unlock()
+}
+
+// handleOne runs the processor on one event, converting a panic into a
+// counted ErrPanic failure: a panicking tenant processor never takes down
+// the worker — or the other tenants it serves.
+func (t *tenant) handleOne(ev Event) (alarmed bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.panics.Add(1)
+			err = fmt.Errorf("%w: %v", ErrPanic, r)
+		}
+	}()
+	return t.proc.Handle(ev)
+}
+
+// noteOutcome feeds one event's outcome into the tenant's circuit breaker
+// and reports whether this outcome tripped quarantine (flushing the queue).
+// Called from runBatch under procMu; takes t.mu (documented lock order).
+func (t *tenant) noteOutcome(err error) (tripped bool) {
+	threshold := t.hub.cfg.QuarantineAfter
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err == nil {
+		t.consecFails = 0
+		if t.health != Healthy {
+			// Readmission probe succeeded: restore service, forget the
+			// backoff history.
+			t.health = Healthy
+			t.backoff = 0
+		}
+		return false
+	}
+	t.lastErr = err.Error()
+	if threshold <= 0 {
+		return false // quarantine disabled; failures are only counted
+	}
+	t.consecFails++
+	if t.health != Probing && t.consecFails < threshold {
+		return false
+	}
+	// Trip (or re-trip after a failed readmission probe): double the
+	// backoff, flush the queue, and refuse submissions until the next
+	// probe window.
+	if t.backoff <= 0 {
+		t.backoff = t.hub.cfg.QuarantineBackoff
+	} else {
+		t.backoff *= 2
+		if t.backoff > t.hub.cfg.QuarantineMaxBackoff {
+			t.backoff = t.hub.cfg.QuarantineMaxBackoff
+		}
+	}
+	t.health = Quarantined
+	t.quarantineUntil = t.hub.cfg.Clock().Add(t.backoff)
+	t.consecFails = 0
+	if t.n > 0 {
+		t.shed.Add(uint64(t.n))
+		t.head, t.n = 0, 0
+	}
+	t.notFull.Broadcast()
+	return true
 }
 
 // Update pauses the tenant's stream between events and runs fn on its
@@ -441,8 +622,17 @@ func (h *Hub) Update(name string, fn func(Processor) (Processor, error)) error {
 // Close stops intake, drains every queued event through its tenant's
 // processor, and stops the workers. Submit calls concurrent with Close
 // either complete before the drain or fail with ErrClosed. Close is
-// idempotent.
-func (h *Hub) Close() error {
+// idempotent. A wedged processor blocks Close forever; use CloseWithin to
+// bound the drain.
+func (h *Hub) Close() error { return h.CloseWithin(0) }
+
+// CloseWithin is Close with a drain deadline: when the workers and the
+// final queue sweep do not finish within d, CloseWithin abandons the drain
+// and returns ErrDrainTimeout — intake is stopped either way, but events
+// queued behind a wedged processor are not delivered (the wedged Handle
+// call itself cannot be interrupted and leaks its goroutine, which is the
+// best Go can do against runaway third-party code). d <= 0 waits forever.
+func (h *Hub) CloseWithin(d time.Duration) error {
 	if h.closed.Swap(true) {
 		return nil
 	}
@@ -459,23 +649,36 @@ func (h *Hub) Close() error {
 	h.stopping = true
 	h.qmu.Unlock()
 	h.qcond.Broadcast()
-	h.wg.Wait()
-	// Sweep events that slipped in between the closed check of a racing
-	// Submit and worker shutdown.
-	h.mu.RLock()
-	defer h.mu.RUnlock()
-	for _, t := range h.tenants {
-		for {
-			t.mu.Lock()
-			pending := t.n
-			t.mu.Unlock()
-			if pending == 0 {
-				break
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		h.wg.Wait()
+		// Sweep events that slipped in between the closed check of a
+		// racing Submit and worker shutdown.
+		h.mu.RLock()
+		defer h.mu.RUnlock()
+		for _, t := range h.tenants {
+			for {
+				t.mu.Lock()
+				pending := t.n
+				t.mu.Unlock()
+				if pending == 0 {
+					break
+				}
+				t.runBatch(h.cfg.BatchSize)
 			}
-			t.runBatch(h.cfg.BatchSize)
 		}
+	}()
+	if d <= 0 {
+		<-done
+		return nil
 	}
-	return nil
+	select {
+	case <-done:
+		return nil
+	case <-time.After(d):
+		return ErrDrainTimeout
+	}
 }
 
 // TenantStats is one tenant's runtime counters. Latency percentiles cover
@@ -491,6 +694,14 @@ type TenantStats struct {
 	QueueDepth int
 	P50        time.Duration
 	P99        time.Duration
+	// Health is the tenant's circuit-breaker state; Panics counts
+	// recovered processor panics; Shed counts events refused or
+	// discarded while quarantined; LastError is the most recent failure
+	// (empty when the tenant never failed).
+	Health    Health
+	Panics    uint64
+	Shed      uint64
+	LastError string
 }
 
 // Stats is a point-in-time snapshot of the hub's counters.
@@ -498,7 +709,8 @@ type Stats struct {
 	// Tenants holds one entry per hosted tenant, sorted by name.
 	Tenants []TenantStats
 	// Total aggregates every tenant (its Tenant field is empty; its
-	// latency percentiles are computed over all tenants' samples).
+	// latency percentiles are computed over all tenants' samples; its
+	// Health is Quarantined when any tenant is not Healthy).
 	Total   TenantStats
 	Workers int
 }
@@ -518,6 +730,8 @@ func (h *Hub) Stats() Stats {
 	for _, t := range tenants {
 		t.mu.Lock()
 		depth := t.n
+		health := t.health
+		lastErr := t.lastErr
 		t.mu.Unlock()
 		samples := t.lat.snapshot()
 		ts := TenantStats{
@@ -531,6 +745,10 @@ func (h *Hub) Stats() Stats {
 			QueueDepth: depth,
 			P50:        percentile(samples, 50),
 			P99:        percentile(samples, 99),
+			Health:     health,
+			Panics:     t.panics.Load(),
+			Shed:       t.shed.Load(),
+			LastError:  lastErr,
 		}
 		all = append(all, samples...)
 		s.Tenants = append(s.Tenants, ts)
@@ -541,6 +759,11 @@ func (h *Hub) Stats() Stats {
 		s.Total.Rejected += ts.Rejected
 		s.Total.Errors += ts.Errors
 		s.Total.QueueDepth += ts.QueueDepth
+		s.Total.Panics += ts.Panics
+		s.Total.Shed += ts.Shed
+		if ts.Health != Healthy {
+			s.Total.Health = Quarantined
+		}
 	}
 	s.Total.P50 = percentile(all, 50)
 	s.Total.P99 = percentile(all, 99)

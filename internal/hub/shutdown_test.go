@@ -1,0 +1,149 @@
+package hub
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCloseReleasesBlockedProducers pins the Close half of the blocked-
+// producer contract (Deregister's half has its own test): a producer parked
+// on a full Block-policy queue must be released with an error when the hub
+// shuts down, never left blocked forever.
+func TestCloseReleasesBlockedProducers(t *testing.T) {
+	gate := make(chan struct{})
+	p := &recorder{gate: gate}
+	h := New(Config{Workers: 1, QueueSize: 1, Policy: Block})
+	if err := h.Register("home", p, TenantConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	// Fill the worker and the queue, then park a producer on the full queue.
+	for j := 0; j < 2; j++ {
+		if err := h.Submit("home", Event{Value: float64(j)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan error, 1)
+	go func() { done <- h.Submit("home", Event{Value: 99}) }()
+	time.Sleep(20 * time.Millisecond)
+	closed := make(chan error, 1)
+	go func() { closed <- h.Close() }()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("blocked submit during close = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("close left the producer blocked")
+	}
+	close(gate) // let the in-flight Handle finish so Close can drain
+	if err := <-closed; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRegisterCloseRace pins the Register/Close TOCTOU fix: when Register
+// races Close, it either returns ErrClosed or succeeds — and a successful
+// registration is always swept by Close, so its blocked producers are
+// released and the hub never deadlocks or panics.
+func TestRegisterCloseRace(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		h := New(Config{Workers: 2, QueueSize: 4})
+		if err := h.Register("seed", &recorder{}, TenantConfig{}); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		regErrs := make([]error, 8)
+		for i := range regErrs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				regErrs[i] = h.Register(fmt.Sprintf("late-%d", i), &recorder{}, TenantConfig{})
+			}(i)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := h.Close(); err != nil {
+				t.Errorf("close: %v", err)
+			}
+		}()
+		wg.Wait()
+		for i, err := range regErrs {
+			if err != nil && !errors.Is(err, ErrClosed) {
+				t.Fatalf("round %d: racing register %d = %v, want nil or ErrClosed", round, i, err)
+			}
+		}
+		// Whatever the race outcome, the hub is fully closed now.
+		if err := h.Submit("seed", Event{}); !errors.Is(err, ErrClosed) {
+			t.Fatalf("round %d: submit after close = %v", round, err)
+		}
+	}
+}
+
+// TestConcurrentSubmitDeregisterCloseStress hammers the full lifecycle —
+// producers submitting under every policy while tenants are deregistered
+// and the hub closes mid-flight — and asserts the only errors producers
+// ever see are the documented ones.
+func TestConcurrentSubmitDeregisterCloseStress(t *testing.T) {
+	const tenants, producers, events = 6, 3, 200
+	h := New(Config{Workers: 4, QueueSize: 8, Policy: Block})
+	policies := []Policy{Block, DropOldest, Reject}
+	for i := 0; i < tenants; i++ {
+		cfg := TenantConfig{Policy: policies[i%len(policies)]}
+		if err := h.Register(fmt.Sprintf("home-%d", i), &recorder{}, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < tenants; i++ {
+		for p := 0; p < producers; p++ {
+			wg.Add(1)
+			go func(i, p int) {
+				defer wg.Done()
+				name := fmt.Sprintf("home-%d", i)
+				rng := rand.New(rand.NewSource(int64(i*100 + p)))
+				for j := 0; j < events; j++ {
+					err := h.Submit(name, Event{Value: float64(j)})
+					switch {
+					case err == nil, errors.Is(err, ErrClosed),
+						errors.Is(err, ErrUnknownTenant), errors.Is(err, ErrBackpressure):
+					default:
+						t.Errorf("submit %s: unexpected error %v", name, err)
+						return
+					}
+					if rng.Intn(64) == 0 {
+						time.Sleep(time.Duration(rng.Intn(200)) * time.Microsecond)
+					}
+				}
+			}(i, p)
+		}
+	}
+	// Deregister tenants while producers are mid-stream.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < tenants/2; i++ {
+			time.Sleep(time.Duration(2+i) * time.Millisecond)
+			if err := h.Deregister(fmt.Sprintf("home-%d", i)); err != nil && !errors.Is(err, ErrClosed) {
+				t.Errorf("deregister: %v", err)
+			}
+		}
+	}()
+	// And close the hub while all of that is in flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(10 * time.Millisecond)
+		if err := h.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	wg.Wait()
+	if err := h.Close(); err != nil {
+		t.Errorf("idempotent close after stress = %v", err)
+	}
+}

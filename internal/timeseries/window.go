@@ -82,6 +82,43 @@ func (w *Window) CopyState(dst State) {
 	copy(dst, w.buf[off:off+w.n])
 }
 
+// Snapshot exports the window's cells in head-normalized order — rows
+// oldest state first, present state last, (tau+1)×NumDevices() cells — so
+// two windows holding identical states snapshot identically regardless of
+// where their physical heads sit. The result is a copy; it is the
+// serializable form RestoreWindow accepts.
+func (w *Window) Snapshot() []int {
+	out := make([]int, len(w.buf))
+	for lag := 0; lag <= w.tau; lag++ {
+		r := w.head - lag
+		if r < 0 {
+			r += w.tau + 1
+		}
+		dst := (w.tau - lag) * w.n
+		copy(out[dst:dst+w.n], w.buf[r*w.n:(r+1)*w.n])
+	}
+	return out
+}
+
+// RestoreWindow rebuilds a window from a Snapshot: cells holds (tau+1)×n
+// values, oldest state first. Cell values are not validated beyond shape —
+// like At/Advance, value semantics are the caller's contract (the monitor
+// layer validates binary states before restoring).
+func RestoreWindow(tau, n int, cells []int) (*Window, error) {
+	if tau < 1 {
+		return nil, fmt.Errorf("timeseries: window tau %d < 1", tau)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("timeseries: window with %d devices", n)
+	}
+	if len(cells) != (tau+1)*n {
+		return nil, fmt.Errorf("timeseries: window snapshot has %d cells, want %d", len(cells), (tau+1)*n)
+	}
+	w := &Window{n: n, tau: tau, head: tau, buf: make([]int, len(cells))}
+	copy(w.buf, cells)
+	return w, nil
+}
+
 // Resize adapts the window to a new maximum lag, keeping the most recent
 // states aligned on the present; when the window grows, the oldest known
 // state is replicated into the new, older slots — the same semantics as the

@@ -160,3 +160,57 @@ func TestWindowAdvanceDoesNotAllocate(t *testing.T) {
 		t.Errorf("Advance allocates %.1f allocs/op, want 0", allocs)
 	}
 }
+
+// TestWindowSnapshotRoundTrip holds Snapshot/RestoreWindow to the
+// round-trip property at arbitrary head positions: a restored window reads
+// identically at every (dev, lag) and evolves identically under further
+// Advance calls.
+func TestWindowSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, advances := range []int{0, 1, 3, 4, 17} {
+		w, err := NewWindow(3, State{0, 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < advances; i++ {
+			w.Advance(rng.Intn(2), rng.Intn(2))
+		}
+		r, err := RestoreWindow(w.Tau(), w.NumDevices(), w.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for lag := 0; lag <= 3; lag++ {
+			for dev := 0; dev < 2; dev++ {
+				if r.At(dev, lag) != w.At(dev, lag) {
+					t.Fatalf("advances=%d: restored At(%d,%d) = %d, want %d",
+						advances, dev, lag, r.At(dev, lag), w.At(dev, lag))
+				}
+			}
+		}
+		// Both windows must evolve identically from here.
+		for i := 0; i < 8; i++ {
+			dev, v := rng.Intn(2), rng.Intn(2)
+			w.Advance(dev, v)
+			r.Advance(dev, v)
+		}
+		for lag := 0; lag <= 3; lag++ {
+			for dev := 0; dev < 2; dev++ {
+				if r.At(dev, lag) != w.At(dev, lag) {
+					t.Fatalf("advances=%d: post-restore divergence at (%d,%d)", advances, dev, lag)
+				}
+			}
+		}
+	}
+}
+
+func TestRestoreWindowValidation(t *testing.T) {
+	if _, err := RestoreWindow(0, 2, []int{0, 0}); err == nil {
+		t.Error("tau 0 accepted")
+	}
+	if _, err := RestoreWindow(1, 0, nil); err == nil {
+		t.Error("zero devices accepted")
+	}
+	if _, err := RestoreWindow(1, 2, []int{0, 0, 0}); err == nil {
+		t.Error("mis-shaped cells accepted")
+	}
+}

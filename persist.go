@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 
 	"github.com/causaliot/causaliot/internal/dig"
 	"github.com/causaliot/causaliot/internal/event"
@@ -123,7 +124,7 @@ func Load(r io.Reader) (*System, error) {
 				graph.Registry.Name(i), internalDevices[i].Name)
 		}
 	}
-	if model.Threshold < 0 || model.Threshold > 1 {
+	if math.IsNaN(model.Threshold) || model.Threshold < 0 || model.Threshold > 1 {
 		return nil, fmt.Errorf("causaliot: threshold %v outside [0,1]", model.Threshold)
 	}
 	if len(model.Initial) != len(internalDevices) {
@@ -148,6 +149,115 @@ func Load(r io.Reader) (*System, error) {
 		return nil, err
 	}
 	return sys, nil
+}
+
+// checkpointVersion guards the on-disk checkpoint envelope format. It is
+// versioned independently of modelVersion: a checkpoint carries runtime
+// state only, and either artifact can evolve without invalidating the other.
+const checkpointVersion = 1
+
+// savedCheckpoint is the on-disk form of a Monitor's runtime state. The
+// envelope pins the identity of the model the checkpoint was taken under —
+// device inventory, score threshold, and chain depth — so RestoreMonitor can
+// refuse a checkpoint that would not resume bit-for-bit on the system it is
+// handed.
+type savedCheckpoint struct {
+	Version int `json:"version"`
+	// Devices is the ordered device inventory the monitor served; restore
+	// requires the same names in the same order.
+	Devices []string `json:"devices"`
+	// Threshold and KMax pin the detection parameters; a checkpoint taken
+	// under different parameters would resume with different verdicts.
+	Threshold float64 `json:"scoreThreshold"`
+	KMax      int     `json:"kmax"`
+	// Observed is the monitor's stream position, counting every observed
+	// event including ones skipped with an error.
+	Observed int `json:"observed"`
+	// State is the detector's runtime state: phantom window cells (oldest
+	// first), pending anomaly chain, duplicate-skip mode, and the count of
+	// events that reached the detector.
+	State monitor.Checkpoint `json:"state"`
+}
+
+// WriteCheckpoint serializes the monitor's full runtime state — phantom
+// window, partially tracked anomaly chain, duplicate-skip mode, and stream
+// position — as a versioned JSON envelope. Restoring it into a monitor over
+// the same trained model (System.RestoreMonitor) resumes the stream
+// bit-for-bit: subsequent scores and alarms are identical to an
+// uninterrupted run.
+//
+// WriteCheckpoint is not safe to call concurrently with ObserveEvent; on a
+// Hub, use Hub.Checkpoint, which serializes the two.
+func (m *Monitor) WriteCheckpoint(w io.Writer) error {
+	names := make([]string, len(m.sys.devices))
+	for i, d := range m.sys.devices {
+		names[i] = d.Name
+	}
+	cp := savedCheckpoint{
+		Version:   checkpointVersion,
+		Devices:   names,
+		Threshold: m.sys.threshold,
+		KMax:      m.sys.cfg.KMax,
+		Observed:  m.observed,
+		State:     m.det.Checkpoint(),
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(cp); err != nil {
+		return fmt.Errorf("causaliot: write checkpoint: %w", err)
+	}
+	return nil
+}
+
+// RestoreMonitor starts a monitor that resumes a checkpointed stream: the
+// phantom window, pending anomaly chain, and stream position are restored
+// from the envelope written by WriteCheckpoint, and subsequent detections
+// are bit-for-bit identical to the run the checkpoint was cut from.
+//
+// The checkpoint must have been taken under this exact trained model: the
+// device inventory, score threshold, and chain depth are validated and any
+// mismatch is rejected, because resuming on a different model would produce
+// silently different verdicts rather than a crash.
+func (s *System) RestoreMonitor(r io.Reader) (*Monitor, error) {
+	var cp savedCheckpoint
+	if err := json.NewDecoder(r).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("causaliot: restore checkpoint: %w", err)
+	}
+	if cp.Version != checkpointVersion {
+		return nil, fmt.Errorf("causaliot: unsupported checkpoint version %d", cp.Version)
+	}
+	reg := s.graph.Registry
+	if len(cp.Devices) != reg.Len() {
+		return nil, fmt.Errorf("causaliot: checkpoint covers %d devices, system has %d",
+			len(cp.Devices), reg.Len())
+	}
+	for i, name := range cp.Devices {
+		if reg.Name(i) != name {
+			return nil, fmt.Errorf("causaliot: checkpoint device %d is %q, system has %q",
+				i, name, reg.Name(i))
+		}
+	}
+	if cp.Threshold != s.threshold {
+		return nil, fmt.Errorf("causaliot: checkpoint threshold %v does not match system threshold %v",
+			cp.Threshold, s.threshold)
+	}
+	if cp.KMax != s.cfg.KMax {
+		return nil, fmt.Errorf("causaliot: checkpoint kmax %d does not match system kmax %d",
+			cp.KMax, s.cfg.KMax)
+	}
+	if cp.Observed < cp.State.Seq {
+		return nil, fmt.Errorf("causaliot: checkpoint observed %d events but detector position is %d",
+			cp.Observed, cp.State.Seq)
+	}
+	mon, err := s.NewMonitor()
+	if err != nil {
+		return nil, err
+	}
+	if err := mon.det.Restore(cp.State); err != nil {
+		return nil, fmt.Errorf("causaliot: restore checkpoint: %w", err)
+	}
+	mon.observed = cp.Observed
+	return mon, nil
 }
 
 // Extend adapts the trained system to recent normal behaviour: the new
