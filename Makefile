@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: tier1 vet race chaos fuzz check bench bench-detect bench-paper serve-demo
+.PHONY: tier1 vet race chaos fuzz check bench bench-detect bench-adapt bench-paper serve-demo
 
 tier1:
 	$(GO) build ./... && $(GO) test ./...
@@ -26,10 +26,11 @@ race:
 	$(GO) test -race ./...
 
 # Chaos tier: deterministic fault-schedule tests (internal/faults driving
-# the supervised hub) plus the checkpoint kill/resume equivalence tests,
-# all under the race detector.
+# the supervised hub), the checkpoint kill/resume equivalence tests, and
+# the model-lifecycle swap/drift stress and soak tests, all under the race
+# detector.
 chaos:
-	$(GO) test -race -run 'Chaos|Checkpoint|Quarantine|Wedged|Panic|CloseRace|Stress|SIGTERM' \
+	$(GO) test -race -run 'Chaos|Checkpoint|Quarantine|Wedged|Panic|CloseRace|Stress|SIGTERM|Adaptive|Soak' \
 		./internal/hub ./internal/faults ./cmd/causaliot .
 
 # Short fuzz pass over the model and checkpoint deserializers (the
@@ -37,6 +38,7 @@ chaos:
 fuzz:
 	$(GO) test -fuzz FuzzLoad -fuzztime 10s .
 	$(GO) test -fuzz FuzzRestoreMonitor -fuzztime 10s .
+	$(GO) test -fuzz FuzzRestoreLifecycle -fuzztime 10s .
 
 check: tier1 vet race chaos
 
@@ -51,6 +53,12 @@ bench:
 # BENCH_detect.json.
 bench-detect:
 	$(GO) run ./cmd/benchdetect -out BENCH_detect.json
+
+# Model-lifecycle benchmarks; records the evidence-accumulator overhead
+# (ns/op, allocs/op), drift-scan latency, and refit-vs-remine wall time to
+# BENCH_adapt.json.
+bench-adapt:
+	$(GO) run ./cmd/benchadapt -out BENCH_adapt.json
 
 # Full paper-reproduction benchmark suite (tables, figures, ablations).
 bench-paper:

@@ -1,0 +1,164 @@
+package causaliot
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHubSwapStressWithOpenChain hammers Hub.Swap while producers are
+// streaming and a collective anomaly chain is open. Per the streaming API
+// contract, no event may be scored against a half-swapped model (the race
+// detector enforces this) and the tracked chain must survive every swap:
+// the seeded ghost activation has to surface in an alarm, either when the
+// chain completes mid-stream or when it is flushed at the end.
+func TestHubSwapStressWithOpenChain(t *testing.T) {
+	sysA := mustTrain(t, Config{Tau: 2, KMax: 3})
+	sysB := mustTrainSeed(t, Config{Tau: 2, KMax: 3}, 2)
+	h := NewHub(HubConfig{Workers: 4, QueueSize: 256})
+	var mu sync.Mutex
+	var alarms []*Alarm
+	if err := h.Register("home", sysA, TenantOptions{
+		OnAlarm: func(_ string, a *Alarm, _ float64) {
+			mu.Lock()
+			alarms = append(alarms, a)
+			mu.Unlock()
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Ghost light activation opens a chain that cannot reach kmax on its
+	// own; it must ride through every concurrent swap below.
+	for _, ev := range ghostSequence() {
+		if err := h.Submit("home", ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const producers, each, swaps = 4, 200, 50
+	var wg sync.WaitGroup
+	for i := 0; i < producers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ts := t0.Add(3 * time.Hour).Add(time.Duration(i) * time.Minute)
+			for j := 0; j < each; j++ {
+				ts = ts.Add(time.Second)
+				ev := Event{Time: ts, Device: "meter", Value: float64(j%2) * 30}
+				if err := h.Submit("home", ev); err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+			}
+		}(i)
+	}
+	swapDone := make(chan struct{})
+	go func() {
+		defer close(swapDone)
+		for k := 0; k < swaps; k++ {
+			sys := sysA
+			if k%2 == 0 {
+				sys = sysB
+			}
+			if err := h.Swap("home", sys); err != nil {
+				t.Errorf("swap %d: %v", k, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-swapDone
+	if err := h.Flush("home"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s := h.Stats().Total
+	want := uint64(len(ghostSequence()) + producers*each)
+	if s.Processed != want || s.Dropped != 0 || s.Errors != 0 {
+		t.Fatalf("swap stress lost events: %+v, want %d processed", s, want)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	found := false
+	for _, a := range alarms {
+		for _, ev := range a.Events {
+			if ev.Device == "light" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("ghost chain vanished across swaps; %d alarms, none naming light", len(alarms))
+	}
+}
+
+// TestHubAdaptiveRefreshStress races background drift refreshes (spawned by
+// the hub's own lifecycle loop) against manual Hub.Swap calls and
+// concurrent producers on an adaptive tenant. The run must stay lossless
+// and the hub must close cleanly with no refresh goroutine leaked.
+func TestHubAdaptiveRefreshStress(t *testing.T) {
+	sysA := mustTrain(t, Config{Tau: 2})
+	sysB := mustTrainSeed(t, Config{Tau: 2}, 2)
+	h := NewHub(HubConfig{Workers: 4, QueueSize: 256})
+	if err := h.Register("home", sysA, TenantOptions{
+		OnAlarm: func(string, *Alarm, float64) {},
+		Adapt: &AdaptConfig{
+			ScanEvery:          64,
+			MinEvidence:        32,
+			MinObsPerDOF:       1,
+			RefitWindow:        1024,
+			StructuralFraction: 2,
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	const producers, cycles = 3, 60
+	var wg sync.WaitGroup
+	for i := 0; i < producers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for _, ev := range driftedLog(cycles, int64(40+i)) {
+				if err := h.Submit("home", ev); err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+			}
+		}(i)
+	}
+	swapDone := make(chan struct{})
+	go func() {
+		defer close(swapDone)
+		for k := 0; k < 20; k++ {
+			sys := sysA
+			if k%2 == 0 {
+				sys = sysB
+			}
+			if err := h.Swap("home", sys); err != nil {
+				t.Errorf("manual swap %d: %v", k, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-swapDone
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s := h.Stats().Total
+	if s.Dropped != 0 || s.Errors != 0 {
+		t.Fatalf("adaptive refresh stress lost events: %+v", s)
+	}
+	lc := h.LifecycleStats()
+	st, ok := lc["home"]
+	if !ok {
+		t.Fatal("adaptive tenant missing from LifecycleStats")
+	}
+	if st.Scans == 0 {
+		t.Fatalf("no drift scan ran under stress: %+v", st)
+	}
+	if st.RefreshInFlight {
+		t.Fatalf("refresh still in flight after Close: %+v", st)
+	}
+}

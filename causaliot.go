@@ -457,6 +457,9 @@ type Monitor struct {
 	// stream-position a resumed process skips to when replaying a source
 	// log after restoring a checkpoint.
 	observed int
+	// lc is the online model-lifecycle state (drift evidence, sliding refit
+	// log, refresh signalling); nil unless EnableAdaptive was called.
+	lc *adaptState
 }
 
 // NewMonitor starts runtime monitoring from the state at the end of the
@@ -516,9 +519,13 @@ func (m *Monitor) ObserveEvent(e Event) (Detection, error) {
 		}
 		return Detection{}, err
 	}
-	res, err := m.det.ProcessStep(timeseries.Step{Device: idx, Value: state, Time: e.Time})
+	step := timeseries.Step{Device: idx, Value: state, Time: e.Time}
+	res, err := m.det.ProcessStep(step)
 	if err != nil {
 		return Detection{}, err
+	}
+	if m.lc != nil && !res.Duplicate {
+		m.observeAccepted(step)
 	}
 	return Detection{
 		Alarm:     m.convertAlarm(res.Alarm),
@@ -570,6 +577,14 @@ func (m *Monitor) Swap(sys *System) error {
 		return err
 	}
 	m.sys = sys
+	if m.lc != nil {
+		// Drift evidence gathered against the old model's parent layout is
+		// meaningless under the new one: rebind resets the accumulator and
+		// clears any parked drift verdict.
+		if err := m.lc.rebind(m); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

@@ -67,7 +67,8 @@ func usage() {
   causaliot detect   -train FILE -stream FILE [-testbed contextact|casas] [-tau N] [-kmax N]
   causaliot serve    -train FILE -stream FILE [-testbed contextact|casas] [-tau N] [-kmax N]
                      [-tenants N] [-workers N] [-queue N] [-policy block|drop-oldest|reject]
-                     [-checkpoint FILE] [-resume] [-v]`)
+                     [-checkpoint FILE] [-resume] [-adapt] [-drift-q Q] [-refit-window N]
+                     [-scan-every N] [-stats-interval DUR] [-v]`)
 }
 
 func pickTestbed(name string) (*sim.Testbed, error) {
@@ -219,28 +220,53 @@ func cmdMine(args []string) error {
 }
 
 // serveCheckpointVersion guards the multi-home checkpoint file format.
-const serveCheckpointVersion = 1
+// Version 2 adds an optional per-home model: an adaptive home hot-swaps
+// retrained models at runtime, so resuming from the training file would
+// silently discard every refresh the first life performed. Version 1 files
+// (state only) still load.
+const serveCheckpointVersion = 2
+
+// serveHome is one home's entry in the serve checkpoint: the monitor
+// checkpoint envelope, plus — for adaptive homes — the exact model that was
+// being served when the snapshot was cut.
+type serveHome struct {
+	Model json.RawMessage `json:"model,omitempty"`
+	State json.RawMessage `json:"state"`
+}
 
 // serveCheckpoint is the serve command's crash-recovery file: one
 // per-monitor checkpoint envelope (see Monitor.WriteCheckpoint) per hosted
 // home, so a restarted serve process resumes every home's stream where the
 // checkpoint cut it.
 type serveCheckpoint struct {
-	Version int                        `json:"version"`
-	Homes   map[string]json.RawMessage `json:"homes"`
+	Version int                  `json:"version"`
+	Homes   map[string]serveHome `json:"homes"`
 }
 
 // writeServeCheckpoint snapshots every named home and atomically replaces
 // the checkpoint file (write-then-rename, so a crash mid-write never leaves
-// a truncated file behind).
-func writeServeCheckpoint(h *causaliot.Hub, names []string, path string) error {
-	cp := serveCheckpoint{Version: serveCheckpointVersion, Homes: make(map[string]json.RawMessage, len(names))}
+// a truncated file behind). With withModel, each home's served model rides
+// along, captured consistently with its state even if a background refresh
+// is racing.
+func writeServeCheckpoint(h *causaliot.Hub, names []string, path string, withModel bool) error {
+	cp := serveCheckpoint{Version: serveCheckpointVersion, Homes: make(map[string]serveHome, len(names))}
 	for _, name := range names {
-		var buf bytes.Buffer
-		if err := h.Checkpoint(name, &buf); err != nil {
-			return fmt.Errorf("checkpoint %s: %w", name, err)
+		var home serveHome
+		if withModel {
+			var model, state bytes.Buffer
+			if err := h.Snapshot(name, &model, &state); err != nil {
+				return fmt.Errorf("snapshot %s: %w", name, err)
+			}
+			home.Model = json.RawMessage(model.Bytes())
+			home.State = json.RawMessage(state.Bytes())
+		} else {
+			var buf bytes.Buffer
+			if err := h.Checkpoint(name, &buf); err != nil {
+				return fmt.Errorf("checkpoint %s: %w", name, err)
+			}
+			home.State = json.RawMessage(buf.Bytes())
 		}
-		cp.Homes[name] = json.RawMessage(buf.Bytes())
+		cp.Homes[name] = home
 	}
 	data, err := json.MarshalIndent(cp, "", "  ")
 	if err != nil {
@@ -258,14 +284,35 @@ func readServeCheckpoint(path string) (*serveCheckpoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	var cp serveCheckpoint
-	if err := json.Unmarshal(data, &cp); err != nil {
+	var head struct {
+		Version int `json:"version"`
+	}
+	if err := json.Unmarshal(data, &head); err != nil {
 		return nil, fmt.Errorf("checkpoint file %s: %w", path, err)
 	}
-	if cp.Version != serveCheckpointVersion {
-		return nil, fmt.Errorf("checkpoint file %s: unsupported version %d", path, cp.Version)
+	switch head.Version {
+	case 1:
+		// State-only format: each home maps directly to its envelope.
+		var v1 struct {
+			Homes map[string]json.RawMessage `json:"homes"`
+		}
+		if err := json.Unmarshal(data, &v1); err != nil {
+			return nil, fmt.Errorf("checkpoint file %s: %w", path, err)
+		}
+		cp := &serveCheckpoint{Version: serveCheckpointVersion, Homes: make(map[string]serveHome, len(v1.Homes))}
+		for name, raw := range v1.Homes {
+			cp.Homes[name] = serveHome{State: raw}
+		}
+		return cp, nil
+	case serveCheckpointVersion:
+		var cp serveCheckpoint
+		if err := json.Unmarshal(data, &cp); err != nil {
+			return nil, fmt.Errorf("checkpoint file %s: %w", path, err)
+		}
+		return &cp, nil
+	default:
+		return nil, fmt.Errorf("checkpoint file %s: unsupported version %d", path, head.Version)
 	}
-	return &cp, nil
 }
 
 func pickPolicy(name string) (causaliot.BackpressurePolicy, error) {
@@ -297,6 +344,11 @@ func cmdServe(args []string) error {
 	policyName := fs.String("policy", "block", "backpressure policy: block|drop-oldest|reject")
 	checkpointPath := fs.String("checkpoint", "", "write a checkpoint of every home to this file on completion or SIGTERM")
 	resume := fs.Bool("resume", false, "restore homes from the -checkpoint file and replay each stream from its recorded position")
+	adapt := fs.Bool("adapt", false, "enable online model lifecycle: drift detection, background refit, automatic hot swap")
+	driftQ := fs.Float64("drift-q", 0.001, "drift-test significance level (G² p-value threshold)")
+	refitWindow := fs.Int("refit-window", 8192, "sliding training-log length for background refits, in accepted events")
+	scanEvery := fs.Int("scan-every", 4096, "accepted events between drift scans")
+	statsInterval := fs.Duration("stats-interval", 0, "emit hub and lifecycle stats as a JSON line to stderr at this interval (0 = off)")
 	verbose := fs.Bool("v", false, "print each alarm as it is raised")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -370,17 +422,35 @@ func cmdServe(args []string) error {
 		QueueSize:    *queue,
 		Backpressure: policy,
 	})
+	var opts causaliot.TenantOptions
+	if *adapt {
+		opts.Adapt = &causaliot.AdaptConfig{
+			ScanEvery:   *scanEvery,
+			DriftAlpha:  *driftQ,
+			RefitWindow: *refitWindow,
+		}
+	}
 	names := make([]string, *tenants)
 	offset := make(map[string]int, *tenants)
 	for i := 0; i < *tenants; i++ {
 		name := fmt.Sprintf("home-%d", i)
 		names[i] = name
 		if restored != nil {
-			raw, ok := restored.Homes[name]
+			home, ok := restored.Homes[name]
 			if !ok {
 				return fmt.Errorf("serve: checkpoint file has no entry for %s", name)
 			}
-			mon, err := sys.RestoreMonitor(bytes.NewReader(raw))
+			// An adaptive first life may have hot-swapped models; its
+			// checkpoint embeds the model actually being served, which
+			// takes precedence over the freshly trained one.
+			base := sys
+			if len(home.Model) > 0 {
+				base, err = causaliot.Load(bytes.NewReader(home.Model))
+				if err != nil {
+					return fmt.Errorf("serve: restore %s model: %w", name, err)
+				}
+			}
+			mon, err := base.RestoreMonitor(bytes.NewReader(home.State))
 			if err != nil {
 				return fmt.Errorf("serve: restore %s: %w", name, err)
 			}
@@ -388,14 +458,45 @@ func cmdServe(args []string) error {
 				return fmt.Errorf("serve: %s checkpoint is %d events ahead of the stream file", name, mon.Observed()-len(streamLog))
 			}
 			offset[name] = mon.Observed()
-			if err := h.RegisterMonitor(name, mon, causaliot.TenantOptions{}); err != nil {
+			if err := h.RegisterMonitor(name, mon, opts); err != nil {
 				return err
 			}
 			continue
 		}
-		if err := h.Register(name, sys, causaliot.TenantOptions{}); err != nil {
+		if err := h.Register(name, sys, opts); err != nil {
 			return err
 		}
+	}
+
+	// -stats-interval: one machine-readable line per tick on stderr, so a
+	// long-lived serve can be watched (or scraped) without disturbing the
+	// human-readable report on stdout.
+	statsDone := make(chan struct{})
+	var statsWG sync.WaitGroup
+	if *statsInterval > 0 {
+		statsWG.Add(1)
+		go func() {
+			defer statsWG.Done()
+			enc := json.NewEncoder(os.Stderr)
+			tick := time.NewTicker(*statsInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-statsDone:
+					return
+				case now := <-tick.C:
+					line := struct {
+						Time      time.Time                           `json:"time"`
+						Stats     causaliot.HubStats                  `json:"stats"`
+						Lifecycle map[string]causaliot.LifecycleStats `json:"lifecycle,omitempty"`
+					}{Time: now, Stats: h.Stats()}
+					if *adapt {
+						line.Lifecycle = h.LifecycleStats()
+					}
+					_ = enc.Encode(line)
+				}
+			}
+		}()
 	}
 
 	var consumed sync.WaitGroup
@@ -463,14 +564,20 @@ func cmdServe(args []string) error {
 		for h.Stats().Total.QueueDepth > 0 && time.Now().Before(drainDeadline) {
 			time.Sleep(5 * time.Millisecond)
 		}
-		if err := writeServeCheckpoint(h, names, *checkpointPath); err != nil {
+		if err := writeServeCheckpoint(h, names, *checkpointPath, *adapt); err != nil {
 			return err
 		}
 		fmt.Printf("checkpointed %d homes to %s\n", len(names), *checkpointPath)
 	}
+	var lifecycle map[string]causaliot.LifecycleStats
+	if *adapt {
+		lifecycle = h.LifecycleStats()
+	}
 	if err := h.Close(); err != nil {
 		return err
 	}
+	close(statsDone)
+	statsWG.Wait()
 	consumed.Wait()
 	elapsed := time.Since(start)
 	select {
@@ -492,6 +599,21 @@ func cmdServe(args []string) error {
 	t := s.Total
 	fmt.Printf("%-10s %10d %10d %8d %8d %8d %8d %12v %12v\n",
 		"total", t.Ingested, t.Processed, t.Alarms, t.Dropped, t.Rejected, t.Errors, t.P50, t.P99)
+	if *adapt {
+		fmt.Printf("%-10s %10s %10s %8s %8s %8s %8s\n",
+			"home", "folded", "scans", "drift", "refits", "remines", "swaps")
+		for _, name := range names {
+			lc, ok := lifecycle[name]
+			if !ok {
+				continue
+			}
+			fmt.Printf("%-10s %10d %10d %8d %8d %8d %8d\n",
+				name, lc.Folded, lc.Scans, lc.DriftScans, lc.Refits, lc.Remines, lc.Swaps)
+			if lc.LastError != "" {
+				fmt.Printf("%-10s   last refresh error: %s\n", name, lc.LastError)
+			}
+		}
+	}
 	return nil
 }
 

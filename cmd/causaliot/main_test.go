@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -130,11 +131,11 @@ func readObserved(t *testing.T, path string) map[string]int {
 		t.Fatal(err)
 	}
 	out := make(map[string]int, len(cp.Homes))
-	for name, raw := range cp.Homes {
+	for name, home := range cp.Homes {
 		var env struct {
 			Observed int `json:"observed"`
 		}
-		if err := json.Unmarshal(raw, &env); err != nil {
+		if err := json.Unmarshal(home.State, &env); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 		out[name] = env.Observed
@@ -272,5 +273,168 @@ func TestServeSIGTERMCheckpoint(t *testing.T) {
 		if obs != len(full) {
 			t.Fatalf("%s finished at %d, want %d", name, obs, len(full))
 		}
+	}
+}
+
+// TestReadServeCheckpointV1Compat: state-only version-1 files written by
+// older builds still load, mapping each home's raw envelope to State.
+func TestReadServeCheckpointV1Compat(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "v1.ckpt")
+	v1 := `{"version":1,"homes":{"home-0":{"observed":7},"home-1":{"observed":9}}}`
+	if err := os.WriteFile(path, []byte(v1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := readServeCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cp.Homes) != 2 {
+		t.Fatalf("parsed %d homes", len(cp.Homes))
+	}
+	for name, home := range cp.Homes {
+		if len(home.Model) != 0 {
+			t.Errorf("%s: v1 entry grew a model", name)
+		}
+		var env struct {
+			Observed int `json:"observed"`
+		}
+		if err := json.Unmarshal(home.State, &env); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if env.Observed == 0 {
+			t.Errorf("%s: observed position lost", name)
+		}
+	}
+	if err := os.WriteFile(path, []byte(`{"version":3,"homes":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readServeCheckpoint(path); err == nil {
+		t.Error("future version accepted")
+	}
+}
+
+// TestServeAdaptiveCheckpointResume runs the lifecycle flags end to end: an
+// adaptive first life checkpoints model+state per home, and a resumed life
+// loads the embedded model rather than retraining blind.
+func TestServeAdaptiveCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	train := filepath.Join(dir, "train.csv")
+	stream := filepath.Join(dir, "stream.csv")
+	cp := filepath.Join(dir, "serve.ckpt")
+	if err := run([]string{"simulate", "-days", "2", "-seed", "3", "-out", train}); err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	if err := run([]string{"simulate", "-days", "1", "-seed", "4", "-out", stream}); err != nil {
+		t.Fatalf("simulate stream: %v", err)
+	}
+	full, err := loadEvents(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kill := len(full) / 2
+	prefix := prefixCSV(t, stream, kill)
+
+	if err := run([]string{"serve", "-train", train, "-stream", prefix, "-tau", "2", "-kmax", "2",
+		"-tenants", "2", "-workers", "2", "-adapt", "-scan-every", "50", "-refit-window", "512",
+		"-checkpoint", cp}); err != nil {
+		t.Fatalf("adaptive first life: %v", err)
+	}
+	parsed, err := readServeCheckpoint(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, home := range parsed.Homes {
+		if len(home.Model) == 0 {
+			t.Fatalf("%s: adaptive checkpoint is missing the served model", name)
+		}
+		if !strings.Contains(string(home.State), `"lifecycle"`) {
+			t.Fatalf("%s: adaptive checkpoint is missing the lifecycle block", name)
+		}
+	}
+	for name, obs := range readObserved(t, cp) {
+		if obs != kill {
+			t.Fatalf("%s checkpointed at %d, want %d", name, obs, kill)
+		}
+	}
+
+	if err := run([]string{"serve", "-train", train, "-stream", stream, "-tau", "2", "-kmax", "2",
+		"-tenants", "2", "-workers", "2", "-adapt", "-scan-every", "50", "-refit-window", "512",
+		"-checkpoint", cp, "-resume"}); err != nil {
+		t.Fatalf("adaptive second life: %v", err)
+	}
+	for name, obs := range readObserved(t, cp) {
+		if obs != len(full) {
+			t.Fatalf("%s finished at %d, want %d", name, obs, len(full))
+		}
+	}
+}
+
+// TestServeStatsInterval captures the periodic stats emitter: every tick
+// must be one valid JSON object on stderr carrying hub totals.
+func TestServeStatsInterval(t *testing.T) {
+	dir := t.TempDir()
+	train := filepath.Join(dir, "train.csv")
+	stream := filepath.Join(dir, "stream.csv")
+	if err := run([]string{"simulate", "-days", "2", "-seed", "3", "-out", train}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"simulate", "-days", "4", "-seed", "4", "-out", stream}); err != nil {
+		t.Fatal(err)
+	}
+
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain the pipe while serve runs: the emitter writes every tick, and
+	// an unread pipe would fill and deadlock the stats goroutine.
+	type capture struct {
+		data []byte
+		err  error
+	}
+	capc := make(chan capture, 1)
+	go func() {
+		data, err := io.ReadAll(r)
+		capc <- capture{data, err}
+	}()
+	old := os.Stderr
+	os.Stderr = w
+	serveErr := run([]string{"serve", "-train", train, "-stream", stream, "-tau", "2",
+		"-tenants", "2", "-workers", "2", "-adapt", "-stats-interval", "1ms"})
+	os.Stderr = old
+	w.Close()
+	cap := <-capc
+	r.Close()
+	if cap.err != nil {
+		t.Fatal(cap.err)
+	}
+	captured := cap.data
+	if serveErr != nil {
+		t.Fatalf("serve: %v", serveErr)
+	}
+	lines := 0
+	for _, line := range strings.Split(strings.TrimSpace(string(captured)), "\n") {
+		if line == "" {
+			continue
+		}
+		var tick struct {
+			Time  time.Time `json:"time"`
+			Stats struct {
+				Total struct {
+					Ingested uint64 `json:"Ingested"`
+				}
+			} `json:"stats"`
+		}
+		if err := json.Unmarshal([]byte(line), &tick); err != nil {
+			t.Fatalf("stats line is not JSON: %q: %v", line, err)
+		}
+		if tick.Time.IsZero() {
+			t.Fatalf("stats line missing timestamp: %q", line)
+		}
+		lines++
+	}
+	if lines == 0 {
+		t.Fatal("no stats lines emitted")
 	}
 }

@@ -4,10 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/causaliot/causaliot/internal/hub"
+	"github.com/causaliot/causaliot/internal/timeseries"
 )
 
 // BackpressurePolicy selects what Hub.Submit does when a home's ingestion
@@ -117,6 +119,12 @@ type TenantOptions struct {
 	// report from an unregistered device). Erroring events are counted,
 	// skipped, and the stream continues.
 	OnError func(tenant string, ev Event, err error)
+	// Adapt, when non-nil, enables the online model lifecycle for this
+	// home (see Monitor.EnableAdaptive): drift is detected on the live
+	// stream and the hub re-estimates and hot-swaps the model in the
+	// background. Ignored when the registered monitor already has adaptive
+	// mode enabled (e.g. restored from an adaptive checkpoint).
+	Adapt *AdaptConfig
 }
 
 // TenantAlarm is one alarm raised by a hosted home, as delivered on the
@@ -149,6 +157,9 @@ type TenantStats struct {
 	Panics    uint64
 	Shed      uint64
 	LastError string
+	// Updates counts stream-pausing control operations applied to the home
+	// (model hot swaps, checkpoints, flushes).
+	Updates uint64
 }
 
 // HubStats is a point-in-time snapshot of the hub's counters.
@@ -173,6 +184,10 @@ type Hub struct {
 	alarms        chan TenantAlarm
 	alarmsDropped atomic.Uint64
 	closed        atomic.Bool
+	// procs tracks the hosted processors for lifecycle introspection
+	// (LifecycleStats) without going through a stream-pausing Update.
+	procMu sync.Mutex
+	procs  map[string]*tenantProc
 }
 
 // NewHub starts a serving hub and its worker pool. Close it to drain and
@@ -183,6 +198,7 @@ func NewHub(cfg HubConfig) *Hub {
 		buffer = 256
 	}
 	return &Hub{
+		procs: make(map[string]*tenantProc),
 		inner: hub.New(hub.Config{
 			Workers:              cfg.Workers,
 			QueueSize:            cfg.QueueSize,
@@ -218,6 +234,13 @@ func (p *tenantProc) Handle(ev hub.Event) (bool, error) {
 	}
 	if det.Alarm != nil {
 		p.deliver(det.Alarm, det.Score)
+	}
+	// A drift scan on this event may have parked a refresh verdict; claim
+	// it here (on the stream thread, so exactly one claimer wins) and hand
+	// the re-estimation to a background goroutine. The stream keeps flowing
+	// against the old model until the swap lands atomically between events.
+	if kind := p.mon.TakeDriftSignal(); kind != RefreshNone {
+		p.hub.refreshAsync(p, kind)
 	}
 	return det.Alarm != nil, nil
 }
@@ -256,6 +279,11 @@ func (h *Hub) RegisterMonitor(tenant string, mon *Monitor, opts TenantOptions) e
 	if mon == nil {
 		return errors.New("causaliot: register with nil monitor")
 	}
+	if opts.Adapt != nil && !mon.Adaptive() {
+		if err := mon.EnableAdaptive(*opts.Adapt); err != nil {
+			return err
+		}
+	}
 	proc := &tenantProc{hub: h, name: tenant, mon: mon, onAlarm: opts.OnAlarm}
 	var onError func(hub.Event, error)
 	if opts.OnError != nil {
@@ -264,16 +292,119 @@ func (h *Hub) RegisterMonitor(tenant string, mon *Monitor, opts TenantOptions) e
 			cb(tenant, Event{Time: ev.Time, Device: ev.Device, Value: ev.Value}, err)
 		}
 	}
-	return h.inner.Register(tenant, proc, hub.TenantConfig{
+	err := h.inner.Register(tenant, proc, hub.TenantConfig{
 		QueueSize: opts.QueueSize,
 		Policy:    opts.Backpressure.internal(),
 		OnError:   onError,
 	})
+	if err != nil {
+		return err
+	}
+	h.procMu.Lock()
+	h.procs[tenant] = proc
+	h.procMu.Unlock()
+	return nil
 }
 
 // Deregister removes a home, discarding its queued events and releasing any
 // producers blocked on its queue.
-func (h *Hub) Deregister(tenant string) error { return h.inner.Deregister(tenant) }
+func (h *Hub) Deregister(tenant string) error {
+	err := h.inner.Deregister(tenant)
+	if err == nil {
+		h.procMu.Lock()
+		delete(h.procs, tenant)
+		h.procMu.Unlock()
+	}
+	return err
+}
+
+// refreshAsync runs one background refresh cycle for a home whose drift
+// verdict was just claimed: snapshot the refit log with the stream paused,
+// re-estimate off-thread against the snapshot, then hot-swap through the
+// hub so no event is dropped or scored against a half-swapped model.
+func (h *Hub) refreshAsync(p *tenantProc, kind RefreshKind) {
+	go func() {
+		var (
+			base  timeseries.State
+			steps []timeseries.Step
+			sys   *System
+		)
+		err := h.inner.Update(p.name, func(proc hub.Processor) (hub.Processor, error) {
+			base, steps = p.mon.lc.snapshotLog()
+			sys = p.mon.sys
+			return proc, nil
+		})
+		if err != nil {
+			p.mon.FinishRefresh(err)
+			return
+		}
+		fresh, err := sys.RefreshFrom(kind, base, steps)
+		if err != nil {
+			p.mon.FinishRefresh(err)
+			return
+		}
+		if err := h.Swap(p.name, fresh); err != nil {
+			p.mon.FinishRefresh(err)
+			return
+		}
+		p.mon.lc.noteRefreshed(kind)
+		p.mon.FinishRefresh(nil)
+	}()
+}
+
+// LifecycleStats snapshots the lifecycle counters of every hosted home with
+// adaptive mode enabled, keyed by tenant name, without pausing any stream.
+func (h *Hub) LifecycleStats() map[string]LifecycleStats {
+	h.procMu.Lock()
+	procs := make([]*tenantProc, 0, len(h.procs))
+	for _, p := range h.procs {
+		procs = append(procs, p)
+	}
+	h.procMu.Unlock()
+	out := make(map[string]LifecycleStats)
+	for _, p := range procs {
+		if s, ok := p.mon.LifecycleStats(); ok {
+			out[p.name] = s
+		}
+	}
+	return out
+}
+
+// SaveModel writes a home's currently served model (see System.Save),
+// serialized with the home's stream — an adaptive home's model changes on
+// hot swaps, so the artifact on disk must be captured between events.
+func (h *Hub) SaveModel(tenant string, w io.Writer) error {
+	return h.inner.Update(tenant, func(p hub.Processor) (hub.Processor, error) {
+		tp, ok := p.(*tenantProc)
+		if !ok {
+			return nil, fmt.Errorf("causaliot: tenant %q hosts a foreign processor", tenant)
+		}
+		if err := tp.mon.sys.Save(w); err != nil {
+			return nil, err
+		}
+		return tp, nil
+	})
+}
+
+// Snapshot writes a home's served model and its runtime checkpoint under a
+// single stream pause, so the pair is guaranteed consistent even while a
+// background refresh is racing to swap the model: a checkpoint restored
+// onto the model it was written with resumes bit-for-bit.
+func (h *Hub) Snapshot(tenant string, model, state io.Writer) error {
+	return h.inner.Update(tenant, func(p hub.Processor) (hub.Processor, error) {
+		tp, ok := p.(*tenantProc)
+		if !ok {
+			return nil, fmt.Errorf("causaliot: tenant %q hosts a foreign processor", tenant)
+		}
+		if err := tp.mon.sys.Save(model); err != nil {
+			return nil, err
+		}
+		if err := tp.mon.WriteCheckpoint(state); err != nil {
+			return nil, err
+		}
+		return tp, nil
+	})
+}
 
 // Submit enqueues one event for a home. Under a full queue the home's
 // backpressure policy decides: block, drop the oldest queued event, or fail
@@ -368,6 +499,7 @@ func convertTenantStats(ts hub.TenantStats) TenantStats {
 		Panics:     ts.Panics,
 		Shed:       ts.Shed,
 		LastError:  ts.LastError,
+		Updates:    ts.Updates,
 	}
 }
 

@@ -143,6 +143,53 @@ func (c *CPT) Support(values []int) (float64, error) {
 	return c.total[idx], nil
 }
 
+// Smoothing returns the Laplace pseudo-count the table was built with.
+func (c *CPT) Smoothing() float64 { return c.smoothing }
+
+// NumConfigs returns the number of parent configurations (2^|Causes|).
+func (c *CPT) NumConfigs() int { return len(c.total) }
+
+// CountsAt returns the raw (on, total) counts for parent configuration cfg.
+// cfg must lie in [0, NumConfigs()); bounds are not checked, matching the
+// hot-path contract of Compiled.ConfigAt.
+func (c *CPT) CountsAt(cfg int) (on, total float64) {
+	return c.on[cfg], c.total[cfg]
+}
+
+// Reset zeroes every count, keeping parents and smoothing.
+func (c *CPT) Reset() {
+	for i := range c.total {
+		c.on[i] = 0
+		c.total[i] = 0
+	}
+}
+
+// Merge adds the other table's counts into c. Both tables must describe the
+// same estimator: identical parent sets and identical smoothing — mixing
+// tables with different pseudo-counts would silently change the implied
+// prior, so mismatches are refused rather than averaged.
+func (c *CPT) Merge(o *CPT) error {
+	if o == nil {
+		return errors.New("dig: merge with nil CPT")
+	}
+	if c.smoothing != o.smoothing {
+		return fmt.Errorf("dig: merge smoothing mismatch: %v vs %v", c.smoothing, o.smoothing)
+	}
+	if len(c.Causes) != len(o.Causes) {
+		return fmt.Errorf("dig: merge parent count mismatch: %d vs %d", len(c.Causes), len(o.Causes))
+	}
+	for i, p := range c.Causes {
+		if p != o.Causes[i] {
+			return fmt.Errorf("dig: merge parent mismatch at %d: %v vs %v", i, p, o.Causes[i])
+		}
+	}
+	for i := range c.total {
+		c.on[i] += o.on[i]
+		c.total[i] += o.total[i]
+	}
+	return nil
+}
+
 // Graph is the device interaction graph restricted to the window
 // {t-τ, ..., t}.
 type Graph struct {
@@ -220,6 +267,44 @@ func (g *Graph) Fit(series *timeseries.Series) error {
 			if err := cpt.Observe(values, series.State(j)[dev]); err != nil {
 				return err
 			}
+		}
+	}
+	return nil
+}
+
+// CloneStructure returns a graph with the same registry, τ, parent sets,
+// and smoothing but empty CPTs — the starting point for a counts-only refit
+// from a fresh training log.
+func (g *Graph) CloneStructure() *Graph {
+	clone := &Graph{
+		Registry: g.Registry,
+		Tau:      g.Tau,
+		parents:  make([][]Node, len(g.parents)),
+		cpts:     make([]*CPT, len(g.cpts)),
+	}
+	for i, c := range g.cpts {
+		clone.cpts[i] = NewCPT(c.Causes, c.smoothing)
+		clone.parents[i] = clone.cpts[i].Causes
+	}
+	return clone
+}
+
+// Merge adds the other graph's CPT counts into g. The graphs must share the
+// same structure: registry, τ, and per-device parent sets with matching
+// smoothing (enforced per table by CPT.Merge).
+func (g *Graph) Merge(o *Graph) error {
+	if o == nil {
+		return errors.New("dig: merge with nil graph")
+	}
+	if !o.Registry.Same(g.Registry) {
+		return errors.New("dig: merge registry mismatch")
+	}
+	if o.Tau != g.Tau {
+		return fmt.Errorf("dig: merge tau mismatch: %d vs %d", g.Tau, o.Tau)
+	}
+	for i := range g.cpts {
+		if err := g.cpts[i].Merge(o.cpts[i]); err != nil {
+			return fmt.Errorf("dig: device %d: %w", i, err)
 		}
 	}
 	return nil

@@ -368,3 +368,137 @@ func TestGraphScoreRangeProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestCPTMergeRefusesMismatches(t *testing.T) {
+	a := NewCPT([]Node{{Device: 0, Lag: 1}}, 0.01)
+	if err := a.Merge(nil); err == nil {
+		t.Error("nil merge accepted")
+	}
+	if err := a.Merge(NewCPT([]Node{{Device: 0, Lag: 1}}, 0.5)); err == nil {
+		t.Error("smoothing mismatch accepted")
+	}
+	if err := a.Merge(NewCPT([]Node{{Device: 1, Lag: 1}}, 0.01)); err == nil {
+		t.Error("parent mismatch accepted")
+	}
+	if err := a.Merge(NewCPT(nil, 0.01)); err == nil {
+		t.Error("parent count mismatch accepted")
+	}
+}
+
+func TestCPTMergeMatchesIncrementalObserve(t *testing.T) {
+	causes := []Node{{Device: 0, Lag: 1}, {Device: 1, Lag: 2}}
+	whole := NewCPT(causes, 0.01)
+	partA := NewCPT(causes, 0.01)
+	partB := NewCPT(causes, 0.01)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		values := []int{rng.Intn(2), rng.Intn(2)}
+		outcome := rng.Intn(2)
+		if err := whole.Observe(values, outcome); err != nil {
+			t.Fatal(err)
+		}
+		part := partA
+		if i >= 200 {
+			part = partB
+		}
+		if err := part.Observe(values, outcome); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := partA.Merge(partB); err != nil {
+		t.Fatal(err)
+	}
+	for cfg := 0; cfg < whole.NumConfigs(); cfg++ {
+		wOn, wTot := whole.CountsAt(cfg)
+		mOn, mTot := partA.CountsAt(cfg)
+		if wOn != mOn || wTot != mTot {
+			t.Fatalf("cfg %d: merged (%v,%v), whole (%v,%v)", cfg, mOn, mTot, wOn, wTot)
+		}
+	}
+	if whole.Smoothing() != 0.01 {
+		t.Fatalf("smoothing accessor = %v", whole.Smoothing())
+	}
+}
+
+func TestCPTReset(t *testing.T) {
+	c := NewCPT([]Node{{Device: 0, Lag: 1}}, 0.01)
+	if err := c.Observe([]int{1}, 1); err != nil {
+		t.Fatal(err)
+	}
+	c.Reset()
+	for cfg := 0; cfg < c.NumConfigs(); cfg++ {
+		if on, total := c.CountsAt(cfg); on != 0 || total != 0 {
+			t.Fatalf("reset left counts (%v,%v) at cfg %d", on, total, cfg)
+		}
+	}
+}
+
+// CloneStructure + Fit + Merge must reproduce a direct Fit over the
+// concatenated anchors: counts are integer-valued, so float addition is
+// exact and the refit path is bit-identical to training from scratch.
+func TestGraphCloneStructureFitMerge(t *testing.T) {
+	reg := mustRegistry(t, "a", "b")
+	parents := [][]Node{nil, {{Device: 0, Lag: 1}}}
+	g, err := New(reg, 2, parents, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	var steps []timeseries.Step
+	for i := 0; i < 300; i++ {
+		steps = append(steps, timeseries.Step{Device: rng.Intn(2), Value: rng.Intn(2)})
+	}
+	series, err := timeseries.FromSteps(reg, timeseries.State{0, 0}, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Fit(series); err != nil {
+		t.Fatal(err)
+	}
+
+	clone := g.CloneStructure()
+	for i := 0; i < reg.Len(); i++ {
+		if on, total := clone.CPTOf(i).CountsAt(0); on != 0 || total != 0 {
+			t.Fatalf("clone device %d starts with counts (%v,%v)", i, on, total)
+		}
+		if clone.CPTOf(i).Smoothing() != g.CPTOf(i).Smoothing() {
+			t.Fatalf("clone device %d smoothing differs", i)
+		}
+	}
+	if err := clone.Fit(series); err != nil {
+		t.Fatal(err)
+	}
+	empty := g.CloneStructure()
+	if err := empty.Merge(clone); err != nil {
+		t.Fatal(err)
+	}
+	for dev := 0; dev < reg.Len(); dev++ {
+		want, got := g.CPTOf(dev), empty.CPTOf(dev)
+		for cfg := 0; cfg < want.NumConfigs(); cfg++ {
+			wOn, wTot := want.CountsAt(cfg)
+			gOn, gTot := got.CountsAt(cfg)
+			if wOn != gOn || wTot != gTot {
+				t.Fatalf("dev %d cfg %d: merged (%v,%v), fitted (%v,%v)", dev, cfg, gOn, gTot, wOn, wTot)
+			}
+		}
+	}
+
+	other, err := New(reg, 3, parents, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Merge(other); err == nil {
+		t.Error("tau mismatch accepted")
+	}
+	if err := g.Merge(nil); err == nil {
+		t.Error("nil graph merge accepted")
+	}
+	reg2 := mustRegistry(t, "x", "y")
+	other2, err := New(reg2, 2, parents, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Merge(other2); err == nil {
+		t.Error("registry mismatch accepted")
+	}
+}

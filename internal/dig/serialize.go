@@ -3,6 +3,7 @@ package dig
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"github.com/causaliot/causaliot/internal/timeseries"
 )
@@ -26,13 +27,23 @@ func (c *CPT) Snapshot() CPTSnapshot {
 	return CPTSnapshot{Causes: causes, On: on, Total: total, Smoothing: c.smoothing}
 }
 
-// RestoreCPT rebuilds a table from a snapshot.
+// RestoreCPT rebuilds a table from a snapshot. Smoothing and counts are
+// validated the same way the checkpoint envelope validates its threshold:
+// NaN compares false against every bound, so the non-finite cases need
+// explicit rejection or a poisoned snapshot would slip through and emit
+// NaN probabilities at serving time.
 func RestoreCPT(s CPTSnapshot) (*CPT, error) {
+	if math.IsNaN(s.Smoothing) || math.IsInf(s.Smoothing, 0) || s.Smoothing < 0 {
+		return nil, fmt.Errorf("dig: snapshot smoothing %v is not a finite non-negative number", s.Smoothing)
+	}
 	c := NewCPT(s.Causes, s.Smoothing)
 	if len(s.On) != len(c.on) || len(s.Total) != len(c.total) {
 		return nil, fmt.Errorf("dig: snapshot has %d/%d rows for %d causes", len(s.On), len(s.Total), len(s.Causes))
 	}
 	for i := range s.On {
+		if math.IsNaN(s.On[i]) || math.IsInf(s.On[i], 0) || math.IsNaN(s.Total[i]) || math.IsInf(s.Total[i], 0) {
+			return nil, fmt.Errorf("dig: snapshot row %d has non-finite counts on=%v total=%v", i, s.On[i], s.Total[i])
+		}
 		if s.On[i] < 0 || s.Total[i] < 0 || s.On[i] > s.Total[i] {
 			return nil, fmt.Errorf("dig: snapshot row %d has on=%v total=%v", i, s.On[i], s.Total[i])
 		}

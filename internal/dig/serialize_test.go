@@ -109,6 +109,30 @@ func TestRestoreCPTValidation(t *testing.T) {
 	}
 }
 
+// Smoothing and counts must be finite: NaN compares false against every
+// bound, so the generic range checks alone would let a poisoned snapshot
+// through to serve NaN probabilities.
+func TestRestoreCPTRejectsNonFinite(t *testing.T) {
+	causes := []Node{{Device: 0, Lag: 1}}
+	bad := []CPTSnapshot{
+		{Causes: causes, On: []float64{0, 0}, Total: []float64{1, 1}, Smoothing: math.NaN()},
+		{Causes: causes, On: []float64{0, 0}, Total: []float64{1, 1}, Smoothing: math.Inf(1)},
+		{Causes: causes, On: []float64{0, 0}, Total: []float64{1, 1}, Smoothing: -0.5},
+		{Causes: causes, On: []float64{math.NaN(), 0}, Total: []float64{1, 1}},
+		{Causes: causes, On: []float64{0, 0}, Total: []float64{math.NaN(), 1}},
+		{Causes: causes, On: []float64{0, 0}, Total: []float64{math.Inf(1), 1}},
+	}
+	for i, s := range bad {
+		if _, err := RestoreCPT(s); err == nil {
+			t.Errorf("non-finite snapshot %d accepted", i)
+		}
+	}
+	ok := CPTSnapshot{Causes: causes, On: []float64{1, 0}, Total: []float64{2, 1}, Smoothing: 0.01}
+	if _, err := RestoreCPT(ok); err != nil {
+		t.Fatalf("valid snapshot rejected: %v", err)
+	}
+}
+
 func TestRestoreGraphValidation(t *testing.T) {
 	g := fittedGraph(t)
 	snap := g.Snapshot()

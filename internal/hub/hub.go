@@ -243,6 +243,7 @@ type tenant struct {
 	errs      atomic.Uint64
 	panics    atomic.Uint64
 	shed      atomic.Uint64 // events refused or discarded by quarantine
+	updates   atomic.Uint64 // successful Update calls (model swaps et al.)
 	lat       *latencyRing
 }
 
@@ -616,6 +617,7 @@ func (h *Hub) Update(name string, fn func(Processor) (Processor, error)) error {
 		return errors.New("hub: update returned nil processor")
 	}
 	t.proc = p
+	t.updates.Add(1)
 	return nil
 }
 
@@ -702,6 +704,9 @@ type TenantStats struct {
 	Panics    uint64
 	Shed      uint64
 	LastError string
+	// Updates counts successful stream-pausing Update calls — model hot
+	// swaps, checkpoints, flushes.
+	Updates uint64
 }
 
 // Stats is a point-in-time snapshot of the hub's counters.
@@ -749,6 +754,7 @@ func (h *Hub) Stats() Stats {
 			Panics:     t.panics.Load(),
 			Shed:       t.shed.Load(),
 			LastError:  lastErr,
+			Updates:    t.updates.Load(),
 		}
 		all = append(all, samples...)
 		s.Tenants = append(s.Tenants, ts)
@@ -761,6 +767,7 @@ func (h *Hub) Stats() Stats {
 		s.Total.QueueDepth += ts.QueueDepth
 		s.Total.Panics += ts.Panics
 		s.Total.Shed += ts.Shed
+		s.Total.Updates += ts.Updates
 		if ts.Health != Healthy {
 			s.Total.Health = Quarantined
 		}

@@ -1,0 +1,336 @@
+// Package lifecycle keeps a served device-interaction-graph honest over
+// time. The DIG is mined once from a training log, but a home's behavior
+// drifts — schedules, seasons, and new automations move the conditional
+// distributions the CPTs of paper §V-B encode, silently degrading the
+// score-threshold detector of §V-C.
+//
+// The package has two halves. The Accumulator streams alongside the
+// detector, folding every accepted event into per-device parent-
+// configuration counts using the compiled DIG's CSR parent layout — the
+// same gather as the scoring hot path, so accumulation is allocation-free.
+// The Scorer periodically compares those live counts against the trained
+// CPT counts with a two-sample conditional homogeneity G² test: for each
+// device, outcome (X, arity 2) versus era (Y: trained=0, live=1) stratified
+// by parent configuration (Z, 2^parents strata). Under the null hypothesis
+// that live behavior follows the trained conditionals, the statistic is
+// asymptotically chi-square; a small p-value at sufficient evidence means
+// the device's CPT no longer describes the home.
+//
+// What to do about drift — counts-only refit versus a full structural
+// re-mine, and the hot swap into serving — is decided by the facade layer;
+// this package only measures.
+package lifecycle
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/causaliot/causaliot/internal/dig"
+	"github.com/causaliot/causaliot/internal/stats"
+	"github.com/causaliot/causaliot/internal/timeseries"
+)
+
+// Accumulator folds live window states into per-device, per-parent-
+// configuration outcome counts, mirroring the layout of the trained CPTs so
+// the drift scorer can compare the two directly. It is owned by a single
+// stream goroutine and performs no allocation after construction.
+type Accumulator struct {
+	comp *dig.Compiled
+	// CSR offsets: device dev's cells occupy on/total[off[dev]:off[dev+1]],
+	// one pair per parent configuration.
+	off   []int32
+	on    []float64
+	total []float64
+	// folded counts Fold calls; every fold contributes exactly one
+	// observation per device, so Σ total over any device's cells == folded —
+	// an invariant the checkpoint restore path verifies.
+	folded uint64
+}
+
+// NewAccumulator allocates zeroed counts shaped after the compiled graph's
+// parent layout.
+func NewAccumulator(comp *dig.Compiled) (*Accumulator, error) {
+	if comp == nil {
+		return nil, errors.New("lifecycle: nil compiled graph")
+	}
+	a := &Accumulator{}
+	a.bind(comp)
+	return a, nil
+}
+
+// bind shapes the count arrays after comp, reusing backing arrays when the
+// total cell count is unchanged.
+func (a *Accumulator) bind(comp *dig.Compiled) {
+	n := comp.NumDevices()
+	if cap(a.off) < n+1 {
+		a.off = make([]int32, n+1)
+	}
+	a.off = a.off[:n+1]
+	cells := 0
+	for dev := 0; dev < n; dev++ {
+		a.off[dev] = int32(cells)
+		cells += comp.Graph().CPTOf(dev).NumConfigs()
+	}
+	a.off[n] = int32(cells)
+	if cap(a.on) < cells {
+		a.on = make([]float64, cells)
+		a.total = make([]float64, cells)
+	}
+	a.on = a.on[:cells]
+	a.total = a.total[:cells]
+	for i := range a.on {
+		a.on[i] = 0
+		a.total[i] = 0
+	}
+	a.comp = comp
+	a.folded = 0
+}
+
+// Rebind discards all accumulated evidence and re-shapes the accumulator
+// for a new compiled graph — called after a model hot-swap, when counts
+// gathered against the old parent layout no longer mean anything.
+func (a *Accumulator) Rebind(comp *dig.Compiled) error {
+	if comp == nil {
+		return errors.New("lifecycle: rebind to nil compiled graph")
+	}
+	a.bind(comp)
+	return nil
+}
+
+// Reset zeroes all evidence without changing shape.
+func (a *Accumulator) Reset() {
+	for i := range a.on {
+		a.on[i] = 0
+		a.total[i] = 0
+	}
+	a.folded = 0
+}
+
+// Fold records one post-advance window state: for every device, the current
+// parent configuration (lags ≥ 1) paired with the device's current outcome
+// state (lag 0). Must be called after the detector advanced the window for
+// an accepted event, mirroring the anchors a training Fit would see. The
+// window must belong to the same model the accumulator is bound to.
+// Allocation-free.
+func (a *Accumulator) Fold(w *timeseries.Window) {
+	comp := a.comp
+	n := comp.NumDevices()
+	for dev := 0; dev < n; dev++ {
+		idx := int(a.off[dev]) + comp.ConfigAt(w, dev)
+		a.total[idx]++
+		if w.At(dev, 0) == 1 {
+			a.on[idx]++
+		}
+	}
+	a.folded++
+}
+
+// Folded returns the number of window states folded since the last
+// (re)bind, reset, or restore.
+func (a *Accumulator) Folded() uint64 { return a.folded }
+
+// Compiled returns the graph the accumulator is bound to.
+func (a *Accumulator) Compiled() *dig.Compiled { return a.comp }
+
+// CountsAt returns the live (on, total) counts for device dev's parent
+// configuration cfg. Bounds are the caller's contract, as with
+// Compiled.ConfigAt.
+func (a *Accumulator) CountsAt(dev, cfg int) (on, total float64) {
+	idx := int(a.off[dev]) + cfg
+	return a.on[idx], a.total[idx]
+}
+
+// Config tunes the drift scorer.
+type Config struct {
+	// Alpha is the per-device significance level: a device drifts when its
+	// homogeneity test is reliable and p < Alpha. Smaller is less sensitive.
+	Alpha float64
+	// MinEvidence is the minimum number of folded window states before any
+	// test runs — below it Scan reports MinEvidenceMet=false and no
+	// verdicts, so a freshly swapped model is never judged on noise.
+	MinEvidence uint64
+	// MinObsPerDOF is the G² small-sample guard (stats.GSquareTester); a
+	// device whose combined table is too sparse is marked unreliable rather
+	// than tested.
+	MinObsPerDOF int
+}
+
+// DefaultConfig returns the scorer defaults: α=0.001 (conservative, since a
+// scan tests every device), a 512-event evidence floor, and the miner's
+// MinObsPerDOF=5.
+func DefaultConfig() Config {
+	return Config{Alpha: 0.001, MinEvidence: 512, MinObsPerDOF: 5}
+}
+
+// Validate rejects non-finite or out-of-range settings.
+func (c Config) Validate() error {
+	if !(c.Alpha > 0 && c.Alpha < 1) { // NaN fails every comparison
+		return fmt.Errorf("lifecycle: alpha %v outside (0,1)", c.Alpha)
+	}
+	if c.MinObsPerDOF < 0 {
+		return fmt.Errorf("lifecycle: min obs per dof %d < 0", c.MinObsPerDOF)
+	}
+	return nil
+}
+
+// EdgeVerdict attributes a device's drift to one parent edge by collapsing
+// the configuration strata onto that parent's bit.
+type EdgeVerdict struct {
+	Parent  dig.Node
+	PValue  float64
+	Drifted bool
+}
+
+// DeviceVerdict is the drift test outcome for one device's CPT.
+type DeviceVerdict struct {
+	Device    int
+	Parents   int
+	Statistic float64
+	PValue    float64
+	// Reliable is false when the combined trained+live table was too sparse
+	// for the chi-square approximation (or held no mass at all).
+	Reliable bool
+	Drifted  bool
+	// Edges carries per-parent attribution, computed only for drifted
+	// devices with at least one parent.
+	Edges []EdgeVerdict
+}
+
+// Report is the outcome of one drift scan.
+type Report struct {
+	// Folded is the evidence size at scan time.
+	Folded uint64
+	// MinEvidenceMet is false when the scan was skipped for lack of
+	// evidence; no verdicts are present in that case.
+	MinEvidenceMet bool
+	Devices        []DeviceVerdict
+	// Tested counts devices with a reliable test; Drifted counts those that
+	// additionally rejected the null.
+	Tested  int
+	Drifted int
+}
+
+// DriftFraction returns Drifted/Tested, the per-tenant drift breadth used
+// to choose between a counts-only refit and a structural re-mine; 0 when
+// nothing was testable.
+func (r Report) DriftFraction() float64 {
+	if r.Tested == 0 {
+		return 0
+	}
+	return float64(r.Drifted) / float64(r.Tested)
+}
+
+// Scorer runs drift scans. It reuses its contingency-table scratch across
+// scans; a Scorer is not safe for concurrent use.
+type Scorer struct {
+	cfg    Config
+	tester stats.GSquareTester
+	joint  []float64
+}
+
+// NewScorer validates the config and builds a scorer.
+func NewScorer(cfg Config) (*Scorer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Scorer{cfg: cfg, tester: stats.GSquareTester{MinObsPerDOF: cfg.MinObsPerDOF}}, nil
+}
+
+// Config returns the scorer's settings.
+func (s *Scorer) Config() Config { return s.cfg }
+
+// Scan tests every device's accumulated evidence against its trained CPT.
+// For device d with P parents the table is outcome × era stratified by the
+// 2^P parent configurations: era 0 rows hold the trained counts (the CPT),
+// era 1 rows the live counts (the accumulator). The G² statistic is
+// computed by the same stats kernel as mining, so scan results are
+// bit-identical to an offline two-sample test over the same counts.
+func (s *Scorer) Scan(acc *Accumulator) (Report, error) {
+	if acc == nil {
+		return Report{}, errors.New("lifecycle: scan nil accumulator")
+	}
+	rep := Report{Folded: acc.Folded()}
+	if rep.Folded < s.cfg.MinEvidence {
+		return rep, nil
+	}
+	rep.MinEvidenceMet = true
+	g := acc.Compiled().Graph()
+	n := acc.Compiled().NumDevices()
+	rep.Devices = make([]DeviceVerdict, 0, n)
+	for dev := 0; dev < n; dev++ {
+		cpt := g.CPTOf(dev)
+		size := cpt.NumConfigs()
+		if cap(s.joint) < size*4 {
+			s.joint = make([]float64, size*4)
+		}
+		joint := s.joint[:size*4]
+		for cfg := 0; cfg < size; cfg++ {
+			tOn, tTot := cpt.CountsAt(cfg)
+			lOn, lTot := acc.CountsAt(dev, cfg)
+			// Layout joint[z*4 + x*2 + y]: x = outcome, y = era.
+			joint[cfg*4+0] = tTot - tOn // outcome 0, trained
+			joint[cfg*4+1] = lTot - lOn // outcome 0, live
+			joint[cfg*4+2] = tOn        // outcome 1, trained
+			joint[cfg*4+3] = lOn        // outcome 1, live
+		}
+		v := DeviceVerdict{Device: dev, Parents: len(cpt.Causes), PValue: 1}
+		res, err := s.tester.TestCounts(joint, 2, 2, size)
+		switch {
+		case errors.Is(err, stats.ErrEmpty):
+			// No mass in either era (an untrained device): untestable.
+		case err != nil:
+			return Report{}, err
+		default:
+			v.Statistic = res.Statistic
+			v.PValue = res.PValue
+			v.Reliable = res.Reliable
+			v.Drifted = res.Reliable && res.PValue < s.cfg.Alpha
+		}
+		if v.Reliable {
+			rep.Tested++
+		}
+		if v.Drifted {
+			rep.Drifted++
+			v.Edges = s.edgeVerdicts(cpt, acc, dev)
+		}
+		rep.Devices = append(rep.Devices, v)
+	}
+	return rep, nil
+}
+
+// edgeVerdicts attributes a drifted device's signal to individual parent
+// edges: the 2^P strata collapse onto each parent's bit in turn, giving a
+// 2-stratum homogeneity test per edge. Coarser than the full test (drift
+// confined to one deep configuration can smear across bits), but enough to
+// tell an operator which interaction moved.
+func (s *Scorer) edgeVerdicts(cpt *dig.CPT, acc *Accumulator, dev int) []EdgeVerdict {
+	p := len(cpt.Causes)
+	if p == 0 {
+		return nil
+	}
+	out := make([]EdgeVerdict, 0, p)
+	var joint [16]float64
+	size := cpt.NumConfigs()
+	for k := 0; k < p; k++ {
+		for i := range joint {
+			joint[i] = 0
+		}
+		shift := p - 1 - k // Causes[0] is the most significant bit
+		for cfg := 0; cfg < size; cfg++ {
+			b := (cfg >> shift) & 1
+			tOn, tTot := cpt.CountsAt(cfg)
+			lOn, lTot := acc.CountsAt(dev, cfg)
+			joint[b*4+0] += tTot - tOn
+			joint[b*4+1] += lTot - lOn
+			joint[b*4+2] += tOn
+			joint[b*4+3] += lOn
+		}
+		ev := EdgeVerdict{Parent: cpt.Causes[k], PValue: 1}
+		if res, err := s.tester.TestCounts(joint[:8], 2, 2, 2); err == nil {
+			ev.PValue = res.PValue
+			ev.Drifted = res.Reliable && res.PValue < s.cfg.Alpha
+		}
+		out = append(out, ev)
+	}
+	return out
+}

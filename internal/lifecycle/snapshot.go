@@ -1,0 +1,61 @@
+package lifecycle
+
+import (
+	"fmt"
+	"math"
+)
+
+// Snapshot is the serializable form of an accumulator's evidence, designed
+// to ride the monitor checkpoint envelope so a killed serve process resumes
+// drift tracking exactly. Shape (cell count) is implied by the model the
+// restoring accumulator is bound to; a snapshot taken against a different
+// model fails restoration.
+type Snapshot struct {
+	On     []float64 `json:"on"`
+	Total  []float64 `json:"total"`
+	Folded uint64    `json:"folded"`
+}
+
+// Snapshot copies out the current evidence.
+func (a *Accumulator) Snapshot() Snapshot {
+	on := make([]float64, len(a.on))
+	copy(on, a.on)
+	total := make([]float64, len(a.total))
+	copy(total, a.total)
+	return Snapshot{On: on, Total: total, Folded: a.folded}
+}
+
+// Restore replaces the accumulator's evidence with the snapshot's, after
+// validating it against the bound model's shape and the accumulator's
+// structural invariants: cells finite, non-negative, on ≤ total, and —
+// because every fold contributes exactly one observation per device — each
+// device's total mass equal to Folded. On any error the accumulator is
+// left unchanged.
+func (a *Accumulator) Restore(s Snapshot) error {
+	if len(s.On) != len(a.on) || len(s.Total) != len(a.total) {
+		return fmt.Errorf("lifecycle: snapshot has %d/%d cells, model needs %d", len(s.On), len(s.Total), len(a.on))
+	}
+	for i := range s.On {
+		on, total := s.On[i], s.Total[i]
+		if math.IsNaN(on) || math.IsInf(on, 0) || math.IsNaN(total) || math.IsInf(total, 0) {
+			return fmt.Errorf("lifecycle: snapshot cell %d has non-finite counts on=%v total=%v", i, on, total)
+		}
+		if on < 0 || total < 0 || on > total {
+			return fmt.Errorf("lifecycle: snapshot cell %d has on=%v total=%v", i, on, total)
+		}
+	}
+	folded := float64(s.Folded)
+	for dev := 0; dev < len(a.off)-1; dev++ {
+		var mass float64
+		for i := a.off[dev]; i < a.off[dev+1]; i++ {
+			mass += s.Total[i]
+		}
+		if mass != folded {
+			return fmt.Errorf("lifecycle: snapshot device %d holds %v observations, folded says %d", dev, mass, s.Folded)
+		}
+	}
+	copy(a.on, s.On)
+	copy(a.total, s.Total)
+	a.folded = s.Folded
+	return nil
+}

@@ -488,6 +488,14 @@ func (d *Detector) Tau() int {
 	return d.win.Tau()
 }
 
+// Window exposes the detector's phantom window for read-only inspection by
+// the lifecycle evidence accumulator; it is nil on the reference scoring
+// path. Swap and Restore replace the window object, so holders must
+// re-fetch it rather than cache across those operations.
+func (d *Detector) Window() *timeseries.Window {
+	return d.win
+}
+
 // Swap atomically adopts a retrained graph, threshold, and chain length
 // between events: the phantom window and any partially tracked anomaly
 // chain survive, so a model refresh loses no detection state. The new graph

@@ -169,6 +169,49 @@ func gsquareStatistic(joint []float64, xArity, yArity, zCard int) float64 {
 	return g2
 }
 
+// TestCounts computes the G² test directly from a pre-accumulated
+// stratified contingency table, laid out exactly as countJoint builds it:
+// joint[z*xArity*yArity + x*yArity + y]. It is the entry point for callers
+// that maintain counts incrementally (e.g. the model-lifecycle drift scorer
+// folding live events against trained CPT counts) instead of materializing
+// per-observation samples; the statistic is folded by the same
+// gsquareStatistic accumulation as Test and TestBits, so all three paths
+// produce bit-identical values on equal counts.
+//
+// Counts may be fractional but must be finite and non-negative; the
+// MinObsPerDOF small-sample guard applies to the table's total mass.
+func (t GSquareTester) TestCounts(joint []float64, xArity, yArity, zCard int) (CIResult, error) {
+	if xArity < 2 || yArity < 2 {
+		return CIResult{}, fmt.Errorf("stats: counts arity %dx%d, want at least 2x2", xArity, yArity)
+	}
+	if zCard < 1 || zCard > maxZCard {
+		return CIResult{}, ErrCardinalityOverflow
+	}
+	if len(joint) != xArity*yArity*zCard {
+		return CIResult{}, fmt.Errorf("stats: joint table has %d cells, want %d", len(joint), xArity*yArity*zCard)
+	}
+	var n float64
+	for i, c := range joint {
+		if math.IsNaN(c) || math.IsInf(c, 0) || c < 0 {
+			return CIResult{}, fmt.Errorf("stats: joint cell %d holds invalid count %v", i, c)
+		}
+		n += c
+	}
+	if n == 0 {
+		return CIResult{}, ErrEmpty
+	}
+	dof := (xArity - 1) * (yArity - 1) * zCard
+	res := CIResult{DOF: dof, Reliable: true}
+	if t.MinObsPerDOF > 0 && n < float64(t.MinObsPerDOF*dof) {
+		res.Reliable = false
+		res.PValue = 1
+		return res, nil
+	}
+	res.Statistic = gsquareStatistic(joint, xArity, yArity, zCard)
+	res.PValue = ChiSquareSurvival(res.Statistic, dof)
+	return res, nil
+}
+
 // Test computes the G² statistic for the null hypothesis X ⊥ Y | Z.
 //
 // The statistic is G² = 2 Σ_{x,y,z} N(x,y,z) · ln( N(x,y,z)·N(z) /

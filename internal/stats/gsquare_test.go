@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -236,5 +237,77 @@ func TestGSquareSymmetryProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestCountsMatchesSamplePath: a table accumulated incrementally must test
+// bit-identically to the per-observation path over the same observations.
+func TestCountsMatchesSamplePath(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n := 3000
+	x := make([]int, n)
+	y := make([]int, n)
+	z := make([]int, n)
+	for i := 0; i < n; i++ {
+		z[i] = rng.Intn(2)
+		x[i] = rng.Intn(2)
+		y[i] = x[i] ^ z[i]
+		if rng.Float64() < 0.2 {
+			y[i] = 1 - y[i]
+		}
+	}
+	zs := []Sample{binarySample(z)}
+	tester := GSquareTester{MinObsPerDOF: 5}
+	ref, err := tester.Test(binarySample(x), binarySample(y), zs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joint := make([]float64, 2*2*2)
+	for i := 0; i < n; i++ {
+		joint[z[i]*4+x[i]*2+y[i]]++
+	}
+	got, err := tester.TestCounts(joint, 2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ref {
+		t.Fatalf("counts path %+v differs from sample path %+v", got, ref)
+	}
+}
+
+func TestCountsMinObsGuard(t *testing.T) {
+	joint := []float64{1, 0, 0, 1}
+	res, err := GSquareTester{MinObsPerDOF: 100}.TestCounts(joint, 2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reliable || res.PValue != 1 {
+		t.Fatalf("sparse table not marked unreliable: %+v", res)
+	}
+}
+
+func TestCountsValidation(t *testing.T) {
+	tester := GSquareTester{}
+	cases := []struct {
+		name   string
+		joint  []float64
+		x, y  int
+		zCard  int
+	}{
+		{"arity", []float64{1, 2}, 1, 2, 1},
+		{"zcard-zero", []float64{}, 2, 2, 0},
+		{"zcard-overflow", []float64{}, 2, 2, maxZCard + 1},
+		{"size", []float64{1, 2, 3}, 2, 2, 1},
+		{"negative", []float64{1, -1, 2, 3}, 2, 2, 1},
+		{"nan", []float64{1, math.NaN(), 2, 3}, 2, 2, 1},
+		{"inf", []float64{1, math.Inf(1), 2, 3}, 2, 2, 1},
+	}
+	for _, c := range cases {
+		if _, err := tester.TestCounts(c.joint, c.x, c.y, c.zCard); err == nil {
+			t.Errorf("%s: invalid table accepted", c.name)
+		}
+	}
+	if _, err := tester.TestCounts([]float64{0, 0, 0, 0}, 2, 2, 1); err != ErrEmpty {
+		t.Errorf("zero-mass table: err = %v, want ErrEmpty", err)
 	}
 }

@@ -7,8 +7,11 @@ import (
 	"io"
 	"math"
 
+	"time"
+
 	"github.com/causaliot/causaliot/internal/dig"
 	"github.com/causaliot/causaliot/internal/event"
+	"github.com/causaliot/causaliot/internal/lifecycle"
 	"github.com/causaliot/causaliot/internal/monitor"
 	"github.com/causaliot/causaliot/internal/preprocess"
 	"github.com/causaliot/causaliot/internal/timeseries"
@@ -177,6 +180,134 @@ type savedCheckpoint struct {
 	// first), pending anomaly chain, duplicate-skip mode, and the count of
 	// events that reached the detector.
 	State monitor.Checkpoint `json:"state"`
+	// Lifecycle is the online model-lifecycle state (drift evidence
+	// accumulator, sliding refit log, counters); present only for adaptive
+	// monitors, so non-adaptive checkpoints are unchanged byte-for-byte.
+	Lifecycle *savedLifecycle `json:"lifecycle,omitempty"`
+}
+
+// savedLifecycleStep is one accepted event of the sliding refit log, in
+// unified (device index, binary state) form.
+type savedLifecycleStep struct {
+	Device int       `json:"device"`
+	Value  int       `json:"value"`
+	Time   time.Time `json:"time"`
+}
+
+// savedLifecycle is the serializable model-lifecycle state riding the
+// checkpoint envelope.
+type savedLifecycle struct {
+	Config      AdaptConfig          `json:"config"`
+	Accumulator lifecycle.Snapshot   `json:"accumulator"`
+	Base        []int                `json:"base"`
+	Log         []savedLifecycleStep `json:"log"`
+	SinceScan   int                  `json:"sinceScan"`
+	Pending     int                  `json:"pending"`
+	Scans       uint64               `json:"scans"`
+	DriftScans  uint64               `json:"driftScans"`
+	Refits      uint64               `json:"refits"`
+	Remines     uint64               `json:"remines"`
+	Swaps       uint64               `json:"swaps"`
+	RefreshErrs uint64               `json:"refreshErrors"`
+}
+
+// saveLifecycle exports the monitor's lifecycle state; nil when adaptive
+// mode is off. Must run with the stream paused (the WriteCheckpoint
+// contract already requires this).
+func (m *Monitor) saveLifecycle() *savedLifecycle {
+	lc := m.lc
+	if lc == nil {
+		return nil
+	}
+	base, steps := lc.snapshotLog()
+	log := make([]savedLifecycleStep, len(steps))
+	for i, st := range steps {
+		log[i] = savedLifecycleStep{Device: st.Device, Value: st.Value, Time: st.Time}
+	}
+	return &savedLifecycle{
+		Config:      lc.cfg,
+		Accumulator: lc.acc.Snapshot(),
+		Base:        base,
+		Log:         log,
+		SinceScan:   lc.sinceScan,
+		Pending:     int(lc.pending.Load()),
+		Scans:       lc.scans.Load(),
+		DriftScans:  lc.driftScans.Load(),
+		Refits:      lc.refits.Load(),
+		Remines:     lc.remines.Load(),
+		Swaps:       lc.swaps.Load(),
+		RefreshErrs: lc.refreshErr.Load(),
+	}
+}
+
+// restoreLifecycle enables adaptive mode on a freshly restored monitor and
+// rebuilds its lifecycle state from the envelope. Every field is validated;
+// the strongest check replays the saved refit log from its base state and
+// requires the result to land exactly on the restored window's present
+// state — a log that cannot have produced the checkpointed trajectory is
+// rejected. On any error the monitor is left non-adaptive.
+func (m *Monitor) restoreLifecycle(s savedLifecycle) error {
+	if err := m.EnableAdaptive(s.Config); err != nil {
+		return err
+	}
+	lc := m.lc
+	fail := func(err error) error {
+		m.lc = nil
+		return err
+	}
+	if err := lc.acc.Restore(s.Accumulator); err != nil {
+		return fail(err)
+	}
+	n := m.sys.graph.Registry.Len()
+	if len(s.Base) != n {
+		return fail(fmt.Errorf("causaliot: lifecycle base covers %d devices, system has %d", len(s.Base), n))
+	}
+	if len(s.Log) > lc.cfg.RefitWindow {
+		return fail(fmt.Errorf("causaliot: lifecycle log has %d steps, window is %d", len(s.Log), lc.cfg.RefitWindow))
+	}
+	if s.SinceScan < 0 || s.SinceScan >= lc.cfg.ScanEvery {
+		return fail(fmt.Errorf("causaliot: lifecycle scan phase %d outside [0,%d)", s.SinceScan, lc.cfg.ScanEvery))
+	}
+	if s.Pending < int(RefreshNone) || s.Pending > int(RefreshRemine) {
+		return fail(fmt.Errorf("causaliot: lifecycle pending refresh %d unknown", s.Pending))
+	}
+	state := make(timeseries.State, n)
+	for i, v := range s.Base {
+		if v != 0 && v != 1 {
+			return fail(fmt.Errorf("causaliot: lifecycle base state %d is not binary", v))
+		}
+		state[i] = v
+	}
+	base := state.Clone()
+	for i, st := range s.Log {
+		if st.Device < 0 || st.Device >= n {
+			return fail(fmt.Errorf("causaliot: lifecycle log step %d device %d out of range", i, st.Device))
+		}
+		if st.Value != 0 && st.Value != 1 {
+			return fail(fmt.Errorf("causaliot: lifecycle log step %d value %d is not binary", i, st.Value))
+		}
+		state[st.Device] = st.Value
+	}
+	if current := m.det.Window().State(); !state.Equal(current) {
+		return fail(errors.New("causaliot: lifecycle log does not replay to the checkpointed state"))
+	}
+	lc.base = base
+	lc.head = 0
+	lc.n = len(s.Log)
+	for i, st := range s.Log {
+		lc.ring[i] = timeseries.Step{Device: st.Device, Value: st.Value, Time: st.Time}
+	}
+	lc.winLen.Store(int64(lc.n))
+	lc.folded.Store(s.Accumulator.Folded)
+	lc.sinceScan = s.SinceScan
+	lc.pending.Store(int32(s.Pending))
+	lc.scans.Store(s.Scans)
+	lc.driftScans.Store(s.DriftScans)
+	lc.refits.Store(s.Refits)
+	lc.remines.Store(s.Remines)
+	lc.swaps.Store(s.Swaps)
+	lc.refreshErr.Store(s.RefreshErrs)
+	return nil
 }
 
 // WriteCheckpoint serializes the monitor's full runtime state — phantom
@@ -200,6 +331,7 @@ func (m *Monitor) WriteCheckpoint(w io.Writer) error {
 		KMax:      m.sys.cfg.KMax,
 		Observed:  m.observed,
 		State:     m.det.Checkpoint(),
+		Lifecycle: m.saveLifecycle(),
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -257,6 +389,11 @@ func (s *System) RestoreMonitor(r io.Reader) (*Monitor, error) {
 		return nil, fmt.Errorf("causaliot: restore checkpoint: %w", err)
 	}
 	mon.observed = cp.Observed
+	if cp.Lifecycle != nil {
+		if err := mon.restoreLifecycle(*cp.Lifecycle); err != nil {
+			return nil, fmt.Errorf("causaliot: restore lifecycle: %w", err)
+		}
+	}
 	return mon, nil
 }
 

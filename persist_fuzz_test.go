@@ -93,3 +93,58 @@ func FuzzRestoreMonitor(f *testing.F) {
 		}
 	})
 }
+
+// FuzzRestoreLifecycle covers the lifecycle block of the checkpoint
+// envelope: accumulator counts, sliding refit log, and scan phase. A
+// hostile checkpoint must be rejected with an error — never a panic, never
+// an OOM from an absurd refit window, and never an adaptive monitor whose
+// first observation crashes or whose evidence disagrees with its window.
+func FuzzRestoreLifecycle(f *testing.F) {
+	sys, err := Train(testDevices(), trainingLog(120, 1), Config{Tau: 2, KMax: 2})
+	if err != nil {
+		f.Fatal(err)
+	}
+	mon, err := sys.NewMonitor()
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := mon.EnableAdaptive(AdaptConfig{ScanEvery: 64, RefitWindow: 128}); err != nil {
+		f.Fatal(err)
+	}
+	for i, e := range trainingLog(20, 7) {
+		if _, err := mon.ObserveEvent(e); err != nil {
+			f.Fatalf("seed event %d: %v", i, err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := mon.WriteCheckpoint(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(bytes.Replace(valid, []byte(`"lifecycle"`), []byte(`"lifecycle_"`), 1))
+	f.Add(bytes.Replace(valid, []byte(`"accumulator"`), []byte(`"accumulator_"`), 1))
+	f.Add(bytes.Replace(valid, []byte(`"folded"`), []byte(`"folded_"`), 1))
+	f.Add(bytes.Replace(valid, []byte(`"base"`), []byte(`"base_"`), 1))
+	f.Add(bytes.Replace(valid, []byte(`"log"`), []byte(`"log_"`), 1))
+	f.Add(bytes.Replace(valid, []byte(`"sinceScan"`), []byte(`"sinceScan":-1,"x"`), 1))
+	f.Add(bytes.Replace(valid, []byte(`"pending"`), []byte(`"pending":99,"x"`), 1))
+	f.Add(bytes.Replace(valid, []byte(`"RefitWindow"`), []byte(`"RefitWindow":1073741824,"x"`), 1))
+	f.Add(bytes.Replace(valid, []byte(`"total"`), []byte(`"total":[1e308],"x"`), 1))
+	f.Add(bytes.Replace(valid, []byte(`"device"`), []byte(`"device":-7,"x"`), 1))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		restored, err := sys.RestoreMonitor(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if _, err := restored.ObserveEvent(Event{Device: "light", Value: 1}); err != nil {
+			t.Fatalf("restored monitor cannot observe: %v", err)
+		}
+		if restored.Adaptive() {
+			if _, ok := restored.LifecycleStats(); !ok {
+				t.Fatal("adaptive monitor without lifecycle stats")
+			}
+		}
+	})
+}

@@ -1,0 +1,214 @@
+package causaliot_test
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/causaliot/causaliot"
+	"github.com/causaliot/causaliot/internal/event"
+	"github.com/causaliot/causaliot/internal/sim"
+)
+
+// TestAdaptiveServeSoak is the end-to-end lifecycle acceptance test: a hub
+// serves a simulated home whose automation rules are replaced mid-life.
+// The drifted stream must trigger drift detection, an automatic background
+// refit, and a hot swap with zero dropped events — and every post-swap
+// detection must be bit-identical to retraining offline on the same log
+// and swapping manually.
+func TestAdaptiveServeSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+
+	// Train on the stock ContextAct-like home.
+	tb := sim.ContextActLike()
+	simA, err := sim.NewSimulator(tb, sim.Config{Seed: 21, Days: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawA, err := simA.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	toType := func(attr event.Attribute) causaliot.DeviceType {
+		switch attr.Name {
+		case event.Switch.Name:
+			return causaliot.Switch
+		case event.PresenceSensor.Name:
+			return causaliot.Presence
+		case event.ContactSensor.Name:
+			return causaliot.Contact
+		case event.Dimmer.Name:
+			return causaliot.Dimmer
+		case event.WaterMeter.Name:
+			return causaliot.WaterMeter
+		case event.PowerSensor.Name:
+			return causaliot.Power
+		default:
+			return causaliot.Brightness
+		}
+	}
+	var devices []causaliot.Device
+	for _, d := range tb.Devices {
+		devices = append(devices, causaliot.Device{Name: d.Name, Type: toType(d.Attribute), Location: d.Location})
+	}
+	convert := func(raw []event.Event) []causaliot.Event {
+		out := make([]causaliot.Event, 0, len(raw))
+		for _, e := range raw {
+			out = append(out, causaliot.Event{Time: e.Timestamp, Device: e.Device, Value: e.Value})
+		}
+		return out
+	}
+	sysA, err := causaliot.Train(devices, convert(rawA), causaliot.Config{Tau: 3, KMax: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The same home after a firmware push rewires its automations: fresh
+	// rules, same device inventory. The served model is now stale.
+	tb2 := sim.ContextActLike()
+	rules, err := tb2.GenerateRules(10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb2.Rules = rules
+	simB, err := sim.NewSimulator(tb2, sim.Config{Seed: 33, Days: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawB, err := simB.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	drifted := convert(rawB)
+	cut := len(drifted) * 4 / 5
+	phase1, phase2 := drifted[:cut], drifted[cut:]
+
+	// Count how many phase-1 events the serving monitor will accept
+	// (validated, non-duplicate) so the drift scan fires exactly on the
+	// last phase-1 event and the sliding refit log holds all of phase 1.
+	shadow, err := sysA.NewMonitor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted1 := 0
+	for _, e := range phase1 {
+		det, err := shadow.ObserveEvent(e)
+		if err != nil {
+			continue // hub skips skippable errors the same way
+		}
+		if !det.Duplicate {
+			accepted1++
+		}
+	}
+	if accepted1 < 500 {
+		t.Fatalf("phase 1 too small to exercise drift detection: %d accepted events", accepted1)
+	}
+
+	adapt := causaliot.AdaptConfig{
+		ScanEvery:          accepted1,
+		MinEvidence:        256,
+		MinObsPerDOF:       1,
+		RefitWindow:        accepted1,
+		StructuralFraction: 2, // force the fast counts-only refit path
+	}
+
+	type run struct {
+		alarms []*causaliot.Alarm
+		stats  causaliot.HubStats
+	}
+	serve := func(auto bool) run {
+		h := causaliot.NewHub(causaliot.HubConfig{Workers: 2, QueueSize: 1024})
+		var mu sync.Mutex
+		var r run
+		opts := causaliot.TenantOptions{
+			OnAlarm: func(_ string, a *causaliot.Alarm, _ float64) {
+				mu.Lock()
+				r.alarms = append(r.alarms, a)
+				mu.Unlock()
+			},
+			OnError: func(string, causaliot.Event, error) {},
+		}
+		if auto {
+			opts.Adapt = &adapt
+		}
+		if err := h.Register("home", sysA, opts); err != nil {
+			t.Fatal(err)
+		}
+		submit := func(events []causaliot.Event) {
+			for _, e := range events {
+				if err := h.Submit("home", e); err != nil {
+					t.Fatalf("submit: %v", err)
+				}
+			}
+		}
+		drain := func(want uint64) {
+			deadline := time.Now().Add(30 * time.Second)
+			for h.Stats().Total.Processed < want {
+				if time.Now().After(deadline) {
+					t.Fatalf("hub stalled at %d/%d processed", h.Stats().Total.Processed, want)
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}
+
+		submit(phase1)
+		drain(uint64(len(phase1)))
+		if auto {
+			// The scan fired on the last accepted event; wait for the
+			// background refresh goroutine to refit and hot-swap.
+			deadline := time.Now().Add(30 * time.Second)
+			for {
+				st := h.LifecycleStats()["home"]
+				if st.Swaps == 1 && !st.RefreshInFlight {
+					if st.Refits != 1 || st.Remines != 0 || st.RefreshErrors != 0 {
+						t.Fatalf("unexpected refresh path: %+v", st)
+					}
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("drift never triggered an automatic swap: %+v", st)
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		} else {
+			// Manual path: retrain offline on the identical raw log and
+			// hot-swap by hand.
+			retrained, err := sysA.Refit(phase1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := h.Swap("home", retrained); err != nil {
+				t.Fatal(err)
+			}
+		}
+		submit(phase2)
+		if err := h.Close(); err != nil {
+			t.Fatal(err)
+		}
+		r.stats = h.Stats()
+		return r
+	}
+
+	autoRun := serve(true)
+	manualRun := serve(false)
+
+	for _, r := range []run{autoRun, manualRun} {
+		s := r.stats.Total
+		if s.Dropped != 0 {
+			t.Fatalf("soak dropped events: %+v", s)
+		}
+		if s.Processed != uint64(len(phase1)+len(phase2)) {
+			t.Fatalf("processed %d, want %d (lost or duplicated events)", s.Processed, len(phase1)+len(phase2))
+		}
+	}
+	if !reflect.DeepEqual(autoRun.alarms, manualRun.alarms) {
+		t.Fatalf("auto refresh and manual retrain diverge: %d vs %d alarms",
+			len(autoRun.alarms), len(manualRun.alarms))
+	}
+	if len(autoRun.alarms) == 0 {
+		t.Log("soak produced no alarms; divergence check is weaker than intended")
+	}
+}
