@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: tier1 vet race chaos fuzz check bench bench-detect bench-adapt bench-paper serve-demo
+.PHONY: tier1 vet race chaos fleet-soak fuzz check bench bench-detect bench-adapt bench-fleet bench-paper serve-demo
 
 tier1:
 	$(GO) build ./... && $(GO) test ./...
@@ -26,12 +26,19 @@ race:
 	$(GO) test -race ./...
 
 # Chaos tier: deterministic fault-schedule tests (internal/faults driving
-# the supervised hub), the checkpoint kill/resume equivalence tests, and
-# the model-lifecycle swap/drift stress and soak tests, all under the race
-# detector.
-chaos:
-	$(GO) test -race -run 'Chaos|Checkpoint|Quarantine|Wedged|Panic|CloseRace|Stress|SIGTERM|Adaptive|Soak' \
-		./internal/hub ./internal/faults ./cmd/causaliot .
+# the supervised hub), the checkpoint kill/resume equivalence tests, the
+# model-lifecycle swap/drift stress and soak tests, and the fleet
+# router/migration suite, all under the race detector.
+chaos: fleet-soak
+	$(GO) test -race -run 'Chaos|Checkpoint|Quarantine|Wedged|Panic|CloseRace|Stress|SIGTERM|Adaptive|Soak|Fleet|Migrat|Router|Ring' \
+		./internal/hub ./internal/faults ./internal/fleet ./cmd/causaliot .
+
+# Fleet rebalance soak: an N-shard fleet with a mid-stream shard add
+# (rebalance) and an explicit live migration must land bit-identical to a
+# single hub on the same trace — alarms, scores, checkpoint state — with
+# zero dropped or duplicated events. Runs under -race.
+fleet-soak:
+	$(GO) test -race -run 'TestFleetRebalanceSoak' -v .
 
 # Short fuzz pass over the model and checkpoint deserializers (the
 # error-never-panic contract); extend -fuzztime for a deeper run.
@@ -59,6 +66,12 @@ bench-detect:
 # BENCH_adapt.json.
 bench-adapt:
 	$(GO) run ./cmd/benchadapt -out BENCH_adapt.json
+
+# Sharded-serving benchmarks; records Submit throughput on a single hub
+# vs. 2- and 4-shard fleets at constant total worker count, the route
+# lookup cost, and live-migration wall time under load to BENCH_fleet.json.
+bench-fleet:
+	$(GO) run ./cmd/benchfleet -out BENCH_fleet.json
 
 # Full paper-reproduction benchmark suite (tables, figures, ablations).
 bench-paper:

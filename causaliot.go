@@ -556,8 +556,9 @@ func (m *Monitor) ObserveBatch(events []Event) ([]Detection, error) {
 // is raised and the event's anomaly score (duplicated state reports score
 // zero and never alarm).
 //
-// Deprecated: use ObserveEvent, whose Detection result also carries the
-// unified state and the duplicate verdict.
+// Deprecated: use ObserveEvent(e Event) (Detection, error) — the Detection
+// carries the same Alarm and Score plus the unified state and the
+// duplicate verdict.
 func (m *Monitor) Observe(e Event) (*Alarm, float64, error) {
 	det, err := m.ObserveEvent(e)
 	return det.Alarm, det.Score, err

@@ -112,30 +112,31 @@ func TestMonitorDetectsGhostActivation(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Normal pattern: presence then light — no alarm on the light event.
-	if _, _, err := mon.Observe(Event{Time: t0, Device: "presence", Value: 1}); err != nil {
+	if _, err := mon.ObserveEvent(Event{Time: t0, Device: "presence", Value: 1}); err != nil {
 		t.Fatal(err)
 	}
-	alarm, _, err := mon.Observe(Event{Time: t0.Add(3 * time.Second), Device: "light", Value: 1})
+	det, err := mon.ObserveEvent(Event{Time: t0.Add(3 * time.Second), Device: "light", Value: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if alarm != nil {
-		t.Errorf("normal light activation alarmed: %+v", alarm)
+	if det.Alarm != nil {
+		t.Errorf("normal light activation alarmed: %+v", det.Alarm)
 	}
 	// Wind down.
-	if _, _, err := mon.Observe(Event{Time: t0.Add(time.Minute), Device: "presence", Value: 0}); err != nil {
+	if _, err := mon.ObserveEvent(Event{Time: t0.Add(time.Minute), Device: "presence", Value: 0}); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := mon.Observe(Event{Time: t0.Add(time.Minute + 4*time.Second), Device: "light", Value: 0}); err != nil {
+	if _, err := mon.ObserveEvent(Event{Time: t0.Add(time.Minute + 4*time.Second), Device: "light", Value: 0}); err != nil {
 		t.Fatal(err)
 	}
 	// Ghost activation: the light turns on with no presence.
-	alarm, score, err := mon.Observe(Event{Time: t0.Add(2 * time.Hour), Device: "light", Value: 1})
+	det, err = mon.ObserveEvent(Event{Time: t0.Add(2 * time.Hour), Device: "light", Value: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
+	alarm := det.Alarm
 	if alarm == nil {
-		t.Fatalf("ghost activation not detected (score %v, threshold %v)", score, sys.Threshold())
+		t.Fatalf("ghost activation not detected (score %v, threshold %v)", det.Score, sys.Threshold())
 	}
 	if alarm.Collective() {
 		t.Error("single-event alarm reported collective")
@@ -155,14 +156,14 @@ func TestMonitorSkipsDuplicatesAndUnknown(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	alarm, score, err := mon.Observe(Event{Time: t0, Device: "light", Value: 0}) // already off
+	det, err := mon.ObserveEvent(Event{Time: t0, Device: "light", Value: 0}) // already off
 	if err != nil {
 		t.Fatal(err)
 	}
-	if alarm != nil || score != 0 {
-		t.Errorf("duplicate report alarmed: %v %v", alarm, score)
+	if det.Alarm != nil || det.Score != 0 {
+		t.Errorf("duplicate report alarmed: %v %v", det.Alarm, det.Score)
 	}
-	if _, _, err := mon.Observe(Event{Time: t0, Device: "ghost", Value: 1}); err == nil {
+	if _, err := mon.ObserveEvent(Event{Time: t0, Device: "ghost", Value: 1}); err == nil {
 		t.Error("unknown device accepted")
 	}
 }
@@ -177,7 +178,7 @@ func TestMonitorFlush(t *testing.T) {
 		t.Error("flush of idle monitor returned alarm")
 	}
 	// Seed a chain, then flush mid-tracking.
-	if _, _, err := mon.Observe(Event{Time: t0, Device: "light", Value: 1}); err != nil {
+	if _, err := mon.ObserveEvent(Event{Time: t0, Device: "light", Value: 1}); err != nil {
 		t.Fatal(err)
 	}
 	a := mon.Flush()

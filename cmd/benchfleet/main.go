@@ -1,0 +1,285 @@
+// Command benchfleet records the sharded-serving baseline to a JSON file
+// (BENCH_fleet.json at the repo root), the fleet-side companion of
+// benchdetect. It benchmarks end-to-end Submit throughput on a single
+// unsharded Hub against Fleets of increasing shard counts hosting the same
+// tenants (Block backpressure couples the submit rate to processing
+// throughput, so ns/op measures the whole ingest-to-score pipeline), plus
+// the routing layer alone (route lookup on a warm table) and the cost of a
+// live migration under load, then writes ns/op, events/sec, and the
+// sharded-vs-unsharded speedups.
+//
+//	go run ./cmd/benchfleet -out BENCH_fleet.json [-days 4] [-tenants 16]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	causaliot "github.com/causaliot/causaliot"
+	"github.com/causaliot/causaliot/internal/event"
+	"github.com/causaliot/causaliot/internal/sim"
+)
+
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type report struct {
+	Generated    string             `json:"generated"`
+	GoVersion    string             `json:"go_version"`
+	GOOS         string             `json:"goos"`
+	GOARCH       string             `json:"goarch"`
+	CPUs         int                `json:"cpus"`
+	SimDays      int                `json:"sim_days"`
+	Tenants      int                `json:"tenants"`
+	Benchmarks   []benchResult      `json:"benchmarks"`
+	EventsPerSec map[string]float64 `json:"events_per_sec"`
+	Speedup      map[string]float64 `json:"speedup"`
+	MigrationMs  float64            `json:"migration_ms"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_fleet.json", "output JSON file")
+	days := flag.Int("days", 4, "simulated days of training data")
+	tenants := flag.Int("tenants", 16, "homes hosted per topology")
+	flag.Parse()
+	if err := run(*out, *days, *tenants); err != nil {
+		fmt.Fprintln(os.Stderr, "benchfleet:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, days, tenants int) error {
+	tb := sim.ContextActLike()
+	simulator, err := sim.NewSimulator(tb, sim.Config{Seed: 7, Days: days})
+	if err != nil {
+		return err
+	}
+	log, err := simulator.Run()
+	if err != nil {
+		return err
+	}
+	sys, events, err := trainFacade(tb, log)
+	if err != nil {
+		return err
+	}
+
+	rep := report{
+		Generated:    time.Now().UTC().Format(time.RFC3339),
+		GoVersion:    runtime.Version(),
+		GOOS:         runtime.GOOS,
+		GOARCH:       runtime.GOARCH,
+		CPUs:         runtime.NumCPU(),
+		SimDays:      days,
+		Tenants:      tenants,
+		EventsPerSec: make(map[string]float64),
+		Speedup:      make(map[string]float64),
+	}
+
+	measure := func(name string, fn func(b *testing.B)) benchResult {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			fn(b)
+		})
+		res := benchResult{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		rep.Benchmarks = append(rep.Benchmarks, res)
+		rep.EventsPerSec[name] = 1e9 / res.NsPerOp
+		fmt.Printf("%-28s %12.0f ns/op %10d B/op %8d allocs/op %14.0f events/sec (n=%d)\n",
+			name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp, rep.EventsPerSec[name], res.Iterations)
+		return res
+	}
+
+	names := make([]string, tenants)
+	for i := range names {
+		names[i] = fmt.Sprintf("home-%d", i)
+	}
+	register := func(h causaliot.Host) error {
+		for _, name := range names {
+			err := h.Register(name, sys, causaliot.TenantOptions{
+				OnAlarm: func(string, *causaliot.Alarm, float64) {},
+			})
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Submit throughput, round-robin across all tenants, each worker pool
+	// sized so total workers stay constant across topologies — the speedup
+	// therefore measures routing overhead and lock-contention relief, not
+	// extra parallelism handed to the sharded runs.
+	totalWorkers := runtime.NumCPU()
+	if totalWorkers < 4 {
+		totalWorkers = 4
+	}
+	// testing.Benchmark re-runs the function with growing b.N, so each run
+	// must build (and close) a fresh host.
+	submit := func(newHost func() causaliot.Host) func(b *testing.B) {
+		return func(b *testing.B) {
+			h := newHost()
+			if err := register(h); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					if err := h.Submit(names[i%tenants], events[i%len(events)]); err != nil {
+						b.Fatal(err)
+					}
+					i++
+				}
+			})
+			b.StopTimer()
+			if err := h.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	hubRes := measure("Submit/hub", submit(func() causaliot.Host {
+		return causaliot.NewHub(causaliot.HubConfig{Workers: totalWorkers})
+	}))
+	for _, shards := range []int{2, 4} {
+		w := totalWorkers / shards
+		if w < 1 {
+			w = 1
+		}
+		res := measure(fmt.Sprintf("Submit/fleet(shards=%d)", shards),
+			submit(func() causaliot.Host {
+				return causaliot.NewFleet(causaliot.FleetConfig{
+					Shards: shards,
+					Hub:    causaliot.HubConfig{Workers: w},
+				})
+			}))
+		rep.Speedup[fmt.Sprintf("fleet_%d_vs_hub", shards)] = hubRes.NsPerOp / res.NsPerOp
+	}
+
+	// Routing layer alone: Submit on a fleet whose tenants drop every event
+	// at the queue head would still score it, so instead measure ShardOf —
+	// the pure ring lookup on a warm route table.
+	f := causaliot.NewFleet(causaliot.FleetConfig{Shards: 4, Hub: causaliot.HubConfig{Workers: 1}})
+	if err := register(f); err != nil {
+		return err
+	}
+	measure("Route/shardOf", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := f.ShardOf(names[i%tenants]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Live migration cost under load: producers hammer every tenant while
+	// one tenant ping-pongs between shards; wall time per Migrate covers
+	// quiesce, checkpoint export/restore, and gap replay.
+	stop := make(chan struct{})
+	doneProducing := make(chan struct{})
+	go func() {
+		defer close(doneProducing)
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := f.Submit(names[i%tenants], events[i%len(events)]); err != nil {
+				return
+			}
+			i++
+		}
+	}()
+	const flips = 20
+	shards := f.Shards()
+	start := time.Now()
+	for flip := 0; flip < flips; flip++ {
+		if err := f.Migrate(names[0], shards[flip%len(shards)]); err != nil {
+			return err
+		}
+	}
+	rep.MigrationMs = float64(time.Since(start).Milliseconds()) / flips
+	close(stop)
+	<-doneProducing
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("%-28s %12.2f ms/migration (quiesce + checkpoint handoff + replay, under load)\n",
+		"Migrate/underLoad", rep.MigrationMs)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("speedups: fleet(2) %.2fx, fleet(4) %.2fx vs hub (%d CPUs, %d tenants) — wrote %s\n",
+		rep.Speedup["fleet_2_vs_hub"], rep.Speedup["fleet_4_vs_hub"], runtime.NumCPU(), tenants, out)
+	return nil
+}
+
+// trainFacade trains a public-API System on the simulated home and converts
+// its log into facade events for replay.
+func trainFacade(tb *sim.Testbed, log event.Log) (*causaliot.System, []causaliot.Event, error) {
+	devices := make([]causaliot.Device, len(tb.Devices))
+	for i, d := range tb.Devices {
+		typ, err := deviceTypeFor(d.Attribute)
+		if err != nil {
+			return nil, nil, err
+		}
+		devices[i] = causaliot.Device{Name: d.Name, Type: typ, Location: d.Location}
+	}
+	events := make([]causaliot.Event, len(log))
+	for i, ev := range log {
+		events[i] = causaliot.Event{Time: ev.Timestamp, Device: ev.Device, Value: ev.Value}
+	}
+	sys, err := causaliot.Train(devices, events, causaliot.Config{KMax: 3})
+	if err != nil {
+		return nil, nil, err
+	}
+	return sys, events, nil
+}
+
+func deviceTypeFor(attr event.Attribute) (causaliot.DeviceType, error) {
+	switch attr.Name {
+	case event.Switch.Name:
+		return causaliot.Switch, nil
+	case event.PresenceSensor.Name:
+		return causaliot.Presence, nil
+	case event.ContactSensor.Name:
+		return causaliot.Contact, nil
+	case event.Dimmer.Name:
+		return causaliot.Dimmer, nil
+	case event.WaterMeter.Name:
+		return causaliot.WaterMeter, nil
+	case event.PowerSensor.Name:
+		return causaliot.Power, nil
+	case event.BrightnessSensor.Name:
+		return causaliot.Brightness, nil
+	}
+	switch attr.Class {
+	case event.Binary:
+		return causaliot.GenericBinary, nil
+	case event.ResponsiveNumeric:
+		return causaliot.GenericResponsive, nil
+	case event.AmbientNumeric:
+		return causaliot.GenericAmbient, nil
+	}
+	return 0, fmt.Errorf("benchfleet: unmapped attribute %q", attr.Name)
+}

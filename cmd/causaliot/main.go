@@ -243,29 +243,28 @@ type serveCheckpoint struct {
 	Homes   map[string]serveHome `json:"homes"`
 }
 
-// writeServeCheckpoint snapshots every named home and atomically replaces
+// writeServeCheckpoint exports every named home and atomically replaces
 // the checkpoint file (write-then-rename, so a crash mid-write never leaves
 // a truncated file behind). With withModel, each home's served model rides
 // along, captured consistently with its state even if a background refresh
-// is racing.
-func writeServeCheckpoint(h *causaliot.Hub, names []string, path string, withModel bool) error {
+// is racing. Taking a Host, it checkpoints a single hub and a sharded
+// fleet identically.
+func writeServeCheckpoint(h causaliot.Host, names []string, path string, withModel bool) error {
 	cp := serveCheckpoint{Version: serveCheckpointVersion, Homes: make(map[string]serveHome, len(names))}
 	for _, name := range names {
 		var home serveHome
+		var model, state bytes.Buffer
+		opts := causaliot.ExportOptions{State: &state}
 		if withModel {
-			var model, state bytes.Buffer
-			if err := h.Snapshot(name, &model, &state); err != nil {
-				return fmt.Errorf("snapshot %s: %w", name, err)
-			}
-			home.Model = json.RawMessage(model.Bytes())
-			home.State = json.RawMessage(state.Bytes())
-		} else {
-			var buf bytes.Buffer
-			if err := h.Checkpoint(name, &buf); err != nil {
-				return fmt.Errorf("checkpoint %s: %w", name, err)
-			}
-			home.State = json.RawMessage(buf.Bytes())
+			opts.Model = &model
 		}
+		if err := h.Export(name, opts); err != nil {
+			return fmt.Errorf("export %s: %w", name, err)
+		}
+		if withModel {
+			home.Model = json.RawMessage(model.Bytes())
+		}
+		home.State = json.RawMessage(state.Bytes())
 		cp.Homes[name] = home
 	}
 	data, err := json.MarshalIndent(cp, "", "  ")
@@ -339,7 +338,8 @@ func cmdServe(args []string) error {
 	tau := fs.Int("tau", 0, "maximum time lag (0 = automatic)")
 	kmax := fs.Int("kmax", 1, "maximum anomaly chain length")
 	tenants := fs.Int("tenants", 4, "number of homes to host")
-	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	shards := fs.Int("shards", 1, "hub shards to spread homes across (>1 serves through a Fleet)")
+	workers := fs.Int("workers", 0, "worker pool size per shard (0 = GOMAXPROCS)")
 	queue := fs.Int("queue", 1024, "per-home ingestion queue capacity")
 	policyName := fs.String("policy", "block", "backpressure policy: block|drop-oldest|reject")
 	checkpointPath := fs.String("checkpoint", "", "write a checkpoint of every home to this file on completion or SIGTERM")
@@ -358,6 +358,9 @@ func cmdServe(args []string) error {
 	}
 	if *tenants < 1 {
 		return fmt.Errorf("serve: -tenants %d < 1", *tenants)
+	}
+	if *shards < 1 {
+		return fmt.Errorf("serve: -shards %d < 1", *shards)
 	}
 	if *resume && *checkpointPath == "" {
 		return fmt.Errorf("serve: -resume requires -checkpoint")
@@ -417,11 +420,19 @@ func cmdServe(args []string) error {
 		}
 	}
 
-	h := causaliot.NewHub(causaliot.HubConfig{
+	// A single shard serves on a plain Hub; more serve through a Fleet.
+	// Both satisfy Host, so the rest of the command is identical.
+	hubCfg := causaliot.HubConfig{
 		Workers:      *workers,
 		QueueSize:    *queue,
 		Backpressure: policy,
-	})
+	}
+	var h causaliot.Host
+	if *shards > 1 {
+		h = causaliot.NewFleet(causaliot.FleetConfig{Shards: *shards, Hub: hubCfg})
+	} else {
+		h = causaliot.NewHub(hubCfg)
+	}
 	var opts causaliot.TenantOptions
 	if *adapt {
 		opts.Adapt = &causaliot.AdaptConfig{
@@ -670,11 +681,11 @@ func cmdDetect(args []string) error {
 		}
 	}
 	for _, e := range streamLog {
-		alarm, _, err := mon.Observe(e)
+		det, err := mon.ObserveEvent(e)
 		if err != nil {
 			return err
 		}
-		report(alarm)
+		report(det.Alarm)
 	}
 	report(mon.Flush())
 	fmt.Printf("processed %d events, %d alarms (threshold %.4f, kmax %d)\n", len(streamLog), alarms, sys.Threshold(), *kmax)

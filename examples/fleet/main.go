@@ -1,8 +1,9 @@
-// Fleet: serve many homes concurrently on a Hub. Three homes share a
-// trained model; their event streams are validated in parallel (each home's
-// stream stays strictly ordered), one home is attacked with a ghost light
-// activation, and the model is hot-swapped with an Extend-ed retrain while
-// traffic keeps flowing.
+// Fleet: serve many homes across hub shards. Three homes share a trained
+// model on a two-shard fleet; their event streams are validated in parallel
+// (each home's stream stays strictly ordered), one home is attacked with a
+// ghost light activation, one home is live-migrated to another shard while
+// its traffic keeps flowing (zero events lost), and the fleet is grown by a
+// shard with `AddShard` rebalancing homes onto it.
 package main
 
 import (
@@ -43,20 +44,29 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Host three homes on a shared worker pool. Alarms arrive on one
-	// channel, tagged with the home that raised them.
-	hub := causaliot.NewHub(causaliot.HubConfig{Workers: 4, QueueSize: 256})
+	// Host three homes on a two-shard fleet. The Fleet serves the same
+	// surface as a single Hub — Register, Submit, one fan-in Alarms channel
+	// tagged with the home that raised each alarm — with homes spread over
+	// shard hubs by consistent hashing.
+	fleet := causaliot.NewFleet(causaliot.FleetConfig{
+		Shards: 2,
+		Hub:    causaliot.HubConfig{Workers: 2, QueueSize: 256},
+	})
 	homes := []string{"maple-st-12", "oak-ave-3", "pine-rd-9"}
 	for _, home := range homes {
-		if err := hub.Register(home, sys, causaliot.TenantOptions{}); err != nil {
+		if err := fleet.Register(home, sys, causaliot.TenantOptions{}); err != nil {
 			log.Fatal(err)
 		}
+	}
+	for _, home := range homes {
+		shard, _ := fleet.ShardOf(home)
+		fmt.Printf("%-12s -> shard %d\n", home, shard)
 	}
 	var alarms sync.WaitGroup
 	alarms.Add(1)
 	go func() {
 		defer alarms.Done()
-		for ta := range hub.Alarms() {
+		for ta := range fleet.Alarms() {
 			ev := ta.Alarm.Events[0]
 			fmt.Printf("[%s] ALARM: %s=%d score=%.4f context=%v\n",
 				ta.Tenant, ev.Device, ev.State, ev.Score, ev.Context)
@@ -73,7 +83,7 @@ func main() {
 			defer day.Done()
 			rng := rand.New(rand.NewSource(seed))
 			for _, ev := range normalDay(rng, streamStart, 20) {
-				if err := hub.Submit(home, ev); err != nil {
+				if err := fleet.Submit(home, ev); err != nil {
 					log.Fatal(err)
 				}
 			}
@@ -81,36 +91,46 @@ func main() {
 				ghost := causaliot.Event{
 					Time: streamStart.Add(19 * time.Hour), Device: "light", Value: 1,
 				}
-				if err := hub.Submit(home, ghost); err != nil {
+				if err := fleet.Submit(home, ghost); err != nil {
 					log.Fatal(err)
 				}
 			}
 		}(home, int64(i+100))
 	}
+
+	// While the day's traffic flows, live-migrate one home to the other
+	// shard: its queue quiesces, the checkpoint envelope pipes across,
+	// mid-flight submissions buffer and replay — nothing is dropped and the
+	// home's alarm stream stays ordered.
+	from, _ := fleet.ShardOf("pine-rd-9")
+	to := 1 - from
+	if err := fleet.Migrate("pine-rd-9", to); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pine-rd-9 live-migrated shard %d -> %d\n", from, to)
 	day.Wait()
 
-	// Fold the fresh normal traffic into the model and hot-swap it in —
-	// no home misses an event while the new DIG takes over.
-	extended, err := causaliot.Train(devices, normalDay(rng, start, 500), causaliot.Config{})
+	// Grow the fleet: AddShard rebalances ~1/3 of the homes onto the new
+	// shard with the same live-migration machinery, one home at a time.
+	added, err := fleet.AddShard()
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := extended.Extend(normalDay(rng, streamStart.Add(24*time.Hour), 100)); err != nil {
-		log.Fatal(err)
-	}
+	fmt.Printf("added shard %d; homes now:\n", added)
 	for _, home := range homes {
-		if err := hub.Swap(home, extended); err != nil {
-			log.Fatal(err)
-		}
+		shard, _ := fleet.ShardOf(home)
+		fmt.Printf("  %-12s -> shard %d\n", home, shard)
 	}
 
-	if err := hub.Close(); err != nil {
+	if err := fleet.Close(); err != nil {
 		log.Fatal(err)
 	}
 	alarms.Wait()
 
-	stats := hub.Stats()
-	fmt.Printf("\nserved %d homes on %d workers:\n", len(stats.Tenants), stats.Workers)
+	stats := fleet.Stats()
+	fs := fleet.FleetStats()
+	fmt.Printf("\nserved %d homes on %d shards (%d workers), %d live migrations, %d gap events replayed:\n",
+		len(stats.Tenants), len(fs.Shards), stats.Workers, fs.Migrations, fs.Replayed)
 	for _, ts := range stats.Tenants {
 		fmt.Printf("  %-12s ingested=%d alarms=%d p99=%v\n", ts.Tenant, ts.Ingested, ts.Alarms, ts.P99)
 	}

@@ -46,18 +46,22 @@ func (p BackpressurePolicy) internal() hub.Policy {
 
 // Hub serving errors. ErrBackpressure marks a Submit refused by a
 // BackpressureReject queue; ErrUnknownTenant an operation on an
-// unregistered home; ErrHubClosed an operation on a closed hub;
-// ErrQuarantined a Submit refused by a home's tripped circuit breaker;
-// ErrProcessorPanic wraps a panic recovered from a home's event processing
-// (counted as a failure, the stream continues); ErrDrainTimeout a
-// CloseWithin drain that exceeded its deadline.
+// unregistered home; ErrDuplicateTenant a registration under a name already
+// hosted; ErrHubClosed an operation on a closed hub; ErrQuarantined a
+// Submit refused by a home's tripped circuit breaker; ErrProcessorPanic
+// wraps a panic recovered from a home's event processing (counted as a
+// failure, the stream continues); ErrDrainTimeout a CloseWithin drain that
+// exceeded its deadline. All are errors.Is-matchable through any facade
+// wrapping; the internal hub/fleet packages never leak their own sentinel
+// identities past these aliases.
 var (
-	ErrBackpressure   = hub.ErrBackpressure
-	ErrUnknownTenant  = hub.ErrUnknownTenant
-	ErrHubClosed      = hub.ErrClosed
-	ErrQuarantined    = hub.ErrQuarantined
-	ErrProcessorPanic = hub.ErrPanic
-	ErrDrainTimeout   = hub.ErrDrainTimeout
+	ErrBackpressure    = hub.ErrBackpressure
+	ErrUnknownTenant   = hub.ErrUnknownTenant
+	ErrDuplicateTenant = hub.ErrDuplicateTenant
+	ErrHubClosed       = hub.ErrClosed
+	ErrQuarantined     = hub.ErrQuarantined
+	ErrProcessorPanic  = hub.ErrPanic
+	ErrDrainTimeout    = hub.ErrDrainTimeout
 )
 
 // HealthState is a home's circuit-breaker state, reported in TenantStats.
@@ -370,40 +374,47 @@ func (h *Hub) LifecycleStats() map[string]LifecycleStats {
 	return out
 }
 
-// SaveModel writes a home's currently served model (see System.Save),
-// serialized with the home's stream — an adaptive home's model changes on
-// hot swaps, so the artifact on disk must be captured between events.
-func (h *Hub) SaveModel(tenant string, w io.Writer) error {
+// Export writes a home's serving artifacts — the served model, its runtime
+// checkpoint, or both — under a single stream pause (see ExportOptions).
+// Because the pause spans every selected artifact, the pair is guaranteed
+// consistent even while a background refresh is racing to swap the model: a
+// checkpoint restored onto the model it was exported with resumes
+// bit-for-bit. The export lands on an exact event boundary, with no event
+// half-processed; events submitted after the boundary are NOT part of it —
+// a resumed process must replay its source log from the checkpoint's
+// Observed position. Export is the one serialization path: crash-recovery
+// checkpoints, operator snapshots, and live fleet migrations all go
+// through it.
+func (h *Hub) Export(tenant string, opts ExportOptions) error {
+	if opts.Model == nil && opts.State == nil {
+		return errors.New("causaliot: export with no destination")
+	}
 	return h.inner.Update(tenant, func(p hub.Processor) (hub.Processor, error) {
 		tp, ok := p.(*tenantProc)
 		if !ok {
 			return nil, fmt.Errorf("causaliot: tenant %q hosts a foreign processor", tenant)
 		}
-		if err := tp.mon.sys.Save(w); err != nil {
+		if err := tp.mon.Export(opts); err != nil {
 			return nil, err
 		}
 		return tp, nil
 	})
 }
 
+// SaveModel writes a home's currently served model (see System.Save),
+// serialized with the home's stream.
+//
+// Deprecated: use Export(tenant, ExportOptions{Model: w}).
+func (h *Hub) SaveModel(tenant string, w io.Writer) error {
+	return h.Export(tenant, ExportOptions{Model: w})
+}
+
 // Snapshot writes a home's served model and its runtime checkpoint under a
-// single stream pause, so the pair is guaranteed consistent even while a
-// background refresh is racing to swap the model: a checkpoint restored
-// onto the model it was written with resumes bit-for-bit.
+// single stream pause.
+//
+// Deprecated: use Export(tenant, ExportOptions{Model: model, State: state}).
 func (h *Hub) Snapshot(tenant string, model, state io.Writer) error {
-	return h.inner.Update(tenant, func(p hub.Processor) (hub.Processor, error) {
-		tp, ok := p.(*tenantProc)
-		if !ok {
-			return nil, fmt.Errorf("causaliot: tenant %q hosts a foreign processor", tenant)
-		}
-		if err := tp.mon.sys.Save(model); err != nil {
-			return nil, err
-		}
-		if err := tp.mon.WriteCheckpoint(state); err != nil {
-			return nil, err
-		}
-		return tp, nil
-	})
+	return h.Export(tenant, ExportOptions{Model: model, State: state})
 }
 
 // Submit enqueues one event for a home. Under a full queue the home's
@@ -435,22 +446,11 @@ func (h *Hub) Swap(tenant string, sys *System) error {
 }
 
 // Checkpoint writes a home's full runtime state (see
-// Monitor.WriteCheckpoint) to w, serialized with the home's stream: the
-// checkpoint lands on an exact event boundary, with no event half-processed.
-// Queued and in-flight events submitted after the boundary are NOT part of
-// the checkpoint — a resumed process must replay its source log from the
-// checkpoint's Observed position.
+// Monitor.WriteCheckpoint) to w, serialized with the home's stream.
+//
+// Deprecated: use Export(tenant, ExportOptions{State: w}).
 func (h *Hub) Checkpoint(tenant string, w io.Writer) error {
-	return h.inner.Update(tenant, func(p hub.Processor) (hub.Processor, error) {
-		tp, ok := p.(*tenantProc)
-		if !ok {
-			return nil, fmt.Errorf("causaliot: tenant %q hosts a foreign processor", tenant)
-		}
-		if err := tp.mon.WriteCheckpoint(w); err != nil {
-			return nil, err
-		}
-		return tp, nil
-	})
+	return h.Export(tenant, ExportOptions{State: w})
 }
 
 // Flush reports a home's partially tracked anomaly chain (if any) through

@@ -105,12 +105,12 @@ func TestEndToEndSmartHome(t *testing.T) {
 		{Time: last.Add(5*60*1e9 + 8e9), Device: "PE_living", Value: 1},
 		{Time: last.Add(5*60*1e9 + 16e9), Device: "PE_living", Value: 0},
 	} {
-		alarm, _, err := mon.Observe(e)
+		det, err := mon.ObserveEvent(e)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if alarm != nil {
-			alarmText = alarm.Explain()
+		if det.Alarm != nil {
+			alarmText = det.Alarm.Explain()
 		}
 	}
 	if alarmText == "" {

@@ -1,0 +1,104 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingOwnerDeterministic(t *testing.T) {
+	a, b := NewRing(0), NewRing(0)
+	for _, s := range []int{0, 1, 2} {
+		a.Add(s)
+		b.Add(s)
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("home-%d", i)
+		sa, oka := a.Owner(key)
+		sb, okb := b.Owner(key)
+		if !oka || !okb || sa != sb {
+			t.Fatalf("owner(%q) diverges: %d/%v vs %d/%v", key, sa, oka, sb, okb)
+		}
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	r := NewRing(0)
+	if _, ok := r.Owner("x"); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+	r.Add(7)
+	if s, ok := r.Owner("x"); !ok || s != 7 {
+		t.Fatalf("single-shard ring owner = %d/%v, want 7", s, ok)
+	}
+	if got := r.Shards(); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("shards = %v", got)
+	}
+	r.Add(7) // idempotent
+	if r.Len() != 1 {
+		t.Fatalf("duplicate add changed len to %d", r.Len())
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	r := NewRing(0)
+	shards := 4
+	for s := 0; s < shards; s++ {
+		r.Add(s)
+	}
+	counts := make([]int, shards)
+	n := 4000
+	for i := 0; i < n; i++ {
+		s, _ := r.Owner(fmt.Sprintf("home-%d", i))
+		counts[s]++
+	}
+	// With 64 vnodes per shard the split should be within a factor of two
+	// of fair share — the guarantee we rely on is balance, not perfection.
+	fair := n / shards
+	for s, c := range counts {
+		if c < fair/2 || c > fair*2 {
+			t.Fatalf("shard %d owns %d of %d keys (fair %d): %v", s, c, n, fair, counts)
+		}
+	}
+}
+
+func TestRingMinimalMovement(t *testing.T) {
+	r := NewRing(0)
+	for s := 0; s < 3; s++ {
+		r.Add(s)
+	}
+	n := 3000
+	before := make([]int, n)
+	for i := range before {
+		before[i], _ = r.Owner(fmt.Sprintf("home-%d", i))
+	}
+	r.Add(3)
+	movedToNew, movedElsewhere := 0, 0
+	for i := range before {
+		after, _ := r.Owner(fmt.Sprintf("home-%d", i))
+		if after == before[i] {
+			continue
+		}
+		if after == 3 {
+			movedToNew++
+		} else {
+			movedElsewhere++
+		}
+	}
+	// Consistent hashing: keys only move onto the new shard, never between
+	// surviving shards, and roughly 1/4 of them.
+	if movedElsewhere != 0 {
+		t.Fatalf("%d keys moved between surviving shards", movedElsewhere)
+	}
+	if movedToNew == 0 || movedToNew > n/2 {
+		t.Fatalf("adding a shard moved %d of %d keys", movedToNew, n)
+	}
+
+	// Removing it moves exactly those keys back.
+	r.Remove(3)
+	for i := range before {
+		after, _ := r.Owner(fmt.Sprintf("home-%d", i))
+		if after != before[i] {
+			t.Fatalf("key %d did not return to shard %d after remove (got %d)", i, before[i], after)
+		}
+	}
+}

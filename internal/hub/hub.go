@@ -621,6 +621,35 @@ func (h *Hub) Update(name string, fn func(Processor) (Processor, error)) error {
 	return nil
 }
 
+// Quiesce blocks until the tenant's queue is empty and no event is in
+// flight: on return the tenant's stream sits at an exact event boundary,
+// every previously accepted event fully processed. The caller must
+// guarantee no concurrent Submit for the tenant (the fleet router suspends
+// the route first), or Quiesce may never observe an empty queue. Returns
+// ErrClosed if the hub closes while the tenant is still draining.
+func (h *Hub) Quiesce(name string) error {
+	t, err := h.lookup(name)
+	if err != nil {
+		return err
+	}
+	for {
+		// procMu excludes an in-flight batch; with it held, an empty queue
+		// means the stream is at a boundary.
+		t.procMu.Lock()
+		t.mu.Lock()
+		idle := t.n == 0
+		t.mu.Unlock()
+		t.procMu.Unlock()
+		if idle {
+			return nil
+		}
+		if h.closed.Load() {
+			return ErrClosed
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
 // Close stops intake, drains every queued event through its tenant's
 // processor, and stops the workers. Submit calls concurrent with Close
 // either complete before the drain or fail with ErrClosed. Close is
@@ -720,6 +749,46 @@ type Stats struct {
 	Workers int
 }
 
+// statsSnapshot captures one tenant's counters plus its raw latency
+// samples (for cross-tenant percentile aggregation).
+func (t *tenant) statsSnapshot() (TenantStats, []float64) {
+	t.mu.Lock()
+	depth := t.n
+	health := t.health
+	lastErr := t.lastErr
+	t.mu.Unlock()
+	samples := t.lat.snapshot()
+	return TenantStats{
+		Tenant:     t.name,
+		Ingested:   t.ingested.Load(),
+		Processed:  t.processed.Load(),
+		Alarms:     t.alarms.Load(),
+		Dropped:    t.dropped.Load(),
+		Rejected:   t.rejected.Load(),
+		Errors:     t.errs.Load(),
+		QueueDepth: depth,
+		P50:        percentile(samples, 50),
+		P99:        percentile(samples, 99),
+		Health:     health,
+		Panics:     t.panics.Load(),
+		Shed:       t.shed.Load(),
+		LastError:  lastErr,
+		Updates:    t.updates.Load(),
+	}, samples
+}
+
+// TenantStats snapshots a single tenant's runtime counters without walking
+// the whole fleet — the migration handoff uses it to carry a tenant's
+// counters to its new shard.
+func (h *Hub) TenantStats(name string) (TenantStats, error) {
+	t, err := h.lookup(name)
+	if err != nil {
+		return TenantStats{}, err
+	}
+	ts, _ := t.statsSnapshot()
+	return ts, nil
+}
+
 // Stats snapshots the hub's runtime counters.
 func (h *Hub) Stats() Stats {
 	h.mu.RLock()
@@ -733,29 +802,7 @@ func (h *Hub) Stats() Stats {
 	s := Stats{Tenants: make([]TenantStats, 0, len(tenants)), Workers: h.cfg.Workers}
 	var all []float64
 	for _, t := range tenants {
-		t.mu.Lock()
-		depth := t.n
-		health := t.health
-		lastErr := t.lastErr
-		t.mu.Unlock()
-		samples := t.lat.snapshot()
-		ts := TenantStats{
-			Tenant:     t.name,
-			Ingested:   t.ingested.Load(),
-			Processed:  t.processed.Load(),
-			Alarms:     t.alarms.Load(),
-			Dropped:    t.dropped.Load(),
-			Rejected:   t.rejected.Load(),
-			Errors:     t.errs.Load(),
-			QueueDepth: depth,
-			P50:        percentile(samples, 50),
-			P99:        percentile(samples, 99),
-			Health:     health,
-			Panics:     t.panics.Load(),
-			Shed:       t.shed.Load(),
-			LastError:  lastErr,
-			Updates:    t.updates.Load(),
-		}
+		ts, samples := t.statsSnapshot()
 		all = append(all, samples...)
 		s.Tenants = append(s.Tenants, ts)
 		s.Total.Ingested += ts.Ingested

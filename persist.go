@@ -318,7 +318,7 @@ func (m *Monitor) restoreLifecycle(s savedLifecycle) error {
 // uninterrupted run.
 //
 // WriteCheckpoint is not safe to call concurrently with ObserveEvent; on a
-// Hub, use Hub.Checkpoint, which serializes the two.
+// Hub, use Hub.Export, which serializes the two.
 func (m *Monitor) WriteCheckpoint(w io.Writer) error {
 	names := make([]string, len(m.sys.devices))
 	for i, d := range m.sys.devices {
@@ -337,6 +337,42 @@ func (m *Monitor) WriteCheckpoint(w io.Writer) error {
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(cp); err != nil {
 		return fmt.Errorf("causaliot: write checkpoint: %w", err)
+	}
+	return nil
+}
+
+// ExportOptions selects which serving artifacts an export writes. At least
+// one destination must be set.
+type ExportOptions struct {
+	// Model, when non-nil, receives the served model (see System.Save).
+	Model io.Writer
+	// State, when non-nil, receives the runtime checkpoint (see
+	// Monitor.WriteCheckpoint), including the lifecycle block for an
+	// adaptive monitor.
+	State io.Writer
+}
+
+// Export writes the monitor's serving artifacts per opts: the model it
+// currently serves, its runtime checkpoint, or both. A model+state pair
+// written by one Export restores into a bit-for-bit resumable monitor
+// (Load + System.RestoreMonitor) — this is the envelope both crash recovery
+// and live fleet migration move state with.
+//
+// Export is not safe to call concurrently with ObserveEvent; on a Hub or
+// Fleet, use their Export methods, which pause the home's stream around it.
+func (m *Monitor) Export(opts ExportOptions) error {
+	if opts.Model == nil && opts.State == nil {
+		return errors.New("causaliot: export with no destination")
+	}
+	if opts.Model != nil {
+		if err := m.sys.Save(opts.Model); err != nil {
+			return err
+		}
+	}
+	if opts.State != nil {
+		if err := m.WriteCheckpoint(opts.State); err != nil {
+			return err
+		}
 	}
 	return nil
 }

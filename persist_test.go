@@ -57,11 +57,11 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	alarm, _, err := mon.Observe(Event{Time: t0, Device: "light", Value: 1})
+	det, err := mon.ObserveEvent(Event{Time: t0, Device: "light", Value: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if alarm == nil {
+	if det.Alarm == nil {
 		t.Error("loaded system misses the ghost activation")
 	}
 }
@@ -117,18 +117,18 @@ func TestExtendRecalibrates(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Ensure light is off in the tracked state before the ghost.
-	if _, _, err := mon.Observe(Event{Time: t0, Device: "presence", Value: 0}); err != nil {
+	if _, err := mon.ObserveEvent(Event{Time: t0, Device: "presence", Value: 0}); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := mon.Observe(Event{Time: t0.Add(time.Second), Device: "light", Value: 0}); err != nil {
+	if _, err := mon.ObserveEvent(Event{Time: t0.Add(time.Second), Device: "light", Value: 0}); err != nil {
 		t.Fatal(err)
 	}
-	alarm, score, err := mon.Observe(Event{Time: t0.Add(time.Hour), Device: "light", Value: 1})
+	det, err := mon.ObserveEvent(Event{Time: t0.Add(time.Hour), Device: "light", Value: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if alarm == nil {
-		t.Errorf("extended system misses the ghost (score %v)", score)
+	if det.Alarm == nil {
+		t.Errorf("extended system misses the ghost (score %v)", det.Score)
 	}
 }
 
