@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: tier1 vet race chaos fleet-soak fuzz check bench bench-detect bench-adapt bench-fleet bench-paper serve-demo
+.PHONY: tier1 vet race chaos fleet-soak serve-smoke fuzz check bench bench-detect bench-adapt bench-fleet bench-serve bench-paper serve-demo
 
 tier1:
 	$(GO) build ./... && $(GO) test ./...
@@ -27,11 +27,12 @@ race:
 
 # Chaos tier: deterministic fault-schedule tests (internal/faults driving
 # the supervised hub), the checkpoint kill/resume equivalence tests, the
-# model-lifecycle swap/drift stress and soak tests, and the fleet
-# router/migration suite, all under the race detector.
-chaos: fleet-soak
-	$(GO) test -race -run 'Chaos|Checkpoint|Quarantine|Wedged|Panic|CloseRace|Stress|SIGTERM|Adaptive|Soak|Fleet|Migrat|Router|Ring' \
-		./internal/hub ./internal/faults ./internal/fleet ./cmd/causaliot .
+# model-lifecycle swap/drift stress and soak tests, the fleet
+# router/migration suite, and the wire-protocol server tests, all under the
+# race detector.
+chaos: fleet-soak serve-smoke
+	$(GO) test -race -run 'Chaos|Checkpoint|Quarantine|Wedged|Panic|CloseRace|Stress|SIGTERM|Adaptive|Soak|Fleet|Migrat|Router|Ring|Wire|Server' \
+		./internal/hub ./internal/faults ./internal/fleet ./internal/wire ./cmd/causaliot .
 
 # Fleet rebalance soak: an N-shard fleet with a mid-stream shard add
 # (rebalance) and an explicit live migration must land bit-identical to a
@@ -39,6 +40,13 @@ chaos: fleet-soak
 # zero dropped or duplicated events. Runs under -race.
 fleet-soak:
 	$(GO) test -race -run 'TestFleetRebalanceSoak' -v .
+
+# Wire-serving smoke: boots the full TCP stack in-process (loadgen against
+# a self-served fleet) and checks the end-to-end accounting — every frame
+# accepted or NACKed, every alarm pushed or counted as dropped. Runs under
+# -race.
+serve-smoke:
+	$(GO) test -race -run 'TestServeSmoke' -v ./cmd/loadgen
 
 # Short fuzz pass over the model and checkpoint deserializers (the
 # error-never-panic contract); extend -fuzztime for a deeper run.
@@ -72,6 +80,13 @@ bench-adapt:
 # lookup cost, and live-migration wall time under load to BENCH_fleet.json.
 bench-fleet:
 	$(GO) run ./cmd/benchfleet -out BENCH_fleet.json
+
+# Network-serving load benchmark; boots a sharded fleet behind the wire
+# listener and drives it with many producer connections, recording events/sec
+# and alarm push-back latency percentiles to BENCH_serve.json.
+bench-serve:
+	$(GO) run ./cmd/loadgen -self-serve -conns 32 -shards 4 -events 20000 \
+		-train-days 2 -days 1 -token bench -out BENCH_serve.json
 
 # Full paper-reproduction benchmark suite (tables, figures, ablations).
 bench-paper:

@@ -110,6 +110,11 @@ type Event struct {
 	Time   time.Time
 	Device string
 	Value  float64
+	// Seq is an optional producer-assigned sequence number. Detection does
+	// not interpret it; it is echoed back in TenantAlarm.Seq (and over the
+	// network in wire Nack/Alarm frames) so producers can correlate alarms
+	// and refusals with the events that caused them. Zero means unassigned.
+	Seq uint64
 }
 
 // Config tunes training and detection. The zero value selects the defaults

@@ -19,8 +19,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -65,8 +67,9 @@ func usage() {
   causaliot simulate -testbed contextact|casas -days N -seed N -out FILE
   causaliot mine     -in FILE [-testbed contextact|casas] [-tau N] [-graph FILE] [-kernel bit|scalar]
   causaliot detect   -train FILE -stream FILE [-testbed contextact|casas] [-tau N] [-kmax N]
-  causaliot serve    -train FILE -stream FILE [-testbed contextact|casas] [-tau N] [-kmax N]
-                     [-tenants N] [-workers N] [-queue N] [-policy block|drop-oldest|reject]
+  causaliot serve    -train FILE (-stream FILE | -listen ADDR) [-testbed contextact|casas]
+                     [-tau N] [-kmax N] [-tenants N] [-workers N] [-queue N]
+                     [-policy block|drop-oldest|reject] [-auth-token TOKEN]
                      [-checkpoint FILE] [-resume] [-adapt] [-drift-q Q] [-refit-window N]
                      [-scan-every N] [-stats-interval DUR] [-v]`)
 }
@@ -90,6 +93,9 @@ func cmdSimulate(args []string) error {
 	out := fs.String("out", "events.csv", "output CSV file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *days < 1 {
+		return fmt.Errorf("simulate: -days %d < 1", *days)
 	}
 	tb, err := pickTestbed(*testbed)
 	if err != nil {
@@ -184,6 +190,9 @@ func cmdMine(args []string) error {
 	}
 	if *in == "" {
 		return fmt.Errorf("mine: -in is required")
+	}
+	if *tau < 0 {
+		return fmt.Errorf("mine: -tau %d < 0", *tau)
 	}
 	kernel, err := pickKernel(*kernelName)
 	if err != nil {
@@ -327,13 +336,22 @@ func pickPolicy(name string) (causaliot.BackpressurePolicy, error) {
 	}
 }
 
+// listenReady, when non-nil, receives the bound listener address as soon as
+// serve -listen is accepting. Test hook: lets a test dial a :0 listener.
+var listenReady func(net.Addr)
+
 // cmdServe trains once and hosts N copies of the home on a serving hub,
 // replaying the runtime stream to every tenant concurrently — the
-// multi-home deployment shape, driven from static files.
+// multi-home deployment shape, driven from static files. With -listen it
+// serves the network ingestion protocol instead: producers connect over
+// TCP, stream binary event frames, and receive backpressure NACKs and
+// alarm push-back on the same connection (see DESIGN.md §9).
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	train := fs.String("train", "", "training event CSV")
 	stream := fs.String("stream", "", "runtime event CSV to validate")
+	listen := fs.String("listen", "", "serve the wire protocol on this TCP address instead of replaying -stream")
+	authToken := fs.String("auth-token", "", "shared secret wire connections must present (requires -listen)")
 	testbed := fs.String("testbed", "contextact", "device inventory to assume")
 	tau := fs.Int("tau", 0, "maximum time lag (0 = automatic)")
 	kmax := fs.Int("kmax", 1, "maximum anomaly chain length")
@@ -353,8 +371,17 @@ func cmdServe(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *train == "" || *stream == "" {
-		return fmt.Errorf("serve: -train and -stream are required")
+	if *train == "" {
+		return fmt.Errorf("serve: -train is required")
+	}
+	if *stream == "" && *listen == "" {
+		return fmt.Errorf("serve: one of -stream or -listen is required")
+	}
+	if *stream != "" && *listen != "" {
+		return fmt.Errorf("serve: -stream and -listen are mutually exclusive")
+	}
+	if *authToken != "" && *listen == "" {
+		return fmt.Errorf("serve: -auth-token requires -listen")
 	}
 	if *tenants < 1 {
 		return fmt.Errorf("serve: -tenants %d < 1", *tenants)
@@ -362,8 +389,47 @@ func cmdServe(args []string) error {
 	if *shards < 1 {
 		return fmt.Errorf("serve: -shards %d < 1", *shards)
 	}
+	if *tau < 0 {
+		return fmt.Errorf("serve: -tau %d < 0", *tau)
+	}
+	if *kmax < 1 {
+		return fmt.Errorf("serve: -kmax %d < 1", *kmax)
+	}
+	if *workers < 0 {
+		return fmt.Errorf("serve: -workers %d < 0", *workers)
+	}
+	if *queue < 1 {
+		return fmt.Errorf("serve: -queue %d < 1", *queue)
+	}
+	if *statsInterval < 0 {
+		return fmt.Errorf("serve: -stats-interval %v < 0", *statsInterval)
+	}
 	if *resume && *checkpointPath == "" {
 		return fmt.Errorf("serve: -resume requires -checkpoint")
+	}
+	if !*adapt {
+		// A lifecycle knob without -adapt would be silently inert; refuse it
+		// loudly instead.
+		var stray []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "drift-q", "refit-window", "scan-every":
+				stray = append(stray, "-"+f.Name)
+			}
+		})
+		if len(stray) > 0 {
+			return fmt.Errorf("serve: %s without -adapt has no effect", strings.Join(stray, ", "))
+		}
+	} else {
+		if *driftQ <= 0 || *driftQ >= 1 {
+			return fmt.Errorf("serve: -drift-q %g outside (0, 1)", *driftQ)
+		}
+		if *refitWindow < 1 {
+			return fmt.Errorf("serve: -refit-window %d < 1", *refitWindow)
+		}
+		if *scanEvery < 1 {
+			return fmt.Errorf("serve: -scan-every %d < 1", *scanEvery)
+		}
 	}
 
 	// Catch SIGTERM/Ctrl-C from the start: a signal during training or
@@ -404,9 +470,12 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	streamLog, err := loadEvents(*stream)
-	if err != nil {
-		return err
+	var streamLog []causaliot.Event
+	if *stream != "" {
+		streamLog, err = loadEvents(*stream)
+		if err != nil {
+			return err
+		}
 	}
 
 	// With -resume, each home's monitor is restored from the checkpoint
@@ -465,7 +534,7 @@ func cmdServe(args []string) error {
 			if err != nil {
 				return fmt.Errorf("serve: restore %s: %w", name, err)
 			}
-			if mon.Observed() > len(streamLog) {
+			if *stream != "" && mon.Observed() > len(streamLog) {
 				return fmt.Errorf("serve: %s checkpoint is %d events ahead of the stream file", name, mon.Observed()-len(streamLog))
 			}
 			offset[name] = mon.Observed()
@@ -479,9 +548,30 @@ func cmdServe(args []string) error {
 		}
 	}
 
+	// -listen: bind the listener before the stats ticker starts so its
+	// counters appear in the JSON lines from the first tick.
+	var ws *causaliot.WireServer
+	var ln net.Listener
+	if *listen != "" {
+		ws, err = causaliot.NewWireServer(h, causaliot.WireConfig{Token: *authToken})
+		if err != nil {
+			return err
+		}
+		ln, err = net.Listen("tcp", *listen)
+		if err != nil {
+			return err
+		}
+		if listenReady != nil {
+			listenReady(ln.Addr())
+		}
+		fmt.Printf("listening on %s (%d homes, %d shards, %s policy)\n", ln.Addr(), *tenants, *shards, *policyName)
+	}
+
 	// -stats-interval: one machine-readable line per tick on stderr, so a
 	// long-lived serve can be watched (or scraped) without disturbing the
-	// human-readable report on stdout.
+	// human-readable report on stdout. Fleet fan-in and wire counters ride
+	// along when present — AlarmsDropped > 0 in the fleet block is the
+	// operator's signal that alarms are being lost to a slow consumer.
 	statsDone := make(chan struct{})
 	var statsWG sync.WaitGroup
 	if *statsInterval > 0 {
@@ -499,8 +589,18 @@ func cmdServe(args []string) error {
 					line := struct {
 						Time      time.Time                           `json:"time"`
 						Stats     causaliot.HubStats                  `json:"stats"`
+						Fleet     *causaliot.FleetStats               `json:"fleet,omitempty"`
+						Wire      *causaliot.WireStats                `json:"wire,omitempty"`
 						Lifecycle map[string]causaliot.LifecycleStats `json:"lifecycle,omitempty"`
 					}{Time: now, Stats: h.Stats()}
+					if f, ok := h.(*causaliot.Fleet); ok {
+						fst := f.FleetStats()
+						line.Fleet = &fst
+					}
+					if ws != nil {
+						wst := ws.Stats()
+						line.Wire = &wst
+					}
 					if *adapt {
 						line.Lifecycle = h.LifecycleStats()
 					}
@@ -526,35 +626,60 @@ func cmdServe(args []string) error {
 	}()
 
 	start := time.Now()
-	var producers sync.WaitGroup
-	errs := make(chan error, *tenants)
-	for _, name := range names {
-		producers.Add(1)
-		go func(name string) {
-			defer producers.Done()
-			for _, e := range streamLog[offset[name]:] {
-				select {
-				case <-stop:
-					return
-				default:
-				}
-				err := h.Submit(name, e)
-				if errors.Is(err, causaliot.ErrBackpressure) {
-					continue // reject policy: shed and move on
-				}
-				if err != nil {
-					errs <- fmt.Errorf("%s: %w", name, err)
-					return
-				}
-			}
-		}(name)
-	}
-	producers.Wait()
+	errs := make(chan error, *tenants+1)
 	interrupted := false
-	select {
-	case <-stop:
-		interrupted = true
-	default:
+	if *listen != "" {
+		// Network mode: producers push events over TCP until a signal stops
+		// the process or the listener fails. Closing the server first drops
+		// every connection and restores default alarm delivery before the
+		// host itself shuts down.
+		serveDone := make(chan error, 1)
+		go func() { serveDone <- ws.Serve(ln) }()
+		var serveErr error
+		select {
+		case <-stop:
+			interrupted = true
+			if err := ws.Close(); err != nil {
+				errs <- err
+			}
+			serveErr = <-serveDone
+		case serveErr = <-serveDone:
+			if err := ws.Close(); err != nil {
+				errs <- err
+			}
+		}
+		if serveErr != nil {
+			errs <- fmt.Errorf("listener: %w", serveErr)
+		}
+	} else {
+		var producers sync.WaitGroup
+		for _, name := range names {
+			producers.Add(1)
+			go func(name string) {
+				defer producers.Done()
+				for _, e := range streamLog[offset[name]:] {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					err := h.Submit(name, e)
+					if errors.Is(err, causaliot.ErrBackpressure) {
+						continue // reject policy: shed and move on
+					}
+					if err != nil {
+						errs <- fmt.Errorf("%s: %w", name, err)
+						return
+					}
+				}
+			}(name)
+		}
+		producers.Wait()
+		select {
+		case <-stop:
+			interrupted = true
+		default:
+		}
 	}
 	// Flushing reports (and consumes) each home's partially tracked anomaly
 	// chain — right at the end of a completed run, but not on an interrupt,
@@ -584,6 +709,11 @@ func cmdServe(args []string) error {
 	if *adapt {
 		lifecycle = h.LifecycleStats()
 	}
+	var fleetStats *causaliot.FleetStats
+	if f, ok := h.(*causaliot.Fleet); ok {
+		fst := f.FleetStats()
+		fleetStats = &fst
+	}
 	if err := h.Close(); err != nil {
 		return err
 	}
@@ -598,8 +728,19 @@ func cmdServe(args []string) error {
 	}
 
 	s := h.Stats()
-	fmt.Printf("served %d homes × %d events on %d workers (%s policy) in %v\n",
-		*tenants, len(streamLog), s.Workers, *policyName, elapsed.Round(time.Millisecond))
+	if *listen != "" {
+		wst := ws.Stats()
+		fmt.Printf("served %d homes over the wire on %d workers (%s policy) in %v\n",
+			*tenants, s.Workers, *policyName, elapsed.Round(time.Millisecond))
+		fmt.Printf("wire: %d conns (%d total), %d events, %d nacks, %d alarms pushed, %d alarm drops, %d auth failures\n",
+			wst.ActiveConns, wst.Conns, wst.Events, wst.Nacks, wst.Alarms, wst.AlarmsDropped, wst.AuthFailures)
+	} else {
+		fmt.Printf("served %d homes × %d events on %d workers (%s policy) in %v\n",
+			*tenants, len(streamLog), s.Workers, *policyName, elapsed.Round(time.Millisecond))
+	}
+	if fleetStats != nil && fleetStats.AlarmsDropped > 0 {
+		fmt.Printf("fleet fan-in dropped %d alarms (Alarms() consumer too slow)\n", fleetStats.AlarmsDropped)
+	}
 	fmt.Printf("throughput: %.0f events/sec\n", float64(s.Total.Processed)/elapsed.Seconds())
 	fmt.Printf("%-10s %10s %10s %8s %8s %8s %8s %12s %12s\n",
 		"home", "ingested", "processed", "alarms", "dropped", "rejected", "errors", "p50", "p99")
@@ -640,6 +781,12 @@ func cmdDetect(args []string) error {
 	}
 	if *train == "" || *stream == "" {
 		return fmt.Errorf("detect: -train and -stream are required")
+	}
+	if *tau < 0 {
+		return fmt.Errorf("detect: -tau %d < 0", *tau)
+	}
+	if *kmax < 1 {
+		return fmt.Errorf("detect: -kmax %d < 1", *kmax)
 	}
 	tb, err := pickTestbed(*testbed)
 	if err != nil {

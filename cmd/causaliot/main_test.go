@@ -2,7 +2,9 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"io"
+	"net"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -10,6 +12,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"github.com/causaliot/causaliot/internal/wire"
 )
 
 func TestRunUsageAndErrors(t *testing.T) {
@@ -436,5 +440,134 @@ func TestServeStatsInterval(t *testing.T) {
 	}
 	if lines == 0 {
 		t.Fatal("no stats lines emitted")
+	}
+}
+
+// TestServeFlagValidationAudit sweeps every subcommand's flag validation:
+// each row is a nonsense invocation that must be refused before any file is
+// touched, with the offending flag named in the error.
+func TestServeFlagValidationAudit(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string // substring the error must carry
+	}{
+		{[]string{"simulate", "-days", "0"}, "-days"},
+		{[]string{"mine", "-in", "x", "-tau", "-1"}, "-tau"},
+		{[]string{"detect", "-train", "x", "-stream", "y", "-tau", "-1"}, "-tau"},
+		{[]string{"detect", "-train", "x", "-stream", "y", "-kmax", "0"}, "-kmax"},
+		{[]string{"serve", "-train", "x"}, "-stream or -listen"},
+		{[]string{"serve", "-train", "x", "-stream", "y", "-listen", ":0"}, "mutually exclusive"},
+		{[]string{"serve", "-train", "x", "-stream", "y", "-auth-token", "s"}, "-auth-token"},
+		{[]string{"serve", "-train", "x", "-stream", "y", "-shards", "0"}, "-shards"},
+		{[]string{"serve", "-train", "x", "-stream", "y", "-tau", "-1"}, "-tau"},
+		{[]string{"serve", "-train", "x", "-stream", "y", "-kmax", "0"}, "-kmax"},
+		{[]string{"serve", "-train", "x", "-stream", "y", "-workers", "-1"}, "-workers"},
+		{[]string{"serve", "-train", "x", "-stream", "y", "-queue", "0"}, "-queue"},
+		{[]string{"serve", "-train", "x", "-stream", "y", "-stats-interval", "-1s"}, "-stats-interval"},
+		{[]string{"serve", "-train", "x", "-stream", "y", "-drift-q", "0.5"}, "without -adapt"},
+		{[]string{"serve", "-train", "x", "-stream", "y", "-refit-window", "9"}, "without -adapt"},
+		{[]string{"serve", "-train", "x", "-stream", "y", "-scan-every", "9"}, "without -adapt"},
+		{[]string{"serve", "-train", "x", "-stream", "y", "-adapt", "-drift-q", "1.5"}, "-drift-q"},
+		{[]string{"serve", "-train", "x", "-stream", "y", "-adapt", "-drift-q", "0"}, "-drift-q"},
+		{[]string{"serve", "-train", "x", "-stream", "y", "-adapt", "-refit-window", "0"}, "-refit-window"},
+		{[]string{"serve", "-train", "x", "-stream", "y", "-adapt", "-scan-every", "0"}, "-scan-every"},
+	}
+	for _, tc := range cases {
+		err := run(tc.args)
+		if err == nil {
+			t.Errorf("%v accepted", tc.args)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%v: error %q does not mention %q", tc.args, err, tc.want)
+		}
+	}
+}
+
+// TestServeListenWireE2E boots serve -listen on a loopback port and speaks
+// the wire protocol to it: a bad token is refused, a good producer streams
+// real events, an unknown device comes back as a NACK echoing the event's
+// sequence number, and SIGTERM shuts the whole thing down cleanly.
+func TestServeListenWireE2E(t *testing.T) {
+	dir := t.TempDir()
+	train := filepath.Join(dir, "train.csv")
+	if err := run([]string{"simulate", "-days", "2", "-seed", "3", "-out", train}); err != nil {
+		t.Fatal(err)
+	}
+	events, err := loadEvents(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) > 50 {
+		events = events[:50]
+	}
+
+	// Keep a post-serve SIGTERM from killing the test binary (see
+	// TestServeSIGTERMCheckpoint).
+	guard := make(chan os.Signal, 1)
+	signal.Notify(guard, syscall.SIGTERM)
+	defer signal.Stop(guard)
+
+	addrc := make(chan net.Addr, 1)
+	listenReady = func(a net.Addr) { addrc <- a }
+	defer func() { listenReady = nil }()
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"serve", "-train", train, "-tau", "2",
+			"-listen", "127.0.0.1:0", "-auth-token", "tok", "-tenants", "2", "-workers", "1"})
+	}()
+	var addr string
+	select {
+	case a := <-addrc:
+		addr = a.String()
+	case err := <-done:
+		t.Fatalf("serve exited before listening: %v", err)
+	case <-time.After(60 * time.Second):
+		t.Fatal("serve never started listening")
+	}
+
+	// Handshake refusals travel as Nack frames: a bad token and an unknown
+	// home are both turned away before any event flows.
+	if _, err := wire.Dial(addr, wire.ClientConfig{Token: "bad", Tenant: "home-0"}); !errors.Is(err, wire.ErrBadAuth) {
+		t.Fatalf("bad token error = %v", err)
+	}
+	if _, err := wire.Dial(addr, wire.ClientConfig{Token: "tok", Tenant: "home-99"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown-tenant") {
+		t.Fatalf("unknown tenant error = %v", err)
+	}
+	nacks := make(chan wire.Nack, 8)
+	c, err := wire.Dial(addr, wire.ClientConfig{Token: "tok", Tenant: "home-0",
+		OnNack: func(n wire.Nack) { nacks <- n }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ev := range events {
+		wev := wire.Event{Seq: uint64(i + 1), Time: ev.Time, Device: ev.Device, Value: ev.Value}
+		if err := c.Send(wev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-nacks:
+		t.Fatalf("valid events were nacked: %+v", n)
+	default:
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve after SIGTERM: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("serve did not exit after SIGTERM")
 	}
 }

@@ -1,0 +1,476 @@
+// Command loadgen drives a causaliot wire server with many concurrent
+// producer connections and reports sustained throughput and alarm push-back
+// latency percentiles — the load side of the million-home serving story.
+//
+//	loadgen -self-serve -conns 64 -rate 2000 -out BENCH_serve.json
+//	loadgen -addr 10.0.0.5:9070 -token secret -conns 256 -homes 256
+//
+// Traffic is synthesized in memory from the simulation testbeds (no CSV
+// files touched): one training log builds the model, and each connection
+// replays a runtime log as sequence-numbered event frames, looping with a
+// time shift when it runs out. Every event's send time is recorded; when an
+// alarm frame comes back, the echoed sequence number keys the push-back
+// latency sample. With -self-serve the server side (hub or sharded fleet +
+// wire listener) is booted in-process on a loopback port, and its counters
+// join the report so alarm accounting can be checked end to end.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/causaliot/causaliot"
+	"github.com/causaliot/causaliot/internal/event"
+	"github.com/causaliot/causaliot/internal/sim"
+	"github.com/causaliot/causaliot/internal/wire"
+)
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	rep, err := runLoad(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	fmt.Println(string(data))
+	if cfg.out != "" {
+		if err := os.WriteFile(cfg.out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+type config struct {
+	addr      string
+	selfServe bool
+	conns     int
+	homes     int
+	events    int
+	rate      float64
+	days      int
+	trainDays int
+	seed      int64
+	testbed   string
+	token     string
+	out       string
+	tau       int
+	kmax      int
+	shards    int
+	workers   int
+	queue     int
+	policy    string
+}
+
+func parseFlags(args []string) (config, error) {
+	var cfg config
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.StringVar(&cfg.addr, "addr", "", "wire server address to dial (mutually exclusive with -self-serve)")
+	fs.BoolVar(&cfg.selfServe, "self-serve", false, "boot the server in-process on a loopback port")
+	fs.IntVar(&cfg.conns, "conns", 8, "concurrent producer connections")
+	fs.IntVar(&cfg.homes, "homes", 0, "homes to spread connections across (0 = one per connection)")
+	fs.IntVar(&cfg.events, "events", 0, "events per connection (0 = one full runtime log)")
+	fs.Float64Var(&cfg.rate, "rate", 0, "per-connection send rate in events/sec (0 = unthrottled)")
+	fs.IntVar(&cfg.days, "days", 1, "simulated days of runtime traffic per lap")
+	fs.IntVar(&cfg.trainDays, "train-days", 2, "simulated days of training traffic")
+	fs.Int64Var(&cfg.seed, "seed", 1, "traffic synthesis seed")
+	fs.StringVar(&cfg.testbed, "testbed", "contextact", "testbed to synthesize: contextact|casas")
+	fs.StringVar(&cfg.token, "token", "", "auth token to present in Hello")
+	fs.StringVar(&cfg.out, "out", "", "write the JSON report to this file as well as stdout")
+	fs.IntVar(&cfg.tau, "tau", 2, "maximum time lag for the self-served model (0 = automatic)")
+	fs.IntVar(&cfg.kmax, "kmax", 1, "maximum anomaly chain length for the self-served model")
+	fs.IntVar(&cfg.shards, "shards", 1, "self-serve hub shards (>1 serves through a Fleet)")
+	fs.IntVar(&cfg.workers, "workers", 0, "self-serve worker pool size per shard (0 = GOMAXPROCS)")
+	fs.IntVar(&cfg.queue, "queue", 1024, "self-serve per-home ingestion queue capacity")
+	fs.StringVar(&cfg.policy, "policy", "block", "self-serve backpressure policy: block|drop-oldest|reject")
+	if err := fs.Parse(args); err != nil {
+		return cfg, err
+	}
+	if cfg.addr == "" && !cfg.selfServe {
+		return cfg, errors.New("one of -addr or -self-serve is required")
+	}
+	if cfg.addr != "" && cfg.selfServe {
+		return cfg, errors.New("-addr and -self-serve are mutually exclusive")
+	}
+	if cfg.conns < 1 {
+		return cfg, fmt.Errorf("-conns %d < 1", cfg.conns)
+	}
+	if cfg.homes < 0 {
+		return cfg, fmt.Errorf("-homes %d < 0", cfg.homes)
+	}
+	if cfg.homes == 0 {
+		cfg.homes = cfg.conns
+	}
+	if cfg.events < 0 {
+		return cfg, fmt.Errorf("-events %d < 0", cfg.events)
+	}
+	if cfg.rate < 0 {
+		return cfg, fmt.Errorf("-rate %g < 0", cfg.rate)
+	}
+	if cfg.days < 1 || cfg.trainDays < 1 {
+		return cfg, fmt.Errorf("-days %d and -train-days %d must be >= 1", cfg.days, cfg.trainDays)
+	}
+	if cfg.tau < 0 {
+		return cfg, fmt.Errorf("-tau %d < 0", cfg.tau)
+	}
+	if cfg.kmax < 1 {
+		return cfg, fmt.Errorf("-kmax %d < 1", cfg.kmax)
+	}
+	if cfg.shards < 1 {
+		return cfg, fmt.Errorf("-shards %d < 1", cfg.shards)
+	}
+	if cfg.workers < 0 {
+		return cfg, fmt.Errorf("-workers %d < 0", cfg.workers)
+	}
+	if cfg.queue < 1 {
+		return cfg, fmt.Errorf("-queue %d < 1", cfg.queue)
+	}
+	return cfg, nil
+}
+
+// latencyReport is one percentile summary over alarm push-back round trips
+// (event send to alarm frame receipt), in nanoseconds.
+type latencyReport struct {
+	Samples int   `json:"samples"`
+	P50     int64 `json:"p50_ns"`
+	P95     int64 `json:"p95_ns"`
+	P99     int64 `json:"p99_ns"`
+	Max     int64 `json:"max_ns"`
+}
+
+// serverReport carries the self-served server's own counters so the report
+// is a closed system: alarms raised must equal alarms pushed plus the drops
+// the server admits to.
+type serverReport struct {
+	Wire  causaliot.WireStats   `json:"wire"`
+	Hub   causaliot.HubStats    `json:"hub"`
+	Fleet *causaliot.FleetStats `json:"fleet,omitempty"`
+}
+
+type report struct {
+	Conns        int           `json:"conns"`
+	Homes        int           `json:"homes"`
+	EventsSent   uint64        `json:"events_sent"`
+	EventsNacked uint64        `json:"events_nacked"`
+	Alarms       uint64        `json:"alarms_received"`
+	ElapsedMS    int64         `json:"elapsed_ms"`
+	EventsPerSec float64       `json:"events_per_sec"`
+	AlarmLatency latencyReport `json:"alarm_latency"`
+	Server       *serverReport `json:"server,omitempty"`
+}
+
+// loadDevices converts a testbed inventory to the public API's device
+// descriptions (loadgen is its own main package, so it carries its own copy
+// of this adapter).
+func loadDevices(tb *sim.Testbed) ([]causaliot.Device, error) {
+	var out []causaliot.Device
+	for _, d := range tb.Devices {
+		var typ causaliot.DeviceType
+		switch d.Attribute.Name {
+		case event.Switch.Name:
+			typ = causaliot.Switch
+		case event.PresenceSensor.Name:
+			typ = causaliot.Presence
+		case event.ContactSensor.Name:
+			typ = causaliot.Contact
+		case event.Dimmer.Name:
+			typ = causaliot.Dimmer
+		case event.WaterMeter.Name:
+			typ = causaliot.WaterMeter
+		case event.PowerSensor.Name:
+			typ = causaliot.Power
+		case event.BrightnessSensor.Name:
+			typ = causaliot.Brightness
+		default:
+			return nil, fmt.Errorf("device %q has unsupported attribute %q", d.Name, d.Attribute.Name)
+		}
+		out = append(out, causaliot.Device{Name: d.Name, Type: typ, Location: d.Location})
+	}
+	return out, nil
+}
+
+func synthesize(tb *sim.Testbed, seed int64, days int) ([]causaliot.Event, error) {
+	simulator, err := sim.NewSimulator(tb, sim.Config{Seed: seed, Days: days})
+	if err != nil {
+		return nil, err
+	}
+	log, err := simulator.Run()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]causaliot.Event, len(log))
+	for i, e := range log {
+		out[i] = causaliot.Event{Time: e.Timestamp, Device: e.Device, Value: e.Value}
+	}
+	return out, nil
+}
+
+func pickPolicy(name string) (causaliot.BackpressurePolicy, error) {
+	switch name {
+	case "block":
+		return causaliot.BackpressureBlock, nil
+	case "drop-oldest":
+		return causaliot.BackpressureDropOldest, nil
+	case "reject":
+		return causaliot.BackpressureReject, nil
+	default:
+		return 0, fmt.Errorf("unknown backpressure policy %q", name)
+	}
+}
+
+// producer is one connection's load state. Send times are indexed by
+// sequence number (seq-1) and read from the client's alarm callback, so
+// they are atomics; latencies are collected under the mutex.
+type producer struct {
+	client    *wire.Client
+	sendTimes []int64 // unix nanos, atomic
+	nacked    atomic.Uint64
+	alarms    atomic.Uint64
+
+	mu        sync.Mutex
+	latencies []int64
+}
+
+func (p *producer) onAlarm(a wire.Alarm) {
+	p.alarms.Add(1)
+	if a.Seq == 0 || a.Seq > uint64(len(p.sendTimes)) {
+		return // completed by another connection's event, or unsequenced
+	}
+	sent := atomic.LoadInt64(&p.sendTimes[a.Seq-1])
+	if sent == 0 {
+		return
+	}
+	lat := time.Now().UnixNano() - sent
+	p.mu.Lock()
+	p.latencies = append(p.latencies, lat)
+	p.mu.Unlock()
+}
+
+// run replays the stream as sequence-numbered frames, looping with a time
+// shift so event time never runs backwards, pacing to cfg.rate if set.
+func (p *producer) run(cfg config, stream []causaliot.Event) error {
+	span := stream[len(stream)-1].Time.Sub(stream[0].Time) + time.Minute
+	var interval time.Duration
+	if cfg.rate > 0 {
+		interval = time.Duration(float64(time.Second) / cfg.rate)
+	}
+	start := time.Now()
+	for i := 0; i < cfg.events; i++ {
+		ev := stream[i%len(stream)]
+		shift := time.Duration(i/len(stream)) * span
+		atomic.StoreInt64(&p.sendTimes[i], time.Now().UnixNano())
+		err := p.client.Send(wire.Event{
+			Seq:    uint64(i + 1),
+			Time:   ev.Time.Add(shift),
+			Device: ev.Device,
+			Value:  ev.Value,
+		})
+		if err != nil {
+			return err
+		}
+		if interval > 0 {
+			if ahead := time.Duration(i+1)*interval - time.Since(start); ahead > 0 {
+				time.Sleep(ahead)
+			}
+		}
+	}
+	return p.client.Flush()
+}
+
+func percentile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// runLoad executes one load run: optionally boot the server, dial the
+// connections, replay the synthesized traffic, and assemble the report.
+func runLoad(cfg config) (*report, error) {
+	var tb *sim.Testbed
+	switch cfg.testbed {
+	case "contextact":
+		tb = sim.ContextActLike()
+	case "casas":
+		tb = sim.CASASLike()
+	default:
+		return nil, fmt.Errorf("unknown testbed %q", cfg.testbed)
+	}
+	stream, err := synthesize(tb, cfg.seed+1, cfg.days)
+	if err != nil {
+		return nil, err
+	}
+	if len(stream) == 0 {
+		return nil, errors.New("synthesized an empty runtime stream")
+	}
+	if cfg.events == 0 {
+		cfg.events = len(stream)
+	}
+
+	// -self-serve: train once, host every home on a hub or fleet, and put
+	// it on a loopback listener — the same stack `causaliot serve -listen`
+	// runs, minus the CLI.
+	addr := cfg.addr
+	var h causaliot.Host
+	var ws *causaliot.WireServer
+	serveDone := make(chan error, 1)
+	if cfg.selfServe {
+		policy, err := pickPolicy(cfg.policy)
+		if err != nil {
+			return nil, err
+		}
+		devices, err := loadDevices(tb)
+		if err != nil {
+			return nil, err
+		}
+		trainLog, err := synthesize(tb, cfg.seed, cfg.trainDays)
+		if err != nil {
+			return nil, err
+		}
+		sys, err := causaliot.Train(devices, trainLog, causaliot.Config{Tau: cfg.tau, KMax: cfg.kmax})
+		if err != nil {
+			return nil, err
+		}
+		hubCfg := causaliot.HubConfig{Workers: cfg.workers, QueueSize: cfg.queue, Backpressure: policy}
+		if cfg.shards > 1 {
+			h = causaliot.NewFleet(causaliot.FleetConfig{Shards: cfg.shards, Hub: hubCfg})
+		} else {
+			h = causaliot.NewHub(hubCfg)
+		}
+		defer h.Close()
+		for i := 0; i < cfg.homes; i++ {
+			if err := h.Register(fmt.Sprintf("home-%d", i), sys, causaliot.TenantOptions{}); err != nil {
+				return nil, err
+			}
+		}
+		// Homes without a live producer still deliver to Alarms(); keep it
+		// drained so fleet fan-in never backs up on our account.
+		go func() {
+			for range h.Alarms() {
+			}
+		}()
+		ws, err = causaliot.NewWireServer(h, causaliot.WireConfig{Token: cfg.token})
+		if err != nil {
+			return nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		addr = ln.Addr().String()
+		go func() { serveDone <- ws.Serve(ln) }()
+		defer func() {
+			ws.Close()
+			<-serveDone
+		}()
+	}
+
+	producers := make([]*producer, cfg.conns)
+	for i := range producers {
+		p := &producer{sendTimes: make([]int64, cfg.events)}
+		c, err := wire.Dial(addr, wire.ClientConfig{
+			Token:   cfg.token,
+			Tenant:  fmt.Sprintf("home-%d", i%cfg.homes),
+			OnNack:  func(wire.Nack) { p.nacked.Add(1) },
+			OnAlarm: p.onAlarm,
+		})
+		if err != nil {
+			for _, q := range producers[:i] {
+				q.client.Close()
+			}
+			return nil, fmt.Errorf("conn %d: %w", i, err)
+		}
+		p.client = c
+		producers[i] = p
+	}
+
+	start := time.Now()
+	errc := make(chan error, cfg.conns)
+	var wg sync.WaitGroup
+	for _, p := range producers {
+		wg.Add(1)
+		go func(p *producer) {
+			defer wg.Done()
+			if err := p.run(cfg, stream); err != nil {
+				errc <- err
+			}
+		}(p)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errc:
+		return nil, err
+	default:
+	}
+
+	// Let in-flight events finish processing so trailing alarms make it
+	// back before the connections close. Self-serve can watch the queues;
+	// a remote server gets a fixed grace period.
+	if cfg.selfServe {
+		deadline := time.Now().Add(30 * time.Second)
+		for h.Stats().Total.QueueDepth > 0 && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	time.Sleep(200 * time.Millisecond)
+	for _, p := range producers {
+		if err := p.client.Close(); err != nil {
+			return nil, err
+		}
+	}
+
+	rep := &report{
+		Conns:     cfg.conns,
+		Homes:     cfg.homes,
+		ElapsedMS: elapsed.Milliseconds(),
+	}
+	var latencies []int64
+	for _, p := range producers {
+		rep.EventsSent += uint64(cfg.events)
+		rep.EventsNacked += p.nacked.Load()
+		rep.Alarms += p.alarms.Load()
+		p.mu.Lock()
+		latencies = append(latencies, p.latencies...)
+		p.mu.Unlock()
+	}
+	rep.EventsPerSec = float64(rep.EventsSent) / elapsed.Seconds()
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	rep.AlarmLatency = latencyReport{
+		Samples: len(latencies),
+		P50:     percentile(latencies, 0.50),
+		P95:     percentile(latencies, 0.95),
+		P99:     percentile(latencies, 0.99),
+	}
+	if n := len(latencies); n > 0 {
+		rep.AlarmLatency.Max = latencies[n-1]
+	}
+	if cfg.selfServe {
+		ws.Close()
+		sr := &serverReport{Wire: ws.Stats(), Hub: h.Stats()}
+		if f, ok := h.(*causaliot.Fleet); ok {
+			fst := f.FleetStats()
+			sr.Fleet = &fst
+		}
+		rep.Server = sr
+	}
+	return rep, nil
+}

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseFlagsValidation(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{nil, "-addr or -self-serve"},
+		{[]string{"-addr", "x:1", "-self-serve"}, "mutually exclusive"},
+		{[]string{"-self-serve", "-conns", "0"}, "-conns"},
+		{[]string{"-self-serve", "-homes", "-1"}, "-homes"},
+		{[]string{"-self-serve", "-events", "-1"}, "-events"},
+		{[]string{"-self-serve", "-rate", "-5"}, "-rate"},
+		{[]string{"-self-serve", "-days", "0"}, "-days"},
+		{[]string{"-self-serve", "-tau", "-1"}, "-tau"},
+		{[]string{"-self-serve", "-kmax", "0"}, "-kmax"},
+		{[]string{"-self-serve", "-shards", "0"}, "-shards"},
+		{[]string{"-self-serve", "-workers", "-1"}, "-workers"},
+		{[]string{"-self-serve", "-queue", "0"}, "-queue"},
+	}
+	for _, tc := range cases {
+		if _, err := parseFlags(tc.args); err == nil {
+			t.Errorf("%v accepted", tc.args)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%v: error %q does not mention %q", tc.args, err, tc.want)
+		}
+	}
+	cfg, err := parseFlags([]string{"-self-serve", "-conns", "6"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.homes != 6 {
+		t.Errorf("homes defaulted to %d, want conns (6)", cfg.homes)
+	}
+}
+
+// TestServeSmoke is the happy-path load run the Makefile drives: a
+// self-served fleet, one connection per home, every frame accepted, and the
+// alarm accounting closed — alarms raised server-side equal alarms pushed
+// plus admitted drops, with no silent loss anywhere.
+func TestServeSmoke(t *testing.T) {
+	rep, err := runLoad(config{
+		selfServe: true,
+		conns:     4,
+		homes:     4,
+		events:    300,
+		days:      1,
+		trainDays: 1,
+		seed:      3,
+		testbed:   "contextact",
+		token:     "tok",
+		tau:       2,
+		kmax:      1,
+		shards:    2,
+		workers:   1,
+		queue:     1024,
+		policy:    "block",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EventsSent != 4*300 {
+		t.Errorf("events sent = %d, want 1200", rep.EventsSent)
+	}
+	if rep.EventsNacked != 0 {
+		t.Errorf("block policy nacked %d events", rep.EventsNacked)
+	}
+	srv := rep.Server
+	if srv == nil {
+		t.Fatal("self-serve report missing server stats")
+	}
+	if srv.Wire.Events != rep.EventsSent || srv.Wire.Nacks != 0 {
+		t.Errorf("server accepted %d/%d events, %d nacks", srv.Wire.Events, rep.EventsSent, srv.Wire.Nacks)
+	}
+	// Zero silent alarm drops: every alarm the hub raised was either pushed
+	// to a producer or shows up in an explicit drop counter.
+	raised := srv.Hub.Total.Alarms
+	accounted := srv.Wire.Alarms + srv.Wire.AlarmsDropped
+	if srv.Fleet != nil {
+		accounted += srv.Fleet.AlarmsDropped
+	}
+	if raised != accounted {
+		t.Errorf("alarm accounting open: raised %d, accounted %d (pushed %d, wire drops %d)",
+			raised, accounted, srv.Wire.Alarms, srv.Wire.AlarmsDropped)
+	}
+	if rep.Alarms != srv.Wire.Alarms {
+		t.Errorf("clients received %d alarms, server pushed %d", rep.Alarms, srv.Wire.Alarms)
+	}
+	if rep.Alarms > 0 {
+		if rep.AlarmLatency.Samples == 0 || rep.AlarmLatency.P50 <= 0 {
+			t.Errorf("alarms arrived but latency not measured: %+v", rep.AlarmLatency)
+		}
+		if rep.AlarmLatency.P50 > rep.AlarmLatency.P99 || rep.AlarmLatency.P99 > rep.AlarmLatency.Max {
+			t.Errorf("latency percentiles disordered: %+v", rep.AlarmLatency)
+		}
+	}
+}
+
+// TestServeSmokeBackpressure floods a reject-policy server with a one-slot
+// queue: overflow must surface as NACK frames, and the NACK + accepted
+// counts must exactly cover every frame sent — nothing vanishes.
+func TestServeSmokeBackpressure(t *testing.T) {
+	rep, err := runLoad(config{
+		selfServe: true,
+		conns:     4,
+		homes:     4,
+		events:    500,
+		days:      1,
+		trainDays: 1,
+		seed:      3,
+		testbed:   "contextact",
+		tau:       2,
+		kmax:      1,
+		shards:    1,
+		workers:   1,
+		queue:     1,
+		policy:    "reject",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EventsNacked == 0 {
+		t.Fatal("reject policy under flood produced no nacks")
+	}
+	srv := rep.Server
+	if srv == nil {
+		t.Fatal("self-serve report missing server stats")
+	}
+	if srv.Wire.Nacks != rep.EventsNacked {
+		t.Errorf("clients saw %d nacks, server sent %d", rep.EventsNacked, srv.Wire.Nacks)
+	}
+	if got := srv.Wire.Events + srv.Wire.Nacks; got != rep.EventsSent {
+		t.Errorf("accepted (%d) + nacked (%d) = %d, want every sent frame (%d)",
+			srv.Wire.Events, srv.Wire.Nacks, got, rep.EventsSent)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"log"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -33,6 +34,7 @@ type Host interface {
 	Deregister(tenant string) error
 	Submit(tenant string, ev Event) error
 	Alarms() <-chan TenantAlarm
+	SetAlarmRoute(tenant string, sink func(TenantAlarm)) error
 	Swap(tenant string, sys *System) error
 	Export(tenant string, opts ExportOptions) error
 	Flush(tenant string) error
@@ -70,6 +72,16 @@ type fleetTenant struct {
 
 	mu      sync.Mutex
 	carried TenantStats
+	// route, when set (SetAlarmRoute), receives the home's alarms ahead of
+	// opts.OnAlarm and the fan-in channel. It lives on the fleet record —
+	// not any one shard hub — so it follows the home across migrations.
+	route func(TenantAlarm)
+}
+
+func (ft *fleetTenant) alarmRoute() func(TenantAlarm) {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	return ft.route
 }
 
 func (ft *fleetTenant) carry(ts TenantStats) {
@@ -122,6 +134,9 @@ type Fleet struct {
 
 	alarms        chan TenantAlarm
 	alarmsDropped atomic.Uint64
+	// dropLogged records which tenants already logged an alarm drop off the
+	// fan-in channel: one log line per home, not a flood.
+	dropLogged sync.Map
 
 	mu        sync.RWMutex
 	shards    map[int]*Hub
@@ -193,19 +208,61 @@ func (f *Fleet) ShardOf(tenant string) (int, error) {
 // the final drain.
 func (f *Fleet) Alarms() <-chan TenantAlarm { return f.alarms }
 
-// effective returns the options a shard hub is registered with: homes
-// without their own OnAlarm deliver into the fleet's fan-in channel.
-func (f *Fleet) effective(opts TenantOptions) TenantOptions {
-	if opts.OnAlarm == nil {
-		opts.OnAlarm = func(tenant string, alarm *Alarm, score float64) {
-			select {
-			case f.alarms <- TenantAlarm{Tenant: tenant, Alarm: alarm, Score: score}:
-			default:
-				f.alarmsDropped.Add(1)
-			}
+// deliverFor builds the alarm sink a shard hub routes one home's alarms
+// through. The sink consults the fleet's per-home record on every delivery
+// — SetAlarmRoute first, then the home's own OnAlarm, then the fan-in
+// channel — so a route set mid-migration takes effect the moment the home
+// lands on its new shard, and an alarm that cannot be delivered is counted
+// and logged, never silently discarded.
+func (f *Fleet) deliverFor(ft *fleetTenant) func(TenantAlarm) {
+	return func(ta TenantAlarm) {
+		if route := ft.alarmRoute(); route != nil {
+			route(ta)
+			return
+		}
+		if ft.opts.OnAlarm != nil {
+			ft.opts.OnAlarm(ta.Tenant, ta.Alarm, ta.Score)
+			return
+		}
+		select {
+		case f.alarms <- ta:
+		default:
+			f.noteAlarmDropped(ta.Tenant)
 		}
 	}
-	return opts
+}
+
+// noteAlarmDropped counts one alarm discarded off the full fan-in channel
+// and logs the first drop per home.
+func (f *Fleet) noteAlarmDropped(tenant string) {
+	f.alarmsDropped.Add(1)
+	if _, logged := f.dropLogged.LoadOrStore(tenant, struct{}{}); !logged {
+		log.Printf("causaliot: fleet alarms channel full; dropping alarms for home %q (first drop — consume Alarms faster or raise AlarmBuffer)", tenant)
+	}
+}
+
+// SetAlarmRoute directs a home's alarms to sink, taking precedence over
+// both the home's OnAlarm callback and the fan-in Alarms channel; a nil
+// sink restores the previous delivery. The route is a fleet-level property
+// of the home: it survives live migration between shards. The sink runs on
+// the home's stream thread — return quickly or hand off.
+func (f *Fleet) SetAlarmRoute(tenant string, sink func(TenantAlarm)) error {
+	f.mu.RLock()
+	ft := f.tenants[tenant]
+	f.mu.RUnlock()
+	if ft == nil {
+		return fmt.Errorf("%w %q", ErrUnknownTenant, tenant)
+	}
+	ft.mu.Lock()
+	ft.route = sink
+	ft.mu.Unlock()
+	return nil
+}
+
+// routeAlarms points a freshly made shard registration at the fleet's
+// per-home delivery chain.
+func (f *Fleet) routeAlarms(h *Hub, tenant string, ft *fleetTenant) error {
+	return h.SetAlarmRoute(tenant, f.deliverFor(ft))
 }
 
 // Register hosts a home on the fleet, placed on its ring-assigned shard: a
@@ -253,7 +310,12 @@ func (f *Fleet) RegisterMonitor(tenant string, mon *Monitor, opts TenantOptions)
 		delete(f.tenants, tenant)
 		f.mu.Unlock()
 	}
-	if err := h.RegisterMonitor(tenant, mon, f.effective(opts)); err != nil {
+	if err := h.RegisterMonitor(tenant, mon, opts); err != nil {
+		unreserve()
+		return err
+	}
+	if err := f.routeAlarms(h, tenant, ft); err != nil {
+		_ = h.Deregister(tenant)
 		unreserve()
 		return err
 	}
@@ -312,7 +374,7 @@ func (f *Fleet) Submit(tenant string, ev Event) error {
 	if f.closed.Load() {
 		return ErrHubClosed
 	}
-	return f.router.Dispatch(tenant, hub.Event{Device: ev.Device, Value: ev.Value, Time: ev.Time},
+	return f.router.Dispatch(tenant, hub.Event{Device: ev.Device, Value: ev.Value, Time: ev.Time, Seq: ev.Seq},
 		func(shard int, hev hub.Event) error {
 			h := f.shard(shard)
 			if h == nil {
@@ -432,7 +494,11 @@ func (f *Fleet) handoff(tenant string, ft *fleetTenant, from, to int) error {
 	if err != nil {
 		return fmt.Errorf("causaliot: migrate %q: %w", tenant, err)
 	}
-	if err := dst.RegisterMonitor(tenant, mon, f.effective(ft.opts)); err != nil {
+	if err := dst.RegisterMonitor(tenant, mon, ft.opts); err != nil {
+		return err
+	}
+	if err := f.routeAlarms(dst, tenant, ft); err != nil {
+		_ = dst.Deregister(tenant)
 		return err
 	}
 	// Carry the source life's counters before they vanish with the tenant.
@@ -621,6 +687,10 @@ type FleetStats struct {
 	Migrations uint64
 	Replayed   uint64
 	GapDropped uint64
+	// AlarmsDropped counts alarms discarded because the fleet's fan-in
+	// Alarms channel was full. A non-zero value means alarms were lost:
+	// consume Alarms faster or raise HubConfig.AlarmBuffer.
+	AlarmsDropped uint64
 }
 
 // FleetStats snapshots the per-shard breakdown and migration counters.
@@ -645,6 +715,7 @@ func (f *Fleet) FleetStats() FleetStats {
 		}
 	}
 	out.Migrations, out.Replayed, out.GapDropped = f.router.Counters()
+	out.AlarmsDropped = f.alarmsDropped.Load()
 	return out
 }
 

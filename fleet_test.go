@@ -570,3 +570,87 @@ func TestHubExportUnified(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestFleetAlarmRouteSurvivesMigration: a fleet-level alarm route is a
+// property of the home, not of the shard hub serving it — alarms keep
+// arriving on the route (with the producer's Seq) after a live migration.
+func TestFleetAlarmRouteSurvivesMigration(t *testing.T) {
+	sys := mustTrain(t, Config{Tau: 2})
+	f := NewFleet(FleetConfig{Shards: 2, Hub: HubConfig{Workers: 2}})
+	defer f.Close()
+	if err := f.Register("home", sys, TenantOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	routed := make(chan TenantAlarm, 4)
+	if err := f.SetAlarmRoute("home", func(ta TenantAlarm) { routed <- ta }); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SetAlarmRoute("ghost", nil); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("route for unknown tenant = %v", err)
+	}
+	from, err := f.ShardOf("home")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var to int
+	for _, id := range f.Shards() {
+		if id != from {
+			to = id
+		}
+	}
+	if err := f.Migrate("home", to); err != nil {
+		t.Fatal(err)
+	}
+	for i, ev := range ghostSequence() {
+		ev.Seq = uint64(10 + i)
+		if err := f.Submit("home", ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case ta := <-routed:
+		if ta.Tenant != "home" || ta.Alarm == nil || ta.Seq != 14 {
+			t.Fatalf("routed alarm = %+v", ta)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("alarm not delivered through the route after migration")
+	}
+	select {
+	case ta := <-f.Alarms():
+		t.Fatalf("fan-in channel received %+v despite an active route", ta)
+	default:
+	}
+}
+
+// TestFleetAlarmDropSurfaced pins the fan-in overflow contract: an alarm
+// discarded off the full Alarms channel is counted in both Stats and
+// FleetStats instead of vanishing.
+func TestFleetAlarmDropSurfaced(t *testing.T) {
+	sys := mustTrain(t, Config{Tau: 2})
+	f := NewFleet(FleetConfig{Shards: 1, Hub: HubConfig{Workers: 2, AlarmBuffer: 1}})
+	defer f.Close()
+	// Two homes each raise one alarm; nobody consumes the channel, whose
+	// buffer holds one — exactly one alarm must be counted as dropped.
+	for i := 0; i < 2; i++ {
+		if err := f.Register(fmt.Sprintf("home-%d", i), sys, TenantOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		for _, ev := range ghostSequence() {
+			if err := f.Submit(fmt.Sprintf("home-%d", i), ev); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for f.FleetStats().AlarmsDropped < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("alarm drop never surfaced: stats %+v", f.FleetStats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := f.Stats().AlarmsDropped; got != 1 {
+		t.Fatalf("Stats().AlarmsDropped = %d, want 1", got)
+	}
+}

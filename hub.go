@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -138,6 +139,10 @@ type TenantAlarm struct {
 	Alarm  *Alarm
 	// Score is the anomaly score of the event that completed the chain.
 	Score float64
+	// Seq is the producer-assigned sequence number (Event.Seq) of the event
+	// that completed the chain — zero when the producer does not assign
+	// sequence numbers or the alarm was raised by an operator Flush.
+	Seq uint64
 }
 
 // TenantStats is one home's runtime counters. Latencies cover the most
@@ -188,6 +193,9 @@ type Hub struct {
 	alarms        chan TenantAlarm
 	alarmsDropped atomic.Uint64
 	closed        atomic.Bool
+	// dropLogged records which tenants already logged an alarm drop, so a
+	// sustained overflow produces one log line per home, not a flood.
+	dropLogged sync.Map
 	// procs tracks the hosted processors for lifecycle introspection
 	// (LifecycleStats) without going through a stream-pausing Update.
 	procMu sync.Mutex
@@ -223,15 +231,23 @@ func (h *Hub) Alarms() <-chan TenantAlarm { return h.alarms }
 
 // tenantProc adapts one home's Monitor to the hub's Processor contract and
 // routes its alarms. The hub serializes Handle per tenant, so the monitor
-// needs no locking.
+// needs no locking; route and lastSeq are only touched on the stream
+// thread (Handle, or a callback under a stream-pausing Update).
 type tenantProc struct {
 	hub     *Hub
 	name    string
 	mon     *Monitor
 	onAlarm func(string, *Alarm, float64)
+	// route, when set (SetAlarmRoute), receives the home's alarms ahead of
+	// both onAlarm and the Alarms channel.
+	route func(TenantAlarm)
+	// lastSeq is the Seq of the event currently being handled, stamped
+	// onto any alarm it completes.
+	lastSeq uint64
 }
 
 func (p *tenantProc) Handle(ev hub.Event) (bool, error) {
+	p.lastSeq = ev.Seq
 	det, err := p.mon.ObserveEvent(Event{Time: ev.Time, Device: ev.Device, Value: ev.Value})
 	if err != nil {
 		return false, err
@@ -250,15 +266,46 @@ func (p *tenantProc) Handle(ev hub.Event) (bool, error) {
 }
 
 func (p *tenantProc) deliver(alarm *Alarm, score float64) {
+	ta := TenantAlarm{Tenant: p.name, Alarm: alarm, Score: score, Seq: p.lastSeq}
+	if p.route != nil {
+		p.route(ta)
+		return
+	}
 	if p.onAlarm != nil {
 		p.onAlarm(p.name, alarm, score)
 		return
 	}
 	select {
-	case p.hub.alarms <- TenantAlarm{Tenant: p.name, Alarm: alarm, Score: score}:
+	case p.hub.alarms <- ta:
 	default:
-		p.hub.alarmsDropped.Add(1)
+		p.hub.noteAlarmDropped(p.name)
 	}
+}
+
+// noteAlarmDropped counts one alarm discarded off a full Alarms channel and
+// logs the first drop per home — a dropped alarm must leave an operator-
+// visible trace, never vanish into a counter nobody reads.
+func (h *Hub) noteAlarmDropped(tenant string) {
+	h.alarmsDropped.Add(1)
+	if _, logged := h.dropLogged.LoadOrStore(tenant, struct{}{}); !logged {
+		log.Printf("causaliot: alarms channel full; dropping alarms for home %q (first drop — consume Alarms faster or raise AlarmBuffer)", tenant)
+	}
+}
+
+// SetAlarmRoute directs a home's alarms to sink, taking precedence over
+// both the home's OnAlarm callback and the Alarms channel; a nil sink
+// restores the previous delivery. The sink runs on the home's stream
+// thread, serialized with its events — return quickly or hand off. The
+// change lands atomically between events.
+func (h *Hub) SetAlarmRoute(tenant string, sink func(TenantAlarm)) error {
+	return h.inner.Update(tenant, func(p hub.Processor) (hub.Processor, error) {
+		tp, ok := p.(*tenantProc)
+		if !ok {
+			return nil, fmt.Errorf("causaliot: tenant %q hosts a foreign processor", tenant)
+		}
+		tp.route = sink
+		return tp, nil
+	})
 }
 
 // Register hosts a home on the hub: a fresh Monitor is started from the
@@ -421,7 +468,7 @@ func (h *Hub) Snapshot(tenant string, model, state io.Writer) error {
 // backpressure policy decides: block, drop the oldest queued event, or fail
 // with ErrBackpressure.
 func (h *Hub) Submit(tenant string, ev Event) error {
-	return h.inner.Submit(tenant, hub.Event{Device: ev.Device, Value: ev.Value, Time: ev.Time})
+	return h.inner.Submit(tenant, hub.Event{Device: ev.Device, Value: ev.Value, Time: ev.Time, Seq: ev.Seq})
 }
 
 // Swap hot-swaps a home's model: the retrained (or Extend-ed and reloaded)
@@ -462,6 +509,7 @@ func (h *Hub) Flush(tenant string) error {
 			return nil, fmt.Errorf("causaliot: tenant %q hosts a foreign processor", tenant)
 		}
 		if alarm := tp.mon.Flush(); alarm != nil {
+			tp.lastSeq = 0 // operator-initiated: no completing event to cite
 			tp.deliver(alarm, 0)
 		}
 		return tp, nil

@@ -466,3 +466,67 @@ func TestHubCloseWithinDeadline(t *testing.T) {
 		t.Errorf("close after timeout = %v", err)
 	}
 }
+
+// TestHubAlarmRouteAndSeq: a SetAlarmRoute sink takes precedence over the
+// home's OnAlarm callback, delivered alarms carry the Seq of the completing
+// event, and clearing the route restores the previous delivery.
+func TestHubAlarmRouteAndSeq(t *testing.T) {
+	sys := mustTrain(t, Config{Tau: 2})
+	h := NewHub(HubConfig{Workers: 2})
+	var viaCallback atomic.Uint64
+	if err := h.Register("home", sys, TenantOptions{
+		OnAlarm: func(string, *Alarm, float64) { viaCallback.Add(1) },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	routed := make(chan TenantAlarm, 4)
+	if err := h.SetAlarmRoute("home", func(ta TenantAlarm) { routed <- ta }); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetAlarmRoute("ghost", nil); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("route for unknown tenant = %v", err)
+	}
+	for i, ev := range ghostSequence() {
+		ev.Seq = uint64(100 + i)
+		if err := h.Submit("home", ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case ta := <-routed:
+		if ta.Tenant != "home" || ta.Alarm == nil {
+			t.Fatalf("routed alarm = %+v", ta)
+		}
+		// The ghost activation is the 5th event of the sequence.
+		if ta.Seq != 104 {
+			t.Fatalf("alarm seq = %d, want 104", ta.Seq)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("routed alarm not delivered")
+	}
+	if viaCallback.Load() != 0 {
+		t.Fatal("OnAlarm fired despite an active route")
+	}
+	// Clearing the route restores the OnAlarm delivery.
+	if err := h.SetAlarmRoute("home", nil); err != nil {
+		t.Fatal(err)
+	}
+	for i, ev := range ghostSequence() {
+		ev.Time = ev.Time.Add(6 * time.Hour)
+		ev.Seq = uint64(200 + i)
+		if err := h.Submit("home", ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if viaCallback.Load() == 0 {
+		t.Fatal("OnAlarm not restored after clearing the route")
+	}
+	select {
+	case ta := <-routed:
+		t.Fatalf("cleared route still received %+v", ta)
+	default:
+	}
+}

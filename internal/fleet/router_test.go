@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -372,5 +373,158 @@ func TestRouterConcurrentDispatchMigrate(t *testing.T) {
 	wg.Wait()
 	if total := s.count(0) + s.count(1); total != producers*perProducer {
 		t.Fatalf("delivered %d events, want %d", total, producers*perProducer)
+	}
+}
+
+// TestRouterConcurrentDispatchMigrateDropOldest races producers against
+// repeated migrations with a gap buffer small enough to overflow: every
+// dispatched event must either reach a shard or be counted as an eviction —
+// DropOldest never loses anything silently.
+func TestRouterConcurrentDispatchMigrateDropOldest(t *testing.T) {
+	r := NewRouter(0)
+	r.AddShard(0)
+	r.AddShard(1)
+	if err := r.Activate("a", 0, hub.DropOldest, 16); err != nil {
+		t.Fatal(err)
+	}
+	s := newSink()
+	const producers = 4
+	const perProducer = 500
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				if err := r.Dispatch("a", ev(p*perProducer+i), s.submit); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	for flip := 0; flip < 6; flip++ {
+		if _, err := r.Migrate("a", (flip+1)%2, func(int) error {
+			time.Sleep(time.Millisecond)
+			return nil
+		}, s.submit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	delivered := s.count(0) + s.count(1)
+	_, _, dropped := r.Counters()
+	if total := delivered + int(dropped); total != producers*perProducer {
+		t.Fatalf("delivered %d + evicted %d = %d, want %d", delivered, dropped, total, producers*perProducer)
+	}
+}
+
+// TestRouterConcurrentDispatchMigrateReject is the same race under Reject:
+// overflow comes back to the producer as hub.ErrBackpressure (wrapped, so
+// errors.Is matches), and delivered + rejected covers every dispatch.
+func TestRouterConcurrentDispatchMigrateReject(t *testing.T) {
+	r := NewRouter(0)
+	r.AddShard(0)
+	r.AddShard(1)
+	if err := r.Activate("a", 0, hub.Reject, 16); err != nil {
+		t.Fatal(err)
+	}
+	s := newSink()
+	const producers = 4
+	const perProducer = 500
+	var rej atomic.Int64
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				err := r.Dispatch("a", ev(p*perProducer+i), s.submit)
+				if errors.Is(err, hub.ErrBackpressure) {
+					rej.Add(1)
+					continue
+				}
+				if err != nil {
+					t.Errorf("non-backpressure dispatch error: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+	for flip := 0; flip < 6; flip++ {
+		if _, err := r.Migrate("a", (flip+1)%2, func(int) error {
+			time.Sleep(time.Millisecond)
+			return nil
+		}, s.submit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	delivered := s.count(0) + s.count(1)
+	if total := delivered + int(rej.Load()); total != producers*perProducer {
+		t.Fatalf("delivered %d + rejected %d = %d, want %d", delivered, rej.Load(), total, producers*perProducer)
+	}
+}
+
+// TestRouterMigrateOrderPreserved streams a single ordered producer through
+// repeated live migrations: because a dispatch holds the route entry across
+// the shard enqueue and the gap replays under the same lock before the flip
+// is visible, arrival order across source, gap replay, and target must be
+// exactly dispatch order — the replay boundary never reorders.
+func TestRouterMigrateOrderPreserved(t *testing.T) {
+	r := NewRouter(0)
+	r.AddShard(0)
+	r.AddShard(1)
+	if err := r.Activate("a", 0, hub.Block, 4096); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var arrivals []float64
+	submit := func(shard int, e hub.Event) error {
+		mu.Lock()
+		arrivals = append(arrivals, e.Value)
+		mu.Unlock()
+		return nil
+	}
+	const total = 2000
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < total; i++ {
+			if err := r.Dispatch("a", ev(i), submit); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	flips := 0
+	for {
+		select {
+		case <-done:
+		default:
+			if _, err := r.Migrate("a", (flips+1)%2, func(int) error {
+				time.Sleep(time.Millisecond)
+				return nil
+			}, submit); err != nil {
+				t.Fatal(err)
+			}
+			flips++
+			continue
+		}
+		break
+	}
+	<-done
+	mu.Lock()
+	defer mu.Unlock()
+	if len(arrivals) != total {
+		t.Fatalf("arrived %d events, want %d", len(arrivals), total)
+	}
+	for i, v := range arrivals {
+		if v != float64(i) {
+			t.Fatalf("arrival %d has value %g: replay boundary reordered the stream", i, v)
+		}
+	}
+	if flips == 0 {
+		t.Fatal("no migration raced the stream")
 	}
 }

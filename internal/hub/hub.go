@@ -22,11 +22,14 @@ import (
 	"time"
 )
 
-// Event is one raw device state report addressed to a tenant's stream.
+// Event is one raw device state report addressed to a tenant's stream. Seq
+// is an opaque producer-assigned sequence number carried alongside the
+// event; the hub never interprets it.
 type Event struct {
 	Device string
 	Value  float64
 	Time   time.Time
+	Seq    uint64
 }
 
 // Processor handles one tenant's ordered event stream. The hub never calls

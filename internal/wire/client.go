@@ -1,0 +1,221 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// ClientConfig tunes one wire client connection.
+type ClientConfig struct {
+	// Token is the shared secret presented in the Hello; Tenant the home
+	// this connection produces for (and receives alarms of).
+	Token  string
+	Tenant string
+	// MaxFrame caps accepted inbound frame sizes; <= 0 selects
+	// DefaultMaxFrame.
+	MaxFrame int
+	// DialTimeout bounds the TCP connect plus the Hello/Welcome
+	// handshake. Defaults to 10s.
+	DialTimeout time.Duration
+	// OnNack receives every Nack frame (refused events). Called from the
+	// client's reader goroutine.
+	OnNack func(Nack)
+	// OnAlarm receives every Alarm frame pushed by the server. Called
+	// from the client's reader goroutine.
+	OnAlarm func(Alarm)
+}
+
+// Client is one producer connection: Send streams event frames (buffered;
+// call Flush to push a partial batch), while a reader goroutine dispatches
+// the server's Nack and Alarm frames to the configured callbacks.
+//
+// Send/Flush/Close are safe for concurrent use; the callbacks run on the
+// single reader goroutine.
+type Client struct {
+	nc  net.Conn
+	cfg ClientConfig
+
+	mu      sync.Mutex
+	bw      *bufio.Writer
+	scratch []byte
+	closed  bool
+
+	readDone chan struct{}
+	errMu    sync.Mutex
+	readErr  error
+}
+
+// Dial connects to a wire server and authenticates the connection to
+// cfg.Tenant. A Hello refused by the server surfaces as an error matching
+// the reason (ErrBadAuth for a bad token, ErrBadFrame for a protocol
+// mismatch); the Nack detail rides in the message.
+func Dial(addr string, cfg ClientConfig) (*Client, error) {
+	timeout := cfg.DialTimeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		nc:       nc,
+		cfg:      cfg,
+		bw:       bufio.NewWriterSize(nc, 32<<10),
+		readDone: make(chan struct{}),
+	}
+	nc.SetDeadline(time.Now().Add(timeout))
+	hello, err := AppendHello(nil, cfg.Token, cfg.Tenant)
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	if _, err := nc.Write(hello); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	r := NewReader(nc, cfg.MaxFrame)
+	t, p, err := r.Next()
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("wire: handshake: %w", err)
+	}
+	switch t {
+	case FrameWelcome:
+		if _, _, err := ParseWelcome(p); err != nil {
+			nc.Close()
+			return nil, err
+		}
+	case FrameNack:
+		n, perr := ParseNack(p)
+		nc.Close()
+		if perr != nil {
+			return nil, perr
+		}
+		return nil, helloError(n)
+	default:
+		nc.Close()
+		return nil, fmt.Errorf("%w: handshake frame %s", ErrBadFrame, t)
+	}
+	nc.SetDeadline(time.Time{})
+	go c.readLoop(r)
+	return c, nil
+}
+
+// helloError converts a handshake Nack into a sentinel-matchable error.
+func helloError(n Nack) error {
+	switch n.Code {
+	case CodeBadAuth:
+		return fmt.Errorf("%w: %s", ErrBadAuth, n.Detail)
+	case CodeProtocol:
+		return fmt.Errorf("%w: %s", ErrBadFrame, n.Detail)
+	default:
+		return fmt.Errorf("wire: hello refused (%s): %s", n.Code, n.Detail)
+	}
+}
+
+func (c *Client) readLoop(r *Reader) {
+	defer close(c.readDone)
+	for {
+		t, p, err := r.Next()
+		if err != nil {
+			c.setErr(err)
+			return
+		}
+		switch t {
+		case FrameNack:
+			n, err := ParseNack(p)
+			if err != nil {
+				c.setErr(err)
+				return
+			}
+			if c.cfg.OnNack != nil {
+				c.cfg.OnNack(n)
+			}
+		case FrameAlarm:
+			a, err := ParseAlarm(p)
+			if err != nil {
+				c.setErr(err)
+				return
+			}
+			if c.cfg.OnAlarm != nil {
+				c.cfg.OnAlarm(a)
+			}
+		default:
+			c.setErr(fmt.Errorf("%w: unexpected %s frame from server", ErrBadFrame, t))
+			return
+		}
+	}
+}
+
+func (c *Client) setErr(err error) {
+	c.errMu.Lock()
+	if c.readErr == nil {
+		c.readErr = err
+	}
+	c.errMu.Unlock()
+}
+
+// Err reports the reader goroutine's terminal error, if any: nil while the
+// connection is healthy, io.EOF (or a net error) after the server hung up.
+func (c *Client) Err() error {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	return c.readErr
+}
+
+// Send buffers one event frame toward the server. Frames are flushed when
+// the buffer fills; call Flush to push a partial batch (e.g. when pacing).
+func (c *Client) Send(ev Event) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClientClosed
+	}
+	frame, err := AppendEvent(c.scratch[:0], ev)
+	if err != nil {
+		return err
+	}
+	c.scratch = frame[:0]
+	_, err = c.bw.Write(frame)
+	return err
+}
+
+// Flush pushes any buffered event frames onto the wire.
+func (c *Client) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClientClosed
+	}
+	return c.bw.Flush()
+}
+
+// Close sends a Bye, flushes, closes the connection, and waits for the
+// reader goroutine to finish (so every already-received Nack and Alarm has
+// been dispatched). Idempotent.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		<-c.readDone
+		return nil
+	}
+	c.closed = true
+	c.bw.Write(AppendBye(nil))
+	err := c.bw.Flush()
+	c.mu.Unlock()
+	// Give the server a beat to push trailing alarms, then cut the
+	// connection, which ends the reader.
+	c.nc.SetReadDeadline(time.Now().Add(time.Second))
+	<-c.readDone
+	c.nc.Close()
+	if err != nil && !errors.Is(err, net.ErrClosed) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,482 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Backend is the serving side the wire server fronts. The facade adapts a
+// causaliot.Host (hub or sharded fleet) to this surface; tests plug fakes.
+type Backend interface {
+	// Authenticate validates one connection's Hello. A non-nil error
+	// refuses the connection (classified into the Nack code by the
+	// server's Classify hook).
+	Authenticate(token, tenant string) error
+	// Submit enqueues one event for a tenant. Errors are classified and
+	// surfaced to the producer as Nack frames; they never stop the
+	// connection.
+	Submit(tenant string, ev Event) error
+	// RouteAlarms directs the tenant's alarms into sink until replaced or
+	// cleared with a nil sink. The sink is invoked on the tenant's stream
+	// thread and must not block.
+	RouteAlarms(tenant string, sink func(Alarm)) error
+}
+
+// ServerConfig tunes a wire server.
+type ServerConfig struct {
+	// Backend serves the authenticated traffic. Required.
+	Backend Backend
+	// Classify maps a Backend error to the Nack code sent to the
+	// producer; nil classifies everything as CodeInternal.
+	Classify func(error) Code
+	// MaxFrame caps accepted frame sizes; <= 0 selects DefaultMaxFrame.
+	MaxFrame int
+	// AlarmBuffer sizes each connection's outbound alarm queue. When the
+	// queue is full (a producer not draining its read side), further
+	// alarms for that connection are dropped and counted in
+	// Stats.AlarmsDropped. Defaults to 256.
+	AlarmBuffer int
+	// HelloTimeout bounds how long a fresh connection may sit silent
+	// before its Hello. Defaults to 10s.
+	HelloTimeout time.Duration
+	// Logf receives operational log lines (first alarm drop per
+	// connection, refused Hellos); nil disables logging.
+	Logf func(format string, args ...any)
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = DefaultMaxFrame
+	}
+	if c.AlarmBuffer <= 0 {
+		c.AlarmBuffer = 256
+	}
+	if c.HelloTimeout <= 0 {
+		c.HelloTimeout = 10 * time.Second
+	}
+	if c.Classify == nil {
+		c.Classify = func(error) Code { return CodeInternal }
+	}
+	return c
+}
+
+// ServerStats is a point-in-time snapshot of a wire server's counters.
+type ServerStats struct {
+	// ActiveConns is the number of currently authenticated connections;
+	// Conns counts every connection ever accepted.
+	ActiveConns int
+	Conns       uint64
+	// Events counts accepted event frames; Nacks the refused ones (the
+	// sum is the total event frames received).
+	Events uint64
+	Nacks  uint64
+	// Alarms counts alarm frames pushed to producers; AlarmsDropped the
+	// alarms discarded because a connection's outbound queue was full.
+	Alarms        uint64
+	AlarmsDropped uint64
+	// AuthFailures counts refused Hellos.
+	AuthFailures uint64
+}
+
+// Server accepts wire connections and bridges them onto a Backend. All
+// methods are safe for concurrent use.
+type Server struct {
+	cfg ServerConfig
+
+	mu     sync.Mutex
+	lns    map[net.Listener]struct{}
+	conns  map[*srvConn]struct{}
+	owners map[string]*srvConn // tenant → connection receiving its alarms
+	closed bool
+
+	active        atomic.Int64
+	totalConns    atomic.Uint64
+	events        atomic.Uint64
+	nacks         atomic.Uint64
+	alarms        atomic.Uint64
+	alarmsDropped atomic.Uint64
+	authFailures  atomic.Uint64
+}
+
+// NewServer creates a wire server over a backend; call Serve with one or
+// more listeners to start accepting.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Backend == nil {
+		return nil, errors.New("wire: server with nil backend")
+	}
+	return &Server{
+		cfg:    cfg.withDefaults(),
+		lns:    make(map[net.Listener]struct{}),
+		conns:  make(map[*srvConn]struct{}),
+		owners: make(map[string]*srvConn),
+	}, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Serve accepts connections on ln until the listener fails or the server
+// is closed; a clean Close returns nil. Serve may be called concurrently
+// with multiple listeners.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("wire: server closed")
+	}
+	s.lns[ln] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.lns, ln)
+		s.mu.Unlock()
+		ln.Close()
+	}()
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.totalConns.Add(1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.handle(nc)
+		}()
+	}
+}
+
+// Close stops accepting, closes every live connection, and unroutes their
+// alarm sinks. Idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for ln := range s.lns {
+		ln.Close()
+	}
+	conns := make([]*srvConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.nc.Close()
+	}
+	return nil
+}
+
+// Stats snapshots the server's counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		ActiveConns:   int(s.active.Load()),
+		Conns:         s.totalConns.Load(),
+		Events:        s.events.Load(),
+		Nacks:         s.nacks.Load(),
+		Alarms:        s.alarms.Load(),
+		AlarmsDropped: s.alarmsDropped.Load(),
+		AuthFailures:  s.authFailures.Load(),
+	}
+}
+
+// srvConn is one accepted connection: a reader loop (this goroutine), a
+// writer goroutine serializing Nack and Alarm frames, and — once
+// authenticated — an alarm route claimed on the backend.
+type srvConn struct {
+	srv    *Server
+	nc     net.Conn
+	tenant string
+
+	out      chan outFrame // encoded frames toward the producer
+	done     chan struct{}
+	closeOne sync.Once
+
+	alarmDropLogged atomic.Bool
+}
+
+// outFrame is one queued outbound frame; wrote (when non-nil) is closed
+// after the frame reaches the socket (or the write path fails), letting a
+// final Nack be flushed before the connection is torn down.
+type outFrame struct {
+	b     []byte
+	wrote chan struct{}
+}
+
+func (c *srvConn) finish() {
+	c.closeOne.Do(func() { close(c.done) })
+	c.nc.Close()
+}
+
+// send queues one encoded frame for the writer; it blocks while the queue
+// is full (the reader applying transport backpressure) but never past the
+// connection's end.
+func (c *srvConn) send(frame []byte) {
+	select {
+	case c.out <- outFrame{b: frame}:
+	case <-c.done:
+	}
+}
+
+// trySend queues one encoded frame without blocking, reporting whether it
+// was accepted. Alarm push-back uses it: the sink runs on the tenant's
+// stream thread, which must never stall behind a slow producer.
+func (c *srvConn) trySend(frame []byte) bool {
+	select {
+	case c.out <- outFrame{b: frame}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (c *srvConn) writeLoop() {
+	bw := newFlushWriter(c.nc)
+	failed := false
+	for {
+		select {
+		case f := <-c.out:
+			if !failed {
+				if err := bw.write(f.b, len(c.out) == 0); err != nil {
+					failed = true
+					c.nc.Close() // wake the reader; it finishes the conn
+				}
+			}
+			// After a failure, keep draining so senders never park on a
+			// dead conn; acknowledge regardless so nackClose cannot hang.
+			if f.wrote != nil {
+				close(f.wrote)
+			}
+		case <-c.done:
+			return
+		}
+	}
+}
+
+func (s *Server) handle(nc net.Conn) {
+	c := &srvConn{
+		srv:  s,
+		nc:   nc,
+		out:  make(chan outFrame, s.cfg.AlarmBuffer),
+		done: make(chan struct{}),
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		nc.Close()
+		return
+	}
+	s.conns[c] = struct{}{}
+	s.mu.Unlock()
+	go c.writeLoop()
+	defer func() {
+		c.finish()
+		s.mu.Lock()
+		delete(s.conns, c)
+		if c.tenant != "" && s.owners[c.tenant] == c {
+			delete(s.owners, c.tenant)
+			s.mu.Unlock()
+			// Route the tenant's alarms back to the host's default
+			// delivery; a newer connection for the same tenant already
+			// rerouted them and is skipped above.
+			_ = s.cfg.Backend.RouteAlarms(c.tenant, nil)
+		} else {
+			s.mu.Unlock()
+		}
+	}()
+
+	r := NewReader(nc, s.cfg.MaxFrame)
+	nc.SetReadDeadline(time.Now().Add(s.cfg.HelloTimeout))
+	if err := s.hello(c, r); err != nil {
+		s.authFailures.Add(1)
+		return
+	}
+	nc.SetReadDeadline(time.Time{})
+	s.active.Add(1)
+	defer s.active.Add(-1)
+	s.readLoop(c, r)
+}
+
+// nackClose sends one final Nack and waits (bounded) for it to reach the
+// socket before the deferred close tears the connection down.
+func (c *srvConn) nackClose(n Nack) {
+	frame, err := AppendNack(nil, n)
+	if err != nil {
+		return
+	}
+	wrote := make(chan struct{})
+	select {
+	case c.out <- outFrame{b: frame, wrote: wrote}:
+	case <-c.done:
+		return
+	}
+	select {
+	case <-wrote:
+	case <-c.done:
+	case <-time.After(time.Second):
+	}
+}
+
+// hello performs the authentication handshake; any error means the
+// connection is refused (a Nack with the reason was sent when possible).
+func (s *Server) hello(c *srvConn, r *Reader) error {
+	t, p, err := s.nextFrame(c, r)
+	if err != nil {
+		return err
+	}
+	if t != FrameHello {
+		c.nackClose(Nack{Code: CodeProtocol, Detail: fmt.Sprintf("expected hello, got %s", t)})
+		return fmt.Errorf("%w: first frame %s", ErrBadFrame, t)
+	}
+	ver, token, tenant, err := ParseHello(p)
+	if err != nil {
+		c.nackClose(Nack{Code: CodeProtocol, Detail: "malformed hello"})
+		return err
+	}
+	if ver != Version {
+		c.nackClose(Nack{Code: CodeProtocol, Detail: fmt.Sprintf("protocol version %d, want %d", ver, Version)})
+		return fmt.Errorf("%w: version %d", ErrBadFrame, ver)
+	}
+	if err := s.cfg.Backend.Authenticate(token, tenant); err != nil {
+		c.nackClose(Nack{Code: s.cfg.Classify(err), Detail: "authentication rejected"})
+		s.logf("wire: refused connection from %s for tenant %q: %v", c.nc.RemoteAddr(), tenant, err)
+		return err
+	}
+	if err := s.claimAlarms(tenant, c); err != nil {
+		c.nackClose(Nack{Code: s.cfg.Classify(err), Detail: err.Error()})
+		s.logf("wire: refused connection from %s: %v", c.nc.RemoteAddr(), err)
+		return err
+	}
+	c.tenant = tenant
+	c.send(AppendWelcome(nil, uint32(s.cfg.MaxFrame)))
+	return nil
+}
+
+// claimAlarms routes the tenant's alarms to this connection, displacing a
+// previous connection for the same tenant (the newest producer wins).
+func (s *Server) claimAlarms(tenant string, c *srvConn) error {
+	s.mu.Lock()
+	prev, hadPrev := s.owners[tenant]
+	s.owners[tenant] = c
+	s.mu.Unlock()
+	err := s.cfg.Backend.RouteAlarms(tenant, func(a Alarm) { s.pushAlarm(c, a) })
+	if err != nil {
+		s.mu.Lock()
+		if s.owners[tenant] == c {
+			if hadPrev {
+				s.owners[tenant] = prev
+			} else {
+				delete(s.owners, tenant)
+			}
+		}
+		s.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// pushAlarm encodes one alarm onto a connection's outbound queue. It runs
+// on the tenant's stream thread: never block, count what cannot be sent.
+func (s *Server) pushAlarm(c *srvConn, a Alarm) {
+	frame, err := AppendAlarm(nil, a)
+	if err != nil {
+		s.alarmsDropped.Add(1)
+		return
+	}
+	if c.trySend(frame) {
+		s.alarms.Add(1)
+		return
+	}
+	s.alarmsDropped.Add(1)
+	if c.alarmDropLogged.CompareAndSwap(false, true) {
+		s.logf("wire: alarm queue full for tenant %q on %s; dropping (first drop — producer not reading, or raise AlarmBuffer)",
+			c.tenant, c.nc.RemoteAddr())
+	}
+}
+
+// nextFrame reads one frame, converting an oversized frame into a final
+// protocol Nack before failing the connection.
+func (s *Server) nextFrame(c *srvConn, r *Reader) (FrameType, []byte, error) {
+	t, p, err := r.Next()
+	if err != nil {
+		if errors.Is(err, ErrFrameTooLarge) {
+			c.nackClose(Nack{Code: CodeProtocol, Detail: err.Error()})
+		}
+		return 0, nil, err
+	}
+	return t, p, nil
+}
+
+func (s *Server) readLoop(c *srvConn, r *Reader) {
+	for {
+		t, p, err := s.nextFrame(c, r)
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				s.logf("wire: connection %s (tenant %q): %v", c.nc.RemoteAddr(), c.tenant, err)
+			}
+			return
+		}
+		switch t {
+		case FrameEvent:
+			ev, err := ParseEvent(p)
+			if err != nil {
+				c.nackClose(Nack{Code: CodeProtocol, Detail: "malformed event"})
+				return
+			}
+			if err := s.cfg.Backend.Submit(c.tenant, ev); err != nil {
+				s.nacks.Add(1)
+				frame, ferr := AppendNack(nil, Nack{Seq: ev.Seq, Code: s.cfg.Classify(err), Detail: err.Error()})
+				if ferr == nil {
+					c.send(frame)
+				}
+				continue
+			}
+			s.events.Add(1)
+		case FrameBye:
+			return
+		default:
+			c.nackClose(Nack{Code: CodeProtocol, Detail: fmt.Sprintf("unexpected %s frame", t)})
+			return
+		}
+	}
+}
+
+// flushWriter batches frame writes, flushing when the outbound queue goes
+// idle so a burst costs one syscall, not one per frame.
+type flushWriter struct {
+	w   io.Writer
+	buf []byte
+}
+
+func newFlushWriter(w io.Writer) *flushWriter {
+	return &flushWriter{w: w, buf: make([]byte, 0, 32<<10)}
+}
+
+func (f *flushWriter) write(frame []byte, flush bool) error {
+	f.buf = append(f.buf, frame...)
+	if !flush && len(f.buf) < 32<<10 {
+		return nil
+	}
+	_, err := f.w.Write(f.buf)
+	f.buf = f.buf[:0]
+	return err
+}

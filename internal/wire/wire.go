@@ -1,0 +1,499 @@
+// Package wire implements the network ingestion protocol: a compact
+// length-prefixed binary event frame over any byte stream (in production a
+// TCP connection), with explicit end-to-end backpressure. A producer opens
+// a connection, authenticates it to one tenant with a Hello frame, and
+// streams Event frames; the server answers a refused event (full queue
+// under a Reject policy, tripped circuit breaker, unknown device) with a
+// Nack frame carrying the event's producer-assigned sequence number, and
+// pushes the tenant's alarms back over the same connection as Alarm frames
+// — nothing the serving side decides is ever silently swallowed.
+//
+// Frame layout (all integers big-endian):
+//
+//	uint32  length   // bytes that follow: 1 type byte + payload
+//	uint8   type     // FrameHello, FrameWelcome, FrameEvent, ...
+//	payload
+//
+// Strings are uint16-length-prefixed UTF-8. A frame whose length field
+// exceeds the configured maximum is refused with ErrFrameTooLarge before
+// any payload is read, so a corrupt or hostile length prefix cannot force
+// an allocation. See DESIGN.md §9 for the full per-frame payload layouts.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+)
+
+// Version is the protocol version spoken by this package; a Hello carrying
+// any other version is refused with a CodeProtocol Nack.
+const Version = 1
+
+// DefaultMaxFrame is the frame size cap applied when a Reader or server is
+// configured with a non-positive maximum. One event frame is ~30 bytes plus
+// the device name; alarm frames grow with the chain length and its context,
+// so the default leaves generous headroom.
+const DefaultMaxFrame = 1 << 20
+
+// Wire protocol errors.
+var (
+	// ErrFrameTooLarge reports a frame whose length prefix exceeds the
+	// configured maximum; the stream is unrecoverable past it.
+	ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+	// ErrBadFrame reports a malformed frame: truncated payload, unknown
+	// frame type where a specific one was required, or a protocol-version
+	// mismatch.
+	ErrBadFrame = errors.New("wire: malformed frame")
+	// ErrBadAuth reports a Hello rejected by the server's authentication.
+	ErrBadAuth = errors.New("wire: authentication rejected")
+	// ErrClientClosed reports an operation on a closed client.
+	ErrClientClosed = errors.New("wire: client closed")
+)
+
+// FrameType identifies a frame's payload layout.
+type FrameType uint8
+
+const (
+	// FrameHello is the client's first frame: protocol version, auth
+	// token, tenant name. The connection is bound to that tenant.
+	FrameHello FrameType = 1
+	// FrameWelcome is the server's accept of a Hello: protocol version
+	// and the server's frame size limit.
+	FrameWelcome FrameType = 2
+	// FrameEvent carries one device state report toward the server.
+	FrameEvent FrameType = 3
+	// FrameNack reports a refused Hello or event back to the producer,
+	// with the event's sequence number and a reason code.
+	FrameNack FrameType = 4
+	// FrameAlarm pushes one detection alarm back to the producer, tagged
+	// with the sequence number of the event that completed the chain.
+	FrameAlarm FrameType = 5
+	// FrameBye announces a graceful client shutdown.
+	FrameBye FrameType = 6
+)
+
+func (t FrameType) String() string {
+	switch t {
+	case FrameHello:
+		return "hello"
+	case FrameWelcome:
+		return "welcome"
+	case FrameEvent:
+		return "event"
+	case FrameNack:
+		return "nack"
+	case FrameAlarm:
+		return "alarm"
+	case FrameBye:
+		return "bye"
+	default:
+		return fmt.Sprintf("frame(%d)", uint8(t))
+	}
+}
+
+// Code is a Nack reason.
+type Code uint8
+
+const (
+	// CodeBackpressure: the tenant's ingestion queue (or migration gap)
+	// refused the event under a Reject policy. The producer owns the
+	// retry decision — slow down, shed, or buffer.
+	CodeBackpressure Code = 1
+	// CodeQuarantined: the tenant's circuit breaker is tripped.
+	CodeQuarantined Code = 2
+	// CodeUnknownDevice: the event names a device outside the tenant's
+	// trained inventory.
+	CodeUnknownDevice Code = 3
+	// CodeValueOutOfRange: the event value (NaN, ±Inf) is unclassifiable.
+	CodeValueOutOfRange Code = 4
+	// CodeUnknownTenant: the Hello (or event) addressed a tenant the
+	// server does not host.
+	CodeUnknownTenant Code = 5
+	// CodeBadAuth: the Hello's token was rejected.
+	CodeBadAuth Code = 6
+	// CodeProtocol: malformed frame, oversized frame, or version mismatch.
+	CodeProtocol Code = 7
+	// CodeClosed: the serving host is shutting down.
+	CodeClosed Code = 8
+	// CodeInternal: any other serving-side failure.
+	CodeInternal Code = 9
+)
+
+func (c Code) String() string {
+	switch c {
+	case CodeBackpressure:
+		return "backpressure"
+	case CodeQuarantined:
+		return "quarantined"
+	case CodeUnknownDevice:
+		return "unknown-device"
+	case CodeValueOutOfRange:
+		return "value-out-of-range"
+	case CodeUnknownTenant:
+		return "unknown-tenant"
+	case CodeBadAuth:
+		return "bad-auth"
+	case CodeProtocol:
+		return "protocol"
+	case CodeClosed:
+		return "closed"
+	case CodeInternal:
+		return "internal"
+	default:
+		return fmt.Sprintf("code(%d)", uint8(c))
+	}
+}
+
+// Event is one device state report on the wire. Seq is the
+// producer-assigned sequence number echoed in Nack and Alarm frames; the
+// protocol does not interpret it beyond echoing.
+type Event struct {
+	Seq    uint64
+	Time   time.Time
+	Device string
+	Value  float64
+}
+
+// Nack reports one refused Hello or event. Seq is zero for a Hello nack.
+type Nack struct {
+	Seq    uint64
+	Code   Code
+	Detail string
+}
+
+func (n Nack) Error() string {
+	if n.Detail == "" {
+		return fmt.Sprintf("wire: nack seq=%d code=%s", n.Seq, n.Code)
+	}
+	return fmt.Sprintf("wire: nack seq=%d code=%s: %s", n.Seq, n.Code, n.Detail)
+}
+
+// ContextEntry is one cause→state pair of an anomalous event's context.
+type ContextEntry struct {
+	Name  string
+	State int32
+}
+
+// AlarmEvent is one member of an alarm's anomaly chain.
+type AlarmEvent struct {
+	Device  string
+	State   int32
+	Score   float64
+	Context []ContextEntry
+}
+
+// Alarm is one detection alarm pushed back to the producer. Seq is the
+// sequence number of the event that completed (or abruptly terminated) the
+// chain — zero when the alarm was raised by an operator flush rather than
+// an event.
+type Alarm struct {
+	Seq    uint64
+	Score  float64
+	Abrupt bool
+	Events []AlarmEvent
+}
+
+const (
+	headerLen       = 4
+	alarmFlagAbrupt = 1 << 0
+)
+
+func appendString(dst []byte, s string) ([]byte, error) {
+	if len(s) > math.MaxUint16 {
+		return nil, fmt.Errorf("%w: string of %d bytes", ErrBadFrame, len(s))
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(s)))
+	return append(dst, s...), nil
+}
+
+// frame finalizes an encoded frame: dst[at:] holds type byte + payload and
+// the 4 length bytes reserved at dst[at-4:at] are patched in place.
+func frame(dst []byte, at int) []byte {
+	binary.BigEndian.PutUint32(dst[at-headerLen:at], uint32(len(dst)-at))
+	return dst
+}
+
+// begin reserves the length header and writes the type byte, returning the
+// offset the payload starts at (for frame).
+func begin(dst []byte, t FrameType) ([]byte, int) {
+	dst = append(dst, 0, 0, 0, 0)
+	at := len(dst)
+	return append(dst, byte(t)), at
+}
+
+// AppendHello encodes a Hello frame onto dst.
+func AppendHello(dst []byte, token, tenant string) ([]byte, error) {
+	dst, at := begin(dst, FrameHello)
+	dst = append(dst, Version)
+	var err error
+	if dst, err = appendString(dst, token); err != nil {
+		return nil, err
+	}
+	if dst, err = appendString(dst, tenant); err != nil {
+		return nil, err
+	}
+	return frame(dst, at), nil
+}
+
+// ParseHello decodes a Hello payload.
+func ParseHello(p []byte) (version uint8, token, tenant string, err error) {
+	d := decoder{p: p}
+	version = d.u8()
+	token = d.str()
+	tenant = d.str()
+	if d.fail {
+		return 0, "", "", fmt.Errorf("%w: hello", ErrBadFrame)
+	}
+	return version, token, tenant, nil
+}
+
+// AppendWelcome encodes a Welcome frame onto dst.
+func AppendWelcome(dst []byte, maxFrame uint32) []byte {
+	dst, at := begin(dst, FrameWelcome)
+	dst = append(dst, Version)
+	dst = binary.BigEndian.AppendUint32(dst, maxFrame)
+	return frame(dst, at)
+}
+
+// ParseWelcome decodes a Welcome payload.
+func ParseWelcome(p []byte) (version uint8, maxFrame uint32, err error) {
+	d := decoder{p: p}
+	version = d.u8()
+	maxFrame = d.u32()
+	if d.fail {
+		return 0, 0, fmt.Errorf("%w: welcome", ErrBadFrame)
+	}
+	return version, maxFrame, nil
+}
+
+// AppendEvent encodes an Event frame onto dst.
+func AppendEvent(dst []byte, ev Event) ([]byte, error) {
+	dst, at := begin(dst, FrameEvent)
+	dst = binary.BigEndian.AppendUint64(dst, ev.Seq)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(ev.Time.UnixNano()))
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(ev.Value))
+	var err error
+	if dst, err = appendString(dst, ev.Device); err != nil {
+		return nil, err
+	}
+	return frame(dst, at), nil
+}
+
+// ParseEvent decodes an Event payload.
+func ParseEvent(p []byte) (Event, error) {
+	d := decoder{p: p}
+	ev := Event{
+		Seq:   d.u64(),
+		Time:  time.Unix(0, int64(d.u64())).UTC(),
+		Value: math.Float64frombits(d.u64()),
+	}
+	ev.Device = d.str()
+	if d.fail {
+		return Event{}, fmt.Errorf("%w: event", ErrBadFrame)
+	}
+	return ev, nil
+}
+
+// AppendNack encodes a Nack frame onto dst.
+func AppendNack(dst []byte, n Nack) ([]byte, error) {
+	dst, at := begin(dst, FrameNack)
+	dst = binary.BigEndian.AppendUint64(dst, n.Seq)
+	dst = append(dst, byte(n.Code))
+	var err error
+	if dst, err = appendString(dst, n.Detail); err != nil {
+		return nil, err
+	}
+	return frame(dst, at), nil
+}
+
+// ParseNack decodes a Nack payload.
+func ParseNack(p []byte) (Nack, error) {
+	d := decoder{p: p}
+	n := Nack{Seq: d.u64(), Code: Code(d.u8())}
+	n.Detail = d.str()
+	if d.fail {
+		return Nack{}, fmt.Errorf("%w: nack", ErrBadFrame)
+	}
+	return n, nil
+}
+
+// AppendAlarm encodes an Alarm frame onto dst.
+func AppendAlarm(dst []byte, a Alarm) ([]byte, error) {
+	dst, at := begin(dst, FrameAlarm)
+	dst = binary.BigEndian.AppendUint64(dst, a.Seq)
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(a.Score))
+	var flags byte
+	if a.Abrupt {
+		flags |= alarmFlagAbrupt
+	}
+	dst = append(dst, flags)
+	if len(a.Events) > math.MaxUint16 {
+		return nil, fmt.Errorf("%w: alarm with %d events", ErrBadFrame, len(a.Events))
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(a.Events)))
+	var err error
+	for _, ev := range a.Events {
+		if dst, err = appendString(dst, ev.Device); err != nil {
+			return nil, err
+		}
+		dst = binary.BigEndian.AppendUint32(dst, uint32(ev.State))
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(ev.Score))
+		if len(ev.Context) > math.MaxUint16 {
+			return nil, fmt.Errorf("%w: alarm context with %d entries", ErrBadFrame, len(ev.Context))
+		}
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(ev.Context)))
+		for _, c := range ev.Context {
+			if dst, err = appendString(dst, c.Name); err != nil {
+				return nil, err
+			}
+			dst = binary.BigEndian.AppendUint32(dst, uint32(c.State))
+		}
+	}
+	return frame(dst, at), nil
+}
+
+// ParseAlarm decodes an Alarm payload.
+func ParseAlarm(p []byte) (Alarm, error) {
+	d := decoder{p: p}
+	a := Alarm{Seq: d.u64(), Score: math.Float64frombits(d.u64())}
+	a.Abrupt = d.u8()&alarmFlagAbrupt != 0
+	n := int(d.u16())
+	// Each chain event costs at least 16 payload bytes; a count that
+	// cannot fit the remaining payload is malformed, not a huge alloc.
+	if n > len(d.p)/16+1 {
+		return Alarm{}, fmt.Errorf("%w: alarm", ErrBadFrame)
+	}
+	for i := 0; i < n && !d.fail; i++ {
+		ev := AlarmEvent{Device: d.str()}
+		ev.State = int32(d.u32())
+		ev.Score = math.Float64frombits(d.u64())
+		nctx := int(d.u16())
+		if nctx > len(d.p)/6+1 {
+			return Alarm{}, fmt.Errorf("%w: alarm", ErrBadFrame)
+		}
+		for j := 0; j < nctx && !d.fail; j++ {
+			c := ContextEntry{Name: d.str()}
+			c.State = int32(d.u32())
+			ev.Context = append(ev.Context, c)
+		}
+		a.Events = append(a.Events, ev)
+	}
+	if d.fail {
+		return Alarm{}, fmt.Errorf("%w: alarm", ErrBadFrame)
+	}
+	return a, nil
+}
+
+// AppendBye encodes a Bye frame onto dst.
+func AppendBye(dst []byte) []byte {
+	dst, at := begin(dst, FrameBye)
+	return frame(dst, at)
+}
+
+// decoder is a cursor over one frame payload; any out-of-bounds read flips
+// fail and every later read returns zero values, so parsers check one flag.
+type decoder struct {
+	p    []byte
+	fail bool
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.fail || len(d.p) < n {
+		d.fail = true
+		return nil
+	}
+	b := d.p[:n]
+	d.p = d.p[n:]
+	return b
+}
+
+func (d *decoder) u8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) u16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (d *decoder) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (d *decoder) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (d *decoder) str() string {
+	n := int(d.u16())
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// Reader reads frames off a byte stream, enforcing the frame size limit
+// before any payload is buffered.
+type Reader struct {
+	r   *bufio.Reader
+	max int
+	buf []byte
+}
+
+// NewReader wraps r; maxFrame <= 0 selects DefaultMaxFrame.
+func NewReader(r io.Reader, maxFrame int) *Reader {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	return &Reader{r: bufio.NewReaderSize(r, 32<<10), max: maxFrame}
+}
+
+// Next reads one frame, returning its type and payload. The payload slice
+// is only valid until the next call. io.EOF is returned unwrapped on a
+// clean end-of-stream between frames; a stream cut mid-frame returns
+// io.ErrUnexpectedEOF wrapped in ErrBadFrame.
+func (r *Reader) Next() (FrameType, []byte, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("%w: header: %v", ErrBadFrame, err)
+	}
+	n := int(binary.BigEndian.Uint32(hdr[:]))
+	if n > r.max {
+		return 0, nil, fmt.Errorf("%w: %d > %d bytes", ErrFrameTooLarge, n, r.max)
+	}
+	if n < 1 {
+		return 0, nil, fmt.Errorf("%w: empty frame", ErrBadFrame)
+	}
+	if cap(r.buf) < n {
+		r.buf = make([]byte, n)
+	}
+	buf := r.buf[:n]
+	if _, err := io.ReadFull(r.r, buf); err != nil {
+		return 0, nil, fmt.Errorf("%w: body: %v", ErrBadFrame, err)
+	}
+	return FrameType(buf[0]), buf[1:], nil
+}

@@ -1,0 +1,224 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func readOne(t *testing.T, buf []byte, max int) (FrameType, []byte) {
+	t.Helper()
+	r := NewReader(bytes.NewReader(buf), max)
+	ft, p, err := r.Next()
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	return ft, p
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	frame, err := AppendHello(nil, "secret", "home-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, p := readOne(t, frame, 0)
+	if ft != FrameHello {
+		t.Fatalf("type = %v", ft)
+	}
+	ver, token, tenant, err := ParseHello(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != Version || token != "secret" || tenant != "home-3" {
+		t.Fatalf("hello = %d %q %q", ver, token, tenant)
+	}
+}
+
+func TestEventRoundTrip(t *testing.T) {
+	want := Event{
+		Seq:    1<<63 + 7,
+		Time:   time.Date(2026, 8, 8, 12, 30, 0, 123456789, time.UTC),
+		Device: "kitchen light",
+		Value:  -3.75,
+	}
+	frame, err := AppendEvent(nil, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, p := readOne(t, frame, 0)
+	if ft != FrameEvent {
+		t.Fatalf("type = %v", ft)
+	}
+	got, err := ParseEvent(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Time.Equal(want.Time) || got.Seq != want.Seq || got.Device != want.Device || got.Value != want.Value {
+		t.Fatalf("event = %+v, want %+v", got, want)
+	}
+}
+
+func TestNackRoundTrip(t *testing.T) {
+	want := Nack{Seq: 42, Code: CodeBackpressure, Detail: "queue full"}
+	frame, err := AppendNack(nil, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, p := readOne(t, frame, 0)
+	if ft != FrameNack {
+		t.Fatalf("type = %v", ft)
+	}
+	got, err := ParseNack(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("nack = %+v, want %+v", got, want)
+	}
+	if !strings.Contains(got.Error(), "backpressure") {
+		t.Errorf("nack error = %q", got.Error())
+	}
+}
+
+func TestAlarmRoundTrip(t *testing.T) {
+	want := Alarm{
+		Seq:    99,
+		Score:  0.9921,
+		Abrupt: true,
+		Events: []AlarmEvent{
+			{Device: "light", State: 1, Score: 0.99, Context: []ContextEntry{
+				{Name: "presence@t-1", State: 0},
+				{Name: "presence@t-2", State: 0},
+			}},
+			{Device: "heater", State: 1, Score: 0.7},
+		},
+	}
+	frame, err := AppendAlarm(nil, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, p := readOne(t, frame, 0)
+	if ft != FrameAlarm {
+		t.Fatalf("type = %v", ft)
+	}
+	got, err := ParseAlarm(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("alarm = %+v, want %+v", got, want)
+	}
+}
+
+func TestWelcomeByeRoundTrip(t *testing.T) {
+	ft, p := readOne(t, AppendWelcome(nil, 12345), 0)
+	if ft != FrameWelcome {
+		t.Fatalf("type = %v", ft)
+	}
+	ver, max, err := ParseWelcome(p)
+	if err != nil || ver != Version || max != 12345 {
+		t.Fatalf("welcome = %d %d %v", ver, max, err)
+	}
+	if ft, _ := readOne(t, AppendBye(nil), 0); ft != FrameBye {
+		t.Fatalf("bye type = %v", ft)
+	}
+}
+
+func TestReaderFrameTooLarge(t *testing.T) {
+	frame, err := AppendEvent(nil, Event{Device: strings.Repeat("x", 4096)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(bytes.NewReader(frame), 64)
+	if _, _, err := r.Next(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversize frame error = %v", err)
+	}
+}
+
+func TestReaderTruncation(t *testing.T) {
+	frame, err := AppendEvent(nil, Event{Seq: 1, Device: "light"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clean EOF between frames is io.EOF, not an error wrap.
+	r := NewReader(bytes.NewReader(nil), 0)
+	if _, _, err := r.Next(); err != io.EOF {
+		t.Fatalf("empty stream error = %v", err)
+	}
+	// A cut inside the header or body is ErrBadFrame.
+	for _, cut := range []int{2, len(frame) - 3} {
+		r := NewReader(bytes.NewReader(frame[:cut]), 0)
+		if _, _, err := r.Next(); !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("cut at %d error = %v", cut, err)
+		}
+	}
+}
+
+// TestParseNeverPanics drives every parser over truncations and bit-flipped
+// mutations of valid payloads: malformed input must error, never panic.
+func TestParseNeverPanics(t *testing.T) {
+	alarmFrame, _ := AppendAlarm(nil, Alarm{Seq: 1, Events: []AlarmEvent{
+		{Device: "light", State: 1, Context: []ContextEntry{{Name: "p@t-1", State: 1}}},
+	}})
+	eventFrame, _ := AppendEvent(nil, Event{Seq: 9, Device: "light", Value: 1})
+	helloFrame, _ := AppendHello(nil, "tok", "home")
+	nackFrame, _ := AppendNack(nil, Nack{Seq: 3, Code: CodeInternal, Detail: "x"})
+	cases := []struct {
+		payload []byte
+		parse   func([]byte) error
+	}{
+		{alarmFrame[5:], func(p []byte) error { _, err := ParseAlarm(p); return err }},
+		{eventFrame[5:], func(p []byte) error { _, err := ParseEvent(p); return err }},
+		{helloFrame[5:], func(p []byte) error { _, _, _, err := ParseHello(p); return err }},
+		{nackFrame[5:], func(p []byte) error { _, err := ParseNack(p); return err }},
+	}
+	for _, tc := range cases {
+		for cut := 0; cut <= len(tc.payload); cut++ {
+			tc.parse(tc.payload[:cut])
+		}
+		for i := range tc.payload {
+			for bit := 0; bit < 8; bit++ {
+				mut := append([]byte(nil), tc.payload...)
+				mut[i] ^= 1 << bit
+				tc.parse(mut)
+			}
+		}
+	}
+}
+
+// TestAlarmCountGuard: a forged event count far beyond the payload size is
+// refused instead of driving a huge allocation loop.
+func TestAlarmCountGuard(t *testing.T) {
+	frame, _ := AppendAlarm(nil, Alarm{Seq: 1})
+	p := append([]byte(nil), frame[5:]...)
+	p[len(p)-2], p[len(p)-1] = 0xff, 0xff // nevents = 65535
+	if _, err := ParseAlarm(p); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("forged count error = %v", err)
+	}
+}
+
+func TestAppendStringTooLong(t *testing.T) {
+	if _, err := AppendHello(nil, strings.Repeat("x", 70000), "t"); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("oversize string error = %v", err)
+	}
+}
+
+func TestCodeAndFrameTypeStrings(t *testing.T) {
+	for c := CodeBackpressure; c <= CodeInternal; c++ {
+		if strings.HasPrefix(c.String(), "code(") {
+			t.Errorf("code %d has no name", c)
+		}
+	}
+	if Code(200).String() != "code(200)" {
+		t.Errorf("unknown code string = %q", Code(200).String())
+	}
+	for ft := FrameHello; ft <= FrameBye; ft++ {
+		if strings.HasPrefix(ft.String(), "frame(") {
+			t.Errorf("frame type %d has no name", ft)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package causaliot
+
+import (
+	"crypto/subtle"
+	"errors"
+	"net"
+	"sort"
+	"time"
+
+	"github.com/causaliot/causaliot/internal/wire"
+)
+
+// Network serving errors. ErrFrameTooLarge marks a frame whose length
+// prefix exceeds the server's limit; ErrBadFrame a malformed or truncated
+// frame (or a protocol-version mismatch); ErrBadAuth a connection refused
+// by token authentication. All are errors.Is-matchable; the internal wire
+// package never leaks its own sentinel identities past these aliases.
+var (
+	ErrFrameTooLarge = wire.ErrFrameTooLarge
+	ErrBadFrame      = wire.ErrBadFrame
+	ErrBadAuth       = wire.ErrBadAuth
+)
+
+// WireConfig tunes a network ingestion server. The zero value serves
+// unauthenticated connections with the default limits.
+type WireConfig struct {
+	// Token is the shared secret every connection's Hello must present
+	// (compared in constant time). Empty accepts any token — loopback and
+	// test use only.
+	Token string
+	// MaxFrame caps accepted frame sizes; <= 0 selects the wire protocol
+	// default (1 MiB).
+	MaxFrame int
+	// AlarmBuffer sizes each connection's outbound alarm queue. A producer
+	// not draining its read side overflows it: further alarms for that
+	// connection are dropped and counted in WireStats.AlarmsDropped.
+	// Defaults to 256.
+	AlarmBuffer int
+	// HelloTimeout bounds how long a fresh connection may sit silent
+	// before authenticating. Defaults to 10s.
+	HelloTimeout time.Duration
+	// Logf receives operational log lines (refused connections, first
+	// alarm drop per connection); nil disables logging.
+	Logf func(format string, args ...any)
+}
+
+// WireStats is a point-in-time snapshot of a wire server's counters.
+type WireStats struct {
+	// ActiveConns is the number of currently authenticated connections;
+	// Conns counts every connection ever accepted.
+	ActiveConns int
+	Conns       uint64
+	// Events counts accepted event frames; Nacks the refused ones (their
+	// sum is the total event frames received).
+	Events uint64
+	Nacks  uint64
+	// Alarms counts alarm frames pushed to producers; AlarmsDropped the
+	// alarms discarded because a connection's outbound queue was full.
+	Alarms        uint64
+	AlarmsDropped uint64
+	// AuthFailures counts refused Hellos.
+	AuthFailures uint64
+}
+
+// WireServer puts a Host on the network: producers connect over TCP, bind
+// each connection to one home with an authenticated Hello, and stream
+// length-prefixed binary event frames. Backpressure is end-to-end — an
+// event the host refuses (full queue under BackpressureReject, quarantine,
+// shutdown) comes back to the producer as a Nack frame carrying the
+// event's sequence number and a reason code — and the home's alarms are
+// pushed back over the same connection as Alarm frames. See DESIGN.md §9
+// for the frame layouts.
+//
+// The server works identically over a single Hub or a sharded Fleet, and a
+// connection's alarm push-back follows its home across live migrations.
+type WireServer struct {
+	srv *wire.Server
+}
+
+// NewWireServer builds a network ingestion server over a host; call Serve
+// with a listener to start accepting.
+func NewWireServer(h Host, cfg WireConfig) (*WireServer, error) {
+	if h == nil {
+		return nil, errors.New("causaliot: wire server with nil host")
+	}
+	srv, err := wire.NewServer(wire.ServerConfig{
+		Backend:      &hostBackend{host: h, token: cfg.Token},
+		Classify:     classifyWireError,
+		MaxFrame:     cfg.MaxFrame,
+		AlarmBuffer:  cfg.AlarmBuffer,
+		HelloTimeout: cfg.HelloTimeout,
+		Logf:         cfg.Logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &WireServer{srv: srv}, nil
+}
+
+// Serve accepts connections on ln until the listener fails or the server is
+// closed; a clean Close returns nil. Serve may be called concurrently with
+// multiple listeners.
+func (s *WireServer) Serve(ln net.Listener) error { return s.srv.Serve(ln) }
+
+// Close stops accepting, closes every live connection, and restores their
+// homes' default alarm delivery. Close does not close the underlying host.
+// Idempotent.
+func (s *WireServer) Close() error { return s.srv.Close() }
+
+// Stats snapshots the server's counters.
+func (s *WireServer) Stats() WireStats {
+	ss := s.srv.Stats()
+	return WireStats{
+		ActiveConns:   ss.ActiveConns,
+		Conns:         ss.Conns,
+		Events:        ss.Events,
+		Nacks:         ss.Nacks,
+		Alarms:        ss.Alarms,
+		AlarmsDropped: ss.AlarmsDropped,
+		AuthFailures:  ss.AuthFailures,
+	}
+}
+
+// hostBackend adapts a Host to the wire server's Backend surface.
+type hostBackend struct {
+	host  Host
+	token string
+}
+
+func (b *hostBackend) Authenticate(token, tenant string) error {
+	if b.token == "" {
+		return nil
+	}
+	if subtle.ConstantTimeCompare([]byte(token), []byte(b.token)) != 1 {
+		return ErrBadAuth
+	}
+	return nil
+}
+
+func (b *hostBackend) Submit(tenant string, ev wire.Event) error {
+	return b.host.Submit(tenant, Event{Time: ev.Time, Device: ev.Device, Value: ev.Value, Seq: ev.Seq})
+}
+
+func (b *hostBackend) RouteAlarms(tenant string, sink func(wire.Alarm)) error {
+	if sink == nil {
+		err := b.host.SetAlarmRoute(tenant, nil)
+		if errors.Is(err, ErrUnknownTenant) || errors.Is(err, ErrHubClosed) {
+			// Teardown racing a deregistration or host shutdown: the route
+			// is already gone.
+			return nil
+		}
+		return err
+	}
+	return b.host.SetAlarmRoute(tenant, func(ta TenantAlarm) { sink(wireAlarm(ta)) })
+}
+
+// classifyWireError maps a host error onto the Nack code a producer
+// receives, through the facade sentinels so wrapping never hides the cause.
+func classifyWireError(err error) wire.Code {
+	switch {
+	case errors.Is(err, ErrBackpressure):
+		return wire.CodeBackpressure
+	case errors.Is(err, ErrQuarantined):
+		return wire.CodeQuarantined
+	case errors.Is(err, ErrUnknownTenant):
+		return wire.CodeUnknownTenant
+	case errors.Is(err, ErrUnknownDevice):
+		return wire.CodeUnknownDevice
+	case errors.Is(err, ErrValueOutOfRange):
+		return wire.CodeValueOutOfRange
+	case errors.Is(err, ErrHubClosed):
+		return wire.CodeClosed
+	case errors.Is(err, ErrBadAuth):
+		return wire.CodeBadAuth
+	default:
+		return wire.CodeInternal
+	}
+}
+
+// wireAlarm flattens one TenantAlarm into its wire representation; context
+// entries are emitted in sorted name order so the encoding is canonical.
+func wireAlarm(ta TenantAlarm) wire.Alarm {
+	wa := wire.Alarm{Seq: ta.Seq, Score: ta.Score}
+	if ta.Alarm == nil {
+		return wa
+	}
+	wa.Abrupt = ta.Alarm.Abrupt
+	wa.Events = make([]wire.AlarmEvent, len(ta.Alarm.Events))
+	for i, ev := range ta.Alarm.Events {
+		we := wire.AlarmEvent{Device: ev.Device, State: int32(ev.State), Score: ev.Score}
+		if len(ev.Context) > 0 {
+			names := make([]string, 0, len(ev.Context))
+			for name := range ev.Context {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			we.Context = make([]wire.ContextEntry, len(names))
+			for j, name := range names {
+				we.Context[j] = wire.ContextEntry{Name: name, State: int32(ev.Context[name])}
+			}
+		}
+		wa.Events[i] = we
+	}
+	return wa
+}

@@ -1,0 +1,248 @@
+package causaliot
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/causaliot/causaliot/internal/wire"
+)
+
+// startWireServer serves a host on a loopback listener, returning the dial
+// address. The server is torn down with the test.
+func startWireServer(t *testing.T, h Host, cfg WireConfig) (string, *WireServer) {
+	t.Helper()
+	cfg.Logf = t.Logf
+	s, err := NewWireServer(h, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ln) }()
+	t.Cleanup(func() {
+		s.Close()
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+	return ln.Addr().String(), s
+}
+
+// TestWireServerEndToEnd drives the full network path over a real hub: a
+// producer streams the ghost sequence as event frames and receives the
+// detection alarm back on the same connection, tagged with the sequence
+// number of the event that completed the chain.
+func TestWireServerEndToEnd(t *testing.T) {
+	sys := mustTrain(t, Config{Tau: 2})
+	h := NewHub(HubConfig{Workers: 2})
+	defer h.Close()
+	if err := h.Register("home", sys, TenantOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	addr, s := startWireServer(t, h, WireConfig{Token: "tok"})
+
+	alarms := make(chan wire.Alarm, 4)
+	var nacks []wire.Nack
+	var nackMu sync.Mutex
+	c, err := wire.Dial(addr, wire.ClientConfig{
+		Token:  "tok",
+		Tenant: "home",
+		OnNack: func(n wire.Nack) {
+			nackMu.Lock()
+			nacks = append(nacks, n)
+			nackMu.Unlock()
+		},
+		OnAlarm: func(a wire.Alarm) { alarms <- a },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i, ev := range ghostSequence() {
+		wev := wire.Event{Seq: uint64(i + 1), Time: ev.Time, Device: ev.Device, Value: ev.Value}
+		if err := c.Send(wev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case a := <-alarms:
+		if a.Seq != 5 {
+			t.Fatalf("alarm seq = %d, want 5 (the ghost activation)", a.Seq)
+		}
+		if len(a.Events) == 0 || a.Events[0].Device != "light" {
+			t.Fatalf("alarm events = %+v", a.Events)
+		}
+		// Context names arrive sorted (canonical flattening).
+		names := make([]string, len(a.Events[0].Context))
+		for i, ce := range a.Events[0].Context {
+			names[i] = ce.Name
+		}
+		for i := 1; i < len(names); i++ {
+			if names[i-1] > names[i] {
+				t.Fatalf("context not sorted: %v", names)
+			}
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("no alarm pushed back")
+	}
+	nackMu.Lock()
+	n := len(nacks)
+	nackMu.Unlock()
+	if n != 0 {
+		t.Fatalf("unexpected nacks: %+v", nacks)
+	}
+	st := s.Stats()
+	if st.Events != 5 || st.Alarms != 1 || st.Nacks != 0 {
+		t.Fatalf("server stats = %+v", st)
+	}
+}
+
+// TestWireServerBackpressureNack wedges the hub's single worker and fills
+// the home's Reject queue: the overflow must come back to the producer as
+// CodeBackpressure nacks echoing the refused events' sequence numbers — the
+// end-to-end contract that nothing is silently lost.
+func TestWireServerBackpressureNack(t *testing.T) {
+	sys := mustTrain(t, Config{Tau: 2})
+	h := NewHub(HubConfig{Workers: 1, QueueSize: 4, Backpressure: BackpressureReject})
+	defer h.Close()
+	// Deferred after h.Close so the drain finds the worker released (LIFO).
+	release := make(chan struct{})
+	defer close(release)
+	wedge := func(string, Event, error) { <-release }
+	if err := h.Register("home", sys, TenantOptions{OnError: wedge}); err != nil {
+		t.Fatal(err)
+	}
+	addr, s := startWireServer(t, h, WireConfig{})
+
+	nacked := make(chan wire.Nack, 64)
+	c, err := wire.Dial(addr, wire.ClientConfig{Tenant: "home", OnNack: func(n wire.Nack) { nacked <- n }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// An unknown device wedges the worker inside OnError with the event
+	// already dequeued; everything after it parks in the 4-slot queue.
+	if err := c.Send(wire.Event{Seq: 1, Device: "ghost", Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var got []wire.Nack
+	for i := 2; i <= 32 && len(got) == 0; i++ {
+		if err := c.Send(wire.Event{Seq: uint64(i), Device: "light", Value: float64(i % 2)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	drain:
+		for {
+			select {
+			case n := <-nacked:
+				got = append(got, n)
+			case <-time.After(50 * time.Millisecond):
+				break drain
+			}
+		}
+	}
+	if len(got) == 0 {
+		t.Fatal("queue overflow produced no nacks")
+	}
+	for _, n := range got {
+		if n.Code != wire.CodeBackpressure {
+			t.Fatalf("nack = %+v, want backpressure", n)
+		}
+		if n.Seq < 2 {
+			t.Fatalf("nack echoes wrong seq: %+v", n)
+		}
+	}
+	if st := s.Stats(); st.Nacks == 0 {
+		t.Fatalf("server stats did not count nacks: %+v", st)
+	}
+}
+
+// TestWireServerRefusals pins the handshake failure modes over a real
+// fleet: a wrong token surfaces to the dialer as ErrBadAuth, an unknown
+// home as an unknown-tenant refusal, and neither leaks an internal error
+// identity.
+func TestWireServerRefusals(t *testing.T) {
+	sys := mustTrain(t, Config{Tau: 2})
+	f := NewFleet(FleetConfig{Shards: 2, Hub: HubConfig{Workers: 1}})
+	defer f.Close()
+	if err := f.Register("home", sys, TenantOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	addr, s := startWireServer(t, f, WireConfig{Token: "tok"})
+
+	if _, err := wire.Dial(addr, wire.ClientConfig{Token: "wrong", Tenant: "home"}); !errors.Is(err, wire.ErrBadAuth) {
+		t.Fatalf("bad token error = %v", err)
+	}
+	_, err := wire.Dial(addr, wire.ClientConfig{Token: "tok", Tenant: "nobody"})
+	if err == nil || !strings.Contains(err.Error(), "unknown-tenant") {
+		t.Fatalf("unknown tenant error = %v", err)
+	}
+	if st := s.Stats(); st.AuthFailures != 2 {
+		t.Fatalf("auth failures = %d", st.AuthFailures)
+	}
+	// The refused connections left no alarm route behind: a valid producer
+	// still binds and serves.
+	c, err := wire.Dial(addr, wire.ClientConfig{Token: "tok", Tenant: "home"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWireServerRestoresDefaultDelivery: when a producer disconnects, the
+// home's alarms fall back to the host's Alarms channel instead of vanishing
+// with the dead connection.
+func TestWireServerRestoresDefaultDelivery(t *testing.T) {
+	sys := mustTrain(t, Config{Tau: 2})
+	h := NewHub(HubConfig{Workers: 2})
+	if err := h.Register("home", sys, TenantOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	addr, _ := startWireServer(t, h, WireConfig{})
+	c, err := wire.Dial(addr, wire.ClientConfig{Tenant: "home"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The route teardown is asynchronous with the close; wait for the
+	// ghost alarm to prove delivery reverted to the channel.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		for _, ev := range ghostSequence() {
+			if err := h.Submit("home", ev); err != nil {
+				t.Fatal(err)
+			}
+		}
+		select {
+		case ta := <-h.Alarms():
+			if ta.Tenant != "home" || ta.Alarm == nil {
+				t.Fatalf("alarm = %+v", ta)
+			}
+			h.Close()
+			return
+		case <-time.After(100 * time.Millisecond):
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("alarms never reverted to the channel after disconnect")
+		}
+	}
+}
