@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: tier1 vet race chaos fleet-soak serve-smoke fuzz check bench bench-detect bench-adapt bench-fleet bench-serve bench-paper serve-demo
+.PHONY: tier1 vet race chaos fleet-soak serve-smoke fuzz check bench bench-smoke bench-detect bench-adapt bench-fleet bench-serve bench-paper serve-demo
 
 tier1:
 	$(GO) build ./... && $(GO) test ./...
@@ -55,7 +55,13 @@ fuzz:
 	$(GO) test -fuzz FuzzRestoreMonitor -fuzztime 10s .
 	$(GO) test -fuzz FuzzRestoreLifecycle -fuzztime 10s .
 
-check: tier1 vet race chaos
+# Bench bitrot smoke: compile and run every benchmark exactly once (no
+# timing) so a refactor can't silently strand a benchmark that no longer
+# builds or crashes on its first iteration.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+check: tier1 vet race chaos bench-smoke
 
 # Mining/G² counting-kernel benchmarks; records the bit-vs-scalar baseline
 # (ns/op, allocations, speedups) to BENCH_pc.json for the perf trajectory.

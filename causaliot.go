@@ -27,8 +27,12 @@
 package causaliot
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
 	"time"
 
 	"github.com/causaliot/causaliot/internal/dig"
@@ -249,16 +253,122 @@ type System struct {
 	// nameIdx is the compiled device-name resolver, replacing the
 	// registry's string-hashing map lookup on the per-event path.
 	nameIdx *timeseries.NameIndex
+	// fp is the graph's content address, computed at compile time. It keys
+	// the process-wide compiled-model cache so same-model systems share one
+	// Compiled, and it is embedded in checkpoint envelopes to pin model
+	// identity across a resume.
+	fp dig.Fingerprint
+	// graphShared marks graph as the cache-interned instance adopted from
+	// another system; it must never be mutated in place (Extend takes a
+	// private copy first via ensurePrivateGraph).
+	graphShared bool
+}
+
+// servingAux bundles the derived serving tables that are pure functions of
+// the model content plus the preprocessing configuration — shareable across
+// all systems with the same fingerprint and aux key, and by far the largest
+// per-tenant state after the compiled tables themselves (the pre-rendered
+// cause labels alone dwarf the detector window).
+type servingAux struct {
+	pre         *preprocess.Preprocessor
+	causeLabels [][]string
+	unify       *preprocess.Unifier
+	nameIdx     *timeseries.NameIndex
+}
+
+// auxKey hashes the serving configuration that the model fingerprint does
+// not cover: unification thresholds and device attribute metadata (plus the
+// config knobs that shape the preprocessor). Two systems share serving
+// tables only when both the fingerprint and this key match.
+func (s *System) auxKey() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	writeU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	writeStr := func(str string) {
+		writeU64(uint64(len(str)))
+		h.Write([]byte(str))
+	}
+	writeU64(uint64(s.cfg.MaxDuration))
+	writeU64(uint64(s.cfg.Tau))
+	for _, d := range s.devices {
+		writeStr(d.Name)
+		writeStr(d.Attribute.Name)
+		writeU64(uint64(d.Attribute.Class))
+		writeStr(d.Location)
+	}
+	thresholds := s.pre.Thresholds()
+	names := make([]string, 0, len(thresholds))
+	for name := range thresholds {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		writeStr(name)
+		writeU64(math.Float64bits(thresholds[name]))
+	}
+	return h.Sum64()
+}
+
+// ensurePrivateGraph replaces a cache-shared graph with a private mutable
+// copy (same structure, same counts) so in-place refits (Extend) can never
+// corrupt other tenants of the interned model.
+func (s *System) ensurePrivateGraph() error {
+	if !s.graphShared {
+		return nil
+	}
+	g := s.graph.CloneStructure()
+	if err := g.Merge(s.graph); err != nil {
+		return fmt.Errorf("causaliot: unshare graph: %w", err)
+	}
+	s.graph = g
+	s.graphShared = false
+	return nil
 }
 
 // compile freezes the current graph into its serving form and pre-renders
 // the per-node cause label strings. It must be re-run whenever the graph's
-// CPTs change in place (Extend).
+// CPTs change in place (Extend). When the process-wide model cache already
+// holds a Compiled with this graph's content address, the system adopts the
+// interned instance (and, when the serving configuration matches, the
+// shared serving tables) instead of compiling a private duplicate; the
+// freshly fitted graph is dropped for the shared one, marked read-only via
+// graphShared. compile only peeks at the cache — residency references are
+// taken per Monitor (NewMonitor/Swap) and released on Monitor.Close, so a
+// transient System (lifecycle refresh) can be discarded without leaking.
 func (s *System) compile() error {
+	fp := s.graph.Fingerprint()
+	if comp := dig.CacheLookup(fp); comp != nil {
+		s.compiled = comp
+		s.graph = comp.Graph()
+		s.graphShared = true
+		s.fp = fp
+		if aux, ok := dig.CacheAux(fp, s.auxKey()).(*servingAux); ok {
+			s.pre = aux.pre
+			s.causeLabels = aux.causeLabels
+			s.unify = aux.unify
+			s.nameIdx = aux.nameIdx
+			return nil
+		}
+		s.buildServingTables()
+		return nil
+	}
 	comp, err := dig.Compile(s.graph)
 	if err != nil {
 		return fmt.Errorf("causaliot: compile graph: %w", err)
 	}
+	s.compiled = comp
+	s.graphShared = false
+	s.fp = fp
+	s.buildServingTables()
+	return nil
+}
+
+// buildServingTables derives the per-model serving state (cause labels,
+// compiled unifier, name index) from the current graph and preprocessor.
+func (s *System) buildServingTables() {
 	reg := s.graph.Registry
 	labels := make([][]string, reg.Len())
 	for dev := range labels {
@@ -268,12 +378,14 @@ func (s *System) compile() error {
 		}
 		labels[dev] = perLag
 	}
-	s.compiled = comp
 	s.causeLabels = labels
 	s.unify = s.pre.CompileUnifier()
 	s.nameIdx = reg.CompileIndex()
-	return nil
 }
+
+// ModelFingerprint returns the hex content address of the served model;
+// same string ⇒ bit-identical compiled scoring tables.
+func (s *System) ModelFingerprint() string { return s.fp.String() }
 
 // causeLabel returns the "name@t-lag" context key for a cause node, served
 // from the pre-rendered table; lags outside the current graph's window
@@ -465,17 +577,52 @@ type Monitor struct {
 	// lc is the online model-lifecycle state (drift evidence, sliding refit
 	// log, refresh signalling); nil unless EnableAdaptive was called.
 	lc *adaptState
+	// fpRef is the fingerprint this monitor holds a model-cache reference
+	// on (zero for reference monitors and cache-disabled acquires). It is
+	// tracked separately from m.sys.fp so error paths in Swap release the
+	// right entry.
+	fpRef dig.Fingerprint
+	// closed marks the cache reference as released; further cache
+	// operations are skipped.
+	closed bool
 }
 
 // NewMonitor starts runtime monitoring from the state at the end of the
 // training log. Monitors score events on the zero-allocation compiled path,
-// sharing the system's compiled graph read-only.
+// sharing the system's compiled graph read-only. The monitor takes a
+// reference on the process-wide model cache (interning the model on first
+// use, joining the shared instance otherwise); release it with Close when
+// the monitor is permanently done — the Hub and Fleet do this on
+// Deregister/CloseWithin for monitors they host.
 func (s *System) NewMonitor() (*Monitor, error) {
-	det, err := monitor.NewDetectorFromCompiled(s.compiled, s.threshold, s.cfg.KMax, s.initial)
+	comp := dig.CacheAcquire(s.fp, s.compiled)
+	det, err := monitor.NewDetectorFromCompiled(comp, s.threshold, s.cfg.KMax, s.initial)
 	if err != nil {
+		dig.CacheRelease(s.fp)
 		return nil, err
 	}
-	return &Monitor{sys: s, det: det}, nil
+	dig.CacheStoreAux(s.fp, s.auxKey(), &servingAux{
+		pre:         s.pre,
+		causeLabels: s.causeLabels,
+		unify:       s.unify,
+		nameIdx:     s.nameIdx,
+	})
+	return &Monitor{sys: s, det: det, fpRef: s.fp}, nil
+}
+
+// Close releases the monitor's reference on the shared compiled-model
+// cache. It is idempotent and does not invalidate in-flight reads (the
+// compiled tables stay reachable through the system), but a closed monitor
+// no longer pins cache residency and must not be handed new events or
+// swapped. Hosts (Hub/Fleet) close monitors they registered; standalone
+// monitors should be closed by their creator when retired.
+func (m *Monitor) Close() {
+	if m.closed {
+		return
+	}
+	m.closed = true
+	dig.CacheRelease(m.fpRef)
+	m.fpRef = dig.Fingerprint{}
 }
 
 // NewReferenceMonitor starts runtime monitoring on the original
@@ -579,8 +726,25 @@ func (m *Monitor) Swap(sys *System) error {
 	if sys == nil {
 		return errors.New("causaliot: swap to nil system")
 	}
-	if err := m.det.SwapCompiled(sys.compiled, sys.threshold, sys.cfg.KMax); err != nil {
+	// Acquire the incoming model's cache entry before touching the
+	// detector, transfer the reference only on success, and release the
+	// outgoing model after — so no window exists where either entry's
+	// residency is unpinned. Reference and closed monitors keep the
+	// pre-cache behaviour (no references held).
+	useCache := !m.ref && !m.closed
+	comp := sys.compiled
+	if useCache {
+		comp = dig.CacheAcquire(sys.fp, sys.compiled)
+	}
+	if err := m.det.SwapCompiled(comp, sys.threshold, sys.cfg.KMax); err != nil {
+		if useCache {
+			dig.CacheRelease(sys.fp)
+		}
 		return err
+	}
+	if useCache {
+		dig.CacheRelease(m.fpRef)
+		m.fpRef = sys.fp
 	}
 	m.sys = sys
 	if m.lc != nil {

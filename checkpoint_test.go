@@ -212,6 +212,79 @@ func TestRestoreMonitorRejectsMismatches(t *testing.T) {
 	}
 }
 
+// TestRestoreMonitorModelFingerprint pins the content-address leg of the
+// envelope compatibility rules: the checkpoint carries the fingerprint of
+// the model it was cut under, and restore refuses — with the typed
+// ErrModelMismatch — a checkpoint whose model content drifted from the live
+// system even when the cheaper identity checks (device set, threshold,
+// kmax) cannot tell the two apart. Legacy envelopes without the field keep
+// restoring.
+func TestRestoreMonitorModelFingerprint(t *testing.T) {
+	sys := mustTrain(t, Config{Tau: 2, KMax: 3})
+	mon, err := sys.NewMonitor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+	observeStream(t, mon, servingStream(50, 2))
+	var buf bytes.Buffer
+	if err := mon.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	retag := func(t *testing.T, fp any) []byte {
+		t.Helper()
+		var m map[string]any
+		if err := json.Unmarshal(valid, &m); err != nil {
+			t.Fatal(err)
+		}
+		if fp == nil {
+			delete(m, "modelFingerprint")
+		} else {
+			m["modelFingerprint"] = fp
+		}
+		out, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	// The checkpoint records the system's content address.
+	var m map[string]any
+	if err := json.Unmarshal(valid, &m); err != nil {
+		t.Fatal(err)
+	}
+	if got := m["modelFingerprint"]; got != sys.ModelFingerprint() {
+		t.Fatalf("checkpoint carries fingerprint %v, system is %s", got, sys.ModelFingerprint())
+	}
+
+	// A fingerprint of different model content is refused with the typed
+	// sentinel — identity fields all still match, so only the content
+	// address can catch the drift.
+	other := mustTrainSeed(t, Config{Tau: 2, KMax: 3}, 5)
+	if _, err := sys.RestoreMonitor(bytes.NewReader(retag(t, other.ModelFingerprint()))); !errors.Is(err, ErrModelMismatch) {
+		t.Errorf("drifted model fingerprint: got %v, want ErrModelMismatch", err)
+	}
+	// An unparseable fingerprint is the same class of refusal.
+	if _, err := sys.RestoreMonitor(bytes.NewReader(retag(t, "not-a-fingerprint"))); !errors.Is(err, ErrModelMismatch) {
+		t.Errorf("garbage model fingerprint: got %v, want ErrModelMismatch", err)
+	}
+	// A legacy checkpoint without the field restores (no fingerprint to
+	// validate), as does the untampered envelope.
+	if m2, err := sys.RestoreMonitor(bytes.NewReader(retag(t, nil))); err != nil {
+		t.Errorf("legacy checkpoint without fingerprint rejected: %v", err)
+	} else {
+		m2.Close()
+	}
+	if m2, err := sys.RestoreMonitor(bytes.NewReader(valid)); err != nil {
+		t.Fatalf("valid checkpoint rejected: %v", err)
+	} else {
+		m2.Close()
+	}
+}
+
 // TestHubCheckpointKillResume is the serving-level acceptance test: a hosted
 // home is killed at an arbitrary batch boundary, a new hub restores its
 // monitor from the checkpoint, the source stream is replayed from the

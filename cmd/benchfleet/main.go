@@ -12,6 +12,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -21,6 +22,7 @@ import (
 	"time"
 
 	causaliot "github.com/causaliot/causaliot"
+	"github.com/causaliot/causaliot/internal/dig"
 	"github.com/causaliot/causaliot/internal/event"
 	"github.com/causaliot/causaliot/internal/sim"
 )
@@ -31,6 +33,21 @@ type benchResult struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// dedupReport is the many-tenants-few-models memory scenario: every tenant
+// restores its own model copy (the fleet resume/migration path), once with
+// the content-addressed model cache disabled (each tenant keeps a private
+// compiled model) and once enabled (tenants of the same model share one
+// interned instance). Tenants-per-GB is the headline fleet-capacity number.
+type dedupReport struct {
+	Tenants               int     `json:"tenants"`
+	Models                int     `json:"models"`
+	PrivateBytesPerTenant float64 `json:"private_bytes_per_tenant"`
+	DedupBytesPerTenant   float64 `json:"dedup_bytes_per_tenant"`
+	PrivateTenantsPerGB   float64 `json:"private_tenants_per_gb"`
+	DedupTenantsPerGB     float64 `json:"dedup_tenants_per_gb"`
+	Improvement           float64 `json:"improvement"`
 }
 
 type report struct {
@@ -45,20 +62,22 @@ type report struct {
 	EventsPerSec map[string]float64 `json:"events_per_sec"`
 	Speedup      map[string]float64 `json:"speedup"`
 	MigrationMs  float64            `json:"migration_ms"`
+	ModelDedup   *dedupReport       `json:"model_dedup,omitempty"`
 }
 
 func main() {
 	out := flag.String("out", "BENCH_fleet.json", "output JSON file")
 	days := flag.Int("days", 4, "simulated days of training data")
 	tenants := flag.Int("tenants", 16, "homes hosted per topology")
+	dedupTenants := flag.Int("dedup-tenants", 1000, "homes in the model-dedup memory scenario (0 disables)")
 	flag.Parse()
-	if err := run(*out, *days, *tenants); err != nil {
+	if err := run(*out, *days, *tenants, *dedupTenants); err != nil {
 		fmt.Fprintln(os.Stderr, "benchfleet:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string, days, tenants int) error {
+func run(out string, days, tenants, dedupTenants int) error {
 	tb := sim.ContextActLike()
 	simulator, err := sim.NewSimulator(tb, sim.Config{Seed: 7, Days: days})
 	if err != nil {
@@ -221,6 +240,141 @@ func run(out string, days, tenants int) error {
 	}
 	fmt.Printf("%-28s %12.2f ms/migration (quiesce + checkpoint handoff + replay, under load)\n",
 		"Migrate/underLoad", rep.MigrationMs)
+
+	// Many tenants, few models: the fleet-capacity scenario. Four distinct
+	// trained models spread across N restoring tenants — first each tenant
+	// deserializing a private model copy (the cache disabled), then with the
+	// content-addressed cache interning one shared Compiled per model.
+	if dedupTenants > 0 {
+		const modelCount = 4
+		systems := make([]*causaliot.System, modelCount)
+		blobs := make([][]byte, modelCount)
+		systems[0] = sys
+		for m := 1; m < modelCount; m++ {
+			simv, err := sim.NewSimulator(tb, sim.Config{Seed: int64(7 + m), Days: days})
+			if err != nil {
+				return err
+			}
+			logv, err := simv.Run()
+			if err != nil {
+				return err
+			}
+			sysv, _, err := trainFacade(tb, logv)
+			if err != nil {
+				return err
+			}
+			systems[m] = sysv
+		}
+		for m, s := range systems {
+			var buf bytes.Buffer
+			if err := s.Save(&buf); err != nil {
+				return err
+			}
+			blobs[m] = buf.Bytes()
+		}
+
+		// restoreAll measures the settled per-tenant heap cost of hosting
+		// dedupTenants monitors restored from the serialized models, with the
+		// model cache on or off.
+		restoreAll := func(enabled bool) (float64, error) {
+			dig.SetCacheEnabled(enabled)
+			dig.CacheReset()
+			defer func() {
+				dig.CacheReset()
+				dig.SetCacheEnabled(true)
+			}()
+			loaded := make([]*causaliot.System, dedupTenants)
+			monitors := make([]*causaliot.Monitor, dedupTenants)
+			var m0, m1 runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&m0)
+			for i := range monitors {
+				s, err := causaliot.Load(bytes.NewReader(blobs[i%modelCount]))
+				if err != nil {
+					return 0, err
+				}
+				mon, err := s.NewMonitor()
+				if err != nil {
+					return 0, err
+				}
+				loaded[i], monitors[i] = s, mon
+			}
+			runtime.GC()
+			runtime.ReadMemStats(&m1)
+			perTenant := (float64(m1.HeapAlloc) - float64(m0.HeapAlloc)) / float64(dedupTenants)
+			for _, mon := range monitors {
+				mon.Close()
+			}
+			runtime.KeepAlive(loaded)
+			return perTenant, nil
+		}
+		private, err := restoreAll(false)
+		if err != nil {
+			return err
+		}
+		deduped, err := restoreAll(true)
+		if err != nil {
+			return err
+		}
+		const gb = float64(1 << 30)
+		rep.ModelDedup = &dedupReport{
+			Tenants:               dedupTenants,
+			Models:                modelCount,
+			PrivateBytesPerTenant: private,
+			DedupBytesPerTenant:   deduped,
+			PrivateTenantsPerGB:   gb / private,
+			DedupTenantsPerGB:     gb / deduped,
+			Improvement:           private / deduped,
+		}
+		fmt.Printf("%-28s %12.0f B/tenant private, %.0f B/tenant deduped (%d tenants, %d models): %.0f vs %.0f tenants/GB — %.1fx\n",
+			"ModelDedup/restore", private, deduped, dedupTenants, modelCount,
+			rep.ModelDedup.PrivateTenantsPerGB, rep.ModelDedup.DedupTenantsPerGB, rep.ModelDedup.Improvement)
+
+		// Same-model batch scheduling: submit throughput across many homes
+		// sharing the four models, with the scheduler's model grouping off
+		// and on. Grouping never changes results; the delta is pure locality
+		// and scheduling overhead.
+		groupHomes := 4 * tenants
+		gnames := make([]string, groupHomes)
+		for i := range gnames {
+			gnames[i] = fmt.Sprintf("ghome-%d", i)
+		}
+		submitMany := func(newHost func() causaliot.Host) func(b *testing.B) {
+			return func(b *testing.B) {
+				h := newHost()
+				for i, name := range gnames {
+					err := h.Register(name, systems[i%modelCount], causaliot.TenantOptions{
+						OnAlarm: func(string, *causaliot.Alarm, float64) {},
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					i := 0
+					for pb.Next() {
+						if err := h.Submit(gnames[i%groupHomes], events[i%len(events)]); err != nil {
+							b.Fatal(err)
+						}
+						i++
+					}
+				})
+				b.StopTimer()
+				if err := h.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		ungroupedRes := measure("Submit/manyTenants(solo)", submitMany(func() causaliot.Host {
+			return causaliot.NewHub(causaliot.HubConfig{Workers: totalWorkers, GroupBatch: -1})
+		}))
+		groupedRes := measure("Submit/manyTenants(grouped)", submitMany(func() causaliot.Host {
+			return causaliot.NewHub(causaliot.HubConfig{Workers: totalWorkers})
+		}))
+		rep.Speedup["grouped_vs_ungrouped"] = ungroupedRes.NsPerOp / groupedRes.NsPerOp
+		fmt.Printf("%-28s %.2fx events/sec vs ungrouped\n", "GroupedDrain/speedup", rep.Speedup["grouped_vs_ungrouped"])
+	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

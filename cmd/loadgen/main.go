@@ -6,7 +6,8 @@
 //	loadgen -addr 10.0.0.5:9070 -token secret -conns 256 -homes 256
 //
 // Traffic is synthesized in memory from the simulation testbeds (no CSV
-// files touched): one training log builds the model, and each connection
+// files touched): one training log builds the model (-models K builds K
+// distinct models and deals homes across them), and each connection
 // replays a runtime log as sequence-numbered event frames, looping with a
 // time shift when it runs out. Every event's send time is recorded; when an
 // alarm frame comes back, the echoed sequence number keys the push-back
@@ -63,6 +64,7 @@ type config struct {
 	selfServe bool
 	conns     int
 	homes     int
+	models    int
 	events    int
 	rate      float64
 	days      int
@@ -86,6 +88,7 @@ func parseFlags(args []string) (config, error) {
 	fs.BoolVar(&cfg.selfServe, "self-serve", false, "boot the server in-process on a loopback port")
 	fs.IntVar(&cfg.conns, "conns", 8, "concurrent producer connections")
 	fs.IntVar(&cfg.homes, "homes", 0, "homes to spread connections across (0 = one per connection)")
+	fs.IntVar(&cfg.models, "models", 1, "distinct self-served models to spread homes across (requires -self-serve)")
 	fs.IntVar(&cfg.events, "events", 0, "events per connection (0 = one full runtime log)")
 	fs.Float64Var(&cfg.rate, "rate", 0, "per-connection send rate in events/sec (0 = unthrottled)")
 	fs.IntVar(&cfg.days, "days", 1, "simulated days of runtime traffic per lap")
@@ -117,6 +120,12 @@ func parseFlags(args []string) (config, error) {
 	}
 	if cfg.homes == 0 {
 		cfg.homes = cfg.conns
+	}
+	if cfg.models < 1 {
+		return cfg, fmt.Errorf("-models %d < 1", cfg.models)
+	}
+	if cfg.models > 1 && !cfg.selfServe {
+		return cfg, errors.New("-models > 1 requires -self-serve (a remote server owns its own models)")
 	}
 	if cfg.events < 0 {
 		return cfg, fmt.Errorf("-events %d < 0", cfg.events)
@@ -167,6 +176,7 @@ type serverReport struct {
 type report struct {
 	Conns        int           `json:"conns"`
 	Homes        int           `json:"homes"`
+	Models       int           `json:"models,omitempty"`
 	EventsSent   uint64        `json:"events_sent"`
 	EventsNacked uint64        `json:"events_nacked"`
 	Alarms       uint64        `json:"alarms_received"`
@@ -341,13 +351,28 @@ func runLoad(cfg config) (*report, error) {
 		if err != nil {
 			return nil, err
 		}
-		trainLog, err := synthesize(tb, cfg.seed, cfg.trainDays)
-		if err != nil {
-			return nil, err
+		// -models K trains K distinct systems (differing training seeds) and
+		// deals homes across them round-robin — the many-tenants-few-models
+		// fleet shape, where the model cache and same-model batch scheduling
+		// carry the load. Seed offsets keep model 0 identical to the single
+		// -models run and clear of the runtime stream's cfg.seed+1.
+		if cfg.models < 1 {
+			cfg.models = 1 // zero-value config (tests build it directly)
 		}
-		sys, err := causaliot.Train(devices, trainLog, causaliot.Config{Tau: cfg.tau, KMax: cfg.kmax})
-		if err != nil {
-			return nil, err
+		systems := make([]*causaliot.System, cfg.models)
+		for m := range systems {
+			trainSeed := cfg.seed
+			if m > 0 {
+				trainSeed += int64(1000 * m)
+			}
+			trainLog, err := synthesize(tb, trainSeed, cfg.trainDays)
+			if err != nil {
+				return nil, err
+			}
+			systems[m], err = causaliot.Train(devices, trainLog, causaliot.Config{Tau: cfg.tau, KMax: cfg.kmax})
+			if err != nil {
+				return nil, err
+			}
 		}
 		hubCfg := causaliot.HubConfig{Workers: cfg.workers, QueueSize: cfg.queue, Backpressure: policy}
 		if cfg.shards > 1 {
@@ -357,7 +382,7 @@ func runLoad(cfg config) (*report, error) {
 		}
 		defer h.Close()
 		for i := 0; i < cfg.homes; i++ {
-			if err := h.Register(fmt.Sprintf("home-%d", i), sys, causaliot.TenantOptions{}); err != nil {
+			if err := h.Register(fmt.Sprintf("home-%d", i), systems[i%cfg.models], causaliot.TenantOptions{}); err != nil {
 				return nil, err
 			}
 		}
@@ -442,6 +467,9 @@ func runLoad(cfg config) (*report, error) {
 		Conns:     cfg.conns,
 		Homes:     cfg.homes,
 		ElapsedMS: elapsed.Milliseconds(),
+	}
+	if cfg.selfServe {
+		rep.Models = cfg.models
 	}
 	var latencies []int64
 	for _, p := range producers {

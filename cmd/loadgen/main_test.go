@@ -22,6 +22,8 @@ func TestParseFlagsValidation(t *testing.T) {
 		{[]string{"-self-serve", "-shards", "0"}, "-shards"},
 		{[]string{"-self-serve", "-workers", "-1"}, "-workers"},
 		{[]string{"-self-serve", "-queue", "0"}, "-queue"},
+		{[]string{"-self-serve", "-models", "0"}, "-models"},
+		{[]string{"-addr", "x:1", "-models", "2"}, "-models"},
 	}
 	for _, tc := range cases {
 		if _, err := parseFlags(tc.args); err == nil {

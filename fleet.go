@@ -276,7 +276,11 @@ func (f *Fleet) Register(tenant string, sys *System, opts TenantOptions) error {
 	if err != nil {
 		return err
 	}
-	return f.RegisterMonitor(tenant, mon, opts)
+	if err := f.RegisterMonitor(tenant, mon, opts); err != nil {
+		mon.Close()
+		return err
+	}
+	return nil
 }
 
 // RegisterMonitor hosts a home on an existing monitor — typically one
@@ -319,7 +323,7 @@ func (f *Fleet) RegisterMonitor(tenant string, mon *Monitor, opts TenantOptions)
 		unreserve()
 		return err
 	}
-	if err := f.router.Activate(tenant, shard, f.gapPolicy(opts), f.gapCap(opts)); err != nil {
+	if err := f.router.Activate(tenant, shard, f.gapPolicy(opts), f.gapCap(opts), f.submitTo(tenant)); err != nil {
 		_ = h.Deregister(tenant)
 		unreserve()
 		return err
@@ -366,6 +370,19 @@ func (f *Fleet) Deregister(tenant string) error {
 	return h.Deregister(tenant)
 }
 
+// submitTo builds a home's shard enqueue sink, created once per
+// registration and stored on the router's route entry — the per-event
+// Submit path then closes over nothing and allocates nothing.
+func (f *Fleet) submitTo(tenant string) func(shard int, hev hub.Event) error {
+	return func(shard int, hev hub.Event) error {
+		h := f.shard(shard)
+		if h == nil {
+			return fmt.Errorf("%w %d", ErrUnknownShard, shard)
+		}
+		return h.inner.Submit(tenant, hev)
+	}
+}
+
 // Submit enqueues one event for a home on whichever shard serves it. While
 // the home is mid-migration the event is buffered in the migration gap and
 // replayed onto the target shard before the route flips; a full gap applies
@@ -374,14 +391,7 @@ func (f *Fleet) Submit(tenant string, ev Event) error {
 	if f.closed.Load() {
 		return ErrHubClosed
 	}
-	return f.router.Dispatch(tenant, hub.Event{Device: ev.Device, Value: ev.Value, Time: ev.Time, Seq: ev.Seq},
-		func(shard int, hev hub.Event) error {
-			h := f.shard(shard)
-			if h == nil {
-				return fmt.Errorf("%w %d", ErrUnknownShard, shard)
-			}
-			return h.inner.Submit(tenant, hev)
-		})
+	return f.router.Dispatch(tenant, hub.Event{Device: ev.Device, Value: ev.Value, Time: ev.Time, Seq: ev.Seq})
 }
 
 // control runs fn against the home's serving shard hub with migrations
@@ -457,14 +467,7 @@ func (f *Fleet) Migrate(tenant string, shard int) error {
 		return fmt.Errorf("%w %q", ErrUnknownTenant, tenant)
 	}
 	_, err := f.router.Migrate(tenant, shard,
-		func(from int) error { return f.handoff(tenant, ft, from, shard) },
-		func(target int, hev hub.Event) error {
-			h := f.shard(target)
-			if h == nil {
-				return fmt.Errorf("%w %d", ErrUnknownShard, target)
-			}
-			return h.inner.Submit(tenant, hev)
-		})
+		func(from int) error { return f.handoff(tenant, ft, from, shard) })
 	return err
 }
 
@@ -490,11 +493,15 @@ func (f *Fleet) handoff(tenant string, ft *fleetTenant, from, to int) error {
 	if err != nil {
 		return fmt.Errorf("causaliot: migrate %q: %w", tenant, err)
 	}
+	// RestoreMonitor re-attaches to the cache-interned model when the
+	// fingerprint is already resident on this process, so a migration onto a
+	// shard already serving the model costs no duplicate compiled tables.
 	mon, err := sys.RestoreMonitor(bytes.NewReader(state.Bytes()))
 	if err != nil {
 		return fmt.Errorf("causaliot: migrate %q: %w", tenant, err)
 	}
 	if err := dst.RegisterMonitor(tenant, mon, ft.opts); err != nil {
+		mon.Close()
 		return err
 	}
 	if err := f.routeAlarms(dst, tenant, ft); err != nil {
@@ -623,6 +630,7 @@ func (f *Fleet) Stats() HubStats {
 		s := h.Stats()
 		out.Workers += s.Workers
 		out.AlarmsDropped += s.AlarmsDropped
+		out.GroupedDrains += s.GroupedDrains
 		for _, ts := range s.Tenants {
 			if prev, ok := merged[ts.Tenant]; ok {
 				// Mid-handoff a home transiently exists on two shards; sum

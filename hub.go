@@ -107,6 +107,12 @@ type HubConfig struct {
 	QuarantineBackoff time.Duration
 	// QuarantineMaxBackoff caps the exponential backoff. Defaults to 60s.
 	QuarantineMaxBackoff time.Duration
+	// GroupBatch caps how many homes serving the same model (by content
+	// fingerprint) one worker drains back-to-back, so their batches stream
+	// the shared compiled score tables while cache-hot. Grouping never
+	// changes results — each home's stream is processed exactly as
+	// ungrouped. Defaults to 8; negative disables grouping.
+	GroupBatch int
 }
 
 // TenantOptions tunes one registered home; zero values inherit the hub
@@ -181,6 +187,9 @@ type HubStats struct {
 	// was full.
 	AlarmsDropped uint64
 	Workers       int
+	// GroupedDrains counts homes drained as same-model group followers by
+	// the scheduler's model-grouping pass (see HubConfig.GroupBatch).
+	GroupedDrains uint64
 }
 
 // Hub serves many independent homes concurrently: each registered home gets
@@ -218,6 +227,7 @@ func NewHub(cfg HubConfig) *Hub {
 			QuarantineAfter:      cfg.QuarantineAfter,
 			QuarantineBackoff:    cfg.QuarantineBackoff,
 			QuarantineMaxBackoff: cfg.QuarantineMaxBackoff,
+			GroupBatch:           cfg.GroupBatch,
 		}),
 		alarms: make(chan TenantAlarm, buffer),
 	}
@@ -245,6 +255,12 @@ type tenantProc struct {
 	// onto any alarm it completes.
 	lastSeq uint64
 }
+
+// ModelKey names the model this home scores against for the hub's
+// same-model scheduling groups: the folded content fingerprint of the
+// served system. Two homes with equal keys serve bit-identical compiled
+// tables, so draining them consecutively is a pure locality win.
+func (p *tenantProc) ModelKey() uint64 { return p.mon.sys.fp.Key64() }
 
 func (p *tenantProc) Handle(ev hub.Event) (bool, error) {
 	p.lastSeq = ev.Seq
@@ -318,7 +334,11 @@ func (h *Hub) Register(tenant string, sys *System, opts TenantOptions) error {
 	if err != nil {
 		return err
 	}
-	return h.RegisterMonitor(tenant, mon, opts)
+	if err := h.RegisterMonitor(tenant, mon, opts); err != nil {
+		mon.Close()
+		return err
+	}
+	return nil
 }
 
 // RegisterMonitor hosts a home on an existing monitor — typically one
@@ -358,13 +378,18 @@ func (h *Hub) RegisterMonitor(tenant string, mon *Monitor, opts TenantOptions) e
 }
 
 // Deregister removes a home, discarding its queued events and releasing any
-// producers blocked on its queue.
+// producers blocked on its queue. The home's monitor is closed, dropping its
+// reference on the shared compiled-model cache.
 func (h *Hub) Deregister(tenant string) error {
 	err := h.inner.Deregister(tenant)
 	if err == nil {
 		h.procMu.Lock()
+		p := h.procs[tenant]
 		delete(h.procs, tenant)
 		h.procMu.Unlock()
+		if p != nil {
+			p.mon.Close()
+		}
 	}
 	return err
 }
@@ -524,6 +549,7 @@ func (h *Hub) Stats() HubStats {
 		Total:         convertTenantStats(s.Total),
 		AlarmsDropped: h.alarmsDropped.Load(),
 		Workers:       s.Workers,
+		GroupedDrains: s.Grouped,
 	}
 	for i, ts := range s.Tenants {
 		out.Tenants[i] = convertTenantStats(ts)
@@ -569,9 +595,23 @@ func (h *Hub) CloseWithin(d time.Duration) error {
 	err := h.inner.CloseWithin(d)
 	if errors.Is(err, ErrDrainTimeout) {
 		// The abandoned drain may still be running: closing the Alarms
-		// channel now could panic a late delivery, so leave it open.
+		// channel now could panic a late delivery, so leave it open (and
+		// leave the monitors' model-cache references in place — a late
+		// worker may still be scoring against them).
 		return err
 	}
 	close(h.alarms)
+	// Release every hosted monitor's model-cache reference. The procs map
+	// stays intact so post-close Stats/LifecycleStats remain readable
+	// (Monitor.Close does not invalidate reads).
+	h.procMu.Lock()
+	procs := make([]*tenantProc, 0, len(h.procs))
+	for _, p := range h.procs {
+		procs = append(procs, p)
+	}
+	h.procMu.Unlock()
+	for _, p := range procs {
+		p.mon.Close()
+	}
 	return err
 }

@@ -1,0 +1,179 @@
+package dig
+
+import "sync"
+
+// The model cache interns compiled DIGs by content address so that N
+// tenants serving the same model share one immutable *Compiled (CSR arrays
+// + dense score tables) instead of owning N private copies. Entries are
+// refcounted: acquire on monitor construction / hot-swap, release on
+// monitor teardown / swap-out. The refcount governs cache *residency* only
+// — when it reaches zero the entry is dropped from the table, but any
+// holder that raced the drop keeps its pointer alive through ordinary GC
+// reachability, so a release can never invalidate a live reference.
+//
+// Each entry also carries an opaque auxiliary slot for caller-layer derived
+// state (the facade stores its serving tables there — pre-rendered cause
+// labels, unifier, name index). The aux slot is keyed by a caller-computed
+// configuration hash so two tenants only share aux when their serving
+// configuration matches, not merely their model content.
+
+type cacheEntry struct {
+	comp *Compiled
+	refs int
+	// aux is caller-owned immutable derived state; auxKey guards against
+	// config divergence between tenants of the same model.
+	aux    any
+	auxKey uint64
+}
+
+var modelCache = struct {
+	mu      sync.Mutex
+	enabled bool
+	table   map[Fingerprint]*cacheEntry
+	hits    uint64
+	misses  uint64
+}{
+	enabled: true,
+	table:   map[Fingerprint]*cacheEntry{},
+}
+
+// CacheStatsSnapshot reports cache occupancy and traffic.
+type CacheStatsSnapshot struct {
+	Entries int    // distinct models currently interned
+	Refs    int    // sum of refcounts across entries
+	Hits    uint64 // lookups/acquires that found an entry
+	Misses  uint64 // lookups/acquires that did not
+}
+
+// SetCacheEnabled toggles interning. Intended for benchmarks and tests that
+// need to measure the private-copy baseline; flip it only on a quiet system
+// — monitors created while disabled hold no cache refs, and their releases
+// are no-ops, so toggling mid-flight skews occupancy accounting but cannot
+// corrupt refcounts (release tolerates absent entries).
+func SetCacheEnabled(on bool) {
+	modelCache.mu.Lock()
+	modelCache.enabled = on
+	modelCache.mu.Unlock()
+}
+
+// CacheLookup peeks for an interned Compiled without taking a reference.
+// Callers use it to adopt shared read-only state speculatively; they must
+// follow up with CacheAcquire before depending on residency.
+func CacheLookup(fp Fingerprint) *Compiled {
+	if fp.IsZero() {
+		return nil
+	}
+	modelCache.mu.Lock()
+	defer modelCache.mu.Unlock()
+	if !modelCache.enabled {
+		return nil
+	}
+	if e, ok := modelCache.table[fp]; ok {
+		modelCache.hits++
+		return e.comp
+	}
+	modelCache.misses++
+	return nil
+}
+
+// CacheAcquire interns comp under fp (or joins the existing entry) and
+// takes one reference. It returns the canonical shared instance, which may
+// differ from comp when another tenant interned the model first; callers
+// must serve from the returned pointer. Returns comp unchanged (and takes
+// no reference) when the cache is disabled or fp is zero.
+func CacheAcquire(fp Fingerprint, comp *Compiled) *Compiled {
+	if fp.IsZero() || comp == nil {
+		return comp
+	}
+	modelCache.mu.Lock()
+	defer modelCache.mu.Unlock()
+	if !modelCache.enabled {
+		return comp
+	}
+	if e, ok := modelCache.table[fp]; ok {
+		e.refs++
+		modelCache.hits++
+		return e.comp
+	}
+	modelCache.table[fp] = &cacheEntry{comp: comp, refs: 1}
+	modelCache.misses++
+	return comp
+}
+
+// CacheRelease drops one reference on fp's entry, removing it from the
+// table when the count reaches zero. Releasing a fingerprint that is not
+// resident (cache disabled at acquire time, or already evicted) is a no-op.
+func CacheRelease(fp Fingerprint) {
+	if fp.IsZero() {
+		return
+	}
+	modelCache.mu.Lock()
+	defer modelCache.mu.Unlock()
+	e, ok := modelCache.table[fp]
+	if !ok {
+		return
+	}
+	if e.refs--; e.refs <= 0 {
+		delete(modelCache.table, fp)
+	}
+}
+
+// CacheStoreAux attaches caller-derived immutable state to fp's entry,
+// keyed by the caller's configuration hash. The slot is set-once: the first
+// writer under a given key wins and later stores are ignored, so concurrent
+// tenants converge on one shared aux. A store under a different key is also
+// ignored (the earlier tenants keep their aux; the divergent tenant simply
+// doesn't share). No-op when fp is not resident.
+func CacheStoreAux(fp Fingerprint, key uint64, aux any) {
+	if fp.IsZero() || aux == nil {
+		return
+	}
+	modelCache.mu.Lock()
+	defer modelCache.mu.Unlock()
+	e, ok := modelCache.table[fp]
+	if !ok || e.aux != nil {
+		return
+	}
+	e.aux = aux
+	e.auxKey = key
+}
+
+// CacheAux returns the aux stored under fp if its configuration key
+// matches, else nil.
+func CacheAux(fp Fingerprint, key uint64) any {
+	if fp.IsZero() {
+		return nil
+	}
+	modelCache.mu.Lock()
+	defer modelCache.mu.Unlock()
+	if e, ok := modelCache.table[fp]; ok && e.aux != nil && e.auxKey == key {
+		return e.aux
+	}
+	return nil
+}
+
+// CacheStats snapshots occupancy and hit/miss counters.
+func CacheStats() CacheStatsSnapshot {
+	modelCache.mu.Lock()
+	defer modelCache.mu.Unlock()
+	s := CacheStatsSnapshot{
+		Entries: len(modelCache.table),
+		Hits:    modelCache.hits,
+		Misses:  modelCache.misses,
+	}
+	for _, e := range modelCache.table {
+		s.Refs += e.refs
+	}
+	return s
+}
+
+// CacheReset empties the table and zeroes the counters. Test/bench hook:
+// outstanding references keep their Compiled instances alive through GC,
+// but their releases after a reset are no-ops.
+func CacheReset() {
+	modelCache.mu.Lock()
+	defer modelCache.mu.Unlock()
+	modelCache.table = map[Fingerprint]*cacheEntry{}
+	modelCache.hits = 0
+	modelCache.misses = 0
+}

@@ -1,0 +1,264 @@
+package dig
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/causaliot/causaliot/internal/timeseries"
+)
+
+// fittedPairGraphs builds two independently constructed graphs with
+// identical structure fitted on the same series, plus a third fitted on a
+// perturbed series.
+func fittedPairGraphs(t *testing.T) (same1, same2, other *Graph) {
+	t.Helper()
+	build := func(seed int64) *Graph {
+		reg := mustRegistry(t, "a", "b", "c", "d")
+		rng := rand.New(rand.NewSource(seed))
+		steps := make([]timeseries.Step, 2000)
+		for i := range steps {
+			steps[i] = timeseries.Step{Device: rng.Intn(4), Value: rng.Intn(2)}
+		}
+		series, err := timeseries.FromSteps(reg, timeseries.State{0, 0, 0, 0}, steps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := New(reg, 2, [][]Node{
+			{},
+			{{Device: 0, Lag: 1}},
+			{{Device: 0, Lag: 2}, {Device: 1, Lag: 1}},
+			{{Device: 2, Lag: 1}},
+		}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Fit(series); err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	return build(7), build(7), build(8)
+}
+
+func TestFingerprintDeterministicAcrossConstruction(t *testing.T) {
+	g1, g2, other := fittedPairGraphs(t)
+	fp1, fp2 := g1.Fingerprint(), g2.Fingerprint()
+	if fp1.IsZero() {
+		t.Fatal("fingerprint of fitted graph is zero")
+	}
+	if fp1 != fp2 {
+		t.Errorf("independently built identical graphs hash differently: %s vs %s", fp1, fp2)
+	}
+	if fp1 == other.Fingerprint() {
+		t.Error("graphs fitted on different data hash identically")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base, _, _ := fittedPairGraphs(t)
+	fp := base.Fingerprint()
+
+	// One observation changes the counts → new fingerprint.
+	mutated, _, _ := fittedPairGraphs(t)
+	if err := mutated.CPTOf(1).Observe([]int{1}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if mutated.Fingerprint() == fp {
+		t.Error("count mutation not reflected in fingerprint")
+	}
+
+	// Different smoothing, same structure and (empty) counts → new
+	// fingerprint.
+	reg := mustRegistry(t, "a", "b", "c", "d")
+	structure := [][]Node{
+		{}, {{Device: 0, Lag: 1}}, {{Device: 0, Lag: 2}, {Device: 1, Lag: 1}}, {{Device: 2, Lag: 1}},
+	}
+	smooth1, err := New(reg, base.Tau, structure, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smoothHalf, err := New(reg, base.Tau, structure, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smooth1.Fingerprint() == smoothHalf.Fingerprint() {
+		t.Error("smoothing change not reflected in fingerprint")
+	}
+
+	// Renamed device, same everything else → new fingerprint.
+	reg2 := mustRegistry(t, "a", "b", "c", "e")
+	renamed, err := New(reg2, base.Tau, [][]Node{
+		{}, {{Device: 0, Lag: 1}}, {{Device: 0, Lag: 2}, {Device: 1, Lag: 1}}, {{Device: 2, Lag: 1}},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renamed.Fingerprint() == (&Graph{Registry: reg, Tau: base.Tau, parents: renamed.parents, cpts: renamed.cpts}).Fingerprint() {
+		t.Error("device rename not reflected in fingerprint")
+	}
+}
+
+func TestFingerprintStableAcrossSnapshotRoundTrip(t *testing.T) {
+	g, _, _ := fittedPairGraphs(t)
+	restored, err := RestoreGraph(g.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Fingerprint() != g.Fingerprint() {
+		t.Error("snapshot round-trip changed the fingerprint")
+	}
+}
+
+func TestFingerprintStringRoundTrip(t *testing.T) {
+	g, _, _ := fittedPairGraphs(t)
+	fp := g.Fingerprint()
+	parsed, err := ParseFingerprint(fp.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed != fp {
+		t.Errorf("ParseFingerprint(String) = %s, want %s", parsed, fp)
+	}
+	if _, err := ParseFingerprint("zz"); err == nil {
+		t.Error("short fingerprint accepted")
+	}
+	if _, err := ParseFingerprint(string(make([]byte, 64))); err == nil {
+		t.Error("non-hex fingerprint accepted")
+	}
+	if fp.Key64() == 0 {
+		t.Error("non-zero fingerprint folded to reserved key 0")
+	}
+	if (Fingerprint{}).Key64() != 0 {
+		t.Error("zero fingerprint must fold to key 0")
+	}
+}
+
+func TestCacheAcquireReleaseResidency(t *testing.T) {
+	CacheReset()
+	defer CacheReset()
+	g, g2, _ := fittedPairGraphs(t)
+	fp := g.Fingerprint()
+	c1, err := Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Compile(g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := CacheLookup(fp); got != nil {
+		t.Fatal("lookup hit on empty cache")
+	}
+	shared := CacheAcquire(fp, c1)
+	if shared != c1 {
+		t.Fatal("first acquire must intern the offered instance")
+	}
+	if got := CacheAcquire(fp, c2); got != c1 {
+		t.Fatal("second acquire must return the interned instance, not its own copy")
+	}
+	if got := CacheLookup(fp); got != c1 {
+		t.Fatal("lookup after acquire missed")
+	}
+	s := CacheStats()
+	if s.Entries != 1 || s.Refs != 2 {
+		t.Fatalf("stats after two acquires: %+v", s)
+	}
+
+	CacheRelease(fp)
+	if got := CacheLookup(fp); got != c1 {
+		t.Fatal("entry evicted while still referenced")
+	}
+	CacheRelease(fp)
+	if got := CacheLookup(fp); got != nil {
+		t.Fatal("entry survived final release")
+	}
+	// Double release of an absent entry is a tolerated no-op.
+	CacheRelease(fp)
+	if s := CacheStats(); s.Entries != 0 || s.Refs != 0 {
+		t.Fatalf("stats after release-all: %+v", s)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	CacheReset()
+	defer CacheReset()
+	SetCacheEnabled(false)
+	defer SetCacheEnabled(true)
+
+	g, _, _ := fittedPairGraphs(t)
+	fp := g.Fingerprint()
+	c, err := Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := CacheAcquire(fp, c); got != c {
+		t.Fatal("disabled acquire must hand back the private instance")
+	}
+	if got := CacheLookup(fp); got != nil {
+		t.Fatal("disabled cache served a lookup")
+	}
+	if s := CacheStats(); s.Entries != 0 {
+		t.Fatalf("disabled acquire interned anyway: %+v", s)
+	}
+}
+
+func TestCacheAuxKeyedSharing(t *testing.T) {
+	CacheReset()
+	defer CacheReset()
+	g, _, _ := fittedPairGraphs(t)
+	fp := g.Fingerprint()
+	c, err := Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	CacheAcquire(fp, c)
+	defer CacheRelease(fp)
+
+	if got := CacheAux(fp, 42); got != nil {
+		t.Fatal("aux present before store")
+	}
+	CacheStoreAux(fp, 42, "first")
+	CacheStoreAux(fp, 42, "second") // set-once: ignored
+	CacheStoreAux(fp, 99, "other")  // different key: ignored
+	if got := CacheAux(fp, 42); got != "first" {
+		t.Fatalf("aux = %v, want first", got)
+	}
+	if got := CacheAux(fp, 99); got != nil {
+		t.Fatal("aux served under mismatched config key")
+	}
+}
+
+func TestCacheConcurrentAcquireRelease(t *testing.T) {
+	CacheReset()
+	defer CacheReset()
+	g, _, _ := fittedPairGraphs(t)
+	fp := g.Fingerprint()
+	c, err := Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines, rounds = 8, 200
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < rounds; j++ {
+				shared := CacheAcquire(fp, c)
+				if shared == nil {
+					t.Error("acquire returned nil")
+					return
+				}
+				CacheLookup(fp)
+				CacheRelease(fp)
+			}
+		}()
+	}
+	wg.Wait()
+	if s := CacheStats(); s.Entries != 0 || s.Refs != 0 {
+		t.Fatalf("cache not empty after balanced acquire/release: %+v", s)
+	}
+}

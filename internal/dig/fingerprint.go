@@ -1,0 +1,99 @@
+package dig
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+)
+
+// Fingerprint is the content address of a fitted device interaction graph:
+// a SHA-256 over a canonical serialization of everything that determines
+// compiled scoring behaviour — device names (in registry order), τ, each
+// device's sorted parent set, the CPT smoothing pseudo-count, and the raw
+// (on, total) counts as exact IEEE-754 bit patterns. Two graphs carry the
+// same fingerprint iff compiling them yields bit-identical score tables, so
+// the fingerprint is safe to use as the intern key of the shared
+// compiled-model cache and as the model-identity pin in checkpoint
+// envelopes.
+type Fingerprint [sha256.Size]byte
+
+// IsZero reports the zero fingerprint (no model / not computed).
+func (f Fingerprint) IsZero() bool { return f == Fingerprint{} }
+
+// String renders the fingerprint as lowercase hex.
+func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
+
+// Key64 folds the fingerprint to a 64-bit key for cheap grouping (e.g. the
+// hub's same-model batch scheduler). Zero is reserved for "no model": the
+// all-but-impossible digest whose first eight bytes are zero maps to 1.
+func (f Fingerprint) Key64() uint64 {
+	k := binary.BigEndian.Uint64(f[:8])
+	if k == 0 && !f.IsZero() {
+		return 1
+	}
+	return k
+}
+
+// ParseFingerprint parses the hex form produced by String.
+func ParseFingerprint(s string) (Fingerprint, error) {
+	var f Fingerprint
+	if len(s) != hex.EncodedLen(len(f)) {
+		return f, fmt.Errorf("dig: fingerprint %q has length %d, want %d", s, len(s), hex.EncodedLen(len(f)))
+	}
+	if _, err := hex.Decode(f[:], []byte(s)); err != nil {
+		return Fingerprint{}, fmt.Errorf("dig: fingerprint %q: %w", s, err)
+	}
+	return f, nil
+}
+
+// fingerprintMagic versions the canonical serialization; bump it if the
+// hashed layout ever changes so stale fingerprints can never collide with
+// new ones.
+const fingerprintMagic = "causaliot/dig-fingerprint/v1\n"
+
+// Fingerprint computes the graph's content address. Every field is written
+// through an explicit length-prefixed little-endian layout (no ambient
+// encoding library), so the digest is stable across Go versions and
+// platforms. Cost is one linear pass over the CPT tables; callers that need
+// it repeatedly should cache it alongside the graph (System does).
+func (g *Graph) Fingerprint() Fingerprint {
+	h := sha256.New()
+	var buf [8]byte
+	writeInt := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	writeF64 := func(v float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	writeStr := func(s string) {
+		writeInt(len(s))
+		h.Write([]byte(s))
+	}
+	h.Write([]byte(fingerprintMagic))
+	writeInt(g.Tau)
+	n := g.Registry.Len()
+	writeInt(n)
+	for i := 0; i < n; i++ {
+		writeStr(g.Registry.Name(i))
+	}
+	for _, c := range g.cpts {
+		writeInt(len(c.Causes))
+		for _, p := range c.Causes {
+			writeInt(p.Device)
+			writeInt(p.Lag)
+		}
+		writeF64(c.smoothing)
+		writeInt(len(c.total))
+		for j := range c.total {
+			writeF64(c.on[j])
+			writeF64(c.total[j])
+		}
+	}
+	var f Fingerprint
+	h.Sum(f[:0])
+	return f
+}

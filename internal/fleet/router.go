@@ -40,6 +40,10 @@ type entry struct {
 	gap       []hub.Event
 	gapCap    int
 	policy    hub.Policy
+	// submit is the tenant's shard enqueue sink, fixed at Activate. Storing
+	// it on the entry (instead of taking a closure per Dispatch call) keeps
+	// the per-event path allocation-free.
+	submit func(shard int, ev hub.Event) error
 }
 
 // Router is the tenant→shard route table with live-migration support. All
@@ -82,12 +86,17 @@ func (r *Router) Owner(tenant string) (int, bool) { return r.ring.Owner(tenant) 
 
 // Activate routes a tenant to a shard. The caller registers the tenant on
 // the shard's hub first, then activates the route, so a dispatched event
-// never reaches a hub that does not yet host the tenant.
-func (r *Router) Activate(tenant string, shard int, policy hub.Policy, gapCap int) error {
+// never reaches a hub that does not yet host the tenant. submit is the
+// tenant's enqueue sink: Dispatch and migration gap replay deliver events
+// through it to whichever shard currently serves the tenant.
+func (r *Router) Activate(tenant string, shard int, policy hub.Policy, gapCap int, submit func(shard int, ev hub.Event) error) error {
 	if gapCap <= 0 {
 		gapCap = 1024
 	}
-	e := &entry{shard: shard, policy: policy, gapCap: gapCap}
+	if submit == nil {
+		return fmt.Errorf("fleet: activate %q with nil submit sink", tenant)
+	}
+	e := &entry{shard: shard, policy: policy, gapCap: gapCap, submit: submit}
 	e.cond = sync.NewCond(&e.mu)
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -176,13 +185,13 @@ func (r *Router) lookup(tenant string) (*entry, error) {
 	return e, nil
 }
 
-// Dispatch routes one event: when the tenant is serving, submit is called
-// with the owning shard while the route is held, so a migration cannot flip
-// it mid-enqueue. During a migration the event lands in the gap buffer; a
-// full gap applies the tenant's backpressure policy (Block waits for the
-// migration to finish, DropOldest evicts the oldest buffered event, Reject
-// fails with hub.ErrBackpressure).
-func (r *Router) Dispatch(tenant string, ev hub.Event, submit func(shard int, ev hub.Event) error) error {
+// Dispatch routes one event: when the tenant is serving, its Activate-time
+// submit sink is called with the owning shard while the route is held, so a
+// migration cannot flip it mid-enqueue. During a migration the event lands
+// in the gap buffer; a full gap applies the tenant's backpressure policy
+// (Block waits for the migration to finish, DropOldest evicts the oldest
+// buffered event, Reject fails with hub.ErrBackpressure).
+func (r *Router) Dispatch(tenant string, ev hub.Event) error {
 	e, err := r.lookup(tenant)
 	if err != nil {
 		return err
@@ -209,7 +218,7 @@ func (r *Router) Dispatch(tenant string, ev hub.Event, submit func(shard int, ev
 		}
 	}
 	shard := e.shard
-	err = submit(shard, ev)
+	err = e.submit(shard, ev)
 	e.mu.Unlock()
 	return err
 }
@@ -239,15 +248,15 @@ func (r *Router) Control(tenant string, fn func(shard int) error) error {
 //  2. handoff(from) runs the caller's envelope piping: quiesce the source,
 //     export the checkpoint, restore and register on the target. The router
 //     guarantees exclusive ownership of the tenant for its duration.
-//  3. The gap buffer is replayed through replay(shard, ev) onto the target
-//     and the route flips atomically — Block-parked producers wake and
-//     submit to the new shard.
+//  3. The gap buffer is replayed through the tenant's submit sink onto the
+//     target and the route flips atomically — Block-parked producers wake
+//     and submit to the new shard.
 //
 // A handoff error aborts the migration: the gap replays back onto the
 // source shard (which still hosts the tenant — handoff implementations must
 // not deregister the source until nothing can fail) and the route is
 // restored. Migrate returns the number of gap events replayed.
-func (r *Router) Migrate(tenant string, to int, handoff func(from int) error, replay func(shard int, ev hub.Event) error) (int, error) {
+func (r *Router) Migrate(tenant string, to int, handoff func(from int) error) (int, error) {
 	e, err := r.lookup(tenant)
 	if err != nil {
 		return 0, err
@@ -282,7 +291,7 @@ func (r *Router) Migrate(tenant string, to int, handoff func(from int) error, re
 	for _, ev := range e.gap {
 		// Replay every buffered event even after a failure so at most a
 		// suffix is affected, and surface the first error.
-		if err := replay(target, ev); err != nil && rerr == nil {
+		if err := e.submit(target, ev); err != nil && rerr == nil {
 			rerr = err
 		}
 	}

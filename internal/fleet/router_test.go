@@ -40,20 +40,20 @@ func TestRouterDispatchRoutes(t *testing.T) {
 	r := NewRouter(0)
 	r.AddShard(0)
 	r.AddShard(1)
-	if err := r.Activate("a", 1, hub.Block, 8); err != nil {
+	s := newSink()
+	if err := r.Activate("a", 1, hub.Block, 8, s.submit); err != nil {
 		t.Fatal(err)
 	}
-	s := newSink()
-	if err := r.Dispatch("a", ev(1), s.submit); err != nil {
+	if err := r.Dispatch("a", ev(1)); err != nil {
 		t.Fatal(err)
 	}
 	if s.count(1) != 1 || s.count(0) != 0 {
 		t.Fatalf("event landed on wrong shard: %v", s.events)
 	}
-	if err := r.Dispatch("nobody", ev(1), s.submit); !errors.Is(err, hub.ErrUnknownTenant) {
+	if err := r.Dispatch("nobody", ev(1)); !errors.Is(err, hub.ErrUnknownTenant) {
 		t.Fatalf("unrouted dispatch error = %v", err)
 	}
-	if err := r.Activate("a", 0, hub.Block, 8); !errors.Is(err, ErrDuplicateTenant) {
+	if err := r.Activate("a", 0, hub.Block, 8, s.submit); !errors.Is(err, ErrDuplicateTenant) {
 		t.Fatalf("duplicate activate error = %v", err)
 	}
 }
@@ -62,10 +62,10 @@ func TestRouterMigrateReplaysGap(t *testing.T) {
 	r := NewRouter(0)
 	r.AddShard(0)
 	r.AddShard(1)
-	if err := r.Activate("a", 0, hub.Block, 64); err != nil {
+	s := newSink()
+	if err := r.Activate("a", 0, hub.Block, 64, s.submit); err != nil {
 		t.Fatal(err)
 	}
-	s := newSink()
 
 	entered := make(chan struct{})
 	release := make(chan struct{})
@@ -78,14 +78,14 @@ func TestRouterMigrateReplaysGap(t *testing.T) {
 			close(entered)
 			<-release
 			return nil
-		}, s.submit)
+		})
 		done <- err
 	}()
 
 	<-entered
 	// Mid-migration submissions buffer in the gap, not on any shard.
 	for i := 0; i < 5; i++ {
-		if err := r.Dispatch("a", ev(i), s.submit); err != nil {
+		if err := r.Dispatch("a", ev(i)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -118,10 +118,10 @@ func TestRouterMigrateAbortRollsBack(t *testing.T) {
 	r := NewRouter(0)
 	r.AddShard(0)
 	r.AddShard(1)
-	if err := r.Activate("a", 0, hub.Block, 64); err != nil {
+	s := newSink()
+	if err := r.Activate("a", 0, hub.Block, 64, s.submit); err != nil {
 		t.Fatal(err)
 	}
-	s := newSink()
 	boom := errors.New("handoff exploded")
 
 	entered := make(chan struct{})
@@ -132,12 +132,12 @@ func TestRouterMigrateAbortRollsBack(t *testing.T) {
 			close(entered)
 			<-release
 			return boom
-		}, s.submit)
+		})
 		done <- err
 	}()
 	<-entered
 	for i := 0; i < 3; i++ {
-		if err := r.Dispatch("a", ev(i), s.submit); err != nil {
+		if err := r.Dispatch("a", ev(i)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -162,10 +162,10 @@ func TestRouterGapPolicies(t *testing.T) {
 		r := NewRouter(0)
 		r.AddShard(0)
 		r.AddShard(1)
-		if err := r.Activate("a", 0, policy, cap); err != nil {
+		s := newSink()
+		if err := r.Activate("a", 0, policy, cap, s.submit); err != nil {
 			t.Fatal(err)
 		}
-		s := newSink()
 		entered := make(chan struct{})
 		release := make(chan struct{})
 		done := make(chan error, 1)
@@ -174,7 +174,7 @@ func TestRouterGapPolicies(t *testing.T) {
 				close(entered)
 				<-release
 				return nil
-			}, s.submit)
+			})
 			done <- err
 		}()
 		<-entered
@@ -184,11 +184,11 @@ func TestRouterGapPolicies(t *testing.T) {
 	t.Run("reject", func(t *testing.T) {
 		r, release, done, s := start(hub.Reject, 2)
 		for i := 0; i < 2; i++ {
-			if err := r.Dispatch("a", ev(i), s.submit); err != nil {
+			if err := r.Dispatch("a", ev(i)); err != nil {
 				t.Fatal(err)
 			}
 		}
-		if err := r.Dispatch("a", ev(2), s.submit); !errors.Is(err, hub.ErrBackpressure) {
+		if err := r.Dispatch("a", ev(2)); !errors.Is(err, hub.ErrBackpressure) {
 			t.Fatalf("full reject gap error = %v", err)
 		}
 		close(release)
@@ -203,7 +203,7 @@ func TestRouterGapPolicies(t *testing.T) {
 	t.Run("drop-oldest", func(t *testing.T) {
 		r, release, done, s := start(hub.DropOldest, 2)
 		for i := 0; i < 4; i++ {
-			if err := r.Dispatch("a", ev(i), s.submit); err != nil {
+			if err := r.Dispatch("a", ev(i)); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -223,12 +223,12 @@ func TestRouterGapPolicies(t *testing.T) {
 	t.Run("block", func(t *testing.T) {
 		r, release, done, s := start(hub.Block, 2)
 		for i := 0; i < 2; i++ {
-			if err := r.Dispatch("a", ev(i), s.submit); err != nil {
+			if err := r.Dispatch("a", ev(i)); err != nil {
 				t.Fatal(err)
 			}
 		}
 		unblocked := make(chan error, 1)
-		go func() { unblocked <- r.Dispatch("a", ev(2), s.submit) }()
+		go func() { unblocked <- r.Dispatch("a", ev(2)) }()
 		select {
 		case err := <-unblocked:
 			t.Fatalf("block-policy dispatch returned early: %v", err)
@@ -253,7 +253,7 @@ func TestRouterControlExcludesMigration(t *testing.T) {
 	r := NewRouter(0)
 	r.AddShard(0)
 	r.AddShard(1)
-	if err := r.Activate("a", 0, hub.Block, 8); err != nil {
+	if err := r.Activate("a", 0, hub.Block, 8, func(int, hub.Event) error { return nil }); err != nil {
 		t.Fatal(err)
 	}
 	entered := make(chan struct{})
@@ -264,7 +264,7 @@ func TestRouterControlExcludesMigration(t *testing.T) {
 			close(entered)
 			<-release
 			return nil
-		}, func(int, hub.Event) error { return nil })
+		})
 		done <- err
 	}()
 	<-entered
@@ -292,7 +292,7 @@ func TestRouterControlExcludesMigration(t *testing.T) {
 	if _, err := r.Migrate("a", 1, func(int) error {
 		t.Fatal("handoff ran for a same-shard migration")
 		return nil
-	}, nil); err != nil {
+	}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -301,7 +301,7 @@ func TestRouterRemoveWaitsOutMigration(t *testing.T) {
 	r := NewRouter(0)
 	r.AddShard(0)
 	r.AddShard(1)
-	if err := r.Activate("a", 0, hub.Block, 8); err != nil {
+	if err := r.Activate("a", 0, hub.Block, 8, func(int, hub.Event) error { return nil }); err != nil {
 		t.Fatal(err)
 	}
 	entered := make(chan struct{})
@@ -311,7 +311,7 @@ func TestRouterRemoveWaitsOutMigration(t *testing.T) {
 			close(entered)
 			<-release
 			return nil
-		}, func(int, hub.Event) error { return nil })
+		})
 	}()
 	<-entered
 	removed := make(chan int, 1)
@@ -343,10 +343,10 @@ func TestRouterConcurrentDispatchMigrate(t *testing.T) {
 	r := NewRouter(0)
 	r.AddShard(0)
 	r.AddShard(1)
-	if err := r.Activate("a", 0, hub.Block, 4096); err != nil {
+	s := newSink()
+	if err := r.Activate("a", 0, hub.Block, 4096, s.submit); err != nil {
 		t.Fatal(err)
 	}
-	s := newSink()
 	const producers = 4
 	const perProducer = 500
 	var wg sync.WaitGroup
@@ -355,7 +355,7 @@ func TestRouterConcurrentDispatchMigrate(t *testing.T) {
 		go func(p int) {
 			defer wg.Done()
 			for i := 0; i < perProducer; i++ {
-				if err := r.Dispatch("a", ev(p*perProducer+i), s.submit); err != nil {
+				if err := r.Dispatch("a", ev(p*perProducer+i)); err != nil {
 					t.Error(err)
 					return
 				}
@@ -366,7 +366,7 @@ func TestRouterConcurrentDispatchMigrate(t *testing.T) {
 		if _, err := r.Migrate("a", (flip+1)%2, func(int) error {
 			time.Sleep(time.Millisecond)
 			return nil
-		}, s.submit); err != nil {
+		}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -384,10 +384,10 @@ func TestRouterConcurrentDispatchMigrateDropOldest(t *testing.T) {
 	r := NewRouter(0)
 	r.AddShard(0)
 	r.AddShard(1)
-	if err := r.Activate("a", 0, hub.DropOldest, 16); err != nil {
+	s := newSink()
+	if err := r.Activate("a", 0, hub.DropOldest, 16, s.submit); err != nil {
 		t.Fatal(err)
 	}
-	s := newSink()
 	const producers = 4
 	const perProducer = 500
 	var wg sync.WaitGroup
@@ -396,7 +396,7 @@ func TestRouterConcurrentDispatchMigrateDropOldest(t *testing.T) {
 		go func(p int) {
 			defer wg.Done()
 			for i := 0; i < perProducer; i++ {
-				if err := r.Dispatch("a", ev(p*perProducer+i), s.submit); err != nil {
+				if err := r.Dispatch("a", ev(p*perProducer+i)); err != nil {
 					t.Error(err)
 					return
 				}
@@ -407,7 +407,7 @@ func TestRouterConcurrentDispatchMigrateDropOldest(t *testing.T) {
 		if _, err := r.Migrate("a", (flip+1)%2, func(int) error {
 			time.Sleep(time.Millisecond)
 			return nil
-		}, s.submit); err != nil {
+		}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -426,10 +426,10 @@ func TestRouterConcurrentDispatchMigrateReject(t *testing.T) {
 	r := NewRouter(0)
 	r.AddShard(0)
 	r.AddShard(1)
-	if err := r.Activate("a", 0, hub.Reject, 16); err != nil {
+	s := newSink()
+	if err := r.Activate("a", 0, hub.Reject, 16, s.submit); err != nil {
 		t.Fatal(err)
 	}
-	s := newSink()
 	const producers = 4
 	const perProducer = 500
 	var rej atomic.Int64
@@ -439,7 +439,7 @@ func TestRouterConcurrentDispatchMigrateReject(t *testing.T) {
 		go func(p int) {
 			defer wg.Done()
 			for i := 0; i < perProducer; i++ {
-				err := r.Dispatch("a", ev(p*perProducer+i), s.submit)
+				err := r.Dispatch("a", ev(p*perProducer+i))
 				if errors.Is(err, hub.ErrBackpressure) {
 					rej.Add(1)
 					continue
@@ -455,7 +455,7 @@ func TestRouterConcurrentDispatchMigrateReject(t *testing.T) {
 		if _, err := r.Migrate("a", (flip+1)%2, func(int) error {
 			time.Sleep(time.Millisecond)
 			return nil
-		}, s.submit); err != nil {
+		}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -475,9 +475,6 @@ func TestRouterMigrateOrderPreserved(t *testing.T) {
 	r := NewRouter(0)
 	r.AddShard(0)
 	r.AddShard(1)
-	if err := r.Activate("a", 0, hub.Block, 4096); err != nil {
-		t.Fatal(err)
-	}
 	var mu sync.Mutex
 	var arrivals []float64
 	submit := func(shard int, e hub.Event) error {
@@ -486,12 +483,15 @@ func TestRouterMigrateOrderPreserved(t *testing.T) {
 		mu.Unlock()
 		return nil
 	}
+	if err := r.Activate("a", 0, hub.Block, 4096, submit); err != nil {
+		t.Fatal(err)
+	}
 	const total = 2000
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
 		for i := 0; i < total; i++ {
-			if err := r.Dispatch("a", ev(i), submit); err != nil {
+			if err := r.Dispatch("a", ev(i)); err != nil {
 				t.Error(err)
 				return
 			}
@@ -505,7 +505,7 @@ func TestRouterMigrateOrderPreserved(t *testing.T) {
 			if _, err := r.Migrate("a", (flips+1)%2, func(int) error {
 				time.Sleep(time.Millisecond)
 				return nil
-			}, submit); err != nil {
+			}); err != nil {
 				t.Fatal(err)
 			}
 			flips++

@@ -159,6 +159,25 @@ type Config struct {
 	// scheduling; nil selects time.Now. Deterministic chaos tests inject
 	// a fake clock.
 	Clock func() time.Time
+	// GroupBatch caps how many same-model tenants one scheduling turn
+	// drains back-to-back on a single worker. Tenants whose processors
+	// report the same non-zero model key (see ModelKeyed) are pulled out of
+	// the run queue together so their batches stream the same shared score
+	// tables while they are cache-hot, instead of interleaving different
+	// models across workers. Grouping changes only which worker drains a
+	// tenant and when — each tenant's batch still runs exactly as ungrouped
+	// (same order, same backpressure), so results are bit-identical.
+	// Defaults to 8; negative disables grouping.
+	GroupBatch int
+}
+
+// ModelKeyed is implemented by processors that can name the model they
+// score against: Handle results depend only on the tenant's own stream and
+// state for any two processors with the same non-zero key, which makes it
+// safe (and profitable) to drain their tenants consecutively on one worker.
+// A zero key means "unknown model" and is never grouped.
+type ModelKeyed interface {
+	ModelKey() uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -190,6 +209,11 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Clock == nil {
 		c.Clock = time.Now
+	}
+	if c.GroupBatch == 0 {
+		c.GroupBatch = 8
+	} else if c.GroupBatch < 0 {
+		c.GroupBatch = 1 // disabled: every turn drains exactly one tenant
 	}
 	return c
 }
@@ -238,6 +262,13 @@ type tenant struct {
 	proc    Processor
 	onError func(Event, error)
 
+	// modelKey caches the processor's ModelKey for the scheduler's grouping
+	// scan. Written at Register and after every successful Update (both
+	// stream-paused points); read lock-free by workers — a stale read can
+	// only degrade grouping quality, never correctness, because grouping
+	// does not change how a tenant's batch is processed.
+	modelKey atomic.Uint64
+
 	ingested  atomic.Uint64
 	processed atomic.Uint64
 	alarms    atomic.Uint64
@@ -264,6 +295,10 @@ type Hub struct {
 	qcond    *sync.Cond
 	runq     []*tenant
 	stopping bool
+
+	// grouped counts tenants drained as same-model group followers (the
+	// group leader's turn is not counted).
+	grouped atomic.Uint64
 
 	wg     sync.WaitGroup
 	closed atomic.Bool
@@ -312,6 +347,9 @@ func (h *Hub) Register(name string, p Processor, cfg TenantConfig) error {
 		lat:     newLatencyRing(h.cfg.LatencySamples),
 	}
 	t.notFull = sync.NewCond(&t.mu)
+	if mk, ok := p.(ModelKeyed); ok {
+		t.modelKey.Store(mk.ModelKey())
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	// The closed check must run under h.mu: Close's drain sweep takes
@@ -447,20 +485,86 @@ func (h *Hub) schedule(t *tenant) {
 
 func (h *Hub) worker() {
 	defer h.wg.Done()
+	// The group slice is owned by this worker and reused every turn, so
+	// steady-state scheduling allocates nothing.
+	group := make([]*tenant, 0, h.cfg.GroupBatch)
 	for {
-		h.qmu.Lock()
-		for len(h.runq) == 0 && !h.stopping {
-			h.qcond.Wait()
-		}
-		if len(h.runq) == 0 {
-			h.qmu.Unlock()
+		var ok bool
+		group, ok = h.drainTurn(group)
+		if !ok {
 			return
 		}
-		t := h.runq[0]
-		h.runq = h.runq[1:]
-		h.qmu.Unlock()
-		t.runBatch(h.cfg.BatchSize)
 	}
+}
+
+// groupScanLimit caps how deep into the run queue a scheduling turn looks
+// for same-model companions, bounding time spent under qmu on huge fleets;
+// 128 entries is far past the point where one GroupBatch fills.
+const groupScanLimit = 128
+
+// drainTurn performs one scheduling turn: block for the head of the run
+// queue, pull out up to GroupBatch-1 more queued tenants serving the same
+// model, and drain one batch from each in sequence so the group's shared
+// score tables stay cache-hot across consecutive batches. Grouped tenants
+// are removed from the run queue exactly as if a worker had popped them —
+// every tenant still runs runBatch with identical semantics (order,
+// counters, backpressure, rescheduling), so grouping cannot change results.
+// Returns ok=false when the hub is stopping and the run queue is empty.
+func (h *Hub) drainTurn(group []*tenant) (_ []*tenant, ok bool) {
+	h.qmu.Lock()
+	for len(h.runq) == 0 && !h.stopping {
+		h.qcond.Wait()
+	}
+	if len(h.runq) == 0 {
+		h.qmu.Unlock()
+		return group, false
+	}
+	t := h.runq[0]
+	h.runq = h.runq[1:]
+	group = h.extractGroupLocked(t, group[:0])
+	h.qmu.Unlock()
+	for i, gt := range group {
+		gt.runBatch(h.cfg.BatchSize)
+		group[i] = nil
+	}
+	return group, true
+}
+
+// extractGroupLocked seeds group with the just-popped leader and extracts
+// up to GroupBatch-1 run-queue tenants sharing its non-zero model key,
+// scanning at most groupScanLimit entries. Extracted tenants are compacted
+// out in place; the remaining queue keeps its order. Caller holds qmu.
+func (h *Hub) extractGroupLocked(t *tenant, group []*tenant) []*tenant {
+	group = append(group, t)
+	want := h.cfg.GroupBatch - 1
+	if want <= 0 || len(h.runq) == 0 {
+		return group
+	}
+	key := t.modelKey.Load()
+	if key == 0 {
+		return group
+	}
+	scan := len(h.runq)
+	if scan > groupScanLimit {
+		scan = groupScanLimit
+	}
+	w, taken := 0, 0
+	for r := 0; r < scan; r++ {
+		c := h.runq[r]
+		if taken < want && c.modelKey.Load() == key {
+			group = append(group, c)
+			taken++
+			continue
+		}
+		h.runq[w] = c
+		w++
+	}
+	if taken > 0 {
+		copy(h.runq[w:], h.runq[scan:])
+		h.runq = h.runq[:len(h.runq)-taken]
+		h.grouped.Add(uint64(taken))
+	}
+	return group
 }
 
 // runBatch drains up to max events from the tenant's queue through its
@@ -620,6 +724,11 @@ func (h *Hub) Update(name string, fn func(Processor) (Processor, error)) error {
 		return errors.New("hub: update returned nil processor")
 	}
 	t.proc = p
+	if mk, ok := p.(ModelKeyed); ok {
+		t.modelKey.Store(mk.ModelKey())
+	} else {
+		t.modelKey.Store(0)
+	}
 	t.updates.Add(1)
 	return nil
 }
@@ -750,6 +859,10 @@ type Stats struct {
 	// Health is Quarantined when any tenant is not Healthy).
 	Total   TenantStats
 	Workers int
+	// Grouped counts tenants drained as same-model group followers — the
+	// scheduler's batching win; zero when grouping is disabled or no two
+	// queued tenants shared a model.
+	Grouped uint64
 }
 
 // statsSnapshot captures one tenant's counters plus its raw latency
@@ -802,7 +915,7 @@ func (h *Hub) Stats() Stats {
 	h.mu.RUnlock()
 	sort.Slice(tenants, func(i, j int) bool { return tenants[i].name < tenants[j].name })
 
-	s := Stats{Tenants: make([]TenantStats, 0, len(tenants)), Workers: h.cfg.Workers}
+	s := Stats{Tenants: make([]TenantStats, 0, len(tenants)), Workers: h.cfg.Workers, Grouped: h.grouped.Load()}
 	var all []float64
 	for _, t := range tenants {
 		ts, samples := t.statsSnapshot()

@@ -173,6 +173,13 @@ type savedCheckpoint struct {
 	// under different parameters would resume with different verdicts.
 	Threshold float64 `json:"scoreThreshold"`
 	KMax      int     `json:"kmax"`
+	// Model is the hex content address (dig fingerprint) of the model the
+	// checkpoint was taken under. Restore validates it against the target
+	// system's fingerprint: the device/threshold/kmax checks catch
+	// configuration drift, but only the fingerprint catches model *content*
+	// drift (same inventory, different CPT counts). Empty in envelopes
+	// written before the field existed; validation is skipped then.
+	Model string `json:"modelFingerprint,omitempty"`
 	// Observed is the monitor's stream position, counting every observed
 	// event including ones skipped with an error.
 	Observed int `json:"observed"`
@@ -329,6 +336,7 @@ func (m *Monitor) WriteCheckpoint(w io.Writer) error {
 		Devices:   names,
 		Threshold: m.sys.threshold,
 		KMax:      m.sys.cfg.KMax,
+		Model:     m.sys.fp.String(),
 		Observed:  m.observed,
 		State:     m.det.Checkpoint(),
 		Lifecycle: m.saveLifecycle(),
@@ -377,6 +385,13 @@ func (m *Monitor) Export(opts ExportOptions) error {
 	return nil
 }
 
+// ErrModelMismatch marks a checkpoint whose embedded model fingerprint does
+// not match the system it is being restored onto: the inventory, threshold,
+// and kmax may all agree, but the CPT content differs, so resuming would
+// produce silently different verdicts. Re-export the model alongside the
+// state (Monitor.Export with both destinations) and restore onto that.
+var ErrModelMismatch = errors.New("causaliot: checkpoint model mismatch")
+
 // RestoreMonitor starts a monitor that resumes a checkpointed stream: the
 // phantom window, pending anomaly chain, and stream position are restored
 // from the envelope written by WriteCheckpoint, and subsequent detections
@@ -417,16 +432,30 @@ func (s *System) RestoreMonitor(r io.Reader) (*Monitor, error) {
 		return nil, fmt.Errorf("causaliot: checkpoint observed %d events but detector position is %d",
 			cp.Observed, cp.State.Seq)
 	}
+	if cp.Model != "" {
+		fp, err := dig.ParseFingerprint(cp.Model)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrModelMismatch, err)
+		}
+		if fp != s.fp {
+			return nil, fmt.Errorf("%w: checkpoint model %s, system model %s", ErrModelMismatch, cp.Model, s.fp)
+		}
+	}
+	// NewMonitor's cache acquire is the restore fast path: a migrated
+	// tenant whose model is already interned on this process re-attaches to
+	// the shared Compiled instead of serving the deserialized private copy.
 	mon, err := s.NewMonitor()
 	if err != nil {
 		return nil, err
 	}
 	if err := mon.det.Restore(cp.State); err != nil {
+		mon.Close()
 		return nil, fmt.Errorf("causaliot: restore checkpoint: %w", err)
 	}
 	mon.observed = cp.Observed
 	if cp.Lifecycle != nil {
 		if err := mon.restoreLifecycle(*cp.Lifecycle); err != nil {
+			mon.Close()
 			return nil, fmt.Errorf("causaliot: restore lifecycle: %w", err)
 		}
 	}
@@ -470,6 +499,11 @@ func (s *System) Extend(log []Event) error {
 	}
 	if res.Series.Len() < s.graph.Tau {
 		return fmt.Errorf("causaliot: extension log too short (%d events, tau %d)", res.Series.Len(), s.graph.Tau)
+	}
+	// A cache-adopted graph is shared read-only with every tenant of the
+	// same model; take a private copy before mutating counts in place.
+	if err := s.ensurePrivateGraph(); err != nil {
+		return err
 	}
 	if err := s.graph.Fit(res.Series); err != nil {
 		return err
