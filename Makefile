@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: tier1 vet race chaos fleet-soak serve-smoke fuzz check bench bench-smoke bench-detect bench-adapt bench-fleet bench-serve bench-paper serve-demo
+.PHONY: tier1 vet race chaos netchaos fleet-soak serve-smoke fuzz check bench bench-smoke bench-detect bench-adapt bench-fleet bench-serve bench-paper serve-demo
 
 tier1:
 	$(GO) build ./... && $(GO) test ./...
@@ -30,9 +30,18 @@ race:
 # model-lifecycle swap/drift stress and soak tests, the fleet
 # router/migration suite, and the wire-protocol server tests, all under the
 # race detector.
-chaos: fleet-soak serve-smoke
-	$(GO) test -race -run 'Chaos|Checkpoint|Quarantine|Wedged|Panic|CloseRace|Stress|SIGTERM|Adaptive|Soak|Fleet|Migrat|Router|Ring|Wire|Server' \
+chaos: fleet-soak serve-smoke netchaos
+	$(GO) test -race -run 'Chaos|Checkpoint|Quarantine|Wedged|Panic|CloseRace|Stress|SIGTERM|Adaptive|Soak|Fleet|Migrat|Router|Ring|Wire|Server|Session' \
 		./internal/hub ./internal/faults ./internal/fleet ./internal/wire ./cmd/causaliot .
+
+# Network-chaos tier: the seeded TCP fault proxy (internal/netchaos) driving
+# wire sessions through kills, corruptions, trickles, flaps, and partitions.
+# The root-level soaks are gated behind CAUSALIOT_NETCHAOS=1 so plain
+# `go test ./...` (tier-1) keeps its wall-clock budget; this target sets the
+# gate and runs them under -race, with the proxy's own unit tests.
+netchaos:
+	CAUSALIOT_NETCHAOS=1 $(GO) test -race -run 'TestNetchaos' -v .
+	$(GO) test -race ./internal/netchaos
 
 # Fleet rebalance soak: an N-shard fleet with a mid-stream shard add
 # (rebalance) and an explicit live migration must land bit-identical to a

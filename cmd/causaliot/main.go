@@ -734,6 +734,10 @@ func cmdServe(args []string) error {
 			*tenants, s.Workers, *policyName, elapsed.Round(time.Millisecond))
 		fmt.Printf("wire: %d conns (%d total), %d events, %d nacks, %d alarms pushed, %d alarm drops, %d auth failures\n",
 			wst.ActiveConns, wst.Conns, wst.Events, wst.Nacks, wst.Alarms, wst.AlarmsDropped, wst.AuthFailures)
+		// accepted == admitted (events) + duplicates: every frame a resumed
+		// producer replays is decided exactly once.
+		fmt.Printf("wire sessions: %d live, %d resumes, %d retransmits, %d duplicates dropped, %d idle evictions, %d alarms banked, %d replayed\n",
+			wst.Sessions, wst.Resumes, wst.Retransmits, wst.Duplicates, wst.EvictedIdle, wst.AlarmsBuffered, wst.AlarmReplays)
 	} else {
 		fmt.Printf("served %d homes × %d events on %d workers (%s policy) in %v\n",
 			*tenants, len(streamLog), s.Workers, *policyName, elapsed.Round(time.Millisecond))

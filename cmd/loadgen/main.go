@@ -4,6 +4,13 @@
 //
 //	loadgen -self-serve -conns 64 -rate 2000 -out BENCH_serve.json
 //	loadgen -addr 10.0.0.5:9070 -token secret -conns 256 -homes 256
+//	loadgen -self-serve -conns 16 -chaos 42
+//
+// -chaos SEED routes every connection through the deterministic
+// network-chaos proxy (seeded kills, corruptions, trickles) and switches
+// producers to fault-tolerant session clients; the report then carries
+// reconnect counts and recovery-latency percentiles alongside the usual
+// throughput numbers.
 //
 // Traffic is synthesized in memory from the simulation testbeds (no CSV
 // files touched): one training log builds the model (-models K builds K
@@ -30,6 +37,7 @@ import (
 
 	"github.com/causaliot/causaliot"
 	"github.com/causaliot/causaliot/internal/event"
+	"github.com/causaliot/causaliot/internal/netchaos"
 	"github.com/causaliot/causaliot/internal/sim"
 	"github.com/causaliot/causaliot/internal/wire"
 )
@@ -70,6 +78,7 @@ type config struct {
 	days      int
 	trainDays int
 	seed      int64
+	chaos     int64
 	testbed   string
 	token     string
 	out       string
@@ -94,6 +103,7 @@ func parseFlags(args []string) (config, error) {
 	fs.IntVar(&cfg.days, "days", 1, "simulated days of runtime traffic per lap")
 	fs.IntVar(&cfg.trainDays, "train-days", 2, "simulated days of training traffic")
 	fs.Int64Var(&cfg.seed, "seed", 1, "traffic synthesis seed")
+	fs.Int64Var(&cfg.chaos, "chaos", 0, "route traffic through a seeded network-chaos proxy with session producers (0 = off)")
 	fs.StringVar(&cfg.testbed, "testbed", "contextact", "testbed to synthesize: contextact|casas")
 	fs.StringVar(&cfg.token, "token", "", "auth token to present in Hello")
 	fs.StringVar(&cfg.out, "out", "", "write the JSON report to this file as well as stdout")
@@ -173,6 +183,18 @@ type serverReport struct {
 	Fleet *causaliot.FleetStats `json:"fleet,omitempty"`
 }
 
+// chaosReport summarizes a -chaos run: what the proxy injected and how the
+// session producers recovered. Recovery latency spans connection death to
+// resumed-and-retransmitted, per successful reconnect.
+type chaosReport struct {
+	Seed            int64          `json:"seed"`
+	Reconnects      uint64         `json:"reconnects"`
+	Retransmits     uint64         `json:"retransmits"`
+	GaveUp          int            `json:"gave_up"`
+	RecoveryLatency latencyReport  `json:"recovery_latency"`
+	Proxy           netchaos.Stats `json:"proxy"`
+}
+
 type report struct {
 	Conns        int           `json:"conns"`
 	Homes        int           `json:"homes"`
@@ -183,6 +205,7 @@ type report struct {
 	ElapsedMS    int64         `json:"elapsed_ms"`
 	EventsPerSec float64       `json:"events_per_sec"`
 	AlarmLatency latencyReport `json:"alarm_latency"`
+	Chaos        *chaosReport  `json:"chaos,omitempty"`
 	Server       *serverReport `json:"server,omitempty"`
 }
 
@@ -245,12 +268,21 @@ func pickPolicy(name string) (causaliot.BackpressurePolicy, error) {
 	}
 }
 
+// sender is the producer-facing surface shared by a plain wire.Client and
+// a fault-tolerant wire.SessionClient (-chaos mode).
+type sender interface {
+	Send(wire.Event) error
+	Flush() error
+	Close() error
+}
+
 // producer is one connection's load state. Send times are indexed by
 // sequence number (seq-1) and read from the client's alarm callback, so
 // they are atomics; latencies are collected under the mutex.
 type producer struct {
-	client    *wire.Client
-	sendTimes []int64 // unix nanos, atomic
+	client    sender
+	session   *wire.SessionClient // non-nil in -chaos mode
+	sendTimes []int64             // unix nanos, atomic
 	nacked    atomic.Uint64
 	alarms    atomic.Uint64
 
@@ -286,7 +318,7 @@ func (p *producer) run(cfg config, stream []causaliot.Event) error {
 		ev := stream[i%len(stream)]
 		shift := time.Duration(i/len(stream)) * span
 		atomic.StoreInt64(&p.sendTimes[i], time.Now().UnixNano())
-		err := p.client.Send(wire.Event{
+		err := p.send(wire.Event{
 			Seq:    uint64(i + 1),
 			Time:   ev.Time.Add(shift),
 			Device: ev.Device,
@@ -302,6 +334,20 @@ func (p *producer) run(cfg config, stream []causaliot.Event) error {
 		}
 	}
 	return p.client.Flush()
+}
+
+// send forwards one event, absorbing the session window's typed
+// backpressure: a full retransmit window flushes and retries instead of
+// failing the run (a plain client never returns ErrSendWindowFull).
+func (p *producer) send(ev wire.Event) error {
+	for {
+		err := p.client.Send(ev)
+		if err == nil || !errors.Is(err, wire.ErrSendWindowFull) {
+			return err
+		}
+		p.client.Flush()
+		time.Sleep(time.Millisecond)
+	}
 }
 
 func percentile(sorted []int64, q float64) int64 {
@@ -408,22 +454,61 @@ func runLoad(cfg config) (*report, error) {
 		}()
 	}
 
+	// -chaos SEED interposes the deterministic network-chaos proxy and
+	// switches producers to fault-tolerant session clients, so the run
+	// measures recovery behaviour instead of dying on the first cut.
+	var proxy *netchaos.Proxy
+	if cfg.chaos != 0 {
+		proxy, err = netchaos.New(netchaos.Config{
+			Target:    addr,
+			Seed:      cfg.chaos,
+			Weights:   netchaos.Weights{Kill: 0.35, Corrupt: 0.1, Trickle: 0.1},
+			MinFrames: 50,
+			MaxFrames: 500,
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer proxy.Close()
+		addr = proxy.Addr()
+	}
+
 	producers := make([]*producer, cfg.conns)
 	for i := range producers {
 		p := &producer{sendTimes: make([]int64, cfg.events)}
-		c, err := wire.Dial(addr, wire.ClientConfig{
+		ccfg := wire.ClientConfig{
 			Token:   cfg.token,
 			Tenant:  fmt.Sprintf("home-%d", i%cfg.homes),
 			OnNack:  func(wire.Nack) { p.nacked.Add(1) },
 			OnAlarm: p.onAlarm,
-		})
-		if err != nil {
-			for _, q := range producers[:i] {
-				q.client.Close()
-			}
-			return nil, fmt.Errorf("conn %d: %w", i, err)
 		}
-		p.client = c
+		if cfg.chaos != 0 {
+			sc, err := wire.OpenSession(wire.SessionConfig{
+				Addr:        addr,
+				Session:     fmt.Sprintf("loadgen-%d", i),
+				Client:      ccfg,
+				BackoffMin:  5 * time.Millisecond,
+				BackoffMax:  500 * time.Millisecond,
+				MaxAttempts: 1 << 20,
+				JitterSeed:  cfg.chaos + int64(i),
+			})
+			if err != nil {
+				for _, q := range producers[:i] {
+					q.client.Close()
+				}
+				return nil, fmt.Errorf("session %d: %w", i, err)
+			}
+			p.client, p.session = sc, sc
+		} else {
+			c, err := wire.Dial(addr, ccfg)
+			if err != nil {
+				for _, q := range producers[:i] {
+					q.client.Close()
+				}
+				return nil, fmt.Errorf("conn %d: %w", i, err)
+			}
+			p.client = c
+		}
 		producers[i] = p
 	}
 
@@ -445,6 +530,28 @@ func runLoad(cfg config) (*report, error) {
 	case err := <-errc:
 		return nil, err
 	default:
+	}
+
+	// Under chaos, events may still sit in retransmit windows after the
+	// send loops finish; keep flushing until every session drains (or the
+	// grace period runs out — a gave-up session never will).
+	if cfg.chaos != 0 {
+		deadline := time.Now().Add(30 * time.Second)
+		for time.Now().Before(deadline) {
+			pending := 0
+			for _, p := range producers {
+				if p.session.Err() != nil {
+					continue // gave up: its window will never drain
+				}
+				pending += p.session.Pending()
+				p.session.Flush()
+				p.session.Ping() // a session ping flushes the server's cumulative ack
+			}
+			if pending == 0 {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
 	}
 
 	// Let in-flight events finish processing so trailing alarms make it
@@ -490,6 +597,33 @@ func runLoad(cfg config) (*report, error) {
 	}
 	if n := len(latencies); n > 0 {
 		rep.AlarmLatency.Max = latencies[n-1]
+	}
+	if cfg.chaos != 0 {
+		cr := &chaosReport{Seed: cfg.chaos}
+		var recov []int64
+		for _, p := range producers {
+			st := p.session.Stats()
+			cr.Reconnects += st.Reconnects
+			cr.Retransmits += st.Retransmits
+			if st.State == wire.StateGaveUp {
+				cr.GaveUp++
+			}
+			for _, d := range st.Recoveries {
+				recov = append(recov, int64(d))
+			}
+		}
+		sort.Slice(recov, func(i, j int) bool { return recov[i] < recov[j] })
+		cr.RecoveryLatency = latencyReport{
+			Samples: len(recov),
+			P50:     percentile(recov, 0.50),
+			P95:     percentile(recov, 0.95),
+			P99:     percentile(recov, 0.99),
+		}
+		if n := len(recov); n > 0 {
+			cr.RecoveryLatency.Max = recov[n-1]
+		}
+		cr.Proxy = proxy.Stats()
+		rep.Chaos = cr
 	}
 	if cfg.selfServe {
 		ws.Close()

@@ -141,3 +141,57 @@ func TestServeSmokeBackpressure(t *testing.T) {
 			srv.Wire.Events, srv.Wire.Nacks, got, rep.EventsSent)
 	}
 }
+
+// TestChaosSmoke runs the -chaos path: session producers through the seeded
+// fault proxy must land every event exactly once regardless of what the
+// proxy injects, and the report must carry the recovery metrics.
+func TestChaosSmoke(t *testing.T) {
+	rep, err := runLoad(config{
+		selfServe: true,
+		conns:     4,
+		homes:     4,
+		events:    500,
+		days:      1,
+		trainDays: 1,
+		seed:      3,
+		chaos:     42,
+		testbed:   "contextact",
+		token:     "tok",
+		tau:       2,
+		kmax:      1,
+		shards:    1,
+		workers:   1,
+		queue:     1024,
+		policy:    "block",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Chaos == nil {
+		t.Fatal("chaos run produced no chaos report")
+	}
+	if rep.Chaos.GaveUp != 0 {
+		t.Fatalf("%d sessions gave up", rep.Chaos.GaveUp)
+	}
+	srv := rep.Server
+	if srv == nil {
+		t.Fatal("self-serve report missing server stats")
+	}
+	// Exactly-once through the chaos: admissions equal unique events sent;
+	// everything the proxy made the sessions resend was deduplicated at the
+	// watermark, never admitted twice.
+	if srv.Wire.Events != rep.EventsSent {
+		t.Errorf("server admitted %d events, %d sent", srv.Wire.Events, rep.EventsSent)
+	}
+	if srv.Wire.Duplicates > srv.Wire.Retransmits {
+		t.Errorf("duplicates (%d) exceed retransmits (%d)", srv.Wire.Duplicates, srv.Wire.Retransmits)
+	}
+	if rep.Chaos.Reconnects > 0 && rep.Chaos.RecoveryLatency.Samples != int(rep.Chaos.Reconnects) {
+		t.Errorf("%d reconnects but %d recovery samples", rep.Chaos.Reconnects, rep.Chaos.RecoveryLatency.Samples)
+	}
+	raised := srv.Hub.Total.Alarms
+	accounted := srv.Wire.Alarms + srv.Wire.AlarmReplays + srv.Wire.AlarmsBuffered + srv.Wire.AlarmsDropped
+	if raised > accounted {
+		t.Errorf("alarm accounting open under chaos: raised %d, accounted %d", raised, accounted)
+	}
+}

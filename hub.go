@@ -209,6 +209,10 @@ type Hub struct {
 	// (LifecycleStats) without going through a stream-pausing Update.
 	procMu sync.Mutex
 	procs  map[string]*tenantProc
+	// refreshWG tracks in-flight background refresh goroutines
+	// (refreshAsync): CloseWithin must not close the monitors while one is
+	// still mid-Swap.
+	refreshWG sync.WaitGroup
 }
 
 // NewHub starts a serving hub and its worker pool. Close it to drain and
@@ -399,7 +403,9 @@ func (h *Hub) Deregister(tenant string) error {
 // re-estimate off-thread against the snapshot, then hot-swap through the
 // hub so no event is dropped or scored against a half-swapped model.
 func (h *Hub) refreshAsync(p *tenantProc, kind RefreshKind) {
+	h.refreshWG.Add(1)
 	go func() {
+		defer h.refreshWG.Done()
 		var (
 			base  timeseries.State
 			steps []timeseries.Step
@@ -601,6 +607,11 @@ func (h *Hub) CloseWithin(d time.Duration) error {
 		return err
 	}
 	close(h.alarms)
+	// A background refresh claimed before the drain finished may still be
+	// mid-Swap on its own goroutine; wait it out (its Update against the
+	// now-closed inner hub fails fast) before touching the monitors —
+	// Close racing Swap is a data race on the monitor's model reference.
+	h.refreshWG.Wait()
 	// Release every hosted monitor's model-cache reference. The procs map
 	// stays intact so post-close Stats/LifecycleStats remain readable
 	// (Monitor.Close does not invalidate reads).

@@ -1,0 +1,433 @@
+// Package netchaos is the deterministic network-chaos harness for the wire
+// stack: a seeded TCP proxy that sits between a wire client and server and
+// injects connection-level faults — refused connects, connections killed
+// mid-frame, corrupted length prefixes, slow-byte trickle — plus manual
+// partition/heal and kill-all controls for scripted flaps.
+//
+// Same philosophy as internal/faults: the same seed yields the same fault
+// plan, so a chaos test that fails replays bit-for-bit. Faults are
+// frame-aligned (the proxy parses the upstream length prefixes), which
+// makes every injection detectable by construction: a kill lands mid-frame
+// (truncation, never a silently dropped whole frame the client thinks was
+// delivered), and a corrupted length sets the top bit, so the server
+// refuses it as oversize instead of misparsing payload bytes into a
+// plausible — and silently wrong — event.
+package netchaos
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind names one per-connection fault.
+type Kind int
+
+const (
+	// Clean proxies the connection faithfully.
+	Clean Kind = iota
+	// Refuse closes the client connection immediately on accept, before
+	// any byte flows — the connection-refused shape.
+	Refuse
+	// Kill forwards frames faithfully until the scheduled frame, then
+	// forwards only half of that frame's body and cuts both directions —
+	// the truncate-mid-frame shape.
+	Kill
+	// Corrupt forwards until the scheduled frame, then sets the top bit
+	// of its length prefix (guaranteed oversize, guaranteed detection)
+	// and cuts the connection.
+	Corrupt
+	// Trickle forwards the scheduled frame one byte at a time with a
+	// small delay per byte — the slow-byte shape that exercises
+	// fragmented reads and idle deadlines — then continues cleanly.
+	Trickle
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Clean:
+		return "clean"
+	case Refuse:
+		return "refuse"
+	case Kill:
+		return "kill"
+	case Corrupt:
+		return "corrupt"
+	case Trickle:
+		return "trickle"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Weights are the per-connection fault probabilities; the remainder is
+// Clean. The sum must not exceed 1.
+type Weights struct {
+	Refuse  float64
+	Kill    float64
+	Corrupt float64
+	Trickle float64
+}
+
+// Config tunes a chaos proxy.
+type Config struct {
+	// Target is the real server address proxied to. Required.
+	Target string
+	// Seed draws every per-connection fault plan; the same seed and
+	// accept order reproduce the same faults.
+	Seed int64
+	// Weights are the per-connection fault probabilities. The zero value
+	// proxies everything cleanly.
+	Weights Weights
+	// MinFrames and MaxFrames bound the frame index a Kill/Corrupt/
+	// Trickle fault triggers at, drawn uniformly per connection.
+	// Defaults: 100 and 400 — a fault every few hundred events.
+	MinFrames int
+	MaxFrames int
+	// TrickleDelay is the per-byte delay of a Trickle fault. Defaults to
+	// 100µs.
+	TrickleDelay time.Duration
+	// MaxFrame bounds the upstream frame size the proxy will parse;
+	// defaults to 1MiB (the wire default). Larger frames kill the
+	// connection.
+	MaxFrame int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinFrames <= 0 {
+		c.MinFrames = 100
+	}
+	if c.MaxFrames <= c.MinFrames {
+		c.MaxFrames = c.MinFrames + 300
+	}
+	if c.TrickleDelay <= 0 {
+		c.TrickleDelay = 100 * time.Microsecond
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = 1 << 20
+	}
+	return c
+}
+
+// Stats snapshots a proxy's counters.
+type Stats struct {
+	// Conns counts accepted connections; Refused/Killed/Corrupted/
+	// Trickled the connections whose scheduled fault fired.
+	Conns     uint64
+	Refused   uint64
+	Killed    uint64
+	Corrupted uint64
+	Trickled  uint64
+	// PartitionDrops counts connections cut or refused by a manual
+	// Partition.
+	PartitionDrops uint64
+	// FramesUp counts client→server frames forwarded intact.
+	FramesUp uint64
+}
+
+// plan is one connection's scheduled fault.
+type plan struct {
+	kind Kind
+	at   int // frame index the fault triggers at
+}
+
+// Proxy is a deterministic chaos TCP proxy. Start it with New, point wire
+// clients at Addr(), and drive scripted outages with Partition/Heal/
+// KillAll. Close stops the listener and cuts every live link.
+type Proxy struct {
+	cfg Config
+	ln  net.Listener
+
+	mu          sync.Mutex
+	links       map[*link]struct{}
+	partitioned bool
+	connIdx     int64
+	closed      bool
+
+	conns          atomic.Uint64
+	refused        atomic.Uint64
+	killed         atomic.Uint64
+	corrupted      atomic.Uint64
+	trickled       atomic.Uint64
+	partitionDrops atomic.Uint64
+	framesUp       atomic.Uint64
+
+	wg sync.WaitGroup
+}
+
+// link is one proxied connection pair.
+type link struct {
+	client, server net.Conn
+	once           sync.Once
+}
+
+func (l *link) cut() {
+	l.once.Do(func() {
+		l.client.Close()
+		if l.server != nil {
+			l.server.Close()
+		}
+	})
+}
+
+// New starts a chaos proxy on a fresh loopback port.
+func New(cfg Config) (*Proxy, error) {
+	if cfg.Target == "" {
+		return nil, errors.New("netchaos: empty target")
+	}
+	w := cfg.Weights
+	if w.Refuse < 0 || w.Kill < 0 || w.Corrupt < 0 || w.Trickle < 0 {
+		return nil, errors.New("netchaos: negative fault weight")
+	}
+	if sum := w.Refuse + w.Kill + w.Corrupt + w.Trickle; sum > 1 {
+		return nil, fmt.Errorf("netchaos: fault weights sum to %v > 1", sum)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{cfg: cfg.withDefaults(), ln: ln, links: make(map[*link]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the address clients should dial.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Stats snapshots the proxy's counters.
+func (p *Proxy) Stats() Stats {
+	return Stats{
+		Conns:          p.conns.Load(),
+		Refused:        p.refused.Load(),
+		Killed:         p.killed.Load(),
+		Corrupted:      p.corrupted.Load(),
+		Trickled:       p.trickled.Load(),
+		PartitionDrops: p.partitionDrops.Load(),
+		FramesUp:       p.framesUp.Load(),
+	}
+}
+
+// Partition cuts every live link and refuses new connections until Heal —
+// the network is gone, not just one connection.
+func (p *Proxy) Partition() {
+	p.mu.Lock()
+	p.partitioned = true
+	links := p.snapshotLocked()
+	p.mu.Unlock()
+	for _, l := range links {
+		p.partitionDrops.Add(1)
+		l.cut()
+	}
+}
+
+// Heal ends a Partition; new connections flow again.
+func (p *Proxy) Heal() {
+	p.mu.Lock()
+	p.partitioned = false
+	p.mu.Unlock()
+}
+
+// KillAll cuts every live link once (a flap) without refusing the
+// reconnects that follow.
+func (p *Proxy) KillAll() {
+	p.mu.Lock()
+	links := p.snapshotLocked()
+	p.mu.Unlock()
+	for _, l := range links {
+		l.cut()
+	}
+}
+
+func (p *Proxy) snapshotLocked() []*link {
+	out := make([]*link, 0, len(p.links))
+	for l := range p.links {
+		out = append(out, l)
+	}
+	return out
+}
+
+// Close stops the proxy and cuts every live link. Idempotent.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return nil
+	}
+	p.closed = true
+	links := p.snapshotLocked()
+	p.mu.Unlock()
+	p.ln.Close()
+	for _, l := range links {
+		l.cut()
+	}
+	p.wg.Wait()
+	return nil
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		nc, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.conns.Add(1)
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			nc.Close()
+			return
+		}
+		if p.partitioned {
+			p.mu.Unlock()
+			p.partitionDrops.Add(1)
+			nc.Close()
+			continue
+		}
+		idx := p.connIdx
+		p.connIdx++
+		p.mu.Unlock()
+		pl := p.planFor(idx)
+		if pl.kind == Refuse {
+			p.refused.Add(1)
+			nc.Close()
+			continue
+		}
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.serve(nc, pl)
+		}()
+	}
+}
+
+// planFor draws connection idx's fault plan. Derivation is per-index, so
+// the plan sequence is stable regardless of goroutine scheduling between
+// accepts.
+func (p *Proxy) planFor(idx int64) plan {
+	mix := uint64(p.cfg.Seed) ^ uint64(idx+1)*0x9E3779B97F4A7C15
+	rng := rand.New(rand.NewSource(int64(mix)))
+	w := p.cfg.Weights
+	r := rng.Float64()
+	var k Kind
+	switch {
+	case r < w.Refuse:
+		k = Refuse
+	case r < w.Refuse+w.Kill:
+		k = Kill
+	case r < w.Refuse+w.Kill+w.Corrupt:
+		k = Corrupt
+	case r < w.Refuse+w.Kill+w.Corrupt+w.Trickle:
+		k = Trickle
+	default:
+		k = Clean
+	}
+	at := p.cfg.MinFrames + rng.Intn(p.cfg.MaxFrames-p.cfg.MinFrames)
+	return plan{kind: k, at: at}
+}
+
+// serve proxies one client connection: downstream (server→client) is
+// copied faithfully; upstream is forwarded frame-aligned so scheduled
+// faults land at precise, reproducible points.
+func (p *Proxy) serve(client net.Conn, pl plan) {
+	server, err := net.Dial("tcp", p.cfg.Target)
+	if err != nil {
+		client.Close()
+		return
+	}
+	l := &link{client: client, server: server}
+	p.mu.Lock()
+	if p.closed || p.partitioned {
+		p.mu.Unlock()
+		l.cut()
+		return
+	}
+	p.links[l] = struct{}{}
+	p.mu.Unlock()
+	defer func() {
+		l.cut()
+		p.mu.Lock()
+		delete(p.links, l)
+		p.mu.Unlock()
+	}()
+
+	done := make(chan struct{})
+	go func() {
+		io.Copy(client, server) // downstream: alarms, acks, nacks
+		l.cut()
+		close(done)
+	}()
+	p.forwardUpstream(l, pl)
+	l.cut()
+	<-done
+}
+
+// forwardUpstream copies client→server frame by frame, firing the
+// scheduled fault at its frame index.
+func (p *Proxy) forwardUpstream(l *link, pl plan) {
+	var hdr [4]byte
+	buf := make([]byte, 0, 4096)
+	for frameIdx := 0; ; frameIdx++ {
+		if _, err := io.ReadFull(l.client, hdr[:]); err != nil {
+			return
+		}
+		n := int(binary.BigEndian.Uint32(hdr[:]))
+		if n < 1 || n > p.cfg.MaxFrame {
+			return
+		}
+		if cap(buf) < n {
+			buf = make([]byte, n)
+		}
+		body := buf[:n]
+		if _, err := io.ReadFull(l.client, body); err != nil {
+			return
+		}
+		if frameIdx == pl.at {
+			switch pl.kind {
+			case Kill:
+				// Truncate mid-frame: the server sees a cut inside the
+				// body; the client believes the frame was sent.
+				p.killed.Add(1)
+				l.server.Write(hdr[:])
+				l.server.Write(body[:n/2])
+				return
+			case Corrupt:
+				// Oversize length prefix: detected at the header, the
+				// payload bytes never reach the server's parser.
+				p.corrupted.Add(1)
+				bad := hdr
+				bad[0] |= 0x80
+				l.server.Write(bad[:])
+				return
+			case Trickle:
+				p.trickled.Add(1)
+				if _, err := l.server.Write(hdr[:]); err != nil {
+					return
+				}
+				for i := range body {
+					if _, err := l.server.Write(body[i : i+1]); err != nil {
+						return
+					}
+					time.Sleep(p.cfg.TrickleDelay)
+				}
+				p.framesUp.Add(1)
+				continue
+			}
+		}
+		if _, err := l.server.Write(hdr[:]); err != nil {
+			return
+		}
+		if _, err := l.server.Write(body); err != nil {
+			return
+		}
+		p.framesUp.Add(1)
+	}
+}

@@ -1,0 +1,273 @@
+package netchaos
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// echoServer accepts frame-shaped payloads and echoes them back verbatim,
+// standing in for the wire server.
+func echoServer(t *testing.T) (addr string, stop func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer nc.Close()
+				io.Copy(nc, nc)
+			}()
+		}
+	}()
+	return ln.Addr().String(), func() { ln.Close() }
+}
+
+func frameOf(payload string) []byte {
+	b := make([]byte, 4, 4+len(payload))
+	binary.BigEndian.PutUint32(b, uint32(len(payload)))
+	return append(b, payload...)
+}
+
+// TestPlanDeterminism: the same seed yields the same per-connection fault
+// plans, independent of when each plan is drawn.
+func TestPlanDeterminism(t *testing.T) {
+	cfg := Config{Target: "x", Seed: 42, Weights: Weights{Refuse: 0.1, Kill: 0.3, Corrupt: 0.2, Trickle: 0.2}}.withDefaults()
+	a := &Proxy{cfg: cfg}
+	b := &Proxy{cfg: cfg}
+	kinds := map[Kind]bool{}
+	for i := int64(0); i < 64; i++ {
+		pa, pb := a.planFor(i), b.planFor(i)
+		if pa != pb {
+			t.Fatalf("conn %d: plan %+v != %+v", i, pa, pb)
+		}
+		if pa.at < cfg.MinFrames || pa.at >= cfg.MaxFrames {
+			t.Fatalf("conn %d: fault frame %d outside [%d,%d)", i, pa.at, cfg.MinFrames, cfg.MaxFrames)
+		}
+		kinds[pa.kind] = true
+	}
+	for _, k := range []Kind{Clean, Refuse, Kill, Corrupt, Trickle} {
+		if !kinds[k] {
+			t.Errorf("64 draws never produced %v", k)
+		}
+	}
+	other := &Proxy{cfg: cfg}
+	other.cfg.Seed = 43
+	diff := 0
+	for i := int64(0); i < 64; i++ {
+		if a.planFor(i) != other.planFor(i) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("different seeds produced identical plans")
+	}
+}
+
+// TestCleanProxyPassesFrames: with no weights, frames round-trip through
+// the proxy byte-for-byte.
+func TestCleanProxyPassesFrames(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := New(Config{Target: addr, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	nc, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	msg := frameOf("hello through the chaos")
+	if _, err := nc.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(nc, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(msg) {
+		t.Fatalf("echo mismatch: %q != %q", got, msg)
+	}
+	if s := p.Stats(); s.Conns != 1 || s.FramesUp != 1 {
+		t.Errorf("stats = %+v, want 1 conn / 1 frame", s)
+	}
+}
+
+// TestKillTruncatesMidFrame: a Kill plan forwards only part of the
+// scheduled frame's body, so the server sees a mid-frame cut.
+func TestKillTruncatesMidFrame(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	gotc := make(chan []byte, 1)
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer nc.Close()
+		all, _ := io.ReadAll(nc)
+		gotc <- all
+	}()
+	// Kill weight 1 with a [1,2) frame window pins the fault: frame 0
+	// passes intact, frame 1 is truncated halfway through its body.
+	p, err := New(Config{Target: ln.Addr().String(), Seed: 7, Weights: Weights{Kill: 1}, MinFrames: 1, MaxFrames: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	nc, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	f0, f1 := frameOf("frame-zero"), frameOf("frame-one!")
+	nc.Write(f0)
+	nc.Write(f1)
+	select {
+	case got := <-gotc:
+		want := len(f0) + 4 + len("frame-one!")/2
+		if len(got) != want {
+			t.Fatalf("server received %d bytes, want truncation at %d", len(got), want)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never saw the truncated stream")
+	}
+	if s := p.Stats(); s.Killed != 1 {
+		t.Errorf("killed = %d, want 1", s.Killed)
+	}
+}
+
+// TestPartitionRefusesAndHeals: a partition cuts live links and refuses
+// new ones; heal restores flow.
+func TestPartitionRefusesAndHeals(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := New(Config{Target: addr, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	nc, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := frameOf("pre-partition")
+	nc.Write(msg)
+	buf := make([]byte, len(msg))
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(nc, buf); err != nil {
+		t.Fatal(err)
+	}
+	p.Partition()
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := nc.Read(buf); err == nil {
+		t.Fatal("read on a partitioned link succeeded")
+	}
+	nc.Close()
+	// During the partition a fresh connection dies immediately.
+	nc2, err := net.Dial("tcp", p.Addr())
+	if err == nil {
+		nc2.SetReadDeadline(time.Now().Add(5 * time.Second))
+		if _, err := nc2.Read(buf); err == nil {
+			t.Fatal("read during partition succeeded")
+		}
+		nc2.Close()
+	}
+	p.Heal()
+	nc3, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc3.Close()
+	nc3.Write(msg)
+	nc3.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(nc3, buf); err != nil {
+		t.Fatalf("post-heal echo failed: %v", err)
+	}
+	if s := p.Stats(); s.PartitionDrops == 0 {
+		t.Error("partition dropped nothing")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil || !strings.Contains(err.Error(), "target") {
+		t.Errorf("empty target error = %v", err)
+	}
+	if _, err := New(Config{Target: "x", Weights: Weights{Kill: 0.9, Refuse: 0.2}}); err == nil || !strings.Contains(err.Error(), "sum") {
+		t.Errorf("overweight error = %v", err)
+	}
+	if _, err := New(Config{Target: "x", Weights: Weights{Kill: -0.1}}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	var kindNames []string
+	for k := Clean; k <= Trickle; k++ {
+		kindNames = append(kindNames, k.String())
+	}
+	if strings.Contains(strings.Join(kindNames, ","), "kind(") {
+		t.Errorf("unnamed kind in %v", kindNames)
+	}
+}
+
+// TestCorruptOversizesLength: the corrupted header's length field must
+// exceed any sane frame cap (top bit set), so a wire server detects it at
+// the header instead of misparsing payload bytes.
+func TestCorruptOversizesLength(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	gotc := make(chan []byte, 1)
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer nc.Close()
+		all, _ := io.ReadAll(nc)
+		gotc <- all
+	}()
+	p, err := New(Config{Target: ln.Addr().String(), Seed: 3, Weights: Weights{Corrupt: 1}, MinFrames: 1, MaxFrames: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	nc, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	f0 := frameOf("ok")
+	nc.Write(f0)
+	nc.Write(frameOf("corrupt-me"))
+	select {
+	case got := <-gotc:
+		if len(got) != len(f0)+4 {
+			t.Fatalf("server received %d bytes, want intact frame + corrupted header (%d)", len(got), len(f0)+4)
+		}
+		n := binary.BigEndian.Uint32(got[len(f0):])
+		if n>>31 != 1 {
+			t.Fatalf("corrupted length = %d, top bit not set", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never saw the stream")
+	}
+	if s := p.Stats(); s.Corrupted != 1 {
+		t.Errorf("corrupted = %d, want 1", s.Corrupted)
+	}
+}

@@ -27,6 +27,22 @@ type ClientConfig struct {
 	// OnAlarm receives every Alarm frame pushed by the server. Called
 	// from the client's reader goroutine.
 	OnAlarm func(Alarm)
+	// Session, when non-empty, names a durable server-side session to
+	// attach: Dial pipelines a session-intent Hello and a Resume frame,
+	// and the handshake completes only after the server's ResumeOK.
+	// Empty keeps the plain v1 handshake.
+	Session string
+	// AlarmIdx is the highest session-alarm index this producer has
+	// already received, echoed in the Resume so the server replays only
+	// the gap. Ignored without Session.
+	AlarmIdx uint64
+	// OnAck receives the server's cumulative event acknowledgements:
+	// every event with Seq at or below the value has been decided.
+	// Session connections only; called from the reader goroutine.
+	OnAck func(seq uint64)
+	// OnSessionAlarm receives session-indexed alarms (replacing OnAlarm
+	// on session connections). Called from the reader goroutine.
+	OnSessionAlarm func(idx uint64, a Alarm)
 }
 
 // Client is one producer connection: Send streams event frames (buffered;
@@ -47,6 +63,10 @@ type Client struct {
 	readDone chan struct{}
 	errMu    sync.Mutex
 	readErr  error
+
+	// Resume handshake results (immutable after Dial).
+	resumeWatermark uint64
+	resumeAlarmIdx  uint64
 }
 
 // Dial connects to a wire server and authenticates the connection to
@@ -69,7 +89,18 @@ func Dial(addr string, cfg ClientConfig) (*Client, error) {
 		readDone: make(chan struct{}),
 	}
 	nc.SetDeadline(time.Now().Add(timeout))
-	hello, err := AppendHello(nil, cfg.Token, cfg.Tenant)
+	var hello []byte
+	if cfg.Session != "" {
+		// Pipeline session-intent Hello + Resume: one round trip covers
+		// the whole handshake, and the server claims the session's alarm
+		// route before any alarm could slip past the replay ring.
+		hello, err = AppendHelloSession(nil, cfg.Token, cfg.Tenant)
+		if err == nil {
+			hello, err = AppendResume(hello, cfg.Session, cfg.AlarmIdx)
+		}
+	} else {
+		hello, err = AppendHello(nil, cfg.Token, cfg.Tenant)
+	}
 	if err != nil {
 		nc.Close()
 		return nil, err
@@ -100,6 +131,32 @@ func Dial(addr string, cfg ClientConfig) (*Client, error) {
 	default:
 		nc.Close()
 		return nil, fmt.Errorf("%w: handshake frame %s", ErrBadFrame, t)
+	}
+	if cfg.Session != "" {
+		t, p, err := r.Next()
+		if err != nil {
+			nc.Close()
+			return nil, fmt.Errorf("wire: resume handshake: %w", err)
+		}
+		switch t {
+		case FrameResumeOK:
+			wm, aidx, perr := ParseResumeOK(p)
+			if perr != nil {
+				nc.Close()
+				return nil, perr
+			}
+			c.resumeWatermark, c.resumeAlarmIdx = wm, aidx
+		case FrameNack:
+			n, perr := ParseNack(p)
+			nc.Close()
+			if perr != nil {
+				return nil, perr
+			}
+			return nil, helloError(n)
+		default:
+			nc.Close()
+			return nil, fmt.Errorf("%w: resume handshake frame %s", ErrBadFrame, t)
+		}
 	}
 	nc.SetDeadline(time.Time{})
 	go c.readLoop(r)
@@ -145,6 +202,26 @@ func (c *Client) readLoop(r *Reader) {
 			if c.cfg.OnAlarm != nil {
 				c.cfg.OnAlarm(a)
 			}
+		case FrameAck:
+			seq, err := ParseAck(p)
+			if err != nil {
+				c.setErr(err)
+				return
+			}
+			if c.cfg.OnAck != nil {
+				c.cfg.OnAck(seq)
+			}
+		case FrameSessionAlarm:
+			idx, a, err := ParseSessionAlarm(p)
+			if err != nil {
+				c.setErr(err)
+				return
+			}
+			if c.cfg.OnSessionAlarm != nil {
+				c.cfg.OnSessionAlarm(idx, a)
+			}
+		case FramePong:
+			// Keepalive reply; receiving it already reset our read state.
 		default:
 			c.setErr(fmt.Errorf("%w: unexpected %s frame from server", ErrBadFrame, t))
 			return
@@ -168,15 +245,42 @@ func (c *Client) Err() error {
 	return c.readErr
 }
 
+// Done is closed when the reader goroutine exits — the connection is dead
+// (or Close ran) and Err carries the reason.
+func (c *Client) Done() <-chan struct{} { return c.readDone }
+
+// ResumeState reports the server's answer to this connection's Resume: the
+// session's decided-event watermark and its alarm index at attach time.
+// Zero values on a plain (non-session) connection.
+func (c *Client) ResumeState() (watermark, alarmIdx uint64) {
+	return c.resumeWatermark, c.resumeAlarmIdx
+}
+
 // Send buffers one event frame toward the server. Frames are flushed when
 // the buffer fills; call Flush to push a partial batch (e.g. when pacing).
+// After the connection dies, Send returns the terminal error instead of
+// buffering into a dead pipe.
 func (c *Client) Send(ev Event) error {
+	return c.sendEvent(ev, AppendEvent)
+}
+
+// SendRetx buffers one retransmitted event frame — identical payload to
+// Send under the EventRetx type, so the server's retransmit accounting
+// stays honest.
+func (c *Client) SendRetx(ev Event) error {
+	return c.sendEvent(ev, AppendEventRetx)
+}
+
+func (c *Client) sendEvent(ev Event, enc func([]byte, Event) ([]byte, error)) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
 		return ErrClientClosed
 	}
-	frame, err := AppendEvent(c.scratch[:0], ev)
+	if err := c.Err(); err != nil {
+		return err
+	}
+	frame, err := enc(c.scratch[:0], ev)
 	if err != nil {
 		return err
 	}
@@ -185,12 +289,42 @@ func (c *Client) Send(ev Event) error {
 	return err
 }
 
+// Ping enqueues and flushes a keepalive frame, refreshing the server's
+// idle deadline for this connection.
+func (c *Client) Ping() error {
+	return c.sendRaw(AppendPing(nil))
+}
+
+// AckAlarm sends the cumulative session-alarm receipt: the server may
+// prune its replay ring up to idx.
+func (c *Client) AckAlarm(idx uint64) error {
+	return c.sendRaw(AppendAlarmAck(nil, idx))
+}
+
+func (c *Client) sendRaw(frame []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClientClosed
+	}
+	if err := c.Err(); err != nil {
+		return err
+	}
+	if _, err := c.bw.Write(frame); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
 // Flush pushes any buffered event frames onto the wire.
 func (c *Client) Flush() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
 		return ErrClientClosed
+	}
+	if err := c.Err(); err != nil {
+		return err
 	}
 	return c.bw.Flush()
 }

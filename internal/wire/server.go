@@ -44,6 +44,28 @@ type ServerConfig struct {
 	// HelloTimeout bounds how long a fresh connection may sit silent
 	// before its Hello. Defaults to 10s.
 	HelloTimeout time.Duration
+	// IdleTimeout evicts an authenticated connection that delivers no
+	// frame for this long — a wedged or half-dead producer must not hold
+	// a reader goroutine forever. Session clients keep quiet links alive
+	// with Ping frames. <= 0 applies the 2-minute default; set negative
+	// via NoIdleTimeout semantics is not supported — use a large value to
+	// effectively disable.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each socket write; a peer that stops reading
+	// (TCP window collapsed) is evicted instead of wedging the writer
+	// goroutine. Defaults to 30s.
+	WriteTimeout time.Duration
+	// AckEvery is the cumulative-acknowledgement cadence for session
+	// connections: one Ack frame per this many decided events. Defaults
+	// to 32.
+	AckEvery int
+	// SessionAlarmBuffer caps each session's undelivered-alarm replay
+	// ring. Overflow evicts the oldest unconfirmed alarm and counts it in
+	// Stats.AlarmsDropped. Defaults to AlarmBuffer.
+	SessionAlarmBuffer int
+	// MaxSessions caps the session table; a Resume beyond it is refused.
+	// Defaults to 65536.
+	MaxSessions int
 	// Logf receives operational log lines (first alarm drop per
 	// connection, refused Hellos); nil disables logging.
 	Logf func(format string, args ...any)
@@ -59,6 +81,21 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	if c.HelloTimeout <= 0 {
 		c.HelloTimeout = 10 * time.Second
 	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 2 * time.Minute
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 30 * time.Second
+	}
+	if c.AckEvery <= 0 {
+		c.AckEvery = 32
+	}
+	if c.SessionAlarmBuffer <= 0 {
+		c.SessionAlarmBuffer = c.AlarmBuffer
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 65536
+	}
 	if c.Classify == nil {
 		c.Classify = func(error) Code { return CodeInternal }
 	}
@@ -71,36 +108,95 @@ type ServerStats struct {
 	// Conns counts every connection ever accepted.
 	ActiveConns int
 	Conns       uint64
-	// Events counts accepted event frames; Nacks the refused ones (the
-	// sum is the total event frames received).
-	Events uint64
-	Nacks  uint64
-	// Alarms counts alarm frames pushed to producers; AlarmsDropped the
-	// alarms discarded because a connection's outbound queue was full.
-	Alarms        uint64
-	AlarmsDropped uint64
+	// Events counts event frames admitted to the backend; Nacks the
+	// refused ones; Duplicates the frames dropped at a session watermark
+	// because an earlier connection already delivered them (acknowledged
+	// to the producer, never re-admitted). Every event frame received is
+	// exactly one of the three: accepted == admitted + duplicates.
+	Events     uint64
+	Nacks      uint64
+	Duplicates uint64
+	// Retransmits counts EventRetx frames received — the session tail a
+	// reconnecting producer replays (each lands as an admission, a Nack,
+	// or a Duplicate like any other event frame).
+	Retransmits uint64
+	// Sessions is the current session-table size; Resumes counts accepted
+	// Resume frames (session attach or re-attach).
+	Sessions int
+	Resumes  uint64
+	// EvictedIdle counts connections cut by the read-idle or write
+	// deadline — wedged peers reaped instead of held forever.
+	EvictedIdle uint64
+	// Alarms counts alarm frames pushed to live producers at raise time;
+	// AlarmsBuffered the alarms banked in a session's replay ring while
+	// no (responsive) connection was attached; AlarmReplays the ring
+	// entries re-pushed after a Resume. AlarmsDropped counts alarms lost
+	// for real: a plain connection's full queue, or a session ring
+	// overflowing with unconfirmed alarms.
+	Alarms         uint64
+	AlarmsBuffered uint64
+	AlarmReplays   uint64
+	AlarmsDropped  uint64
 	// AuthFailures counts refused Hellos.
 	AuthFailures uint64
 }
+
+// session is the durable per-(tenant, name) state that outlives any one
+// connection: the decided-event watermark for exactly-once admission, and a
+// bounded ring of unconfirmed alarms replayed on resume.
+//
+// Two mutexes split the two concerns deliberately: evMu is held across
+// Backend.Submit (which may block under a Block backpressure policy), and
+// the alarm sink — invoked on the tenant's stream thread, which must never
+// wait behind a blocked Submit — takes only alarmMu.
+type session struct {
+	tenant, name string
+
+	evMu      sync.Mutex
+	watermark uint64 // highest Seq decided (admitted or nacked)
+	sinceAck  int
+
+	alarmMu  sync.Mutex
+	conn     *srvConn // connection currently attached; nil while orphaned
+	alarmSeq uint64   // last assigned session-alarm index
+	ring     []sessAlarm
+	ringCap  int
+}
+
+// sessAlarm is one banked alarm: its session index and the pre-encoded
+// SessionAlarm frame (replay is a straight enqueue, no re-encoding).
+type sessAlarm struct {
+	idx   uint64
+	frame []byte
+}
+
+func sessionKey(tenant, name string) string { return tenant + "\x00" + name }
 
 // Server accepts wire connections and bridges them onto a Backend. All
 // methods are safe for concurrent use.
 type Server struct {
 	cfg ServerConfig
 
-	mu     sync.Mutex
-	lns    map[net.Listener]struct{}
-	conns  map[*srvConn]struct{}
-	owners map[string]*srvConn // tenant → connection receiving its alarms
-	closed bool
+	mu       sync.Mutex
+	lns      map[net.Listener]struct{}
+	conns    map[*srvConn]struct{}
+	owners   map[string]*srvConn // tenant → plain connection receiving its alarms
+	sessions map[string]*session
+	closed   bool
 
-	active        atomic.Int64
-	totalConns    atomic.Uint64
-	events        atomic.Uint64
-	nacks         atomic.Uint64
-	alarms        atomic.Uint64
-	alarmsDropped atomic.Uint64
-	authFailures  atomic.Uint64
+	active         atomic.Int64
+	totalConns     atomic.Uint64
+	events         atomic.Uint64
+	nacks          atomic.Uint64
+	duplicates     atomic.Uint64
+	retransmits    atomic.Uint64
+	resumes        atomic.Uint64
+	evictedIdle    atomic.Uint64
+	alarms         atomic.Uint64
+	alarmsBuffered atomic.Uint64
+	alarmReplays   atomic.Uint64
+	alarmsDropped  atomic.Uint64
+	authFailures   atomic.Uint64
 }
 
 // NewServer creates a wire server over a backend; call Serve with one or
@@ -110,10 +206,11 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		return nil, errors.New("wire: server with nil backend")
 	}
 	return &Server{
-		cfg:    cfg.withDefaults(),
-		lns:    make(map[net.Listener]struct{}),
-		conns:  make(map[*srvConn]struct{}),
-		owners: make(map[string]*srvConn),
+		cfg:      cfg.withDefaults(),
+		lns:      make(map[net.Listener]struct{}),
+		conns:    make(map[*srvConn]struct{}),
+		owners:   make(map[string]*srvConn),
+		sessions: make(map[string]*session),
 	}, nil
 }
 
@@ -163,8 +260,9 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 }
 
-// Close stops accepting, closes every live connection, and unroutes their
-// alarm sinks. Idempotent.
+// Close stops accepting, closes every live connection (including half-open
+// ones still waiting for their Hello), drops all session state, and
+// unroutes every alarm sink. Idempotent.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -179,33 +277,56 @@ func (s *Server) Close() error {
 	for c := range s.conns {
 		conns = append(conns, c)
 	}
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.sessions = make(map[string]*session)
 	s.mu.Unlock()
 	for _, c := range conns {
 		c.nc.Close()
+	}
+	// Orphaned sessions hold their tenants' alarm routes (banking alarms
+	// for a resume that will never come now); restore default delivery.
+	for _, sess := range sessions {
+		_ = s.cfg.Backend.RouteAlarms(sess.tenant, nil)
 	}
 	return nil
 }
 
 // Stats snapshots the server's counters.
 func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	nsess := len(s.sessions)
+	s.mu.Unlock()
 	return ServerStats{
-		ActiveConns:   int(s.active.Load()),
-		Conns:         s.totalConns.Load(),
-		Events:        s.events.Load(),
-		Nacks:         s.nacks.Load(),
-		Alarms:        s.alarms.Load(),
-		AlarmsDropped: s.alarmsDropped.Load(),
-		AuthFailures:  s.authFailures.Load(),
+		ActiveConns:    int(s.active.Load()),
+		Conns:          s.totalConns.Load(),
+		Events:         s.events.Load(),
+		Nacks:          s.nacks.Load(),
+		Duplicates:     s.duplicates.Load(),
+		Retransmits:    s.retransmits.Load(),
+		Sessions:       nsess,
+		Resumes:        s.resumes.Load(),
+		EvictedIdle:    s.evictedIdle.Load(),
+		Alarms:         s.alarms.Load(),
+		AlarmsBuffered: s.alarmsBuffered.Load(),
+		AlarmReplays:   s.alarmReplays.Load(),
+		AlarmsDropped:  s.alarmsDropped.Load(),
+		AuthFailures:   s.authFailures.Load(),
 	}
 }
 
 // srvConn is one accepted connection: a reader loop (this goroutine), a
 // writer goroutine serializing Nack and Alarm frames, and — once
-// authenticated — an alarm route claimed on the backend.
+// authenticated — an alarm route claimed on the backend, either directly
+// (plain v1 connection) or through a durable session.
 type srvConn struct {
 	srv    *Server
 	nc     net.Conn
 	tenant string
+	sess   *session // attached by a Resume frame; nil on plain connections
+	clean  bool     // Bye received: teardown retires the session
 
 	out      chan outFrame // encoded frames toward the producer
 	done     chan struct{}
@@ -250,7 +371,7 @@ func (c *srvConn) trySend(frame []byte) bool {
 }
 
 func (c *srvConn) writeLoop() {
-	bw := newFlushWriter(c.nc)
+	bw := newFlushWriter(deadlineWriter{nc: c.nc, timeout: c.srv.cfg.WriteTimeout})
 	failed := false
 	for {
 		select {
@@ -258,6 +379,11 @@ func (c *srvConn) writeLoop() {
 			if !failed {
 				if err := bw.write(f.b, len(c.out) == 0); err != nil {
 					failed = true
+					if isTimeout(err) {
+						c.srv.evictedIdle.Add(1)
+						c.srv.logf("wire: evicting %s (tenant %q): write stalled past %v",
+							c.nc.RemoteAddr(), c.tenant, c.srv.cfg.WriteTimeout)
+					}
 					c.nc.Close() // wake the reader; it finishes the conn
 				}
 			}
@@ -270,6 +396,11 @@ func (c *srvConn) writeLoop() {
 			return
 		}
 	}
+}
+
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 func (s *Server) handle(nc net.Conn) {
@@ -290,8 +421,33 @@ func (s *Server) handle(nc net.Conn) {
 	go c.writeLoop()
 	defer func() {
 		c.finish()
-		s.mu.Lock()
-		delete(s.conns, c)
+		s.teardown(c)
+	}()
+
+	r := NewReader(nc, s.cfg.MaxFrame)
+	nc.SetReadDeadline(time.Now().Add(s.cfg.HelloTimeout))
+	sessionIntent, err := s.hello(c, r)
+	if err != nil {
+		s.authFailures.Add(1)
+		return
+	}
+	// The Hello deadline is cleared symmetrically: the read loop below
+	// re-arms its own idle deadline before every read.
+	nc.SetReadDeadline(time.Time{})
+	s.active.Add(1)
+	defer s.active.Add(-1)
+	s.readLoop(c, r, sessionIntent)
+}
+
+// teardown unwinds one connection's registrations. A plain connection
+// releases its alarm route back to default delivery; a session connection
+// only detaches — the session keeps the route and banks alarms for the
+// resume — unless a Bye retired it (clean departure restores defaults).
+func (s *Server) teardown(c *srvConn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	sess := c.sess
+	if sess == nil {
 		if c.tenant != "" && s.owners[c.tenant] == c {
 			delete(s.owners, c.tenant)
 			s.mu.Unlock()
@@ -299,21 +455,25 @@ func (s *Server) handle(nc net.Conn) {
 			// delivery; a newer connection for the same tenant already
 			// rerouted them and is skipped above.
 			_ = s.cfg.Backend.RouteAlarms(c.tenant, nil)
-		} else {
-			s.mu.Unlock()
+			return
 		}
-	}()
-
-	r := NewReader(nc, s.cfg.MaxFrame)
-	nc.SetReadDeadline(time.Now().Add(s.cfg.HelloTimeout))
-	if err := s.hello(c, r); err != nil {
-		s.authFailures.Add(1)
+		s.mu.Unlock()
 		return
 	}
-	nc.SetReadDeadline(time.Time{})
-	s.active.Add(1)
-	defer s.active.Add(-1)
-	s.readLoop(c, r)
+	retire := false
+	sess.alarmMu.Lock()
+	if sess.conn == c {
+		sess.conn = nil
+		retire = c.clean
+	}
+	sess.alarmMu.Unlock()
+	if retire {
+		delete(s.sessions, sessionKey(sess.tenant, sess.name))
+	}
+	s.mu.Unlock()
+	if retire {
+		_ = s.cfg.Backend.RouteAlarms(sess.tenant, nil)
+	}
 }
 
 // nackClose sends one final Nack and waits (bounded) for it to reach the
@@ -338,41 +498,47 @@ func (c *srvConn) nackClose(n Nack) {
 
 // hello performs the authentication handshake; any error means the
 // connection is refused (a Nack with the reason was sent when possible).
-func (s *Server) hello(c *srvConn, r *Reader) error {
+// sessionIntent reports a client that announced it will Resume: its alarm
+// route is claimed by the session attach instead of here, so no alarm can
+// slip past the session's replay ring between Welcome and Resume.
+func (s *Server) hello(c *srvConn, r *Reader) (sessionIntent bool, err error) {
 	t, p, err := s.nextFrame(c, r)
 	if err != nil {
-		return err
+		return false, err
 	}
 	if t != FrameHello {
 		c.nackClose(Nack{Code: CodeProtocol, Detail: fmt.Sprintf("expected hello, got %s", t)})
-		return fmt.Errorf("%w: first frame %s", ErrBadFrame, t)
+		return false, fmt.Errorf("%w: first frame %s", ErrBadFrame, t)
 	}
-	ver, token, tenant, err := ParseHello(p)
+	ver, token, tenant, sessionIntent, err := ParseHello(p)
 	if err != nil {
 		c.nackClose(Nack{Code: CodeProtocol, Detail: "malformed hello"})
-		return err
+		return false, err
 	}
 	if ver != Version {
 		c.nackClose(Nack{Code: CodeProtocol, Detail: fmt.Sprintf("protocol version %d, want %d", ver, Version)})
-		return fmt.Errorf("%w: version %d", ErrBadFrame, ver)
+		return false, fmt.Errorf("%w: version %d", ErrBadFrame, ver)
 	}
 	if err := s.cfg.Backend.Authenticate(token, tenant); err != nil {
 		c.nackClose(Nack{Code: s.cfg.Classify(err), Detail: "authentication rejected"})
 		s.logf("wire: refused connection from %s for tenant %q: %v", c.nc.RemoteAddr(), tenant, err)
-		return err
+		return false, err
 	}
-	if err := s.claimAlarms(tenant, c); err != nil {
-		c.nackClose(Nack{Code: s.cfg.Classify(err), Detail: err.Error()})
-		s.logf("wire: refused connection from %s: %v", c.nc.RemoteAddr(), err)
-		return err
+	if !sessionIntent {
+		if err := s.claimAlarms(tenant, c); err != nil {
+			c.nackClose(Nack{Code: s.cfg.Classify(err), Detail: err.Error()})
+			s.logf("wire: refused connection from %s: %v", c.nc.RemoteAddr(), err)
+			return false, err
+		}
 	}
 	c.tenant = tenant
 	c.send(AppendWelcome(nil, uint32(s.cfg.MaxFrame)))
-	return nil
+	return sessionIntent, nil
 }
 
-// claimAlarms routes the tenant's alarms to this connection, displacing a
-// previous connection for the same tenant (the newest producer wins).
+// claimAlarms routes the tenant's alarms to this plain connection,
+// displacing a previous connection for the same tenant (the newest
+// producer wins).
 func (s *Server) claimAlarms(tenant string, c *srvConn) error {
 	s.mu.Lock()
 	prev, hadPrev := s.owners[tenant]
@@ -394,8 +560,115 @@ func (s *Server) claimAlarms(tenant string, c *srvConn) error {
 	return nil
 }
 
-// pushAlarm encodes one alarm onto a connection's outbound queue. It runs
-// on the tenant's stream thread: never block, count what cannot be sent.
+// attachSession binds c to the (tenant, name) session, creating it on
+// first use, and routes the tenant's alarms through the session sink. It
+// returns the encoded ResumeOK and the banked alarm frames to replay.
+func (s *Server) attachSession(c *srvConn, name string, alarmIdx uint64) (resumeOK []byte, replay [][]byte, err error) {
+	key := sessionKey(c.tenant, name)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, nil, errors.New("wire: server closed")
+	}
+	sess, ok := s.sessions[key]
+	if !ok {
+		if len(s.sessions) >= s.cfg.MaxSessions {
+			s.mu.Unlock()
+			return nil, nil, fmt.Errorf("wire: session table full (%d sessions)", s.cfg.MaxSessions)
+		}
+		sess = &session{tenant: c.tenant, name: name, ringCap: s.cfg.SessionAlarmBuffer}
+		s.sessions[key] = sess
+	}
+	// A plain connection may still own this tenant's alarm route; the
+	// session claim below displaces it at the backend, so drop the stale
+	// owner entry to keep that connection's teardown from clearing the
+	// session's route later.
+	delete(s.owners, c.tenant)
+	s.mu.Unlock()
+
+	sess.alarmMu.Lock()
+	// The client's receipt index confirms everything at or below it;
+	// prune, then snapshot the tail to replay.
+	sess.pruneLocked(alarmIdx)
+	for _, sa := range sess.ring {
+		replay = append(replay, sa.frame)
+	}
+	sess.conn = c
+	aidx := sess.alarmSeq
+	sess.alarmMu.Unlock()
+
+	sess.evMu.Lock()
+	wm := sess.watermark
+	sess.evMu.Unlock()
+
+	if err := s.cfg.Backend.RouteAlarms(c.tenant, s.sessionSink(sess)); err != nil {
+		sess.alarmMu.Lock()
+		if sess.conn == c {
+			sess.conn = nil
+		}
+		sess.alarmMu.Unlock()
+		return nil, nil, err
+	}
+	c.sess = sess
+	s.resumes.Add(1)
+	return AppendResumeOK(nil, wm, aidx), replay, nil
+}
+
+// pruneLocked drops ring entries the client has confirmed. Callers hold
+// alarmMu.
+func (sess *session) pruneLocked(idx uint64) {
+	keep := 0
+	for ; keep < len(sess.ring) && sess.ring[keep].idx <= idx; keep++ {
+	}
+	if keep > 0 {
+		sess.ring = append(sess.ring[:0], sess.ring[keep:]...)
+	}
+}
+
+// sessionSink banks every alarm in the session's replay ring and pushes it
+// to the attached connection when one is listening. Runs on the tenant's
+// stream thread: never blocks, never touches evMu.
+func (s *Server) sessionSink(sess *session) func(Alarm) {
+	return func(a Alarm) {
+		sess.alarmMu.Lock()
+		sess.alarmSeq++
+		idx := sess.alarmSeq
+		frame, err := AppendSessionAlarm(nil, idx, a)
+		if err != nil {
+			sess.alarmMu.Unlock()
+			s.alarmsDropped.Add(1)
+			return
+		}
+		if len(sess.ring) >= sess.ringCap {
+			// Every ring entry is unconfirmed (receipts pruned it), so an
+			// eviction is a real, counted loss — never silent.
+			sess.ring = append(sess.ring[:0], sess.ring[1:]...)
+			s.alarmsDropped.Add(1)
+		}
+		sess.ring = append(sess.ring, sessAlarm{idx: idx, frame: frame})
+		c := sess.conn
+		sess.alarmMu.Unlock()
+		if c == nil {
+			s.alarmsBuffered.Add(1)
+			return
+		}
+		if c.trySend(frame) {
+			s.alarms.Add(1)
+			return
+		}
+		// Queue full on a live connection: the alarm stays banked in the
+		// ring and reaches the producer on its next resume.
+		s.alarmsBuffered.Add(1)
+		if c.alarmDropLogged.CompareAndSwap(false, true) {
+			s.logf("wire: alarm queue full for tenant %q on %s; banked for replay (first occurrence — producer not reading, or raise AlarmBuffer)",
+				c.tenant, c.nc.RemoteAddr())
+		}
+	}
+}
+
+// pushAlarm encodes one alarm onto a plain connection's outbound queue. It
+// runs on the tenant's stream thread: never block, count what cannot be
+// sent.
 func (s *Server) pushAlarm(c *srvConn, a Alarm) {
 	frame, err := AppendAlarm(nil, a)
 	if err != nil {
@@ -426,38 +699,173 @@ func (s *Server) nextFrame(c *srvConn, r *Reader) (FrameType, []byte, error) {
 	return t, p, nil
 }
 
-func (s *Server) readLoop(c *srvConn, r *Reader) {
+// decideEvent runs one event frame through the session watermark (exactly
+// once per sequence number) or straight to the backend for plain
+// connections. It returns false only when the connection must close.
+func (s *Server) decideEvent(c *srvConn, ev Event, retx bool) bool {
+	if retx {
+		s.retransmits.Add(1)
+	}
+	sess := c.sess
+	var ack []byte
+	if sess != nil {
+		sess.evMu.Lock()
+		if ev.Seq <= sess.watermark {
+			// Already decided by a previous delivery: acknowledged (the
+			// cumulative ack below covers it) but never re-admitted.
+			s.duplicates.Add(1)
+			sess.sinceAck++
+			if sess.sinceAck >= s.cfg.AckEvery {
+				sess.sinceAck = 0
+				ack = AppendAck(nil, sess.watermark)
+			}
+			sess.evMu.Unlock()
+			if ack != nil {
+				c.send(ack)
+			}
+			return true
+		}
+		// evMu stays held across Submit: a zombie connection racing the
+		// resumed one serializes here, keeping admission exactly-once and
+		// in sequence order. The alarm path never takes evMu, so a Block
+		// policy waiting out a full queue cannot deadlock the stream
+		// thread.
+		err := s.cfg.Backend.Submit(c.tenant, ev)
+		sess.watermark = ev.Seq
+		sess.sinceAck++
+		if sess.sinceAck >= s.cfg.AckEvery {
+			sess.sinceAck = 0
+			ack = AppendAck(nil, ev.Seq)
+		}
+		sess.evMu.Unlock()
+		s.finishDecide(c, ev, err)
+		if ack != nil {
+			c.send(ack)
+		}
+		return true
+	}
+	s.finishDecide(c, ev, s.cfg.Backend.Submit(c.tenant, ev))
+	return true
+}
+
+func (s *Server) finishDecide(c *srvConn, ev Event, err error) {
+	if err != nil {
+		s.nacks.Add(1)
+		frame, ferr := AppendNack(nil, Nack{Seq: ev.Seq, Code: s.cfg.Classify(err), Detail: err.Error()})
+		if ferr == nil {
+			c.send(frame)
+		}
+		return
+	}
+	s.events.Add(1)
+}
+
+func (s *Server) readLoop(c *srvConn, r *Reader, sessionIntent bool) {
+	idle := s.cfg.IdleTimeout
+	var deadlineAt time.Time
 	for {
+		// Re-arm the idle deadline lazily: a syscall only when more than
+		// half the window has burned, so a hot stream pays ~one
+		// SetReadDeadline per half-window, not one per frame.
+		if idle > 0 {
+			now := time.Now()
+			if deadlineAt.Sub(now) <= idle/2 {
+				deadlineAt = now.Add(idle)
+				c.nc.SetReadDeadline(deadlineAt)
+			}
+		}
 		t, p, err := s.nextFrame(c, r)
 		if err != nil {
-			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+			if isTimeout(err) {
+				s.evictedIdle.Add(1)
+				s.logf("wire: evicting %s (tenant %q): no frame in %v", c.nc.RemoteAddr(), c.tenant, idle)
+			} else if err != io.EOF && !errors.Is(err, net.ErrClosed) {
 				s.logf("wire: connection %s (tenant %q): %v", c.nc.RemoteAddr(), c.tenant, err)
 			}
 			return
 		}
+		// A session-intent connection must attach before anything else so
+		// its alarm route never dangles.
+		if sessionIntent && c.sess == nil && t != FrameResume && t != FrameBye && t != FramePing {
+			c.nackClose(Nack{Code: CodeProtocol, Detail: fmt.Sprintf("expected resume, got %s", t)})
+			return
+		}
 		switch t {
-		case FrameEvent:
+		case FrameEvent, FrameEventRetx:
 			ev, err := ParseEvent(p)
 			if err != nil {
 				c.nackClose(Nack{Code: CodeProtocol, Detail: "malformed event"})
 				return
 			}
-			if err := s.cfg.Backend.Submit(c.tenant, ev); err != nil {
-				s.nacks.Add(1)
-				frame, ferr := AppendNack(nil, Nack{Seq: ev.Seq, Code: s.cfg.Classify(err), Detail: err.Error()})
-				if ferr == nil {
-					c.send(frame)
-				}
-				continue
+			if !s.decideEvent(c, ev, t == FrameEventRetx) {
+				return
 			}
-			s.events.Add(1)
+		case FrameResume:
+			if c.sess != nil {
+				c.nackClose(Nack{Code: CodeProtocol, Detail: "duplicate resume"})
+				return
+			}
+			name, alarmIdx, err := ParseResume(p)
+			if err != nil {
+				c.nackClose(Nack{Code: CodeProtocol, Detail: "malformed resume"})
+				return
+			}
+			resumeOK, replay, err := s.attachSession(c, name, alarmIdx)
+			if err != nil {
+				c.nackClose(Nack{Code: s.cfg.Classify(err), Detail: err.Error()})
+				s.logf("wire: refused resume from %s (tenant %q, session %q): %v",
+					c.nc.RemoteAddr(), c.tenant, name, err)
+				return
+			}
+			c.send(resumeOK)
+			for _, frame := range replay {
+				s.alarmReplays.Add(1)
+				c.send(frame)
+			}
+		case FrameAlarmAck:
+			idx, err := ParseAlarmAck(p)
+			if err != nil || c.sess == nil {
+				c.nackClose(Nack{Code: CodeProtocol, Detail: "unexpected alarm-ack"})
+				return
+			}
+			c.sess.alarmMu.Lock()
+			c.sess.pruneLocked(idx)
+			c.sess.alarmMu.Unlock()
+		case FramePing:
+			// A session's Ping also flushes the cumulative ack: the tail
+			// below the AckEvery cadence would otherwise sit unacked in the
+			// producer's retransmit window forever once the stream goes
+			// quiet.
+			if sess := c.sess; sess != nil {
+				sess.evMu.Lock()
+				sess.sinceAck = 0
+				ack := AppendAck(nil, sess.watermark)
+				sess.evMu.Unlock()
+				c.send(ack)
+			}
+			c.send(AppendPong(nil))
 		case FrameBye:
+			c.clean = true
 			return
 		default:
 			c.nackClose(Nack{Code: CodeProtocol, Detail: fmt.Sprintf("unexpected %s frame", t)})
 			return
 		}
 	}
+}
+
+// deadlineWriter arms a write deadline before every socket write so a peer
+// that stopped reading cannot wedge the writer goroutine forever.
+type deadlineWriter struct {
+	nc      net.Conn
+	timeout time.Duration
+}
+
+func (w deadlineWriter) Write(p []byte) (int, error) {
+	if w.timeout > 0 {
+		w.nc.SetWriteDeadline(time.Now().Add(w.timeout))
+	}
+	return w.nc.Write(p)
 }
 
 // flushWriter batches frame writes, flushing when the outbound queue goes

@@ -1,0 +1,579 @@
+package wire
+
+import (
+	"errors"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSessionWatermarkExactlyOnce drives the duplicate-admission mechanics
+// deterministically, no timing: a first session connection delivers 1..10,
+// a second resumes and replays 5..10 before continuing with 11..15. The
+// backend must admit each Seq exactly once and the replays must show up as
+// retransmits + duplicates, never as re-admissions.
+func TestSessionWatermarkExactlyOnce(t *testing.T) {
+	b := newFakeBackend("", "home-0")
+	addr, s := startServer(t, b, func(cfg *ServerConfig) { cfg.AckEvery = 4 })
+
+	c1, err := Dial(addr, ClientConfig{Tenant: "home-0", Session: "prod"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wm, _ := c1.ResumeState(); wm != 0 {
+		t.Fatalf("fresh session watermark = %d", wm)
+	}
+	for i := 1; i <= 10; i++ {
+		if err := c1.Send(Event{Seq: uint64(i), Device: "light"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c1.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "first batch", func() bool {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		return len(b.events) == 10
+	})
+
+	// Second connection resumes the same session: the server reports the
+	// decided watermark, and replayed events below it are dropped.
+	c2, err := Dial(addr, ClientConfig{Tenant: "home-0", Session: "prod"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if wm, _ := c2.ResumeState(); wm != 10 {
+		t.Fatalf("resumed watermark = %d, want 10", wm)
+	}
+	for i := 5; i <= 10; i++ {
+		if err := c2.SendRetx(Event{Seq: uint64(i), Device: "light"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 11; i <= 15; i++ {
+		if err := c2.Send(Event{Seq: uint64(i), Device: "light"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "second batch", func() bool {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		return len(b.events) == 15
+	})
+	b.mu.Lock()
+	seen := map[uint64]int{}
+	for _, ev := range b.events {
+		seen[ev.Seq]++
+	}
+	b.mu.Unlock()
+	for i := uint64(1); i <= 15; i++ {
+		if seen[i] != 1 {
+			t.Errorf("seq %d admitted %d times", i, seen[i])
+		}
+	}
+	st := s.Stats()
+	if st.Events != 15 || st.Duplicates != 6 || st.Retransmits != 6 {
+		t.Errorf("stats = events %d dups %d retx %d, want 15/6/6", st.Events, st.Duplicates, st.Retransmits)
+	}
+	if st.Resumes != 2 {
+		t.Errorf("resumes = %d, want 2", st.Resumes)
+	}
+	c1.Close()
+}
+
+// TestSessionAlarmBankAndReplay: alarms raised while no connection is
+// attached are banked in the session ring and replayed on the next resume;
+// nothing is lost, nothing delivered twice.
+func TestSessionAlarmBankAndReplay(t *testing.T) {
+	b := newFakeBackend("", "home-0")
+	addr, s := startServer(t, b, nil)
+
+	alarms1 := make(chan Alarm, 16)
+	c1, err := Dial(addr, ClientConfig{Tenant: "home-0", Session: "prod",
+		OnSessionAlarm: func(idx uint64, a Alarm) { alarms1 <- a }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "alarm route", func() bool {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		return len(b.sinks) == 1
+	})
+	if !b.push("home-0", Alarm{Seq: 1, Score: 0.9}) {
+		t.Fatal("no sink")
+	}
+	var first Alarm
+	select {
+	case first = <-alarms1:
+	case <-time.After(10 * time.Second):
+		t.Fatal("live alarm not delivered")
+	}
+	if first.Seq != 1 {
+		t.Fatalf("alarm = %+v", first)
+	}
+	// Kill the connection without a Bye: the session must survive and
+	// keep the route, banking alarms raised in the gap.
+	c1.nc.Close()
+	<-c1.Done()
+	waitFor(t, "connection teardown", func() bool {
+		st := s.Stats()
+		return st.ActiveConns == 0 && st.Sessions == 1
+	})
+	b.mu.Lock()
+	routed := len(b.sinks) == 1
+	b.mu.Unlock()
+	if !routed {
+		t.Fatal("session lost the alarm route on connection death")
+	}
+	b.push("home-0", Alarm{Seq: 2, Score: 0.8})
+	b.push("home-0", Alarm{Seq: 3, Score: 0.7})
+	waitFor(t, "banked alarms", func() bool { return s.Stats().AlarmsBuffered == 2 })
+
+	// Resume confirming receipt of alarm idx 1: only 2 and 3 replay.
+	alarms2 := make(chan Alarm, 16)
+	c2, err := Dial(addr, ClientConfig{Tenant: "home-0", Session: "prod", AlarmIdx: 1,
+		OnSessionAlarm: func(idx uint64, a Alarm) { alarms2 <- a }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	var got []uint64
+	for len(got) < 2 {
+		select {
+		case a := <-alarms2:
+			got = append(got, a.Seq)
+		case <-time.After(10 * time.Second):
+			t.Fatalf("replay stalled after %v", got)
+		}
+	}
+	if got[0] != 2 || got[1] != 3 {
+		t.Fatalf("replayed seqs = %v, want [2 3]", got)
+	}
+	select {
+	case a := <-alarms2:
+		t.Fatalf("extra alarm %+v: confirmed alarm replayed", a)
+	case <-time.After(50 * time.Millisecond):
+	}
+	st := s.Stats()
+	if st.AlarmReplays != 2 || st.AlarmsDropped != 0 {
+		t.Errorf("replays %d drops %d, want 2/0", st.AlarmReplays, st.AlarmsDropped)
+	}
+}
+
+// TestSessionByeRetires: a clean Bye deletes the session and restores the
+// tenant's default alarm delivery.
+func TestSessionByeRetires(t *testing.T) {
+	b := newFakeBackend("", "home-0")
+	addr, s := startServer(t, b, nil)
+	c, err := Dial(addr, ClientConfig{Tenant: "home-0", Session: "prod"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "session attach", func() bool { return s.Stats().Sessions == 1 })
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "session retire", func() bool { return s.Stats().Sessions == 0 })
+	waitFor(t, "route cleanup", func() bool {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		return len(b.sinks) == 0
+	})
+}
+
+// killServer is a scripted fake server for the error-propagation table: it
+// speaks just enough of the protocol to die at a precise point.
+type killPoint int
+
+const (
+	killPreHello killPoint = iota
+	killPostHello
+	killMidEvent
+	killMidNack
+)
+
+func runKillServer(t *testing.T, point killPoint) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer nc.Close()
+		if point == killPreHello {
+			return // cut before even reading the Hello
+		}
+		r := NewReader(nc, 0)
+		if _, _, err := r.Next(); err != nil { // the Hello
+			return
+		}
+		nc.Write(AppendWelcome(nil, DefaultMaxFrame))
+		switch point {
+		case killPostHello:
+			return
+		case killMidEvent:
+			// Read one event frame, then cut mid-conversation.
+			r.Next()
+			return
+		case killMidNack:
+			// Send a truncated Nack: full header claiming 32 bytes, only
+			// 5 delivered — the client reader dies inside the frame.
+			nack, _ := AppendNack(nil, Nack{Seq: 1, Code: CodeInternal, Detail: "doomed"})
+			nc.Write(nack[:headerLen+5])
+			return
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestClientErrorPropagationOnTornConnections: whatever point the server
+// dies at, Send must return the connection error (not block or panic) and
+// Err must be sticky.
+func TestClientErrorPropagationOnTornConnections(t *testing.T) {
+	cases := []struct {
+		name  string
+		point killPoint
+	}{
+		{"pre-hello", killPreHello},
+		{"post-hello", killPostHello},
+		{"mid-event", killMidEvent},
+		{"mid-nack", killMidNack},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			addr := runKillServer(t, tc.point)
+			c, err := Dial(addr, ClientConfig{Tenant: "home-0"})
+			if tc.point == killPreHello {
+				if err == nil {
+					c.Close()
+					t.Fatal("dial succeeded against a pre-hello kill")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("dial: %v", err)
+			}
+			defer c.Close()
+			if tc.point == killMidEvent {
+				c.Send(Event{Seq: 1, Device: "light"})
+				c.Flush()
+			}
+			select {
+			case <-c.Done():
+			case <-time.After(10 * time.Second):
+				t.Fatal("reader never observed the kill")
+			}
+			first := c.Err()
+			if first == nil {
+				t.Fatal("Err nil after reader death")
+			}
+			if tc.point == killMidNack && !errors.Is(first, ErrBadFrame) {
+				t.Errorf("mid-nack error = %v, want ErrBadFrame wrap", first)
+			}
+			// Send after the kill: returns the connection error promptly.
+			done := make(chan error, 1)
+			go func() { done <- c.Send(Event{Seq: 2, Device: "light"}) }()
+			select {
+			case err := <-done:
+				if err == nil {
+					t.Error("Send on a torn connection returned nil")
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatal("Send blocked on a torn connection")
+			}
+			// Err is sticky: same terminal error on every later call.
+			if again := c.Err(); !errors.Is(again, first) && again.Error() != first.Error() {
+				t.Errorf("Err not sticky: %v then %v", first, again)
+			}
+		})
+	}
+}
+
+// TestServerIdleEviction: a connection that goes silent past IdleTimeout
+// is evicted and counted; one that keeps pinging survives.
+func TestServerIdleEviction(t *testing.T) {
+	b := newFakeBackend("", "home-0")
+	addr, s := startServer(t, b, func(cfg *ServerConfig) { cfg.IdleTimeout = 250 * time.Millisecond })
+
+	silent, err := Dial(addr, ClientConfig{Tenant: "home-0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer silent.Close()
+	waitFor(t, "idle eviction", func() bool { return s.Stats().EvictedIdle == 1 })
+	select {
+	case <-silent.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("evicted client never saw the cut")
+	}
+
+	lively, err := Dial(addr, ClientConfig{Tenant: "home-0", Session: "keeper"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lively.Close()
+	for i := 0; i < 12; i++ {
+		if err := lively.Ping(); err != nil {
+			t.Fatalf("ping %d: %v", i, err)
+		}
+		time.Sleep(40 * time.Millisecond)
+	}
+	if lively.Err() != nil {
+		t.Fatalf("pinging client evicted: %v", lively.Err())
+	}
+	if got := s.Stats().EvictedIdle; got != 1 {
+		t.Errorf("evictions = %d, want only the silent client", got)
+	}
+}
+
+// TestServerCloseReapsHalfOpenConns: connections stuck before their Hello
+// must not survive Server.Close, and the whole accept/teardown cycle must
+// not leak goroutines.
+func TestServerCloseReapsHalfOpenConns(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	b := newFakeBackend("", "home-0")
+	s, err := NewServer(ServerConfig{Backend: b, Classify: b.classify, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ln) }()
+
+	// Half-open connections: TCP established, Hello never sent.
+	var raw []net.Conn
+	for i := 0; i < 8; i++ {
+		nc, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw = append(raw, nc)
+	}
+	// Plus one authenticated session connection mid-flight.
+	c, err := Dial(ln.Addr().String(), ClientConfig{Tenant: "home-0", Session: "prod"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "session attach", func() bool { return s.Stats().Sessions == 1 })
+
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	// Every half-open conn was cut: reads fail instead of hanging.
+	for i, nc := range raw {
+		nc.SetReadDeadline(time.Now().Add(10 * time.Second))
+		if _, err := nc.Read(make([]byte, 1)); err == nil {
+			t.Errorf("half-open conn %d still alive after Close", i)
+		}
+		nc.Close()
+	}
+	<-c.Done()
+	c.Close()
+	// Session state and routes are gone.
+	if s.Stats().Sessions != 0 {
+		t.Errorf("sessions survive Close: %d", s.Stats().Sessions)
+	}
+	b.mu.Lock()
+	sinks := len(b.sinks)
+	b.mu.Unlock()
+	if sinks != 0 {
+		t.Errorf("%d alarm routes survive Close", sinks)
+	}
+	// No goroutine leaks: reader/writer pairs for all 9 conns are gone.
+	waitFor(t, "goroutines to drain", func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= baseline+2
+	})
+}
+
+// TestSessionClientReconnectsThroughFlaps: the SessionClient survives
+// repeated connection kills with zero event loss and zero duplicate
+// admission, observing the state transitions along the way.
+func TestSessionClientReconnectsThroughFlaps(t *testing.T) {
+	b := newFakeBackend("", "home-0")
+	addr, s := startServer(t, b, func(cfg *ServerConfig) { cfg.AckEvery = 8 })
+
+	var stMu sync.Mutex
+	var states []SessionState
+	sc, err := OpenSession(SessionConfig{
+		Addr:       addr,
+		Session:    "prod",
+		Client:     ClientConfig{Tenant: "home-0"},
+		BackoffMin: 5 * time.Millisecond,
+		BackoffMax: 50 * time.Millisecond,
+		JitterSeed: 11,
+		OnStateChange: func(st SessionState) {
+			stMu.Lock()
+			states = append(states, st)
+			stMu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+
+	const total = 600
+	for i := 1; i <= total; i++ {
+		for {
+			err := sc.Send(Event{Seq: uint64(i), Device: "light", Value: float64(i % 2)})
+			if err == nil {
+				break
+			}
+			if errors.Is(err, ErrSendWindowFull) {
+				sc.Flush()
+				time.Sleep(time.Millisecond)
+				continue
+			}
+			t.Fatalf("send %d: %v", i, err)
+		}
+		if i%50 == 0 {
+			sc.Flush()
+			// Kill whatever connection is currently attached, mid-stream.
+			s.mu.Lock()
+			for c := range s.conns {
+				c.nc.Close()
+			}
+			s.mu.Unlock()
+		}
+	}
+	sc.Flush()
+	waitFor(t, "all events admitted", func() bool {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		return len(b.events) == total
+	})
+	b.mu.Lock()
+	var last uint64
+	ok := true
+	for _, ev := range b.events {
+		if ev.Seq != last+1 {
+			ok = false
+			break
+		}
+		last = ev.Seq
+	}
+	b.mu.Unlock()
+	if !ok {
+		t.Fatal("admitted sequence has gaps or duplicates")
+	}
+	cst := sc.Stats()
+	if cst.Reconnects == 0 {
+		t.Error("no reconnects despite scripted kills")
+	}
+	if len(cst.Recoveries) != int(cst.Reconnects) {
+		t.Errorf("recoveries %d != reconnects %d", len(cst.Recoveries), cst.Reconnects)
+	}
+	sst := s.Stats()
+	if sst.Events != total {
+		t.Errorf("admitted %d, want %d", sst.Events, total)
+	}
+	stMu.Lock()
+	sawDegraded, sawReconnect := false, false
+	for i, st := range states {
+		if st == StateDegraded {
+			sawDegraded = true
+		}
+		if st == StateConnected && i > 0 {
+			sawReconnect = true
+		}
+	}
+	stMu.Unlock()
+	if !sawDegraded || !sawReconnect {
+		t.Errorf("state transitions missing: %v", states)
+	}
+}
+
+// TestSessionClientTypedBackpressureAndSeqOrder: a full window is
+// ErrSendWindowFull, a regressing Seq is ErrSeqOrder, and give-up after
+// MaxAttempts is sticky ErrSessionGaveUp.
+func TestSessionClientTypedBackpressureAndSeqOrder(t *testing.T) {
+	b := newFakeBackend("", "home-0")
+	addr, s := startServer(t, b, nil)
+
+	states := make(chan SessionState, 32)
+	sc, err := OpenSession(SessionConfig{
+		Addr:        addr,
+		Session:     "prod",
+		Client:      ClientConfig{Tenant: "home-0"},
+		Window:      4,
+		MaxAttempts: 2,
+		BackoffMin:  time.Millisecond,
+		BackoffMax:  5 * time.Millisecond,
+		JitterSeed:  3,
+		OnStateChange: func(st SessionState) {
+			select {
+			case states <- st:
+			default:
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	if err := sc.Send(Event{Seq: 5, Device: "d"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Send(Event{Seq: 5, Device: "d"}); !errors.Is(err, ErrSeqOrder) {
+		t.Fatalf("regressing seq error = %v", err)
+	}
+	// Tear the server down entirely: the window stops draining and the
+	// reconnect loop runs out of attempts.
+	s.Close()
+	for i := uint64(6); ; i++ {
+		err := sc.Send(Event{Seq: i, Device: "d"})
+		if errors.Is(err, ErrSendWindowFull) {
+			break
+		}
+		if errors.Is(err, ErrSessionGaveUp) {
+			break // gave up before the window filled; equally terminal
+		}
+		if err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+		if i > 20 {
+			t.Fatal("window never filled")
+		}
+	}
+	waitFor(t, "give-up", func() bool { return errors.Is(sc.Err(), ErrSessionGaveUp) })
+	if err := sc.Send(Event{Seq: 100, Device: "d"}); !errors.Is(err, ErrSessionGaveUp) {
+		t.Fatalf("post-give-up send error = %v", err)
+	}
+	if !errors.Is(sc.Err(), ErrSessionGaveUp) {
+		t.Fatal("give-up not sticky")
+	}
+	sawGaveUp := false
+	for {
+		select {
+		case st := <-states:
+			if st == StateGaveUp {
+				sawGaveUp = true
+			}
+			continue
+		default:
+		}
+		break
+	}
+	if !sawGaveUp {
+		t.Error("OnStateChange never reported gave-up")
+	}
+}

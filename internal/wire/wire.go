@@ -53,6 +53,18 @@ var (
 	ErrBadAuth = errors.New("wire: authentication rejected")
 	// ErrClientClosed reports an operation on a closed client.
 	ErrClientClosed = errors.New("wire: client closed")
+	// ErrSendWindowFull reports a SessionClient whose bounded ring of
+	// sent-but-unacknowledged events is full: the producer is outrunning
+	// the server (or a reconnect is in progress). Typed backpressure — the
+	// caller owns the retry; nothing is silently shed.
+	ErrSendWindowFull = errors.New("wire: send window full")
+	// ErrSessionGaveUp reports a SessionClient that exhausted its
+	// reconnect attempts; every later Send and Err returns it.
+	ErrSessionGaveUp = errors.New("wire: session gave up reconnecting")
+	// ErrSeqOrder reports an event whose sequence number is not strictly
+	// greater than the previous one; session resume is cumulative-ack
+	// based, so a session producer must assign strictly increasing Seq.
+	ErrSeqOrder = errors.New("wire: event sequence not strictly increasing")
 )
 
 // FrameType identifies a frame's payload layout.
@@ -75,6 +87,39 @@ const (
 	FrameAlarm FrameType = 5
 	// FrameBye announces a graceful client shutdown.
 	FrameBye FrameType = 6
+	// FrameResume joins the handshake right after Hello: it names a
+	// durable session (scoped to the connection's tenant) whose event
+	// watermark and undelivered-alarm tail survive connection death. The
+	// payload carries the highest session-alarm index the client has
+	// already received, so the server replays only the gap.
+	FrameResume FrameType = 7
+	// FrameResumeOK answers a Resume with the session's event watermark
+	// (every Seq at or below it has been decided — admitted or Nacked) and
+	// the server's current session-alarm index.
+	FrameResumeOK FrameType = 8
+	// FrameAck is the server's cumulative event acknowledgement for a
+	// session connection: every event with Seq at or below the carried
+	// value has been decided, so the producer may release it from its
+	// retransmit ring.
+	FrameAck FrameType = 9
+	// FrameEventRetx carries an event retransmitted after a resume — the
+	// payload is identical to FrameEvent; the distinct type keeps the
+	// server's retransmit accounting honest.
+	FrameEventRetx FrameType = 10
+	// FramePing is an empty client keepalive; it refreshes the server's
+	// read-idle deadline and is answered with a Pong.
+	FramePing FrameType = 11
+	// FramePong is the empty server reply to a Ping.
+	FramePong FrameType = 12
+	// FrameSessionAlarm is an Alarm prefixed with the session's
+	// monotonically increasing alarm index; only session connections
+	// receive it (plain connections get FrameAlarm), and the index is what
+	// a Resume echoes back so no alarm is lost to a dead connection.
+	FrameSessionAlarm FrameType = 13
+	// FrameAlarmAck is the client's cumulative session-alarm receipt: the
+	// server prunes its replay ring up to the carried index, so ring
+	// evictions only ever discard alarms the client has not confirmed.
+	FrameAlarmAck FrameType = 14
 )
 
 func (t FrameType) String() string {
@@ -91,6 +136,22 @@ func (t FrameType) String() string {
 		return "alarm"
 	case FrameBye:
 		return "bye"
+	case FrameResume:
+		return "resume"
+	case FrameResumeOK:
+		return "resume-ok"
+	case FrameAck:
+		return "ack"
+	case FrameEventRetx:
+		return "event-retx"
+	case FramePing:
+		return "ping"
+	case FramePong:
+		return "pong"
+	case FrameSessionAlarm:
+		return "session-alarm"
+	case FrameAlarmAck:
+		return "alarm-ack"
 	default:
 		return fmt.Sprintf("frame(%d)", uint8(t))
 	}
@@ -240,16 +301,34 @@ func AppendHello(dst []byte, token, tenant string) ([]byte, error) {
 	return frame(dst, at), nil
 }
 
-// ParseHello decodes a Hello payload.
-func ParseHello(p []byte) (version uint8, token, tenant string, err error) {
+// AppendHelloSession encodes a Hello announcing session intent: the v1
+// payload plus a trailing capability byte. A v1 server ignores trailing
+// Hello bytes, so the handshake stays compatible in both directions; a
+// session-aware server defers alarm routing until the Resume frame that
+// must follow, closing the window where an alarm could bypass the
+// session's replay ring.
+func AppendHelloSession(dst []byte, token, tenant string) ([]byte, error) {
+	out, err := AppendHello(dst, token, tenant)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, 1)
+	binary.BigEndian.PutUint32(out[len(dst):], uint32(len(out)-len(dst)-headerLen))
+	return out, nil
+}
+
+// ParseHello decodes a Hello payload. session reports the trailing
+// capability byte a resuming client appends; a v1 Hello leaves it false.
+func ParseHello(p []byte) (version uint8, token, tenant string, session bool, err error) {
 	d := decoder{p: p}
 	version = d.u8()
 	token = d.str()
 	tenant = d.str()
 	if d.fail {
-		return 0, "", "", fmt.Errorf("%w: hello", ErrBadFrame)
+		return 0, "", "", false, fmt.Errorf("%w: hello", ErrBadFrame)
 	}
-	return version, token, tenant, nil
+	session = len(d.p) > 0 && d.p[0] == 1
+	return version, token, tenant, session, nil
 }
 
 // AppendWelcome encodes a Welcome frame onto dst.
@@ -325,6 +404,18 @@ func ParseNack(p []byte) (Nack, error) {
 // AppendAlarm encodes an Alarm frame onto dst.
 func AppendAlarm(dst []byte, a Alarm) ([]byte, error) {
 	dst, at := begin(dst, FrameAlarm)
+	return appendAlarmBody(dst, at, a)
+}
+
+// AppendSessionAlarm encodes a SessionAlarm frame: the session's alarm
+// index, then the regular alarm payload.
+func AppendSessionAlarm(dst []byte, idx uint64, a Alarm) ([]byte, error) {
+	dst, at := begin(dst, FrameSessionAlarm)
+	dst = binary.BigEndian.AppendUint64(dst, idx)
+	return appendAlarmBody(dst, at, a)
+}
+
+func appendAlarmBody(dst []byte, at int, a Alarm) ([]byte, error) {
 	dst = binary.BigEndian.AppendUint64(dst, a.Seq)
 	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(a.Score))
 	var flags byte
@@ -360,6 +451,21 @@ func AppendAlarm(dst []byte, a Alarm) ([]byte, error) {
 // ParseAlarm decodes an Alarm payload.
 func ParseAlarm(p []byte) (Alarm, error) {
 	d := decoder{p: p}
+	return parseAlarmBody(&d)
+}
+
+// ParseSessionAlarm decodes a SessionAlarm payload.
+func ParseSessionAlarm(p []byte) (uint64, Alarm, error) {
+	d := decoder{p: p}
+	idx := d.u64()
+	a, err := parseAlarmBody(&d)
+	if err != nil {
+		return 0, Alarm{}, err
+	}
+	return idx, a, nil
+}
+
+func parseAlarmBody(d *decoder) (Alarm, error) {
 	a := Alarm{Seq: d.u64(), Score: math.Float64frombits(d.u64())}
 	a.Abrupt = d.u8()&alarmFlagAbrupt != 0
 	n := int(d.u16())
@@ -392,6 +498,106 @@ func ParseAlarm(p []byte) (Alarm, error) {
 // AppendBye encodes a Bye frame onto dst.
 func AppendBye(dst []byte) []byte {
 	dst, at := begin(dst, FrameBye)
+	return frame(dst, at)
+}
+
+// AppendEventRetx encodes a retransmitted event: the Event payload under
+// the EventRetx frame type.
+func AppendEventRetx(dst []byte, ev Event) ([]byte, error) {
+	out, err := AppendEvent(dst, ev)
+	if err != nil {
+		return nil, err
+	}
+	out[len(dst)+headerLen] = byte(FrameEventRetx)
+	return out, nil
+}
+
+// AppendResume encodes a Resume frame: the session name and the highest
+// session-alarm index the client has already received.
+func AppendResume(dst []byte, session string, alarmIdx uint64) ([]byte, error) {
+	dst, at := begin(dst, FrameResume)
+	var err error
+	if dst, err = appendString(dst, session); err != nil {
+		return nil, err
+	}
+	dst = binary.BigEndian.AppendUint64(dst, alarmIdx)
+	return frame(dst, at), nil
+}
+
+// ParseResume decodes a Resume payload.
+func ParseResume(p []byte) (session string, alarmIdx uint64, err error) {
+	d := decoder{p: p}
+	session = d.str()
+	alarmIdx = d.u64()
+	if d.fail || session == "" {
+		return "", 0, fmt.Errorf("%w: resume", ErrBadFrame)
+	}
+	return session, alarmIdx, nil
+}
+
+// AppendResumeOK encodes a ResumeOK frame: the session's decided-event
+// watermark and its current alarm index.
+func AppendResumeOK(dst []byte, watermark, alarmIdx uint64) []byte {
+	dst, at := begin(dst, FrameResumeOK)
+	dst = binary.BigEndian.AppendUint64(dst, watermark)
+	dst = binary.BigEndian.AppendUint64(dst, alarmIdx)
+	return frame(dst, at)
+}
+
+// ParseResumeOK decodes a ResumeOK payload.
+func ParseResumeOK(p []byte) (watermark, alarmIdx uint64, err error) {
+	d := decoder{p: p}
+	watermark = d.u64()
+	alarmIdx = d.u64()
+	if d.fail {
+		return 0, 0, fmt.Errorf("%w: resume-ok", ErrBadFrame)
+	}
+	return watermark, alarmIdx, nil
+}
+
+// AppendAck encodes a cumulative event acknowledgement.
+func AppendAck(dst []byte, seq uint64) []byte {
+	dst, at := begin(dst, FrameAck)
+	dst = binary.BigEndian.AppendUint64(dst, seq)
+	return frame(dst, at)
+}
+
+// ParseAck decodes an Ack payload.
+func ParseAck(p []byte) (uint64, error) {
+	d := decoder{p: p}
+	seq := d.u64()
+	if d.fail {
+		return 0, fmt.Errorf("%w: ack", ErrBadFrame)
+	}
+	return seq, nil
+}
+
+// AppendAlarmAck encodes a cumulative session-alarm receipt.
+func AppendAlarmAck(dst []byte, idx uint64) []byte {
+	dst, at := begin(dst, FrameAlarmAck)
+	dst = binary.BigEndian.AppendUint64(dst, idx)
+	return frame(dst, at)
+}
+
+// ParseAlarmAck decodes an AlarmAck payload.
+func ParseAlarmAck(p []byte) (uint64, error) {
+	d := decoder{p: p}
+	idx := d.u64()
+	if d.fail {
+		return 0, fmt.Errorf("%w: alarm-ack", ErrBadFrame)
+	}
+	return idx, nil
+}
+
+// AppendPing encodes a Ping frame onto dst.
+func AppendPing(dst []byte) []byte {
+	dst, at := begin(dst, FramePing)
+	return frame(dst, at)
+}
+
+// AppendPong encodes a Pong frame onto dst.
+func AppendPong(dst []byte) []byte {
+	dst, at := begin(dst, FramePong)
 	return frame(dst, at)
 }
 
@@ -479,7 +685,7 @@ func (r *Reader) Next() (FrameType, []byte, error) {
 		if err == io.EOF {
 			return 0, nil, io.EOF
 		}
-		return 0, nil, fmt.Errorf("%w: header: %v", ErrBadFrame, err)
+		return 0, nil, fmt.Errorf("%w: header: %w", ErrBadFrame, err)
 	}
 	n := int(binary.BigEndian.Uint32(hdr[:]))
 	if n > r.max {
@@ -493,7 +699,7 @@ func (r *Reader) Next() (FrameType, []byte, error) {
 	}
 	buf := r.buf[:n]
 	if _, err := io.ReadFull(r.r, buf); err != nil {
-		return 0, nil, fmt.Errorf("%w: body: %v", ErrBadFrame, err)
+		return 0, nil, fmt.Errorf("%w: body: %w", ErrBadFrame, err)
 	}
 	return FrameType(buf[0]), buf[1:], nil
 }

@@ -29,12 +29,109 @@ func TestHelloRoundTrip(t *testing.T) {
 	if ft != FrameHello {
 		t.Fatalf("type = %v", ft)
 	}
-	ver, token, tenant, err := ParseHello(p)
+	ver, token, tenant, session, err := ParseHello(p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ver != Version || token != "secret" || tenant != "home-3" {
-		t.Fatalf("hello = %d %q %q", ver, token, tenant)
+	if ver != Version || token != "secret" || tenant != "home-3" || session {
+		t.Fatalf("hello = %d %q %q session=%v", ver, token, tenant, session)
+	}
+}
+
+// TestHelloSessionCompat: the session capability rides as a trailing byte a
+// v1 parser would ignore, and ParseHello reports it without disturbing the
+// v1 fields.
+func TestHelloSessionCompat(t *testing.T) {
+	frame, err := AppendHelloSession(nil, "secret", "home-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, p := readOne(t, frame, 0)
+	if ft != FrameHello {
+		t.Fatalf("type = %v", ft)
+	}
+	ver, token, tenant, session, err := ParseHello(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != Version || token != "secret" || tenant != "home-3" || !session {
+		t.Fatalf("session hello = %d %q %q session=%v", ver, token, tenant, session)
+	}
+}
+
+func TestSessionFrameRoundTrips(t *testing.T) {
+	frame, err := AppendResume(nil, "sess-1", 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft, p := readOne(t, frame, 0); ft != FrameResume {
+		t.Fatalf("type = %v", ft)
+	} else if name, idx, err := ParseResume(p); err != nil || name != "sess-1" || idx != 17 {
+		t.Fatalf("resume = %q %d %v", name, idx, err)
+	}
+	if _, _, err := ParseResume([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0}); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("empty session name error = %v", err)
+	}
+	if ft, p := readOne(t, AppendResumeOK(nil, 500, 9), 0); ft != FrameResumeOK {
+		t.Fatalf("type = %v", ft)
+	} else if wm, idx, err := ParseResumeOK(p); err != nil || wm != 500 || idx != 9 {
+		t.Fatalf("resume-ok = %d %d %v", wm, idx, err)
+	}
+	if ft, p := readOne(t, AppendAck(nil, 321), 0); ft != FrameAck {
+		t.Fatalf("type = %v", ft)
+	} else if seq, err := ParseAck(p); err != nil || seq != 321 {
+		t.Fatalf("ack = %d %v", seq, err)
+	}
+	if ft, p := readOne(t, AppendAlarmAck(nil, 7), 0); ft != FrameAlarmAck {
+		t.Fatalf("type = %v", ft)
+	} else if idx, err := ParseAlarmAck(p); err != nil || idx != 7 {
+		t.Fatalf("alarm-ack = %d %v", idx, err)
+	}
+	if ft, _ := readOne(t, AppendPing(nil), 0); ft != FramePing {
+		t.Fatalf("ping type = %v", ft)
+	}
+	if ft, _ := readOne(t, AppendPong(nil), 0); ft != FramePong {
+		t.Fatalf("pong type = %v", ft)
+	}
+}
+
+// TestEventRetxRoundTrip: a retransmitted event parses identically to the
+// original under the distinct frame type.
+func TestEventRetxRoundTrip(t *testing.T) {
+	want := Event{Seq: 88, Time: time.Unix(0, 5).UTC(), Device: "lamp", Value: 2}
+	frame, err := AppendEventRetx(nil, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, p := readOne(t, frame, 0)
+	if ft != FrameEventRetx {
+		t.Fatalf("type = %v", ft)
+	}
+	got, err := ParseEvent(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != want.Seq || !got.Time.Equal(want.Time) || got.Device != want.Device || got.Value != want.Value {
+		t.Fatalf("event = %+v, want %+v", got, want)
+	}
+}
+
+func TestSessionAlarmRoundTrip(t *testing.T) {
+	want := Alarm{Seq: 4, Score: 0.5, Events: []AlarmEvent{{Device: "d", State: 1, Score: 0.5}}}
+	frame, err := AppendSessionAlarm(nil, 23, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, p := readOne(t, frame, 0)
+	if ft != FrameSessionAlarm {
+		t.Fatalf("type = %v", ft)
+	}
+	idx, got, err := ParseSessionAlarm(p)
+	if err != nil || idx != 23 {
+		t.Fatalf("session alarm idx = %d, err %v", idx, err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("alarm = %+v, want %+v", got, want)
 	}
 }
 
@@ -167,14 +264,18 @@ func TestParseNeverPanics(t *testing.T) {
 	eventFrame, _ := AppendEvent(nil, Event{Seq: 9, Device: "light", Value: 1})
 	helloFrame, _ := AppendHello(nil, "tok", "home")
 	nackFrame, _ := AppendNack(nil, Nack{Seq: 3, Code: CodeInternal, Detail: "x"})
+	resumeFrame, _ := AppendResume(nil, "sess", 9)
+	sessAlarmFrame, _ := AppendSessionAlarm(nil, 2, Alarm{Seq: 1, Events: []AlarmEvent{{Device: "d"}}})
 	cases := []struct {
 		payload []byte
 		parse   func([]byte) error
 	}{
 		{alarmFrame[5:], func(p []byte) error { _, err := ParseAlarm(p); return err }},
 		{eventFrame[5:], func(p []byte) error { _, err := ParseEvent(p); return err }},
-		{helloFrame[5:], func(p []byte) error { _, _, _, err := ParseHello(p); return err }},
+		{helloFrame[5:], func(p []byte) error { _, _, _, _, err := ParseHello(p); return err }},
 		{nackFrame[5:], func(p []byte) error { _, err := ParseNack(p); return err }},
+		{resumeFrame[5:], func(p []byte) error { _, _, err := ParseResume(p); return err }},
+		{sessAlarmFrame[5:], func(p []byte) error { _, _, err := ParseSessionAlarm(p); return err }},
 	}
 	for _, tc := range cases {
 		for cut := 0; cut <= len(tc.payload); cut++ {
@@ -216,7 +317,7 @@ func TestCodeAndFrameTypeStrings(t *testing.T) {
 	if Code(200).String() != "code(200)" {
 		t.Errorf("unknown code string = %q", Code(200).String())
 	}
-	for ft := FrameHello; ft <= FrameBye; ft++ {
+	for ft := FrameHello; ft <= FrameAlarmAck; ft++ {
 		if strings.HasPrefix(ft.String(), "frame(") {
 			t.Errorf("frame type %d has no name", ft)
 		}

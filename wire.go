@@ -39,6 +39,23 @@ type WireConfig struct {
 	// HelloTimeout bounds how long a fresh connection may sit silent
 	// before authenticating. Defaults to 10s.
 	HelloTimeout time.Duration
+	// IdleTimeout evicts an authenticated connection that delivers no
+	// frame for this long (session clients keep quiet links alive with
+	// Ping frames). Defaults to 2m.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each socket write; a peer that stops reading is
+	// evicted instead of wedging the writer. Defaults to 30s.
+	WriteTimeout time.Duration
+	// AckEvery is the cumulative-acknowledgement cadence for session
+	// connections: one Ack per this many decided events. Defaults to 32.
+	AckEvery int
+	// SessionAlarmBuffer caps each session's undelivered-alarm replay
+	// ring; overflow evicts the oldest unconfirmed alarm into
+	// WireStats.AlarmsDropped. Defaults to AlarmBuffer.
+	SessionAlarmBuffer int
+	// MaxSessions caps the durable session table; a Resume beyond it is
+	// refused. Defaults to 65536.
+	MaxSessions int
 	// Logf receives operational log lines (refused connections, first
 	// alarm drop per connection); nil disables logging.
 	Logf func(format string, args ...any)
@@ -50,14 +67,33 @@ type WireStats struct {
 	// Conns counts every connection ever accepted.
 	ActiveConns int
 	Conns       uint64
-	// Events counts accepted event frames; Nacks the refused ones (their
-	// sum is the total event frames received).
-	Events uint64
-	Nacks  uint64
-	// Alarms counts alarm frames pushed to producers; AlarmsDropped the
-	// alarms discarded because a connection's outbound queue was full.
-	Alarms        uint64
-	AlarmsDropped uint64
+	// Events counts event frames admitted to the host; Nacks the refused
+	// ones; Duplicates the frames dropped at a session watermark because
+	// an earlier connection already delivered them (acknowledged to the
+	// producer, never re-admitted). Every event frame received is exactly
+	// one of the three: accepted == admitted + duplicates.
+	Events     uint64
+	Nacks      uint64
+	Duplicates uint64
+	// Retransmits counts EventRetx frames received — the tail a resuming
+	// producer replays; each lands as an admission, Nack, or Duplicate.
+	Retransmits uint64
+	// Sessions is the current durable-session count; Resumes the accepted
+	// Resume frames (session attach or re-attach).
+	Sessions int
+	Resumes  uint64
+	// EvictedIdle counts connections cut by the read-idle or write
+	// deadline.
+	EvictedIdle uint64
+	// Alarms counts alarm frames pushed to live producers; AlarmsBuffered
+	// the alarms banked in a session ring while no responsive connection
+	// was attached (delivered on resume); AlarmReplays the banked alarms
+	// re-pushed after a Resume; AlarmsDropped the alarms lost for real (a
+	// plain connection's full queue, or a session ring overflowing).
+	Alarms         uint64
+	AlarmsBuffered uint64
+	AlarmReplays   uint64
+	AlarmsDropped  uint64
 	// AuthFailures counts refused Hellos.
 	AuthFailures uint64
 }
@@ -84,12 +120,17 @@ func NewWireServer(h Host, cfg WireConfig) (*WireServer, error) {
 		return nil, errors.New("causaliot: wire server with nil host")
 	}
 	srv, err := wire.NewServer(wire.ServerConfig{
-		Backend:      &hostBackend{host: h, token: cfg.Token},
-		Classify:     classifyWireError,
-		MaxFrame:     cfg.MaxFrame,
-		AlarmBuffer:  cfg.AlarmBuffer,
-		HelloTimeout: cfg.HelloTimeout,
-		Logf:         cfg.Logf,
+		Backend:            &hostBackend{host: h, token: cfg.Token},
+		Classify:           classifyWireError,
+		MaxFrame:           cfg.MaxFrame,
+		AlarmBuffer:        cfg.AlarmBuffer,
+		HelloTimeout:       cfg.HelloTimeout,
+		IdleTimeout:        cfg.IdleTimeout,
+		WriteTimeout:       cfg.WriteTimeout,
+		AckEvery:           cfg.AckEvery,
+		SessionAlarmBuffer: cfg.SessionAlarmBuffer,
+		MaxSessions:        cfg.MaxSessions,
+		Logf:               cfg.Logf,
 	})
 	if err != nil {
 		return nil, err
@@ -111,13 +152,20 @@ func (s *WireServer) Close() error { return s.srv.Close() }
 func (s *WireServer) Stats() WireStats {
 	ss := s.srv.Stats()
 	return WireStats{
-		ActiveConns:   ss.ActiveConns,
-		Conns:         ss.Conns,
-		Events:        ss.Events,
-		Nacks:         ss.Nacks,
-		Alarms:        ss.Alarms,
-		AlarmsDropped: ss.AlarmsDropped,
-		AuthFailures:  ss.AuthFailures,
+		ActiveConns:    ss.ActiveConns,
+		Conns:          ss.Conns,
+		Events:         ss.Events,
+		Nacks:          ss.Nacks,
+		Duplicates:     ss.Duplicates,
+		Retransmits:    ss.Retransmits,
+		Sessions:       ss.Sessions,
+		Resumes:        ss.Resumes,
+		EvictedIdle:    ss.EvictedIdle,
+		Alarms:         ss.Alarms,
+		AlarmsBuffered: ss.AlarmsBuffered,
+		AlarmReplays:   ss.AlarmReplays,
+		AlarmsDropped:  ss.AlarmsDropped,
+		AuthFailures:   ss.AuthFailures,
 	}
 }
 
