@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: tier1 vet race chaos netchaos fleet-soak serve-smoke fuzz check bench bench-smoke bench-detect bench-adapt bench-fleet bench-serve bench-paper serve-demo
+.PHONY: tier1 vet race chaos netchaos fleet-soak serve-smoke cluster-smoke fuzz check bench bench-smoke bench-detect bench-adapt bench-fleet bench-serve bench-cluster bench-paper serve-demo
 
 tier1:
 	$(GO) build ./... && $(GO) test ./...
@@ -30,7 +30,7 @@ race:
 # model-lifecycle swap/drift stress and soak tests, the fleet
 # router/migration suite, and the wire-protocol server tests, all under the
 # race detector.
-chaos: fleet-soak serve-smoke netchaos
+chaos: fleet-soak serve-smoke cluster-smoke netchaos
 	$(GO) test -race -run 'Chaos|Checkpoint|Quarantine|Wedged|Panic|CloseRace|Stress|SIGTERM|Adaptive|Soak|Fleet|Migrat|Router|Ring|Wire|Server|Session' \
 		./internal/hub ./internal/faults ./internal/fleet ./internal/wire ./cmd/causaliot .
 
@@ -56,6 +56,15 @@ fleet-soak:
 # -race.
 serve-smoke:
 	$(GO) test -race -run 'TestServeSmoke' -v ./cmd/loadgen
+
+# Cluster smoke: the multi-process serving path under -race — the remote
+# shard proxy/worker suite, the facade differential tests (cluster router
+# vs single hub, byte-identical exports, the sentinel mapping table), and
+# the serve -worker / -cluster CLI end-to-end run (two worker processes
+# plus a router, SIGTERM shutdown).
+cluster-smoke:
+	$(GO) test -race -run 'TestCluster|TestWorker|TestProxy' -v . ./internal/cluster
+	$(GO) test -race -run 'TestServeCluster' -v ./cmd/causaliot
 
 # Short fuzz pass over the model and checkpoint deserializers (the
 # error-never-panic contract); extend -fuzztime for a deeper run.
@@ -102,6 +111,14 @@ bench-fleet:
 bench-serve:
 	$(GO) run ./cmd/loadgen -self-serve -conns 32 -shards 4 -events 20000 \
 		-train-days 2 -days 1 -token bench -out BENCH_serve.json
+
+# Cross-process serving benchmark: the same harness routed through two
+# cluster shard workers over the shard control plane (full wire hops on
+# both sides), with live migrations of a hot tenant running mid-load;
+# records throughput and per-migration wall time to BENCH_cluster.json.
+bench-cluster:
+	$(GO) run ./cmd/loadgen -self-serve -cluster 2 -conns 32 -events 20000 \
+		-train-days 2 -days 1 -token bench -migrations 8 -out BENCH_cluster.json
 
 # Full paper-reproduction benchmark suite (tables, figures, ablations).
 bench-paper:

@@ -710,7 +710,8 @@ func (m *Monitor) ObserveBatch(events []Event) ([]Detection, error) {
 //
 // Deprecated: use ObserveEvent(e Event) (Detection, error) — the Detection
 // carries the same Alarm and Score plus the unified state and the
-// duplicate verdict.
+// duplicate verdict. The wrapper will be removed in v1.0; no internal
+// callers remain.
 func (m *Monitor) Observe(e Event) (*Alarm, float64, error) {
 	det, err := m.ObserveEvent(e)
 	return det.Alarm, det.Score, err

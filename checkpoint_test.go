@@ -338,7 +338,7 @@ func TestHubCheckpointKillResume(t *testing.T) {
 			time.Sleep(time.Millisecond)
 		}
 		var cp bytes.Buffer
-		if err := h1.Checkpoint("home", &cp); err != nil {
+		if err := h1.Export("home", ExportOptions{State: &cp}); err != nil {
 			t.Fatal(err)
 		}
 		if err := h1.Close(); err != nil {

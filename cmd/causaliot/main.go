@@ -15,6 +15,8 @@ package main
 
 import (
 	"bytes"
+	"crypto/tls"
+	"crypto/x509"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -68,10 +70,15 @@ func usage() {
   causaliot mine     -in FILE [-testbed contextact|casas] [-tau N] [-graph FILE] [-kernel bit|scalar]
   causaliot detect   -train FILE -stream FILE [-testbed contextact|casas] [-tau N] [-kmax N]
   causaliot serve    -train FILE (-stream FILE | -listen ADDR) [-testbed contextact|casas]
-                     [-tau N] [-kmax N] [-tenants N] [-workers N] [-queue N]
+                     [-tau N] [-kmax N] [-tenants N] [-shards N] [-workers N] [-queue N]
                      [-policy block|drop-oldest|reject] [-auth-token TOKEN]
+                     [-tls-cert FILE -tls-key FILE]
                      [-checkpoint FILE] [-resume] [-adapt] [-drift-q Q] [-refit-window N]
-                     [-scan-every N] [-stats-interval DUR] [-v]`)
+                     [-scan-every N] [-stats-interval DUR] [-v]
+  causaliot serve    -worker -listen ADDR [-auth-token TOKEN] [-tls-cert FILE -tls-key FILE]
+                     [-workers N] [-queue N] [-stats-interval DUR]
+  causaliot serve    -train FILE (-stream FILE | -listen ADDR) -cluster ADDR1,ADDR2,...
+                     [-auth-token TOKEN] [-tls-ca FILE] [...serve flags]`)
 }
 
 func pickTestbed(name string) (*sim.Testbed, error) {
@@ -340,6 +347,113 @@ func pickPolicy(name string) (causaliot.BackpressurePolicy, error) {
 // serve -listen is accepting. Test hook: lets a test dial a :0 listener.
 var listenReady func(net.Addr)
 
+// stderrLogf routes library log lines to stderr, keeping stdout for the
+// human-readable report.
+func stderrLogf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "causaliot: "+format+"\n", args...)
+}
+
+// serveWorker runs serve -worker: a cluster shard worker hosting whatever
+// tenants a router ships it over the shard control plane, until a signal
+// stops the process.
+func serveWorker(listen, token string, hubCfg causaliot.HubConfig, tlsCfg *tls.Config, statsInterval time.Duration, stop <-chan struct{}) error {
+	w, err := causaliot.NewClusterWorker(causaliot.ClusterWorkerConfig{
+		Hub:   hubCfg,
+		Token: token,
+		Logf:  stderrLogf,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		w.Close()
+		return err
+	}
+	if tlsCfg != nil {
+		ln = tls.NewListener(ln, tlsCfg)
+	}
+	if listenReady != nil {
+		listenReady(ln.Addr())
+	}
+	tlsNote := ""
+	if tlsCfg != nil {
+		tlsNote = ", TLS"
+	}
+	fmt.Printf("worker listening on %s (shard control plane%s)\n", ln.Addr(), tlsNote)
+
+	statsDone := make(chan struct{})
+	var statsWG sync.WaitGroup
+	if statsInterval > 0 {
+		statsWG.Add(1)
+		go func() {
+			defer statsWG.Done()
+			tick := time.NewTicker(statsInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-statsDone:
+					return
+				case now := <-tick.C:
+					doc, err := w.StatsJSON()
+					if err != nil {
+						continue
+					}
+					fmt.Fprintf(os.Stderr, "{\"time\":%q,\"worker\":%s}\n", now.Format(time.RFC3339Nano), doc)
+				}
+			}
+		}()
+	}
+
+	start := time.Now()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- w.Serve(ln) }()
+	var serveErr error
+	interrupted := false
+	select {
+	case <-stop:
+		interrupted = true
+		fmt.Fprintln(os.Stderr, "causaliot: worker draining")
+	case serveErr = <-serveDone:
+	}
+
+	// The final stats are read before Close tears the links down, so the
+	// report reflects the serving session rather than the teardown.
+	doc, statsErr := w.StatsJSON()
+	closeErr := w.Close()
+	if interrupted {
+		serveErr = <-serveDone
+	}
+	close(statsDone)
+	statsWG.Wait()
+	if serveErr != nil {
+		return fmt.Errorf("worker listener: %w", serveErr)
+	}
+	if statsErr == nil {
+		var ws struct {
+			Links            uint64 `json:"links"`
+			Tenants          int    `json:"tenants"`
+			Events           uint64 `json:"events"`
+			Nacks            uint64 `json:"nacks"`
+			Duplicates       uint64 `json:"duplicates"`
+			Resumes          uint64 `json:"resumes"`
+			Alarms           uint64 `json:"alarms"`
+			AlarmReplays     uint64 `json:"alarm_replays"`
+			EnvelopeBytesIn  uint64 `json:"envelope_bytes_in"`
+			EnvelopeBytesOut uint64 `json:"envelope_bytes_out"`
+			AuthFailures     uint64 `json:"auth_failures"`
+		}
+		if err := json.Unmarshal(doc, &ws); err == nil {
+			elapsed := time.Since(start)
+			fmt.Printf("worker served %d tenants over %d router links in %v\n",
+				ws.Tenants, ws.Links, elapsed.Round(time.Millisecond))
+			fmt.Printf("worker: %d events (%d duplicates dropped), %d nacks, %d resumes, %d alarms (%d replayed), envelope bytes in/out %d/%d, %d auth failures\n",
+				ws.Events, ws.Duplicates, ws.Nacks, ws.Resumes, ws.Alarms, ws.AlarmReplays, ws.EnvelopeBytesIn, ws.EnvelopeBytesOut, ws.AuthFailures)
+		}
+	}
+	return closeErr
+}
+
 // cmdServe trains once and hosts N copies of the home on a serving hub,
 // replaying the runtime stream to every tenant concurrently — the
 // multi-home deployment shape, driven from static files. With -listen it
@@ -351,7 +465,12 @@ func cmdServe(args []string) error {
 	train := fs.String("train", "", "training event CSV")
 	stream := fs.String("stream", "", "runtime event CSV to validate")
 	listen := fs.String("listen", "", "serve the wire protocol on this TCP address instead of replaying -stream")
-	authToken := fs.String("auth-token", "", "shared secret wire connections must present (requires -listen)")
+	authToken := fs.String("auth-token", "", "shared secret wire connections must present (requires -listen, -worker, or -cluster)")
+	worker := fs.Bool("worker", false, "run as a cluster shard worker: serve the shard control plane on -listen; tenants and their models arrive from a router (no -train)")
+	clusterList := fs.String("cluster", "", "comma-separated shard worker addresses; serve as a cluster router placing every home on these worker processes")
+	tlsCert := fs.String("tls-cert", "", "serve -listen over TLS with this PEM certificate (requires -tls-key)")
+	tlsKey := fs.String("tls-key", "", "PEM private key matching -tls-cert")
+	tlsCA := fs.String("tls-ca", "", "dial -cluster workers over TLS, verifying them against this PEM CA bundle")
 	testbed := fs.String("testbed", "contextact", "device inventory to assume")
 	tau := fs.Int("tau", 0, "maximum time lag (0 = automatic)")
 	kmax := fs.Int("kmax", 1, "maximum anomaly chain length")
@@ -371,17 +490,57 @@ func cmdServe(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *train == "" {
-		return fmt.Errorf("serve: -train is required")
+	if (*tlsCert != "") != (*tlsKey != "") {
+		return fmt.Errorf("serve: -tls-cert and -tls-key go together")
 	}
-	if *stream == "" && *listen == "" {
-		return fmt.Errorf("serve: one of -stream or -listen is required")
+	if *tlsCert != "" && *listen == "" {
+		return fmt.Errorf("serve: -tls-cert requires -listen")
 	}
-	if *stream != "" && *listen != "" {
-		return fmt.Errorf("serve: -stream and -listen are mutually exclusive")
+	if *tlsCA != "" && *clusterList == "" {
+		return fmt.Errorf("serve: -tls-ca requires -cluster")
 	}
-	if *authToken != "" && *listen == "" {
-		return fmt.Errorf("serve: -auth-token requires -listen")
+	if *worker {
+		if *listen == "" {
+			return fmt.Errorf("serve: -worker requires -listen")
+		}
+		// A worker hosts whatever a router ships it; flags that describe
+		// local tenants or training would be silently inert, so refuse them.
+		var stray []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "train", "stream", "cluster", "checkpoint", "resume", "adapt",
+				"tenants", "shards", "testbed", "tau", "kmax",
+				"drift-q", "refit-window", "scan-every":
+				stray = append(stray, "-"+f.Name)
+			}
+		})
+		if len(stray) > 0 {
+			return fmt.Errorf("serve: -worker does not take %s (tenants and models arrive from the router)", strings.Join(stray, ", "))
+		}
+	} else {
+		if *train == "" {
+			return fmt.Errorf("serve: -train is required")
+		}
+		if *stream == "" && *listen == "" {
+			return fmt.Errorf("serve: one of -stream or -listen is required")
+		}
+		if *stream != "" && *listen != "" {
+			return fmt.Errorf("serve: -stream and -listen are mutually exclusive")
+		}
+	}
+	if *authToken != "" && *listen == "" && *clusterList == "" {
+		return fmt.Errorf("serve: -auth-token requires -listen, -worker, or -cluster")
+	}
+	if *clusterList != "" {
+		var strayShards bool
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "shards" {
+				strayShards = true
+			}
+		})
+		if strayShards {
+			return fmt.Errorf("serve: -shards with -cluster has no effect (the workers are the shards)")
+		}
 	}
 	if *tenants < 1 {
 		return fmt.Errorf("serve: -tenants %d < 1", *tenants)
@@ -454,6 +613,18 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
+	var tlsServer *tls.Config
+	if *tlsCert != "" {
+		cert, err := tls.LoadX509KeyPair(*tlsCert, *tlsKey)
+		if err != nil {
+			return fmt.Errorf("serve: loading TLS key pair: %w", err)
+		}
+		tlsServer = &tls.Config{Certificates: []tls.Certificate{cert}, MinVersion: tls.VersionTLS12}
+	}
+	if *worker {
+		hubCfg := causaliot.HubConfig{Workers: *workers, QueueSize: *queue, Backpressure: policy}
+		return serveWorker(*listen, *authToken, hubCfg, tlsServer, *statsInterval, stop)
+	}
 	tb, err := pickTestbed(*testbed)
 	if err != nil {
 		return err
@@ -497,9 +668,47 @@ func cmdServe(args []string) error {
 		Backpressure: policy,
 	}
 	var h causaliot.Host
-	if *shards > 1 {
+	switch {
+	case *clusterList != "":
+		// Router mode: every shard is a remote worker process. The homes
+		// are trained here, serialized through the checkpoint envelope, and
+		// served by the workers; alarms fan back in over the shard links.
+		if *adapt {
+			return fmt.Errorf("serve: -adapt does not cross process boundaries; run workers with their own lifecycle instead")
+		}
+		var dialTLS *tls.Config
+		if *tlsCA != "" {
+			pem, err := os.ReadFile(*tlsCA)
+			if err != nil {
+				return fmt.Errorf("serve: -tls-ca: %w", err)
+			}
+			pool := x509.NewCertPool()
+			if !pool.AppendCertsFromPEM(pem) {
+				return fmt.Errorf("serve: -tls-ca %s holds no certificates", *tlsCA)
+			}
+			dialTLS = &tls.Config{RootCAs: pool, MinVersion: tls.VersionTLS12}
+		}
+		var remotes []causaliot.RemoteShardConfig
+		for _, a := range strings.Split(*clusterList, ",") {
+			if a = strings.TrimSpace(a); a == "" {
+				continue
+			}
+			remotes = append(remotes, causaliot.RemoteShardConfig{
+				Addr:  a,
+				Token: *authToken,
+				TLS:   dialTLS,
+				Logf:  stderrLogf,
+			})
+		}
+		cf, err := causaliot.NewCluster(causaliot.ClusterConfig{Workers: remotes, Hub: hubCfg})
+		if err != nil {
+			return err
+		}
+		h = cf
+		fmt.Printf("routing to %d worker shards\n", len(remotes))
+	case *shards > 1:
 		h = causaliot.NewFleet(causaliot.FleetConfig{Shards: *shards, Hub: hubCfg})
-	} else {
+	default:
 		h = causaliot.NewHub(hubCfg)
 	}
 	var opts causaliot.TenantOptions
@@ -561,10 +770,22 @@ func cmdServe(args []string) error {
 		if err != nil {
 			return err
 		}
+		if tlsServer != nil {
+			ln = tls.NewListener(ln, tlsServer)
+		}
 		if listenReady != nil {
 			listenReady(ln.Addr())
 		}
-		fmt.Printf("listening on %s (%d homes, %d shards, %s policy)\n", ln.Addr(), *tenants, *shards, *policyName)
+		tlsNote := ""
+		if tlsServer != nil {
+			tlsNote = ", TLS"
+		}
+		if *clusterList != "" {
+			fmt.Printf("listening on %s (%d homes, %d worker shards, %s policy%s)\n",
+				ln.Addr(), *tenants, len(strings.Split(*clusterList, ",")), *policyName, tlsNote)
+		} else {
+			fmt.Printf("listening on %s (%d homes, %d shards, %s policy%s)\n", ln.Addr(), *tenants, *shards, *policyName, tlsNote)
+		}
 	}
 
 	// -stats-interval: one machine-readable line per tick on stderr, so a
@@ -744,6 +965,16 @@ func cmdServe(args []string) error {
 	}
 	if fleetStats != nil && fleetStats.AlarmsDropped > 0 {
 		fmt.Printf("fleet fan-in dropped %d alarms (Alarms() consumer too slow)\n", fleetStats.AlarmsDropped)
+	}
+	if fleetStats != nil {
+		for _, ss := range fleetStats.Shards {
+			sh := ss.Health
+			if !sh.Remote {
+				continue
+			}
+			fmt.Printf("shard %d %s: link %s, %d reconnects, %d resumes, %d retransmits, %d pending, envelope bytes out/in %d/%d\n",
+				ss.Shard, sh.Addr, sh.Link, sh.Reconnects, sh.Resumes, sh.Retransmits, sh.PendingEvents, sh.EnvelopeBytesOut, sh.EnvelopeBytesIn)
+		}
 	}
 	fmt.Printf("throughput: %.0f events/sec\n", float64(s.Total.Processed)/elapsed.Seconds())
 	fmt.Printf("%-10s %10s %10s %8s %8s %8s %8s %12s %12s\n",

@@ -1,9 +1,17 @@
 package main
 
 import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	cryptorand "crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
 	"encoding/json"
+	"encoding/pem"
 	"errors"
 	"io"
+	"math/big"
 	"net"
 	"os"
 	"os/signal"
@@ -557,6 +565,246 @@ func TestServeListenWireE2E(t *testing.T) {
 	case n := <-nacks:
 		t.Fatalf("valid events were nacked: %+v", n)
 	default:
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve after SIGTERM: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("serve did not exit after SIGTERM")
+	}
+}
+
+// writeSelfSignedCert generates a throwaway TLS key pair valid for
+// 127.0.0.1, writes it as PEM files, and returns the paths plus a pool
+// trusting it.
+func writeSelfSignedCert(t *testing.T, dir string) (certPath, keyPath string, pool *x509.CertPool) {
+	t.Helper()
+	key, err := ecdsa.GenerateKey(elliptic.P256(), cryptorand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber:          big.NewInt(1),
+		Subject:               pkix.Name{CommonName: "causaliot-test"},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(time.Hour),
+		KeyUsage:              x509.KeyUsageDigitalSignature | x509.KeyUsageCertSign,
+		ExtKeyUsage:           []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+		BasicConstraintsValid: true,
+		IsCA:                  true,
+		IPAddresses:           []net.IP{net.ParseIP("127.0.0.1")},
+	}
+	der, err := x509.CreateCertificate(cryptorand.Reader, tmpl, tmpl, &key.PublicKey, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyDER, err := x509.MarshalECPrivateKey(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	certPath = filepath.Join(dir, "cert.pem")
+	keyPath = filepath.Join(dir, "key.pem")
+	certPEM := pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: der})
+	if err := os.WriteFile(certPath, certPEM, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(keyPath, pem.EncodeToMemory(&pem.Block{Type: "EC PRIVATE KEY", Bytes: keyDER}), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	pool = x509.NewCertPool()
+	if !pool.AppendCertsFromPEM(certPEM) {
+		t.Fatal("pool rejected generated certificate")
+	}
+	return certPath, keyPath, pool
+}
+
+func TestServeClusterFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"serve", "-worker"}, // -worker needs -listen
+		{"serve", "-worker", "-listen", ":0", "-train", "x"},                        // worker takes no training
+		{"serve", "-worker", "-listen", ":0", "-tenants", "2"},                      // nor tenant shaping
+		{"serve", "-train", "x", "-stream", "y", "-cluster", "a", "-shards", "2"},   // workers are the shards
+		{"serve", "-train", "x", "-stream", "y", "-tls-cert", "c"},                  // cert without key
+		{"serve", "-train", "x", "-stream", "y", "-tls-ca", "ca"},                   // ca without -cluster
+		{"serve", "-train", "x", "-stream", "y", "-tls-cert", "c", "-tls-key", "k"}, // TLS without -listen
+		{"serve", "-train", "x", "-stream", "y", "-cluster", "a", "-adapt"},         // adapt cannot cross processes
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("%v accepted", args)
+		}
+	}
+}
+
+// TestServeClusterE2E drives the full multi-process shape end to end: two
+// serve -worker processes-worth of shard control plane, a serve -cluster
+// router training the homes and replaying the stream through them, and a
+// checkpoint written back through the remote export path.
+func TestServeClusterE2E(t *testing.T) {
+	dir := t.TempDir()
+	train := filepath.Join(dir, "train.csv")
+	stream := filepath.Join(dir, "stream.csv")
+	if err := run([]string{"simulate", "-days", "2", "-seed", "3", "-out", train}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"simulate", "-days", "1", "-seed", "5", "-out", stream}); err != nil {
+		t.Fatal(err)
+	}
+
+	guard := make(chan os.Signal, 1)
+	signal.Notify(guard, syscall.SIGTERM)
+	defer signal.Stop(guard)
+
+	addrc := make(chan net.Addr, 1)
+	listenReady = func(a net.Addr) { addrc <- a }
+	defer func() { listenReady = nil }()
+
+	workerDone := make(chan error, 2)
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		go func() {
+			workerDone <- run([]string{"serve", "-worker", "-listen", "127.0.0.1:0",
+				"-auth-token", "tok", "-workers", "1", "-queue", "256"})
+		}()
+		select {
+		case a := <-addrc:
+			addrs = append(addrs, a.String())
+		case err := <-workerDone:
+			t.Fatalf("worker exited before listening: %v", err)
+		case <-time.After(60 * time.Second):
+			t.Fatal("worker never started listening")
+		}
+	}
+
+	ckpt := filepath.Join(dir, "cluster.ckpt")
+	err := run([]string{"serve", "-train", train, "-tau", "2", "-stream", stream,
+		"-cluster", strings.Join(addrs, ","), "-auth-token", "tok",
+		"-tenants", "3", "-queue", "256", "-checkpoint", ckpt})
+	if err != nil {
+		t.Fatalf("cluster router: %v", err)
+	}
+	restored, err := readServeCheckpoint(ckpt)
+	if err != nil {
+		t.Fatalf("reading cluster checkpoint: %v", err)
+	}
+	if len(restored.Homes) != 3 {
+		t.Fatalf("cluster checkpoint has %d homes, want 3", len(restored.Homes))
+	}
+	for name, home := range restored.Homes {
+		if len(home.State) == 0 {
+			t.Fatalf("home %s checkpointed without state", name)
+		}
+	}
+
+	// One SIGTERM stops both workers (each run registered the signal).
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-workerDone:
+			if err != nil {
+				t.Fatalf("worker exit: %v", err)
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatal("worker did not exit after SIGTERM")
+		}
+	}
+
+	// A router against a dead worker address fails loudly.
+	if err := run([]string{"serve", "-train", train, "-tau", "2", "-stream", stream,
+		"-cluster", addrs[0], "-auth-token", "tok", "-tenants", "1"}); err == nil {
+		t.Fatal("router attached to a dead worker")
+	}
+}
+
+// TestServeListenTLSE2E wraps the wire listener in TLS from a self-signed
+// pair and proves both the plain client and the fault-tolerant session
+// client dial it with a tls.Config — and that a client without the CA is
+// turned away during the handshake.
+func TestServeListenTLSE2E(t *testing.T) {
+	dir := t.TempDir()
+	train := filepath.Join(dir, "train.csv")
+	if err := run([]string{"simulate", "-days", "2", "-seed", "3", "-out", train}); err != nil {
+		t.Fatal(err)
+	}
+	events, err := loadEvents(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) > 30 {
+		events = events[:30]
+	}
+	certPath, keyPath, pool := writeSelfSignedCert(t, dir)
+
+	guard := make(chan os.Signal, 1)
+	signal.Notify(guard, syscall.SIGTERM)
+	defer signal.Stop(guard)
+
+	addrc := make(chan net.Addr, 1)
+	listenReady = func(a net.Addr) { addrc <- a }
+	defer func() { listenReady = nil }()
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"serve", "-train", train, "-tau", "2",
+			"-listen", "127.0.0.1:0", "-auth-token", "tok", "-tenants", "1", "-workers", "1",
+			"-tls-cert", certPath, "-tls-key", keyPath})
+	}()
+	var addr string
+	select {
+	case a := <-addrc:
+		addr = a.String()
+	case err := <-done:
+		t.Fatalf("serve exited before listening: %v", err)
+	case <-time.After(60 * time.Second):
+		t.Fatal("serve never started listening")
+	}
+
+	tlsCfg := &tls.Config{RootCAs: pool, MinVersion: tls.VersionTLS12}
+	// Without the CA the handshake is refused before any wire frame flows.
+	if _, err := wire.Dial(addr, wire.ClientConfig{Token: "tok", Tenant: "home-0",
+		TLS: &tls.Config{MinVersion: tls.VersionTLS12}, DialTimeout: 5 * time.Second}); err == nil {
+		t.Fatal("dial without the CA succeeded")
+	}
+	c, err := wire.Dial(addr, wire.ClientConfig{Token: "tok", Tenant: "home-0", TLS: tlsCfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := len(events) / 2
+	for i, ev := range events[:half] {
+		if err := c.Send(wire.Event{Seq: uint64(i + 1), Time: ev.Time, Device: ev.Device, Value: ev.Value}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The session client inherits the same tls.Config on every (re)connect.
+	sc, err := wire.OpenSession(wire.SessionConfig{
+		Addr:    addr,
+		Session: "tls-session",
+		Client:  wire.ClientConfig{Token: "tok", Tenant: "home-0", TLS: tlsCfg},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ev := range events[half:] {
+		if err := sc.Send(wire.Event{Seq: uint64(half + i + 1), Time: ev.Time, Device: ev.Device, Value: ev.Value}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sc.Close(); err != nil {
+		t.Fatal(err)
 	}
 
 	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {

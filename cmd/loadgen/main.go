@@ -85,6 +85,8 @@ type config struct {
 	tau       int
 	kmax      int
 	shards    int
+	cluster   int
+	migrate   int
 	workers   int
 	queue     int
 	policy    string
@@ -110,6 +112,8 @@ func parseFlags(args []string) (config, error) {
 	fs.IntVar(&cfg.tau, "tau", 2, "maximum time lag for the self-served model (0 = automatic)")
 	fs.IntVar(&cfg.kmax, "kmax", 1, "maximum anomaly chain length for the self-served model")
 	fs.IntVar(&cfg.shards, "shards", 1, "self-serve hub shards (>1 serves through a Fleet)")
+	fs.IntVar(&cfg.cluster, "cluster", 0, "serve through N in-process cluster shard workers over the shard control plane (requires -self-serve)")
+	fs.IntVar(&cfg.migrate, "migrations", 0, "cross-process live migrations of home-0 to run mid-load (requires -cluster)")
 	fs.IntVar(&cfg.workers, "workers", 0, "self-serve worker pool size per shard (0 = GOMAXPROCS)")
 	fs.IntVar(&cfg.queue, "queue", 1024, "self-serve per-home ingestion queue capacity")
 	fs.StringVar(&cfg.policy, "policy", "block", "self-serve backpressure policy: block|drop-oldest|reject")
@@ -155,6 +159,21 @@ func parseFlags(args []string) (config, error) {
 	if cfg.shards < 1 {
 		return cfg, fmt.Errorf("-shards %d < 1", cfg.shards)
 	}
+	if cfg.cluster < 0 {
+		return cfg, fmt.Errorf("-cluster %d < 0", cfg.cluster)
+	}
+	if cfg.cluster > 0 && !cfg.selfServe {
+		return cfg, errors.New("-cluster requires -self-serve")
+	}
+	if cfg.cluster > 0 && cfg.shards > 1 {
+		return cfg, errors.New("-cluster and -shards are mutually exclusive (the workers are the shards)")
+	}
+	if cfg.migrate < 0 {
+		return cfg, fmt.Errorf("-migrations %d < 0", cfg.migrate)
+	}
+	if cfg.migrate > 0 && cfg.cluster < 2 {
+		return cfg, errors.New("-migrations requires -cluster with at least 2 workers")
+	}
 	if cfg.workers < 0 {
 		return cfg, fmt.Errorf("-workers %d < 0", cfg.workers)
 	}
@@ -195,18 +214,29 @@ type chaosReport struct {
 	Proxy           netchaos.Stats `json:"proxy"`
 }
 
+// clusterReport summarizes a -cluster run: the worker processes behind the
+// router and the wall time of each mid-load cross-process live migration
+// (quiesce, envelope transfer, restore, gap replay).
+type clusterReport struct {
+	Workers          int           `json:"workers"`
+	Migrations       int           `json:"migrations"`
+	MigrationsFailed int           `json:"migrations_failed,omitempty"`
+	MigrationWall    latencyReport `json:"migration_wall"`
+}
+
 type report struct {
-	Conns        int           `json:"conns"`
-	Homes        int           `json:"homes"`
-	Models       int           `json:"models,omitempty"`
-	EventsSent   uint64        `json:"events_sent"`
-	EventsNacked uint64        `json:"events_nacked"`
-	Alarms       uint64        `json:"alarms_received"`
-	ElapsedMS    int64         `json:"elapsed_ms"`
-	EventsPerSec float64       `json:"events_per_sec"`
-	AlarmLatency latencyReport `json:"alarm_latency"`
-	Chaos        *chaosReport  `json:"chaos,omitempty"`
-	Server       *serverReport `json:"server,omitempty"`
+	Conns        int            `json:"conns"`
+	Homes        int            `json:"homes"`
+	Models       int            `json:"models,omitempty"`
+	EventsSent   uint64         `json:"events_sent"`
+	EventsNacked uint64         `json:"events_nacked"`
+	Alarms       uint64         `json:"alarms_received"`
+	ElapsedMS    int64          `json:"elapsed_ms"`
+	EventsPerSec float64        `json:"events_per_sec"`
+	AlarmLatency latencyReport  `json:"alarm_latency"`
+	Chaos        *chaosReport   `json:"chaos,omitempty"`
+	Cluster      *clusterReport `json:"cluster,omitempty"`
+	Server       *serverReport  `json:"server,omitempty"`
 }
 
 // loadDevices converts a testbed inventory to the public API's device
@@ -421,9 +451,33 @@ func runLoad(cfg config) (*report, error) {
 			}
 		}
 		hubCfg := causaliot.HubConfig{Workers: cfg.workers, QueueSize: cfg.queue, Backpressure: policy}
-		if cfg.shards > 1 {
+		switch {
+		case cfg.cluster > 0:
+			// -cluster N: the serving side is a router over N in-process
+			// shard workers, each reached through the cluster wire
+			// protocol — the full multi-process data path on loopback.
+			remotes := make([]causaliot.RemoteShardConfig, cfg.cluster)
+			for i := range remotes {
+				cw, err := causaliot.NewClusterWorker(causaliot.ClusterWorkerConfig{Hub: hubCfg, Token: cfg.token})
+				if err != nil {
+					return nil, err
+				}
+				wln, err := net.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					cw.Close()
+					return nil, err
+				}
+				go cw.Serve(wln)
+				defer cw.Close()
+				remotes[i] = causaliot.RemoteShardConfig{Addr: wln.Addr().String(), Token: cfg.token}
+			}
+			h, err = causaliot.NewCluster(causaliot.ClusterConfig{Workers: remotes, Hub: hubCfg})
+			if err != nil {
+				return nil, err
+			}
+		case cfg.shards > 1:
 			h = causaliot.NewFleet(causaliot.FleetConfig{Shards: cfg.shards, Hub: hubCfg})
-		} else {
+		default:
 			h = causaliot.NewHub(hubCfg)
 		}
 		defer h.Close()
@@ -513,6 +567,41 @@ func runLoad(cfg config) (*report, error) {
 	}
 
 	start := time.Now()
+	// -migrations: bounce home-0 between worker processes while its
+	// producer streams, timing each full handoff.
+	migDone := make(chan struct{})
+	var migWall []int64
+	migFailed := 0
+	if cfg.migrate > 0 {
+		f := h.(*causaliot.Fleet)
+		go func() {
+			defer close(migDone)
+			ids := f.Shards()
+			for k := 0; k < cfg.migrate; k++ {
+				cur, err := f.ShardOf("home-0")
+				if err != nil {
+					migFailed++
+					continue
+				}
+				to := ids[0]
+				for _, id := range ids {
+					if id != cur {
+						to = id
+						break
+					}
+				}
+				t0 := time.Now()
+				if err := f.Migrate("home-0", to); err != nil {
+					migFailed++
+				} else {
+					migWall = append(migWall, int64(time.Since(t0)))
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+		}()
+	} else {
+		close(migDone)
+	}
 	errc := make(chan error, cfg.conns)
 	var wg sync.WaitGroup
 	for _, p := range producers {
@@ -526,6 +615,7 @@ func runLoad(cfg config) (*report, error) {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	<-migDone
 	select {
 	case err := <-errc:
 		return nil, err
@@ -624,6 +714,20 @@ func runLoad(cfg config) (*report, error) {
 		}
 		cr.Proxy = proxy.Stats()
 		rep.Chaos = cr
+	}
+	if cfg.cluster > 0 {
+		sort.Slice(migWall, func(i, j int) bool { return migWall[i] < migWall[j] })
+		cr := &clusterReport{Workers: cfg.cluster, Migrations: len(migWall), MigrationsFailed: migFailed}
+		cr.MigrationWall = latencyReport{
+			Samples: len(migWall),
+			P50:     percentile(migWall, 0.50),
+			P95:     percentile(migWall, 0.95),
+			P99:     percentile(migWall, 0.99),
+		}
+		if n := len(migWall); n > 0 {
+			cr.MigrationWall.Max = migWall[n-1]
+		}
+		rep.Cluster = cr
 	}
 	if cfg.selfServe {
 		ws.Close()

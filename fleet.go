@@ -49,6 +49,135 @@ var (
 	_ Host = (*Fleet)(nil)
 )
 
+// Shard is one serving shard behind the fleet's router: an in-process hub
+// (every NewFleet/AddShard shard) or a shard worker in another OS process
+// reached over the cluster wire protocol (AddRemoteShard). The fleet treats
+// the two identically — placement, live migration, stats aggregation, and
+// shutdown all speak this surface — so a fleet can mix local and remote
+// shards freely and a migration can cross a process boundary.
+type Shard interface {
+	// RegisterMonitor hosts a live monitor on the shard, routing its alarms
+	// into sink. The shard takes ownership of the monitor; a remote shard
+	// serializes it through the checkpoint envelope and closes the local
+	// copy.
+	RegisterMonitor(tenant string, mon *Monitor, opts TenantOptions, sink func(TenantAlarm)) error
+	// ImportEnvelope hosts a tenant restored from a checkpoint envelope —
+	// the transport live migration and remote registration share. A nil
+	// state registers a fresh monitor over the model alone.
+	ImportEnvelope(tenant string, model, state []byte, opts TenantOptions, sink func(TenantAlarm)) error
+	// ExportEnvelope returns the tenant's checkpoint envelope. Quiesce
+	// first: the envelope then covers an exact event boundary.
+	ExportEnvelope(tenant string) (model, state []byte, err error)
+	// Quiesce blocks until every event accepted for the tenant so far is
+	// fully processed.
+	Quiesce(tenant string) error
+	Deregister(tenant string) error
+	Submit(tenant string, ev Event) error
+	Swap(tenant string, sys *System) error
+	Export(tenant string, opts ExportOptions) error
+	Flush(tenant string) error
+	TenantStats(tenant string) (TenantStats, error)
+	Stats() HubStats
+	LifecycleStats() map[string]LifecycleStats
+	// Health reports the shard's serving health; for a remote shard, the
+	// link state and fault-tolerance counters.
+	Health() ShardHealth
+	Close() error
+	CloseWithin(d time.Duration) error
+}
+
+// ShardHealth is one shard's health summary, surfaced in FleetStats and the
+// serve command's stats JSON.
+type ShardHealth struct {
+	// Remote is false for an in-process shard. Addr is the worker address
+	// of a remote shard.
+	Remote bool   `json:"remote"`
+	Addr   string `json:"addr,omitempty"`
+	// Link is "local" for an in-process shard, else the remote link state:
+	// connected, degraded (reconnecting; events banked), or gave-up.
+	Link string `json:"link"`
+	// Remote fault-tolerance counters: link recoveries, per-tenant resume
+	// ops, events retransmitted from the window, events currently banked
+	// awaiting acknowledgement, and checkpoint envelope bytes moved in each
+	// direction.
+	Reconnects       uint64 `json:"reconnects,omitempty"`
+	Resumes          uint64 `json:"resumes,omitempty"`
+	Retransmits      uint64 `json:"retransmits,omitempty"`
+	PendingEvents    int    `json:"pending_events,omitempty"`
+	EnvelopeBytesIn  uint64 `json:"envelope_bytes_in,omitempty"`
+	EnvelopeBytesOut uint64 `json:"envelope_bytes_out,omitempty"`
+}
+
+// localShard adapts an in-process *Hub to the Shard surface.
+type localShard struct {
+	h *Hub
+}
+
+func (s *localShard) RegisterMonitor(tenant string, mon *Monitor, opts TenantOptions, sink func(TenantAlarm)) error {
+	if err := s.h.RegisterMonitor(tenant, mon, opts); err != nil {
+		return err
+	}
+	if err := s.h.SetAlarmRoute(tenant, sink); err != nil {
+		_ = s.h.Deregister(tenant)
+		return err
+	}
+	return nil
+}
+
+func (s *localShard) ImportEnvelope(tenant string, model, state []byte, opts TenantOptions, sink func(TenantAlarm)) error {
+	sys, err := Load(bytes.NewReader(model))
+	if err != nil {
+		return fmt.Errorf("causaliot: import %q: %w", tenant, err)
+	}
+	var mon *Monitor
+	if state == nil {
+		mon, err = sys.NewMonitor()
+	} else {
+		// RestoreMonitor re-attaches to the cache-interned model when the
+		// fingerprint is already resident in this process, so landing on a
+		// shard already serving the model costs no duplicate compiled
+		// tables.
+		mon, err = sys.RestoreMonitor(bytes.NewReader(state))
+	}
+	if err != nil {
+		return fmt.Errorf("causaliot: import %q: %w", tenant, err)
+	}
+	if err := s.RegisterMonitor(tenant, mon, opts, sink); err != nil {
+		mon.Close()
+		return err
+	}
+	return nil
+}
+
+func (s *localShard) ExportEnvelope(tenant string) ([]byte, []byte, error) {
+	var model, state bytes.Buffer
+	if err := s.h.Export(tenant, ExportOptions{Model: &model, State: &state}); err != nil {
+		return nil, nil, err
+	}
+	return model.Bytes(), state.Bytes(), nil
+}
+
+func (s *localShard) Quiesce(tenant string) error      { return s.h.inner.Quiesce(tenant) }
+func (s *localShard) Deregister(tenant string) error   { return s.h.Deregister(tenant) }
+func (s *localShard) Submit(tenant string, ev Event) error { return s.h.Submit(tenant, ev) }
+func (s *localShard) Swap(tenant string, sys *System) error { return s.h.Swap(tenant, sys) }
+func (s *localShard) Export(tenant string, opts ExportOptions) error {
+	return s.h.Export(tenant, opts)
+}
+func (s *localShard) Flush(tenant string) error { return s.h.Flush(tenant) }
+func (s *localShard) TenantStats(tenant string) (TenantStats, error) {
+	ts, err := s.h.inner.TenantStats(tenant)
+	if err != nil {
+		return TenantStats{}, err
+	}
+	return convertTenantStats(ts), nil
+}
+func (s *localShard) Stats() HubStats                          { return s.h.Stats() }
+func (s *localShard) LifecycleStats() map[string]LifecycleStats { return s.h.LifecycleStats() }
+func (s *localShard) Health() ShardHealth                      { return ShardHealth{Link: "local"} }
+func (s *localShard) Close() error                             { return s.h.Close() }
+func (s *localShard) CloseWithin(d time.Duration) error        { return s.h.CloseWithin(d) }
+
 // FleetConfig tunes a sharded serving fleet. The zero value selects one
 // shard with default hub settings.
 type FleetConfig struct {
@@ -139,7 +268,7 @@ type Fleet struct {
 	dropLogged sync.Map
 
 	mu        sync.RWMutex
-	shards    map[int]*Hub
+	shards    map[int]Shard
 	nextShard int
 	tenants   map[string]*fleetTenant
 
@@ -161,6 +290,12 @@ func NewFleet(cfg FleetConfig) *Fleet {
 	if cfg.Shards <= 0 {
 		cfg.Shards = 1
 	}
+	return newFleet(cfg, cfg.Shards)
+}
+
+// newFleet builds a fleet with localShards in-process hub shards; zero is
+// allowed for cluster routers whose shards are all remote (AddRemoteShard).
+func newFleet(cfg FleetConfig, localShards int) *Fleet {
 	buffer := cfg.Hub.AlarmBuffer
 	if buffer <= 0 {
 		buffer = 256
@@ -169,21 +304,21 @@ func NewFleet(cfg FleetConfig) *Fleet {
 		cfg:     cfg,
 		router:  fleet.NewRouter(cfg.Replicas),
 		alarms:  make(chan TenantAlarm, buffer),
-		shards:  make(map[int]*Hub),
+		shards:  make(map[int]Shard),
 		tenants: make(map[string]*fleetTenant),
 	}
 	f.migCond = sync.NewCond(&f.migMu)
-	for i := 0; i < cfg.Shards; i++ {
+	for i := 0; i < localShards; i++ {
 		id := f.nextShard
 		f.nextShard++
-		f.shards[id] = NewHub(cfg.Hub)
+		f.shards[id] = &localShard{h: NewHub(cfg.Hub)}
 		f.router.AddShard(id)
 	}
 	return f
 }
 
-// shard fetches a live shard hub by id.
-func (f *Fleet) shard(id int) *Hub {
+// shard fetches a live shard by id.
+func (f *Fleet) shard(id int) Shard {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
 	return f.shards[id]
@@ -259,12 +394,6 @@ func (f *Fleet) SetAlarmRoute(tenant string, sink func(TenantAlarm)) error {
 	return nil
 }
 
-// routeAlarms points a freshly made shard registration at the fleet's
-// per-home delivery chain.
-func (f *Fleet) routeAlarms(h *Hub, tenant string, ft *fleetTenant) error {
-	return h.SetAlarmRoute(tenant, f.deliverFor(ft))
-}
-
 // Register hosts a home on the fleet, placed on its ring-assigned shard: a
 // fresh Monitor is started from the trained system and fed the home's
 // submitted events in order.
@@ -304,7 +433,7 @@ func (f *Fleet) RegisterMonitor(tenant string, mon *Monitor, opts TenantOptions)
 		f.mu.Unlock()
 		return fmt.Errorf("%w: fleet has no shards", ErrUnknownShard)
 	}
-	h := f.shards[shard]
+	s := f.shards[shard]
 	ft := &fleetTenant{opts: opts}
 	f.tenants[tenant] = ft
 	f.mu.Unlock()
@@ -314,17 +443,12 @@ func (f *Fleet) RegisterMonitor(tenant string, mon *Monitor, opts TenantOptions)
 		delete(f.tenants, tenant)
 		f.mu.Unlock()
 	}
-	if err := h.RegisterMonitor(tenant, mon, opts); err != nil {
-		unreserve()
-		return err
-	}
-	if err := f.routeAlarms(h, tenant, ft); err != nil {
-		_ = h.Deregister(tenant)
+	if err := s.RegisterMonitor(tenant, mon, opts, f.deliverFor(ft)); err != nil {
 		unreserve()
 		return err
 	}
 	if err := f.router.Activate(tenant, shard, f.gapPolicy(opts), f.gapCap(opts), f.submitTo(tenant)); err != nil {
-		_ = h.Deregister(tenant)
+		_ = s.Deregister(tenant)
 		unreserve()
 		return err
 	}
@@ -362,12 +486,12 @@ func (f *Fleet) Deregister(tenant string) error {
 	}
 	f.mu.Lock()
 	delete(f.tenants, tenant)
-	h := f.shards[shard]
+	s := f.shards[shard]
 	f.mu.Unlock()
-	if h == nil {
+	if s == nil {
 		return fmt.Errorf("%w %d", ErrUnknownShard, shard)
 	}
-	return h.Deregister(tenant)
+	return s.Deregister(tenant)
 }
 
 // submitTo builds a home's shard enqueue sink, created once per
@@ -375,11 +499,11 @@ func (f *Fleet) Deregister(tenant string) error {
 // Submit path then closes over nothing and allocates nothing.
 func (f *Fleet) submitTo(tenant string) func(shard int, hev hub.Event) error {
 	return func(shard int, hev hub.Event) error {
-		h := f.shard(shard)
-		if h == nil {
+		s := f.shard(shard)
+		if s == nil {
 			return fmt.Errorf("%w %d", ErrUnknownShard, shard)
 		}
-		return h.inner.Submit(tenant, hev)
+		return s.Submit(tenant, Event{Device: hev.Device, Value: hev.Value, Time: hev.Time, Seq: hev.Seq})
 	}
 }
 
@@ -394,15 +518,15 @@ func (f *Fleet) Submit(tenant string, ev Event) error {
 	return f.router.Dispatch(tenant, hub.Event{Device: ev.Device, Value: ev.Value, Time: ev.Time, Seq: ev.Seq})
 }
 
-// control runs fn against the home's serving shard hub with migrations
+// control runs fn against the home's serving shard with migrations
 // excluded and the route held.
-func (f *Fleet) control(tenant string, fn func(h *Hub) error) error {
+func (f *Fleet) control(tenant string, fn func(s Shard) error) error {
 	return f.router.Control(tenant, func(shard int) error {
-		h := f.shard(shard)
-		if h == nil {
+		s := f.shard(shard)
+		if s == nil {
 			return fmt.Errorf("%w %d", ErrUnknownShard, shard)
 		}
-		return fn(h)
+		return fn(s)
 	})
 }
 
@@ -411,20 +535,20 @@ func (f *Fleet) Swap(tenant string, sys *System) error {
 	if sys == nil {
 		return errors.New("causaliot: swap to nil system")
 	}
-	return f.control(tenant, func(h *Hub) error { return h.Swap(tenant, sys) })
+	return f.control(tenant, func(s Shard) error { return s.Swap(tenant, sys) })
 }
 
 // Export writes a home's serving artifacts under a single stream pause on
 // its serving shard (see Hub.Export), serialized against migrations: an
 // export never observes a half-moved home.
 func (f *Fleet) Export(tenant string, opts ExportOptions) error {
-	return f.control(tenant, func(h *Hub) error { return h.Export(tenant, opts) })
+	return f.control(tenant, func(s Shard) error { return s.Export(tenant, opts) })
 }
 
 // Flush reports a home's partially tracked anomaly chain (if any) through
 // its alarm route (see Hub.Flush).
 func (f *Fleet) Flush(tenant string) error {
-	return f.control(tenant, func(h *Hub) error { return h.Flush(tenant) })
+	return f.control(tenant, func(s Shard) error { return s.Flush(tenant) })
 }
 
 // Migrate moves a live home to another shard with zero event loss: the
@@ -472,9 +596,11 @@ func (f *Fleet) Migrate(tenant string, shard int) error {
 }
 
 // handoff pipes one home through the checkpoint envelope from shard `from`
-// to shard `to` while the router holds the home's route suspended. The
-// source is not deregistered until the target registration succeeded, so
-// any failure aborts with the home still served where it was.
+// to shard `to` while the router holds the home's route suspended. Either
+// side (or both) may live in another process — the envelope is bytes and
+// every step speaks the Shard surface. The source is not deregistered until
+// the target registration succeeded, so any failure aborts with the home
+// still served where it was.
 func (f *Fleet) handoff(tenant string, ft *fleetTenant, from, to int) error {
 	src, dst := f.shard(from), f.shard(to)
 	if src == nil || dst == nil {
@@ -482,35 +608,21 @@ func (f *Fleet) handoff(tenant string, ft *fleetTenant, from, to int) error {
 	}
 	// Quiesce: every event accepted before the route was suspended is fully
 	// processed, so the exported envelope covers the complete stream prefix.
-	if err := src.inner.Quiesce(tenant); err != nil {
+	// For a remote source this also flushes its banked alarms to the router
+	// before the route can flip away.
+	if err := src.Quiesce(tenant); err != nil {
 		return err
 	}
-	var model, state bytes.Buffer
-	if err := src.Export(tenant, ExportOptions{Model: &model, State: &state}); err != nil {
-		return err
-	}
-	sys, err := Load(bytes.NewReader(model.Bytes()))
+	model, state, err := src.ExportEnvelope(tenant)
 	if err != nil {
-		return fmt.Errorf("causaliot: migrate %q: %w", tenant, err)
-	}
-	// RestoreMonitor re-attaches to the cache-interned model when the
-	// fingerprint is already resident on this process, so a migration onto a
-	// shard already serving the model costs no duplicate compiled tables.
-	mon, err := sys.RestoreMonitor(bytes.NewReader(state.Bytes()))
-	if err != nil {
-		return fmt.Errorf("causaliot: migrate %q: %w", tenant, err)
-	}
-	if err := dst.RegisterMonitor(tenant, mon, ft.opts); err != nil {
-		mon.Close()
 		return err
 	}
-	if err := f.routeAlarms(dst, tenant, ft); err != nil {
-		_ = dst.Deregister(tenant)
-		return err
+	if err := dst.ImportEnvelope(tenant, model, state, ft.opts, f.deliverFor(ft)); err != nil {
+		return fmt.Errorf("causaliot: migrate %q: %w", tenant, err)
 	}
 	// Carry the source life's counters before they vanish with the tenant.
-	if ts, err := src.inner.TenantStats(tenant); err == nil {
-		ft.carry(convertTenantStats(ts))
+	if ts, err := src.TenantStats(tenant); err == nil {
+		ft.carry(ts)
 	}
 	if err := src.Deregister(tenant); err != nil {
 		_ = dst.Deregister(tenant)
@@ -551,7 +663,27 @@ func (f *Fleet) AddShard() (int, error) {
 	}
 	id := f.nextShard
 	f.nextShard++
-	f.shards[id] = NewHub(f.cfg.Hub)
+	f.shards[id] = &localShard{h: NewHub(f.cfg.Hub)}
+	f.mu.Unlock()
+	f.router.AddShard(id)
+	return id, f.Rebalance()
+}
+
+// AddShardFor grows the fleet by one shard backed by the given Shard
+// implementation — the hook remote shard proxies attach through (see
+// Fleet.AddRemoteShard) — and rebalances onto it. Returns the new shard id.
+func (f *Fleet) AddShardFor(s Shard) (int, error) {
+	if s == nil {
+		return 0, errors.New("causaliot: add nil shard")
+	}
+	f.mu.Lock()
+	if f.closed.Load() {
+		f.mu.Unlock()
+		return 0, ErrHubClosed
+	}
+	id := f.nextShard
+	f.nextShard++
+	f.shards[id] = s
 	f.mu.Unlock()
 	f.router.AddShard(id)
 	return id, f.Rebalance()
@@ -588,15 +720,15 @@ func (f *Fleet) RemoveShard(id int) error {
 // across all shards, keyed by tenant name.
 func (f *Fleet) LifecycleStats() map[string]LifecycleStats {
 	f.mu.RLock()
-	hubs := make([]*Hub, 0, len(f.shards))
-	for _, h := range f.shards {
-		hubs = append(hubs, h)
+	shards := make([]Shard, 0, len(f.shards))
+	for _, s := range f.shards {
+		shards = append(shards, s)
 	}
 	f.mu.RUnlock()
 	out := make(map[string]LifecycleStats)
-	for _, h := range hubs {
-		for name, s := range h.LifecycleStats() {
-			out[name] = s
+	for _, s := range shards {
+		for name, ls := range s.LifecycleStats() {
+			out[name] = ls
 		}
 	}
 	return out
@@ -614,9 +746,9 @@ func (f *Fleet) Stats() HubStats {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
-	hubs := make([]*Hub, len(ids))
+	shards := make([]Shard, len(ids))
 	for i, id := range ids {
-		hubs[i] = f.shards[id]
+		shards[i] = f.shards[id]
 	}
 	carried := make(map[string]TenantStats, len(f.tenants))
 	for name, ft := range f.tenants {
@@ -626,8 +758,8 @@ func (f *Fleet) Stats() HubStats {
 
 	merged := make(map[string]TenantStats)
 	out := HubStats{AlarmsDropped: f.alarmsDropped.Load()}
-	for _, h := range hubs {
-		s := h.Stats()
+	for _, sh := range shards {
+		s := sh.Stats()
 		out.Workers += s.Workers
 		out.AlarmsDropped += s.AlarmsDropped
 		out.GroupedDrains += s.GroupedDrains
@@ -681,8 +813,10 @@ type ShardStats struct {
 	// Shard is the shard id; Tenants the number of homes it serves.
 	Shard   int
 	Tenants int
-	// Hub is the shard hub's own stats snapshot.
+	// Hub is the shard's own stats snapshot.
 	Hub HubStats
+	// Health is the shard's serving health (remote link state et al).
+	Health ShardHealth
 }
 
 // FleetStats is the fleet-level view Stats does not cover: the per-shard
@@ -709,9 +843,9 @@ func (f *Fleet) FleetStats() FleetStats {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
-	hubs := make([]*Hub, len(ids))
+	shards := make([]Shard, len(ids))
 	for i, id := range ids {
-		hubs[i] = f.shards[id]
+		shards[i] = f.shards[id]
 	}
 	f.mu.RUnlock()
 	out := FleetStats{Shards: make([]ShardStats, len(ids))}
@@ -719,7 +853,8 @@ func (f *Fleet) FleetStats() FleetStats {
 		out.Shards[i] = ShardStats{
 			Shard:   id,
 			Tenants: len(f.router.TenantsOn(id)),
-			Hub:     hubs[i].Stats(),
+			Hub:     shards[i].Stats(),
+			Health:  shards[i].Health(),
 		}
 	}
 	out.Migrations, out.Replayed, out.GapDropped = f.router.Counters()
@@ -759,16 +894,16 @@ func (f *Fleet) CloseWithin(d time.Duration) error {
 		}
 		f.migMu.Unlock()
 		f.mu.RLock()
-		hubs := make([]*Hub, 0, len(f.shards))
-		for _, h := range f.shards {
-			hubs = append(hubs, h)
+		shards := make([]Shard, 0, len(f.shards))
+		for _, s := range f.shards {
+			shards = append(shards, s)
 		}
 		f.mu.RUnlock()
 		var wg sync.WaitGroup
 		var errMu sync.Mutex
-		for _, h := range hubs {
+		for _, s := range shards {
 			wg.Add(1)
-			go func(h *Hub) {
+			go func(h Shard) {
 				defer wg.Done()
 				if err := h.Close(); err != nil {
 					errMu.Lock()
@@ -777,7 +912,7 @@ func (f *Fleet) CloseWithin(d time.Duration) error {
 					}
 					errMu.Unlock()
 				}
-			}(h)
+			}(s)
 		}
 		wg.Wait()
 		// Every shard's workers have exited: no further alarm deliveries.

@@ -482,7 +482,8 @@ func (h *Hub) Export(tenant string, opts ExportOptions) error {
 // SaveModel writes a home's currently served model (see System.Save),
 // serialized with the home's stream.
 //
-// Deprecated: use Export(tenant, ExportOptions{Model: w}).
+// Deprecated: use Export(tenant, ExportOptions{Model: w}). The wrapper
+// will be removed in v1.0; no internal callers remain.
 func (h *Hub) SaveModel(tenant string, w io.Writer) error {
 	return h.Export(tenant, ExportOptions{Model: w})
 }
@@ -490,7 +491,9 @@ func (h *Hub) SaveModel(tenant string, w io.Writer) error {
 // Snapshot writes a home's served model and its runtime checkpoint under a
 // single stream pause.
 //
-// Deprecated: use Export(tenant, ExportOptions{Model: model, State: state}).
+// Deprecated: use Export(tenant, ExportOptions{Model: model, State:
+// state}). The wrapper will be removed in v1.0; no internal callers
+// remain.
 func (h *Hub) Snapshot(tenant string, model, state io.Writer) error {
 	return h.Export(tenant, ExportOptions{Model: model, State: state})
 }
@@ -526,7 +529,8 @@ func (h *Hub) Swap(tenant string, sys *System) error {
 // Checkpoint writes a home's full runtime state (see
 // Monitor.WriteCheckpoint) to w, serialized with the home's stream.
 //
-// Deprecated: use Export(tenant, ExportOptions{State: w}).
+// Deprecated: use Export(tenant, ExportOptions{State: w}). The wrapper
+// will be removed in v1.0; no internal callers remain.
 func (h *Hub) Checkpoint(tenant string, w io.Writer) error {
 	return h.Export(tenant, ExportOptions{State: w})
 }

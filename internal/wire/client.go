@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bufio"
+	"crypto/tls"
 	"errors"
 	"fmt"
 	"net"
@@ -18,8 +19,13 @@ type ClientConfig struct {
 	// MaxFrame caps accepted inbound frame sizes; <= 0 selects
 	// DefaultMaxFrame.
 	MaxFrame int
-	// DialTimeout bounds the TCP connect plus the Hello/Welcome
-	// handshake. Defaults to 10s.
+	// TLS, when non-nil, wraps the connection in TLS before the wire
+	// handshake. A zero ServerName is filled in from the dialed host
+	// unless verification is disabled. Session clients reuse the same
+	// config on every reconnect.
+	TLS *tls.Config
+	// DialTimeout bounds the TCP connect plus the TLS and Hello/Welcome
+	// handshakes. Defaults to 10s.
 	DialTimeout time.Duration
 	// OnNack receives every Nack frame (refused events). Called from the
 	// client's reader goroutine.
@@ -81,6 +87,23 @@ func Dial(addr string, cfg ClientConfig) (*Client, error) {
 	nc, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.TLS != nil {
+		tc := cfg.TLS
+		if tc.ServerName == "" && !tc.InsecureSkipVerify {
+			if host, _, err := net.SplitHostPort(addr); err == nil {
+				tc = tc.Clone()
+				tc.ServerName = host
+			}
+		}
+		tnc := tls.Client(nc, tc)
+		tnc.SetDeadline(time.Now().Add(timeout))
+		if err := tnc.Handshake(); err != nil {
+			nc.Close()
+			return nil, fmt.Errorf("wire: tls handshake: %w", err)
+		}
+		tnc.SetDeadline(time.Time{})
+		nc = tnc
 	}
 	c := &Client{
 		nc:       nc,

@@ -152,6 +152,46 @@ func (t FrameType) String() string {
 		return "session-alarm"
 	case FrameAlarmAck:
 		return "alarm-ack"
+	case FrameShardHello:
+		return "shard-hello"
+	case FrameShardWelcome:
+		return "shard-welcome"
+	case FrameRegisterTenant:
+		return "register-tenant"
+	case FrameEnvelopeChunk:
+		return "envelope-chunk"
+	case FrameEnvelopeDone:
+		return "envelope-done"
+	case FrameTenantOK:
+		return "tenant-ok"
+	case FrameShardErr:
+		return "shard-err"
+	case FrameSubmitBatch:
+		return "submit-batch"
+	case FrameShardAck:
+		return "shard-ack"
+	case FrameShardNack:
+		return "shard-nack"
+	case FrameAlarmStream:
+		return "alarm-stream"
+	case FrameAlarmStreamAck:
+		return "alarm-stream-ack"
+	case FrameResumeTenant:
+		return "resume-tenant"
+	case FrameQuiesce:
+		return "quiesce"
+	case FrameExportEnvelope:
+		return "export-envelope"
+	case FrameDeregisterTenant:
+		return "deregister-tenant"
+	case FrameShardStatsReq:
+		return "shard-stats-req"
+	case FrameShardStats:
+		return "shard-stats"
+	case FrameDrain:
+		return "drain"
+	case FrameFlushTenant:
+		return "flush-tenant"
 	default:
 		return fmt.Sprintf("frame(%d)", uint8(t))
 	}
